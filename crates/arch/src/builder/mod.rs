@@ -1,0 +1,305 @@
+//! The Multiple-CE Builder (§III-A): turns a specification, a CNN, and a
+//! platform into a [`BuiltAccelerator`] with all implementation details
+//! decided — segment expansion, PE distribution, per-CE parallelism, and
+//! the on-chip buffer plan.
+
+mod buffers;
+mod parallelism;
+mod pe_alloc;
+
+pub use buffers::{BufferPlan, CeBufferAlloc, InterSegmentBuffer};
+pub use parallelism::{select_parallelism, select_row_parallelism};
+pub use pe_alloc::distribute_pes;
+
+use mccm_cnn::{CnnModel, ConvInfo};
+use mccm_fpga::{FpgaBoard, Precision};
+
+use crate::accelerator::BuiltAccelerator;
+use crate::engine::{CeRole, ComputeEngine};
+use crate::error::ArchError;
+use crate::spec::{AcceleratorSpec, BlockSpec, Segment};
+
+/// How the DSP budget is split across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeAllocation {
+    /// Proportional to each engine's workload in MACs (the paper's
+    /// heuristic, §II-C/§IV-A1).
+    #[default]
+    Proportional,
+    /// Equal share per engine. Kept for the ablation study: it unbalances
+    /// pipelines and inflates single-CE segment latencies.
+    Uniform,
+}
+
+/// Non-default builder heuristics, used by the ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuilderOptions {
+    /// PE distribution policy.
+    pub pe_allocation: PeAllocation,
+    /// Allow pipelined engines to parallelize across OFM rows (3-D search)
+    /// instead of the row-pipelined default (`p_oh = 1`). Row parallelism
+    /// collapses tile counts and hides the per-row weight re-streaming that
+    /// real tile-grained pipelines pay.
+    pub pipelined_row_parallelism: bool,
+}
+
+/// Builds accelerators for one (CNN, board) pair.
+///
+/// The builder caches the CNN's convolution view so repeated builds (as in
+/// design-space exploration) do not recompute it.
+///
+/// # Examples
+///
+/// ```
+/// use mccm_arch::{templates, MultipleCeBuilder};
+/// use mccm_cnn::zoo;
+/// use mccm_fpga::FpgaBoard;
+///
+/// # fn main() -> Result<(), mccm_arch::ArchError> {
+/// let model = zoo::resnet50();
+/// let board = FpgaBoard::zcu102();
+/// let builder = MultipleCeBuilder::new(&model, &board);
+/// let spec = templates::segmented_rr(&model, 4)?;
+/// let acc = builder.build(&spec)?;
+/// assert_eq!(acc.ce_count(), 4);
+/// assert_eq!(acc.notation(), "{L1-Last: CE1-CE4}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultipleCeBuilder {
+    model_name: String,
+    convs: Vec<ConvInfo>,
+    board: FpgaBoard,
+    precision: Precision,
+    options: BuilderOptions,
+}
+
+impl MultipleCeBuilder {
+    /// Creates a builder with default (8-bit) precision and heuristics.
+    pub fn new(model: &CnnModel, board: &FpgaBoard) -> Self {
+        Self {
+            model_name: model.name().to_string(),
+            convs: model.conv_view(),
+            board: board.clone(),
+            precision: Precision::default(),
+            options: BuilderOptions::default(),
+        }
+    }
+
+    /// Overrides the data-type widths.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Overrides builder heuristics (ablation studies).
+    #[must_use]
+    pub fn with_options(mut self, options: BuilderOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Number of convolution layers of the underlying model.
+    pub fn layer_count(&self) -> usize {
+        self.convs.len()
+    }
+
+    /// Builds a specification into a complete accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] when the spec fails validation (coverage, CE
+    /// roles) or the platform cannot host it (fewer DSPs than CEs).
+    pub fn build(&self, spec: &AcceleratorSpec) -> Result<BuiltAccelerator, ArchError> {
+        let segments = spec.segments(self.convs.len())?;
+        let n_ces = spec.ce_count();
+        if (self.board.dsps as usize) < n_ces {
+            return Err(ArchError::Infeasible {
+                detail: format!("{n_ces} CEs exceed {} DSPs", self.board.dsps),
+            });
+        }
+
+        // Roles from the spec (validated consistent by `segments`).
+        let mut roles = vec![CeRole::Single; n_ces];
+        for a in &spec.assignments {
+            if let BlockSpec::Pipelined { first_ce, last_ce } = a.block {
+                for r in roles.iter_mut().take(last_ce + 1).skip(first_ce) {
+                    *r = CeRole::Pipelined;
+                }
+            }
+        }
+
+        // PE distribution proportional to per-CE workload.
+        let ce_layers = spec.ce_layers(&segments);
+        let workloads: Vec<u64> = ce_layers
+            .iter()
+            .map(|layers| layers.iter().map(|&l| self.convs[l].macs).sum())
+            .collect();
+        let pes = match self.options.pe_allocation {
+            PeAllocation::Proportional => distribute_pes(self.board.dsps, &workloads),
+            PeAllocation::Uniform => distribute_pes(self.board.dsps, &vec![1u64; n_ces]),
+        };
+
+        // Parallelism per CE, minimizing Eq. (1) latency over its layers.
+        // Pipelined engines are row-pipelined: they parallelize filters and
+        // columns only (one OFM row per pipeline stage).
+        let ces: Vec<ComputeEngine> = ce_layers
+            .into_iter()
+            .enumerate()
+            .map(|(id, layers)| {
+                let refs: Vec<&ConvInfo> = layers.iter().map(|&l| &self.convs[l]).collect();
+                let parallelism = match roles[id] {
+                    CeRole::Single => select_parallelism(pes[id], &refs),
+                    CeRole::Pipelined if self.options.pipelined_row_parallelism => {
+                        select_parallelism(pes[id], &refs)
+                    }
+                    CeRole::Pipelined => select_row_parallelism(pes[id], &refs),
+                };
+                ComputeEngine { id, pes: pes[id], parallelism, role: roles[id], layers }
+            })
+            .collect();
+
+        let buffers = buffers::plan_buffers(
+            &self.convs,
+            &segments,
+            &ces,
+            spec.coarse_pipeline,
+            self.precision,
+            self.board.bram_bytes(),
+        );
+
+        Ok(BuiltAccelerator {
+            model_name: self.model_name.clone(),
+            convs: self.convs.clone(),
+            board: self.board.clone(),
+            precision: self.precision,
+            spec: spec.clone(),
+            segments,
+            ces,
+            buffers,
+            weight_compression: Vec::new(),
+        })
+    }
+
+    /// Convenience: builds every CE count in `range` for a template,
+    /// skipping infeasible counts.
+    pub fn build_sweep(
+        &self,
+        specs: impl IntoIterator<Item = AcceleratorSpec>,
+    ) -> Vec<BuiltAccelerator> {
+        specs.into_iter().filter_map(|s| self.build(&s).ok()).collect()
+    }
+}
+
+/// Convenience validating a segment list is internally consistent (used by
+/// tests and the simulator's defensive checks).
+pub fn check_segments(segments: &[Segment], num_layers: usize) -> bool {
+    let mut next = 0usize;
+    for s in segments {
+        if s.first != next || s.last < s.first {
+            return false;
+        }
+        next = s.last + 1;
+    }
+    next == num_layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates;
+    use mccm_cnn::zoo;
+
+    #[test]
+    fn builds_all_templates_for_resnet50() {
+        let m = zoo::resnet50();
+        let board = FpgaBoard::vcu108();
+        let b = MultipleCeBuilder::new(&m, &board);
+        for arch in templates::Architecture::ALL {
+            for k in 2..=11 {
+                let spec = arch.instantiate(&m, k).unwrap();
+                let acc = b.build(&spec).unwrap();
+                assert_eq!(acc.ce_count(), k, "{arch} {k}");
+                let total_pes: u32 = acc.ces.iter().map(|c| c.pes).sum();
+                assert_eq!(total_pes, board.dsps, "{arch} {k}");
+                assert!(check_segments(&acc.segments, 53));
+                for ce in &acc.ces {
+                    assert!(ce.parallelism.total() <= ce.pes as u64);
+                    assert!(!ce.layers.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pe_distribution_tracks_workload() {
+        let m = zoo::resnet50();
+        let b = MultipleCeBuilder::new(&m, &FpgaBoard::zcu102());
+        let spec = templates::segmented(&m, 4).unwrap();
+        let acc = b.build(&spec).unwrap();
+        // MAC-balanced segments should give roughly equal PEs.
+        let pes: Vec<u32> = acc.ces.iter().map(|c| c.pes).collect();
+        let max = *pes.iter().max().unwrap() as f64;
+        let min = *pes.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "pes {pes:?}");
+    }
+
+    #[test]
+    fn hybrid_roles() {
+        let m = zoo::mobilenet_v2();
+        let b = MultipleCeBuilder::new(&m, &FpgaBoard::zc706());
+        let acc = b.build(&templates::hybrid(&m, 5).unwrap()).unwrap();
+        for ce in &acc.ces[..4] {
+            assert_eq!(ce.role, CeRole::Pipelined);
+            assert_eq!(ce.layers.len(), 1);
+        }
+        assert_eq!(acc.ces[4].role, CeRole::Single);
+        assert_eq!(acc.ces[4].layers.len(), 52 - 4);
+    }
+
+    #[test]
+    fn infeasible_when_more_ces_than_dsps() {
+        let m = zoo::mobilenet_v2();
+        let tiny = FpgaBoard::new("tiny", 3, mccm_fpga::MiB(0.1), 1.0);
+        let b = MultipleCeBuilder::new(&m, &tiny);
+        let spec = templates::segmented(&m, 5).unwrap();
+        assert!(matches!(b.build(&spec), Err(ArchError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn build_sweep_skips_infeasible() {
+        let m = zoo::resnet50();
+        let b = MultipleCeBuilder::new(&m, &FpgaBoard::vcu110());
+        let specs = (2..=11).map(|k| templates::hybrid(&m, k).unwrap());
+        let built = b.build_sweep(specs);
+        assert_eq!(built.len(), 10);
+    }
+
+    #[test]
+    fn precision_scales_buffer_needs() {
+        let m = zoo::resnet50();
+        let board = FpgaBoard::zcu102();
+        let spec = templates::segmented_rr(&m, 4).unwrap();
+        let acc8 = MultipleCeBuilder::new(&m, &board).build(&spec).unwrap();
+        let acc16 = MultipleCeBuilder::new(&m, &board)
+            .with_precision(Precision::INT16)
+            .build(&spec)
+            .unwrap();
+        assert_eq!(acc16.total_weight_bytes(), 2 * acc8.total_weight_bytes());
+        for (a8, a16) in acc8.buffers.ce.iter().zip(&acc16.buffers.ce) {
+            assert!(a16.min_bytes >= a8.min_bytes);
+        }
+    }
+
+    #[test]
+    fn notation_round_trip_through_build() {
+        let m = zoo::resnet50();
+        let b = MultipleCeBuilder::new(&m, &FpgaBoard::vcu108());
+        let spec = crate::notation::parse("{L1-L10: CE1, L11-Last: CE2}").unwrap();
+        let acc = b.build(&spec).unwrap();
+        assert_eq!(acc.notation(), "{L1-L10: CE1, L11-Last: CE2}");
+        assert_eq!(acc.segments.len(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-CE parallelism-strategy selection.
+//!
+//! Given a CE's PE budget and the set of layers it processes, the builder
+//! searches 3-D `(p_f, p_oh, p_ow)` configurations (filters × OFM height ×
+//! OFM width — the strategy found best on average by Ma et al. \[23\]) and
+//! picks the one minimizing the CE's total Eq. (1) latency over its layers.
+//! 1-D and 2-D strategies fall out naturally when a factor is 1, which the
+//! search prefers automatically for layers whose dimensions don't divide
+//! well (§II-B).
+//!
+//! The more diverse the layers a CE processes, the harder it is to avoid
+//! PE underutilization (§IV-A1) — that trade-off is exactly what this
+//! search surfaces: a CE serving one layer gets factors that divide that
+//! layer perfectly, while a CE serving many gets a compromise.
+
+use mccm_cnn::ConvInfo;
+
+use crate::engine::Parallelism;
+
+/// Candidate per-dimension factors: small integers, powers of two, and
+/// 3·2^k / 7·2^k families, covering the divisors of common CNN dimension
+/// extents (64, 112, 149, 224, 728, …).
+fn candidates(max: u32) -> Vec<u32> {
+    let mut c: Vec<u32> = (1..=8).collect();
+    let mut p = 16u32;
+    while p <= max {
+        c.push(p);
+        p *= 2;
+    }
+    for base in [3u32, 7] {
+        let mut v = base * 2;
+        while v <= max {
+            c.push(v);
+            v *= 2;
+        }
+    }
+    // Odd extents appearing in the zoo (Xception valid-padding chain,
+    // DenseNet transitions).
+    c.extend([5, 9, 10, 13, 19, 37, 74, 149].iter().copied());
+    c.retain(|&v| v <= max);
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
+/// Selects the 3-D parallelism for a CE with `pes` PEs processing
+/// `layers`, minimizing total Eq. (1) cycles (ties: higher filter
+/// parallelism, then higher row parallelism, for weight-reuse-friendly
+/// configurations).
+///
+/// Returns scalar parallelism for an empty layer set.
+pub fn select_parallelism(pes: u32, layers: &[&ConvInfo]) -> Parallelism {
+    select_parallelism_dims(pes, layers, true)
+}
+
+/// Parallelism selection for row-pipelined engines: tile-grained pipelines
+/// (TGPA \[41\], DNNBuilder \[49\]) process one OFM row per stage, so their
+/// engines parallelize across filters and within the row (`p_oh = 1`).
+pub fn select_row_parallelism(pes: u32, layers: &[&ConvInfo]) -> Parallelism {
+    select_parallelism_dims(pes, layers, false)
+}
+
+fn select_parallelism_dims(pes: u32, layers: &[&ConvInfo], allow_rows: bool) -> Parallelism {
+    if layers.is_empty() || pes <= 1 {
+        return Parallelism::scalar();
+    }
+    let cand = candidates(pes);
+    let row_cand = if allow_rows { cand.clone() } else { vec![1u32] };
+    let dims: Vec<[u32; 6]> = layers.iter().map(|l| l.dims).collect();
+
+    let mut best = Parallelism::scalar();
+    let mut best_cost = total_cycles(&best, &dims);
+    for &pf in &cand {
+        if pf > pes {
+            break;
+        }
+        let max_oh = pes / pf;
+        for &poh in &row_cand {
+            if poh > max_oh {
+                break;
+            }
+            let max_ow = max_oh / poh;
+            for &pow in &cand {
+                if pow > max_ow {
+                    break;
+                }
+                let p = Parallelism::spatial(pf, poh, pow);
+                let cost = total_cycles(&p, &dims);
+                if cost < best_cost
+                    || (cost == best_cost
+                        && (p.dims[0], p.dims[2], p.dims[3])
+                            > (best.dims[0], best.dims[2], best.dims[3]))
+                {
+                    best = p;
+                    best_cost = cost;
+                }
+            }
+        }
+    }
+    best
+}
+
+fn total_cycles(p: &Parallelism, dims: &[[u32; 6]]) -> u64 {
+    dims.iter().map(|&d| p.latency_cycles(d)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_cnn::zoo;
+
+    fn layer_refs(convs: &[ConvInfo], idx: &[usize]) -> Vec<ConvInfo> {
+        idx.iter().map(|&i| convs[i].clone()).collect()
+    }
+
+    #[test]
+    fn single_layer_gets_dividing_factors() {
+        let m = zoo::resnet50();
+        let convs = m.conv_view();
+        // conv1: [64, 3, 112, 112, 7, 7]; 256 PEs should divide perfectly.
+        let layers = layer_refs(&convs, &[0]);
+        let refs: Vec<&ConvInfo> = layers.iter().collect();
+        let p = select_parallelism(256, &refs);
+        let dims = convs[0].dims;
+        // Perfect division -> utilization equals engaged/allocated ratio.
+        let cycles = p.latency_cycles(dims);
+        let macs: u64 = dims.iter().map(|&d| d as u64).product();
+        let util = macs as f64 / (cycles as f64 * 256.0);
+        assert!(util > 0.95, "util {util}, p {p}");
+    }
+
+    #[test]
+    fn respects_pe_budget() {
+        let m = zoo::xception();
+        let convs = m.conv_view();
+        let layers: Vec<ConvInfo> = convs.iter().take(20).cloned().collect();
+        let refs: Vec<&ConvInfo> = layers.iter().collect();
+        for pes in [1u32, 7, 64, 300, 1800] {
+            let p = select_parallelism(pes, &refs);
+            assert!(p.total() <= pes as u64, "{pes} PEs, chose {p}");
+        }
+    }
+
+    #[test]
+    fn diverse_layers_yield_lower_utilization_than_single() {
+        let m = zoo::resnet50();
+        let convs = m.conv_view();
+        let all: Vec<ConvInfo> = convs.to_vec();
+        let refs_all: Vec<&ConvInfo> = all.iter().collect();
+        let p_all = select_parallelism(512, &refs_all);
+        // Average utilization across all layers under the compromise config.
+        let avg_all: f64 = all
+            .iter()
+            .map(|l| p_all.utilization(l.dims, 512))
+            .sum::<f64>()
+            / all.len() as f64;
+
+        // Per-layer specialized engines do at least as well on their layer.
+        let mut better = 0;
+        for l in all.iter().take(10) {
+            let refs = [l];
+            let p = select_parallelism(512, &refs);
+            if p.utilization(l.dims, 512) >= p_all.utilization(l.dims, 512) {
+                better += 1;
+            }
+        }
+        assert_eq!(better, 10);
+        assert!(avg_all > 0.2, "compromise config should still be usable: {avg_all}");
+    }
+
+    #[test]
+    fn empty_layers_scalar() {
+        assert_eq!(select_parallelism(128, &[]), Parallelism::scalar());
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = zoo::mobilenet_v2();
+        let convs = m.conv_view();
+        let layers: Vec<ConvInfo> = convs.to_vec();
+        let refs: Vec<&ConvInfo> = layers.iter().collect();
+        assert_eq!(select_parallelism(900, &refs), select_parallelism(900, &refs));
+    }
+
+    #[test]
+    fn candidates_are_sorted_unique() {
+        let c = candidates(1024);
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(c, sorted);
+        assert!(c.contains(&7) && c.contains(&112) && c.contains(&149));
+    }
+}

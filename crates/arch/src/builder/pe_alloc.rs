@@ -1,0 +1,98 @@
+//! PE (DSP) distribution across compute engines.
+//!
+//! The paper's methodology assigns PEs to each CE proportionally to its
+//! relative workload (§II-C, §IV-A1: "balancing the pipeline stages, i.e.
+//! assigning PEs to each CE proportional to its relative workload"). This
+//! module implements that with largest-remainder rounding so the total is
+//! exactly the board's DSP budget and every CE receives at least one PE.
+
+/// Distributes `total` PEs over CEs proportionally to `workloads` (MACs),
+/// guaranteeing ≥ 1 PE per CE and an exact total.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty or `total < workloads.len()` (callers
+/// validate feasibility first).
+pub fn distribute_pes(total: u32, workloads: &[u64]) -> Vec<u32> {
+    let n = workloads.len();
+    assert!(n > 0, "no CEs to allocate to");
+    assert!(total as usize >= n, "fewer PEs ({total}) than CEs ({n})");
+
+    let sum: u64 = workloads.iter().sum();
+    if sum == 0 {
+        // Degenerate: spread evenly.
+        let base = total / n as u32;
+        let mut out = vec![base; n];
+        for item in out.iter_mut().take(total as usize % n) {
+            *item += 1;
+        }
+        return out;
+    }
+
+    // Reserve one PE per CE, distribute the rest proportionally.
+    let spare = total - n as u32;
+    let mut alloc: Vec<u32> = vec![1; n];
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
+    let mut assigned = 0u32;
+    for (i, &w) in workloads.iter().enumerate() {
+        let exact = spare as f64 * w as f64 / sum as f64;
+        let floor = exact.floor() as u32;
+        alloc[i] += floor;
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    // Largest remainders (ties broken by index for determinism).
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for &(i, _) in remainders.iter().take((spare - assigned) as usize) {
+        alloc[i] += 1;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_total_and_min_one() {
+        let alloc = distribute_pes(768, &[100, 1, 1]);
+        assert_eq!(alloc.iter().sum::<u32>(), 768);
+        assert!(alloc.iter().all(|&a| a >= 1));
+        assert!(alloc[0] > 700);
+    }
+
+    #[test]
+    fn proportionality() {
+        let alloc = distribute_pes(900, &[3, 1]);
+        assert_eq!(alloc.iter().sum::<u32>(), 900);
+        // 3:1 split of 898 spare plus the reserved 1s.
+        assert!((alloc[0] as f64 / alloc[1] as f64 - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_workloads_spread_evenly() {
+        let alloc = distribute_pes(10, &[0, 0, 0]);
+        assert_eq!(alloc.iter().sum::<u32>(), 10);
+        assert!(alloc.iter().all(|&a| a >= 3));
+    }
+
+    #[test]
+    fn tight_budget_gives_one_each() {
+        let alloc = distribute_pes(3, &[5, 5, 5]);
+        assert_eq!(alloc, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let a = distribute_pes(11, &[1, 1, 1, 1]);
+        let b = distribute_pes(11, &[1, 1, 1, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<u32>(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer PEs")]
+    fn infeasible_panics() {
+        distribute_pes(2, &[1, 1, 1]);
+    }
+}

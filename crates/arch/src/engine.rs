@@ -1,0 +1,181 @@
+//! Compute engines and their parallelism configuration.
+
+use std::fmt;
+
+/// Per-dimension parallelism of a compute engine over the six convolution
+/// loop dimensions `[F, C, OH, OW, KH, KW]` (§II-B).
+///
+/// The product of all entries is bounded by the engine's PE count; the
+/// builder's default strategy parallelizes filters and the OFM spatial
+/// dimensions (the 3-D strategy found best on average by Ma et al. \[23\]),
+/// leaving `C`, `KH`, `KW` at 1, but any combination can be expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// Parallel factors for `[F, C, OH, OW, KH, KW]`.
+    pub dims: [u32; 6],
+}
+
+impl Parallelism {
+    /// No parallelism: one MAC per cycle.
+    pub const fn scalar() -> Self {
+        Self { dims: [1; 6] }
+    }
+
+    /// 3-D parallelism over filters and OFM height/width.
+    pub const fn spatial(pf: u32, poh: u32, pow: u32) -> Self {
+        Self { dims: [pf, 1, poh, pow, 1, 1] }
+    }
+
+    /// Total PEs engaged (product of all factors).
+    pub fn total(&self) -> u64 {
+        self.dims.iter().map(|&d| d as u64).product()
+    }
+
+    /// Cycles to process a layer with loop extents `dims`, per Eq. (1):
+    /// `Π_d ceil(|d| / Par(d))`.
+    pub fn latency_cycles(&self, dims: [u32; 6]) -> u64 {
+        self.dims
+            .iter()
+            .zip(dims.iter())
+            .map(|(&p, &d)| (d as u64).div_ceil(p as u64))
+            .product()
+    }
+
+    /// Cycles to produce `rows` OFM rows of a layer (the tile unit of
+    /// pipelined-CEs blocks): Eq. (1) with the `OH` extent clamped to
+    /// `rows`.
+    pub fn tile_latency_cycles(&self, dims: [u32; 6], rows: u32) -> u64 {
+        let mut d = dims;
+        d[2] = rows.min(d[2]);
+        self.latency_cycles(d)
+    }
+
+    /// PE utilization achieved on a layer: useful MACs over `pes × cycles`.
+    ///
+    /// The denominator uses the engine's allocated PE count (not just the
+    /// engaged product), so unallocated PEs count as underutilization.
+    pub fn utilization(&self, dims: [u32; 6], pes: u32) -> f64 {
+        let macs: u64 = dims.iter().map(|&d| d as u64).product();
+        let cycles = self.latency_cycles(dims);
+        if cycles == 0 || pes == 0 {
+            return 0.0;
+        }
+        macs as f64 / (cycles as f64 * pes as f64)
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [pf, pc, poh, pow, pkh, pkw] = self.dims;
+        write!(f, "F{pf}·C{pc}·OH{poh}·OW{pow}·KH{pkh}·KW{pkw}")
+    }
+}
+
+/// Role of a CE within the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CeRole {
+    /// Processes its layers one by one to completion.
+    Single,
+    /// A stage of a tile-grained pipelined block.
+    Pipelined,
+}
+
+/// One configured compute engine of a built accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputeEngine {
+    /// CE id (zero-based; displayed one-based as `CE1`…).
+    pub id: usize,
+    /// PEs (DSPs) allocated to this engine.
+    pub pes: u32,
+    /// Loop parallelism configuration.
+    pub parallelism: Parallelism,
+    /// Single or pipelined role.
+    pub role: CeRole,
+    /// Conv-layer indices this engine processes, in execution order.
+    pub layers: Vec<usize>,
+}
+
+impl ComputeEngine {
+    /// PE utilization on one of its layers.
+    pub fn utilization(&self, dims: [u32; 6]) -> f64 {
+        self.parallelism.utilization(dims, self.pes)
+    }
+}
+
+impl fmt::Display for ComputeEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CE{} ({} PEs, {}, {} layers)",
+            self.id + 1,
+            self.pes,
+            self.parallelism,
+            self.layers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_ceil_product() {
+        // Paper's example (§IV-A1): a 4x2x2 CE processing a 6-filter layer
+        // is fully utilized on the first 4 filters, half on the rest.
+        let p = Parallelism::spatial(4, 2, 2);
+        let dims = [6, 1, 4, 4, 1, 1];
+        // ceil(6/4)=2, ceil(4/2)=2, ceil(4/2)=2 -> 8 cycles.
+        assert_eq!(p.latency_cycles(dims), 8);
+        // Full utilization would need 6*16/16 = 6 cycles -> util = 6/8.
+        let util = p.utilization(dims, 16);
+        assert!((util - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_division_is_full_utilization() {
+        let p = Parallelism::spatial(4, 2, 2);
+        let dims = [8, 1, 4, 4, 1, 1];
+        assert_eq!(p.latency_cycles(dims), 2 * 2 * 2);
+        assert!((p.utilization(dims, 16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tile_latency_clamps_rows() {
+        let p = Parallelism::spatial(2, 1, 1);
+        let dims = [4, 3, 10, 8, 3, 3];
+        // One row: ceil(4/2)*3*1*8*3*3 = 2*3*8*9 = 432.
+        assert_eq!(p.tile_latency_cycles(dims, 1), 432);
+        // Clamped at full height.
+        assert_eq!(p.tile_latency_cycles(dims, 100), p.latency_cycles(dims));
+    }
+
+    #[test]
+    fn scalar_parallelism_costs_all_macs() {
+        let p = Parallelism::scalar();
+        let dims = [2, 3, 4, 5, 3, 3];
+        assert_eq!(p.latency_cycles(dims), 2 * 3 * 4 * 5 * 9);
+        assert_eq!(p.total(), 1);
+    }
+
+    #[test]
+    fn unallocated_pes_count_as_underutilization() {
+        let p = Parallelism::spatial(4, 2, 2); // 16 engaged
+        let dims = [8, 1, 4, 4, 1, 1];
+        // 20 allocated PEs, 16 engaged perfectly -> util = 16/20.
+        assert!((p.utilization(dims, 20) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Parallelism::spatial(4, 2, 2).to_string(), "F4·C1·OH2·OW2·KH1·KW1");
+        let ce = ComputeEngine {
+            id: 0,
+            pes: 16,
+            parallelism: Parallelism::spatial(4, 2, 2),
+            role: CeRole::Single,
+            layers: vec![0, 1],
+        };
+        assert!(ce.to_string().contains("CE1"));
+    }
+}

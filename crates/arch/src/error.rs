@@ -1,0 +1,70 @@
+//! Error type for architecture specification and building.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing, validating, or building a multiple-CE
+/// accelerator description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The specification has no assignments.
+    EmptySpec,
+    /// Assignments do not cover the model's convolution layers exactly
+    /// once, in order.
+    NonContiguousCoverage {
+        /// Layer index where the gap or overlap occurs (zero-based).
+        at_layer: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// A layer range is inverted or out of bounds.
+    BadLayerRange {
+        /// Offending assignment index.
+        assignment: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// A compute engine id is used both as a single-CE and inside a
+    /// pipelined block, or CE ids are not contiguous from zero.
+    BadCeUsage {
+        /// Offending CE id (zero-based).
+        ce: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// Textual notation could not be parsed.
+    Parse {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// The platform cannot host the design (e.g. fewer PEs than CEs).
+    Infeasible {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySpec => write!(f, "accelerator specification has no assignments"),
+            Self::NonContiguousCoverage { at_layer, detail } => {
+                write!(f, "layer coverage broken at L{}: {detail}", at_layer + 1)
+            }
+            Self::BadLayerRange { assignment, detail } => {
+                write!(f, "bad layer range in assignment {assignment}: {detail}")
+            }
+            Self::BadCeUsage { ce, detail } => {
+                write!(f, "bad usage of CE{}: {detail}", ce + 1)
+            }
+            Self::Parse { offset, detail } => {
+                write!(f, "parse error at byte {offset}: {detail}")
+            }
+            Self::Infeasible { detail } => write!(f, "infeasible design: {detail}"),
+        }
+    }
+}
+
+impl Error for ArchError {}

@@ -1,0 +1,42 @@
+//! Multiple-CE accelerator descriptions and the Multiple-CE Builder.
+//!
+//! This crate implements the front half of the MCCM evaluation methodology
+//! (§III of the paper): the notation that expresses any multiple-CE
+//! accelerator (`{L1-L4: CE1, L5-Last: CE2-CE4}`), the three
+//! state-of-the-art architecture templates (Segmented, SegmentedRR,
+//! Hybrid), and the builder heuristics that decide implementation details —
+//! PE distribution, per-CE parallelism strategies, and on-chip buffer
+//! allocation. The output, [`BuiltAccelerator`], is the generic
+//! representation consumed by the analytical cost model (`mccm-core`) and
+//! the reference simulator (`mccm-sim`).
+//!
+//! ```
+//! use mccm_arch::{notation, MultipleCeBuilder};
+//! use mccm_cnn::zoo;
+//! use mccm_fpga::FpgaBoard;
+//!
+//! # fn main() -> Result<(), mccm_arch::ArchError> {
+//! let model = zoo::mobilenet_v2();
+//! let spec = notation::parse("{L1-L3: CE1-CE3, L4-Last: CE4}")?;
+//! let acc = MultipleCeBuilder::new(&model, &FpgaBoard::zc706()).build(&spec)?;
+//! assert_eq!(acc.ce_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod accelerator;
+pub mod builder;
+mod engine;
+mod error;
+pub mod notation;
+mod spec;
+pub mod templates;
+
+pub use accelerator::BuiltAccelerator;
+pub use builder::{BufferPlan, BuilderOptions, CeBufferAlloc, InterSegmentBuffer, MultipleCeBuilder, PeAllocation};
+pub use engine::{CeRole, ComputeEngine, Parallelism};
+pub use error::ArchError;
+pub use spec::{AcceleratorSpec, Assignment, BlockSpec, Executor, LayerRange, Segment};
+pub use templates::Architecture;

@@ -1,0 +1,420 @@
+//! Multiple-CE accelerator specifications: the paper's notation (§III-B) as
+//! data.
+//!
+//! A specification is an ordered list of *assignments*, each mapping a
+//! contiguous range of convolution layers to a building block — a single
+//! CE processing the range sequentially, or a set of pipelined CEs
+//! processing it at tile granularity. Layer and CE indices are zero-based
+//! internally; the textual notation (`{L1-L4: CE1, ...}`) is one-based as
+//! in the paper.
+
+use crate::error::ArchError;
+
+/// A contiguous, inclusive range of convolution-layer indices
+/// (zero-based). `last == None` denotes the paper's `Last`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerRange {
+    /// First layer (zero-based, inclusive).
+    pub first: usize,
+    /// Last layer (zero-based, inclusive); `None` means "through the final
+    /// layer of the CNN".
+    pub last: Option<usize>,
+}
+
+impl LayerRange {
+    /// Range covering `first..=last` (zero-based).
+    pub const fn new(first: usize, last: usize) -> Self {
+        Self { first, last: Some(last) }
+    }
+
+    /// Range from `first` through the last layer of the model.
+    pub const fn through_last(first: usize) -> Self {
+        Self { first, last: None }
+    }
+
+    /// Single layer.
+    pub const fn single(layer: usize) -> Self {
+        Self { first: layer, last: Some(layer) }
+    }
+
+    /// Resolves `Last` against a model with `num_layers` conv layers.
+    pub fn resolve(&self, num_layers: usize) -> (usize, usize) {
+        (self.first, self.last.unwrap_or(num_layers.saturating_sub(1)))
+    }
+}
+
+/// The building block an assignment maps its layers onto (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockSpec {
+    /// `CEz`: one CE processes the range layer by layer.
+    Single(usize),
+    /// `CEz-CEw`: `(w - z) + 1` tile-grained pipelined CEs. If the range
+    /// has more layers than CEs, the block processes them in rounds of
+    /// `(w - z) + 1` layers at a time.
+    Pipelined {
+        /// First CE id (zero-based, inclusive).
+        first_ce: usize,
+        /// Last CE id (zero-based, inclusive).
+        last_ce: usize,
+    },
+}
+
+impl BlockSpec {
+    /// CE ids used by this block, in order.
+    pub fn ces(&self) -> Vec<usize> {
+        match *self {
+            Self::Single(ce) => vec![ce],
+            Self::Pipelined { first_ce, last_ce } => (first_ce..=last_ce).collect(),
+        }
+    }
+
+    /// Number of CEs in this block.
+    pub fn ce_count(&self) -> usize {
+        match *self {
+            Self::Single(_) => 1,
+            Self::Pipelined { first_ce, last_ce } => last_ce - first_ce + 1,
+        }
+    }
+}
+
+/// One `{Lx-Ly : block}` entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    /// The layers covered.
+    pub range: LayerRange,
+    /// The block processing them.
+    pub block: BlockSpec,
+}
+
+/// A complete multiple-CE accelerator description.
+///
+/// `coarse_pipeline` selects whether segments executed by distinct blocks
+/// overlap different inputs (coarse-grained, whole-image pipelining as in
+/// the Segmented and Hybrid architectures) or run strictly sequentially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceleratorSpec {
+    /// Ordered layer-range → block assignments.
+    pub assignments: Vec<Assignment>,
+    /// Inter-segment (whole-image) pipelining across distinct blocks.
+    pub coarse_pipeline: bool,
+}
+
+/// How one execution segment is processed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Executor {
+    /// A single CE processes the segment's layers sequentially.
+    SingleCe(usize),
+    /// Pipelined CEs; layer `first + j` of the segment runs on `ces[j]`.
+    PipelinedCes(Vec<usize>),
+}
+
+impl Executor {
+    /// CE ids used by this executor.
+    pub fn ces(&self) -> Vec<usize> {
+        match self {
+            Self::SingleCe(ce) => vec![*ce],
+            Self::PipelinedCes(ces) => ces.clone(),
+        }
+    }
+}
+
+/// One execution segment: a contiguous run of layers processed to
+/// completion by one block before (or concurrently with, under coarse
+/// pipelining) the next segment.
+///
+/// Pipelined assignments longer than their CE count unroll into multiple
+/// segments ("rounds"): `ceil(53 / 2) = 27` segments for ResNet-50 under
+/// `{L1-Last: CE1-CE2}`, matching Fig. 6a.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment index in execution order.
+    pub index: usize,
+    /// First conv-layer index (zero-based, inclusive).
+    pub first: usize,
+    /// Last conv-layer index (zero-based, inclusive).
+    pub last: usize,
+    /// The block processing this segment.
+    pub executor: Executor,
+}
+
+impl Segment {
+    /// Number of layers in the segment.
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// Whether the segment is empty (never true for validated specs).
+    pub fn is_empty(&self) -> bool {
+        self.last < self.first
+    }
+
+    /// Conv-layer indices covered.
+    pub fn layers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.first..=self.last
+    }
+}
+
+impl AcceleratorSpec {
+    /// Creates a spec; `coarse_pipeline` defaults to `true` when more than
+    /// one distinct block exists (the common case for Segmented/Hybrid).
+    pub fn new(assignments: Vec<Assignment>, coarse_pipeline: bool) -> Self {
+        Self { assignments, coarse_pipeline }
+    }
+
+    /// Total number of distinct CEs referenced.
+    pub fn ce_count(&self) -> usize {
+        self.assignments
+            .iter()
+            .flat_map(|a| a.block.ces())
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Validates the spec against a model with `num_layers` convolution
+    /// layers and expands it into execution segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the spec is empty, ranges are inverted,
+    /// out of bounds, overlapping or leave gaps, CE ids are non-contiguous,
+    /// or a CE is used both as a single-CE and within a pipelined block.
+    pub fn segments(&self, num_layers: usize) -> Result<Vec<Segment>, ArchError> {
+        if self.assignments.is_empty() {
+            return Err(ArchError::EmptySpec);
+        }
+
+        // CE role consistency and contiguity.
+        let n_ces = self.ce_count();
+        let mut role: Vec<Option<bool>> = vec![None; n_ces]; // true = pipelined
+        for a in &self.assignments {
+            let pipelined = matches!(a.block, BlockSpec::Pipelined { .. });
+            if let BlockSpec::Pipelined { first_ce, last_ce } = a.block {
+                if last_ce < first_ce {
+                    return Err(ArchError::BadCeUsage {
+                        ce: first_ce,
+                        detail: "inverted CE range".into(),
+                    });
+                }
+            }
+            for ce in a.block.ces() {
+                match role[ce] {
+                    None => role[ce] = Some(pipelined),
+                    Some(r) if r != pipelined => {
+                        return Err(ArchError::BadCeUsage {
+                            ce,
+                            detail: "used both as single-CE and pipelined".into(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(ce) = role.iter().position(Option::is_none) {
+            return Err(ArchError::BadCeUsage { ce, detail: "CE id gap".into() });
+        }
+
+        // Coverage and segment expansion.
+        let mut segments = Vec::new();
+        let mut next_layer = 0usize;
+        for (i, a) in self.assignments.iter().enumerate() {
+            let (first, last) = a.range.resolve(num_layers);
+            if last < first || last >= num_layers {
+                return Err(ArchError::BadLayerRange {
+                    assignment: i,
+                    detail: format!(
+                        "range L{}-L{} outside 1..={num_layers}",
+                        first + 1,
+                        last + 1
+                    ),
+                });
+            }
+            if first != next_layer {
+                return Err(ArchError::NonContiguousCoverage {
+                    at_layer: next_layer,
+                    detail: format!("assignment {i} starts at L{}", first + 1),
+                });
+            }
+            match a.block {
+                BlockSpec::Single(ce) => {
+                    segments.push(Segment {
+                        index: segments.len(),
+                        first,
+                        last,
+                        executor: Executor::SingleCe(ce),
+                    });
+                }
+                BlockSpec::Pipelined { first_ce, last_ce } => {
+                    let ces: Vec<usize> = (first_ce..=last_ce).collect();
+                    let width = ces.len();
+                    let mut lo = first;
+                    while lo <= last {
+                        let hi = (lo + width - 1).min(last);
+                        segments.push(Segment {
+                            index: segments.len(),
+                            first: lo,
+                            last: hi,
+                            executor: Executor::PipelinedCes(ces[..hi - lo + 1].to_vec()),
+                        });
+                        lo = hi + 1;
+                    }
+                }
+            }
+            next_layer = last + 1;
+        }
+        if next_layer != num_layers {
+            return Err(ArchError::NonContiguousCoverage {
+                at_layer: next_layer,
+                detail: format!("layers L{}..L{num_layers} unassigned", next_layer + 1),
+            });
+        }
+        Ok(segments)
+    }
+
+    /// Conv-layer indices processed by each CE (union over all segments),
+    /// given the segment expansion.
+    pub fn ce_layers(&self, segments: &[Segment]) -> Vec<Vec<usize>> {
+        let mut layers = vec![Vec::new(); self.ce_count()];
+        for seg in segments {
+            match &seg.executor {
+                Executor::SingleCe(ce) => layers[*ce].extend(seg.layers()),
+                Executor::PipelinedCes(ces) => {
+                    for (offset, ce) in ces.iter().enumerate() {
+                        layers[*ce].push(seg.first + offset);
+                    }
+                }
+            }
+        }
+        layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg_spec() -> AcceleratorSpec {
+        // {L1-L4: CE1, L5-L12: CE2}
+        AcceleratorSpec::new(
+            vec![
+                Assignment { range: LayerRange::new(0, 3), block: BlockSpec::Single(0) },
+                Assignment { range: LayerRange::through_last(4), block: BlockSpec::Single(1) },
+            ],
+            true,
+        )
+    }
+
+    #[test]
+    fn single_blocks_expand_to_one_segment_each() {
+        let segs = seg_spec().segments(12).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].first, segs[0].last), (0, 3));
+        assert_eq!((segs[1].first, segs[1].last), (4, 11));
+        assert_eq!(segs[1].executor, Executor::SingleCe(1));
+    }
+
+    #[test]
+    fn pipelined_block_unrolls_rounds() {
+        // {L1-Last: CE1-CE2} over 53 layers -> 27 rounds (Fig. 6a).
+        let spec = AcceleratorSpec::new(
+            vec![Assignment {
+                range: LayerRange::through_last(0),
+                block: BlockSpec::Pipelined { first_ce: 0, last_ce: 1 },
+            }],
+            false,
+        );
+        let segs = spec.segments(53).unwrap();
+        assert_eq!(segs.len(), 27);
+        assert_eq!(segs[0].len(), 2);
+        assert_eq!(segs[26].len(), 1); // final odd layer
+        assert_eq!(segs[26].executor, Executor::PipelinedCes(vec![0]));
+    }
+
+    #[test]
+    fn ce_layers_round_robin() {
+        let spec = AcceleratorSpec::new(
+            vec![Assignment {
+                range: LayerRange::through_last(0),
+                block: BlockSpec::Pipelined { first_ce: 0, last_ce: 2 },
+            }],
+            false,
+        );
+        let segs = spec.segments(7).unwrap();
+        let per_ce = spec.ce_layers(&segs);
+        assert_eq!(per_ce[0], vec![0, 3, 6]);
+        assert_eq!(per_ce[1], vec![1, 4]);
+        assert_eq!(per_ce[2], vec![2, 5]);
+    }
+
+    #[test]
+    fn gap_rejected() {
+        let spec = AcceleratorSpec::new(
+            vec![
+                Assignment { range: LayerRange::new(0, 3), block: BlockSpec::Single(0) },
+                Assignment { range: LayerRange::new(6, 11), block: BlockSpec::Single(1) },
+            ],
+            true,
+        );
+        assert!(matches!(
+            spec.segments(12),
+            Err(ArchError::NonContiguousCoverage { at_layer: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_tail_rejected() {
+        let spec = AcceleratorSpec::new(
+            vec![Assignment { range: LayerRange::new(0, 3), block: BlockSpec::Single(0) }],
+            true,
+        );
+        assert!(matches!(spec.segments(12), Err(ArchError::NonContiguousCoverage { .. })));
+    }
+
+    #[test]
+    fn mixed_ce_role_rejected() {
+        let spec = AcceleratorSpec::new(
+            vec![
+                Assignment {
+                    range: LayerRange::new(0, 1),
+                    block: BlockSpec::Pipelined { first_ce: 0, last_ce: 1 },
+                },
+                Assignment { range: LayerRange::through_last(2), block: BlockSpec::Single(1) },
+            ],
+            true,
+        );
+        assert!(matches!(spec.segments(12), Err(ArchError::BadCeUsage { ce: 1, .. })));
+    }
+
+    #[test]
+    fn ce_id_gap_rejected() {
+        let spec = AcceleratorSpec::new(
+            vec![
+                Assignment { range: LayerRange::new(0, 5), block: BlockSpec::Single(0) },
+                Assignment { range: LayerRange::through_last(6), block: BlockSpec::Single(2) },
+            ],
+            true,
+        );
+        assert!(matches!(spec.segments(12), Err(ArchError::BadCeUsage { ce: 1, .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let spec = AcceleratorSpec::new(
+            vec![Assignment { range: LayerRange::new(0, 15), block: BlockSpec::Single(0) }],
+            true,
+        );
+        assert!(matches!(spec.segments(12), Err(ArchError::BadLayerRange { .. })));
+    }
+
+    #[test]
+    fn ce_count_counts_distinct() {
+        assert_eq!(seg_spec().ce_count(), 2);
+        let spec = AcceleratorSpec::new(
+            vec![Assignment {
+                range: LayerRange::through_last(0),
+                block: BlockSpec::Pipelined { first_ce: 0, last_ce: 3 },
+            }],
+            false,
+        );
+        assert_eq!(spec.ce_count(), 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion measurement of the paper's headline speed claim: per-design
+//! evaluation time of the analytical model (paper: 6.3 ms/design in
+//! Python; ~100000× faster than synthesis) versus the reference
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mccm_arch::{templates, MultipleCeBuilder};
+use mccm_cnn::zoo;
+use mccm_core::CostModel;
+use mccm_fpga::FpgaBoard;
+use mccm_sim::{SimConfig, Simulator};
+
+fn bench_model_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_model_evaluate");
+    for (model, arch, k) in [
+        (zoo::mobilenet_v2(), templates::Architecture::Hybrid, 4usize),
+        (zoo::resnet50(), templates::Architecture::Segmented, 7),
+        (zoo::resnet152(), templates::Architecture::SegmentedRr, 11),
+        (zoo::xception(), templates::Architecture::Hybrid, 7),
+    ] {
+        let board = FpgaBoard::vcu110();
+        let builder = MultipleCeBuilder::new(&model, &board);
+        let acc = builder.build(&arch.instantiate(&model, k).unwrap()).unwrap();
+        let id = format!("{}/{}-{}", model.name(), arch.name(), k);
+        g.bench_function(BenchmarkId::from_parameter(id), |b| {
+            b.iter(|| black_box(CostModel::evaluate(black_box(&acc))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    // Express -> build -> evaluate: the per-design cost of design-space
+    // exploration (the paper's 6.3 ms/design figure).
+    let model = zoo::xception();
+    let board = FpgaBoard::vcu110();
+    let builder = MultipleCeBuilder::new(&model, &board);
+    c.bench_function("express_build_evaluate/xception_hybrid7", |b| {
+        b.iter(|| {
+            let spec = templates::hybrid(black_box(&model), 7).unwrap();
+            let acc = builder.build(&spec).unwrap();
+            black_box(CostModel::evaluate(&acc))
+        })
+    });
+}
+
+fn bench_reference_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reference_simulator");
+    g.sample_size(20);
+    for (model, arch, k) in [
+        (zoo::mobilenet_v2(), templates::Architecture::Hybrid, 4usize),
+        (zoo::resnet50(), templates::Architecture::SegmentedRr, 4),
+    ] {
+        let board = FpgaBoard::vcu108();
+        let builder = MultipleCeBuilder::new(&model, &board);
+        let acc = builder.build(&arch.instantiate(&model, k).unwrap()).unwrap();
+        let eval = CostModel::evaluate(&acc);
+        let sim = Simulator::new(SimConfig::default());
+        let id = format!("{}/{}-{}", model.name(), arch.name(), k);
+        g.bench_function(BenchmarkId::from_parameter(id), |b| {
+            b.iter(|| black_box(sim.run_with_eval(black_box(&acc), &eval)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_eval, bench_full_pipeline, bench_reference_simulator);
+criterion_main!(benches);

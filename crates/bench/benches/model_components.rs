@@ -1,0 +1,64 @@
+//! Component microbenchmarks: the building blocks whose cost dominates a
+//! model evaluation (zoo construction, notation parsing, the builder's
+//! parallelism search, PE allocation, buffer planning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mccm_arch::{builder, notation, templates, MultipleCeBuilder};
+use mccm_cnn::{zoo, ConvInfo};
+use mccm_fpga::FpgaBoard;
+
+fn bench_zoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zoo_construction");
+    g.bench_function("resnet50", |b| b.iter(|| black_box(zoo::resnet50())));
+    g.bench_function("densenet121", |b| b.iter(|| black_box(zoo::densenet121())));
+    g.finish();
+}
+
+fn bench_notation(c: &mut Criterion) {
+    let text = "{L1-L10: CE1-CE10, L11-L30: CE11, L31-L50: CE12, L51-Last: CE13}";
+    c.bench_function("notation_parse", |b| {
+        b.iter(|| black_box(notation::parse(black_box(text)).unwrap()))
+    });
+}
+
+fn bench_parallelism_search(c: &mut Criterion) {
+    let model = zoo::resnet152();
+    let convs = model.conv_view();
+    let refs: Vec<&ConvInfo> = convs.iter().collect();
+    let mut g = c.benchmark_group("parallelism_search");
+    for pes in [64u32, 512, 2520] {
+        g.bench_function(BenchmarkId::from_parameter(pes), |b| {
+            b.iter(|| black_box(builder::select_parallelism(pes, black_box(&refs))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pe_distribution(c: &mut Criterion) {
+    let workloads: Vec<u64> = (1..=11u64).map(|i| i * 1_000_000).collect();
+    c.bench_function("pe_distribution_11ces", |b| {
+        b.iter(|| black_box(builder::distribute_pes(2520, black_box(&workloads))))
+    });
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let model = zoo::densenet121();
+    let board = FpgaBoard::zcu102();
+    let b2 = MultipleCeBuilder::new(&model, &board);
+    let spec = templates::segmented_rr(&model, 8).unwrap();
+    c.bench_function("builder_build/densenet_rr8", |b| {
+        b.iter(|| black_box(b2.build(black_box(&spec)).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_zoo,
+    bench_notation,
+    bench_parallelism_search,
+    bench_pe_distribution,
+    bench_builder
+);
+criterion_main!(benches);

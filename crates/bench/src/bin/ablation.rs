@@ -1,0 +1,4 @@
+//! Runs the design-choice ablation studies (DESIGN.md §2).
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::ablation::run());
+}

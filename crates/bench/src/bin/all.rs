@@ -1,0 +1,25 @@
+//! Runs the complete evaluation: every table and figure in order, writing
+//! CSVs under `results/`. Use `--release`; `--samples N` scales Fig. 10.
+fn main() {
+    use mccm_bench::experiments as e;
+    let samples = mccm_bench::arg_value("--samples", 20_000) as usize;
+    let seed = mccm_bench::arg_value("--seed", 1);
+    for report in [
+        e::table2::run(),
+        e::table3::run(),
+        e::table1::run(),
+        e::table4::run(),
+        e::table5::run(),
+        e::fig5::run(),
+        e::fig6::run(),
+        e::fig7::run(),
+        e::fig8::run(),
+        e::fig9::run(),
+        e::fig10::run(samples, seed),
+        e::speed::run(200),
+        e::ablation::run(),
+        e::compression::run(),
+    ] {
+        mccm_bench::emit(&report);
+    }
+}

@@ -1,0 +1,4 @@
+//! Runs the targeted-compression study (Use Case 2 follow-through, §V-D).
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::compression::run());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10 (design-space exploration). Accepts `--samples N`
+//! (default 20000; the paper uses 100000) and `--seed N`.
+fn main() {
+    let samples = mccm_bench::arg_value("--samples", 20_000) as usize;
+    let seed = mccm_bench::arg_value("--seed", 1);
+    mccm_bench::emit(&mccm_bench::experiments::fig10::run(samples, seed));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5. See `mccm_bench::experiments::fig5`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::fig5::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6. See `mccm_bench::experiments::fig6`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::fig6::run());
+}

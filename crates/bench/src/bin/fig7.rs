@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7. See `mccm_bench::experiments::fig7`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::fig7::run());
+}

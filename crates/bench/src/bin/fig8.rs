@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8. See `mccm_bench::experiments::fig8`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::fig8::run());
+}

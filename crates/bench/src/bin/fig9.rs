@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9. See `mccm_bench::experiments::fig9`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::fig9::run());
+}

@@ -1,0 +1,5 @@
+//! Measures the evaluation-speed claims. Accepts `--reps N` (default 200).
+fn main() {
+    let reps = mccm_bench::arg_value("--reps", 200) as usize;
+    mccm_bench::emit(&mccm_bench::experiments::speed::run(reps));
+}

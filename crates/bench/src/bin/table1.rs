@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1. See `mccm_bench::experiments::table1`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::table1::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2. See `mccm_bench::experiments::table2`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::table2::run());
+}

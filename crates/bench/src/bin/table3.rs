@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3. See `mccm_bench::experiments::table3`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::table3::run());
+}

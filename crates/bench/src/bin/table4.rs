@@ -1,0 +1,4 @@
+//! Regenerates Table IV (150-experiment validation). Use `--release`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::table4::run());
+}

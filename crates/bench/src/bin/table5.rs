@@ -1,0 +1,4 @@
+//! Regenerates Table V (best architectures grid). Use `--release`.
+fn main() {
+    mccm_bench::emit(&mccm_bench::experiments::table5::run());
+}

@@ -1,0 +1,86 @@
+//! Fig. 6: per-segment compute vs memory-access time (as % of overall
+//! execution time) for (a) SegmentedRR with 2 CEs and (b) Segmented with
+//! 7 CEs, ResNet-50 on ZC706 — the fine-grained bottleneck view of Use
+//! Case 2.
+
+use mccm_arch::templates;
+use mccm_arch::MultipleCeBuilder;
+use mccm_cnn::zoo;
+use mccm_core::{CostModel, Evaluation};
+use mccm_fpga::FpgaBoard;
+
+use crate::output::{Report, Table};
+
+fn segment_table(name: &str, eval: &Evaluation) -> Table {
+    let total: f64 = eval.segments.iter().map(|s| s.time_s).sum();
+    let mut t = Table::new(
+        name,
+        &["segment", "layers", "compute (% overall)", "memory (% overall)", "memory-bound"],
+    );
+    for s in &eval.segments {
+        t.row(vec![
+            (s.index + 1).to_string(),
+            format!("L{}-L{}", s.first + 1, s.last + 1),
+            format!("{:.1}", 100.0 * s.compute_s / total),
+            format!("{:.1}", 100.0 * s.memory_s / total),
+            if s.memory_s > s.compute_s { "yes".into() } else { String::new() },
+        ]);
+    }
+    t
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let model = zoo::resnet50();
+    let board = FpgaBoard::zc706();
+    let builder = MultipleCeBuilder::new(&model, &board);
+
+    let rr = CostModel::evaluate(
+        &builder.build(&templates::segmented_rr(&model, 2).unwrap()).unwrap(),
+    );
+    let seg = CostModel::evaluate(
+        &builder.build(&templates::segmented(&model, 7).unwrap()).unwrap(),
+    );
+
+    let mut report = Report::new(
+        "fig6",
+        "Per-segment compute vs memory time, ResNet-50 on ZC706",
+    );
+    report.tables.push(segment_table("a_segmented_rr_2ces", &rr));
+    report.tables.push(segment_table("b_segmented_7ces", &seg));
+
+    let rr_bound = rr.segments.iter().filter(|s| s.memory_s > s.compute_s).count();
+    let seg_bound = seg.segments.iter().filter(|s| s.memory_s > s.compute_s).count();
+    report.note(format!(
+        "SegmentedRR-2: {}/{} segments memory-bound; idle (stall) fraction {:.0}% \
+         (paper: segments 22-26 memory-bound, 29% idle).",
+        rr_bound,
+        rr.segments.len(),
+        100.0 * rr.memory_stall_fraction
+    ));
+    report.note(format!(
+        "Segmented-7: {}/{} segments memory-bound (paper: none).",
+        seg_bound,
+        seg.segments.len()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reproduces_fig6_shape() {
+        let r = super::run();
+        // 27 SegmentedRR rounds (ceil(53/2)) and 7 Segmented segments.
+        assert_eq!(r.tables[0].rows.len(), 27);
+        assert_eq!(r.tables[1].rows.len(), 7);
+        // The SegmentedRR instance has memory-bound late segments.
+        let bound = r.tables[0]
+            .rows
+            .iter()
+            .skip(18)
+            .filter(|row| row[4] == "yes")
+            .count();
+        assert!(bound >= 3, "late rounds should be memory-bound, got {bound}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 7: off-chip access breakdown (weights vs FMs) of the highest-
+//! throughput instance of each architecture, ResNet-50 on ZC706 — the
+//! compression-targeting analysis of Use Case 2.
+
+use mccm_arch::templates::Architecture;
+use mccm_cnn::zoo;
+use mccm_core::Metric;
+use mccm_fpga::FpgaBoard;
+
+use crate::output::{Report, Table};
+use crate::setups::{baseline_sweep, best_instance, mib};
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let model = zoo::resnet50();
+    let board = FpgaBoard::zc706();
+    let sweep = baseline_sweep(&model, &board);
+
+    let mut report = Report::new(
+        "fig7",
+        "Off-chip access breakdown (weights vs FMs), best-throughput instances, ResNet-50 on ZC706",
+    );
+    let mut t = Table::new(
+        "breakdown",
+        &["architecture", "CEs", "weights (MiB)", "FMs (MiB)", "weights share"],
+    );
+    let mut shares = Vec::new();
+    for arch in [Architecture::SegmentedRr, Architecture::Segmented, Architecture::Hybrid] {
+        let p = best_instance(&sweep, arch, Metric::Throughput).unwrap();
+        let share = p.eval.weight_traffic_share();
+        shares.push((arch, share));
+        t.row(vec![
+            arch.name().to_string(),
+            p.ces.to_string(),
+            format!("{:.1}", mib(p.eval.offchip_weight_bytes)),
+            format!("{:.1}", mib(p.eval.offchip_fm_bytes)),
+            format!("{:.0}%", 100.0 * share),
+        ]);
+    }
+    report.tables.push(t);
+
+    report.note(
+        "Paper: weights dominate SegmentedRR and Hybrid accesses (compressing FMs there would be \
+         pure overhead), while Segmented splits more evenly.".to_string(),
+    );
+    for (arch, share) in shares {
+        if arch != Architecture::Segmented {
+            report.note(format!(
+                "{}: weights share {:.0}% ({})",
+                arch.name(),
+                100.0 * share,
+                if share > 0.5 { "weights-dominated, as in the paper" } else { "FM-dominated" }
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn three_instances_with_split() {
+        let r = super::run();
+        assert_eq!(r.tables[0].rows.len(), 3);
+        // Hybrid is weights-dominated (its FM traffic is just model I/O).
+        let hybrid = &r.tables[0].rows[2];
+        let share: f64 = hybrid[4].trim_end_matches('%').parse().unwrap();
+        assert!(share > 50.0, "hybrid weights share {share}%");
+    }
+}

@@ -1,0 +1,34 @@
+//! Table II: the evaluation FPGA boards.
+
+use crate::output::{Report, Table};
+use crate::setups::boards;
+
+/// Runs the experiment (a direct printout — the table is an input, kept
+/// here so every paper table has a regenerating target).
+pub fn run() -> Report {
+    let mut report = Report::new("table2", "Evaluation FPGA boards");
+    let mut t = Table::new(
+        "boards",
+        &["board", "DSPs", "Block RAM (MiB)", "off-chip BW (GB/s)", "clock (MHz)"],
+    );
+    for b in boards() {
+        t.row(vec![
+            b.name.clone(),
+            b.dsps.to_string(),
+            format!("{}", b.bram.0),
+            format!("{}", b.bandwidth_gbps),
+            format!("{}", b.clock_mhz),
+        ]);
+    }
+    report.tables.push(t);
+    report.note("Matches Table II; clock is this reproduction's timing base (200 MHz).");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn four_boards() {
+        assert_eq!(super::run().tables[0].rows.len(), 4);
+    }
+}

@@ -1,0 +1,62 @@
+//! Table III: the evaluated CNN models, re-derived and checked against the
+//! paper's weight and conv-layer counts.
+
+use mccm_cnn::zoo;
+
+use crate::output::{Report, Table};
+use crate::setups::models;
+
+/// Paper values: (abbreviation, weights in millions, conv layers).
+pub const PAPER: [(&str, f64, usize); 5] = [
+    ("Res152", 60.4, 155),
+    ("Res50", 25.6, 53),
+    ("XCp", 22.9, 74),
+    ("Dns121", 8.1, 120),
+    ("MobV2", 3.5, 52),
+];
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut report = Report::new("table3", "Evaluated CNN models vs. Table III");
+    let mut t = Table::new(
+        "models",
+        &[
+            "model",
+            "abbrev",
+            "weights (M)",
+            "paper (M)",
+            "conv layers",
+            "paper layers",
+            "conv GMACs",
+        ],
+    );
+    let mut exact = true;
+    for (model, (abbr, w, l)) in models().iter().zip(PAPER) {
+        let weights = model.total_params() as f64 / 1e6;
+        let layers = model.conv_layer_count();
+        exact &= layers == l && (weights - w).abs() < 0.05;
+        t.row(vec![
+            model.name().to_string(),
+            zoo::abbreviation(model.name()).to_string(),
+            format!("{weights:.1}"),
+            format!("{w:.1}"),
+            layers.to_string(),
+            l.to_string(),
+            format!("{:.2}", model.conv_macs() as f64 / 1e9),
+        ]);
+        debug_assert_eq!(zoo::abbreviation(model.name()), abbr);
+    }
+    report.tables.push(t);
+    report.note(format!("All rows match the paper exactly: {exact}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reproduces_table_iii() {
+        let r = super::run();
+        assert_eq!(r.tables[0].rows.len(), 5);
+        assert!(r.notes[0].ends_with("true"));
+    }
+}

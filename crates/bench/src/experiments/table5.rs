@@ -1,0 +1,109 @@
+//! Table V: the multiple-CE accelerators achieving the best results per
+//! (board × CNN × metric) with their CE counts, using the paper's 10%
+//! tie rule.
+
+use mccm_cnn::zoo;
+use mccm_core::Metric;
+use mccm_dse::{select_best, PAPER_TIE_FRAC};
+
+use crate::output::{Report, Table};
+use crate::setups::{arch_initial, baseline_sweep, boards, models};
+
+/// Runs the 4-board × 5-CNN selection grid.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "table5",
+        "Best architectures per board, CNN, and metric (10% tie rule)",
+    );
+
+    let metric_rows =
+        [Metric::Latency, Metric::Throughput, Metric::OffChipAccesses, Metric::OnChipBuffers];
+
+    let mut headers: Vec<String> = vec!["metric".into()];
+    for b in boards() {
+        for m in models() {
+            headers.push(format!("{}/{}", b.name, zoo::abbreviation(m.name())));
+        }
+    }
+    let mut t = Table::new("grid", &headers.iter().map(String::as_str).collect::<Vec<_>>());
+
+    // Pre-compute sweeps (20 columns).
+    let mut sweeps = Vec::new();
+    for b in boards() {
+        for m in models() {
+            sweeps.push(baseline_sweep(&m, &b));
+        }
+    }
+
+    // Selection cells; remember them for the insight notes.
+    let mut cells = vec![Vec::new(); metric_rows.len()];
+    for (mi, &metric) in metric_rows.iter().enumerate() {
+        let mut row = vec![metric.name().to_string()];
+        for sweep in &sweeps {
+            let cell = select_best(sweep, metric, PAPER_TIE_FRAC);
+            let text = cell
+                .winners
+                .iter()
+                .map(|&(a, ces, _)| format!("{}{}", arch_initial(a), ces))
+                .collect::<Vec<_>>()
+                .join(" ");
+            cells[mi].push(cell);
+            row.push(text);
+        }
+        t.row(row);
+    }
+    report.tables.push(t);
+
+    // The paper's four insights (§V-C), recomputed on our grid.
+    let columns = sweeps.len();
+    let mut single_arch_all_metrics = 0usize;
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..columns {
+        let per_metric: Vec<Vec<_>> = (0..metric_rows.len())
+            .map(|mi| cells[mi][col].winners.iter().map(|&(a, _, _)| a).collect())
+            .collect();
+        let exists = mccm_arch::templates::Architecture::ALL
+            .iter()
+            .any(|a| per_metric.iter().all(|ws: &Vec<_>| ws.contains(a)));
+        if exists {
+            single_arch_all_metrics += 1;
+        }
+    }
+    report.note(format!(
+        "Columns where one architecture wins (or ties) every metric: {single_arch_all_metrics}/{columns} \
+         (paper: 4/20 — in 80% of cases no single architecture is best in all four)."
+    ));
+
+    let count_wins = |mi: usize, arch: mccm_arch::templates::Architecture| {
+        (0..columns)
+            .filter(|&c| cells[mi][c].winners.iter().any(|&(a, _, _)| a == arch))
+            .count()
+    };
+    report.note(format!(
+        "SegmentedRR best/tied latency in {}/{} columns (paper: 15/20).",
+        count_wins(0, mccm_arch::templates::Architecture::SegmentedRr),
+        columns
+    ));
+    report.note(format!(
+        "Hybrid best/tied off-chip accesses in {}/{} columns (paper: 20/20).",
+        count_wins(2, mccm_arch::templates::Architecture::Hybrid),
+        columns
+    ));
+    report.note(format!(
+        "Hybrid best/tied buffers in {}/{} columns (paper: 14/20).",
+        count_wins(3, mccm_arch::templates::Architecture::Hybrid),
+        columns
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "evaluates 600 designs (~minutes in debug); exercised by the table5 binary"]
+    fn full_grid() {
+        let r = super::run();
+        assert_eq!(r.tables[0].rows.len(), 4);
+        assert_eq!(r.tables[0].headers.len(), 21);
+    }
+}

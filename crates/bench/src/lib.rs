@@ -1,0 +1,26 @@
+//! Experiment harness of the MCCM reproduction: regenerates every table
+//! and figure of the paper's evaluation (§V) and measures the speed
+//! claims.
+//!
+//! Each experiment lives in [`experiments`] and is wrapped by a binary of
+//! the same name (`cargo run --release -p mccm-bench --bin table4`);
+//! `--bin all` runs the full evaluation and writes CSVs under `results/`.
+
+pub mod experiments;
+mod output;
+pub mod setups;
+
+pub use output::{emit, results_dir, Report, Table};
+
+/// Parses `--samples N` / `--seed N` style flags from `std::env::args`.
+pub fn arg_value(name: &str, default: u64) -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}

@@ -1,0 +1,161 @@
+//! Report/table plumbing shared by every experiment binary.
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable, CSV-exportable table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// File stem for CSV export.
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "table {}", self.name);
+        self.rows.push(cells);
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A full experiment report: tables plus free-form findings.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment id (e.g. `"table4"`, `"fig10"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Result tables, printed and exported in order.
+    pub tables: Vec<Table>,
+    /// Findings/notes printed after the tables (paper-vs-measured etc.).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self { id: id.into(), title: title.into(), tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+/// Directory for CSV exports (`$MCCM_RESULTS_DIR` or `./results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MCCM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints a report to stdout and writes its tables as CSVs under
+/// [`results_dir`]. Used by every experiment binary.
+pub fn emit(report: &Report) {
+    println!("== {} — {} ==\n", report.id, report.title);
+    let dir = results_dir();
+    let _ = fs::create_dir_all(&dir);
+    for table in &report.tables {
+        println!("{table}");
+        let path = dir.join(format!("{}_{}.csv", report.id, table.name));
+        if let Err(e) = fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[csv] {}\n", path.display());
+        }
+    }
+    for note in &report.notes {
+        println!("* {note}");
+    }
+    if !report.notes.is_empty() {
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["x,y".into(), "he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("t", &["metric", "v"]);
+        t.row(vec!["latency".into(), "1".into()]);
+        t.row(vec!["x".into(), "22".into()]);
+        let text = t.to_string();
+        assert!(text.contains("metric"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn report_collects_notes() {
+        let mut r = Report::new("x", "t");
+        r.note("hello");
+        assert_eq!(r.notes.len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for CNN model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building or validating a [`CnnModel`](crate::CnnModel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CnnError {
+    /// The model contains no layers.
+    EmptyModel,
+    /// A layer references a source that does not precede it.
+    ForwardReference {
+        /// The offending layer's index.
+        layer: usize,
+        /// The referenced (non-preceding) layer index.
+        source: usize,
+    },
+    /// A layer has the wrong number of inputs for its operator.
+    BadInputArity {
+        /// The offending layer's index.
+        layer: usize,
+        /// Inputs found.
+        found: usize,
+        /// Short description of what the operator expects.
+        expected: &'static str,
+    },
+    /// Declared shapes are inconsistent with the operator or its sources.
+    ShapeMismatch {
+        /// The offending layer's index.
+        layer: usize,
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+    /// Two layers share a name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for CnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyModel => write!(f, "model has no layers"),
+            Self::ForwardReference { layer, source } => {
+                write!(f, "layer {layer} references non-preceding layer {source}")
+            }
+            Self::BadInputArity { layer, found, expected } => {
+                write!(f, "layer {layer} has {found} inputs, expected {expected}")
+            }
+            Self::ShapeMismatch { layer, detail } => {
+                write!(f, "layer {layer} shape mismatch: {detail}")
+            }
+            Self::DuplicateName(name) => write!(f, "duplicate layer name `{name}`"),
+        }
+    }
+}
+
+impl Error for CnnError {}

@@ -1,0 +1,419 @@
+//! CNN layers: convolutions, pooling, merges, and fully-connected operators.
+
+use std::fmt;
+
+use crate::tensor::TensorShape;
+
+/// Identifier of a layer inside a [`CnnModel`](crate::CnnModel): its index
+/// in the model's topologically ordered layer list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub usize);
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0 + 1)
+    }
+}
+
+/// Source of a layer's input feature maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// The model input image.
+    Input,
+    /// The output feature maps of an earlier layer.
+    Layer(LayerId),
+}
+
+/// Spatial padding applied symmetrically on each side of a dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Padding {
+    /// Rows added above and below.
+    pub h: u32,
+    /// Columns added left and right.
+    pub w: u32,
+}
+
+impl Padding {
+    /// Symmetric padding of `h` rows and `w` columns per side.
+    pub const fn new(h: u32, w: u32) -> Self {
+        Self { h, w }
+    }
+
+    /// `SAME` padding for a given (odd) kernel.
+    pub const fn same(kernel_h: u32, kernel_w: u32) -> Self {
+        Self { h: (kernel_h - 1) / 2, w: (kernel_w - 1) / 2 }
+    }
+
+    /// No padding (`VALID`).
+    pub const fn valid() -> Self {
+        Self { h: 0, w: 0 }
+    }
+}
+
+/// Convolution parameters.
+///
+/// Standard, depthwise, and pointwise (1×1) convolutions are all expressed
+/// here; `depthwise` toggles per-channel filtering (groups = channels), and
+/// pointwise is simply `kernel = (1, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Kernel size `(rows, cols)`.
+    pub kernel: (u32, u32),
+    /// Stride `(rows, cols)`.
+    pub stride: (u32, u32),
+    /// Symmetric zero padding.
+    pub padding: Padding,
+    /// Depthwise convolution: one filter per input channel, no cross-channel
+    /// reduction.
+    pub depthwise: bool,
+}
+
+impl ConvSpec {
+    /// Standard convolution with square kernel/stride and explicit padding.
+    pub const fn standard(kernel: u32, stride: u32, padding: Padding) -> Self {
+        Self { kernel: (kernel, kernel), stride: (stride, stride), padding, depthwise: false }
+    }
+
+    /// Pointwise (1×1) convolution.
+    pub const fn pointwise(stride: u32) -> Self {
+        Self {
+            kernel: (1, 1),
+            stride: (stride, stride),
+            padding: Padding::valid(),
+            depthwise: false,
+        }
+    }
+
+    /// Depthwise convolution with square kernel.
+    pub const fn depthwise(kernel: u32, stride: u32, padding: Padding) -> Self {
+        Self { kernel: (kernel, kernel), stride: (stride, stride), padding, depthwise: true }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub const fn out_spatial(&self, h: u32, w: u32) -> (u32, u32) {
+        let oh = (h + 2 * self.padding.h - self.kernel.0) / self.stride.0 + 1;
+        let ow = (w + 2 * self.padding.w - self.kernel.1) / self.stride.1 + 1;
+        (oh, ow)
+    }
+}
+
+/// Pooling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+    /// Global average pooling (collapses spatial dims to 1×1).
+    GlobalAvg,
+}
+
+/// Pooling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Flavor.
+    pub kind: PoolKind,
+    /// Window size (ignored for global pooling).
+    pub kernel: (u32, u32),
+    /// Stride (ignored for global pooling).
+    pub stride: (u32, u32),
+    /// Symmetric padding (ignored for global pooling).
+    pub padding: Padding,
+}
+
+impl PoolSpec {
+    /// Max pooling with square window.
+    pub const fn max(kernel: u32, stride: u32, padding: Padding) -> Self {
+        Self {
+            kind: PoolKind::Max,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding,
+        }
+    }
+
+    /// Average pooling with square window.
+    pub const fn avg(kernel: u32, stride: u32, padding: Padding) -> Self {
+        Self {
+            kind: PoolKind::Avg,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding,
+        }
+    }
+
+    /// Global average pooling.
+    pub const fn global_avg() -> Self {
+        Self { kind: PoolKind::GlobalAvg, kernel: (0, 0), stride: (0, 0), padding: Padding::valid() }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub const fn out_spatial(&self, h: u32, w: u32) -> (u32, u32) {
+        if matches!(self.kind, PoolKind::GlobalAvg) {
+            return (1, 1);
+        }
+        let oh = (h + 2 * self.padding.h - self.kernel.0) / self.stride.0 + 1;
+        let ow = (w + 2 * self.padding.w - self.kernel.1) / self.stride.1 + 1;
+        (oh, ow)
+    }
+}
+
+/// The operator a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerOp {
+    /// Convolution (standard / depthwise / pointwise). These are the layers
+    /// mapped onto compute engines.
+    Conv(ConvSpec),
+    /// Pooling. Shape-transforming only; fused into the surrounding
+    /// dataflow by the baseline accelerators.
+    Pool(PoolSpec),
+    /// Element-wise addition of all inputs (residual connections). Fused
+    /// into the producing engine by the baseline accelerators; zero-cost in
+    /// the model, but its operands extend feature-map lifetimes.
+    Add,
+    /// Channel-wise concatenation of all inputs (dense connections).
+    /// Layout-level no-op, but it extends feature-map lifetimes.
+    Concat,
+    /// Element-wise multiplication of the first input by a per-channel
+    /// gate (squeeze-and-excitation). The gate input has matching channels
+    /// and 1×1 (or matching) spatial dims; fused into the producing engine
+    /// like [`LayerOp::Add`].
+    Mul,
+    /// Fully-connected layer. Kept for parameter-count fidelity (Table III
+    /// counts total weights); runs off-accelerator in the baseline designs.
+    Dense {
+        /// Input features.
+        inputs: u32,
+        /// Output features.
+        outputs: u32,
+    },
+}
+
+/// One CNN layer: operator, input/output shapes, and DAG wiring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Position in the model's layer list.
+    pub id: LayerId,
+    /// Human-readable name (unique within a model).
+    pub name: String,
+    /// Operator.
+    pub op: LayerOp,
+    /// Input feature-map shape. For [`LayerOp::Add`] this is the common
+    /// shape of every operand; for [`LayerOp::Concat`] it equals the output
+    /// shape (channels already summed).
+    pub ifm: TensorShape,
+    /// Output feature-map shape.
+    pub ofm: TensorShape,
+    /// Producers of this layer's IFMs. Exactly one for conv/pool/dense, two
+    /// or more for add/concat.
+    pub inputs: Vec<Src>,
+    /// Parameters beyond the operator weights (batch-norm scales/statistics,
+    /// biases) attached to this layer, counted for Table III fidelity.
+    pub extra_params: u64,
+}
+
+impl Layer {
+    /// Number of operator weights (convolution filters or dense weight
+    /// matrix), excluding [`extra_params`](Self::extra_params).
+    ///
+    /// These are the `weights` of the paper's equations: the data that must
+    /// be fetched from off-chip memory at least once per inference.
+    pub fn weight_count(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv(spec) => {
+                let (kh, kw) = spec.kernel;
+                let k = kh as u64 * kw as u64;
+                if spec.depthwise {
+                    self.ifm.channels as u64 * k
+                } else {
+                    self.ofm.channels as u64 * self.ifm.channels as u64 * k
+                }
+            }
+            LayerOp::Pool(_) | LayerOp::Add | LayerOp::Concat | LayerOp::Mul => 0,
+            LayerOp::Dense { inputs, outputs } => inputs as u64 * outputs as u64,
+        }
+    }
+
+    /// Total parameters including batch-norm/bias extras.
+    pub fn param_count(&self) -> u64 {
+        self.weight_count() + self.extra_params
+    }
+
+    /// Multiply-accumulate operations to evaluate this layer on one input.
+    pub fn macs(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv(spec) => {
+                let (kh, kw) = spec.kernel;
+                let k = kh as u64 * kw as u64;
+                let out = self.ofm.elements();
+                if spec.depthwise {
+                    out * k
+                } else {
+                    out * self.ifm.channels as u64 * k
+                }
+            }
+            LayerOp::Pool(_) | LayerOp::Add | LayerOp::Concat | LayerOp::Mul => 0,
+            LayerOp::Dense { inputs, outputs } => inputs as u64 * outputs as u64,
+        }
+    }
+
+    /// Whether this layer is a convolution (the layers mapped to CEs).
+    pub fn is_conv(&self) -> bool {
+        matches!(self.op, LayerOp::Conv(_))
+    }
+
+    /// Convolution spec if this layer is a convolution.
+    pub fn conv_spec(&self) -> Option<&ConvSpec> {
+        match &self.op {
+            LayerOp::Conv(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// The six disjoint convolution-loop dimensions `[F, C, OH, OW, KH, KW]`
+    /// (§II-B: filters, input channels, output rows/cols, kernel rows/cols).
+    ///
+    /// For depthwise convolutions the cross-channel reduction loop collapses
+    /// to 1 and `F` equals the channel count.
+    ///
+    /// Returns `None` for non-convolution layers.
+    pub fn loop_dims(&self) -> Option<[u32; 6]> {
+        let spec = self.conv_spec()?;
+        let c = if spec.depthwise { 1 } else { self.ifm.channels };
+        Some([
+            self.ofm.channels,
+            c,
+            self.ofm.height,
+            self.ofm.width,
+            spec.kernel.0,
+            spec.kernel.1,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_layer(spec: ConvSpec, ifm: TensorShape, out_channels: u32) -> Layer {
+        let (oh, ow) = spec.out_spatial(ifm.height, ifm.width);
+        Layer {
+            id: LayerId(0),
+            name: "t".into(),
+            op: LayerOp::Conv(spec),
+            ifm,
+            ofm: TensorShape::new(out_channels, oh, ow),
+            inputs: vec![Src::Input],
+            extra_params: 0,
+        }
+    }
+
+    #[test]
+    fn standard_conv_weights_and_macs() {
+        // 3x3 conv, 3->64 channels, 224x224 with SAME padding, stride 1.
+        let l = conv_layer(
+            ConvSpec::standard(3, 1, Padding::same(3, 3)),
+            TensorShape::new(3, 224, 224),
+            64,
+        );
+        assert_eq!(l.weight_count(), 64 * 3 * 3 * 3);
+        assert_eq!(l.ofm, TensorShape::new(64, 224, 224));
+        assert_eq!(l.macs(), 64 * 224 * 224 * 3 * 9);
+    }
+
+    #[test]
+    fn depthwise_conv_weights_and_macs() {
+        let l = conv_layer(
+            ConvSpec::depthwise(3, 1, Padding::same(3, 3)),
+            TensorShape::new(32, 112, 112),
+            32,
+        );
+        assert_eq!(l.weight_count(), 32 * 9);
+        assert_eq!(l.macs(), 32 * 112 * 112 * 9);
+        assert_eq!(l.loop_dims(), Some([32, 1, 112, 112, 3, 3]));
+    }
+
+    #[test]
+    fn pointwise_conv_is_1x1() {
+        let l = conv_layer(ConvSpec::pointwise(1), TensorShape::new(64, 56, 56), 256);
+        assert_eq!(l.weight_count(), 64 * 256);
+        assert_eq!(l.ofm, TensorShape::new(256, 56, 56));
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        // 7x7 stride-2 pad-3 on 224 -> 112 (ResNet stem).
+        let spec = ConvSpec::standard(7, 2, Padding::new(3, 3));
+        assert_eq!(spec.out_spatial(224, 224), (112, 112));
+        // 3x3 stride-2 pad-1 on 112 -> 56.
+        let spec = ConvSpec::standard(3, 2, Padding::new(1, 1));
+        assert_eq!(spec.out_spatial(112, 112), (56, 56));
+    }
+
+    #[test]
+    fn valid_padding_shrinks() {
+        // Xception stem: 3x3 stride-2 valid on 299 -> 149.
+        let spec = ConvSpec::standard(3, 2, Padding::valid());
+        assert_eq!(spec.out_spatial(299, 299), (149, 149));
+        // then 3x3 stride-1 valid on 149 -> 147.
+        let spec = ConvSpec::standard(3, 1, Padding::valid());
+        assert_eq!(spec.out_spatial(149, 149), (147, 147));
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let p = PoolSpec::max(3, 2, Padding::new(1, 1));
+        assert_eq!(p.out_spatial(112, 112), (56, 56));
+        let g = PoolSpec::global_avg();
+        assert_eq!(g.out_spatial(7, 7), (1, 1));
+    }
+
+    #[test]
+    fn dense_params_and_macs() {
+        let l = Layer {
+            id: LayerId(0),
+            name: "fc".into(),
+            op: LayerOp::Dense { inputs: 2048, outputs: 1000 },
+            ifm: TensorShape::new(2048, 1, 1),
+            ofm: TensorShape::new(1000, 1, 1),
+            inputs: vec![Src::Input],
+            extra_params: 1000,
+        };
+        assert_eq!(l.weight_count(), 2048 * 1000);
+        assert_eq!(l.param_count(), 2048 * 1000 + 1000);
+        assert_eq!(l.macs(), 2048 * 1000);
+    }
+
+    #[test]
+    fn merge_ops_are_free() {
+        let l = Layer {
+            id: LayerId(2),
+            name: "add".into(),
+            op: LayerOp::Add,
+            ifm: TensorShape::new(256, 56, 56),
+            ofm: TensorShape::new(256, 56, 56),
+            inputs: vec![Src::Layer(LayerId(0)), Src::Layer(LayerId(1))],
+            extra_params: 0,
+        };
+        assert_eq!(l.weight_count(), 0);
+        assert_eq!(l.macs(), 0);
+        assert!(!l.is_conv());
+        assert_eq!(l.loop_dims(), None);
+    }
+
+    #[test]
+    fn loop_dims_standard() {
+        let l = conv_layer(
+            ConvSpec::standard(3, 1, Padding::same(3, 3)),
+            TensorShape::new(16, 8, 8),
+            32,
+        );
+        assert_eq!(l.loop_dims(), Some([32, 16, 8, 8, 3, 3]));
+    }
+
+    #[test]
+    fn layer_id_displays_one_based() {
+        assert_eq!(LayerId(0).to_string(), "L1");
+        assert_eq!(LayerId(11).to_string(), "L12");
+    }
+}

@@ -1,0 +1,35 @@
+//! CNN representation for the MCCM cost model: tensor shapes, layers, model
+//! DAGs, a verified model zoo, and synthetic model generation.
+//!
+//! This crate is the workload substrate of the MCCM reproduction
+//! (ISPASS 2025): it provides the per-layer convolution dimensions the
+//! analytical model consumes, the feature-map liveness analysis behind the
+//! buffer equations, and layer-exact re-derivations of the five CNNs
+//! evaluated in the paper (Table III).
+//!
+//! # Quick start
+//!
+//! ```
+//! use mccm_cnn::zoo;
+//!
+//! let model = zoo::resnet50();
+//! assert_eq!(model.conv_layer_count(), 53);
+//!
+//! // The conv view is what the accelerator builder maps onto engines.
+//! let convs = model.conv_view();
+//! assert_eq!(convs[0].dims, [64, 3, 112, 112, 7, 7]); // [F, C, OH, OW, KH, KW]
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod layer;
+mod model;
+pub mod synthetic;
+mod tensor;
+pub mod zoo;
+
+pub use error::CnnError;
+pub use layer::{ConvSpec, Layer, LayerId, LayerOp, Padding, PoolKind, PoolSpec, Src};
+pub use model::{CnnModel, ConvInfo, ModelBuilder, ModelStats};
+pub use tensor::TensorShape;

@@ -1,0 +1,613 @@
+//! CNN models: layer DAGs, validation, statistics, and the convolution view
+//! consumed by the accelerator builder and cost model.
+
+use std::collections::HashSet;
+
+use crate::error::CnnError;
+use crate::layer::{ConvSpec, Layer, LayerId, LayerOp, PoolSpec, Src};
+use crate::tensor::TensorShape;
+
+/// A validated CNN: a topologically ordered DAG of [`Layer`]s.
+///
+/// Models are immutable once built; construct them through
+/// [`ModelBuilder`] (or the ready-made constructors in [`crate::zoo`]).
+///
+/// # Examples
+///
+/// ```
+/// use mccm_cnn::{ConvSpec, ModelBuilder, Padding, TensorShape};
+///
+/// # fn main() -> Result<(), mccm_cnn::CnnError> {
+/// let mut b = ModelBuilder::new("tiny", TensorShape::new(3, 32, 32));
+/// b.conv("c1", ConvSpec::standard(3, 1, Padding::same(3, 3)), 16, 0);
+/// b.conv("c2", ConvSpec::pointwise(1), 32, 0);
+/// let model = b.finish()?;
+/// assert_eq!(model.conv_layer_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnnModel {
+    name: String,
+    input: TensorShape,
+    layers: Vec<Layer>,
+    /// For each layer, the index of its last consumer (`None` if it is a
+    /// terminal output). Precomputed for feature-map liveness queries.
+    last_consumer: Vec<Option<usize>>,
+}
+
+impl CnnModel {
+    /// Model name (e.g. `"resnet50"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shape of the model input image.
+    pub fn input(&self) -> TensorShape {
+        self.input
+    }
+
+    /// All layers in topological order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Layer by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids are only minted by this model's
+    /// builder, so this indicates a cross-model mixup).
+    pub fn layer(&self, id: LayerId) -> &Layer {
+        &self.layers[id.0]
+    }
+
+    /// Number of convolution layers (the layers mapped to compute engines;
+    /// Table III's "Conv layers").
+    pub fn conv_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_conv()).count()
+    }
+
+    /// Total parameters, including batch-norm and bias extras (Table III's
+    /// "Weights (M)").
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Convolution weights only — the data the accelerator streams from
+    /// off-chip memory.
+    pub fn conv_weights(&self) -> u64 {
+        self.layers.iter().filter(|l| l.is_conv()).map(Layer::weight_count).sum()
+    }
+
+    /// Total multiply-accumulate operations per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Multiply-accumulate operations in convolution layers only.
+    pub fn conv_macs(&self) -> u64 {
+        self.layers.iter().filter(|l| l.is_conv()).map(Layer::macs).sum()
+    }
+
+    /// Extra feature-map elements that must stay resident while `layer`
+    /// executes: outputs of earlier layers that still have a consumer at or
+    /// after `layer`, excluding `layer`'s own direct inputs.
+    ///
+    /// This is the "multiple copies of the FMs in case a layer has residual
+    /// connections" term of Eq. (4).
+    pub fn extra_live_elements(&self, layer: LayerId) -> u64 {
+        let i = layer.0;
+        let direct: HashSet<usize> = self.layers[i]
+            .inputs
+            .iter()
+            .filter_map(|s| match s {
+                Src::Layer(id) => Some(id.0),
+                Src::Input => None,
+            })
+            .collect();
+        self.layers[..i]
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| {
+                !direct.contains(j) && self.last_consumer[*j].is_some_and(|c| c >= i)
+            })
+            .map(|(_, l)| l.ofm.elements())
+            .sum()
+    }
+
+    /// Feature-map working set of a layer: IFMs + OFMs + extra live copies
+    /// (Eq. (4)'s `FMsSz`).
+    pub fn fm_working_set(&self, layer: LayerId) -> u64 {
+        let l = &self.layers[layer.0];
+        l.ifm.elements() + l.ofm.elements() + self.extra_live_elements(layer)
+    }
+
+    /// The convolution view: per-conv-layer records in execution order.
+    ///
+    /// The paper's notation (`L1`, `L2`, …) and all CE mappings index
+    /// convolution layers only; this view is what `mccm-arch` and
+    /// `mccm-core` consume.
+    pub fn conv_view(&self) -> Vec<ConvInfo> {
+        // Conv index per layer id, for producer resolution.
+        let mut conv_index = vec![usize::MAX; self.layers.len()];
+        let mut idx = 0usize;
+        for (i, l) in self.layers.iter().enumerate() {
+            if l.is_conv() {
+                conv_index[i] = idx;
+                idx += 1;
+            }
+        }
+        // Producer conv sets per layer: the convolutions whose outputs feed
+        // a layer, looking through pools/adds/concats. Computed in
+        // topological order, so transparent layers union their inputs'
+        // already-resolved sets.
+        let mut producers: Vec<Vec<usize>> = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            let mut set: Vec<usize> = Vec::new();
+            for src in &l.inputs {
+                match src {
+                    Src::Input => {}
+                    Src::Layer(id) => {
+                        if self.layers[id.0].is_conv() {
+                            set.push(conv_index[id.0]);
+                        } else {
+                            set.extend(producers[id.0].iter().copied());
+                        }
+                    }
+                }
+            }
+            set.sort_unstable();
+            set.dedup();
+            producers.push(set);
+        }
+
+        self.layers
+            .iter()
+            .filter(|l| l.is_conv())
+            .map(|l| {
+                let spec = *l.conv_spec().expect("filtered to convs");
+                ConvInfo {
+                    index: conv_index[l.id.0],
+                    layer_id: l.id,
+                    name: l.name.clone(),
+                    ifm: l.ifm,
+                    ofm: l.ofm,
+                    spec,
+                    weights: l.weight_count(),
+                    macs: l.macs(),
+                    dims: l.loop_dims().expect("filtered to convs"),
+                    fm_working_set: self.fm_working_set(l.id),
+                    producers: producers[l.id.0].clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Summary statistics (Table III row).
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            name: self.name.clone(),
+            conv_layers: self.conv_layer_count(),
+            total_params: self.total_params(),
+            conv_weights: self.conv_weights(),
+            conv_macs: self.conv_macs(),
+            max_fm_working_set: self
+                .layers
+                .iter()
+                .filter(|l| l.is_conv())
+                .map(|l| self.fm_working_set(l.id))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Summary statistics of a model (Table III plus derived quantities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Model name.
+    pub name: String,
+    /// Number of convolution layers.
+    pub conv_layers: usize,
+    /// Total parameters including batch-norm/bias extras.
+    pub total_params: u64,
+    /// Convolution weights only.
+    pub conv_weights: u64,
+    /// MACs in convolution layers.
+    pub conv_macs: u64,
+    /// Largest per-conv-layer feature-map working set, in elements.
+    pub max_fm_working_set: u64,
+}
+
+/// One convolution layer as seen by the accelerator builder and cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvInfo {
+    /// Zero-based convolution index (the paper's `L{index+1}`).
+    pub index: usize,
+    /// Id of the backing layer in the full model.
+    pub layer_id: LayerId,
+    /// Layer name.
+    pub name: String,
+    /// Input feature-map shape.
+    pub ifm: TensorShape,
+    /// Output feature-map shape.
+    pub ofm: TensorShape,
+    /// Convolution parameters.
+    pub spec: ConvSpec,
+    /// Weight elements.
+    pub weights: u64,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Disjoint loop dimensions `[F, C, OH, OW, KH, KW]`.
+    pub dims: [u32; 6],
+    /// Feature-map working set (IFM + OFM + live residual copies).
+    pub fm_working_set: u64,
+    /// Conv indices whose outputs feed this layer's IFMs, resolved through
+    /// pools/adds/concats (empty when fed by the model input only). Drives
+    /// row-dependency scheduling in pipelined blocks.
+    pub producers: Vec<usize>,
+}
+
+/// Incremental constructor for [`CnnModel`].
+///
+/// Layers are appended in topological order; by default each new layer
+/// consumes the previous layer's output, and explicit sources support
+/// residual and dense wiring. [`finish`](Self::finish) validates the DAG.
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    name: String,
+    input: TensorShape,
+    layers: Vec<Layer>,
+}
+
+impl ModelBuilder {
+    /// Starts a model with the given input image shape.
+    pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
+        Self { name: name.into(), input, layers: Vec::new() }
+    }
+
+    /// Shape produced by a source.
+    pub fn shape_of(&self, src: Src) -> TensorShape {
+        match src {
+            Src::Input => self.input,
+            Src::Layer(id) => self.layers[id.0].ofm,
+        }
+    }
+
+    /// The most recently added layer's output, or the model input if no
+    /// layer exists yet.
+    pub fn last(&self) -> Src {
+        self.layers.last().map_or(Src::Input, |l| Src::Layer(l.id))
+    }
+
+    fn push(&mut self, name: impl Into<String>, op: LayerOp, ifm: TensorShape, ofm: TensorShape, inputs: Vec<Src>, extra_params: u64) -> LayerId {
+        let id = LayerId(self.layers.len());
+        self.layers.push(Layer { id, name: name.into(), op, ifm, ofm, inputs, extra_params });
+        id
+    }
+
+    /// Appends a convolution consuming the previous layer.
+    pub fn conv(&mut self, name: impl Into<String>, spec: ConvSpec, out_channels: u32, extra_params: u64) -> LayerId {
+        let src = self.last();
+        self.conv_from(name, spec, out_channels, src, extra_params)
+    }
+
+    /// Appends a convolution consuming an explicit source.
+    pub fn conv_from(&mut self, name: impl Into<String>, spec: ConvSpec, out_channels: u32, src: Src, extra_params: u64) -> LayerId {
+        let ifm = self.shape_of(src);
+        let (oh, ow) = spec.out_spatial(ifm.height, ifm.width);
+        let out_channels = if spec.depthwise { ifm.channels } else { out_channels };
+        let ofm = TensorShape::new(out_channels, oh, ow);
+        self.push(name, LayerOp::Conv(spec), ifm, ofm, vec![src], extra_params)
+    }
+
+    /// Appends a pooling layer consuming the previous layer.
+    pub fn pool(&mut self, name: impl Into<String>, spec: PoolSpec) -> LayerId {
+        let src = self.last();
+        self.pool_from(name, spec, src)
+    }
+
+    /// Appends a pooling layer consuming an explicit source.
+    pub fn pool_from(&mut self, name: impl Into<String>, spec: PoolSpec, src: Src) -> LayerId {
+        let ifm = self.shape_of(src);
+        let (oh, ow) = spec.out_spatial(ifm.height, ifm.width);
+        let ofm = TensorShape::new(ifm.channels, oh, ow);
+        self.push(name, LayerOp::Pool(spec), ifm, ofm, vec![src], 0)
+    }
+
+    /// Appends an element-wise addition of two or more sources.
+    pub fn add(&mut self, name: impl Into<String>, srcs: &[Src]) -> LayerId {
+        let ifm = self.shape_of(srcs[0]);
+        self.push(name, LayerOp::Add, ifm, ifm, srcs.to_vec(), 0)
+    }
+
+    /// Appends an element-wise multiplication: the first source gated by
+    /// the second (per-channel broadcast, squeeze-and-excitation style).
+    pub fn mul(&mut self, name: impl Into<String>, main: Src, gate: Src) -> LayerId {
+        let ifm = self.shape_of(main);
+        self.push(name, LayerOp::Mul, ifm, ifm, vec![main, gate], 0)
+    }
+
+    /// Appends a channel concatenation of two or more sources.
+    pub fn concat(&mut self, name: impl Into<String>, srcs: &[Src]) -> LayerId {
+        let first = self.shape_of(srcs[0]);
+        let channels = srcs.iter().map(|&s| self.shape_of(s).channels).sum();
+        let shape = TensorShape::new(channels, first.height, first.width);
+        self.push(name, LayerOp::Concat, shape, shape, srcs.to_vec(), 0)
+    }
+
+    /// Attaches extra (batch-norm/bias) parameters to an already-added
+    /// layer. Used for normalization that Keras counts on non-convolution
+    /// layers (e.g. DenseNet's final batch norm).
+    pub fn layer_extra_params(&mut self, id: LayerId, extra_params: u64) {
+        self.layers[id.0].extra_params += extra_params;
+    }
+
+    /// Appends a fully-connected layer consuming the previous layer.
+    pub fn dense(&mut self, name: impl Into<String>, outputs: u32, extra_params: u64) -> LayerId {
+        let src = self.last();
+        let ifm = self.shape_of(src);
+        let inputs =
+            u32::try_from(ifm.elements()).expect("dense input feature count fits in u32");
+        self.push(
+            name,
+            LayerOp::Dense { inputs, outputs },
+            ifm,
+            TensorShape::new(outputs, 1, 1),
+            vec![src],
+            extra_params,
+        )
+    }
+
+    /// Validates and freezes the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnnError`] if the model is empty, a layer references a
+    /// non-preceding source, input arities or shapes are inconsistent, or
+    /// layer names collide.
+    pub fn finish(self) -> Result<CnnModel, CnnError> {
+        if self.layers.is_empty() {
+            return Err(CnnError::EmptyModel);
+        }
+        let mut names = HashSet::new();
+        for l in &self.layers {
+            if !names.insert(l.name.as_str()) {
+                return Err(CnnError::DuplicateName(l.name.clone()));
+            }
+        }
+        for (i, l) in self.layers.iter().enumerate() {
+            for src in &l.inputs {
+                if let Src::Layer(id) = src {
+                    if id.0 >= i {
+                        return Err(CnnError::ForwardReference { layer: i, source: id.0 });
+                    }
+                }
+            }
+            let arity_ok = match l.op {
+                LayerOp::Add | LayerOp::Concat => l.inputs.len() >= 2,
+                LayerOp::Mul => l.inputs.len() == 2,
+                _ => l.inputs.len() == 1,
+            };
+            if !arity_ok {
+                let expected = match l.op {
+                    LayerOp::Add | LayerOp::Concat => "at least 2",
+                    LayerOp::Mul => "exactly 2",
+                    _ => "exactly 1",
+                };
+                return Err(CnnError::BadInputArity { layer: i, found: l.inputs.len(), expected });
+            }
+            self.check_shapes(i, l)?;
+        }
+        let last_consumer = compute_last_consumers(&self.layers);
+        Ok(CnnModel { name: self.name, input: self.input, layers: self.layers, last_consumer })
+    }
+
+    fn shape_of_at(&self, src: Src) -> TensorShape {
+        self.shape_of(src)
+    }
+
+    fn check_shapes(&self, i: usize, l: &Layer) -> Result<(), CnnError> {
+        let mismatch = |detail: String| CnnError::ShapeMismatch { layer: i, detail };
+        match l.op {
+            LayerOp::Conv(spec) => {
+                let src = self.shape_of_at(l.inputs[0]);
+                if src != l.ifm {
+                    return Err(mismatch(format!("ifm {} != source {}", l.ifm, src)));
+                }
+                let (oh, ow) = spec.out_spatial(src.height, src.width);
+                if (l.ofm.height, l.ofm.width) != (oh, ow) {
+                    return Err(mismatch(format!(
+                        "ofm spatial {}x{} != derived {oh}x{ow}",
+                        l.ofm.height, l.ofm.width
+                    )));
+                }
+                if spec.depthwise && l.ofm.channels != src.channels {
+                    return Err(mismatch("depthwise output channels differ from input".into()));
+                }
+            }
+            LayerOp::Pool(spec) => {
+                let src = self.shape_of_at(l.inputs[0]);
+                let (oh, ow) = spec.out_spatial(src.height, src.width);
+                if l.ofm != TensorShape::new(src.channels, oh, ow) {
+                    return Err(mismatch("pool output shape inconsistent".into()));
+                }
+            }
+            LayerOp::Add => {
+                for &s in &l.inputs {
+                    let shape = self.shape_of_at(s);
+                    if shape != l.ifm {
+                        return Err(mismatch(format!(
+                            "add operand {shape} differs from {}",
+                            l.ifm
+                        )));
+                    }
+                }
+            }
+            LayerOp::Concat => {
+                let channels: u32 = l.inputs.iter().map(|&s| self.shape_of_at(s).channels).sum();
+                if channels != l.ofm.channels {
+                    return Err(mismatch("concat channel sum mismatch".into()));
+                }
+                for &s in &l.inputs {
+                    let shape = self.shape_of_at(s);
+                    if (shape.height, shape.width) != (l.ofm.height, l.ofm.width) {
+                        return Err(mismatch("concat spatial mismatch".into()));
+                    }
+                }
+            }
+            LayerOp::Mul => {
+                let main = self.shape_of_at(l.inputs[0]);
+                let gate = self.shape_of_at(l.inputs[1]);
+                if main != l.ifm || main != l.ofm {
+                    return Err(mismatch("mul output must match its main input".into()));
+                }
+                if gate.channels != main.channels {
+                    return Err(mismatch("mul gate channel mismatch".into()));
+                }
+                let gate_ok = (gate.height, gate.width) == (1, 1)
+                    || (gate.height, gate.width) == (main.height, main.width);
+                if !gate_ok {
+                    return Err(mismatch("mul gate must be 1x1 or same spatial".into()));
+                }
+            }
+            LayerOp::Dense { inputs, .. } => {
+                let src = self.shape_of_at(l.inputs[0]);
+                if src.elements() != inputs as u64 {
+                    return Err(mismatch(format!(
+                        "dense inputs {inputs} != source elements {}",
+                        src.elements()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn compute_last_consumers(layers: &[Layer]) -> Vec<Option<usize>> {
+    let mut last = vec![None; layers.len()];
+    for (i, l) in layers.iter().enumerate() {
+        for src in &l.inputs {
+            if let Src::Layer(id) = src {
+                last[id.0] = Some(i);
+            }
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Padding;
+
+    fn chain() -> ModelBuilder {
+        let mut b = ModelBuilder::new("chain", TensorShape::new(3, 32, 32));
+        b.conv("c1", ConvSpec::standard(3, 1, Padding::same(3, 3)), 8, 0);
+        b.conv("c2", ConvSpec::standard(3, 2, Padding::same(3, 3)), 16, 0);
+        b
+    }
+
+    #[test]
+    fn builder_chains_shapes() {
+        let m = chain().finish().unwrap();
+        assert_eq!(m.layers()[0].ifm, TensorShape::new(3, 32, 32));
+        assert_eq!(m.layers()[0].ofm, TensorShape::new(8, 32, 32));
+        assert_eq!(m.layers()[1].ofm, TensorShape::new(16, 16, 16));
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let b = ModelBuilder::new("empty", TensorShape::new(3, 8, 8));
+        assert_eq!(b.finish().unwrap_err(), CnnError::EmptyModel);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = ModelBuilder::new("dup", TensorShape::new(3, 8, 8));
+        b.conv("x", ConvSpec::pointwise(1), 4, 0);
+        b.conv("x", ConvSpec::pointwise(1), 4, 0);
+        assert!(matches!(b.finish(), Err(CnnError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn residual_extends_liveness() {
+        // x -> c1 -> c2 -> add(c2, c1's input source x=c0) pattern:
+        // c0 -> c1 -> c2, add(c2, c0); next conv consumes add.
+        let mut b = ModelBuilder::new("res", TensorShape::new(3, 16, 16));
+        let c0 = b.conv("c0", ConvSpec::pointwise(1), 8, 0);
+        let _c1 = b.conv("c1", ConvSpec::standard(3, 1, Padding::same(3, 3)), 8, 0);
+        let c2 = b.conv("c2", ConvSpec::pointwise(1), 8, 0);
+        let s = b.add("add", &[Src::Layer(c2), Src::Layer(c0)]);
+        let _c3 = b.conv_from("c3", ConvSpec::pointwise(1), 8, Src::Layer(s), 0);
+        let m = b.finish().unwrap();
+
+        // While c1 executes, c0's output must stay live for the add
+        // (c0 is also c1's direct input, so it is in the IFM term, not extra);
+        // while c2 executes, c0 is extra-live (not a direct input of c2).
+        let c1_id = LayerId(1);
+        let c2_id = LayerId(2);
+        assert_eq!(m.extra_live_elements(c1_id), 0); // c0 is direct input of c1
+        assert_eq!(m.extra_live_elements(c2_id), 8 * 16 * 16); // c0 held for add
+        // Working set of c2 = ifm + ofm + held copy.
+        assert_eq!(m.fm_working_set(c2_id), (8 + 8 + 8) * 16 * 16);
+    }
+
+    #[test]
+    fn concat_grows_channels() {
+        let mut b = ModelBuilder::new("cat", TensorShape::new(4, 8, 8));
+        let a = b.conv("a", ConvSpec::pointwise(1), 4, 0);
+        let c = b.conv("b", ConvSpec::pointwise(1), 6, 0);
+        let cat = b.concat("cat", &[Src::Layer(a), Src::Layer(c)]);
+        let m = b.finish().unwrap();
+        assert_eq!(m.layer(cat).ofm.channels, 10);
+    }
+
+    #[test]
+    fn add_shape_mismatch_rejected() {
+        let mut b = ModelBuilder::new("bad", TensorShape::new(3, 8, 8));
+        let a = b.conv("a", ConvSpec::pointwise(1), 4, 0);
+        let c = b.conv("b", ConvSpec::pointwise(1), 6, 0);
+        b.add("add", &[Src::Layer(a), Src::Layer(c)]);
+        assert!(matches!(b.finish(), Err(CnnError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn conv_view_indexes_convs_only() {
+        let mut b = chain();
+        b.pool("p", PoolSpec::max(2, 2, Padding::valid()));
+        b.conv("c3", ConvSpec::pointwise(1), 32, 0);
+        let m = b.finish().unwrap();
+        let view = m.conv_view();
+        assert_eq!(view.len(), 3);
+        assert_eq!(view[0].name, "c1");
+        assert_eq!(view[2].name, "c3");
+        assert_eq!(view[2].index, 2);
+        // The pool halves spatial dims feeding c3.
+        assert_eq!(view[2].ifm, TensorShape::new(16, 8, 8));
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let m = chain().finish().unwrap();
+        let s = m.stats();
+        assert_eq!(s.conv_layers, 2);
+        assert_eq!(s.conv_weights, 8 * 3 * 9 + 16 * 8 * 9);
+        assert_eq!(s.total_params, s.conv_weights);
+        assert!(s.conv_macs > 0);
+        assert!(s.max_fm_working_set > 0);
+    }
+
+    #[test]
+    fn dense_after_global_pool() {
+        let mut b = chain();
+        b.pool("gap", PoolSpec::global_avg());
+        b.dense("fc", 10, 10);
+        let m = b.finish().unwrap();
+        let fc = m.layers().last().unwrap();
+        assert_eq!(fc.weight_count(), 16 * 10);
+        assert_eq!(fc.param_count(), 16 * 10 + 10);
+    }
+}

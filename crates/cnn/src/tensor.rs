@@ -1,0 +1,95 @@
+//! Feature-map tensor shapes.
+
+use std::fmt;
+
+/// Shape of a feature map (one image, no batch dimension): `channels ×
+/// height × width`.
+///
+/// Feature maps (FMs) are the activations flowing between CNN layers; the
+/// paper calls a layer's input FMs `IFMs` and its output FMs `OFMs`
+/// (§II-A). All cost-model quantities that involve FM storage or movement
+/// are derived from these shapes.
+///
+/// # Examples
+///
+/// ```
+/// use mccm_cnn::TensorShape;
+///
+/// let ifm = TensorShape::new(64, 56, 56);
+/// assert_eq!(ifm.elements(), 64 * 56 * 56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorShape {
+    /// Number of channels (2-D slices).
+    pub channels: u32,
+    /// Rows per channel.
+    pub height: u32,
+    /// Columns per channel.
+    pub width: u32,
+}
+
+impl TensorShape {
+    /// Creates a shape from channel count and spatial dimensions.
+    pub const fn new(channels: u32, height: u32, width: u32) -> Self {
+        Self { channels, height, width }
+    }
+
+    /// Total number of elements in the tensor.
+    pub const fn elements(&self) -> u64 {
+        self.channels as u64 * self.height as u64 * self.width as u64
+    }
+
+    /// Elements in a single row across all channels (`channels × width`).
+    ///
+    /// This is the natural tile unit for row-granularity pipelining
+    /// (TGPA-style, see `mccm-arch`).
+    pub const fn row_elements(&self) -> u64 {
+        self.channels as u64 * self.width as u64
+    }
+
+    /// Returns a copy with a different channel count.
+    pub const fn with_channels(self, channels: u32) -> Self {
+        Self { channels, ..self }
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_multiplies_dims() {
+        assert_eq!(TensorShape::new(3, 224, 224).elements(), 3 * 224 * 224);
+        assert_eq!(TensorShape::new(1, 1, 1).elements(), 1);
+    }
+
+    #[test]
+    fn row_elements_spans_channels() {
+        assert_eq!(TensorShape::new(64, 56, 56).row_elements(), 64 * 56);
+    }
+
+    #[test]
+    fn with_channels_preserves_spatial() {
+        let s = TensorShape::new(3, 10, 12).with_channels(8);
+        assert_eq!(s, TensorShape::new(8, 10, 12));
+    }
+
+    #[test]
+    fn display_is_c_h_w() {
+        assert_eq!(TensorShape::new(64, 112, 112).to_string(), "64x112x112");
+    }
+
+    #[test]
+    fn elements_do_not_overflow_u32_sizes() {
+        // Largest realistic FM: channels and spatial dims near u32::MAX would
+        // overflow, but products are computed in u64.
+        let s = TensorShape::new(4096, 4096, 4096);
+        assert_eq!(s.elements(), 4096u64 * 4096 * 4096);
+    }
+}

@@ -1,0 +1,125 @@
+//! DenseNet-121 (Huang et al., CVPR 2017), Keras-applications layout.
+//!
+//! Pre-activation batch norms precede each convolution (4 parameters per
+//! *input* channel, attached to the convolution they feed); convolutions
+//! are bias-free. The final batch norm is attached to the global pooling
+//! layer. Total parameters reproduce Keras' 8,062,504.
+
+use crate::layer::{ConvSpec, Padding, PoolSpec, Src};
+use crate::model::{CnnModel, ModelBuilder};
+use crate::tensor::TensorShape;
+
+/// Growth rate: channels added by each dense layer.
+const GROWTH: u32 = 32;
+
+fn bn(channels: u32) -> u64 {
+    4 * channels as u64
+}
+
+/// One dense layer: BN-ReLU-1×1(4k) → BN-ReLU-3×3(k), output concatenated
+/// onto the running feature map.
+fn dense_layer(b: &mut ModelBuilder, name: &str, input: Src) -> Src {
+    let in_c = b.shape_of(input).channels;
+    let c1 = b.conv_from(
+        format!("{name}_1x1"),
+        ConvSpec::pointwise(1),
+        4 * GROWTH,
+        input,
+        bn(in_c),
+    );
+    let c2 = b.conv_from(
+        format!("{name}_3x3"),
+        ConvSpec::standard(3, 1, Padding::same(3, 3)),
+        GROWTH,
+        Src::Layer(c1),
+        bn(4 * GROWTH),
+    );
+    let cat = b.concat(format!("{name}_concat"), &[input, Src::Layer(c2)]);
+    Src::Layer(cat)
+}
+
+/// DenseNet-121: 120 convolution layers, 8.1 M parameters (Table III).
+pub fn densenet121() -> CnnModel {
+    let mut b = ModelBuilder::new("densenet121", TensorShape::new(3, 224, 224));
+    // Stem: conv-BN (post-activation for the stem only), maxpool.
+    b.conv("conv1", ConvSpec::standard(7, 2, Padding::new(3, 3)), 64, bn(64));
+    b.pool("pool1", PoolSpec::max(3, 2, Padding::new(1, 1)));
+    let mut x = b.last();
+
+    let blocks = [6usize, 12, 24, 16];
+    for (bi, &n) in blocks.iter().enumerate() {
+        for li in 0..n {
+            x = dense_layer(&mut b, &format!("dense{}_{}", bi + 1, li + 1), x);
+        }
+        if bi + 1 < blocks.len() {
+            // Transition: BN-ReLU-1×1 halving channels, then 2×2 avg pool.
+            let in_c = b.shape_of(x).channels;
+            let t = b.conv_from(
+                format!("transition{}", bi + 1),
+                ConvSpec::pointwise(1),
+                in_c / 2,
+                x,
+                bn(in_c),
+            );
+            let p = b.pool_from(
+                format!("transition{}_pool", bi + 1),
+                PoolSpec::avg(2, 2, Padding::valid()),
+                Src::Layer(t),
+            );
+            x = Src::Layer(p);
+        }
+    }
+
+    // Final BN is attached to the global pooling layer.
+    let final_c = b.shape_of(x).channels;
+    let gap = b.pool_from("avgpool", PoolSpec::global_avg(), x);
+    b.layer_extra_params(gap, bn(final_c));
+    b.dense("fc1000", 1000, 1000);
+    b.finish().expect("densenet construction is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densenet121_matches_keras() {
+        let m = densenet121();
+        assert_eq!(m.conv_layer_count(), 120);
+        assert_eq!(m.total_params(), 8_062_504);
+    }
+
+    #[test]
+    fn densenet121_channel_growth() {
+        let m = densenet121();
+        let convs = m.conv_view();
+        // Last conv of block 4 sees 1024 - 32 input channels on its 1x1.
+        let last = convs.last().unwrap();
+        assert_eq!(last.ofm.channels, GROWTH);
+        // Block boundaries: 64 + 6*32 = 256 -> 128; 128 + 12*32 = 512 -> 256;
+        // 256 + 24*32 = 1024 -> 512; 512 + 16*32 = 1024 final.
+        let t1 = convs.iter().find(|c| c.name == "transition1").unwrap();
+        assert_eq!(t1.ifm.channels, 256);
+        assert_eq!(t1.ofm.channels, 128);
+        let t3 = convs.iter().find(|c| c.name == "transition3").unwrap();
+        assert_eq!(t3.ifm.channels, 1024);
+        assert_eq!(t3.ofm.channels, 512);
+    }
+
+    #[test]
+    fn densenet121_concat_lifetimes_grow_working_sets() {
+        let m = densenet121();
+        // Mid-block dense layers must hold the running concat while
+        // computing: working set > ifm + ofm for the 3x3 convs.
+        let convs = m.conv_view();
+        let mid = convs.iter().find(|c| c.name == "dense2_6_3x3").unwrap();
+        assert!(mid.fm_working_set > mid.ifm.elements() + mid.ofm.elements());
+    }
+
+    #[test]
+    fn densenet121_macs_in_expected_range() {
+        // ~2.7-2.9 GMACs for 224x224 DenseNet-121.
+        let gmacs = densenet121().conv_macs() as f64 / 1e9;
+        assert!((2.2..3.2).contains(&gmacs), "got {gmacs} GMACs");
+    }
+}

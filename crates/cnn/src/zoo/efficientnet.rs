@@ -1,0 +1,157 @@
+//! EfficientNet-B0 (Tan & Le, ICML 2019), Keras-applications layout.
+//!
+//! The paper motivates generality by noting that MobileNetV2's MBConv
+//! block "is used in EfficientNet and MnasNet" (§V-A2); this constructor
+//! provides that workload, including the squeeze-and-excitation gates
+//! (modeled as 1×1 convolutions on the pooled tensor plus a broadcast
+//! multiply). Total parameters reproduce Keras' 5,330,571.
+
+use crate::layer::{ConvSpec, Padding, PoolSpec, Src};
+use crate::model::{CnnModel, ModelBuilder};
+use crate::tensor::TensorShape;
+
+fn bn(channels: u32) -> u64 {
+    4 * channels as u64
+}
+
+/// One MBConv block with squeeze-and-excitation.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: Src,
+    kernel: u32,
+    expand: u32,
+    out: u32,
+    stride: u32,
+    se_from: u32,
+) -> Src {
+    let in_c = b.shape_of(input).channels;
+    let mut x = input;
+    if expand != 1 {
+        let e = b.conv_from(
+            format!("{name}_expand"),
+            ConvSpec::pointwise(1),
+            in_c * expand,
+            x,
+            bn(in_c * expand),
+        );
+        x = Src::Layer(e);
+    }
+    let exp_c = b.shape_of(x).channels;
+    let d = b.conv_from(
+        format!("{name}_dw"),
+        ConvSpec::depthwise(kernel, stride, Padding::same(kernel, kernel)),
+        exp_c,
+        x,
+        bn(exp_c),
+    );
+
+    // Squeeze-and-excitation: GAP -> 1x1 reduce (biased) -> 1x1 expand
+    // (biased) -> broadcast multiply. The reduction width derives from the
+    // block's *input* channels (se_ratio = 0.25).
+    let se_c = (se_from / 4).max(1);
+    let gap = b.pool_from(format!("{name}_se_squeeze"), PoolSpec::global_avg(), Src::Layer(d));
+    let r = b.conv_from(
+        format!("{name}_se_reduce"),
+        ConvSpec::pointwise(1),
+        se_c,
+        Src::Layer(gap),
+        se_c as u64, // bias
+    );
+    let e = b.conv_from(
+        format!("{name}_se_expand"),
+        ConvSpec::pointwise(1),
+        exp_c,
+        Src::Layer(r),
+        exp_c as u64, // bias
+    );
+    let gated = b.mul(format!("{name}_se_excite"), Src::Layer(d), Src::Layer(e));
+
+    let p = b.conv_from(
+        format!("{name}_project"),
+        ConvSpec::pointwise(1),
+        out,
+        Src::Layer(gated),
+        bn(out),
+    );
+    if stride == 1 && in_c == out {
+        Src::Layer(b.add(format!("{name}_add"), &[Src::Layer(p), input]))
+    } else {
+        Src::Layer(p)
+    }
+}
+
+/// EfficientNet-B0: 81 convolution layers (squeeze-excite 1×1s included),
+/// 5.3 M parameters.
+pub fn efficientnet_b0() -> CnnModel {
+    let mut b = ModelBuilder::new("efficientnetb0", TensorShape::new(3, 224, 224));
+    b.conv("stem", ConvSpec::standard(3, 2, Padding::same(3, 3)), 32, bn(32));
+    let mut x = b.last();
+
+    // (kernel, repeats, out channels, expand, first stride).
+    let cfg: [(u32, usize, u32, u32, u32); 7] = [
+        (3, 1, 16, 1, 1),
+        (3, 2, 24, 6, 2),
+        (5, 2, 40, 6, 2),
+        (3, 3, 80, 6, 2),
+        (5, 3, 112, 6, 1),
+        (5, 4, 192, 6, 2),
+        (3, 1, 320, 6, 1),
+    ];
+    let mut idx = 0usize;
+    for &(k, reps, out, expand, s) in &cfg {
+        for rep in 0..reps {
+            idx += 1;
+            let stride = if rep == 0 { s } else { 1 };
+            let in_c = b.shape_of(x).channels;
+            x = mbconv(&mut b, &format!("block{idx}"), x, k, expand, out, stride, in_c);
+        }
+    }
+
+    b.conv_from("head", ConvSpec::pointwise(1), 1280, x, bn(1280));
+    b.pool("avgpool", PoolSpec::global_avg());
+    b.dense("fc1000", 1000, 1000);
+    b.finish().expect("efficientnet construction is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficientnet_b0_matches_keras() {
+        let m = efficientnet_b0();
+        // Keras reports 5,330,571 including the 7 statistics of its input
+        // Normalization layer; the network itself has 5,330,564.
+        assert_eq!(m.total_params(), 5_330_564);
+        assert_eq!(m.total_params() + 7, 5_330_571);
+    }
+
+    #[test]
+    fn efficientnet_b0_structure() {
+        let m = efficientnet_b0();
+        // stem + 16 blocks (first: 4 convs, rest: 5) + head.
+        assert_eq!(m.conv_layer_count(), 1 + 4 + 15 * 5 + 1);
+        let convs = m.conv_view();
+        let last = convs.last().unwrap();
+        assert_eq!((last.ofm.channels, last.ofm.height), (1280, 7));
+    }
+
+    #[test]
+    fn se_gates_resolve_producers() {
+        // The project conv consumes the multiply of the depthwise output
+        // and the SE expand conv: both must appear as producers.
+        let m = efficientnet_b0();
+        let convs = m.conv_view();
+        let proj = convs.iter().find(|c| c.name == "block2_project").unwrap();
+        assert!(proj.producers.len() >= 2, "{:?}", proj.producers);
+    }
+
+    #[test]
+    fn efficientnet_b0_macs_in_expected_range() {
+        // ~0.39 GMACs for 224x224 EfficientNet-B0.
+        let gmacs = efficientnet_b0().conv_macs() as f64 / 1e9;
+        assert!((0.3..0.5).contains(&gmacs), "got {gmacs}");
+    }
+}

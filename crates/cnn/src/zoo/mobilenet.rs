@@ -1,0 +1,127 @@
+//! MobileNetV2 (Sandler et al., CVPR 2018), Keras-applications layout.
+//!
+//! All convolutions are bias-free and followed by batch normalization
+//! (4 extra parameters per output channel); the classifier is a biased
+//! dense layer. Total parameters reproduce Keras' 3,538,984.
+
+use crate::layer::{ConvSpec, Padding, PoolSpec, Src};
+use crate::model::{CnnModel, ModelBuilder};
+use crate::tensor::TensorShape;
+
+fn bn(channels: u32) -> u64 {
+    4 * channels as u64
+}
+
+/// One inverted-residual (MBConv) block.
+///
+/// `t` is the expansion factor; when `t == 1` the expansion convolution is
+/// omitted (first block). A residual add applies when the block preserves
+/// shape (`stride == 1` and `in == out` channels).
+fn inverted_residual(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: Src,
+    t: u32,
+    out: u32,
+    stride: u32,
+) -> Src {
+    let in_c = b.shape_of(input).channels;
+    let mut x = input;
+    if t != 1 {
+        let e = b.conv_from(
+            format!("{name}_expand"),
+            ConvSpec::pointwise(1),
+            in_c * t,
+            x,
+            bn(in_c * t),
+        );
+        x = Src::Layer(e);
+    }
+    let dw_c = b.shape_of(x).channels;
+    let d = b.conv_from(
+        format!("{name}_dw"),
+        ConvSpec::depthwise(3, stride, Padding::same(3, 3)),
+        dw_c,
+        x,
+        bn(dw_c),
+    );
+    let p = b.conv_from(
+        format!("{name}_project"),
+        ConvSpec::pointwise(1),
+        out,
+        Src::Layer(d),
+        bn(out),
+    );
+    if stride == 1 && in_c == out {
+        let s = b.add(format!("{name}_add"), &[Src::Layer(p), input]);
+        Src::Layer(s)
+    } else {
+        Src::Layer(p)
+    }
+}
+
+/// MobileNetV2: 52 convolution layers, 3.5 M parameters (Table III).
+pub fn mobilenet_v2() -> CnnModel {
+    let mut b = ModelBuilder::new("mobilenetv2", TensorShape::new(3, 224, 224));
+    b.conv("conv1", ConvSpec::standard(3, 2, Padding::same(3, 3)), 32, bn(32));
+    let mut x = b.last();
+
+    // (expansion t, output channels c, repeats n, first stride s).
+    let cfg: [(u32, u32, usize, u32); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut idx = 0;
+    for &(t, c, n, s) in &cfg {
+        for rep in 0..n {
+            idx += 1;
+            let stride = if rep == 0 { s } else { 1 };
+            x = inverted_residual(&mut b, &format!("block{idx}"), x, t, c, stride);
+        }
+    }
+
+    b.conv_from("conv_last", ConvSpec::pointwise(1), 1280, x, bn(1280));
+    b.pool("avgpool", PoolSpec::global_avg());
+    b.dense("fc1000", 1000, 1000);
+    b.finish().expect("mobilenetv2 construction is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_v2_matches_keras() {
+        let m = mobilenet_v2();
+        assert_eq!(m.conv_layer_count(), 52);
+        assert_eq!(m.total_params(), 3_538_984);
+    }
+
+    #[test]
+    fn mobilenet_v2_shapes() {
+        let m = mobilenet_v2();
+        let convs = m.conv_view();
+        assert_eq!((convs[0].ofm.height, convs[0].ofm.width), (112, 112));
+        let last = convs.last().unwrap();
+        assert_eq!((last.ofm.channels, last.ofm.height, last.ofm.width), (1280, 7, 7));
+    }
+
+    #[test]
+    fn mobilenet_v2_has_depthwise_layers() {
+        let m = mobilenet_v2();
+        let dw = m.conv_view().iter().filter(|c| c.spec.depthwise).count();
+        assert_eq!(dw, 17); // one per inverted-residual block
+    }
+
+    #[test]
+    fn mobilenet_v2_macs_in_expected_range() {
+        // ~0.3 GMACs for 224x224 MobileNetV2.
+        let gmacs = mobilenet_v2().conv_macs() as f64 / 1e9;
+        assert!((0.25..0.40).contains(&gmacs), "got {gmacs} GMACs");
+    }
+}

@@ -1,0 +1,103 @@
+//! Ready-made CNN models: the five workloads of the paper's evaluation
+//! (Table III), re-derived layer by layer and verified against the Keras
+//! reference parameter counts.
+
+mod densenet;
+mod efficientnet;
+mod mobilenet;
+mod resnet;
+mod vgg;
+mod xception;
+
+pub use densenet::densenet121;
+pub use efficientnet::efficientnet_b0;
+pub use mobilenet::mobilenet_v2;
+pub use resnet::{resnet152, resnet50};
+pub use vgg::vgg16;
+pub use xception::xception;
+
+use crate::model::CnnModel;
+
+/// The paper's abbreviation for each evaluated CNN (Table III).
+pub fn abbreviation(model_name: &str) -> &'static str {
+    match model_name {
+        "resnet152" => "Res152",
+        "resnet50" => "Res50",
+        "xception" => "XCp",
+        "densenet121" => "Dns121",
+        "mobilenetv2" => "MobV2",
+        "vgg16" => "VGG16",
+        "efficientnetb0" => "EffB0",
+        _ => "?",
+    }
+}
+
+/// All five evaluation CNNs in Table III order (Res152, Res50, XCp, Dns121,
+/// MobV2).
+pub fn all_models() -> Vec<CnnModel> {
+    vec![resnet152(), resnet50(), xception(), densenet121(), mobilenet_v2()]
+}
+
+/// Additional workloads beyond Table III: the classic weights-heavy VGG-16
+/// and the MBConv-based EfficientNet-B0 the paper names as sharing
+/// MobileNetV2's core block (§V-A2).
+pub fn extended_models() -> Vec<CnnModel> {
+    vec![vgg16(), efficientnet_b0()]
+}
+
+/// Looks up a model constructor by name or abbreviation.
+pub fn by_name(name: &str) -> Option<CnnModel> {
+    match name {
+        "resnet50" | "Res50" => Some(resnet50()),
+        "resnet152" | "Res152" => Some(resnet152()),
+        "xception" | "XCp" => Some(xception()),
+        "densenet121" | "Dns121" => Some(densenet121()),
+        "mobilenetv2" | "MobV2" => Some(mobilenet_v2()),
+        "vgg16" | "VGG16" => Some(vgg16()),
+        "efficientnetb0" | "EffB0" => Some(efficientnet_b0()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table III of the paper: weights (M) and conv layer counts.
+    #[test]
+    fn table_iii_reproduced() {
+        let expect = [
+            ("resnet152", 60.4, 155),
+            ("resnet50", 25.6, 53),
+            ("xception", 22.9, 74),
+            ("densenet121", 8.1, 120),
+            ("mobilenetv2", 3.5, 52),
+        ];
+        for (model, (name, weights_m, convs)) in all_models().iter().zip(expect) {
+            assert_eq!(model.name(), name);
+            assert_eq!(model.conv_layer_count(), convs, "{name}");
+            let m = model.total_params() as f64 / 1e6;
+            assert!(
+                (m - weights_m).abs() < 0.05,
+                "{name}: expected {weights_m} M params, got {m:.3} M"
+            );
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        for model in all_models() {
+            assert_ne!(abbreviation(model.name()), "?");
+        }
+        assert_eq!(abbreviation("resnet50"), "Res50");
+        assert_eq!(abbreviation("unknown"), "?");
+    }
+
+    #[test]
+    fn by_name_accepts_both_forms() {
+        assert_eq!(by_name("Res50").unwrap().name(), "resnet50");
+        assert_eq!(by_name("xception").unwrap().name(), "xception");
+        assert_eq!(by_name("vgg16").unwrap().name(), "vgg16");
+        assert!(by_name("alexnet").is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! ResNet-50 / ResNet-152 (He et al., CVPR 2016), Keras-applications layout.
+//!
+//! Convolutions carry a bias and are followed by batch normalization
+//! (Keras `use_bias=True` + BN: 5 extra parameters per output channel),
+//! reproducing the Keras totals of 25,636,712 (ResNet-50) and 60,419,944
+//! (ResNet-152) parameters. Downsampling blocks stride on the first 1×1
+//! convolution and the projection shortcut (Keras v1 placement).
+
+use crate::layer::{ConvSpec, Padding, PoolSpec, Src};
+use crate::model::{CnnModel, ModelBuilder};
+use crate::tensor::TensorShape;
+
+/// Bias + batch-norm parameters per convolution output channel.
+const EXTRA_PER_CHANNEL: u64 = 5;
+
+fn extra(channels: u32) -> u64 {
+    EXTRA_PER_CHANNEL * channels as u64
+}
+
+/// A bottleneck residual block: 1×1 → 3×3 → 1×1 with optional projection
+/// shortcut. Returns the source representing the block output (the add).
+fn bottleneck(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: Src,
+    mid: u32,
+    out: u32,
+    stride: u32,
+    project: bool,
+) -> Src {
+    let c1 = b.conv_from(
+        format!("{name}_1x1a"),
+        ConvSpec::pointwise(stride),
+        mid,
+        input,
+        extra(mid),
+    );
+    let c2 = b.conv_from(
+        format!("{name}_3x3"),
+        ConvSpec::standard(3, 1, Padding::same(3, 3)),
+        mid,
+        Src::Layer(c1),
+        extra(mid),
+    );
+    let c3 = b.conv_from(
+        format!("{name}_1x1b"),
+        ConvSpec::pointwise(1),
+        out,
+        Src::Layer(c2),
+        extra(out),
+    );
+    let shortcut = if project {
+        let p = b.conv_from(
+            format!("{name}_proj"),
+            ConvSpec::pointwise(stride),
+            out,
+            input,
+            extra(out),
+        );
+        Src::Layer(p)
+    } else {
+        input
+    };
+    let s = b.add(format!("{name}_add"), &[Src::Layer(c3), shortcut]);
+    Src::Layer(s)
+}
+
+/// Builds a bottleneck ResNet with the given per-stage block counts.
+fn resnet(name: &str, blocks: [usize; 4]) -> CnnModel {
+    let mut b = ModelBuilder::new(name, TensorShape::new(3, 224, 224));
+    b.conv("conv1", ConvSpec::standard(7, 2, Padding::new(3, 3)), 64, extra(64));
+    b.pool("pool1", PoolSpec::max(3, 2, Padding::new(1, 1)));
+    let mut x = b.last();
+
+    let mids = [64u32, 128, 256, 512];
+    for (stage, (&n, &mid)) in blocks.iter().zip(mids.iter()).enumerate() {
+        let out = mid * 4;
+        for block in 0..n {
+            // First block of each stage projects; stages 3..5 downsample.
+            let (stride, project) = if block == 0 {
+                (if stage == 0 { 1 } else { 2 }, true)
+            } else {
+                (1, false)
+            };
+            x = bottleneck(
+                &mut b,
+                &format!("conv{}_{}", stage + 2, block + 1),
+                x,
+                mid,
+                out,
+                stride,
+                project,
+            );
+        }
+    }
+
+    b.pool("avgpool", PoolSpec::global_avg());
+    b.dense("fc1000", 1000, 1000);
+    b.finish().expect("resnet construction is internally consistent")
+}
+
+/// ResNet-50: 53 convolution layers, 25.6 M parameters (Table III).
+pub fn resnet50() -> CnnModel {
+    resnet("resnet50", [3, 4, 6, 3])
+}
+
+/// ResNet-152: 155 convolution layers, 60.4 M parameters (Table III).
+pub fn resnet152() -> CnnModel {
+    resnet("resnet152", [3, 8, 36, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_matches_keras() {
+        let m = resnet50();
+        assert_eq!(m.conv_layer_count(), 53);
+        assert_eq!(m.conv_weights(), 23_454_912);
+        assert_eq!(m.total_params(), 25_636_712);
+    }
+
+    #[test]
+    fn resnet152_matches_keras() {
+        let m = resnet152();
+        assert_eq!(m.conv_layer_count(), 155);
+        assert_eq!(m.total_params(), 60_419_944);
+    }
+
+    #[test]
+    fn resnet50_stage_shapes() {
+        let m = resnet50();
+        let convs = m.conv_view();
+        // Stem downsamples to 112, maxpool to 56; stages end at 56/28/14/7.
+        assert_eq!((convs[0].ofm.height, convs[0].ofm.width), (112, 112));
+        let last = convs.last().unwrap();
+        assert_eq!((last.ofm.channels, last.ofm.height, last.ofm.width), (2048, 7, 7));
+    }
+
+    #[test]
+    fn resnet50_macs_in_expected_range() {
+        // ~3.8 GMACs for 224x224 ResNet-50 (v1 strides place the 3x3 of
+        // downsampling blocks on the reduced resolution).
+        let gmacs = resnet50().conv_macs() as f64 / 1e9;
+        assert!((3.0..4.5).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn resnet50_residual_working_sets() {
+        let m = resnet50();
+        // Inside every non-first bottleneck, the block input is held for the
+        // add: some conv must have a non-zero extra-live term.
+        let any_extra = m
+            .conv_view()
+            .iter()
+            .any(|c| c.fm_working_set > c.ifm.elements() + c.ofm.elements());
+        assert!(any_extra);
+    }
+}

@@ -1,0 +1,60 @@
+//! VGG-16 (Simonyan & Zisserman, ICLR 2015), Keras-applications layout.
+//!
+//! A plain convolutional chain — no batch norm, biased convolutions and
+//! dense layers — reproducing Keras' 138,357,544 parameters. Included
+//! beyond the paper's Table III as the classic weights-heavy workload:
+//! its 528 MB of fp32 weights (132 MB at 8-bit) stress the weight-traffic
+//! paths of every architecture.
+
+use crate::layer::{ConvSpec, Padding, PoolSpec};
+use crate::model::{CnnModel, ModelBuilder};
+use crate::tensor::TensorShape;
+
+/// VGG-16: 13 convolution layers, 138.4 M parameters.
+pub fn vgg16() -> CnnModel {
+    let mut b = ModelBuilder::new("vgg16", TensorShape::new(3, 224, 224));
+    let stages: [(usize, u32); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (si, &(convs, channels)) in stages.iter().enumerate() {
+        for ci in 0..convs {
+            b.conv(
+                format!("block{}_conv{}", si + 1, ci + 1),
+                ConvSpec::standard(3, 1, Padding::same(3, 3)),
+                channels,
+                channels as u64, // bias
+            );
+        }
+        b.pool(format!("block{}_pool", si + 1), PoolSpec::max(2, 2, Padding::valid()));
+    }
+    b.dense("fc1", 4096, 4096);
+    b.dense("fc2", 4096, 4096);
+    b.dense("fc1000", 1000, 1000);
+    b.finish().expect("vgg16 construction is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_matches_keras() {
+        let m = vgg16();
+        assert_eq!(m.conv_layer_count(), 13);
+        assert_eq!(m.total_params(), 138_357_544);
+    }
+
+    #[test]
+    fn vgg16_shapes() {
+        let m = vgg16();
+        let convs = m.conv_view();
+        assert_eq!(convs[0].ofm, TensorShape::new(64, 224, 224));
+        let last = convs.last().unwrap();
+        assert_eq!(last.ofm, TensorShape::new(512, 14, 14));
+    }
+
+    #[test]
+    fn vgg16_macs_in_expected_range() {
+        // ~15.3 GMACs for 224x224 VGG-16 convolutions.
+        let gmacs = vgg16().conv_macs() as f64 / 1e9;
+        assert!((14.0..17.0).contains(&gmacs), "got {gmacs}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Xception (Chollet, CVPR 2017), Keras-applications layout.
+//!
+//! Separable convolutions are modeled as an explicit depthwise layer
+//! followed by a pointwise layer (the paper counts them separately:
+//! 74 convolution layers in total). Batch normalization follows each
+//! pointwise/standard convolution (4 parameters per output channel);
+//! convolutions are bias-free. Total parameters reproduce Keras'
+//! 22,910,480.
+
+use crate::layer::{ConvSpec, Padding, PoolSpec, Src};
+use crate::model::{CnnModel, ModelBuilder};
+use crate::tensor::TensorShape;
+
+fn bn(channels: u32) -> u64 {
+    4 * channels as u64
+}
+
+/// Separable convolution: depthwise 3×3 (SAME) + pointwise, with batch norm
+/// on the pointwise output only (as in Keras `SeparableConv2D` + BN).
+fn sepconv(b: &mut ModelBuilder, name: &str, input: Src, out: u32) -> Src {
+    let in_c = b.shape_of(input).channels;
+    let d = b.conv_from(
+        format!("{name}_dw"),
+        ConvSpec::depthwise(3, 1, Padding::same(3, 3)),
+        in_c,
+        input,
+        0,
+    );
+    let p = b.conv_from(format!("{name}_pw"), ConvSpec::pointwise(1), out, Src::Layer(d), bn(out));
+    Src::Layer(p)
+}
+
+/// Entry/exit module: two separable convolutions, a strided max pool, and a
+/// strided 1×1 projection shortcut.
+fn downsample_module(b: &mut ModelBuilder, name: &str, input: Src, c1: u32, c2: u32) -> Src {
+    let s1 = sepconv(b, &format!("{name}_sep1"), input, c1);
+    let s2 = sepconv(b, &format!("{name}_sep2"), s1, c2);
+    let pooled = b.pool_from(
+        format!("{name}_pool"),
+        PoolSpec::max(3, 2, Padding::same(3, 3)),
+        s2,
+    );
+    let res = b.conv_from(format!("{name}_res"), ConvSpec::pointwise(2), c2, input, bn(c2));
+    let add = b.add(format!("{name}_add"), &[Src::Layer(pooled), Src::Layer(res)]);
+    Src::Layer(add)
+}
+
+/// Xception: 74 convolution layers, 22.9 M parameters (Table III).
+/// Input resolution is 299×299.
+pub fn xception() -> CnnModel {
+    let mut b = ModelBuilder::new("xception", TensorShape::new(3, 299, 299));
+    // Entry stem: two VALID convolutions.
+    b.conv("block1_conv1", ConvSpec::standard(3, 2, Padding::valid()), 32, bn(32));
+    b.conv("block1_conv2", ConvSpec::standard(3, 1, Padding::valid()), 64, bn(64));
+    let mut x = b.last();
+
+    // Entry flow downsampling modules.
+    x = downsample_module(&mut b, "block2", x, 128, 128);
+    x = downsample_module(&mut b, "block3", x, 256, 256);
+    x = downsample_module(&mut b, "block4", x, 728, 728);
+
+    // Middle flow: eight residual modules of three separable convolutions.
+    for m in 0..8 {
+        let name = format!("block{}", m + 5);
+        let s1 = sepconv(&mut b, &format!("{name}_sep1"), x, 728);
+        let s2 = sepconv(&mut b, &format!("{name}_sep2"), s1, 728);
+        let s3 = sepconv(&mut b, &format!("{name}_sep3"), s2, 728);
+        let add = b.add(format!("{name}_add"), &[s3, x]);
+        x = Src::Layer(add);
+    }
+
+    // Exit flow.
+    let s1 = sepconv(&mut b, "block13_sep1", x, 728);
+    let s2 = sepconv(&mut b, "block13_sep2", s1, 1024);
+    let pooled =
+        b.pool_from("block13_pool", PoolSpec::max(3, 2, Padding::same(3, 3)), s2);
+    let res = b.conv_from("block13_res", ConvSpec::pointwise(2), 1024, x, bn(1024));
+    let add = b.add("block13_add", &[Src::Layer(pooled), Src::Layer(res)]);
+    let s1 = sepconv(&mut b, "block14_sep1", Src::Layer(add), 1536);
+    let s2 = sepconv(&mut b, "block14_sep2", s1, 2048);
+    b.pool_from("avgpool", PoolSpec::global_avg(), s2);
+    b.dense("fc1000", 1000, 1000);
+    b.finish().expect("xception construction is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xception_matches_keras() {
+        let m = xception();
+        assert_eq!(m.conv_layer_count(), 74);
+        assert_eq!(m.total_params(), 22_910_480);
+    }
+
+    #[test]
+    fn xception_spatial_progression() {
+        let m = xception();
+        let convs = m.conv_view();
+        // 299 -> 149 (stem s2 valid) -> 147 (valid) -> 74 -> 37 -> 19 -> 10.
+        assert_eq!(convs[0].ofm.height, 149);
+        assert_eq!(convs[1].ofm.height, 147);
+        let b2res = convs.iter().find(|c| c.name == "block2_res").unwrap();
+        assert_eq!(b2res.ofm.height, 74);
+        let b4res = convs.iter().find(|c| c.name == "block4_res").unwrap();
+        assert_eq!(b4res.ofm.height, 19);
+        let last = convs.last().unwrap();
+        assert_eq!((last.ofm.channels, last.ofm.height), (2048, 10));
+    }
+
+    #[test]
+    fn xception_mixes_conv_types() {
+        let m = xception();
+        let convs = m.conv_view();
+        let dw = convs.iter().filter(|c| c.spec.depthwise).count();
+        let pw = convs
+            .iter()
+            .filter(|c| !c.spec.depthwise && c.spec.kernel == (1, 1))
+            .count();
+        let std3 = convs
+            .iter()
+            .filter(|c| !c.spec.depthwise && c.spec.kernel == (3, 3))
+            .count();
+        assert_eq!(dw, 34); // 34 separable convolutions
+        assert_eq!(pw, 34 + 4); // their pointwise halves + 4 residual 1x1s
+        assert_eq!(std3, 2); // the stem
+        assert_eq!(dw + pw + std3, 74);
+    }
+
+    #[test]
+    fn xception_macs_in_expected_range() {
+        // ~8.4 GMACs for 299x299 Xception.
+        let gmacs = xception().conv_macs() as f64 / 1e9;
+        assert!((7.5..9.0).contains(&gmacs), "got {gmacs} GMACs");
+    }
+}

@@ -1,0 +1,116 @@
+//! Model-accuracy bookkeeping against a reference evaluator (Eq. 10).
+//!
+//! The paper validates MCCM against Vitis HLS synthesis; this reproduction
+//! validates against the event-driven simulator in `mccm-sim`. The
+//! accuracy definition is identical:
+//!
+//! ```text
+//! Accuracy = 100 × (1 − |reference − estimated| / reference) %
+//! ```
+
+use crate::metrics::Metric;
+
+/// Eq. (10): percentage accuracy of an estimate against a reference.
+///
+/// Values below 0 (estimates off by more than 2×) are clamped to 0 so that
+/// aggregates stay meaningful.
+pub fn accuracy_pct(reference: f64, estimated: f64) -> f64 {
+    if reference == 0.0 {
+        return if estimated == 0.0 { 100.0 } else { 0.0 };
+    }
+    (100.0 * (1.0 - ((reference - estimated) / reference).abs())).max(0.0)
+}
+
+/// One validation record: a metric estimated by the model and measured by
+/// the reference evaluator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyRecord {
+    /// Which metric.
+    pub metric: Metric,
+    /// Reference (simulator) value.
+    pub reference: f64,
+    /// Model estimate.
+    pub estimated: f64,
+}
+
+impl AccuracyRecord {
+    /// Eq. (10) accuracy of this record.
+    pub fn accuracy(&self) -> f64 {
+        accuracy_pct(self.reference, self.estimated)
+    }
+}
+
+/// Max/min/average aggregation of accuracies (Table IV's columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracySummary {
+    /// Highest accuracy in the set.
+    pub max: f64,
+    /// Lowest accuracy in the set.
+    pub min: f64,
+    /// Mean accuracy.
+    pub average: f64,
+    /// Number of records aggregated.
+    pub count: usize,
+}
+
+impl AccuracySummary {
+    /// Aggregates an iterator of accuracy percentages.
+    pub fn from_accuracies(values: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let mut max = f64::MIN;
+        let mut min = f64::MAX;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for v in values {
+            max = max.max(v);
+            min = min.min(v);
+            sum += v;
+            count += 1;
+        }
+        (count > 0).then(|| Self { max, min, average: sum / count as f64, count })
+    }
+
+    /// Aggregates records.
+    pub fn from_records<'a>(
+        records: impl IntoIterator<Item = &'a AccuracyRecord>,
+    ) -> Option<Self> {
+        Self::from_accuracies(records.into_iter().map(AccuracyRecord::accuracy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_10_examples() {
+        assert!((accuracy_pct(100.0, 100.0) - 100.0).abs() < 1e-12);
+        assert!((accuracy_pct(100.0, 90.0) - 90.0).abs() < 1e-12);
+        assert!((accuracy_pct(100.0, 110.0) - 90.0).abs() < 1e-12);
+        assert!((accuracy_pct(100.0, 300.0) - 0.0).abs() < 1e-12); // clamped
+    }
+
+    #[test]
+    fn zero_reference() {
+        assert_eq!(accuracy_pct(0.0, 0.0), 100.0);
+        assert_eq!(accuracy_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let records = [
+            AccuracyRecord { metric: Metric::Latency, reference: 10.0, estimated: 9.0 },
+            AccuracyRecord { metric: Metric::Latency, reference: 10.0, estimated: 10.0 },
+            AccuracyRecord { metric: Metric::Latency, reference: 10.0, estimated: 8.0 },
+        ];
+        let s = AccuracySummary::from_records(records.iter()).unwrap();
+        assert!((s.max - 100.0).abs() < 1e-12);
+        assert!((s.min - 80.0).abs() < 1e-12);
+        assert!((s.average - 90.0).abs() < 1e-12);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        assert!(AccuracySummary::from_accuracies(std::iter::empty()).is_none());
+    }
+}

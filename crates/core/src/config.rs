@@ -1,0 +1,87 @@
+//! Cost-model configuration: evaluation-mode switches used by the
+//! ablation studies, plus batch-latency semantics.
+
+/// How pipelined-CEs block latency (Eq. 2) is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineLatencyMode {
+    /// Asynchronous critical path of the row-dependency graph (default;
+    /// matches FIFO-connected dataflow hardware — see DESIGN.md §2).
+    #[default]
+    CriticalPath,
+    /// Literal lockstep stage sum: every stage waits for the slowest
+    /// active engine. Kept for the ablation of this design choice; it
+    /// over-serializes unbalanced rounds.
+    LockstepStages,
+}
+
+/// Tunable evaluation parameters.
+///
+/// The defaults reproduce the paper's methodology; the alternatives feed
+/// the ablation benches (`cargo run -p mccm-bench --bin ablation`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Pipelined-block latency evaluation mode.
+    pub pipeline_latency: PipelineLatencyMode,
+    /// Effective fraction of the board's off-chip bandwidth actually
+    /// usable (DDR efficiency). 1.0 = nominal.
+    pub bandwidth_derate: f64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self { pipeline_latency: PipelineLatencyMode::default(), bandwidth_derate: 1.0 }
+    }
+}
+
+impl ModelConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Switches the pipelined-latency mode.
+    #[must_use]
+    pub fn with_pipeline_latency(mut self, mode: PipelineLatencyMode) -> Self {
+        self.pipeline_latency = mode;
+        self
+    }
+
+    /// Derates the off-chip bandwidth (0 < derate ≤ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `derate` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_bandwidth_derate(mut self, derate: f64) -> Self {
+        assert!(derate > 0.0 && derate <= 1.0, "derate must be in (0, 1], got {derate}");
+        self.bandwidth_derate = derate;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = ModelConfig::default();
+        assert_eq!(c.pipeline_latency, PipelineLatencyMode::CriticalPath);
+        assert_eq!(c.bandwidth_derate, 1.0);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = ModelConfig::new()
+            .with_pipeline_latency(PipelineLatencyMode::LockstepStages)
+            .with_bandwidth_derate(0.7);
+        assert_eq!(c.pipeline_latency, PipelineLatencyMode::LockstepStages);
+        assert!((c.bandwidth_derate - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "derate")]
+    fn zero_derate_rejected() {
+        let _ = ModelConfig::new().with_bandwidth_derate(0.0);
+    }
+}

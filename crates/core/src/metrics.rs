@@ -1,0 +1,145 @@
+//! The four evaluation metrics and their comparison semantics, including
+//! Table V's 10%-tie rule.
+
+use std::fmt;
+
+use crate::report::Evaluation;
+
+/// A paper metric (Table I / Table V rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// End-to-end single-input latency (lower is better).
+    Latency,
+    /// Steady-state throughput (higher is better).
+    Throughput,
+    /// On-chip buffer requirement (lower is better).
+    OnChipBuffers,
+    /// Off-chip accesses per inference (lower is better).
+    OffChipAccesses,
+}
+
+impl Metric {
+    /// All four metrics in the paper's row order (Table V).
+    pub const ALL: [Self; 4] =
+        [Self::Latency, Self::Throughput, Self::OffChipAccesses, Self::OnChipBuffers];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Latency => "Latency",
+            Self::Throughput => "Throughput",
+            Self::OnChipBuffers => "Buffers",
+            Self::OffChipAccesses => "Access",
+        }
+    }
+
+    /// Raw metric value from an evaluation.
+    pub fn value(&self, e: &Evaluation) -> f64 {
+        match self {
+            Self::Latency => e.latency_s,
+            Self::Throughput => e.throughput_fps,
+            Self::OnChipBuffers => e.buffer_req_bytes as f64,
+            Self::OffChipAccesses => e.offchip_bytes as f64,
+        }
+    }
+
+    /// Whether higher values are better.
+    pub fn higher_is_better(&self) -> bool {
+        matches!(self, Self::Throughput)
+    }
+
+    /// Whether `a` is strictly better than `b`.
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        if self.higher_is_better() {
+            a > b
+        } else {
+            a < b
+        }
+    }
+
+    /// Index of the best value in `values` (first on exact ties).
+    pub fn best_index(&self, values: &[f64]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, &v) in values.iter().enumerate() {
+            match best {
+                None => best = Some(i),
+                Some(b) if self.better(v, values[b]) => best = Some(i),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Whether `value` ties the best within `frac` relative difference —
+    /// the paper treats results within 10% as a tie "to account for
+    /// estimation errors" (Table V).
+    pub fn within_tie(&self, value: f64, best: f64, frac: f64) -> bool {
+        if best == 0.0 {
+            return value == 0.0;
+        }
+        ((value - best) / best).abs() <= frac + 1e-9
+    }
+
+    /// Normalizes `values` to the best one (Table I's presentation): the
+    /// best becomes 1.0, others ≥ 1.0 (or ≤ 1.0 for throughput).
+    pub fn normalize_to_best(&self, values: &[f64]) -> Vec<f64> {
+        match self.best_index(values) {
+            Some(b) if values[b] != 0.0 => {
+                values.iter().map(|&v| v / values[b]).collect()
+            }
+            _ => values.to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_per_metric() {
+        assert!(Metric::Latency.better(1.0, 2.0));
+        assert!(Metric::Throughput.better(2.0, 1.0));
+        assert!(Metric::OnChipBuffers.better(1.0, 2.0));
+        assert!(Metric::OffChipAccesses.better(1.0, 2.0));
+    }
+
+    #[test]
+    fn best_index_finds_extremum() {
+        assert_eq!(Metric::Latency.best_index(&[3.0, 1.0, 2.0]), Some(1));
+        assert_eq!(Metric::Throughput.best_index(&[3.0, 1.0, 2.0]), Some(0));
+        assert_eq!(Metric::Latency.best_index(&[]), None);
+        // First wins exact ties.
+        assert_eq!(Metric::Latency.best_index(&[1.0, 1.0]), Some(0));
+    }
+
+    #[test]
+    fn ten_percent_tie_rule() {
+        let m = Metric::Latency;
+        assert!(m.within_tie(1.05, 1.0, 0.10));
+        assert!(m.within_tie(1.10, 1.0, 0.10));
+        assert!(!m.within_tie(1.11, 1.0, 0.10));
+        let t = Metric::Throughput;
+        assert!(t.within_tie(0.95, 1.0, 0.10));
+        assert!(!t.within_tie(0.85, 1.0, 0.10));
+    }
+
+    #[test]
+    fn normalization_like_table_i() {
+        let v = Metric::OffChipAccesses.normalize_to_best(&[179.0, 199.0, 100.0]);
+        assert!((v[2] - 1.0).abs() < 1e-12);
+        assert!((v[0] - 1.79).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(Metric::OnChipBuffers.to_string(), "Buffers");
+        assert_eq!(Metric::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,449 @@
+//! MCCM: bottom-up composition of the block models into full-accelerator
+//! estimates (§IV-B).
+//!
+//! Per segment, the single-CE or pipelined-CEs block model produces a time
+//! contribution and traffic; segments compose as follows:
+//!
+//! * **Latency** = Σ segment times (handoff loads/stores are already
+//!   charged inside the boundary segments' layer/stage models).
+//! * **Throughput** with coarse (whole-image) pipelining = 1 / the largest
+//!   *block occupancy*: a block's occupancy is the sum of its segments'
+//!   times, except a single-round pipelined block whose occupancy is its
+//!   bottleneck CE's busy time (Eq. 3) — consecutive images overlap inside
+//!   the pipeline. Without coarse pipelining, throughput = 1 / latency.
+//! * **Buffers** (requirement, Eqs. 4/5/8) = Σ per-CE ideals + distinct-
+//!   block handoff buffers; round-robin handoffs stream off-chip by design
+//!   and add no requirement.
+//! * **Accesses** = Σ segment traffic (Eqs. 6/7/9), including the model
+//!   input load and output store.
+
+pub(crate) mod pipeline;
+pub(crate) mod single_ce;
+
+use std::collections::HashMap;
+
+use mccm_arch::{BuiltAccelerator, CeRole, Executor};
+
+use crate::config::ModelConfig;
+use crate::report::{CeReport, Evaluation, SegmentReport};
+use pipeline::eval_pipelined_round;
+use single_ce::{eval_single_ce, BlockOutcome};
+
+/// The analytical cost model. Stateless: all inputs live in the
+/// [`BuiltAccelerator`].
+///
+/// # Examples
+///
+/// ```
+/// use mccm_arch::{templates, MultipleCeBuilder};
+/// use mccm_cnn::zoo;
+/// use mccm_core::CostModel;
+/// use mccm_fpga::FpgaBoard;
+///
+/// # fn main() -> Result<(), mccm_arch::ArchError> {
+/// let model = zoo::resnet50();
+/// let board = FpgaBoard::zc706();
+/// let builder = MultipleCeBuilder::new(&model, &board);
+/// let acc = builder.build(&templates::segmented(&model, 4)?)?;
+/// let eval = CostModel::evaluate(&acc);
+/// assert!(eval.throughput_fps > 0.0);
+/// assert!(eval.latency_s > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Evaluates a built accelerator: latency, throughput, buffer
+    /// requirement, off-chip accesses, and fine-grained breakdowns.
+    pub fn evaluate(acc: &BuiltAccelerator) -> Evaluation {
+        Self::evaluate_with(acc, &ModelConfig::default())
+    }
+
+    /// Evaluates under a non-default configuration (ablation modes,
+    /// bandwidth derating).
+    pub fn evaluate_with(acc: &BuiltAccelerator, config: &ModelConfig) -> Evaluation {
+        let cyc = acc.board.cycle_time_s();
+        let bpc = acc.board.bytes_per_cycle() * config.bandwidth_derate;
+        let n_segments = acc.segments.len();
+
+        let mut seg_reports = Vec::with_capacity(n_segments);
+        let mut layers = Vec::with_capacity(acc.convs.len());
+        let mut busy_cycles: Vec<u64> = vec![0; acc.ces.len()];
+        let mut ce_macs: Vec<u64> = vec![0; acc.ces.len()];
+        let mut latency_cycles = 0u64;
+        let mut compute_cycles_total = 0u64;
+        let mut total_w = 0u64;
+        let mut total_fm = 0u64;
+
+        // Block occupancy for coarse-pipelined throughput: keyed by the
+        // executor's CE set.
+        let mut occupancy: HashMap<Vec<usize>, u64> = HashMap::new();
+        let mut block_segments: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut block_max_busy: HashMap<Vec<usize>, u64> = HashMap::new();
+
+        for seg in &acc.segments {
+            let input_off = seg.index == 0
+                || !acc.buffers.inter_segment[seg.index - 1].on_chip;
+            let output_off = seg.index + 1 == n_segments
+                || !acc.buffers.inter_segment[seg.index].on_chip;
+
+            let outcome: BlockOutcome = match &seg.executor {
+                Executor::SingleCe(ce) => {
+                    eval_single_ce(acc, *ce, seg.first, seg.last, input_off, output_off, bpc)
+                }
+                Executor::PipelinedCes(ces) => eval_pipelined_round(
+                    acc,
+                    ces,
+                    seg.first,
+                    seg.last,
+                    input_off,
+                    output_off,
+                    bpc,
+                    config.pipeline_latency,
+                ),
+            };
+
+            let key = {
+                let mut k = seg.executor.ces();
+                k.sort_unstable();
+                k
+            };
+            *occupancy.entry(key.clone()).or_default() += outcome.time_cycles;
+            *block_segments.entry(key.clone()).or_default() += 1;
+            let round_busy =
+                outcome.busy_per_ce.iter().map(|&(_, b)| b).max().unwrap_or(0);
+            let e = block_max_busy.entry(key).or_default();
+            *e = (*e).max(round_busy);
+
+            for &(ce, b) in &outcome.busy_per_ce {
+                busy_cycles[ce] += b;
+            }
+            for lr in &outcome.layers {
+                ce_macs[lr.ce] += acc.convs[lr.layer].macs;
+            }
+
+            let block_pes: u64 =
+                seg.executor.ces().iter().map(|&c| acc.ces[c].pes as u64).sum();
+            let utilization = if outcome.time_cycles == 0 {
+                0.0
+            } else {
+                outcome.useful_macs as f64
+                    / (block_pes as f64 * outcome.time_cycles as f64)
+            };
+
+            seg_reports.push(SegmentReport {
+                index: seg.index,
+                first: seg.first,
+                last: seg.last,
+                ces: seg.executor.ces(),
+                compute_s: outcome.compute_cycles as f64 * cyc,
+                memory_s: outcome.memory_cycles as f64 * cyc,
+                time_s: outcome.time_cycles as f64 * cyc,
+                weight_traffic: outcome.weight_traffic,
+                fm_traffic: outcome.fm_traffic,
+                buffer_req_bytes: segment_buffer_req(acc, seg.index),
+                utilization,
+            });
+
+            latency_cycles += outcome.time_cycles;
+            compute_cycles_total += outcome.compute_cycles;
+            total_w += outcome.weight_traffic;
+            total_fm += outcome.fm_traffic;
+            layers.extend(outcome.layers);
+        }
+
+        // Throughput (§IV-B1).
+        let bottleneck_cycles = if acc.coarse_pipeline() {
+            let block_bound = occupancy
+                .iter()
+                .map(|(key, &occ)| {
+                    // A single-segment pipelined block overlaps consecutive
+                    // images: its initiation interval is its bottleneck CE
+                    // busy time (Eq. 3), not the stage sum.
+                    let single_round = block_segments[key] == 1
+                        && key.iter().any(|&c| acc.ces[c].role == CeRole::Pipelined);
+                    if single_round {
+                        block_max_busy[key].max(1)
+                    } else {
+                        occ
+                    }
+                })
+                .max()
+                .unwrap_or(latency_cycles);
+            // Coarse-pipelined blocks share the off-chip channel: the
+            // initiation interval cannot beat the per-image total traffic
+            // over the full bandwidth.
+            let mem_bound = single_ce::mem_cycles(total_w + total_fm, bpc);
+            block_bound.max(mem_bound)
+        } else {
+            latency_cycles
+        };
+
+        let latency_s = latency_cycles as f64 * cyc;
+        let throughput_fps = if bottleneck_cycles == 0 {
+            0.0
+        } else {
+            1.0 / (bottleneck_cycles as f64 * cyc)
+        };
+
+        let buffer_req_bytes = buffer_requirement(acc);
+        let ces = acc
+            .ces
+            .iter()
+            .map(|ce| {
+                let busy = busy_cycles[ce.id];
+                CeReport {
+                    ce: ce.id,
+                    pes: ce.pes,
+                    busy_s: busy as f64 * cyc,
+                    utilization: if busy == 0 {
+                        0.0
+                    } else {
+                        ce_macs[ce.id] as f64 / (busy as f64 * ce.pes as f64)
+                    },
+                }
+            })
+            .collect();
+
+        let memory_stall_fraction = if latency_cycles == 0 {
+            0.0
+        } else {
+            (latency_cycles - compute_cycles_total.min(latency_cycles)) as f64
+                / latency_cycles as f64
+        };
+
+        Evaluation {
+            notation: acc.notation(),
+            model_name: acc.model_name.clone(),
+            board_name: acc.board.name.clone(),
+            ce_count: acc.ce_count(),
+            latency_s,
+            throughput_fps,
+            buffer_req_bytes,
+            buffer_alloc_bytes: acc.buffers.total_bytes(),
+            offchip_bytes: total_w + total_fm,
+            offchip_weight_bytes: total_w,
+            offchip_fm_bytes: total_fm,
+            memory_stall_fraction,
+            segments: seg_reports,
+            ces,
+            layers,
+        }
+    }
+
+    /// The deterministic minimum off-chip traffic for this accelerator's
+    /// CNN: every weight once plus the model input and output (§IV-A2).
+    pub fn minimum_offchip_bytes(acc: &BuiltAccelerator) -> u64 {
+        let n = acc.convs.len();
+        acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1)
+    }
+}
+
+/// On-chip buffer requirement guaranteeing the design's minimum accesses:
+/// Σ per-CE ideals (Eq. 4 / Eq. 5) plus distinct-block handoff buffers
+/// (Eq. 8). Round-robin (same-block) handoffs stream off-chip by design.
+fn buffer_requirement(acc: &BuiltAccelerator) -> u64 {
+    let ce_sum: u64 = acc.buffers.ce.iter().map(|a| a.ideal_bytes).sum();
+    let handoffs: u64 = acc
+        .buffers
+        .inter_segment
+        .iter()
+        .filter(|b| !b.same_block)
+        .map(|b| b.bytes_needed)
+        .sum();
+    ce_sum + handoffs
+}
+
+/// Buffer requirement attributed to one segment (Fig. 9a): its layers'
+/// weight-residency share plus its engines' tile/FM buffers (shared CE
+/// buffers split evenly across the CE's segments) and its outgoing
+/// handoff.
+fn segment_buffer_req(acc: &BuiltAccelerator, index: usize) -> u64 {
+    let seg = &acc.segments[index];
+    let mut req = 0u64;
+    match &seg.executor {
+        Executor::SingleCe(ce) => {
+            let segments_of_ce = acc
+                .segments
+                .iter()
+                .filter(|s| matches!(&s.executor, Executor::SingleCe(c) if c == ce))
+                .count() as u64;
+            req += acc.buffers.ce[*ce].ideal_bytes / segments_of_ce.max(1);
+        }
+        Executor::PipelinedCes(ces) => {
+            for (offset, &ce) in ces.iter().enumerate() {
+                let rounds = acc.ces[ce].layers.len() as u64;
+                req += acc.buffers.ce[ce].fm_tile_bytes / rounds.max(1);
+                req += acc.weight_bytes(seg.first + offset);
+            }
+        }
+    }
+    if let Some(b) = acc.buffers.inter_segment.get(index) {
+        if !b.same_block {
+            req += b.bytes_needed;
+        }
+    }
+    req
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_arch::{templates, MultipleCeBuilder};
+    use mccm_cnn::zoo;
+    use mccm_fpga::FpgaBoard;
+
+    fn eval(
+        model: &mccm_cnn::CnnModel,
+        board: &FpgaBoard,
+        arch: templates::Architecture,
+        k: usize,
+    ) -> Evaluation {
+        let spec = arch.instantiate(model, k).unwrap();
+        let acc = MultipleCeBuilder::new(model, board).build(&spec).unwrap();
+        CostModel::evaluate(&acc)
+    }
+
+    #[test]
+    fn all_architectures_produce_sane_metrics() {
+        let m = zoo::resnet50();
+        let board = FpgaBoard::vcu108();
+        for arch in templates::Architecture::ALL {
+            for k in [2, 5, 11] {
+                let e = eval(&m, &board, arch, k);
+                assert!(e.latency_s > 0.0, "{arch} {k}");
+                assert!(e.throughput_fps > 0.0, "{arch} {k}");
+                assert!(e.buffer_req_bytes > 0, "{arch} {k}");
+                assert!(
+                    e.offchip_bytes >= CostModel::minimum_offchip_bytes(
+                        &MultipleCeBuilder::new(&m, &board)
+                            .build(&arch.instantiate(&m, k).unwrap())
+                            .unwrap()
+                    ),
+                    "{arch} {k}: accesses below deterministic minimum"
+                );
+                // Throughput can't beat the compute bound by more than the
+                // pipelining overlap allows; sanity: fps < 10000.
+                assert!(e.throughput_fps < 10_000.0, "{arch} {k}");
+                // Coarse pipelining: throughput >= 1/latency.
+                assert!(
+                    e.throughput_fps * e.latency_s >= 0.999,
+                    "{arch} {k}: throughput below 1/latency"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_pipeline_throughput_exceeds_inverse_latency() {
+        let m = zoo::resnet50();
+        let e = eval(&m, &FpgaBoard::zcu102(), templates::Architecture::Segmented, 4);
+        // Four balanced coarse-pipelined segments: throughput should be
+        // well above 1/latency (ideally ~4x).
+        assert!(e.throughput_fps * e.latency_s > 1.5);
+    }
+
+    #[test]
+    fn segmented_rr_throughput_is_inverse_latency() {
+        let m = zoo::resnet50();
+        let e = eval(&m, &FpgaBoard::zcu102(), templates::Architecture::SegmentedRr, 4);
+        assert!((e.throughput_fps * e.latency_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_reports_cover_all_layers() {
+        let m = zoo::xception();
+        let e = eval(&m, &FpgaBoard::vcu110(), templates::Architecture::SegmentedRr, 3);
+        let total: usize = e.segments.iter().map(|s| s.last - s.first + 1).sum();
+        assert_eq!(total, 74);
+        assert_eq!(e.layers.len(), 74);
+        assert_eq!(e.segments.len(), 25); // ceil(74/3)
+    }
+
+    #[test]
+    fn traffic_split_sums() {
+        let m = zoo::mobilenet_v2();
+        let e = eval(&m, &FpgaBoard::zc706(), templates::Architecture::Hybrid, 5);
+        assert_eq!(e.offchip_bytes, e.offchip_weight_bytes + e.offchip_fm_bytes);
+        let seg_sum: u64 = e.segments.iter().map(|s| s.traffic()).sum();
+        assert_eq!(seg_sum, e.offchip_bytes);
+    }
+
+    #[test]
+    fn throughput_fps_in_plausible_range() {
+        // ResNet-50 on ZC706 @200 MHz: paper's Fig. 5 spans ~10-30 FPS.
+        let m = zoo::resnet50();
+        let mut best = 0.0f64;
+        for arch in templates::Architecture::ALL {
+            for k in 2..=11 {
+                let e = eval(&m, &FpgaBoard::zc706(), arch, k);
+                best = best.max(e.throughput_fps);
+                assert!(
+                    e.throughput_fps > 1.0 && e.throughput_fps < 200.0,
+                    "{arch} {k}: {} FPS",
+                    e.throughput_fps
+                );
+            }
+        }
+        assert!(best > 8.0, "best throughput {best} FPS too low");
+    }
+
+    #[test]
+    fn hybrid_minimizes_offchip_accesses() {
+        // Paper §V-C: Hybrid always achieves the minimum off-chip accesses
+        // (its design objective). With generous per-CE weight buffers its
+        // traffic should sit at/near the deterministic minimum on a large
+        // board.
+        let m = zoo::resnet50();
+        let board = FpgaBoard::zcu102();
+        let spec = templates::hybrid(&m, 4).unwrap();
+        let acc = MultipleCeBuilder::new(&m, &board).build(&spec).unwrap();
+        let e = CostModel::evaluate(&acc);
+        let min = CostModel::minimum_offchip_bytes(&acc);
+        assert!(
+            (e.offchip_bytes as f64) < 1.6 * min as f64,
+            "hybrid traffic {} vs min {min}",
+            e.offchip_bytes
+        );
+    }
+
+    #[test]
+    fn segmented_rr_buffer_requirement_dominated_by_weights() {
+        // Eq. 5: pipelined blocks require all weights on-chip; for
+        // ResNet-50 that is ~22.4 MiB of 8-bit weights.
+        let m = zoo::resnet50();
+        let e = eval(&m, &FpgaBoard::zcu102(), templates::Architecture::SegmentedRr, 4);
+        let w = m.conv_weights();
+        assert!(e.buffer_req_bytes as f64 > 0.95 * w as f64);
+    }
+
+    #[test]
+    fn memory_stall_fraction_bounded() {
+        let m = zoo::resnet50();
+        for arch in templates::Architecture::ALL {
+            let e = eval(&m, &FpgaBoard::zc706(), arch, 2);
+            assert!((0.0..=1.0).contains(&e.memory_stall_fraction), "{arch}");
+        }
+    }
+
+    #[test]
+    fn more_pes_never_hurt_single_ce_compute() {
+        let m = zoo::resnet50();
+        let spec = templates::segmented_rr(&m, 2).unwrap();
+        let small = MultipleCeBuilder::new(&m, &FpgaBoard::vcu108())
+            .build(&spec)
+            .unwrap();
+        let big = MultipleCeBuilder::new(&m, &FpgaBoard::zcu102())
+            .build(&spec)
+            .unwrap();
+        let es = CostModel::evaluate(&small);
+        let eb = CostModel::evaluate(&big);
+        // 2520 DSPs vs 768 DSPs: more compute resources must not slow the
+        // compute-bound part down.
+        let cs: f64 = es.segments.iter().map(|s| s.compute_s).sum();
+        let cb: f64 = eb.segments.iter().map(|s| s.compute_s).sum();
+        assert!(cb <= cs * 1.01, "compute time grew with PEs: {cb} vs {cs}");
+    }
+}

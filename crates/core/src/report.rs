@@ -1,0 +1,308 @@
+//! Evaluation outputs: end-to-end metrics plus the fine-grained breakdowns
+//! behind the paper's Use Case 2 (Figs. 6, 7, 9).
+
+use std::fmt;
+
+/// Off-chip spill policy chosen for a layer by Eq. (6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillPolicy {
+    /// Everything needed stays on-chip; weights stream once.
+    #[default]
+    None,
+    /// OFMs don't fit: streamed out once; IFMs/weights read once.
+    OutputSpill,
+    /// Output-stationary, locally input-stationary: each IFM element
+    /// loaded once, weights re-loaded per IFM-buffer pass.
+    LocalInputStationary,
+    /// Output-stationary, locally weight-stationary: each weight loaded
+    /// once, IFMs re-loaded per weight-buffer pass.
+    LocalWeightStationary,
+}
+
+impl fmt::Display for SpillPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::None => "on-chip",
+            Self::OutputSpill => "OFM-spill",
+            Self::LocalInputStationary => "OS-IS",
+            Self::LocalWeightStationary => "OS-WS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-layer evaluation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Conv-layer index.
+    pub layer: usize,
+    /// CE that processed it.
+    pub ce: usize,
+    /// Eq. (1) compute cycles.
+    pub compute_cycles: u64,
+    /// Off-chip weight traffic in bytes (loads only; weights are never
+    /// written back).
+    pub weight_traffic: u64,
+    /// Off-chip feature-map loads in bytes.
+    pub fm_load_traffic: u64,
+    /// Off-chip feature-map stores in bytes.
+    pub fm_store_traffic: u64,
+    /// Spill policy chosen by Eq. (6) (single-CE layers) or `None`.
+    pub policy: SpillPolicy,
+    /// PE utilization on this layer.
+    pub utilization: f64,
+}
+
+impl LayerReport {
+    /// Off-chip feature-map traffic (loads + stores).
+    pub fn fm_traffic(&self) -> u64 {
+        self.fm_load_traffic + self.fm_store_traffic
+    }
+
+    /// Total off-chip traffic of the layer.
+    pub fn traffic(&self) -> u64 {
+        self.weight_traffic + self.fm_traffic()
+    }
+}
+
+/// Per-segment evaluation record (the unit of Figs. 6 and 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentReport {
+    /// Segment index in execution order.
+    pub index: usize,
+    /// First conv-layer index (zero-based, inclusive).
+    pub first: usize,
+    /// Last conv-layer index (zero-based, inclusive).
+    pub last: usize,
+    /// CEs executing this segment.
+    pub ces: Vec<usize>,
+    /// Pure compute time (seconds), memory stalls excluded.
+    pub compute_s: f64,
+    /// Off-chip memory access time (seconds).
+    pub memory_s: f64,
+    /// Contribution to end-to-end latency (seconds): per-tile/per-layer
+    /// `max(compute, memory)` accumulated.
+    pub time_s: f64,
+    /// Off-chip weight traffic (bytes).
+    pub weight_traffic: u64,
+    /// Off-chip feature-map traffic (bytes).
+    pub fm_traffic: u64,
+    /// On-chip buffer requirement attributed to this segment (bytes):
+    /// its executor's Eq. (4)/(5) term plus its outgoing handoff buffer.
+    pub buffer_req_bytes: u64,
+    /// MAC-weighted PE utilization of the segment's engines over the
+    /// segment's runtime.
+    pub utilization: f64,
+}
+
+impl SegmentReport {
+    /// Total off-chip traffic of the segment.
+    pub fn traffic(&self) -> u64 {
+        self.weight_traffic + self.fm_traffic
+    }
+
+    /// PE underutilization (1 − utilization), the quantity of Fig. 9b.
+    pub fn underutilization(&self) -> f64 {
+        1.0 - self.utilization
+    }
+
+    /// Fraction of segment time spent stalled on memory.
+    pub fn memory_stall_fraction(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            0.0
+        } else {
+            ((self.time_s - self.compute_s) / self.time_s).max(0.0)
+        }
+    }
+}
+
+/// Per-engine evaluation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CeReport {
+    /// CE id.
+    pub ce: usize,
+    /// Allocated PEs.
+    pub pes: u32,
+    /// Busy time over one inference (seconds).
+    pub busy_s: f64,
+    /// MAC-weighted utilization while busy.
+    pub utilization: f64,
+}
+
+/// Complete evaluation of one accelerator design: the four paper metrics
+/// plus fine-grained breakdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Accelerator notation (`{L1-L4: CE1, …}`).
+    pub notation: String,
+    /// CNN name.
+    pub model_name: String,
+    /// Board name.
+    pub board_name: String,
+    /// Number of CEs.
+    pub ce_count: usize,
+    /// End-to-end single-input latency in seconds.
+    pub latency_s: f64,
+    /// Steady-state throughput in frames per second.
+    pub throughput_fps: f64,
+    /// On-chip buffer requirement in bytes to guarantee the design's
+    /// minimum off-chip accesses (Eqs. 4/5/8) — may exceed the board's
+    /// BRAM, exactly as in the paper's Fig. 8.
+    pub buffer_req_bytes: u64,
+    /// On-chip bytes actually granted by the builder's plan (≤ BRAM).
+    pub buffer_alloc_bytes: u64,
+    /// Off-chip traffic per inference in bytes (with the granted buffers).
+    pub offchip_bytes: u64,
+    /// Weight portion of `offchip_bytes`.
+    pub offchip_weight_bytes: u64,
+    /// Feature-map portion of `offchip_bytes`.
+    pub offchip_fm_bytes: u64,
+    /// Fraction of end-to-end time the engines stall on memory (§V-D's
+    /// "29% of the overall execution time, CEs are idle").
+    pub memory_stall_fraction: f64,
+    /// Per-segment breakdown.
+    pub segments: Vec<SegmentReport>,
+    /// Per-engine breakdown.
+    pub ces: Vec<CeReport>,
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerReport>,
+}
+
+impl Evaluation {
+    /// Latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_s * 1e3
+    }
+
+    /// Off-chip traffic in MiB.
+    pub fn offchip_mib(&self) -> f64 {
+        self.offchip_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Buffer requirement in MiB.
+    pub fn buffer_mib(&self) -> f64 {
+        self.buffer_req_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Latency of processing a batch of `batch` inputs: the first input's
+    /// end-to-end latency plus one steady-state initiation interval per
+    /// further input — the paper's second latency definition (§IV-A1),
+    /// which it sets aside because batching is not always an option.
+    pub fn batch_latency_s(&self, batch: usize) -> f64 {
+        if batch == 0 {
+            return 0.0;
+        }
+        self.latency_s + (batch as f64 - 1.0) / self.throughput_fps.max(1e-12)
+    }
+
+    /// Amortized per-input latency at batch size `batch`.
+    pub fn amortized_latency_s(&self, batch: usize) -> f64 {
+        if batch == 0 {
+            0.0
+        } else {
+            self.batch_latency_s(batch) / batch as f64
+        }
+    }
+
+    /// Weight share of off-chip traffic in `[0, 1]` (Fig. 7).
+    pub fn weight_traffic_share(&self) -> f64 {
+        if self.offchip_bytes == 0 {
+            0.0
+        } else {
+            self.offchip_weight_bytes as f64 / self.offchip_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} [{} CEs]: latency {:.2} ms, {:.1} FPS, buffers {:.2} MiB, \
+             off-chip {:.1} MiB",
+            self.model_name,
+            self.board_name,
+            self.ce_count,
+            self.latency_ms(),
+            self.throughput_fps,
+            self.buffer_mib(),
+            self.offchip_mib()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_stub() -> Evaluation {
+        Evaluation {
+            notation: "{L1-Last: CE1}".into(),
+            model_name: "m".into(),
+            board_name: "b".into(),
+            ce_count: 1,
+            latency_s: 0.010,
+            throughput_fps: 100.0,
+            buffer_req_bytes: 2 * 1024 * 1024,
+            buffer_alloc_bytes: 1024 * 1024,
+            offchip_bytes: 100,
+            offchip_weight_bytes: 75,
+            offchip_fm_bytes: 25,
+            memory_stall_fraction: 0.1,
+            segments: vec![],
+            ces: vec![],
+            layers: vec![],
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let e = eval_stub();
+        assert!((e.latency_ms() - 10.0).abs() < 1e-12);
+        assert!((e.buffer_mib() - 2.0).abs() < 1e-12);
+        assert!((e.weight_traffic_share() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_latency_amortizes_toward_initiation_interval() {
+        let e = eval_stub(); // 10 ms latency, 100 FPS -> II = 10 ms
+        assert!((e.batch_latency_s(1) - 0.010).abs() < 1e-12);
+        assert!((e.batch_latency_s(11) - 0.110).abs() < 1e-12);
+        // Amortized latency approaches 1/throughput for large batches.
+        assert!((e.amortized_latency_s(1000) - 0.01).abs() < 1e-4);
+        assert_eq!(e.batch_latency_s(0), 0.0);
+    }
+
+    #[test]
+    fn segment_derived_quantities() {
+        let s = SegmentReport {
+            index: 0,
+            first: 0,
+            last: 3,
+            ces: vec![0],
+            compute_s: 0.6,
+            memory_s: 0.9,
+            time_s: 1.0,
+            weight_traffic: 10,
+            fm_traffic: 30,
+            buffer_req_bytes: 0,
+            utilization: 0.7,
+        };
+        assert_eq!(s.traffic(), 40);
+        assert!((s.underutilization() - 0.3).abs() < 1e-12);
+        assert!((s.memory_stall_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let text = eval_stub().to_string();
+        assert!(text.contains("100.0 FPS"));
+        assert!(text.contains("10.00 ms"));
+    }
+
+    #[test]
+    fn spill_policy_display() {
+        assert_eq!(SpillPolicy::LocalWeightStationary.to_string(), "OS-WS");
+        assert_eq!(SpillPolicy::default(), SpillPolicy::None);
+    }
+}

@@ -1,0 +1,179 @@
+//! The exploration driver: baseline sweeps, custom-space sampling, and
+//! timing of model evaluations (the paper's Use Cases 1 and 3).
+
+use std::time::{Duration, Instant};
+
+use mccm_arch::{templates, AcceleratorSpec, ArchError, MultipleCeBuilder};
+use mccm_cnn::CnnModel;
+use mccm_core::{CostModel, Evaluation};
+use mccm_fpga::FpgaBoard;
+
+use crate::sampler::CustomSampler;
+use crate::space::{CustomDesign, CustomSpace};
+
+/// One evaluated design.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The specification.
+    pub spec: AcceleratorSpec,
+    /// Its evaluation.
+    pub eval: Evaluation,
+}
+
+/// A baseline instance: architecture, CE count, evaluation.
+#[derive(Debug, Clone)]
+pub struct BaselinePoint {
+    /// Which of the three architectures.
+    pub architecture: templates::Architecture,
+    /// CE count.
+    pub ces: usize,
+    /// Its evaluation.
+    pub eval: Evaluation,
+}
+
+/// Explores designs for one (CNN, board) pair.
+///
+/// # Examples
+///
+/// ```
+/// use mccm_cnn::zoo;
+/// use mccm_dse::Explorer;
+/// use mccm_fpga::FpgaBoard;
+///
+/// let model = zoo::mobilenet_v2();
+/// let explorer = Explorer::new(&model, &FpgaBoard::zc706());
+/// let baselines = explorer.sweep_baselines(2..=5);
+/// assert_eq!(baselines.len(), 3 * 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    model: CnnModel,
+    builder: MultipleCeBuilder,
+}
+
+impl Explorer {
+    /// Creates an explorer (default 8-bit precision).
+    pub fn new(model: &CnnModel, board: &FpgaBoard) -> Self {
+        Self { model: model.clone(), builder: MultipleCeBuilder::new(model, board) }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &CnnModel {
+        &self.model
+    }
+
+    /// Builds and evaluates one specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors.
+    pub fn evaluate(&self, spec: &AcceleratorSpec) -> Result<DesignPoint, ArchError> {
+        let acc = self.builder.build(spec)?;
+        Ok(DesignPoint { spec: spec.clone(), eval: CostModel::evaluate(&acc) })
+    }
+
+    /// Evaluates every baseline architecture at every CE count in `range`
+    /// (infeasible combinations skipped) — the instance grid behind
+    /// Tables I/V and Figs. 5/8.
+    pub fn sweep_baselines(
+        &self,
+        range: impl IntoIterator<Item = usize> + Clone,
+    ) -> Vec<BaselinePoint> {
+        let mut out = Vec::new();
+        for architecture in templates::Architecture::ALL {
+            for ces in range.clone() {
+                let Ok(spec) = architecture.instantiate(&self.model, ces) else {
+                    continue;
+                };
+                let Ok(point) = self.evaluate(&spec) else { continue };
+                out.push(BaselinePoint { architecture, ces, eval: point.eval });
+            }
+        }
+        out
+    }
+
+    /// Samples and evaluates `count` custom designs (Use Case 3),
+    /// returning the points plus the total model-evaluation wall time —
+    /// the quantity behind the paper's "100000 designs in 10.5 minutes".
+    pub fn sample_custom(
+        &self,
+        count: usize,
+        seed: u64,
+    ) -> (Vec<DesignPoint>, Duration) {
+        let space = CustomSpace::paper_range(self.model.conv_layer_count());
+        let mut sampler = CustomSampler::new(space, seed);
+        let mut points = Vec::with_capacity(count);
+        let start = Instant::now();
+        while points.len() < count {
+            let design: CustomDesign = sampler.sample();
+            let Ok(spec) = design.to_spec(&self.model) else { continue };
+            if let Ok(p) = self.evaluate(&spec) {
+                points.push(p);
+            }
+        }
+        (points, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_cnn::zoo;
+    use mccm_core::Metric;
+
+    #[test]
+    fn baseline_sweep_covers_grid() {
+        let m = zoo::resnet50();
+        let e = Explorer::new(&m, &FpgaBoard::vcu108());
+        let points = e.sweep_baselines(2..=11);
+        assert_eq!(points.len(), 30); // 3 architectures x 10 CE counts
+        for p in &points {
+            assert_eq!(p.eval.ce_count, p.ces);
+            assert!(p.eval.throughput_fps > 0.0);
+        }
+    }
+
+    #[test]
+    fn custom_sampling_produces_valid_points() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::vcu110());
+        let (points, elapsed) = e.sample_custom(50, 9);
+        assert_eq!(points.len(), 50);
+        assert!(elapsed.as_nanos() > 0);
+        for p in &points {
+            assert!(p.eval.latency_s > 0.0);
+            assert!((2..=11).contains(&p.eval.ce_count));
+        }
+    }
+
+    #[test]
+    fn custom_designs_can_beat_baselines_on_some_metric() {
+        // Use Case 3's premise: the custom space contains points that
+        // improve on at least one baseline metric.
+        let m = zoo::xception();
+        let e = Explorer::new(&m, &FpgaBoard::vcu110());
+        let baselines = e.sweep_baselines(2..=11);
+        let best_buffer = baselines
+            .iter()
+            .map(|p| Metric::OnChipBuffers.value(&p.eval))
+            .fold(f64::INFINITY, f64::min);
+        let (points, _) = e.sample_custom(120, 11);
+        let best_custom = points
+            .iter()
+            .map(|p| Metric::OnChipBuffers.value(&p.eval))
+            .fold(f64::INFINITY, f64::min);
+        // Customs should at least approach the baseline best (within 2x).
+        assert!(best_custom < 2.0 * best_buffer, "{best_custom} vs {best_buffer}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let (a, _) = e.sample_custom(20, 5);
+        let (b, _) = e.sample_custom(20, 5);
+        let na: Vec<_> = a.iter().map(|p| p.eval.notation.clone()).collect();
+        let nb: Vec<_> = b.iter().map(|p| p.eval.notation.clone()).collect();
+        assert_eq!(na, nb);
+    }
+}

@@ -1,0 +1,36 @@
+//! Design-space exploration for multiple-CE CNN accelerators on top of the
+//! MCCM cost model.
+//!
+//! Implements the machinery behind the paper's Use Cases 1 and 3: baseline
+//! sweeps over the three state-of-the-art architectures and CE counts
+//! (Table V, Figs. 5/8), best-architecture selection with the 10% tie rule,
+//! Pareto-front extraction, and seeded random sampling of the custom
+//! Hybrid-head/Segmented-tail space whose fast evaluation the paper
+//! showcases (Fig. 10: 100 000 designs in minutes).
+//!
+//! ```
+//! use mccm_cnn::zoo;
+//! use mccm_dse::{select_all_metrics, Explorer, PAPER_TIE_FRAC};
+//! use mccm_fpga::FpgaBoard;
+//!
+//! let model = zoo::mobilenet_v2();
+//! let explorer = Explorer::new(&model, &FpgaBoard::zc706());
+//! let sweep = explorer.sweep_baselines(2..=11);
+//! for cell in select_all_metrics(&sweep, PAPER_TIE_FRAC) {
+//!     assert!(!cell.winners.is_empty());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod explorer;
+mod pareto;
+mod sampler;
+mod selection;
+mod space;
+
+pub use explorer::{BaselinePoint, DesignPoint, Explorer};
+pub use pareto::pareto_front;
+pub use sampler::CustomSampler;
+pub use selection::{select_all_metrics, select_best, SelectionCell, PAPER_TIE_FRAC};
+pub use space::{binomial, CustomDesign, CustomSpace};

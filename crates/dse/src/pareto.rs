@@ -1,0 +1,83 @@
+//! Pareto-front extraction over evaluation metrics.
+
+use mccm_core::{Evaluation, Metric};
+
+/// Indices of the non-dominated evaluations under the given metrics.
+///
+/// Point `a` dominates `b` when `a` is at least as good on every metric
+/// and strictly better on at least one (direction per
+/// [`Metric::higher_is_better`]).
+pub fn pareto_front(evals: &[Evaluation], metrics: &[Metric]) -> Vec<usize> {
+    let values: Vec<Vec<f64>> = evals
+        .iter()
+        .map(|e| metrics.iter().map(|m| m.value(e)).collect())
+        .collect();
+    let dominates = |a: &[f64], b: &[f64]| -> bool {
+        let mut strictly = false;
+        for (i, m) in metrics.iter().enumerate() {
+            if m.better(b[i], a[i]) {
+                return false;
+            }
+            if m.better(a[i], b[i]) {
+                strictly = true;
+            }
+        }
+        strictly
+    };
+    (0..evals.len())
+        .filter(|&i| !(0..evals.len()).any(|j| j != i && dominates(&values[j], &values[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(throughput: f64, buffer: u64) -> Evaluation {
+        Evaluation {
+            notation: String::new(),
+            model_name: String::new(),
+            board_name: String::new(),
+            ce_count: 2,
+            latency_s: 1.0,
+            throughput_fps: throughput,
+            buffer_req_bytes: buffer,
+            buffer_alloc_bytes: buffer,
+            offchip_bytes: 0,
+            offchip_weight_bytes: 0,
+            offchip_fm_bytes: 0,
+            memory_stall_fraction: 0.0,
+            segments: vec![],
+            ces: vec![],
+            layers: vec![],
+        }
+    }
+
+    #[test]
+    fn extracts_non_dominated_points() {
+        // (throughput up, buffer down): (10, 100) and (20, 200) trade off;
+        // (5, 300) is dominated by both.
+        let evals = vec![eval(10.0, 100), eval(20.0, 200), eval(5.0, 300)];
+        let front = pareto_front(&evals, &[Metric::Throughput, Metric::OnChipBuffers]);
+        assert_eq!(front, vec![0, 1]);
+    }
+
+    #[test]
+    fn identical_points_all_survive() {
+        let evals = vec![eval(10.0, 100), eval(10.0, 100)];
+        let front = pareto_front(&evals, &[Metric::Throughput, Metric::OnChipBuffers]);
+        assert_eq!(front, vec![0, 1]);
+    }
+
+    #[test]
+    fn single_metric_front_is_the_best() {
+        let evals = vec![eval(10.0, 100), eval(20.0, 200), eval(15.0, 50)];
+        let front = pareto_front(&evals, &[Metric::Throughput]);
+        assert_eq!(front, vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(&[], &[Metric::Throughput]).is_empty());
+    }
+}

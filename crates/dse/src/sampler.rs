@@ -1,0 +1,107 @@
+//! Seeded random sampling of the custom design space.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::{Rng, SeedableRng};
+
+use crate::space::{CustomDesign, CustomSpace};
+
+/// Uniform-ish random sampler over a [`CustomSpace`] (CE count and head
+/// length uniform, boundaries uniform without replacement). Deterministic
+/// per seed.
+#[derive(Debug, Clone)]
+pub struct CustomSampler {
+    space: CustomSpace,
+    rng: StdRng,
+}
+
+impl CustomSampler {
+    /// Creates a sampler with a fixed seed.
+    pub fn new(space: CustomSpace, seed: u64) -> Self {
+        Self { space, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draws the next design.
+    pub fn sample(&mut self) -> CustomDesign {
+        let n = self.space.layers;
+        loop {
+            let k = self.rng.random_range(self.space.min_ces..=self.space.max_ces);
+            let h = self.rng.random_range(1..k);
+            let tail_segments = k - h;
+            // Interior boundary positions in (h, n).
+            let n_positions = n - h - 1;
+            if n_positions + 1 < tail_segments {
+                continue; // not enough layers for that many segments
+            }
+            let mut ends: Vec<usize> = index_sample(&mut self.rng, n_positions, tail_segments - 1)
+                .into_iter()
+                .map(|i| h + 1 + i)
+                .collect();
+            ends.sort_unstable();
+            ends.push(n);
+            return CustomDesign { head_layers: h, tail_ends: ends };
+        }
+    }
+
+    /// Draws `count` designs.
+    pub fn sample_many(&mut self, count: usize) -> Vec<CustomDesign> {
+        (0..count).map(|_| self.sample()).collect()
+    }
+}
+
+impl Iterator for CustomSampler {
+    type Item = CustomDesign;
+
+    fn next(&mut self) -> Option<CustomDesign> {
+        Some(self.sample())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_cnn::zoo;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = CustomSpace::paper_range(74);
+        let a = CustomSampler::new(space, 42).sample_many(50);
+        let b = CustomSampler::new(space, 42).sample_many(50);
+        assert_eq!(a, b);
+        let c = CustomSampler::new(space, 43).sample_many(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_are_valid_designs() {
+        let m = zoo::xception();
+        let space = CustomSpace::paper_range(74);
+        for d in CustomSampler::new(space, 7).sample_many(200) {
+            let k = d.ce_count();
+            assert!((2..=11).contains(&k), "{d:?}");
+            assert!(d.head_layers >= 1);
+            assert_eq!(*d.tail_ends.last().unwrap(), 74);
+            // Must materialize without error.
+            d.to_spec(&m).unwrap();
+        }
+    }
+
+    #[test]
+    fn covers_the_ce_range() {
+        let space = CustomSpace::paper_range(74);
+        let counts: std::collections::HashSet<usize> =
+            CustomSampler::new(space, 1).sample_many(500).iter().map(CustomDesign::ce_count).collect();
+        for k in 2..=11 {
+            assert!(counts.contains(&k), "CE count {k} never sampled");
+        }
+    }
+
+    #[test]
+    fn small_models_sample_too() {
+        let space = CustomSpace { layers: 6, min_ces: 2, max_ces: 5 };
+        for d in CustomSampler::new(space, 3).sample_many(100) {
+            assert!(d.ce_count() <= 5);
+            assert!(*d.tail_ends.last().unwrap() == 6);
+        }
+    }
+}

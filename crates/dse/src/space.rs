@@ -1,0 +1,135 @@
+//! The custom design space of Use Case 3: a Hybrid-like pipelined head
+//! followed by Segmented-like single-CE tail segments with free
+//! boundaries.
+//!
+//! For a CNN with `n` layers and CE counts `k ∈ [min_ces, max_ces]`, a
+//! design picks a head length `h ∈ [1, k-1]` (one pipelined CE per head
+//! layer) and `k - h - 1` tail boundaries among the remaining layers —
+//! `C(n - h - 1, k - h - 1)` choices. The paper quotes roughly 97.1
+//! billion such designs for Xception with 2-11 CEs; [`CustomSpace::size`]
+//! computes our space's exact cardinality.
+
+use mccm_arch::{templates, AcceleratorSpec, ArchError};
+use mccm_cnn::CnnModel;
+
+/// A point in the custom space: head length plus tail boundaries
+/// (exclusive layer end indices, strictly increasing, last = layer count).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CustomDesign {
+    /// Layers (= CEs) in the pipelined head.
+    pub head_layers: usize,
+    /// Exclusive end index of each tail segment.
+    pub tail_ends: Vec<usize>,
+}
+
+impl CustomDesign {
+    /// Total CE count of the design.
+    pub fn ce_count(&self) -> usize {
+        self.head_layers + self.tail_ends.len()
+    }
+
+    /// Materializes the design as an accelerator spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArchError::Infeasible`] for malformed boundaries.
+    pub fn to_spec(&self, model: &CnnModel) -> Result<AcceleratorSpec, ArchError> {
+        templates::custom_hybrid_segmented(model, self.head_layers, &self.tail_ends)
+    }
+}
+
+/// The custom design space for one CNN and a CE-count range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomSpace {
+    /// Convolution layers of the CNN.
+    pub layers: usize,
+    /// Minimum total CEs (≥ 2: at least one head CE and one tail CE).
+    pub min_ces: usize,
+    /// Maximum total CEs.
+    pub max_ces: usize,
+}
+
+impl CustomSpace {
+    /// The paper's CE range (2-11 CEs, §V-A3).
+    pub fn paper_range(layers: usize) -> Self {
+        Self { layers, min_ces: 2, max_ces: 11 }
+    }
+
+    /// Exact number of designs in the space.
+    ///
+    /// `Σ_{k=min..=max} Σ_{h=1}^{k-1} C(n - h - 1, k - h - 1)` — the head
+    /// covers layers `1..=h`, the `k - h` tail segments partition the
+    /// remaining `n - h` layers (choose `k - h - 1` interior boundaries
+    /// from `n - h - 1` positions).
+    pub fn size(&self) -> u128 {
+        let n = self.layers as u128;
+        let mut total = 0u128;
+        for k in self.min_ces..=self.max_ces {
+            for h in 1..k {
+                let tail_segments = (k - h) as u128;
+                let positions = n.saturating_sub(h as u128 + 1);
+                total += binomial(positions, tail_segments - 1);
+            }
+        }
+        total
+    }
+}
+
+/// Binomial coefficient in u128 (saturating; inputs here stay small).
+pub fn binomial(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u128;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_cnn::zoo;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn space_size_is_astronomical_for_xception() {
+        // The paper quotes ~97.1 billion designs for XCp with 2-11 CEs;
+        // our space definition lands in the same regime (within two orders
+        // of magnitude), far beyond exhaustive evaluation.
+        let space = CustomSpace::paper_range(74);
+        let size = space.size();
+        assert!(size > 1_000_000_000, "space size {size}");
+        assert!(size < 100_000_000_000_000, "space size {size}");
+    }
+
+    #[test]
+    fn tiny_space_enumerates() {
+        // n=4 layers, k=2..3:
+        // k=2: h=1, tail=1 segment -> 1 design.
+        // k=3: h=1 tail 2 segs -> C(2,1)=2; h=2 tail 1 seg -> 1.
+        let space = CustomSpace { layers: 4, min_ces: 2, max_ces: 3 };
+        assert_eq!(space.size(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn design_materializes() {
+        let m = zoo::mobilenet_v2();
+        let d = CustomDesign { head_layers: 3, tail_ends: vec![20, 52] };
+        assert_eq!(d.ce_count(), 5);
+        let spec = d.to_spec(&m).unwrap();
+        assert_eq!(spec.ce_count(), 5);
+        assert!(spec.coarse_pipeline);
+    }
+}

@@ -1,0 +1,227 @@
+//! FPGA platform descriptions.
+
+use std::fmt;
+
+/// Mebibytes, as used for on-chip Block RAM capacities (Table II reports
+/// MiB rather than the vendor-typical Mb).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MiB(pub f64);
+
+impl MiB {
+    /// Capacity in bytes.
+    pub fn bytes(self) -> u64 {
+        (self.0 * 1024.0 * 1024.0) as u64
+    }
+}
+
+impl fmt::Display for MiB {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MiB", self.0)
+    }
+}
+
+/// An FPGA platform as consumed by the cost model: number of PEs (DSPs),
+/// on-chip memory capacity, off-chip bandwidth, and target clock.
+///
+/// # Examples
+///
+/// ```
+/// use mccm_fpga::FpgaBoard;
+///
+/// let board = FpgaBoard::zcu102();
+/// assert_eq!(board.dsps, 2520);
+/// assert!(board.bram_bytes() > 16 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaBoard {
+    /// Board name.
+    pub name: String,
+    /// DSP slices: the PE budget distributed among compute engines.
+    pub dsps: u32,
+    /// On-chip memory (Block RAM) capacity.
+    pub bram: MiB,
+    /// Off-chip memory bandwidth in GB/s (10^9 bytes per second).
+    pub bandwidth_gbps: f64,
+    /// Accelerator clock frequency in MHz. The paper's designs are HLS
+    /// kernels typically closed at 200 MHz; adjust per design if needed.
+    pub clock_mhz: f64,
+}
+
+impl FpgaBoard {
+    /// Default clock for the evaluation boards.
+    pub const DEFAULT_CLOCK_MHZ: f64 = 200.0;
+
+    /// Creates a board description.
+    pub fn new(name: impl Into<String>, dsps: u32, bram: MiB, bandwidth_gbps: f64) -> Self {
+        Self {
+            name: name.into(),
+            dsps,
+            bram,
+            bandwidth_gbps,
+            clock_mhz: Self::DEFAULT_CLOCK_MHZ,
+        }
+    }
+
+    /// Sets a non-default clock frequency.
+    #[must_use]
+    pub fn with_clock_mhz(mut self, clock_mhz: f64) -> Self {
+        self.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// On-chip memory capacity in bytes.
+    pub fn bram_bytes(&self) -> u64 {
+        self.bram.bytes()
+    }
+
+    /// Off-chip bandwidth in bytes per clock cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / (self.clock_mhz * 1e6)
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / (self.clock_mhz * 1e6)
+    }
+
+    /// AMD Zynq-7000 SoC ZC706: 900 DSPs, 2.4 MiB BRAM, 3.2 GB/s (Table II).
+    pub fn zc706() -> Self {
+        Self::new("ZC706", 900, MiB(2.4), 3.2)
+    }
+
+    /// AMD Virtex UltraScale VCU108: 768 DSPs, 7.6 MiB BRAM, 19.2 GB/s
+    /// (Table II).
+    pub fn vcu108() -> Self {
+        Self::new("VCU108", 768, MiB(7.6), 19.2)
+    }
+
+    /// AMD Virtex UltraScale VCU110: 1800 DSPs, 4 MiB BRAM, 19.2 GB/s
+    /// (Table II).
+    pub fn vcu110() -> Self {
+        Self::new("VCU110", 1800, MiB(4.0), 19.2)
+    }
+
+    /// AMD Zynq UltraScale+ ZCU102: 2520 DSPs, 16.6 MiB BRAM, 19.2 GB/s
+    /// (Table II).
+    pub fn zcu102() -> Self {
+        Self::new("ZCU102", 2520, MiB(16.6), 19.2)
+    }
+
+    /// The four evaluation boards in Table II order (ZC706, VCU108, VCU110,
+    /// ZCU102).
+    pub fn evaluation_boards() -> Vec<Self> {
+        vec![Self::zc706(), Self::vcu108(), Self::vcu110(), Self::zcu102()]
+    }
+
+    /// Looks up an evaluation board by case-insensitive name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "zc706" => Some(Self::zc706()),
+            "vcu108" => Some(Self::vcu108()),
+            "vcu110" => Some(Self::vcu110()),
+            "zcu102" => Some(Self::zcu102()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FpgaBoard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} DSPs, {}, {} GB/s, {} MHz)",
+            self.name, self.dsps, self.bram, self.bandwidth_gbps, self.clock_mhz
+        )
+    }
+}
+
+/// Data-type widths for weights and activations.
+///
+/// The baseline accelerators use 8-bit quantized weights and activations;
+/// all byte quantities in the model scale through this record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Precision {
+    /// Bytes per weight element.
+    pub weight_bytes: u32,
+    /// Bytes per activation (feature-map) element.
+    pub activation_bytes: u32,
+}
+
+impl Precision {
+    /// 8-bit weights and activations (default).
+    pub const INT8: Self = Self { weight_bytes: 1, activation_bytes: 1 };
+    /// 16-bit weights and activations.
+    pub const INT16: Self = Self { weight_bytes: 2, activation_bytes: 2 };
+
+    /// Bytes occupied by `n` weight elements.
+    pub fn weight_size(&self, n: u64) -> u64 {
+        n * self.weight_bytes as u64
+    }
+
+    /// Bytes occupied by `n` activation elements.
+    pub fn activation_size(&self, n: u64) -> u64 {
+        n * self.activation_bytes as u64
+    }
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Self::INT8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_values() {
+        let boards = FpgaBoard::evaluation_boards();
+        let expect = [
+            ("ZC706", 900, 2.4, 3.2),
+            ("VCU108", 768, 7.6, 19.2),
+            ("VCU110", 1800, 4.0, 19.2),
+            ("ZCU102", 2520, 16.6, 19.2),
+        ];
+        for (b, (name, dsps, bram, bw)) in boards.iter().zip(expect) {
+            assert_eq!(b.name, name);
+            assert_eq!(b.dsps, dsps);
+            assert_eq!(b.bram.0, bram);
+            assert_eq!(b.bandwidth_gbps, bw);
+        }
+    }
+
+    #[test]
+    fn bytes_per_cycle_scales_with_clock() {
+        let b = FpgaBoard::zc706(); // 3.2 GB/s @ 200 MHz -> 16 B/cycle
+        assert!((b.bytes_per_cycle() - 16.0).abs() < 1e-9);
+        let b = b.with_clock_mhz(100.0);
+        assert!((b.bytes_per_cycle() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bram_bytes() {
+        assert_eq!(MiB(1.0).bytes(), 1024 * 1024);
+        assert_eq!(FpgaBoard::vcu110().bram_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(FpgaBoard::by_name("zcu102").unwrap().dsps, 2520);
+        assert_eq!(FpgaBoard::by_name("ZC706").unwrap().dsps, 900);
+        assert!(FpgaBoard::by_name("vu9p").is_none());
+    }
+
+    #[test]
+    fn precision_sizes() {
+        assert_eq!(Precision::INT8.weight_size(100), 100);
+        assert_eq!(Precision::INT16.activation_size(100), 200);
+        assert_eq!(Precision::default(), Precision::INT8);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = FpgaBoard::zc706().to_string();
+        assert!(s.contains("ZC706") && s.contains("900"));
+    }
+}

@@ -1,0 +1,21 @@
+//! FPGA platform descriptions for the MCCM cost model.
+//!
+//! A platform is reduced to the three resources the paper's methodology
+//! consumes (§III-A): the number of PEs (DSP slices), on-chip memory
+//! capacity (Block RAM), and off-chip memory bandwidth — plus a target
+//! clock used to convert cycle counts into seconds. The four evaluation
+//! boards of Table II ship as constructors.
+//!
+//! ```
+//! use mccm_fpga::FpgaBoard;
+//!
+//! for board in FpgaBoard::evaluation_boards() {
+//!     assert!(board.dsps >= 768);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod board;
+
+pub use board::{FpgaBoard, MiB, Precision};

@@ -1,0 +1,86 @@
+//! Simulator configuration: the second-order implementation effects the
+//! analytical model deliberately ignores.
+
+/// Tunable implementation overheads of the reference simulator.
+///
+/// Defaults reflect typical HLS accelerator implementations on the
+/// evaluation boards: a DDR access latency of ~0.5 µs at 200 MHz, a few
+/// cycles of per-tile control (AXI handshakes, pipeline fill), and 64-byte
+/// DRAM bursts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Images simulated; the first gives latency, the steady-state tail
+    /// gives throughput. Must be ≥ 3.
+    pub images: usize,
+    /// Fixed latency per DMA transfer, in cycles.
+    pub dma_latency_cycles: u64,
+    /// Control/pipeline-fill overhead per tile, in cycles.
+    pub tile_overhead_cycles: u64,
+    /// DRAM burst granularity in bytes; transfers occupy the channel in
+    /// whole bursts (the *counted* traffic stays at useful bytes).
+    pub burst_bytes: u64,
+    /// BRAM bank size in bytes (a Xilinx BRAM36 holds 36 Kib = 4608 B);
+    /// implemented buffers round up to whole banks.
+    pub bram_bank_bytes: u64,
+    /// Fixed banks per engine for control FIFOs and pipeline registers.
+    pub control_banks_per_ce: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            images: 4,
+            dma_latency_cycles: 100,
+            tile_overhead_cycles: 10,
+            burst_bytes: 64,
+            bram_bank_bytes: 4608,
+            control_banks_per_ce: 2,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A zero-overhead configuration; with it the simulator should closely
+    /// track the analytical model (used by agreement tests).
+    pub fn ideal() -> Self {
+        Self {
+            images: 4,
+            dma_latency_cycles: 0,
+            tile_overhead_cycles: 0,
+            burst_bytes: 1,
+            bram_bank_bytes: 1,
+            control_banks_per_ce: 0,
+        }
+    }
+
+    /// Channel occupancy of a transfer in bytes, after burst rounding.
+    pub fn burst_rounded(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.burst_bytes) * self.burst_bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.images >= 3);
+        assert!(c.burst_bytes.is_power_of_two());
+    }
+
+    #[test]
+    fn burst_rounding() {
+        let c = SimConfig::default();
+        assert_eq!(c.burst_rounded(0), 0);
+        assert_eq!(c.burst_rounded(1), 64);
+        assert_eq!(c.burst_rounded(64), 64);
+        assert_eq!(c.burst_rounded(65), 128);
+        assert_eq!(SimConfig::ideal().burst_rounded(65), 65);
+    }
+}

@@ -1,0 +1,46 @@
+//! Event-driven reference simulator for multiple-CE CNN accelerators — the
+//! synthesis surrogate used to validate the MCCM analytical model.
+//!
+//! The paper validates its cost model against Vitis HLS synthesis results
+//! (~1 hour per design). This crate plays that role with a deterministic
+//! tile-level discrete-event simulator of the *same* built accelerator: it
+//! executes the builder's design-time decisions mechanistically, modeling
+//! the second-order effects the analytical model abstracts away —
+//! serialized DMA with per-transfer latency and burst occupancy, per-tile
+//! control overhead, in-order engines, pipeline fill/drain, and
+//! cross-image resource contention. Model-vs-simulator accuracy (Eq. 10)
+//! is therefore a genuine measurement, while off-chip access counts match
+//! exactly (they are architecturally deterministic, as in the paper).
+//!
+//! ```
+//! use mccm_arch::{templates, MultipleCeBuilder};
+//! use mccm_cnn::zoo;
+//! use mccm_core::CostModel;
+//! use mccm_fpga::FpgaBoard;
+//! use mccm_sim::{SimConfig, Simulator};
+//!
+//! # fn main() -> Result<(), mccm_arch::ArchError> {
+//! let model = zoo::mobilenet_v2();
+//! let builder = MultipleCeBuilder::new(&model, &FpgaBoard::vcu108());
+//! let acc = builder.build(&templates::segmented(&model, 3)?)?;
+//! let eval = CostModel::evaluate(&acc);
+//! let sim = Simulator::new(SimConfig::default()).run_with_eval(&acc, &eval);
+//! // Deterministic traffic matches exactly; timing is independent.
+//! assert_eq!(sim.offchip_bytes, eval.offchip_bytes);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod result;
+#[allow(clippy::module_inception)]
+mod sim;
+pub mod workload;
+
+pub use config::SimConfig;
+pub use engine::{Cycles, DmaChannel, Event, Events};
+pub use result::SimResult;
+pub use sim::Simulator;

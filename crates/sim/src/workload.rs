@@ -1,0 +1,348 @@
+//! Workload expansion: a built accelerator plus the builder's design-time
+//! decisions (spill policies, weight residency) unrolled into a per-image
+//! tile graph for the event-driven engine.
+//!
+//! Control decisions (what is buffered where, which spill policy each
+//! layer uses) are made at design time by the Multiple-CE Builder and the
+//! Eq. (6) policy selection — the accelerator hardware executes them
+//! unconditionally, so the simulator shares them with the analytical
+//! model. What the simulator measures independently is *timing*: DMA
+//! serialization and latency, burst occupancy, per-tile control overhead,
+//! pipeline fill/drain, and cross-image contention.
+
+use mccm_arch::{BuiltAccelerator, Executor};
+use mccm_core::{CostModel, Evaluation};
+
+/// One unit of simulated work: an OFM row-tile (or a DMA-only prefetch).
+#[derive(Debug, Clone)]
+pub struct TileSpec {
+    /// Tile id (index into the image's tile list; deps always point to
+    /// lower ids).
+    pub id: usize,
+    /// Executing engine; `None` for DMA-only prefetch tiles.
+    pub ce: Option<usize>,
+    /// Segment index.
+    pub segment: usize,
+    /// Conv-layer index (`usize::MAX` for prefetch tiles).
+    pub layer: usize,
+    /// Bytes DMA-loaded before compute.
+    pub load_bytes: u64,
+    /// Load byte category split: `(weights, fm)`.
+    pub load_split: (u64, u64),
+    /// Compute cycles.
+    pub compute_cycles: u64,
+    /// Bytes DMA-stored after compute.
+    pub store_bytes: u64,
+    /// Tiles that must complete before this tile's load may issue.
+    pub deps: Vec<usize>,
+}
+
+/// A per-image tile graph plus indexing helpers.
+#[derive(Debug, Clone)]
+pub struct TileGraph {
+    /// Tiles in topological (construction) order.
+    pub tiles: Vec<TileSpec>,
+    /// Tile ids per CE, in that engine's strict execution order.
+    pub ce_order: Vec<Vec<usize>>,
+}
+
+/// Builds the tile graph for one image, given the accelerator and its
+/// analytical evaluation (whose per-layer records carry the design-time
+/// traffic decisions).
+pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph {
+    let mut tiles: Vec<TileSpec> = Vec::new();
+    let mut ce_order: Vec<Vec<usize>> = vec![Vec::new(); acc.ces.len()];
+    // Last tile id of each conv layer (for producer row deps) and per
+    // layer: the tile id producing row `r`.
+    let mut layer_row_tiles: Vec<Vec<usize>> = vec![Vec::new(); acc.convs.len()];
+    let mut prev_segment_last: Option<usize> = None;
+    // Prefetch chain per block (keyed by sorted CE list).
+    let mut prefetch_chain: std::collections::HashMap<Vec<usize>, usize> =
+        std::collections::HashMap::new();
+
+    for seg in &acc.segments {
+        let seg_first_tile = tiles.len();
+        match &seg.executor {
+            Executor::SingleCe(ce_id) => {
+                let poh = acc.ces[*ce_id].parallelism.dims[2].max(1);
+                #[allow(clippy::needless_range_loop)]
+                for l in seg.first..=seg.last {
+                    let conv = &acc.convs[l];
+                    let rep = &eval.layers[l];
+                    debug_assert_eq!(rep.layer, l);
+                    let n_tiles = (conv.ofm.height as u64).div_ceil(poh as u64).max(1);
+                    let w_per = rep.weight_traffic / n_tiles;
+                    let fml_per = rep.fm_load_traffic / n_tiles;
+                    let st_per = rep.fm_store_traffic / n_tiles;
+                    for t in 0..n_tiles {
+                        let rows = if t + 1 == n_tiles {
+                            conv.ofm.height - (poh * (n_tiles as u32 - 1)).min(conv.ofm.height - 1)
+                        } else {
+                            poh
+                        };
+                        let id = tiles.len();
+                        let mut deps = Vec::new();
+                        // Segment entry: first tile waits for the handoff.
+                        if l == seg.first && t == 0 {
+                            if let Some(p) = prev_segment_last {
+                                deps.push(p);
+                            }
+                        }
+                        // Double-buffer gate: two tiles in flight per CE.
+                        let order = &ce_order[*ce_id];
+                        if order.len() >= 2 {
+                            deps.push(order[order.len() - 2]);
+                        }
+                        // Last tile carries the rounding remainders.
+                        let last_t = t + 1 == n_tiles;
+                        let (lw, lf, ls) = if last_t {
+                            (
+                                rep.weight_traffic - w_per * (n_tiles - 1),
+                                rep.fm_load_traffic - fml_per * (n_tiles - 1),
+                                rep.fm_store_traffic - st_per * (n_tiles - 1),
+                            )
+                        } else {
+                            (w_per, fml_per, st_per)
+                        };
+                        tiles.push(TileSpec {
+                            id,
+                            ce: Some(*ce_id),
+                            segment: seg.index,
+                            layer: l,
+                            load_bytes: lw + lf,
+                            load_split: (lw, lf),
+                            compute_cycles: acc.ces[*ce_id]
+                                .parallelism
+                                .tile_latency_cycles(conv.dims, rows),
+                            store_bytes: ls,
+                            deps,
+                        });
+                        ce_order[*ce_id].push(id);
+                        layer_row_tiles[l].push(id);
+                    }
+                }
+            }
+            Executor::PipelinedCes(ces) => {
+                // Round weight prefetch: one DMA-only tile for all resident
+                // layers of this round, chained per block for overlap.
+                let mut block_key: Vec<usize> = ces.clone();
+                block_key.sort_unstable();
+                let resident: Vec<bool> = (0..ces.len())
+                    .map(|j| {
+                        acc.buffers.ce[ces[j]].weight_capacity()
+                            >= acc.weight_buffer_bytes(seg.first + j)
+                    })
+                    .collect();
+                let resident_bytes: u64 = (0..ces.len())
+                    .filter(|&j| resident[j])
+                    .map(|j| acc.weight_bytes(seg.first + j))
+                    .sum();
+                let prefetch_id = if resident_bytes > 0 {
+                    let id = tiles.len();
+                    let deps = prefetch_chain.get(&block_key).copied().into_iter().collect();
+                    tiles.push(TileSpec {
+                        id,
+                        ce: None,
+                        segment: seg.index,
+                        layer: usize::MAX,
+                        load_bytes: resident_bytes,
+                        load_split: (resident_bytes, 0),
+                        compute_cycles: 0,
+                        store_bytes: 0,
+                        deps,
+                    });
+                    prefetch_chain.insert(block_key, id);
+                    Some(id)
+                } else {
+                    None
+                };
+
+                let input_off = seg.index == 0
+                    || !acc.buffers.inter_segment[seg.index - 1].on_chip;
+                let output_off = seg.index + 1 == acc.segments.len()
+                    || !acc.buffers.inter_segment[seg.index].on_chip;
+
+                for (j, &ce_id) in ces.iter().enumerate() {
+                    let l = seg.first + j;
+                    let conv = &acc.convs[l];
+                    let oh = conv.ofm.height as usize;
+                    let row_lat =
+                        acc.ces[ce_id].parallelism.tile_latency_cycles(conv.dims, 1);
+                    let w_bytes = acc.weight_bytes(l);
+                    let in_round: Vec<usize> = conv
+                        .producers
+                        .iter()
+                        .filter(|&&p| p >= seg.first && p < l)
+                        .copied()
+                        .collect();
+                    let ifm_total = if j == 0 && input_off { acc.ifm_bytes(l) } else { 0 };
+                    let ifm_row_share = ifm_total / oh as u64;
+                    let store_row = if j + 1 == ces.len() && output_off {
+                        acc.precision.activation_size(conv.ofm.row_elements())
+                    } else {
+                        0
+                    };
+
+                    for r in 0..oh {
+                        let id = tiles.len();
+                        let mut deps = Vec::new();
+                        if r == 0 {
+                            if let Some(p) = prefetch_id {
+                                if resident[j] {
+                                    deps.push(p);
+                                }
+                            }
+                            if in_round.is_empty() {
+                                if let Some(p) = prev_segment_last {
+                                    deps.push(p);
+                                }
+                            }
+                        }
+                        // Producer row dependencies (through pooling the
+                        // producer has more rows; scale by height ratio).
+                        for &p in &in_round {
+                            let need = rows_needed(acc, l, r as u32);
+                            let prod_h = acc.convs[p].ofm.height as u64;
+                            let ifm_h = conv.ifm.height.max(1) as u64;
+                            let prod_rows =
+                                ((need * prod_h).div_ceil(ifm_h)).min(prod_h) as usize;
+                            if let Some(&dep) = layer_row_tiles[p].get(prod_rows - 1) {
+                                deps.push(dep);
+                            }
+                        }
+                        // Double-buffer gate.
+                        let order = &ce_order[ce_id];
+                        if order.len() >= 2 {
+                            deps.push(order[order.len() - 2]);
+                        }
+                        let lw = if resident[j] { 0 } else { w_bytes };
+                        // The last row tile carries the division remainder
+                        // so per-layer traffic matches the model exactly.
+                        let ifm_share = if r + 1 == oh {
+                            ifm_total - ifm_row_share * (oh as u64 - 1)
+                        } else {
+                            ifm_row_share
+                        };
+                        tiles.push(TileSpec {
+                            id,
+                            ce: Some(ce_id),
+                            segment: seg.index,
+                            layer: l,
+                            load_bytes: lw + ifm_share,
+                            load_split: (lw, ifm_share),
+                            compute_cycles: row_lat,
+                            store_bytes: store_row,
+                            deps,
+                        });
+                        ce_order[ce_id].push(id);
+                        layer_row_tiles[l].push(id);
+                    }
+                }
+            }
+        }
+        debug_assert!(tiles.len() > seg_first_tile, "segments expand to tiles");
+        prev_segment_last = Some(tiles.len() - 1);
+    }
+
+    // Topological sanity: deps point backwards.
+    debug_assert!(tiles
+        .iter()
+        .all(|t| t.deps.iter().all(|&d| d < t.id)));
+
+    TileGraph { tiles, ce_order }
+}
+
+/// IFM rows layer `l` needs before producing through OFM row `r`.
+fn rows_needed(acc: &BuiltAccelerator, l: usize, r: u32) -> u64 {
+    let conv = &acc.convs[l];
+    let need = r as u64 * conv.spec.stride.0 as u64 + conv.spec.kernel.0 as u64;
+    need.saturating_sub(conv.spec.padding.h as u64)
+        .clamp(1, conv.ifm.height as u64)
+}
+
+/// Per-image useful traffic of a tile graph: `(weights, fm_loads, fm_stores)`.
+pub fn graph_traffic(graph: &TileGraph) -> (u64, u64, u64) {
+    let mut w = 0u64;
+    let mut fl = 0u64;
+    let mut fs = 0u64;
+    for t in &graph.tiles {
+        w += t.load_split.0;
+        fl += t.load_split.1;
+        fs += t.store_bytes;
+    }
+    (w, fl, fs)
+}
+
+/// Convenience: evaluate + expand in one call.
+pub fn expand(acc: &BuiltAccelerator) -> (Evaluation, TileGraph) {
+    let eval = CostModel::evaluate(acc);
+    let graph = build_tile_graph(acc, &eval);
+    (eval, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_arch::{templates, MultipleCeBuilder};
+    use mccm_cnn::zoo;
+    use mccm_fpga::FpgaBoard;
+
+    fn build(arch: templates::Architecture, k: usize) -> (BuiltAccelerator, Evaluation, TileGraph) {
+        let m = zoo::resnet50();
+        let spec = arch.instantiate(&m, k).unwrap();
+        let acc = MultipleCeBuilder::new(&m, &FpgaBoard::zc706()).build(&spec).unwrap();
+        let (eval, graph) = expand(&acc);
+        (acc, eval, graph)
+    }
+
+    #[test]
+    fn deps_are_topological() {
+        for arch in templates::Architecture::ALL {
+            let (_, _, g) = build(arch, 4);
+            for t in &g.tiles {
+                assert!(t.deps.iter().all(|&d| d < t.id), "{arch}");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_matches_analytical_model() {
+        // The tile expansion must preserve the model's deterministic
+        // access counts exactly (the paper's 100% access accuracy).
+        for arch in templates::Architecture::ALL {
+            for k in [2, 5, 9] {
+                let (_, eval, g) = build(arch, k);
+                let (w, fl, fs) = graph_traffic(&g);
+                assert_eq!(w, eval.offchip_weight_bytes, "{arch} {k} weights");
+                assert_eq!(fl + fs, eval.offchip_fm_bytes, "{arch} {k} fms");
+            }
+        }
+    }
+
+    #[test]
+    fn ce_order_covers_all_compute_tiles() {
+        let (_, _, g) = build(templates::Architecture::SegmentedRr, 3);
+        let ordered: usize = g.ce_order.iter().map(Vec::len).sum();
+        let compute_tiles = g.tiles.iter().filter(|t| t.ce.is_some()).count();
+        assert_eq!(ordered, compute_tiles);
+    }
+
+    #[test]
+    fn pipelined_rounds_have_prefetch_tiles_when_resident() {
+        let (acc, _, g) = build(templates::Architecture::Hybrid, 5);
+        let has_resident = (0..4)
+            .any(|l| acc.buffers.ce[l].weight_capacity() >= acc.weight_bytes(l));
+        if has_resident {
+            assert!(g.tiles.iter().any(|t| t.ce.is_none()));
+        }
+    }
+
+    #[test]
+    fn tile_counts_scale_with_rows() {
+        let (acc, _, g) = build(templates::Architecture::SegmentedRr, 2);
+        // Pipelined tiles: one per OFM row per layer (+ prefetches).
+        let rows: usize = acc.convs.iter().map(|c| c.ofm.height as usize).sum();
+        let compute_tiles = g.tiles.iter().filter(|t| t.ce.is_some()).count();
+        assert_eq!(compute_tiles, rows);
+    }
+}

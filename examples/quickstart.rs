@@ -1,0 +1,45 @@
+//! Quickstart: express a multiple-CE accelerator, build it, and evaluate
+//! its latency, throughput, buffers, and off-chip accesses with MCCM.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mccm::arch::{notation, templates, MultipleCeBuilder};
+use mccm::cnn::zoo;
+use mccm::core::CostModel;
+use mccm::fpga::FpgaBoard;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::resnet50();
+    let board = FpgaBoard::zc706();
+    println!("CNN:   {} ({} conv layers, {:.1} M params)", model.name(), model.conv_layer_count(), model.total_params() as f64 / 1e6);
+    println!("Board: {board}\n");
+
+    let builder = MultipleCeBuilder::new(&model, &board);
+
+    // The three state-of-the-art architectures at a few CE counts.
+    println!("{:<14} {:>3} {:>12} {:>10} {:>12} {:>12}  notation", "architecture", "CEs", "latency(ms)", "FPS", "buffer(MiB)", "access(MiB)");
+    for arch in templates::Architecture::ALL {
+        for k in [2usize, 4, 7, 11] {
+            let spec = arch.instantiate(&model, k)?;
+            let acc = builder.build(&spec)?;
+            let e = CostModel::evaluate(&acc);
+            let mut text = e.notation.clone();
+            if text.len() > 42 {
+                text.truncate(39);
+                text.push_str("...");
+            }
+            println!(
+                "{:<14} {:>3} {:>12.2} {:>10.1} {:>12.2} {:>12.1}  {}",
+                arch.name(), k, e.latency_ms(), e.throughput_fps, e.buffer_mib(), e.offchip_mib(), text
+            );
+        }
+    }
+
+    // Any custom arrangement can be written directly in the paper's
+    // notation.
+    let spec = notation::parse("{L1-L3: CE1-CE3, L4-L30: CE4, L31-Last: CE5}")?;
+    let acc = builder.build(&spec)?;
+    let e = CostModel::evaluate(&acc);
+    println!("\ncustom {} -> {e}", e.notation);
+    Ok(())
+}

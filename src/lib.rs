@@ -1,0 +1,41 @@
+//! MCCM — An Analytical Cost Model for Fast Evaluation of Multiple
+//! Compute-Engine CNN Accelerators (ISPASS 2025 reproduction).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`cnn`] — CNN representation and the verified model zoo (Table III).
+//! * [`fpga`] — FPGA platform descriptions (Table II).
+//! * [`arch`] — accelerator notation, templates, and the Multiple-CE
+//!   Builder (§III).
+//! * [`core`] — the analytical cost model (§IV).
+//! * [`sim`] — the event-driven reference simulator (synthesis surrogate).
+//! * [`dse`] — design-space exploration (Use Cases 1 & 3).
+//!
+//! # Quick start
+//!
+//! ```
+//! use mccm::arch::{templates, MultipleCeBuilder};
+//! use mccm::cnn::zoo;
+//! use mccm::core::CostModel;
+//! use mccm::fpga::FpgaBoard;
+//!
+//! # fn main() -> Result<(), mccm::arch::ArchError> {
+//! let model = zoo::resnet50();
+//! let board = FpgaBoard::zc706();
+//! let builder = MultipleCeBuilder::new(&model, &board);
+//!
+//! for arch in templates::Architecture::ALL {
+//!     let acc = builder.build(&arch.instantiate(&model, 4)?)?;
+//!     let eval = CostModel::evaluate(&acc);
+//!     println!("{arch}: {eval}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mccm_arch as arch;
+pub use mccm_cnn as cnn;
+pub use mccm_core as core;
+pub use mccm_dse as dse;
+pub use mccm_fpga as fpga;
+pub use mccm_sim as sim;

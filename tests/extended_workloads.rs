@@ -1,0 +1,71 @@
+//! The extended zoo (beyond Table III) through the whole stack: VGG-16
+//! stresses weight traffic, EfficientNet-B0 stresses DAG handling
+//! (squeeze-excitation gates and broadcast multiplies).
+
+use mccm::arch::{templates, MultipleCeBuilder};
+use mccm::cnn::zoo;
+use mccm::core::CostModel;
+use mccm::fpga::FpgaBoard;
+use mccm::sim::{SimConfig, Simulator};
+
+#[test]
+fn extended_models_verify_against_keras() {
+    let vgg = zoo::vgg16();
+    assert_eq!(vgg.total_params(), 138_357_544);
+    assert_eq!(vgg.conv_layer_count(), 13);
+    let eff = zoo::efficientnet_b0();
+    assert_eq!(eff.total_params() + 7, 5_330_571); // + Keras' Normalization stats
+    assert_eq!(eff.conv_layer_count(), 81);
+}
+
+#[test]
+fn vgg16_is_weight_traffic_bound() {
+    // 132 MiB of 8-bit weights dwarf every board's BRAM: all architectures
+    // stream weights, and weight traffic dominates accesses.
+    let model = zoo::vgg16();
+    let board = FpgaBoard::zcu102();
+    let builder = MultipleCeBuilder::new(&model, &board);
+    for arch in templates::Architecture::ALL {
+        let acc = builder.build(&arch.instantiate(&model, 4).unwrap()).unwrap();
+        let eval = CostModel::evaluate(&acc);
+        assert!(
+            eval.offchip_weight_bytes >= model.conv_weights(),
+            "{arch}: every weight crosses the pins at least once"
+        );
+        assert!(eval.weight_traffic_share() > 0.5, "{arch}");
+    }
+}
+
+#[test]
+fn efficientnet_b0_full_stack_with_se_gates() {
+    let model = zoo::efficientnet_b0();
+    let board = FpgaBoard::vcu108();
+    let builder = MultipleCeBuilder::new(&model, &board);
+    let sim = Simulator::new(SimConfig::default());
+    for arch in templates::Architecture::ALL {
+        for k in [2usize, 6, 11] {
+            let acc = builder.build(&arch.instantiate(&model, k).unwrap()).unwrap();
+            let eval = CostModel::evaluate(&acc);
+            assert!(eval.latency_s > 0.0, "{arch} {k}");
+            // The SE 1x1 convs over 1x1 spatial tensors must not break the
+            // pipelined row scheduler (single-row layers).
+            let r = sim.run_with_eval(&acc, &eval);
+            assert_eq!(r.offchip_bytes, eval.offchip_bytes, "{arch} {k}");
+            assert!(
+                r.latency_accuracy(&eval) > 55.0,
+                "{arch} {k}: latency accuracy {:.1}%",
+                r.latency_accuracy(&eval)
+            );
+        }
+    }
+}
+
+#[test]
+fn extended_models_listed() {
+    let names: Vec<String> =
+        zoo::extended_models().iter().map(|m| m.name().to_string()).collect();
+    assert_eq!(names, ["vgg16", "efficientnetb0"]);
+    for m in zoo::extended_models() {
+        assert_ne!(zoo::abbreviation(m.name()), "?");
+    }
+}

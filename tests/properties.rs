@@ -1,0 +1,155 @@
+//! Property-based tests over random CNNs and random architecture
+//! specifications: the whole stack must stay total, conservative, and
+//! internally consistent.
+
+use proptest::prelude::*;
+
+use mccm::arch::{notation, templates, MultipleCeBuilder};
+use mccm::cnn::synthetic::{random_cnn, SyntheticConfig};
+use mccm::cnn::zoo;
+use mccm::core::CostModel;
+use mccm::fpga::{FpgaBoard, MiB};
+use mccm::sim::{SimConfig, Simulator};
+
+fn any_board() -> impl Strategy<Value = FpgaBoard> {
+    (64u32..4096, 1u64..64, 1u64..64).prop_map(|(dsps, bram_dmib, bw_d)| {
+        FpgaBoard::new(
+            "prop",
+            dsps,
+            MiB(bram_dmib as f64 / 4.0),
+            bw_d as f64 / 2.0,
+        )
+    })
+}
+
+fn any_model() -> impl Strategy<Value = mccm::cnn::CnnModel> {
+    (0u64..64, 4usize..24, prop_oneof![Just(32u32), Just(64), Just(96)]).prop_map(
+        |(seed, layers, size)| {
+            random_cnn(
+                seed,
+                &SyntheticConfig { conv_layers: layers, input_size: size, ..Default::default() },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn build_and_evaluate_never_panics(model in any_model(), board in any_board(), k in 1usize..8) {
+        let n = model.conv_layer_count();
+        let k = k.min(n);
+        let builder = MultipleCeBuilder::new(&model, &board);
+        for arch in templates::Architecture::ALL {
+            let Ok(spec) = arch.instantiate(&model, k) else { continue };
+            let Ok(acc) = builder.build(&spec) else { continue };
+            let eval = CostModel::evaluate(&acc);
+            prop_assert!(eval.latency_s > 0.0);
+            prop_assert!(eval.throughput_fps > 0.0);
+            prop_assert!(eval.offchip_bytes >= CostModel::minimum_offchip_bytes(&acc));
+            prop_assert!((0.0..=1.0).contains(&eval.memory_stall_fraction));
+        }
+    }
+
+    #[test]
+    fn pe_budget_always_respected(model in any_model(), board in any_board(), k in 1usize..8) {
+        let n = model.conv_layer_count();
+        let k = k.min(n);
+        let builder = MultipleCeBuilder::new(&model, &board);
+        for arch in templates::Architecture::ALL {
+            let Ok(spec) = arch.instantiate(&model, k) else { continue };
+            let Ok(acc) = builder.build(&spec) else { continue };
+            let total: u32 = acc.ces.iter().map(|c| c.pes).sum();
+            prop_assert_eq!(total, board.dsps);
+            for ce in &acc.ces {
+                prop_assert!(ce.parallelism.total() <= ce.pes as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_plan_respects_bram_when_feasible(model in any_model(), board in any_board()) {
+        let builder = MultipleCeBuilder::new(&model, &board);
+        let Ok(spec) = templates::segmented(&model, 2.min(model.conv_layer_count())) else { return Ok(()) };
+        let Ok(acc) = builder.build(&spec) else { return Ok(()) };
+        if acc.buffers.fits_minimums {
+            prop_assert!(acc.buffers.total_bytes() <= board.bram_bytes());
+        }
+    }
+
+    #[test]
+    fn more_bram_never_increases_accesses(model in any_model(), k in 2usize..6) {
+        let k = k.min(model.conv_layer_count());
+        let Ok(spec) = templates::segmented(&model, k) else { return Ok(()) };
+        let mut last = u64::MAX;
+        for bram in [0.25f64, 1.0, 4.0, 16.0, 64.0] {
+            let board = FpgaBoard::new("b", 512, MiB(bram), 8.0);
+            let Ok(acc) = MultipleCeBuilder::new(&model, &board).build(&spec) else { continue };
+            let eval = CostModel::evaluate(&acc);
+            prop_assert!(
+                eval.offchip_bytes <= last,
+                "accesses grew from {last} to {} at {bram} MiB", eval.offchip_bytes
+            );
+            last = eval.offchip_bytes;
+        }
+    }
+
+    #[test]
+    fn notation_round_trip(assignments in 1usize..6, pipelined in any::<bool>(), layers in 12usize..40) {
+        // Generate a random contiguous covering spec, format, re-parse.
+        let per = layers / assignments;
+        let mut text = String::from("{");
+        let mut ce = 1usize;
+        for i in 0..assignments {
+            if i > 0 { text.push_str(", "); }
+            let first = i * per + 1;
+            let last_txt = if i + 1 == assignments { "Last".to_string() } else { format!("L{}", (i + 1) * per) };
+            if pipelined && i == 0 && per >= 2 {
+                text.push_str(&format!("L{first}-{last_txt}: CE{ce}-CE{}", ce + 1));
+                ce += 2;
+            } else {
+                text.push_str(&format!("L{first}-{last_txt}: CE{ce}"));
+                ce += 1;
+            }
+        }
+        text.push('}');
+        let spec = notation::parse(&text).unwrap();
+        let printed = notation::format(&spec);
+        prop_assert_eq!(notation::parse(&printed).unwrap(), spec);
+    }
+
+    #[test]
+    fn simulator_traffic_always_matches_model(seed in 0u64..32) {
+        let model = random_cnn(seed, &SyntheticConfig { conv_layers: 10, ..Default::default() });
+        let board = FpgaBoard::vcu108();
+        let builder = MultipleCeBuilder::new(&model, &board);
+        let sim = Simulator::new(SimConfig::default());
+        for arch in templates::Architecture::ALL {
+            let Ok(spec) = arch.instantiate(&model, 3) else { continue };
+            let Ok(acc) = builder.build(&spec) else { continue };
+            let eval = CostModel::evaluate(&acc);
+            let r = sim.run_with_eval(&acc, &eval);
+            prop_assert_eq!(r.offchip_bytes, eval.offchip_bytes);
+            prop_assert!(r.latency_s > 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn zoo_models_evaluate_on_random_boards(board in any_board(), k in 2usize..8) {
+        // Heavier models, fewer cases.
+        let model = zoo::mobilenet_v2();
+        let builder = MultipleCeBuilder::new(&model, &board);
+        for arch in templates::Architecture::ALL {
+            let Ok(spec) = arch.instantiate(&model, k) else { continue };
+            let Ok(acc) = builder.build(&spec) else { continue };
+            let eval = CostModel::evaluate(&acc);
+            prop_assert!(eval.throughput_fps.is_finite());
+            prop_assert!(eval.buffer_req_bytes > 0);
+        }
+    }
+}
