@@ -17,7 +17,22 @@ pub struct CustomSampler {
 
 impl CustomSampler {
     /// Creates a sampler with a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// If the space is degenerate: fewer than 2 layers (a design needs a
+    /// head layer and a tail layer), `min_ces < 2`, an empty CE range, or
+    /// `min_ces > layers` (no design can use more CEs than layers).
     pub fn new(space: CustomSpace, seed: u64) -> Self {
+        assert!(space.layers >= 2, "custom space needs >= 2 layers, got {}", space.layers);
+        assert!(space.min_ces >= 2, "custom space needs min_ces >= 2, got {}", space.min_ces);
+        assert!(space.min_ces <= space.max_ces, "empty CE range {}..={}", space.min_ces, space.max_ces);
+        assert!(
+            space.min_ces <= space.layers,
+            "min_ces {} exceeds layer count {}: the space is empty",
+            space.min_ces,
+            space.layers
+        );
         Self { space, rng: StdRng::seed_from_u64(seed) }
     }
 
@@ -26,7 +41,9 @@ impl CustomSampler {
         let n = self.space.layers;
         loop {
             let k = self.rng.random_range(self.space.min_ces..=self.space.max_ces);
-            let h = self.rng.random_range(1..k);
+            // Clamp the head draw so models with fewer layers than the CE
+            // range still leave at least one tail layer (h <= n - 1).
+            let h = self.rng.random_range(1..=(k - 1).min(n - 1));
             let tail_segments = k - h;
             // Interior boundary positions in (h, n).
             let n_positions = n - h - 1;
@@ -103,5 +120,35 @@ mod tests {
             assert!(d.ce_count() <= 5);
             assert!(*d.tail_ends.last().unwrap() == 6);
         }
+    }
+
+    #[test]
+    fn paper_range_on_models_smaller_than_the_ce_range() {
+        // Regression: with fewer layers than max_ces the head draw used to
+        // underflow `n - h - 1` and panic (or, in release, feed a wrapped
+        // length to the index sampler).
+        for layers in [3usize, 5, 9, 10] {
+            let space = CustomSpace::paper_range(layers);
+            for d in CustomSampler::new(space, 0).sample_many(200) {
+                assert!(d.head_layers >= 1);
+                assert!(d.head_layers < layers, "head must leave a tail layer");
+                assert_eq!(*d.tail_ends.last().unwrap(), layers);
+                assert!(d.ce_count() <= space.max_ces);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_ces >= 2")]
+    fn degenerate_min_ces_rejected_at_construction() {
+        CustomSampler::new(CustomSpace { layers: 10, min_ces: 1, max_ces: 4 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "the space is empty")]
+    fn empty_space_rejected_instead_of_spinning() {
+        // min_ces > layers means every draw is infeasible; without the
+        // construction check sample() would loop forever.
+        CustomSampler::new(CustomSpace { layers: 4, min_ces: 6, max_ces: 11 }, 0);
     }
 }

@@ -165,7 +165,10 @@ fn claim_custom_designs_beat_baselines() {
         .iter()
         .reduce(|a, b| if b.eval.throughput_fps > a.eval.throughput_fps { b } else { a })
         .unwrap();
-    let (points, _) = explorer.sample_custom(400, 3);
+    // 1000 samples (paper: 100 000): enough that a baseline-matching
+    // design reliably appears regardless of the exact RNG stream; 400 was
+    // marginal (some seeds topped out ~0.25% below the baseline).
+    let (points, _) = explorer.sample_custom(1000, 3);
     let matching_buf = points
         .iter()
         .filter(|p| p.eval.throughput_fps >= base.eval.throughput_fps * 0.999)

@@ -1,0 +1,63 @@
+//! Workspace-surface smoke test: every model the zoo exports must build
+//! on every architecture template and evaluate without panicking — the
+//! contract every downstream experiment and DSE loop relies on.
+
+use mccm::arch::{templates, MultipleCeBuilder};
+use mccm::cnn::{zoo, CnnModel};
+use mccm::core::CostModel;
+use mccm::fpga::FpgaBoard;
+
+fn every_zoo_model() -> Vec<CnnModel> {
+    let mut models = zoo::all_models();
+    models.extend(zoo::extended_models());
+    models
+}
+
+#[test]
+fn every_model_builds_on_every_template() {
+    for board in [FpgaBoard::zc706(), FpgaBoard::vcu110()] {
+        for model in every_zoo_model() {
+            let builder = MultipleCeBuilder::new(&model, &board);
+            for arch in templates::Architecture::ALL {
+                for ces in [2usize, 4, 7] {
+                    let ctx = format!("{} / {} / {ces} CEs / {}", model.name(), arch.name(), board.name);
+                    let spec = arch
+                        .instantiate(&model, ces)
+                        .unwrap_or_else(|e| panic!("instantiate failed for {ctx}: {e}"));
+                    let acc = builder.build(&spec).unwrap_or_else(|e| panic!("build failed for {ctx}: {e}"));
+                    assert_eq!(acc.ce_count(), ces, "{ctx}");
+                    let eval = CostModel::evaluate(&acc);
+                    assert!(eval.latency_s > 0.0, "{ctx}: non-positive latency");
+                    assert!(eval.throughput_fps > 0.0, "{ctx}: non-positive throughput");
+                    assert!(eval.buffer_req_bytes > 0, "{ctx}: zero buffer requirement");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_ce_counts_error_instead_of_panicking() {
+    for model in every_zoo_model() {
+        let too_many = model.conv_layer_count() + 1;
+        for arch in templates::Architecture::ALL {
+            assert!(
+                arch.instantiate(&model, too_many).is_err(),
+                "{} / {}: {too_many} CEs over {} layers should be rejected",
+                model.name(),
+                arch.name(),
+                model.conv_layer_count()
+            );
+        }
+    }
+}
+
+#[test]
+fn zoo_lookup_covers_every_exported_model() {
+    for model in every_zoo_model() {
+        let found = zoo::by_name(model.name())
+            .unwrap_or_else(|| panic!("{} missing from zoo::by_name", model.name()));
+        assert_eq!(found.name(), model.name());
+        assert_ne!(zoo::abbreviation(model.name()), "?", "{} has no abbreviation", model.name());
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Implements the subset of the rand 0.9 API this workspace uses:
+//! [`rngs::StdRng`], the [`Rng`] / [`SeedableRng`] traits with
+//! `random_range` / `random_bool`, and [`seq::index::sample`]. The
+//! generator is xoshiro256++ seeded via SplitMix64 — deterministic per
+//! seed, statistically solid for tests and sampling, but *not* the same
+//! stream as crates.io `rand`.
+
+#![warn(missing_docs)]
+
+/// A source of random `u64`s. Object-safe core of [`Rng`].
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A seedable RNG (subset of rand's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[low, high]` (inclusive on both ends).
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty sampling range");
+                let span = (high as u128) - (low as u128) + 1;
+                // Lemire-style multiply-shift; bias is < 2^-64 per draw,
+                // irrelevant at test scale.
+                let scaled = ((rng.next_u64() as u128) * span) >> 64;
+                low + scaled as Self
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Ranges acceptable to [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform + Dec> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "empty sampling range");
+        T::sample_inclusive(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Decrement helper so half-open ranges can reuse the inclusive sampler.
+pub trait Dec {
+    /// Returns `self - 1`.
+    fn dec(self) -> Self;
+}
+macro_rules! impl_dec {
+    ($($t:ty),*) => {$(impl Dec for $t { fn dec(self) -> Self { self - 1 } })*};
+}
+impl_dec!(u8, u16, u32, u64, usize);
+
+/// User-facing RNG methods (rand 0.9 naming).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        // 53 uniform mantissa bits in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related sampling helpers.
+pub mod seq {
+    /// Index sampling without replacement.
+    pub mod index {
+        use crate::{Rng, RngCore};
+
+        /// The result of [`sample`]: a set of distinct indices.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Consumes the vector, yielding the sampled indices.
+            #[allow(clippy::should_implement_trait)]
+            pub fn into_iter(self) -> std::vec::IntoIter<usize> {
+                self.0.into_iter()
+            }
+
+            /// Returns the sampled indices as a `Vec`.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices uniformly from `0..length`
+        /// via a partial Fisher–Yates shuffle.
+        ///
+        /// # Panics
+        /// If `amount > length`.
+        pub fn sample<R: RngCore>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} of {length} indices");
+            let mut pool: Vec<usize> = (0..length).collect();
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = rng.random_range(i..length);
+                pool.swap(i, j);
+                out.push(pool[i]);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(10);
+        assert_ne!(StdRng::seed_from_u64(9).next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..10 should appear in 1000 draws");
+        for _ in 0..1000 {
+            let v: u64 = rng.random_range(5..=7);
+            assert!((5..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = super::seq::index::sample(&mut rng, 20, 7).into_vec();
+            assert_eq!(v.len(), 7);
+            let set: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), 7);
+            assert!(v.iter().all(|&i| i < 20));
+        }
+    }
+}
