@@ -4,6 +4,7 @@ fn main() {
     use mccm_bench::experiments as e;
     let samples = mccm_bench::arg_value("--samples", 20_000) as usize;
     let seed = mccm_bench::arg_value("--seed", 1);
+    let workers = mccm_bench::arg_value("--workers", 0) as usize;
     for report in [
         e::table2::run(),
         e::table3::run(),
@@ -15,7 +16,7 @@ fn main() {
         e::fig7::run(),
         e::fig8::run(),
         e::fig9::run(),
-        e::fig10::run(samples, seed),
+        e::fig10::run(samples, seed, workers),
         e::speed::run(200),
         e::ablation::run(),
         e::compression::run(),

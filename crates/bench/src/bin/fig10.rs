@@ -1,7 +1,9 @@
 //! Regenerates Fig. 10 (design-space exploration). Accepts `--samples N`
-//! (default 20000; the paper uses 100000) and `--seed N`.
+//! (default 20000; the paper uses 100000), `--seed N`, and `--workers N`
+//! (default 0 = one per core).
 fn main() {
     let samples = mccm_bench::arg_value("--samples", 20_000) as usize;
     let seed = mccm_bench::arg_value("--seed", 1);
-    mccm_bench::emit(&mccm_bench::experiments::fig10::run(samples, seed));
+    let workers = mccm_bench::arg_value("--workers", 0) as usize;
+    mccm_bench::emit(&mccm_bench::experiments::fig10::run(samples, seed, workers));
 }

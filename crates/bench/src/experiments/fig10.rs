@@ -2,19 +2,24 @@
 //! custom Hybrid-head + Segmented-tail space on Xception / VCU110 —
 //! sampling the space, timing the evaluations, and comparing the best
 //! custom designs against the strongest baselines.
+//!
+//! Samples are evaluated by the sharded parallel path with lean
+//! per-design summaries, so the 100k-design runs of the paper fit in a
+//! few MiB instead of cloning full per-segment breakdowns per design;
+//! the point set is identical to the serial path for any worker count.
 
 use mccm_cnn::zoo;
 use mccm_core::Metric;
-use mccm_dse::{pareto_front, CustomSpace, Explorer};
+use mccm_dse::{par_pareto_indices, CustomSpace, Explorer};
 use mccm_fpga::FpgaBoard;
 
 use crate::output::{Report, Table};
 use crate::setups::{baseline_sweep, best_instance, mib};
 
-/// Runs the exploration with `samples` random custom designs (the paper
-/// samples 100 000; the default binary uses 20 000 and accepts
-/// `--samples N`).
-pub fn run(samples: usize, seed: u64) -> Report {
+/// Runs the exploration with `samples` random custom designs across
+/// `workers` threads (0 = one per core; the paper samples 100 000, the
+/// default binary uses 20 000 and accepts `--samples N` / `--workers N`).
+pub fn run(samples: usize, seed: u64, workers: usize) -> Report {
     let model = zoo::xception();
     let board = FpgaBoard::vcu110();
     let explorer = Explorer::new(&model, &board);
@@ -24,7 +29,9 @@ pub fn run(samples: usize, seed: u64) -> Report {
         best_instance(&sweep, mccm_arch::templates::Architecture::Segmented, Metric::Throughput)
             .unwrap();
 
-    let (points, elapsed) = explorer.sample_custom(samples, seed);
+    let (points, elapsed) = explorer
+        .par_sample_custom_summaries(samples, seed, workers)
+        .expect("custom sampling failed");
     let per_design = elapsed.as_secs_f64() / samples as f64;
 
     let mut report = Report::new(
@@ -36,24 +43,28 @@ pub fn run(samples: usize, seed: u64) -> Report {
     let mut t = Table::new("scatter", &["notation", "CEs", "throughput (FPS)", "buffers (MiB)"]);
     for p in &points {
         t.row(vec![
-            p.eval.notation.clone(),
-            p.eval.ce_count.to_string(),
-            format!("{:.2}", p.eval.throughput_fps),
-            format!("{:.2}", mib(p.eval.buffer_req_bytes)),
+            p.summary.notation.clone(),
+            p.summary.ce_count.to_string(),
+            format!("{:.2}", p.summary.throughput_fps),
+            format!("{:.2}", mib(p.summary.buffer_req_bytes)),
         ]);
     }
     report.tables.push(t);
 
-    // Pareto front over (throughput up, buffers down).
-    let evals: Vec<_> = points.iter().map(|p| p.eval.clone()).collect();
-    let front = pareto_front(&evals, &[Metric::Throughput, Metric::OnChipBuffers]);
+    // Pareto front over (throughput up, buffers down), extracted with
+    // per-worker local fronts merged at the end. The scatter table above
+    // was the last user of the full points, so move the summaries out
+    // instead of cloning 100k notation strings.
+    let summaries: Vec<_> = points.into_iter().map(|p| p.summary).collect();
+    let front =
+        par_pareto_indices(&summaries, &[Metric::Throughput, Metric::OnChipBuffers], workers);
     let mut pf = Table::new("pareto", &["notation", "CEs", "throughput (FPS)", "buffers (MiB)"]);
     for &i in &front {
         pf.row(vec![
-            evals[i].notation.clone(),
-            evals[i].ce_count.to_string(),
-            format!("{:.2}", evals[i].throughput_fps),
-            format!("{:.2}", mib(evals[i].buffer_req_bytes)),
+            summaries[i].notation.clone(),
+            summaries[i].ce_count.to_string(),
+            format!("{:.2}", summaries[i].throughput_fps),
+            format!("{:.2}", mib(summaries[i].buffer_req_bytes)),
         ]);
     }
     report.tables.push(pf);
@@ -62,14 +73,13 @@ pub fn run(samples: usize, seed: u64) -> Report {
     // highest-throughput baseline).
     let base_fps = seg_best.eval.throughput_fps;
     let base_buf = seg_best.eval.buffer_req_bytes as f64;
-    let matching: Vec<&mccm_core::Evaluation> =
-        evals.iter().filter(|e| e.throughput_fps >= base_fps * 0.999).collect();
-    let best_buf_at_base = matching
+    let best_buf_at_base = summaries
         .iter()
+        .filter(|e| e.throughput_fps >= base_fps * 0.999)
         .map(|e| e.buffer_req_bytes as f64)
         .fold(f64::INFINITY, f64::min);
-    let best_fps = evals.iter().map(|e| e.throughput_fps).fold(0.0f64, f64::max);
-    let best_fps_buf = evals
+    let best_fps = summaries.iter().map(|e| e.throughput_fps).fold(0.0f64, f64::max);
+    let best_fps_buf = summaries
         .iter()
         .filter(|e| e.throughput_fps >= best_fps * 0.999)
         .map(|e| e.buffer_req_bytes as f64)
@@ -110,7 +120,7 @@ pub fn run(samples: usize, seed: u64) -> Report {
 mod tests {
     #[test]
     fn small_sample_runs() {
-        let r = super::run(200, 7);
+        let r = super::run(200, 7, 2);
         assert_eq!(r.tables[0].rows.len(), 200);
         assert!(!r.tables[1].rows.is_empty());
         assert!(r.notes.len() >= 4);

@@ -21,8 +21,15 @@ pub fn boards() -> Vec<FpgaBoard> {
 }
 
 /// Sweeps the three baselines over the CE range for one (CNN, board) pair.
+///
+/// # Panics
+///
+/// On real builder faults (anything other than infeasible instances);
+/// the experiment harness treats those as bugs, not data.
 pub fn baseline_sweep(model: &CnnModel, board: &FpgaBoard) -> Vec<BaselinePoint> {
-    Explorer::new(model, board).sweep_baselines(CE_RANGE)
+    Explorer::new(model, board)
+        .sweep_baselines(CE_RANGE)
+        .expect("baseline sweep hit a builder fault")
 }
 
 /// The best instance of one architecture under a metric: `(ces, point)`.

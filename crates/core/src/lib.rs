@@ -38,6 +38,6 @@ mod report;
 pub use accuracy::{accuracy_pct, AccuracyRecord, AccuracySummary};
 pub use config::{ModelConfig, PipelineLatencyMode};
 pub use energy::{EnergyEstimate, EnergyModel};
-pub use metrics::Metric;
+pub use metrics::{Metric, MetricSource};
 pub use model::CostModel;
-pub use report::{CeReport, Evaluation, LayerReport, SegmentReport, SpillPolicy};
+pub use report::{CeReport, EvalSummary, Evaluation, LayerReport, SegmentReport, SpillPolicy};

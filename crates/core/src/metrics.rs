@@ -3,7 +3,36 @@
 
 use std::fmt;
 
-use crate::report::Evaluation;
+use crate::report::{EvalSummary, Evaluation};
+
+/// Anything the four paper metrics can be read from: the full
+/// [`Evaluation`] or the lean [`EvalSummary`] used by big sweeps.
+pub trait MetricSource {
+    /// Raw value of `metric` on this record.
+    fn metric_value(&self, metric: Metric) -> f64;
+}
+
+impl MetricSource for Evaluation {
+    fn metric_value(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Latency => self.latency_s,
+            Metric::Throughput => self.throughput_fps,
+            Metric::OnChipBuffers => self.buffer_req_bytes as f64,
+            Metric::OffChipAccesses => self.offchip_bytes as f64,
+        }
+    }
+}
+
+impl MetricSource for EvalSummary {
+    fn metric_value(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Latency => self.latency_s,
+            Metric::Throughput => self.throughput_fps,
+            Metric::OnChipBuffers => self.buffer_req_bytes as f64,
+            Metric::OffChipAccesses => self.offchip_bytes as f64,
+        }
+    }
+}
 
 /// A paper metric (Table I / Table V rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,14 +62,9 @@ impl Metric {
         }
     }
 
-    /// Raw metric value from an evaluation.
-    pub fn value(&self, e: &Evaluation) -> f64 {
-        match self {
-            Self::Latency => e.latency_s,
-            Self::Throughput => e.throughput_fps,
-            Self::OnChipBuffers => e.buffer_req_bytes as f64,
-            Self::OffChipAccesses => e.offchip_bytes as f64,
-        }
+    /// Raw metric value from an evaluation or summary.
+    pub fn value<S: MetricSource>(&self, e: &S) -> f64 {
+        e.metric_value(*self)
     }
 
     /// Whether higher values are better.

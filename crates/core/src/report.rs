@@ -168,10 +168,92 @@ pub struct Evaluation {
     pub layers: Vec<LayerReport>,
 }
 
+/// A lean, metrics-only view of an [`Evaluation`]: the design's notation
+/// plus the scalar end-to-end metrics, without the per-segment /
+/// per-engine / per-layer breakdown vectors.
+///
+/// Big design-space sweeps accumulate one record per evaluated design;
+/// carrying full [`Evaluation`]s means cloning (and keeping alive) three
+/// heap vectors per design. A 100k-design sweep only needs the scalars,
+/// so workers convert each evaluation with [`Evaluation::summary`] and
+/// drop the heavy breakdowns immediately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalSummary {
+    /// Accelerator notation (`{L1-L4: CE1, …}`) identifying the design.
+    pub notation: String,
+    /// Number of CEs.
+    pub ce_count: usize,
+    /// End-to-end single-input latency in seconds.
+    pub latency_s: f64,
+    /// Steady-state throughput in frames per second.
+    pub throughput_fps: f64,
+    /// On-chip buffer requirement in bytes (Eqs. 4/5/8).
+    pub buffer_req_bytes: u64,
+    /// On-chip bytes actually granted by the builder's plan (≤ BRAM).
+    pub buffer_alloc_bytes: u64,
+    /// Off-chip traffic per inference in bytes.
+    pub offchip_bytes: u64,
+    /// Weight portion of `offchip_bytes`.
+    pub offchip_weight_bytes: u64,
+    /// Feature-map portion of `offchip_bytes`.
+    pub offchip_fm_bytes: u64,
+    /// Fraction of end-to-end time the engines stall on memory.
+    pub memory_stall_fraction: f64,
+}
+
+impl EvalSummary {
+    /// Latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_s * 1e3
+    }
+
+    /// Off-chip traffic in MiB.
+    pub fn offchip_mib(&self) -> f64 {
+        self.offchip_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Buffer requirement in MiB.
+    pub fn buffer_mib(&self) -> f64 {
+        self.buffer_req_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl fmt::Display for EvalSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} CEs]: latency {:.2} ms, {:.1} FPS, buffers {:.2} MiB, off-chip {:.1} MiB",
+            self.notation,
+            self.ce_count,
+            self.latency_ms(),
+            self.throughput_fps,
+            self.buffer_mib(),
+            self.offchip_mib()
+        )
+    }
+}
+
 impl Evaluation {
     /// Latency in milliseconds.
     pub fn latency_ms(&self) -> f64 {
         self.latency_s * 1e3
+    }
+
+    /// The metrics-only view of this evaluation (drops the per-segment /
+    /// per-engine / per-layer breakdowns).
+    pub fn summary(&self) -> EvalSummary {
+        EvalSummary {
+            notation: self.notation.clone(),
+            ce_count: self.ce_count,
+            latency_s: self.latency_s,
+            throughput_fps: self.throughput_fps,
+            buffer_req_bytes: self.buffer_req_bytes,
+            buffer_alloc_bytes: self.buffer_alloc_bytes,
+            offchip_bytes: self.offchip_bytes,
+            offchip_weight_bytes: self.offchip_weight_bytes,
+            offchip_fm_bytes: self.offchip_fm_bytes,
+            memory_stall_fraction: self.memory_stall_fraction,
+        }
     }
 
     /// Off-chip traffic in MiB.
@@ -298,6 +380,17 @@ mod tests {
         let text = eval_stub().to_string();
         assert!(text.contains("100.0 FPS"));
         assert!(text.contains("10.00 ms"));
+    }
+
+    #[test]
+    fn summary_keeps_scalars_and_drops_breakdowns() {
+        let e = eval_stub();
+        let s = e.summary();
+        assert_eq!(s.notation, e.notation);
+        assert_eq!(s.ce_count, e.ce_count);
+        assert_eq!(s.buffer_req_bytes, e.buffer_req_bytes);
+        assert!((s.latency_ms() - e.latency_ms()).abs() < 1e-12);
+        assert!(s.to_string().contains("100.0 FPS"));
     }
 
     #[test]

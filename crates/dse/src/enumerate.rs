@@ -1,0 +1,381 @@
+//! Lexicographic enumeration of a [`CustomSpace`] with rank/unrank.
+//!
+//! Designs are totally ordered by `(ce_count, head_layers, boundaries)`:
+//! CE count ascending, head length ascending, then the tail-boundary
+//! combination in lexicographic order. [`CustomSpace::rank`] and
+//! [`CustomSpace::unrank`] map between designs and their position in that
+//! order via the combinatorial number system, so the whole space — or any
+//! contiguous chunk of it — can be walked without materializing it. That
+//! is what lets exhaustive sweeps shard a space into `[start, end)` rank
+//! ranges and hand each range to a worker thread
+//! ([`CustomSpace::shards`]).
+
+use crate::space::{binomial_checked, CustomDesign, CustomSpace};
+
+/// One `(ce_count, head)` block: all designs sharing a CE count and head
+/// length, ordered by their tail-boundary combination.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    /// Head layers `h`.
+    head: usize,
+    /// Tail segments `k - h` (≥ 1).
+    segments: usize,
+    /// Interior boundary positions available: `layers - h - 1`.
+    positions: usize,
+    /// Designs in the block: `C(positions, segments - 1)`, `None` when the
+    /// count overflows `u128`.
+    size: Option<u128>,
+}
+
+/// Non-empty blocks of `space` in enumeration order.
+fn blocks(space: &CustomSpace) -> Vec<Block> {
+    let n = space.layers;
+    let mut out = Vec::new();
+    for k in space.min_ces..=space.max_ces {
+        for h in 1..k {
+            if h + 1 > n {
+                continue; // no tail layer left
+            }
+            let positions = n - h - 1;
+            let segments = k - h;
+            if positions + 1 < segments {
+                continue; // not enough layers for that many segments
+            }
+            let size = binomial_checked(positions as u128, segments as u128 - 1);
+            out.push(Block { head: h, segments, positions, size });
+        }
+    }
+    out
+}
+
+/// Lexicographic rank of the `t`-combination `comb` (strictly increasing
+/// values in `0..m`), or `None` on overflow.
+fn comb_rank(m: usize, comb: &[usize]) -> Option<u128> {
+    let t = comb.len();
+    let mut rank = 0u128;
+    let mut prev = 0usize;
+    for (j, &c) in comb.iter().enumerate() {
+        for v in prev..c {
+            rank = rank.checked_add(binomial_checked(
+                (m - v - 1) as u128,
+                (t - j - 1) as u128,
+            )?)?;
+        }
+        prev = c + 1;
+    }
+    Some(rank)
+}
+
+/// The `t`-combination of `0..m` at lexicographic `rank` (`rank` must be
+/// `< C(m, t)`), or `None` on overflow.
+fn comb_unrank(m: usize, t: usize, mut rank: u128) -> Option<Vec<usize>> {
+    let mut comb = Vec::with_capacity(t);
+    let mut v = 0usize;
+    for j in 0..t {
+        loop {
+            debug_assert!(v < m, "rank out of range for C({m}, {t})");
+            let with_v = binomial_checked((m - v - 1) as u128, (t - j - 1) as u128)?;
+            if rank < with_v {
+                comb.push(v);
+                v += 1;
+                break;
+            }
+            rank -= with_v;
+            v += 1;
+        }
+    }
+    Some(comb)
+}
+
+/// Advances `comb` (a combination of `0..m`) to its lexicographic
+/// successor in place; returns `false` when `comb` was the last one.
+fn next_combination(comb: &mut [usize], m: usize) -> bool {
+    let t = comb.len();
+    for j in (0..t).rev() {
+        if comb[j] < m - (t - j) {
+            comb[j] += 1;
+            for i in j + 1..t {
+                comb[i] = comb[i - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Iterator over a [`CustomSpace`]'s designs in lexicographic order.
+///
+/// Created by [`CustomSpace::designs`] or [`CustomSpace::designs_from`];
+/// see the module docs for the ordering.
+#[derive(Debug, Clone)]
+pub struct DesignIter {
+    layers: usize,
+    blocks: Vec<Block>,
+    /// Index of the current block, or `blocks.len()` when exhausted.
+    block: usize,
+    /// Current combination within the block (next design to yield).
+    comb: Vec<usize>,
+    /// Whether `comb` has already been yielded.
+    spent: bool,
+}
+
+impl DesignIter {
+    fn design(&self) -> CustomDesign {
+        let b = &self.blocks[self.block];
+        let mut tail_ends: Vec<usize> =
+            self.comb.iter().map(|&c| b.head + 1 + c).collect();
+        tail_ends.push(self.layers);
+        CustomDesign { head_layers: b.head, tail_ends }
+    }
+
+    fn enter_block(&mut self, block: usize) {
+        self.block = block;
+        self.spent = false;
+        if block < self.blocks.len() {
+            let b = &self.blocks[block];
+            self.comb = (0..b.segments - 1).collect();
+        }
+    }
+}
+
+impl Iterator for DesignIter {
+    type Item = CustomDesign;
+
+    fn next(&mut self) -> Option<CustomDesign> {
+        loop {
+            if self.block >= self.blocks.len() {
+                return None;
+            }
+            if !self.spent {
+                self.spent = true;
+                return Some(self.design());
+            }
+            let positions = self.blocks[self.block].positions;
+            if next_combination(&mut self.comb, positions) {
+                return Some(self.design());
+            }
+            self.enter_block(self.block + 1);
+        }
+    }
+}
+
+impl CustomSpace {
+    /// Iterates every design of the space in lexicographic order.
+    pub fn designs(&self) -> DesignIter {
+        let mut it = DesignIter {
+            layers: self.layers,
+            blocks: blocks(self),
+            block: 0,
+            comb: Vec::new(),
+            spent: false,
+        };
+        it.enter_block(0);
+        it
+    }
+
+    /// Iterates designs starting at lexicographic `rank` (inclusive);
+    /// `None` when `rank >= size` or the space is too large to rank.
+    pub fn designs_from(&self, rank: u128) -> Option<DesignIter> {
+        let blocks = blocks(self);
+        let mut remaining = rank;
+        for (i, b) in blocks.iter().enumerate() {
+            let size = b.size?;
+            if remaining < size {
+                let comb = comb_unrank(b.positions, b.segments - 1, remaining)?;
+                return Some(DesignIter {
+                    layers: self.layers,
+                    blocks,
+                    block: i,
+                    comb,
+                    spent: false,
+                });
+            }
+            remaining -= size;
+        }
+        None
+    }
+
+    /// Lexicographic rank of `design` in this space; `None` when the
+    /// design does not belong to the space (wrong CE count, head, or
+    /// boundaries) or the space is too large to rank.
+    pub fn rank(&self, design: &CustomDesign) -> Option<u128> {
+        let n = self.layers;
+        let h = design.head_layers;
+        let k = design.ce_count();
+        if h < 1 || !(self.min_ces..=self.max_ces).contains(&k) {
+            return None;
+        }
+        if design.tail_ends.last() != Some(&n) {
+            return None;
+        }
+        // Interior boundaries must be strictly increasing in (h, n).
+        let interior = &design.tail_ends[..design.tail_ends.len() - 1];
+        let mut prev = h;
+        for &e in interior {
+            if e <= prev || e >= n {
+                return None;
+            }
+            prev = e;
+        }
+        let mut base = 0u128;
+        for b in blocks(self) {
+            if b.head == h && b.segments == k - h {
+                let comb: Vec<usize> = interior.iter().map(|&e| e - h - 1).collect();
+                return base.checked_add(comb_rank(b.positions, &comb)?);
+            }
+            base = base.checked_add(b.size?)?;
+        }
+        None
+    }
+
+    /// The design at lexicographic `rank`; `None` when `rank >= size` or
+    /// the space is too large to rank.
+    pub fn unrank(&self, rank: u128) -> Option<CustomDesign> {
+        let mut it = self.designs_from(rank)?;
+        it.next()
+    }
+
+    /// Splits `[0, size)` into at most `shards` contiguous, near-equal
+    /// `(start, end)` rank ranges — one per worker of a sharded exhaustive
+    /// sweep. Empty ranges are dropped, so fewer than `shards` ranges come
+    /// back for tiny spaces; `None` when the space is too large to count.
+    pub fn shards(&self, shards: usize) -> Option<Vec<(u128, u128)>> {
+        Some(partition(self.size_checked()?, shards))
+    }
+}
+
+/// Splits `[0, len)` into at most `parts` contiguous near-equal ranges
+/// (sizes differing by at most one); empty ranges are dropped. Shared by
+/// rank-range sharding and the parallel engine's attempt batching.
+pub(crate) fn partition(len: u128, parts: usize) -> Vec<(u128, u128)> {
+    let parts = parts.max(1) as u128;
+    let chunk = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::new();
+    let mut start = 0u128;
+    for i in 0..parts {
+        let size = chunk + u128::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_space_enumerates_in_order() {
+        // n=4, k=2..3 — the 4 designs of space.rs's `tiny_space_enumerates`.
+        let space = CustomSpace { layers: 4, min_ces: 2, max_ces: 3 };
+        let all: Vec<CustomDesign> = space.designs().collect();
+        assert_eq!(all.len() as u128, space.size());
+        let expected = [
+            CustomDesign { head_layers: 1, tail_ends: vec![4] },
+            CustomDesign { head_layers: 1, tail_ends: vec![2, 4] },
+            CustomDesign { head_layers: 1, tail_ends: vec![3, 4] },
+            CustomDesign { head_layers: 2, tail_ends: vec![4] },
+        ];
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        for space in [
+            CustomSpace { layers: 7, min_ces: 2, max_ces: 5 },
+            CustomSpace { layers: 10, min_ces: 2, max_ces: 4 },
+            CustomSpace { layers: 5, min_ces: 2, max_ces: 11 }, // clamped head
+        ] {
+            let size = space.size();
+            let mut seen = std::collections::HashSet::new();
+            for (i, d) in space.designs().enumerate() {
+                let r = i as u128;
+                assert_eq!(space.rank(&d), Some(r), "{d:?}");
+                assert_eq!(space.unrank(r).as_ref(), Some(&d));
+                assert!(seen.insert(d), "duplicate design at rank {r}");
+            }
+            assert_eq!(seen.len() as u128, size);
+            assert_eq!(space.unrank(size), None);
+        }
+    }
+
+    #[test]
+    fn designs_from_resumes_mid_stream() {
+        let space = CustomSpace { layers: 9, min_ces: 2, max_ces: 5 };
+        let all: Vec<CustomDesign> = space.designs().collect();
+        for start in [0u128, 1, 7, all.len() as u128 - 1] {
+            let tail: Vec<CustomDesign> =
+                space.designs_from(start).unwrap().collect();
+            assert_eq!(tail, all[start as usize..]);
+        }
+        assert!(space.designs_from(all.len() as u128).is_none());
+    }
+
+    #[test]
+    fn shards_partition_the_space() {
+        let space = CustomSpace { layers: 10, min_ces: 2, max_ces: 6 };
+        let size = space.size();
+        for workers in [1usize, 2, 3, 7, 100_000] {
+            let shards = space.shards(workers).unwrap();
+            assert!(shards.len() <= workers.max(1));
+            let mut expect_start = 0u128;
+            for &(start, end) in &shards {
+                assert_eq!(start, expect_start);
+                assert!(end > start);
+                expect_start = end;
+            }
+            assert_eq!(expect_start, size);
+        }
+    }
+
+    #[test]
+    fn sharded_iteration_covers_exactly_the_space() {
+        let space = CustomSpace { layers: 8, min_ces: 2, max_ces: 6 };
+        let all: Vec<CustomDesign> = space.designs().collect();
+        let mut sharded = Vec::new();
+        for (start, end) in space.shards(3).unwrap() {
+            let take = (end - start) as usize;
+            sharded.extend(space.designs_from(start).unwrap().take(take));
+        }
+        assert_eq!(sharded, all);
+    }
+
+    #[test]
+    fn rank_rejects_foreign_designs() {
+        let space = CustomSpace { layers: 8, min_ces: 2, max_ces: 4 };
+        // Too many CEs for the space.
+        let d = CustomDesign { head_layers: 3, tail_ends: vec![5, 6, 7, 8] };
+        assert_eq!(space.rank(&d), None);
+        // Boundary past the model.
+        let d = CustomDesign { head_layers: 1, tail_ends: vec![9] };
+        assert_eq!(space.rank(&d), None);
+        // Non-increasing boundaries.
+        let d = CustomDesign { head_layers: 1, tail_ends: vec![5, 5, 8] };
+        assert_eq!(space.rank(&d), None);
+    }
+
+    #[test]
+    fn empty_space_yields_nothing() {
+        let space = CustomSpace { layers: 4, min_ces: 6, max_ces: 11 };
+        assert_eq!(space.designs().count(), 0);
+        assert_eq!(space.size(), 0);
+        assert_eq!(space.shards(4), Some(vec![]));
+    }
+
+    #[test]
+    fn paper_scale_space_ranks_at_the_edges() {
+        // Xception's ~10^11-design space: rank/unrank must work at both
+        // ends without enumerating anything.
+        let space = CustomSpace::paper_range(74);
+        let size = space.size();
+        let first = space.unrank(0).unwrap();
+        assert_eq!(space.rank(&first), Some(0));
+        let last = space.unrank(size - 1).unwrap();
+        assert_eq!(space.rank(&last), Some(size - 1));
+        assert!(space.unrank(size).is_none());
+    }
+}

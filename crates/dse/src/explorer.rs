@@ -1,14 +1,22 @@
 //! The exploration driver: baseline sweeps, custom-space sampling, and
 //! timing of model evaluations (the paper's Use Cases 1 and 3).
+//!
+//! Every sampling entry point is attempt-capped (no more unbounded
+//! retry loops on infeasible spaces) and distinguishes genuinely
+//! infeasible designs — skipped — from real builder faults, which are
+//! propagated as [`ExploreError::Arch`]. The `par_*` twins of each sweep
+//! live in the [`crate::parallel`] machinery and return identical results
+//! for any worker count.
 
 use std::time::{Duration, Instant};
 
 use mccm_arch::{templates, AcceleratorSpec, ArchError, MultipleCeBuilder};
 use mccm_cnn::CnnModel;
-use mccm_core::{CostModel, Evaluation};
+use mccm_core::{CostModel, EvalSummary, Evaluation};
 use mccm_fpga::FpgaBoard;
 
-use crate::sampler::CustomSampler;
+use crate::error::ExploreError;
+use crate::parallel;
 use crate::space::{CustomDesign, CustomSpace};
 
 /// One evaluated design.
@@ -31,6 +39,24 @@ pub struct BaselinePoint {
     pub eval: Evaluation,
 }
 
+/// A custom-space design with its lean evaluation summary — the record
+/// big sweeps accumulate instead of full [`DesignPoint`]s, so 100k-design
+/// runs stop cloning the heavy per-segment/per-engine/per-layer vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomPoint {
+    /// The sampled (or enumerated) design.
+    pub design: CustomDesign,
+    /// Its metrics-only evaluation.
+    pub summary: EvalSummary,
+}
+
+/// Default sampling attempt budget for `count` requested points: spaces
+/// where fewer than ~1/64 of draws are feasible fail fast with
+/// [`ExploreError::AttemptsExhausted`] instead of spinning forever.
+pub fn default_max_attempts(count: usize) -> u64 {
+    (count as u64).saturating_mul(64).max(1024)
+}
+
 /// Explores designs for one (CNN, board) pair.
 ///
 /// # Examples
@@ -42,7 +68,7 @@ pub struct BaselinePoint {
 ///
 /// let model = zoo::mobilenet_v2();
 /// let explorer = Explorer::new(&model, &FpgaBoard::zc706());
-/// let baselines = explorer.sweep_baselines(2..=5);
+/// let baselines = explorer.sweep_baselines(2..=5).unwrap();
 /// assert_eq!(baselines.len(), 3 * 4);
 /// ```
 #[derive(Debug, Clone)]
@@ -72,46 +98,131 @@ impl Explorer {
         Ok(DesignPoint { spec: spec.clone(), eval: CostModel::evaluate(&acc) })
     }
 
+    /// Evaluates one baseline grid cell: `Ok(None)` when the combination
+    /// is infeasible on this board, `Err` on any real builder fault.
+    pub(crate) fn baseline_cell(
+        &self,
+        architecture: templates::Architecture,
+        ces: usize,
+    ) -> Result<Option<BaselinePoint>, ArchError> {
+        let spec = match architecture.instantiate(&self.model, ces) {
+            Ok(spec) => spec,
+            Err(ArchError::Infeasible { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match self.evaluate(&spec) {
+            Ok(point) => Ok(Some(BaselinePoint { architecture, ces, eval: point.eval })),
+            Err(ArchError::Infeasible { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Evaluates a sampled custom design: `Ok(None)` when infeasible,
+    /// `Err` on real faults.
+    pub(crate) fn custom_cell(
+        &self,
+        design: &CustomDesign,
+    ) -> Result<Option<DesignPoint>, ArchError> {
+        let spec = match design.to_spec(&self.model) {
+            Ok(spec) => spec,
+            Err(ArchError::Infeasible { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match self.evaluate(&spec) {
+            Ok(point) => Ok(Some(point)),
+            Err(ArchError::Infeasible { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Evaluates every baseline architecture at every CE count in `range`
     /// (infeasible combinations skipped) — the instance grid behind
     /// Tables I/V and Figs. 5/8.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any builder fault other than [`ArchError::Infeasible`]
+    /// — real bugs must not be silently reported as "infeasible" (the old
+    /// code swallowed every error here).
     pub fn sweep_baselines(
         &self,
         range: impl IntoIterator<Item = usize> + Clone,
-    ) -> Vec<BaselinePoint> {
+    ) -> Result<Vec<BaselinePoint>, ArchError> {
         let mut out = Vec::new();
         for architecture in templates::Architecture::ALL {
             for ces in range.clone() {
-                let Ok(spec) = architecture.instantiate(&self.model, ces) else {
-                    continue;
-                };
-                let Ok(point) = self.evaluate(&spec) else { continue };
-                out.push(BaselinePoint { architecture, ces, eval: point.eval });
+                if let Some(point) = self.baseline_cell(architecture, ces)? {
+                    out.push(point);
+                }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Samples and evaluates `count` custom designs (Use Case 3),
-    /// returning the points plus the total model-evaluation wall time —
-    /// the quantity behind the paper's "100000 designs in 10.5 minutes".
+    /// returning the points plus the total wall time — the quantity
+    /// behind the paper's "100000 designs in 10.5 minutes".
+    ///
+    /// The point set is a pure function of `(count, seed)` — the same set
+    /// the `par_sample_custom` twin produces for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::AttemptsExhausted`] when the default attempt
+    /// budget ([`default_max_attempts`]) runs out before `count` feasible
+    /// designs are found, [`ExploreError::Arch`] on real builder faults.
     pub fn sample_custom(
         &self,
         count: usize,
         seed: u64,
-    ) -> (Vec<DesignPoint>, Duration) {
-        let space = CustomSpace::paper_range(self.model.conv_layer_count());
-        let mut sampler = CustomSampler::new(space, seed);
-        let mut points = Vec::with_capacity(count);
+    ) -> Result<(Vec<DesignPoint>, Duration), ExploreError> {
+        self.sample_custom_capped(count, seed, default_max_attempts(count))
+    }
+
+    /// [`Self::sample_custom`] with an explicit attempt budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sample_custom`], with `max_attempts` as the budget.
+    pub fn sample_custom_capped(
+        &self,
+        count: usize,
+        seed: u64,
+        max_attempts: u64,
+    ) -> Result<(Vec<DesignPoint>, Duration), ExploreError> {
         let start = Instant::now();
-        while points.len() < count {
-            let design: CustomDesign = sampler.sample();
-            let Ok(spec) = design.to_spec(&self.model) else { continue };
-            if let Ok(p) = self.evaluate(&spec) {
-                points.push(p);
-            }
-        }
-        (points, start.elapsed())
+        let points = parallel::sample_engine(self, count, seed, 1, max_attempts, &|e, d| {
+            e.custom_cell(d)
+        })?;
+        Ok((points, start.elapsed()))
+    }
+
+    /// Samples `count` custom designs, keeping only the lean
+    /// [`EvalSummary`] per design — the memory-friendly form for big
+    /// sweeps. Same point set as [`Self::sample_custom`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sample_custom`].
+    pub fn sample_custom_summaries(
+        &self,
+        count: usize,
+        seed: u64,
+    ) -> Result<(Vec<CustomPoint>, Duration), ExploreError> {
+        let start = Instant::now();
+        let points =
+            parallel::sample_engine(self, count, seed, 1, default_max_attempts(count), &|e, d| {
+                Ok(e.custom_cell(d)?.map(|p| CustomPoint {
+                    design: d.clone(),
+                    summary: p.eval.summary(),
+                }))
+            })?;
+        Ok((points, start.elapsed()))
+    }
+
+    /// The paper's custom space for this explorer's model (2–11 CEs).
+    pub fn paper_space(&self) -> CustomSpace {
+        CustomSpace::paper_range(self.model.conv_layer_count())
     }
 }
 
@@ -125,7 +236,7 @@ mod tests {
     fn baseline_sweep_covers_grid() {
         let m = zoo::resnet50();
         let e = Explorer::new(&m, &FpgaBoard::vcu108());
-        let points = e.sweep_baselines(2..=11);
+        let points = e.sweep_baselines(2..=11).unwrap();
         assert_eq!(points.len(), 30); // 3 architectures x 10 CE counts
         for p in &points {
             assert_eq!(p.eval.ce_count, p.ces);
@@ -137,7 +248,7 @@ mod tests {
     fn custom_sampling_produces_valid_points() {
         let m = zoo::mobilenet_v2();
         let e = Explorer::new(&m, &FpgaBoard::vcu110());
-        let (points, elapsed) = e.sample_custom(50, 9);
+        let (points, elapsed) = e.sample_custom(50, 9).unwrap();
         assert_eq!(points.len(), 50);
         assert!(elapsed.as_nanos() > 0);
         for p in &points {
@@ -147,17 +258,29 @@ mod tests {
     }
 
     #[test]
+    fn summaries_match_full_points() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let (full, _) = e.sample_custom(25, 4).unwrap();
+        let (lean, _) = e.sample_custom_summaries(25, 4).unwrap();
+        assert_eq!(full.len(), lean.len());
+        for (f, l) in full.iter().zip(&lean) {
+            assert_eq!(f.eval.summary(), l.summary);
+        }
+    }
+
+    #[test]
     fn custom_designs_can_beat_baselines_on_some_metric() {
         // Use Case 3's premise: the custom space contains points that
         // improve on at least one baseline metric.
         let m = zoo::xception();
         let e = Explorer::new(&m, &FpgaBoard::vcu110());
-        let baselines = e.sweep_baselines(2..=11);
+        let baselines = e.sweep_baselines(2..=11).unwrap();
         let best_buffer = baselines
             .iter()
             .map(|p| Metric::OnChipBuffers.value(&p.eval))
             .fold(f64::INFINITY, f64::min);
-        let (points, _) = e.sample_custom(120, 11);
+        let (points, _) = e.sample_custom(120, 11).unwrap();
         let best_custom = points
             .iter()
             .map(|p| Metric::OnChipBuffers.value(&p.eval))
@@ -170,10 +293,26 @@ mod tests {
     fn sampling_is_deterministic() {
         let m = zoo::mobilenet_v2();
         let e = Explorer::new(&m, &FpgaBoard::zc706());
-        let (a, _) = e.sample_custom(20, 5);
-        let (b, _) = e.sample_custom(20, 5);
+        let (a, _) = e.sample_custom(20, 5).unwrap();
+        let (b, _) = e.sample_custom(20, 5).unwrap();
         let na: Vec<_> = a.iter().map(|p| p.eval.notation.clone()).collect();
         let nb: Vec<_> = b.iter().map(|p| p.eval.notation.clone()).collect();
         assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn exhausted_attempt_budget_errors_instead_of_hanging() {
+        // Regression: `while points.len() < count` used to spin forever
+        // when the space could not yield enough feasible designs.
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        match e.sample_custom_capped(100, 1, 5) {
+            Err(ExploreError::AttemptsExhausted { wanted, got, attempts }) => {
+                assert_eq!(wanted, 100);
+                assert!(got <= 5);
+                assert!(attempts <= 5);
+            }
+            other => panic!("expected AttemptsExhausted, got {other:?}"),
+        }
     }
 }

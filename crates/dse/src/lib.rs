@@ -4,9 +4,15 @@
 //! Implements the machinery behind the paper's Use Cases 1 and 3: baseline
 //! sweeps over the three state-of-the-art architectures and CE counts
 //! (Table V, Figs. 5/8), best-architecture selection with the 10% tie rule,
-//! Pareto-front extraction, and seeded random sampling of the custom
-//! Hybrid-head/Segmented-tail space whose fast evaluation the paper
+//! incremental Pareto-front extraction, and seeded random sampling of the
+//! custom Hybrid-head/Segmented-tail space whose fast evaluation the paper
 //! showcases (Fig. 10: 100 000 designs in minutes).
+//!
+//! Every sweep has a sharded, multi-threaded `par_*` twin that returns
+//! bit-identical results for any worker count (see [`crate::Explorer`]
+//! and the `parallel` module docs), and the custom space supports full
+//! lexicographic enumeration with rank/unrank for contiguous sharding
+//! ([`CustomSpace::designs`], [`CustomSpace::shards`]).
 //!
 //! ```
 //! use mccm_cnn::zoo;
@@ -15,7 +21,8 @@
 //!
 //! let model = zoo::mobilenet_v2();
 //! let explorer = Explorer::new(&model, &FpgaBoard::zc706());
-//! let sweep = explorer.sweep_baselines(2..=11);
+//! let sweep = explorer.par_sweep_baselines(2..=11, 2).unwrap();
+//! assert_eq!(sweep.len(), explorer.sweep_baselines(2..=11).unwrap().len());
 //! for cell in select_all_metrics(&sweep, PAPER_TIE_FRAC) {
 //!     assert!(!cell.winners.is_empty());
 //! }
@@ -23,14 +30,20 @@
 
 #![warn(missing_docs)]
 
+mod enumerate;
+mod error;
 mod explorer;
+mod parallel;
 mod pareto;
 mod sampler;
 mod selection;
 mod space;
 
-pub use explorer::{BaselinePoint, DesignPoint, Explorer};
-pub use pareto::pareto_front;
-pub use sampler::CustomSampler;
+pub use enumerate::DesignIter;
+pub use error::ExploreError;
+pub use explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint, Explorer};
+pub use parallel::{par_pareto_indices, EXHAUSTIVE_LIMIT};
+pub use pareto::{pareto_front, ParetoFront};
+pub use sampler::{sample_attempt, CustomSampler};
 pub use selection::{select_all_metrics, select_best, SelectionCell, PAPER_TIE_FRAC};
-pub use space::{binomial, CustomDesign, CustomSpace};
+pub use space::{binomial, binomial_checked, CustomDesign, CustomSpace};

@@ -1,0 +1,440 @@
+//! Parallel, sharded design-space sweeps over `std::thread::scope`.
+//!
+//! Every `par_*` entry point is **worker-count invariant**: it returns
+//! exactly the designs (in exactly the order) its serial twin returns.
+//! Three mechanisms make that hold:
+//!
+//! * sampled sweeps draw each design from a counter-based RNG stream
+//!   ([`crate::sample_attempt`]) — the design of attempt `a` is a pure
+//!   function of `(seed, a)`, so sharding attempts across threads cannot
+//!   change the point set, only who evaluates it;
+//! * attempts are processed in contiguous batches, and the result is the
+//!   first `count` feasible designs *in attempt order* — overshoot from a
+//!   batch is discarded deterministically;
+//! * exhaustive sweeps shard the space by contiguous lexicographic rank
+//!   ranges ([`CustomSpace::shards`]) and concatenate shard results in
+//!   rank order.
+//!
+//! Worker threads accumulate lean [`CustomPoint`]s and local
+//! [`ParetoFront`]s; fronts are merged at the end ([`par_pareto_indices`])
+//! — the front of a union is the merge of the parts' fronts.
+
+use std::time::{Duration, Instant};
+
+use mccm_arch::{templates, ArchError};
+use mccm_core::{Metric, MetricSource};
+
+use crate::error::ExploreError;
+use crate::explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint, Explorer};
+use crate::pareto::ParetoFront;
+use crate::sampler::{sample_attempt, CustomSampler};
+use crate::space::{CustomDesign, CustomSpace};
+
+/// Largest space [`Explorer::par_evaluate_space`] will walk exhaustively.
+pub const EXHAUSTIVE_LIMIT: u128 = 1 << 20;
+
+/// The per-design evaluation hook of [`sample_engine`]: `Ok(Some(T))`
+/// feasible, `Ok(None)` infeasible (skipped), `Err` a real fault.
+type EvalFn<'a, T> = &'a (dyn Fn(&Explorer, &CustomDesign) -> Result<Option<T>, ArchError> + Sync);
+
+/// Resolves a worker-count knob: `0` means "one per available core".
+/// Results are worker-count invariant, so the knob is silently capped at
+/// 4× the available cores — an absurd `--workers` value must not make
+/// thread spawning itself the failure mode.
+fn resolve_workers(workers: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    if workers == 0 {
+        cores
+    } else {
+        workers.min(cores.saturating_mul(4)).max(1)
+    }
+}
+
+/// Splits `len` items into at most `parts` contiguous near-equal chunks
+/// (the same partition [`CustomSpace::shards`] applies to rank ranges).
+fn chunk_bounds(len: u64, parts: usize) -> Vec<(u64, u64)> {
+    crate::enumerate::partition(len as u128, parts)
+        .into_iter()
+        .map(|(a, b)| (a as u64, b as u64))
+        .collect()
+}
+
+/// The shared sampling engine behind `sample_custom` and its parallel
+/// twin: walks the counter-based attempt stream, keeps the first `count`
+/// feasible designs in attempt order, and caps total attempts.
+///
+/// `eval` maps a drawn design to `Ok(Some(T))` (feasible), `Ok(None)`
+/// (infeasible — skipped), or `Err` (a real fault — propagated). With
+/// `workers <= 1` everything runs inline on the calling thread.
+pub(crate) fn sample_engine<T: Send>(
+    explorer: &Explorer,
+    count: usize,
+    seed: u64,
+    workers: usize,
+    max_attempts: u64,
+    eval: EvalFn<'_, T>,
+) -> Result<Vec<T>, ExploreError> {
+    let space = explorer.paper_space();
+    // Reject degenerate spaces up front (same panics as direct sampling).
+    let _ = CustomSampler::new(space, seed);
+    let workers = resolve_workers(workers);
+    let mut points: Vec<T> = Vec::new();
+
+    if workers <= 1 {
+        let mut attempt = 0u64;
+        while points.len() < count && attempt < max_attempts {
+            let design = sample_attempt(&space, seed, attempt);
+            if let Some(t) = eval(explorer, &design)? {
+                points.push(t);
+            }
+            attempt += 1;
+        }
+        return finish(points, count, attempt);
+    }
+
+    let mut next_attempt = 0u64;
+    while points.len() < count && next_attempt < max_attempts {
+        let need = (count - points.len()) as u64;
+        // Slight over-provisioning absorbs the (usually small) infeasible
+        // fraction; any overshoot past the count-th success is discarded,
+        // so the batch size never changes the result.
+        let batch = (need + need / 16 + 16)
+            .max(workers as u64 * 8)
+            .min(max_attempts - next_attempt);
+        let chunks = chunk_bounds(batch, workers);
+        let chunk_results: Vec<Vec<Result<Option<T>, ArchError>>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let base = next_attempt;
+                        s.spawn(move || {
+                            (base + lo..base + hi)
+                                .map(|a| eval(explorer, &sample_attempt(&space, seed, a)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+        // Chunks are contiguous and concatenated in order, so this scan
+        // replays the exact serial attempt order; outcomes past the
+        // count-th success (including faults) are ignored, as a serial
+        // walk would never have reached them.
+        for outcome in chunk_results.into_iter().flatten() {
+            if points.len() == count {
+                break;
+            }
+            if let Some(t) = outcome? {
+                points.push(t);
+            }
+        }
+        next_attempt += batch;
+    }
+    finish(points, count, next_attempt)
+}
+
+fn finish<T>(points: Vec<T>, count: usize, attempts: u64) -> Result<Vec<T>, ExploreError> {
+    if points.len() < count {
+        Err(ExploreError::AttemptsExhausted { wanted: count, got: points.len(), attempts })
+    } else {
+        Ok(points)
+    }
+}
+
+impl Explorer {
+    /// Parallel twin of [`Self::sweep_baselines`]: shards the
+    /// (architecture × CE count) grid across `workers` threads
+    /// (`0` = one per core) and returns the identical point list.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sweep_baselines`]: the first non-`Infeasible` builder
+    /// fault in grid order.
+    pub fn par_sweep_baselines(
+        &self,
+        range: impl IntoIterator<Item = usize> + Clone,
+        workers: usize,
+    ) -> Result<Vec<BaselinePoint>, ArchError> {
+        let cells: Vec<(templates::Architecture, usize)> = templates::Architecture::ALL
+            .into_iter()
+            .flat_map(|a| range.clone().into_iter().map(move |ces| (a, ces)))
+            .collect();
+        let workers = resolve_workers(workers).min(cells.len().max(1));
+        let cell_results: Vec<Result<Option<BaselinePoint>, ArchError>> = if workers <= 1 {
+            cells.iter().map(|&(a, ces)| self.baseline_cell(a, ces)).collect()
+        } else {
+            let chunks = chunk_bounds(cells.len() as u64, workers);
+            std::thread::scope(|s| {
+                let cells = &cells;
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        s.spawn(move || {
+                            cells[lo as usize..hi as usize]
+                                .iter()
+                                .map(|&(a, ces)| self.baseline_cell(a, ces))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            })
+        };
+        let mut out = Vec::new();
+        for r in cell_results {
+            if let Some(point) = r? {
+                out.push(point);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parallel twin of [`Self::sample_custom`]: same `(count, seed)` ⇒
+    /// same point set and order, for any `workers` (`0` = one per core).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sample_custom`].
+    pub fn par_sample_custom(
+        &self,
+        count: usize,
+        seed: u64,
+        workers: usize,
+    ) -> Result<(Vec<DesignPoint>, Duration), ExploreError> {
+        self.par_sample_custom_capped(count, seed, workers, default_max_attempts(count))
+    }
+
+    /// [`Self::par_sample_custom`] with an explicit attempt budget —
+    /// the parallel twin of [`Self::sample_custom_capped`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sample_custom`], with `max_attempts` as the budget.
+    pub fn par_sample_custom_capped(
+        &self,
+        count: usize,
+        seed: u64,
+        workers: usize,
+        max_attempts: u64,
+    ) -> Result<(Vec<DesignPoint>, Duration), ExploreError> {
+        let start = Instant::now();
+        let points = sample_engine(self, count, seed, workers, max_attempts, &|e, d| {
+            e.custom_cell(d)
+        })?;
+        Ok((points, start.elapsed()))
+    }
+
+    /// Parallel twin of [`Self::sample_custom_summaries`] — the
+    /// throughput path for 100k-design sweeps: sharded sampling, lean
+    /// per-design records, identical results for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sample_custom`].
+    pub fn par_sample_custom_summaries(
+        &self,
+        count: usize,
+        seed: u64,
+        workers: usize,
+    ) -> Result<(Vec<CustomPoint>, Duration), ExploreError> {
+        let start = Instant::now();
+        let points =
+            sample_engine(self, count, seed, workers, default_max_attempts(count), &|e, d| {
+                Ok(e.custom_cell(d)?.map(|p| CustomPoint {
+                    design: d.clone(),
+                    summary: p.eval.summary(),
+                }))
+            })?;
+        Ok((points, start.elapsed()))
+    }
+
+    /// Exhaustively evaluates every design of a (small) custom space,
+    /// sharded by contiguous lexicographic rank ranges across `workers`
+    /// threads (`0` = one per core). Infeasible designs are skipped;
+    /// results come back in rank order regardless of worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::SpaceTooLarge`] when the space holds more than
+    /// [`EXHAUSTIVE_LIMIT`] designs, [`ExploreError::Arch`] on the first
+    /// real builder fault in rank order.
+    pub fn par_evaluate_space(
+        &self,
+        space: &CustomSpace,
+        workers: usize,
+    ) -> Result<Vec<CustomPoint>, ExploreError> {
+        let size = space.size();
+        if size > EXHAUSTIVE_LIMIT {
+            return Err(ExploreError::SpaceTooLarge { size, limit: EXHAUSTIVE_LIMIT });
+        }
+        let workers = resolve_workers(workers);
+        let walk_shard = |start: u128, end: u128| -> Result<Vec<CustomPoint>, ArchError> {
+            let iter = space
+                .designs_from(start)
+                .expect("shard start is within the space");
+            let mut out = Vec::new();
+            for design in iter.take((end - start) as usize) {
+                if let Some(p) = self.custom_cell(&design)? {
+                    out.push(CustomPoint { design, summary: p.eval.summary() });
+                }
+            }
+            Ok(out)
+        };
+        let shards = space.shards(workers).expect("size fits u128");
+        let shard_results: Vec<Result<Vec<CustomPoint>, ArchError>> = if workers <= 1 {
+            shards.iter().map(|&(lo, hi)| walk_shard(lo, hi)).collect()
+        } else {
+            std::thread::scope(|s| {
+                let walk = &walk_shard;
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|&(lo, hi)| s.spawn(move || walk(lo, hi)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            })
+        };
+        let mut out = Vec::new();
+        for r in shard_results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+}
+
+/// Indices of the non-dominated items, computed with per-worker local
+/// [`ParetoFront`]s merged at the end (`workers = 0` ⇒ one per core).
+/// Returns the same ascending index list as the batch
+/// [`crate::pareto_front`] pass.
+pub fn par_pareto_indices<S: MetricSource + Sync>(
+    items: &[S],
+    metrics: &[Metric],
+    workers: usize,
+) -> Vec<usize> {
+    let workers = resolve_workers(workers).min(items.len().max(1));
+    let values = |item: &S| -> Vec<f64> { metrics.iter().map(|m| m.value(item)).collect() };
+    let mut merged = ParetoFront::new(metrics);
+    if workers <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            merged.offer_with_values(i, values(item));
+        }
+    } else {
+        let chunks = chunk_bounds(items.len() as u64, workers);
+        let fronts: Vec<ParetoFront<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(lo, hi)| {
+                    s.spawn(move || {
+                        let mut front = ParetoFront::new(metrics);
+                        for (off, item) in items[lo as usize..hi as usize].iter().enumerate() {
+                            front.offer_with_values(lo as usize + off, values(item));
+                        }
+                        front
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pareto worker panicked"))
+                .collect()
+        });
+        for front in fronts {
+            merged.merge(front);
+        }
+    }
+    let mut indices = merged.into_items();
+    indices.sort_unstable();
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::pareto_front;
+    use mccm_cnn::zoo;
+    use mccm_fpga::FpgaBoard;
+
+    #[test]
+    fn parallel_baseline_sweep_matches_serial() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let serial = e.sweep_baselines(2..=6).unwrap();
+        for workers in [1usize, 2, 5] {
+            let par = e.par_sweep_baselines(2..=6, workers).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.architecture, b.architecture);
+                assert_eq!(a.ces, b.ces);
+                assert_eq!(a.eval, b.eval);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_matches_serial_for_any_worker_count() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let (serial, _) = e.sample_custom(30, 7).unwrap();
+        for workers in [2usize, 3, 8] {
+            let (par, _) = e.par_sample_custom(30, 7, workers).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.eval, b.eval);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_evaluation_matches_serial_and_covers_the_space() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let space = CustomSpace { layers: m.conv_layer_count(), min_ces: 2, max_ces: 3 };
+        let serial = e.par_evaluate_space(&space, 1).unwrap();
+        assert!(!serial.is_empty());
+        assert!(serial.len() as u128 <= space.size());
+        for workers in [2usize, 4] {
+            let par = e.par_evaluate_space(&space, workers).unwrap();
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn oversized_space_is_rejected() {
+        let m = zoo::xception();
+        let e = Explorer::new(&m, &FpgaBoard::vcu110());
+        let space = CustomSpace::paper_range(74); // ~10^11 designs
+        match e.par_evaluate_space(&space, 2) {
+            Err(ExploreError::SpaceTooLarge { size, limit }) => {
+                assert!(size > limit);
+                assert_eq!(limit, EXHAUSTIVE_LIMIT);
+            }
+            other => panic!("expected SpaceTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_pareto_matches_batch() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::vcu110());
+        let (points, _) = e.sample_custom_summaries(60, 13).unwrap();
+        let summaries: Vec<_> = points.iter().map(|p| p.summary.clone()).collect();
+        let metrics = [Metric::Throughput, Metric::OnChipBuffers];
+        let serial = par_pareto_indices(&summaries, &metrics, 1);
+        for workers in [2usize, 3, 16] {
+            assert_eq!(par_pareto_indices(&summaries, &metrics, workers), serial);
+        }
+        // And the batch wrapper agrees on full evaluations.
+        let (full, _) = e.sample_custom(60, 13).unwrap();
+        let evals: Vec<_> = full.iter().map(|p| p.eval.clone()).collect();
+        assert_eq!(pareto_front(&evals, &metrics), serial);
+    }
+}

@@ -38,32 +38,61 @@ impl CustomSampler {
 
     /// Draws the next design.
     pub fn sample(&mut self) -> CustomDesign {
-        let n = self.space.layers;
-        loop {
-            let k = self.rng.random_range(self.space.min_ces..=self.space.max_ces);
-            // Clamp the head draw so models with fewer layers than the CE
-            // range still leave at least one tail layer (h <= n - 1).
-            let h = self.rng.random_range(1..=(k - 1).min(n - 1));
-            let tail_segments = k - h;
-            // Interior boundary positions in (h, n).
-            let n_positions = n - h - 1;
-            if n_positions + 1 < tail_segments {
-                continue; // not enough layers for that many segments
-            }
-            let mut ends: Vec<usize> = index_sample(&mut self.rng, n_positions, tail_segments - 1)
-                .into_iter()
-                .map(|i| h + 1 + i)
-                .collect();
-            ends.sort_unstable();
-            ends.push(n);
-            return CustomDesign { head_layers: h, tail_ends: ends };
-        }
+        draw_design(&self.space, &mut self.rng)
     }
 
     /// Draws `count` designs.
     pub fn sample_many(&mut self, count: usize) -> Vec<CustomDesign> {
         (0..count).map(|_| self.sample()).collect()
     }
+}
+
+/// Draws one design from `space` using `rng` (validity of `space` is the
+/// caller's responsibility — see [`CustomSampler::new`]'s panics).
+fn draw_design(space: &CustomSpace, rng: &mut StdRng) -> CustomDesign {
+    let n = space.layers;
+    loop {
+        let k = rng.random_range(space.min_ces..=space.max_ces);
+        // Clamp the head draw so models with fewer layers than the CE
+        // range still leave at least one tail layer (h <= n - 1).
+        let h = rng.random_range(1..=(k - 1).min(n - 1));
+        let tail_segments = k - h;
+        // Interior boundary positions in (h, n).
+        let n_positions = n - h - 1;
+        if n_positions + 1 < tail_segments {
+            continue; // not enough layers for that many segments
+        }
+        let mut ends: Vec<usize> = index_sample(rng, n_positions, tail_segments - 1)
+            .into_iter()
+            .map(|i| h + 1 + i)
+            .collect();
+        ends.sort_unstable();
+        ends.push(n);
+        return CustomDesign { head_layers: h, tail_ends: ends };
+    }
+}
+
+/// Draws the design of one *attempt index* from a counter-based RNG
+/// stream: attempt `a` under `seed` always yields the same design, no
+/// matter which worker (or how many workers) processes it. This is what
+/// makes sharded parallel sampling reproduce the serial point set
+/// exactly — the point set is a pure function of `(seed, attempt)`,
+/// independent of thread scheduling.
+pub fn sample_attempt(space: &CustomSpace, seed: u64, attempt: u64) -> CustomDesign {
+    let mut rng = StdRng::seed_from_u64(attempt_seed(seed, attempt));
+    draw_design(space, &mut rng)
+}
+
+/// Mixes `(seed, attempt)` into one well-distributed 64-bit RNG seed
+/// (two rounds of the SplitMix64 finalizer).
+fn attempt_seed(seed: u64, attempt: u64) -> u64 {
+    splitmix(seed ^ splitmix(attempt.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Iterator for CustomSampler {
@@ -135,6 +164,30 @@ mod tests {
                 assert_eq!(*d.tail_ends.last().unwrap(), layers);
                 assert!(d.ce_count() <= space.max_ces);
             }
+        }
+    }
+
+    #[test]
+    fn attempt_sampling_is_a_pure_function_of_seed_and_attempt() {
+        let space = CustomSpace::paper_range(74);
+        for attempt in [0u64, 1, 7, 1_000_003] {
+            let a = sample_attempt(&space, 42, attempt);
+            let b = sample_attempt(&space, 42, attempt);
+            assert_eq!(a, b);
+        }
+        // Different attempts and different seeds give different streams.
+        assert_ne!(sample_attempt(&space, 42, 0), sample_attempt(&space, 42, 1));
+        assert_ne!(sample_attempt(&space, 42, 0), sample_attempt(&space, 43, 0));
+    }
+
+    #[test]
+    fn attempt_samples_are_valid_designs() {
+        let space = CustomSpace { layers: 6, min_ces: 2, max_ces: 5 };
+        for a in 0..300u64 {
+            let d = sample_attempt(&space, 9, a);
+            assert!((2..=5).contains(&d.ce_count()));
+            assert!(d.head_layers >= 1 && d.head_layers < 6);
+            assert_eq!(*d.tail_ends.last().unwrap(), 6);
         }
     }
 

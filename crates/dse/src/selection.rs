@@ -69,7 +69,7 @@ mod tests {
 
     fn sweep() -> Vec<BaselinePoint> {
         let m = zoo::resnet50();
-        Explorer::new(&m, &FpgaBoard::zc706()).sweep_baselines(2..=11)
+        Explorer::new(&m, &FpgaBoard::zc706()).sweep_baselines(2..=11).unwrap()
     }
 
     #[test]

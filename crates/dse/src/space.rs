@@ -55,37 +55,82 @@ impl CustomSpace {
         Self { layers, min_ces: 2, max_ces: 11 }
     }
 
-    /// Exact number of designs in the space.
+    /// Exact number of designs in the space, saturating at `u128::MAX`
+    /// for spaces too large to count exactly (see [`Self::size_checked`]).
     ///
     /// `Σ_{k=min..=max} Σ_{h=1}^{k-1} C(n - h - 1, k - h - 1)` — the head
     /// covers layers `1..=h`, the `k - h` tail segments partition the
     /// remaining `n - h` layers (choose `k - h - 1` interior boundaries
     /// from `n - h - 1` positions).
     pub fn size(&self) -> u128 {
+        self.size_checked().unwrap_or(u128::MAX)
+    }
+
+    /// Exact number of designs in the space, or `None` if the count
+    /// overflows `u128`.
+    pub fn size_checked(&self) -> Option<u128> {
         let n = self.layers as u128;
         let mut total = 0u128;
         for k in self.min_ces..=self.max_ces {
             for h in 1..k {
                 let tail_segments = (k - h) as u128;
-                let positions = n.saturating_sub(h as u128 + 1);
-                total += binomial(positions, tail_segments - 1);
+                // A head of h layers needs at least one tail layer; the
+                // old saturating_sub here silently counted one phantom
+                // design per (k, h) with h >= layers.
+                let Some(positions) = n.checked_sub(h as u128 + 1) else {
+                    continue;
+                };
+                total = total.checked_add(binomial_checked(positions, tail_segments - 1)?)?;
             }
         }
-        total
+        Some(total)
     }
 }
 
-/// Binomial coefficient in u128 (saturating; inputs here stay small).
+/// Binomial coefficient in u128, saturating honestly: on overflow the
+/// result is `u128::MAX`, never a silently wrong smaller number (the old
+/// `saturating_mul`-then-divide scheme returned saturated-then-divided
+/// garbage for large inputs).
 pub fn binomial(n: u128, k: u128) -> u128 {
+    binomial_checked(n, k).unwrap_or(u128::MAX)
+}
+
+/// Binomial coefficient in u128, or `None` when the value (or an
+/// irreducible intermediate product) overflows.
+///
+/// Each step multiplies the exact running value `C(n, i)` by
+/// `(n - i) / (i + 1)`; when the direct product would overflow, common
+/// factors are cancelled first so only genuinely out-of-range results
+/// report overflow.
+pub fn binomial_checked(n: u128, k: u128) -> Option<u128> {
     if k > n {
-        return 0;
+        return Some(0);
     }
     let k = k.min(n - k);
     let mut result = 1u128;
     for i in 0..k {
-        result = result.saturating_mul(n - i) / (i + 1);
+        let (num, den) = (n - i, i + 1);
+        result = match result.checked_mul(num) {
+            Some(prod) => prod / den, // exact: den divides result * num
+            None => {
+                // Cancel gcd factors, then retry; division stays exact.
+                let g = gcd(num, den);
+                let (num, den) = (num / g, den / g);
+                let g = gcd(result, den);
+                let (res, den) = (result / g, den / g);
+                debug_assert_eq!(den, 1, "C(n,i+1) must be an integer");
+                res.checked_mul(num)?
+            }
+        };
     }
-    result
+    Some(result)
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 #[cfg(test)]
@@ -101,6 +146,34 @@ mod tests {
         assert_eq!(binomial(4, 5), 0);
         assert_eq!(binomial(10, 3), 120);
         assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn binomial_overflow_saturates_honestly() {
+        // Regression: the old saturating_mul-then-divide scheme returned a
+        // silently wrong (saturated-then-divided) count here instead of
+        // either the exact value or an honest saturation marker.
+        assert_eq!(binomial_checked(1000, 500), None);
+        assert_eq!(binomial(1000, 500), u128::MAX);
+        assert_eq!(binomial_checked(170, 85), None);
+        assert_eq!(binomial(170, 85), u128::MAX);
+        // Large-but-representable values stay exact (the intermediate
+        // product overflows without the gcd-cancellation rescue).
+        assert_eq!(
+            binomial_checked(100, 50),
+            Some(100_891_344_545_564_193_334_812_497_256)
+        );
+        // The boundary is honest in both directions: every exact result is
+        // below the saturation marker.
+        for k in 0..=64u128 {
+            assert!(binomial(128, k) < u128::MAX);
+        }
+    }
+
+    #[test]
+    fn size_checked_matches_size_for_real_spaces() {
+        let space = CustomSpace::paper_range(74);
+        assert_eq!(space.size_checked(), Some(space.size()));
     }
 
     #[test]

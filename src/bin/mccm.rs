@@ -7,7 +7,7 @@
 //! mccm evaluate  --model xception --board vcu110 --arch hybrid --ces 7 --verbose
 //! mccm validate  --model resnet50 --board vcu108 --arch segmented --ces 4
 //! mccm sweep     --model mobilenetv2 --board zcu102
-//! mccm explore   --model xception --board vcu110 --samples 5000 --seed 1
+//! mccm explore   --model xception --board vcu110 --samples 5000 --seed 1 --workers 4
 //! ```
 
 use std::process::ExitCode;
@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use mccm::arch::{notation, templates, AcceleratorSpec, MultipleCeBuilder};
 use mccm::cnn::{zoo, CnnModel};
 use mccm::core::CostModel;
-use mccm::dse::{pareto_front, select_all_metrics, Explorer, PAPER_TIE_FRAC};
+use mccm::dse::{par_pareto_indices, select_all_metrics, Explorer, PAPER_TIE_FRAC};
 use mccm::fpga::{FpgaBoard, Precision};
 use mccm::sim::{SimConfig, Simulator};
 
@@ -57,7 +57,7 @@ USAGE:
                 [--precision int8|int16] [--batch N] [--verbose]
   mccm validate --model M --board B --arch A --ces K
   mccm sweep    --model M --board B
-  mccm explore  --model M --board B [--samples N] [--seed N]
+  mccm explore  --model M --board B [--samples N] [--seed N] [--workers N]
 
 ARCHITECTURES: segmented | segmentedrr | hybrid";
 
@@ -209,7 +209,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let model = parse_model(args)?;
     let board = parse_board(args)?;
     let explorer = Explorer::new(&model, &board);
-    let sweep = explorer.sweep_baselines(2..=11);
+    let sweep = explorer.sweep_baselines(2..=11).map_err(|e| e.to_string())?;
     println!(
         "{:<12} {:>3} {:>12} {:>9} {:>13} {:>13}",
         "architecture", "CEs", "latency(ms)", "FPS", "buffers(MiB)", "access(MiB)"
@@ -240,27 +240,32 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
     let samples: usize =
         flag(args, "--samples").and_then(|s| s.parse().ok()).unwrap_or(2_000);
     let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let workers: usize =
+        flag(args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(0);
     let explorer = Explorer::new(&model, &board);
-    let (points, elapsed) = explorer.sample_custom(samples, seed);
+    let (points, elapsed) = explorer
+        .par_sample_custom_summaries(samples, seed, workers)
+        .map_err(|e| e.to_string())?;
     println!(
         "evaluated {samples} custom designs in {:.2} s ({:.2} ms/design)",
         elapsed.as_secs_f64(),
         1e3 * elapsed.as_secs_f64() / samples as f64
     );
-    let evals: Vec<_> = points.iter().map(|p| p.eval.clone()).collect();
-    let front = pareto_front(
-        &evals,
+    let summaries: Vec<_> = points.into_iter().map(|p| p.summary).collect();
+    let front = par_pareto_indices(
+        &summaries,
         &[mccm::core::Metric::Throughput, mccm::core::Metric::OnChipBuffers],
+        workers,
     );
     println!("Pareto-optimal designs (throughput vs buffers): {}", front.len());
     let mut sorted: Vec<usize> = front.clone();
-    sorted.sort_by(|&a, &b| evals[b].throughput_fps.total_cmp(&evals[a].throughput_fps));
+    sorted.sort_by(|&a, &b| summaries[b].throughput_fps.total_cmp(&summaries[a].throughput_fps));
     for &i in sorted.iter().take(12) {
         println!(
             "  {:>7.1} FPS  {:>7.2} MiB  {}",
-            evals[i].throughput_fps,
-            evals[i].buffer_mib(),
-            evals[i].notation
+            summaries[i].throughput_fps,
+            summaries[i].buffer_mib(),
+            summaries[i].notation
         );
     }
     Ok(())

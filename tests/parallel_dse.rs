@@ -1,0 +1,166 @@
+//! Integration tests for the parallel exploration subsystem: the
+//! incremental Pareto front must agree with a brute-force batch pass on
+//! arbitrary point clouds (property test), and every sharded `par_*`
+//! sweep must reproduce its serial twin point-for-point at any worker
+//! count (determinism tests).
+
+use proptest::prelude::*;
+
+use mccm::cnn::zoo;
+use mccm::core::{EvalSummary, Metric};
+use mccm::dse::{par_pareto_indices, CustomSpace, Explorer, ExploreError, ParetoFront};
+use mccm::fpga::FpgaBoard;
+
+fn summary(latency_ms: u64, fps: u64, buf: u64, traffic: u64) -> EvalSummary {
+    EvalSummary {
+        notation: String::new(),
+        ce_count: 2,
+        latency_s: latency_ms as f64 / 1e3,
+        throughput_fps: fps as f64,
+        buffer_req_bytes: buf,
+        buffer_alloc_bytes: buf,
+        offchip_bytes: traffic,
+        offchip_weight_bytes: 0,
+        offchip_fm_bytes: 0,
+        memory_stall_fraction: 0.0,
+    }
+}
+
+/// Brute-force all-pairs Pareto front — the reference the incremental
+/// implementation must match exactly.
+fn brute_force_front(points: &[EvalSummary], metrics: &[Metric]) -> Vec<usize> {
+    let dominates = |a: &EvalSummary, b: &EvalSummary| -> bool {
+        let mut strictly = false;
+        for m in metrics {
+            if m.better(m.value(b), m.value(a)) {
+                return false;
+            }
+            if m.better(m.value(a), m.value(b)) {
+                strictly = true;
+            }
+        }
+        strictly
+    };
+    (0..points.len())
+        .filter(|&i| {
+            !(0..points.len()).any(|j| j != i && dominates(&points[j], &points[i]))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_front_matches_batch_front(
+        seed in 0u64..1 << 32,
+        n in 1usize..60,
+        metric_mask in 1usize..16,
+    ) {
+        // Small value ranges on purpose: ties and duplicates must appear.
+        let mut pts = Vec::with_capacity(n);
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % 6
+        };
+        for _ in 0..n {
+            pts.push(summary(1 + next(), 1 + next(), 1 + next(), 1 + next()));
+        }
+        let metrics: Vec<Metric> = Metric::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| metric_mask & (1 << i) != 0)
+            .map(|(_, m)| m)
+            .collect();
+
+        let expected = brute_force_front(&pts, &metrics);
+
+        // Incremental insertion.
+        let mut front = ParetoFront::new(&metrics);
+        for (i, p) in pts.iter().enumerate() {
+            let values = metrics.iter().map(|m| m.value(p)).collect();
+            front.offer_with_values(i, values);
+        }
+        let mut incremental = front.into_items();
+        incremental.sort_unstable();
+        prop_assert_eq!(&incremental, &expected);
+
+        // Sharded local fronts merged at the end.
+        for workers in [1usize, 2, 5] {
+            prop_assert_eq!(&par_pareto_indices(&pts, &metrics, workers), &expected);
+        }
+    }
+}
+
+#[test]
+fn parallel_sampling_matches_serial_point_for_point() {
+    let model = zoo::mobilenet_v2();
+    let explorer = Explorer::new(&model, &FpgaBoard::zc706());
+    let (serial, _) = explorer.sample_custom(40, 11).unwrap();
+    let serial_notations: Vec<_> = serial.iter().map(|p| p.eval.notation.clone()).collect();
+    for workers in [1usize, 2, 3, 8] {
+        let (par, _) = explorer.par_sample_custom(40, 11, workers).unwrap();
+        let par_notations: Vec<_> = par.iter().map(|p| p.eval.notation.clone()).collect();
+        assert_eq!(par_notations, serial_notations, "workers={workers}");
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.eval, b.eval, "workers={workers}");
+        }
+    }
+    // The lean summary path walks the same designs.
+    let (lean, _) = explorer.par_sample_custom_summaries(40, 11, 4).unwrap();
+    let lean_notations: Vec<_> = lean.iter().map(|p| p.summary.notation.clone()).collect();
+    assert_eq!(lean_notations, serial_notations);
+}
+
+#[test]
+fn parallel_baseline_sweep_matches_serial() {
+    let model = zoo::resnet50();
+    let explorer = Explorer::new(&model, &FpgaBoard::vcu108());
+    let serial = explorer.sweep_baselines(2..=11).unwrap();
+    for workers in [2usize, 4, 32] {
+        let par = explorer.par_sweep_baselines(2..=11, workers).unwrap();
+        assert_eq!(par.len(), serial.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!((a.architecture, a.ces), (b.architecture, b.ces));
+            assert_eq!(a.eval, b.eval);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_tiny_space_is_complete_and_worker_invariant() {
+    let model = zoo::mobilenet_v2();
+    let explorer = Explorer::new(&model, &FpgaBoard::zc706());
+    let space = CustomSpace { layers: model.conv_layer_count(), min_ces: 2, max_ces: 3 };
+    let serial = explorer.par_evaluate_space(&space, 1).unwrap();
+    // Every enumerated design is distinct and the sweep covers the space
+    // (minus infeasible designs).
+    let notations: std::collections::HashSet<_> =
+        serial.iter().map(|p| p.summary.notation.clone()).collect();
+    assert_eq!(notations.len(), serial.len());
+    assert!(serial.len() as u128 <= space.size());
+    assert!(!serial.is_empty());
+    for workers in [2usize, 3, 8] {
+        assert_eq!(explorer.par_evaluate_space(&space, workers).unwrap(), serial);
+    }
+}
+
+#[test]
+fn infeasible_heavy_spaces_error_instead_of_hanging() {
+    let model = zoo::mobilenet_v2();
+    let explorer = Explorer::new(&model, &FpgaBoard::zc706());
+    for workers in [1usize, 4] {
+        let capped = if workers == 1 {
+            explorer.sample_custom_capped(1_000, 2, 10).map(|(p, _)| p)
+        } else {
+            explorer.par_sample_custom_capped(1_000, 2, workers, 10).map(|(p, _)| p)
+        };
+        match capped {
+            Err(ExploreError::AttemptsExhausted { wanted, got, .. }) => {
+                assert!(got < wanted);
+            }
+            other => panic!("expected AttemptsExhausted, got {:?}", other.map(|p| p.len())),
+        }
+    }
+}
