@@ -1,6 +1,8 @@
 //! The fully built accelerator: the "generic multiple-CE accelerator
 //! representation" fed into the analytical cost model (§III-B).
 
+use std::sync::Arc;
+
 use mccm_cnn::ConvInfo;
 use mccm_fpga::{FpgaBoard, Precision};
 
@@ -13,14 +15,22 @@ use crate::spec::{AcceleratorSpec, Executor, Segment};
 /// segments, engines (PEs + parallelism), and buffer plan. Produced by
 /// [`MultipleCeBuilder`](crate::MultipleCeBuilder); consumed by the cost
 /// model (`mccm-core`) and the reference simulator (`mccm-sim`).
+///
+/// The sweep-invariant inputs (layer records, board, model name) are
+/// shared with the originating builder behind [`Arc`]s: a built design is
+/// a borrowed view of its builder's context plus the per-design decisions
+/// (spec, segments, engines, buffer plan). Cloning a `BuiltAccelerator`
+/// — and building one — therefore never deep-copies the CNN or board.
 #[derive(Debug, Clone)]
 pub struct BuiltAccelerator {
-    /// Name of the CNN this accelerator was built for.
-    pub model_name: String,
-    /// Per-conv-layer records of the CNN (in execution order).
-    pub convs: Vec<ConvInfo>,
-    /// Target platform.
-    pub board: FpgaBoard,
+    /// Name of the CNN this accelerator was built for (shared with the
+    /// builder).
+    pub model_name: Arc<str>,
+    /// Per-conv-layer records of the CNN (in execution order; shared with
+    /// the builder).
+    pub convs: Arc<[ConvInfo]>,
+    /// Target platform (shared with the builder).
+    pub board: Arc<FpgaBoard>,
     /// Data-type widths.
     pub precision: Precision,
     /// The originating specification.

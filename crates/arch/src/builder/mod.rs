@@ -11,11 +11,14 @@ pub use buffers::{BufferPlan, CeBufferAlloc, InterSegmentBuffer};
 pub use parallelism::{select_parallelism, select_row_parallelism};
 pub use pe_alloc::distribute_pes;
 
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
 use mccm_cnn::{CnnModel, ConvInfo};
 use mccm_fpga::{FpgaBoard, Precision};
 
 use crate::accelerator::BuiltAccelerator;
-use crate::engine::{CeRole, ComputeEngine};
+use crate::engine::{CeRole, ComputeEngine, Parallelism};
 use crate::error::ArchError;
 use crate::spec::{AcceleratorSpec, BlockSpec, Segment};
 
@@ -43,10 +46,48 @@ pub struct BuilderOptions {
     pub pipelined_row_parallelism: bool,
 }
 
+/// Memo key of one parallelism search: PE budget, whether OFM-row
+/// parallelism is allowed, and the exact layer set the CE processes. The
+/// CNN itself is fixed per [`BuildContext`], so this key captures every
+/// input of the search.
+type ParKey = (u32, bool, Vec<usize>);
+
+/// Upper bound on memoized search results per build context. The PE
+/// budget in the key depends on the whole design's workload split, so a
+/// very long sweep can keep minting fresh `(pes, layers)` pairs; past
+/// this cap new results are simply not inserted (lookups stay correct,
+/// memory stays bounded — results never depend on cache contents). At
+/// ~100 bytes/entry the cap bounds the cache at tens of MB; sweeps mint
+/// well under two entries per fresh design and revisit keys heavily, so
+/// the cap only bites on sweeps far past the 100k-design scale.
+const MEMO_CAP: usize = 1 << 18;
+
+/// Sweep-invariant state shared by every build of one `(CNN, board)`
+/// pair: the candidate factor table for the board's full DSP budget
+/// (per-CE budgets use prefixes of it) and the memoized results of
+/// [`select_parallelism`] — in design-space sweeps the same segment
+/// boundaries recur constantly, and the cubic factor search is the
+/// dominant per-design cost.
+///
+/// The context sits behind an [`Arc`] so cloned builders (and the
+/// sharded `par_*` sweeps, which share one builder across worker
+/// threads) all feed the same cache.
+#[derive(Debug, Default)]
+struct BuildContext {
+    /// Ascending candidate factors for the board's full DSP budget.
+    candidates: Vec<u32>,
+    /// Memoized search results.
+    memo: RwLock<HashMap<ParKey, Parallelism>>,
+}
+
 /// Builds accelerators for one (CNN, board) pair.
 ///
-/// The builder caches the CNN's convolution view so repeated builds (as in
-/// design-space exploration) do not recompute it.
+/// The builder owns a long-lived build context: the CNN's convolution
+/// view, the board, and the model name live behind [`Arc`]s that every
+/// built design shares (a build bumps three reference counts instead of
+/// deep-cloning layer records and board strings), and per-CE parallelism
+/// searches are memoized across builds — the properties that make
+/// 100k-design sweeps cheap.
 ///
 /// # Examples
 ///
@@ -68,22 +109,27 @@ pub struct BuilderOptions {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MultipleCeBuilder {
-    model_name: String,
-    convs: Vec<ConvInfo>,
-    board: FpgaBoard,
+    model_name: Arc<str>,
+    convs: Arc<[ConvInfo]>,
+    board: Arc<FpgaBoard>,
     precision: Precision,
     options: BuilderOptions,
+    memoize: bool,
+    ctx: Arc<BuildContext>,
 }
 
 impl MultipleCeBuilder {
     /// Creates a builder with default (8-bit) precision and heuristics.
     pub fn new(model: &CnnModel, board: &FpgaBoard) -> Self {
+        let candidates = parallelism::candidates(board.dsps);
         Self {
-            model_name: model.name().to_string(),
-            convs: model.conv_view(),
-            board: board.clone(),
+            model_name: model.name().into(),
+            convs: model.conv_view().into(),
+            board: Arc::new(board.clone()),
             precision: Precision::default(),
             options: BuilderOptions::default(),
+            memoize: true,
+            ctx: Arc::new(BuildContext { candidates, memo: RwLock::new(HashMap::new()) }),
         }
     }
 
@@ -101,9 +147,46 @@ impl MultipleCeBuilder {
         self
     }
 
+    /// Enables or disables the shared parallelism memo cache (on by
+    /// default). Build results are identical either way — the switch
+    /// exists so benches can measure the unmemoized per-design baseline.
+    #[must_use]
+    pub fn with_memoization(mut self, on: bool) -> Self {
+        self.memoize = on;
+        self
+    }
+
     /// Number of convolution layers of the underlying model.
     pub fn layer_count(&self) -> usize {
         self.convs.len()
+    }
+
+    /// Memoized per-CE parallelism selection: cache hit for layer sets
+    /// (and PE budgets) seen in any earlier build of this builder or its
+    /// clones; otherwise the precomputed-grid search.
+    fn parallelism_for(&self, pes: u32, layers: &[usize], allow_rows: bool) -> Parallelism {
+        if layers.is_empty() || pes <= 1 {
+            return Parallelism::scalar();
+        }
+        if !self.memoize {
+            return self.search_parallelism(pes, layers, allow_rows);
+        }
+        let key: ParKey = (pes, allow_rows, layers.to_vec());
+        if let Some(p) = self.ctx.memo.read().expect("memo poisoned").get(&key) {
+            return *p;
+        }
+        let p = self.search_parallelism(pes, layers, allow_rows);
+        let mut memo = self.ctx.memo.write().expect("memo poisoned");
+        if memo.len() < MEMO_CAP {
+            memo.insert(key, p);
+        }
+        p
+    }
+
+    fn search_parallelism(&self, pes: u32, layers: &[usize], allow_rows: bool) -> Parallelism {
+        let cand = parallelism::candidate_prefix(&self.ctx.candidates, pes);
+        let dims: Vec<[u32; 6]> = layers.iter().map(|&l| self.convs[l].dims).collect();
+        parallelism::search_parallelism(cand, pes, allow_rows, &dims)
     }
 
     /// Builds a specification into a complete accelerator.
@@ -149,14 +232,11 @@ impl MultipleCeBuilder {
             .into_iter()
             .enumerate()
             .map(|(id, layers)| {
-                let refs: Vec<&ConvInfo> = layers.iter().map(|&l| &self.convs[l]).collect();
-                let parallelism = match roles[id] {
-                    CeRole::Single => select_parallelism(pes[id], &refs),
-                    CeRole::Pipelined if self.options.pipelined_row_parallelism => {
-                        select_parallelism(pes[id], &refs)
-                    }
-                    CeRole::Pipelined => select_row_parallelism(pes[id], &refs),
+                let allow_rows = match roles[id] {
+                    CeRole::Single => true,
+                    CeRole::Pipelined => self.options.pipelined_row_parallelism,
                 };
+                let parallelism = self.parallelism_for(pes[id], &layers, allow_rows);
                 ComputeEngine { id, pes: pes[id], parallelism, role: roles[id], layers }
             })
             .collect();
@@ -171,9 +251,9 @@ impl MultipleCeBuilder {
         );
 
         Ok(BuiltAccelerator {
-            model_name: self.model_name.clone(),
-            convs: self.convs.clone(),
-            board: self.board.clone(),
+            model_name: Arc::clone(&self.model_name),
+            convs: Arc::clone(&self.convs),
+            board: Arc::clone(&self.board),
             precision: self.precision,
             spec: spec.clone(),
             segments,
@@ -183,13 +263,28 @@ impl MultipleCeBuilder {
         })
     }
 
-    /// Convenience: builds every CE count in `range` for a template,
-    /// skipping infeasible counts.
+    /// Convenience: builds every spec in the iterator, skipping
+    /// combinations that are genuinely infeasible on this board.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any builder fault other than [`ArchError::Infeasible`]
+    /// — real bugs must not be silently reported as "infeasible" (the old
+    /// code swallowed every error here via `.ok()`, mirroring the bug
+    /// fixed in `Explorer::sweep_baselines`).
     pub fn build_sweep(
         &self,
         specs: impl IntoIterator<Item = AcceleratorSpec>,
-    ) -> Vec<BuiltAccelerator> {
-        specs.into_iter().filter_map(|s| self.build(&s).ok()).collect()
+    ) -> Result<Vec<BuiltAccelerator>, ArchError> {
+        let mut out = Vec::new();
+        for spec in specs {
+            match self.build(&spec) {
+                Ok(acc) => out.push(acc),
+                Err(ArchError::Infeasible { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -234,6 +329,50 @@ mod tests {
     }
 
     #[test]
+    fn memoized_builds_match_unmemoized() {
+        // The memo cache must be behaviorally invisible: repeated builds
+        // (warm cache) and a cache-disabled builder all agree exactly.
+        let m = zoo::xception();
+        let board = FpgaBoard::vcu110();
+        let warm = MultipleCeBuilder::new(&m, &board);
+        let cold = MultipleCeBuilder::new(&m, &board).with_memoization(false);
+        for arch in templates::Architecture::ALL {
+            for k in [2usize, 5, 9] {
+                let spec = arch.instantiate(&m, k).unwrap();
+                let first = warm.build(&spec).unwrap();
+                let again = warm.build(&spec).unwrap();
+                let reference = cold.build(&spec).unwrap();
+                for (a, b) in first.ces.iter().zip(&reference.ces) {
+                    assert_eq!(a, b, "{arch} {k}");
+                }
+                for (a, b) in first.ces.iter().zip(&again.ces) {
+                    assert_eq!(a, b, "{arch} {k} (warm)");
+                }
+                assert_eq!(first.buffers, reference.buffers, "{arch} {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_the_memo_cache() {
+        let m = zoo::mobilenet_v2();
+        let b = MultipleCeBuilder::new(&m, &FpgaBoard::zc706());
+        let clone = b.clone();
+        let spec = templates::segmented(&m, 4).unwrap();
+        let a = b.build(&spec).unwrap();
+        // The clone's build hits the cache populated by `b` and must be
+        // identical.
+        let c = clone.build(&spec).unwrap();
+        assert_eq!(a.ces, c.ces);
+        assert!(!clone.ctx.memo.read().unwrap().is_empty());
+        assert_eq!(
+            Arc::as_ptr(&b.ctx),
+            Arc::as_ptr(&clone.ctx),
+            "clones must share one build context"
+        );
+    }
+
+    #[test]
     fn pe_distribution_tracks_workload() {
         let m = zoo::resnet50();
         let b = MultipleCeBuilder::new(&m, &FpgaBoard::zcu102());
@@ -273,7 +412,7 @@ mod tests {
         let m = zoo::resnet50();
         let b = MultipleCeBuilder::new(&m, &FpgaBoard::vcu110());
         let specs = (2..=11).map(|k| templates::hybrid(&m, k).unwrap());
-        let built = b.build_sweep(specs);
+        let built = b.build_sweep(specs).unwrap();
         assert_eq!(built.len(), 10);
     }
 
@@ -303,3 +442,4 @@ mod tests {
         assert_eq!(acc.segments.len(), 2);
     }
 }
+

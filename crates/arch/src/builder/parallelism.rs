@@ -12,6 +12,17 @@
 //! PE underutilization (§IV-A1) — that trade-off is exactly what this
 //! search surfaces: a CE serving one layer gets factors that divide that
 //! layer perfectly, while a CE serving many gets a compromise.
+//!
+//! The search is the dominant per-design cost of design-space sweeps, so
+//! it is engineered for the hot path: the candidate table is computed once
+//! per builder (per-PE-budget views are prefixes of it, see
+//! [`candidate_prefix`]), and the per-layer `ceil(extent / factor)` terms
+//! of Eq. (1) are precomputed over the candidate grid instead of being
+//! re-derived inside the triple loop. [`MultipleCeBuilder`] additionally
+//! memoizes whole search results per `(pes, layer set)` — see
+//! `builder/mod.rs`.
+//!
+//! [`MultipleCeBuilder`]: crate::MultipleCeBuilder
 
 use mccm_cnn::ConvInfo;
 
@@ -20,7 +31,12 @@ use crate::engine::Parallelism;
 /// Candidate per-dimension factors: small integers, powers of two, and
 /// 3·2^k / 7·2^k families, covering the divisors of common CNN dimension
 /// extents (64, 112, 149, 224, 728, …).
-fn candidates(max: u32) -> Vec<u32> {
+///
+/// The table is ascending and duplicate-free, so the candidate set for any
+/// smaller budget `p < max` is exactly the prefix of values `≤ p`
+/// ([`candidate_prefix`]) — which is what lets the builder compute this
+/// once for the board's full DSP budget and reuse it for every CE.
+pub(crate) fn candidates(max: u32) -> Vec<u32> {
     let mut c: Vec<u32> = (1..=8).collect();
     let mut p = 16u32;
     while p <= max {
@@ -41,6 +57,13 @@ fn candidates(max: u32) -> Vec<u32> {
     c.sort_unstable();
     c.dedup();
     c
+}
+
+/// The prefix of an ascending candidate `table` usable under a PE budget
+/// of `pes` — identical to `candidates(pes)` when `table` was built for
+/// any budget `≥ pes`.
+pub(crate) fn candidate_prefix(table: &[u32], pes: u32) -> &[u32] {
+    &table[..table.partition_point(|&v| v <= pes)]
 }
 
 /// Selects the 3-D parallelism for a CE with `pes` PEs processing
@@ -64,44 +87,97 @@ fn select_parallelism_dims(pes: u32, layers: &[&ConvInfo], allow_rows: bool) -> 
     if layers.is_empty() || pes <= 1 {
         return Parallelism::scalar();
     }
-    let cand = candidates(pes);
-    let row_cand = if allow_rows { cand.clone() } else { vec![1u32] };
+    let table = candidates(pes);
     let dims: Vec<[u32; 6]> = layers.iter().map(|l| l.dims).collect();
+    search_parallelism(&table, pes, allow_rows, &dims)
+}
+
+/// The factor search itself, over a candidate table already restricted to
+/// `≤ pes` and the layers' raw loop extents.
+///
+/// Iteration order and tie-breaking are load-bearing: results must be
+/// identical to the historical nested `total_cycles` search, so sweeps
+/// stay deterministic across the memoized and unmemoized paths. The only
+/// changes here are algebraic: Eq. (1)'s per-layer product is factored as
+/// `(C·KH·KW) · ceil(F/p_f) · ceil(OH/p_oh) · ceil(OW/p_ow)` with the
+/// invariant part and the two outer `ceil` terms hoisted out of the inner
+/// loops, and the per-candidate `ceil` grids precomputed once.
+pub(crate) fn search_parallelism(
+    cand: &[u32],
+    pes: u32,
+    allow_rows: bool,
+    dims: &[[u32; 6]],
+) -> Parallelism {
+    debug_assert!(!dims.is_empty() && pes > 1);
+    let n = dims.len();
+    // Per-layer Eq. (1) factor invariant under the 3-D search: C·KH·KW.
+    let rest: Vec<u64> =
+        dims.iter().map(|d| d[1] as u64 * d[4] as u64 * d[5] as u64).collect();
+    // ceil(extent / candidate) grids, candidate-major.
+    let nc = cand.len();
+    let mut cf = vec![0u64; nc * n];
+    let mut coh = vec![0u64; nc * n];
+    let mut cow = vec![0u64; nc * n];
+    for (i, &c) in cand.iter().enumerate() {
+        for (l, d) in dims.iter().enumerate() {
+            cf[i * n + l] = (d[0] as u64).div_ceil(c as u64);
+            coh[i * n + l] = (d[2] as u64).div_ceil(c as u64);
+            cow[i * n + l] = (d[3] as u64).div_ceil(c as u64);
+        }
+    }
+    // Row-pipelined engines fix p_oh = 1; `cand` always starts at 1.
+    let row_cand = if allow_rows { cand } else { &cand[..1] };
 
     let mut best = Parallelism::scalar();
-    let mut best_cost = total_cycles(&best, &dims);
-    for &pf in &cand {
+    // Scalar baseline: Σ_l rest · F · OH · OW (all ceil terms at factor 1).
+    let mut best_cost: u64 = dims
+        .iter()
+        .zip(&rest)
+        .map(|(d, &r)| r * d[0] as u64 * d[2] as u64 * d[3] as u64)
+        .sum();
+    let mut a = vec![0u64; n];
+    let mut b = vec![0u64; n];
+    for (i, &pf) in cand.iter().enumerate() {
         if pf > pes {
             break;
         }
         let max_oh = pes / pf;
-        for &poh in &row_cand {
+        for (l, av) in a.iter_mut().enumerate() {
+            *av = rest[l] * cf[i * n + l];
+        }
+        for (j, &poh) in row_cand.iter().enumerate() {
             if poh > max_oh {
                 break;
             }
             let max_ow = max_oh / poh;
-            for &pow in &cand {
+            for (l, bv) in b.iter_mut().enumerate() {
+                *bv = a[l] * coh[j * n + l];
+            }
+            for (k, &pow) in cand.iter().enumerate() {
                 if pow > max_ow {
                     break;
                 }
-                let p = Parallelism::spatial(pf, poh, pow);
-                let cost = total_cycles(&p, &dims);
+                // Partial-sum abort: once the running cost exceeds the
+                // incumbent it can never win (and can never tie, since the
+                // abort only fires strictly above `best_cost`).
+                let mut cost = 0u64;
+                for (l, &bv) in b.iter().enumerate() {
+                    cost += bv * cow[k * n + l];
+                    if cost > best_cost {
+                        break;
+                    }
+                }
                 if cost < best_cost
                     || (cost == best_cost
-                        && (p.dims[0], p.dims[2], p.dims[3])
-                            > (best.dims[0], best.dims[2], best.dims[3]))
+                        && (pf, poh, pow) > (best.dims[0], best.dims[2], best.dims[3]))
                 {
-                    best = p;
+                    best = Parallelism::spatial(pf, poh, pow);
                     best_cost = cost;
                 }
             }
         }
     }
     best
-}
-
-fn total_cycles(p: &Parallelism, dims: &[[u32; 6]]) -> u64 {
-    dims.iter().map(|&d| p.latency_cycles(d)).sum()
 }
 
 #[cfg(test)]
@@ -111,6 +187,85 @@ mod tests {
 
     fn layer_refs(convs: &[ConvInfo], idx: &[usize]) -> Vec<ConvInfo> {
         idx.iter().map(|&i| convs[i].clone()).collect()
+    }
+
+    /// The historical reference implementation: the literal nested search
+    /// re-deriving Eq. (1) per configuration. Kept as the oracle for the
+    /// optimized `search_parallelism`.
+    fn reference_search(pes: u32, layers: &[&ConvInfo], allow_rows: bool) -> Parallelism {
+        if layers.is_empty() || pes <= 1 {
+            return Parallelism::scalar();
+        }
+        let cand = candidates(pes);
+        let row_cand = if allow_rows { cand.clone() } else { vec![1u32] };
+        let dims: Vec<[u32; 6]> = layers.iter().map(|l| l.dims).collect();
+        let total = |p: &Parallelism| -> u64 {
+            dims.iter().map(|&d| p.latency_cycles(d)).sum()
+        };
+        let mut best = Parallelism::scalar();
+        let mut best_cost = total(&best);
+        for &pf in &cand {
+            if pf > pes {
+                break;
+            }
+            let max_oh = pes / pf;
+            for &poh in &row_cand {
+                if poh > max_oh {
+                    break;
+                }
+                let max_ow = max_oh / poh;
+                for &pow in &cand {
+                    if pow > max_ow {
+                        break;
+                    }
+                    let p = Parallelism::spatial(pf, poh, pow);
+                    let cost = total(&p);
+                    if cost < best_cost
+                        || (cost == best_cost
+                            && (p.dims[0], p.dims[2], p.dims[3])
+                                > (best.dims[0], best.dims[2], best.dims[3]))
+                    {
+                        best = p;
+                        best_cost = cost;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn optimized_search_matches_reference_exactly() {
+        for model in [zoo::resnet50(), zoo::xception(), zoo::mobilenet_v2()] {
+            let convs = model.conv_view();
+            let sets: Vec<Vec<&ConvInfo>> = vec![
+                vec![&convs[0]],
+                convs.iter().take(5).collect(),
+                convs.iter().skip(10).take(20).collect(),
+                convs.iter().collect(),
+            ];
+            for layers in &sets {
+                for pes in [2u32, 7, 100, 513, 2520] {
+                    for allow_rows in [true, false] {
+                        let fast = if allow_rows {
+                            select_parallelism(pes, layers)
+                        } else {
+                            select_row_parallelism(pes, layers)
+                        };
+                        let slow = reference_search(pes, layers, allow_rows);
+                        assert_eq!(fast, slow, "{} pes={pes} rows={allow_rows}", model.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_prefix_matches_direct_candidates() {
+        let table = candidates(4096);
+        for pes in [1u32, 2, 8, 100, 149, 150, 1024, 4096] {
+            assert_eq!(candidate_prefix(&table, pes), candidates(pes).as_slice(), "pes {pes}");
+        }
     }
 
     #[test]

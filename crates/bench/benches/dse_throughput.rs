@@ -29,6 +29,33 @@ fn bench_custom_sampling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_lane_comparison(c: &mut Criterion) {
+    // Full rich-report lane vs the summary fast lane over the identical
+    // seeded design stream: the per-candidate cost a sweep actually pays.
+    let model = zoo::xception();
+    let board = FpgaBoard::vcu110();
+    let explorer = Explorer::new(&model, &board);
+    let mut g = c.benchmark_group("dse_eval_lanes");
+    g.sample_size(10);
+    let count = 200usize;
+    g.throughput(Throughput::Elements(count as u64));
+    g.bench_function("full_lane", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(explorer.sample_custom(count, seed).unwrap())
+        })
+    });
+    g.bench_function("summary_fast_lane", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(explorer.sample_custom_summaries(count, seed).unwrap())
+        })
+    });
+    g.finish();
+}
+
 fn bench_baseline_sweep(c: &mut Criterion) {
     let model = zoo::mobilenet_v2();
     let board = FpgaBoard::zc706();
@@ -60,5 +87,11 @@ fn bench_selection_and_pareto(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_custom_sampling, bench_baseline_sweep, bench_selection_and_pareto);
+criterion_group!(
+    benches,
+    bench_custom_sampling,
+    bench_lane_comparison,
+    bench_baseline_sweep,
+    bench_selection_and_pareto
+);
 criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Measures DSE sweep throughput on both evaluation lanes and records the
+//! perf trajectory: `BENCH_eval.json` at the repo root (override the path
+//! with `MCCM_BENCH_JSON`). Accepts `--designs N` (default 2000) and
+//! `--seed N` (default 42).
+//!
+//! ```text
+//! cargo run --release -p mccm-bench --bin eval_speed -- --designs 2000
+//! ```
+fn main() {
+    let designs = mccm_bench::arg_value("--designs", 2000) as usize;
+    let seed = mccm_bench::arg_value("--seed", 42);
+    let measured = mccm_bench::experiments::eval_speed::measure(designs, seed);
+    mccm_bench::emit(&measured.report());
+    let path = std::env::var_os("MCCM_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_eval.json"));
+    match std::fs::write(&path, measured.to_json()) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

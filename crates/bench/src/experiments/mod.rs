@@ -19,6 +19,7 @@
 
 pub mod ablation;
 pub mod compression;
+pub mod eval_speed;
 pub mod fig10;
 pub mod fig5;
 pub mod fig6;

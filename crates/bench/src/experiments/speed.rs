@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use mccm_arch::{templates, MultipleCeBuilder};
 use mccm_cnn::zoo;
-use mccm_core::CostModel;
+use mccm_core::{CostModel, EvalScratch};
 use mccm_fpga::FpgaBoard;
 use mccm_sim::{SimConfig, Simulator};
 
@@ -35,6 +35,14 @@ pub fn run(reps: usize) -> Report {
         std::hint::black_box(CostModel::evaluate(&accs[i % accs.len()]));
     }
     let model_s = start.elapsed().as_secs_f64() / reps as f64;
+
+    // (1b) The summary fast lane: what DSE sweeps pay per design.
+    let mut scratch = EvalScratch::new();
+    let start = Instant::now();
+    for i in 0..reps {
+        std::hint::black_box(CostModel::evaluate_summary(&accs[i % accs.len()], &mut scratch));
+    }
+    let summary_s = start.elapsed().as_secs_f64() / reps as f64;
 
     // (2) Full pipeline: template -> builder -> model.
     let start = Instant::now();
@@ -69,6 +77,11 @@ pub fn run(reps: usize) -> Report {
     };
     t.row(vec!["MCCM evaluate".into(), fmt(model_s), "1x".into()]);
     t.row(vec![
+        "MCCM evaluate_summary (fast lane)".into(),
+        fmt(summary_s),
+        format!("{:.2}x", summary_s / model_s),
+    ]);
+    t.row(vec![
         "express + build + evaluate".into(),
         fmt(pipeline_s),
         format!("{:.1}x", pipeline_s / model_s),
@@ -100,6 +113,6 @@ mod tests {
     #[test]
     fn measures_all_stages() {
         let r = super::run(5);
-        assert_eq!(r.tables[0].rows.len(), 4);
+        assert_eq!(r.tables[0].rows.len(), 5);
     }
 }

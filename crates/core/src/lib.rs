@@ -39,5 +39,5 @@ pub use accuracy::{accuracy_pct, AccuracyRecord, AccuracySummary};
 pub use config::{ModelConfig, PipelineLatencyMode};
 pub use energy::{EnergyEstimate, EnergyModel};
 pub use metrics::{Metric, MetricSource};
-pub use model::CostModel;
+pub use model::{CostModel, EvalScratch};
 pub use report::{CeReport, EvalSummary, Evaluation, LayerReport, SegmentReport, SpillPolicy};

@@ -16,6 +16,19 @@
 //!   and add no requirement.
 //! * **Accesses** = Σ segment traffic (Eqs. 6/7/9), including the model
 //!   input load and output store.
+//!
+//! # Two evaluation lanes
+//!
+//! [`CostModel::evaluate`] (and `evaluate_with`) is the **rich-report
+//! lane**: it returns a full [`Evaluation`] with per-segment, per-engine,
+//! and per-layer breakdowns — the right lane for bottleneck analysis
+//! (Use Case 2) and one-off studies. [`CostModel::evaluate_summary`]
+//! (and `evaluate_summary_with`) is the **fast lane** for design-space
+//! sweeps: it produces only the scalar [`EvalSummary`], reusing the
+//! caller's [`EvalScratch`] buffers so the steady state performs no heap
+//! allocation beyond the summary's notation string. Both lanes run the
+//! exact same block-model cores, so the fast lane's summary is
+//! bit-identical to `evaluate(...).summary()`.
 
 pub(crate) mod pipeline;
 pub(crate) mod single_ce;
@@ -25,9 +38,9 @@ use std::collections::HashMap;
 use mccm_arch::{BuiltAccelerator, CeRole, Executor};
 
 use crate::config::ModelConfig;
-use crate::report::{CeReport, Evaluation, SegmentReport};
-use pipeline::eval_pipelined_round;
-use single_ce::{eval_single_ce, BlockOutcome};
+use crate::report::{CeReport, EvalSummary, Evaluation, SegmentReport};
+use pipeline::{eval_pipelined_round, eval_pipelined_round_core, PipeScratch};
+use single_ce::{eval_single_ce, eval_single_ce_core, BlockOutcome};
 
 /// The analytical cost model. Stateless: all inputs live in the
 /// [`BuiltAccelerator`].
@@ -37,7 +50,7 @@ use single_ce::{eval_single_ce, BlockOutcome};
 /// ```
 /// use mccm_arch::{templates, MultipleCeBuilder};
 /// use mccm_cnn::zoo;
-/// use mccm_core::CostModel;
+/// use mccm_core::{CostModel, EvalScratch};
 /// use mccm_fpga::FpgaBoard;
 ///
 /// # fn main() -> Result<(), mccm_arch::ArchError> {
@@ -48,11 +61,51 @@ use single_ce::{eval_single_ce, BlockOutcome};
 /// let eval = CostModel::evaluate(&acc);
 /// assert!(eval.throughput_fps > 0.0);
 /// assert!(eval.latency_s > 0.0);
+///
+/// // The sweep-friendly fast lane produces the identical summary.
+/// let mut scratch = EvalScratch::new();
+/// assert_eq!(CostModel::evaluate_summary(&acc, &mut scratch), eval.summary());
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CostModel;
+
+/// Reusable scratch buffers for the summary fast lane
+/// ([`CostModel::evaluate_summary`]).
+///
+/// Holds the pipelined-block work arrays and the dense block-occupancy
+/// table that the rich lane keeps in per-call `Vec`s and `HashMap`s.
+/// Create one per sweep worker and pass it to every evaluation: after the
+/// first few designs the buffers reach steady-state capacity and the fast
+/// lane stops allocating entirely (the returned summary's notation string
+/// is the only remaining allocation).
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Dense per-block occupancy accumulators, one per distinct executor
+    /// CE set. Executor CE sets are always contiguous ranges, so
+    /// `(first_ce, len)` identifies a block exactly — no
+    /// `HashMap<Vec<usize>, _>` needed.
+    blocks: Vec<BlockSlot>,
+    /// Pipelined-block per-layer work arrays.
+    pipe: PipeScratch,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BlockSlot {
+    first_ce: usize,
+    len: usize,
+    occupancy: u64,
+    segments: usize,
+    max_busy: u64,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl CostModel {
     /// Evaluates a built accelerator: latency, throughput, buffer
@@ -216,7 +269,7 @@ impl CostModel {
 
         Evaluation {
             notation: acc.notation(),
-            model_name: acc.model_name.clone(),
+            model_name: acc.model_name.to_string(),
             board_name: acc.board.name.clone(),
             ce_count: acc.ce_count(),
             latency_s,
@@ -230,6 +283,156 @@ impl CostModel {
             segments: seg_reports,
             ces,
             layers,
+        }
+    }
+
+    /// Summary-only fast lane: the design's [`EvalSummary`] without any
+    /// per-segment/per-engine/per-layer report construction, reusing the
+    /// caller's scratch buffers across calls.
+    ///
+    /// Bit-identical to `evaluate(acc).summary()` — both lanes run the
+    /// same block-model cores — but roughly an order of magnitude cheaper
+    /// per design, which is what large sweeps pay per candidate.
+    pub fn evaluate_summary(acc: &BuiltAccelerator, scratch: &mut EvalScratch) -> EvalSummary {
+        Self::evaluate_summary_with(acc, &ModelConfig::default(), scratch)
+    }
+
+    /// [`Self::evaluate_summary`] under a non-default configuration;
+    /// bit-identical to `evaluate_with(acc, config).summary()`.
+    pub fn evaluate_summary_with(
+        acc: &BuiltAccelerator,
+        config: &ModelConfig,
+        scratch: &mut EvalScratch,
+    ) -> EvalSummary {
+        let cyc = acc.board.cycle_time_s();
+        let bpc = acc.board.bytes_per_cycle() * config.bandwidth_derate;
+        let n_segments = acc.segments.len();
+
+        let mut latency_cycles = 0u64;
+        let mut compute_cycles_total = 0u64;
+        let mut total_w = 0u64;
+        let mut total_fm = 0u64;
+        scratch.blocks.clear();
+
+        for seg in &acc.segments {
+            let input_off = seg.index == 0
+                || !acc.buffers.inter_segment[seg.index - 1].on_chip;
+            let output_off = seg.index + 1 == n_segments
+                || !acc.buffers.inter_segment[seg.index].on_chip;
+
+            let (first_ce, block_len, totals) = match &seg.executor {
+                Executor::SingleCe(ce) => (
+                    *ce,
+                    1usize,
+                    eval_single_ce_core(
+                        acc,
+                        *ce,
+                        seg.first,
+                        seg.last,
+                        input_off,
+                        output_off,
+                        bpc,
+                        |_, _, _, _, _, _| {},
+                    ),
+                ),
+                Executor::PipelinedCes(ces) => (
+                    ces[0],
+                    ces.len(),
+                    eval_pipelined_round_core(
+                        acc,
+                        ces,
+                        seg.first,
+                        seg.last,
+                        input_off,
+                        output_off,
+                        bpc,
+                        config.pipeline_latency,
+                        &mut scratch.pipe,
+                        |_, _, _, _, _, _, _| {},
+                    ),
+                ),
+            };
+
+            // Dense occupancy accumulation: executor CE sets are contiguous
+            // ranges, so (first_ce, len) is the block identity the rich lane
+            // keys its HashMap with (as the sorted CE vector).
+            let slot = match scratch
+                .blocks
+                .iter_mut()
+                .find(|b| b.first_ce == first_ce && b.len == block_len)
+            {
+                Some(slot) => slot,
+                None => {
+                    scratch.blocks.push(BlockSlot {
+                        first_ce,
+                        len: block_len,
+                        occupancy: 0,
+                        segments: 0,
+                        max_busy: 0,
+                    });
+                    scratch.blocks.last_mut().expect("just pushed")
+                }
+            };
+            slot.occupancy += totals.time_cycles;
+            slot.segments += 1;
+            slot.max_busy = slot.max_busy.max(totals.max_busy_cycles);
+
+            latency_cycles += totals.time_cycles;
+            compute_cycles_total += totals.compute_cycles;
+            total_w += totals.weight_traffic;
+            total_fm += totals.fm_traffic;
+        }
+
+        // Throughput (§IV-B1), same composition as the rich lane — the
+        // dense slots replace the HashMap, and `max` is order-independent.
+        let bottleneck_cycles = if acc.coarse_pipeline() {
+            let block_bound = scratch
+                .blocks
+                .iter()
+                .map(|b| {
+                    let single_round = b.segments == 1
+                        && acc.ces[b.first_ce..b.first_ce + b.len]
+                            .iter()
+                            .any(|ce| ce.role == CeRole::Pipelined);
+                    if single_round {
+                        b.max_busy.max(1)
+                    } else {
+                        b.occupancy
+                    }
+                })
+                .max()
+                .unwrap_or(latency_cycles);
+            let mem_bound = single_ce::mem_cycles(total_w + total_fm, bpc);
+            block_bound.max(mem_bound)
+        } else {
+            latency_cycles
+        };
+
+        let latency_s = latency_cycles as f64 * cyc;
+        let throughput_fps = if bottleneck_cycles == 0 {
+            0.0
+        } else {
+            1.0 / (bottleneck_cycles as f64 * cyc)
+        };
+
+        let memory_stall_fraction = if latency_cycles == 0 {
+            0.0
+        } else {
+            (latency_cycles - compute_cycles_total.min(latency_cycles)) as f64
+                / latency_cycles as f64
+        };
+
+        EvalSummary {
+            notation: acc.notation(),
+            ce_count: acc.ce_count(),
+            latency_s,
+            throughput_fps,
+            buffer_req_bytes: buffer_requirement(acc),
+            buffer_alloc_bytes: acc.buffers.total_bytes(),
+            offchip_bytes: total_w + total_fm,
+            offchip_weight_bytes: total_w,
+            offchip_fm_bytes: total_fm,
+            memory_stall_fraction,
         }
     }
 
@@ -332,6 +535,46 @@ mod tests {
                     e.throughput_fps * e.latency_s >= 0.999,
                     "{arch} {k}: throughput below 1/latency"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_lane_matches_rich_lane_exactly() {
+        // The core equivalence invariant: evaluate_summary must be
+        // bit-identical to evaluate().summary() with one scratch reused
+        // across every design (warm-buffer path included).
+        let mut scratch = EvalScratch::new();
+        for m in [zoo::resnet50(), zoo::mobilenet_v2(), zoo::xception()] {
+            let board = FpgaBoard::zcu102();
+            let builder = MultipleCeBuilder::new(&m, &board);
+            for arch in templates::Architecture::ALL {
+                for k in [2usize, 5, 11] {
+                    let acc = builder.build(&arch.instantiate(&m, k).unwrap()).unwrap();
+                    let rich = CostModel::evaluate(&acc).summary();
+                    let fast = CostModel::evaluate_summary(&acc, &mut scratch);
+                    assert_eq!(fast, rich, "{} {arch} {k}", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_lane_matches_rich_lane_under_ablation_configs() {
+        use crate::config::PipelineLatencyMode;
+        let m = zoo::resnet50();
+        let builder = MultipleCeBuilder::new(&m, &FpgaBoard::zc706());
+        let mut scratch = EvalScratch::new();
+        for config in [
+            ModelConfig::default(),
+            ModelConfig::new().with_pipeline_latency(PipelineLatencyMode::LockstepStages),
+            ModelConfig::new().with_bandwidth_derate(0.6),
+        ] {
+            for arch in templates::Architecture::ALL {
+                let acc = builder.build(&arch.instantiate(&m, 5).unwrap()).unwrap();
+                let rich = CostModel::evaluate_with(&acc, &config).summary();
+                let fast = CostModel::evaluate_summary_with(&acc, &config, &mut scratch);
+                assert_eq!(fast, rich, "{arch} {config:?}");
             }
         }
     }

@@ -16,8 +16,28 @@
 use mccm_arch::{BuiltAccelerator, CeRole};
 
 use crate::config::PipelineLatencyMode;
-use crate::model::single_ce::{mem_cycles, BlockOutcome};
+use crate::model::single_ce::{mem_cycles, BlockOutcome, BlockTotals};
 use crate::report::{LayerReport, SpillPolicy};
+
+/// Reusable per-layer work arrays for [`eval_pipelined_round_core`]: one
+/// slot per layer of the round being evaluated, grown on demand and kept
+/// alive across rounds (and across designs, via
+/// [`EvalScratch`](crate::EvalScratch)) so the steady-state pipelined
+/// block model allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct PipeScratch {
+    tile_lat: Vec<u64>,
+    n_tiles: Vec<u64>,
+    resident: Vec<bool>,
+    w_bytes: Vec<u64>,
+    mem_bytes: Vec<u64>,
+    eff_tile_lat: Vec<u64>,
+    start: Vec<u64>,
+    finish_eff: Vec<u64>,
+    finish_pure: Vec<u64>,
+    produced: Vec<u64>,
+    active: Vec<usize>,
+}
 
 /// Evaluates one pipelined round over layers `first..=last` running on
 /// `ces[j] = ces[layer - first]`.
@@ -37,14 +57,81 @@ pub fn eval_pipelined_round(
     mode: PipelineLatencyMode,
 ) -> BlockOutcome {
     let n = last - first + 1;
+    let mut scratch = PipeScratch::default();
+    let mut layers = Vec::with_capacity(n);
+    let mut busy_per_ce = Vec::with_capacity(n);
+    let totals = eval_pipelined_round_core(
+        acc,
+        ces,
+        first,
+        last,
+        input_off_chip,
+        output_off_chip,
+        bpc,
+        mode,
+        &mut scratch,
+        |l, ce, busy_pure, busy_eff, w_traffic, fm_load, fm_store| {
+            busy_per_ce.push((ce, busy_eff));
+            layers.push(LayerReport {
+                layer: l,
+                ce,
+                compute_cycles: busy_pure,
+                weight_traffic: w_traffic,
+                fm_load_traffic: fm_load,
+                fm_store_traffic: fm_store,
+                policy: SpillPolicy::None,
+                utilization: acc.ces[ce].utilization(acc.convs[l].dims),
+            });
+        },
+    );
+    BlockOutcome {
+        time_cycles: totals.time_cycles,
+        compute_cycles: totals.compute_cycles,
+        memory_cycles: totals.memory_cycles,
+        weight_traffic: totals.weight_traffic,
+        fm_traffic: totals.fm_traffic,
+        useful_macs: totals.useful_macs,
+        busy_per_ce,
+        layers,
+    }
+}
+
+/// Allocation-free core of the pipelined-CEs block model, shared by both
+/// evaluation lanes. Per-layer work arrays live in `scratch`; `on_layer`
+/// receives `(layer, ce, busy_pure, busy_eff, weight_traffic, fm_load,
+/// fm_store)` per stage, and the fast lane passes a no-op.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_pipelined_round_core(
+    acc: &BuiltAccelerator,
+    ces: &[usize],
+    first: usize,
+    last: usize,
+    input_off_chip: bool,
+    output_off_chip: bool,
+    bpc: f64,
+    mode: PipelineLatencyMode,
+    scratch: &mut PipeScratch,
+    mut on_layer: impl FnMut(usize, usize, u64, u64, u64, u64, u64),
+) -> BlockTotals {
+    let n = last - first + 1;
     debug_assert_eq!(ces.len(), n, "one CE per layer in a round");
 
-    // Per-layer static data.
-    let mut tile_lat = vec![0u64; n]; // compute cycles per row tile
-    let mut n_tiles = vec![0u64; n];
-    let mut resident = vec![false; n];
-    let mut w_bytes = vec![0u64; n];
-    let mut mem_bytes = vec![0u64; n]; // off-chip bytes streamed by the layer
+    // Per-layer static data (scratch-resident).
+    scratch.tile_lat.clear();
+    scratch.tile_lat.resize(n, 0); // compute cycles per row tile
+    scratch.n_tiles.clear();
+    scratch.n_tiles.resize(n, 0);
+    scratch.resident.clear();
+    scratch.resident.resize(n, false);
+    scratch.w_bytes.clear();
+    scratch.w_bytes.resize(n, 0);
+    scratch.mem_bytes.clear();
+    scratch.mem_bytes.resize(n, 0); // off-chip bytes streamed by the layer
+    let tile_lat = &mut scratch.tile_lat;
+    let n_tiles = &mut scratch.n_tiles;
+    let resident = &mut scratch.resident;
+    let w_bytes = &mut scratch.w_bytes;
+    let mem_bytes = &mut scratch.mem_bytes;
     for j in 0..n {
         let l = first + j;
         let conv = &acc.convs[l];
@@ -68,26 +155,27 @@ pub fn eval_pipelined_round(
     }
 
     // Per-row pacing including the layer's own streaming (weights per
-    // tile, boundary rows), and total busy times.
-    let eff_tile_lat: Vec<u64> = (0..n)
-        .map(|j| tile_lat[j].max(mem_cycles(mem_bytes[j] / n_tiles[j].max(1), bpc)))
-        .collect();
-    let busy: Vec<u64> = (0..n).map(|j| n_tiles[j] * tile_lat[j]).collect();
-    let busy_eff: Vec<u64> = (0..n).map(|j| n_tiles[j] * eff_tile_lat[j]).collect();
+    // tile, boundary rows).
+    let (tile_lat, n_tiles, resident, w_bytes, mem_bytes) =
+        (&*tile_lat, &*n_tiles, &*resident, &*w_bytes, &*mem_bytes);
+    let eff_tile_lat = &mut scratch.eff_tile_lat;
+    eff_tile_lat.clear();
+    eff_tile_lat.extend(
+        (0..n).map(|j| tile_lat[j].max(mem_cycles(mem_bytes[j] / n_tiles[j].max(1), bpc))),
+    );
+    let eff_tile_lat = &*eff_tile_lat;
 
     // In-round producers (DAG edges resolved through pools/adds/concats by
     // `mccm-cnn`; producers before `first` sit in the segment's input
-    // buffer and are always available).
-    let in_round_producers: Vec<Vec<usize>> = (0..n)
-        .map(|j| {
-            acc.convs[first + j]
-                .producers
-                .iter()
-                .filter(|&&p| p >= first && p < first + j)
-                .map(|&p| p - first)
-                .collect()
-        })
-        .collect();
+    // buffer and are always available). Iterated inline — collecting them
+    // into a nested `Vec<Vec<usize>>` used to be a per-round allocation.
+    let producers = |j: usize| {
+        acc.convs[first + j]
+            .producers
+            .iter()
+            .filter(move |&&p| p >= first && p < first + j)
+            .map(move |&p| p - first)
+    };
 
     // Producer tiles layer j needs before its first tile: IFM rows for row
     // `poh-1` scaled to producer rows through any intermediate pooling.
@@ -106,31 +194,43 @@ pub fn eval_pipelined_round(
 
     // Critical path, computed twice: with memory pacing (timing) and
     // without (the pure-compute baseline reported for Fig. 6).
-    let critical_path = |rate: &[u64]| -> (Vec<u64>, Vec<u64>) {
-        let mut start = vec![0u64; n];
-        let mut finish = vec![0u64; n];
+    let critical_path = |rate: &[u64], start: &mut Vec<u64>, finish: &mut Vec<u64>| {
+        start.clear();
+        start.resize(n, 0);
+        finish.clear();
+        finish.resize(n, 0);
         for j in 0..n {
-            for &p in &in_round_producers[j] {
+            for p in producers(j) {
                 start[j] = start[j].max(start[p] + first_need_tiles(j, p) * rate[p]);
             }
             finish[j] = start[j] + n_tiles[j] * rate[j];
-            for &p in &in_round_producers[j] {
+            for p in producers(j) {
                 // Trailing tile: the last rows wait for the producer's
                 // final output.
                 finish[j] = finish[j].max(finish[p] + rate[j]);
             }
         }
-        (start, finish)
     };
-    let (finish_eff, finish_pure) = match mode {
-        PipelineLatencyMode::CriticalPath => {
-            (critical_path(&eff_tile_lat).1, critical_path(&tile_lat).1)
+    {
+        let PipeScratch { start, finish_eff, finish_pure, produced, active, .. } = scratch;
+        match mode {
+            PipelineLatencyMode::CriticalPath => {
+                critical_path(eff_tile_lat, start, finish_eff);
+                critical_path(tile_lat, start, finish_pure);
+            }
+            PipelineLatencyMode::LockstepStages => {
+                lockstep_stages(
+                    eff_tile_lat, n_tiles, &producers, &first_need_tiles, produced, active,
+                    finish_eff,
+                );
+                lockstep_stages(
+                    tile_lat, n_tiles, &producers, &first_need_tiles, produced, active,
+                    finish_pure,
+                );
+            }
         }
-        PipelineLatencyMode::LockstepStages => {
-            (lockstep_stages(&eff_tile_lat, &n_tiles, &in_round_producers, &first_need_tiles),
-             lockstep_stages(&tile_lat, &n_tiles, &in_round_producers, &first_need_tiles))
-        }
-    };
+    }
+    let (finish_eff, finish_pure) = (&scratch.finish_eff, &scratch.finish_pure);
 
     // Round weight load for resident layers: double-buffered against the
     // previous round, so only the excess beyond the round time is exposed.
@@ -145,57 +245,50 @@ pub fn eval_pipelined_round(
     let compute_cycles = finish_pure.iter().copied().max().unwrap_or(0);
     let time_cycles = path.max(total_mem_cycles).max(w_load_cycles);
 
-    let mut layers = Vec::with_capacity(n);
-    let mut useful_macs = 0u64;
-    let mut busy_per_ce = Vec::with_capacity(n);
+    let mut out = BlockTotals {
+        time_cycles,
+        compute_cycles,
+        memory_cycles: total_mem_cycles,
+        ..BlockTotals::default()
+    };
     for j in 0..n {
         let l = first + j;
-        let conv = &acc.convs[l];
-        useful_macs += conv.macs;
-        busy_per_ce.push((ces[j], busy_eff[j]));
+        out.useful_macs += acc.convs[l].macs;
+        let busy_pure = n_tiles[j] * tile_lat[j];
+        let busy_eff = n_tiles[j] * eff_tile_lat[j];
+        out.max_busy_cycles = out.max_busy_cycles.max(busy_eff);
         let lw = if resident[j] { w_bytes[j] } else { w_bytes[j] * n_tiles[j] };
         let fm_load = if j == 0 && input_off_chip { acc.ifm_bytes(l) } else { 0 };
         let fm_store =
             if j == n - 1 && output_off_chip { acc.ofm_bytes(last) } else { 0 };
-        layers.push(LayerReport {
-            layer: l,
-            ce: ces[j],
-            compute_cycles: busy[j],
-            weight_traffic: lw,
-            fm_load_traffic: fm_load,
-            fm_store_traffic: fm_store,
-            policy: SpillPolicy::None,
-            utilization: acc.ces[ces[j]].utilization(conv.dims),
-        });
+        out.weight_traffic += lw;
+        out.fm_traffic += fm_load + fm_store;
+        on_layer(l, ces[j], busy_pure, busy_eff, lw, fm_load, fm_store);
     }
-    let weight_traffic: u64 = layers.iter().map(|l| l.weight_traffic).sum();
-    let fm_traffic: u64 = layers.iter().map(|l| l.fm_traffic()).sum();
-
-    BlockOutcome {
-        time_cycles,
-        compute_cycles,
-        memory_cycles: total_mem_cycles,
-        weight_traffic,
-        fm_traffic,
-        useful_macs,
-        busy_per_ce,
-        layers,
-    }
+    out
 }
 
 /// Literal Eq. (2) evaluation: a global stage barrier per tile, each stage
 /// as slow as its slowest active engine. A layer activates once its
 /// producers have emitted its first-tile requirement and then produces one
 /// tile per stage in which it is active. Kept for the ablation study.
-fn lockstep_stages(
+fn lockstep_stages<P, I>(
     rate: &[u64],
     n_tiles: &[u64],
-    in_round_producers: &[Vec<usize>],
+    producers: &P,
     first_need_tiles: &dyn Fn(usize, usize) -> u64,
-) -> Vec<u64> {
+    produced: &mut Vec<u64>,
+    active: &mut Vec<usize>,
+    finish: &mut Vec<u64>,
+) where
+    P: Fn(usize) -> I,
+    I: Iterator<Item = usize>,
+{
     let n = rate.len();
-    let mut produced = vec![0u64; n];
-    let mut finish = vec![0u64; n];
+    produced.clear();
+    produced.resize(n, 0);
+    finish.clear();
+    finish.resize(n, 0);
     let mut elapsed = 0u64;
     let total: u64 = n_tiles.iter().sum();
     let mut guard = 0u64;
@@ -205,14 +298,14 @@ fn lockstep_stages(
             break; // defensive; dependencies are acyclic so this is unreachable
         }
         let mut stage = 0u64;
-        let mut active = Vec::new();
+        active.clear();
         for j in 0..n {
             if produced[j] >= n_tiles[j] {
                 continue;
             }
             // Scale the first-tile requirement with progress: tile t needs
             // roughly first_need + t producer tiles.
-            let ready = in_round_producers[j].iter().all(|&p| {
+            let ready = producers(j).all(|p| {
                 let need = (first_need_tiles(j, p) + produced[j]).min(n_tiles[p]);
                 produced[p] >= need
             });
@@ -225,14 +318,13 @@ fn lockstep_stages(
             break; // unreachable: the lowest unfinished layer is always ready
         }
         elapsed += stage;
-        for j in active {
+        for &j in active.iter() {
             produced[j] += 1;
             if produced[j] == n_tiles[j] {
                 finish[j] = elapsed;
             }
         }
     }
-    finish
 }
 
 #[cfg(test)]

@@ -37,6 +37,30 @@ pub struct BlockOutcome {
     pub layers: Vec<LayerReport>,
 }
 
+/// The scalar totals of one block evaluation — the subset of
+/// [`BlockOutcome`] the summary-only fast lane needs, produced without
+/// any heap allocation. Both lanes run the same block-model cores; the
+/// full lane additionally collects per-layer records through the cores'
+/// `on_layer` callbacks, so the two lanes cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct BlockTotals {
+    /// Contribution to latency, in cycles (stalls included).
+    pub time_cycles: u64,
+    /// Pure compute cycles.
+    pub compute_cycles: u64,
+    /// Memory access cycles (as if serialized; overlap decided by `time`).
+    pub memory_cycles: u64,
+    /// Off-chip weight traffic in bytes.
+    pub weight_traffic: u64,
+    /// Off-chip feature-map traffic in bytes.
+    pub fm_traffic: u64,
+    /// Useful MACs performed.
+    pub useful_macs: u64,
+    /// Largest per-CE busy time within the block (the Eq. 3 bottleneck
+    /// used for single-round pipelined throughput).
+    pub max_busy_cycles: u64,
+}
+
 /// Ceiling division of byte counts by a fractional bytes-per-cycle rate.
 pub(crate) fn mem_cycles(bytes: u64, bytes_per_cycle: f64) -> u64 {
     if bytes == 0 {
@@ -62,22 +86,64 @@ pub fn eval_single_ce(
     bpc: f64,
 ) -> BlockOutcome {
     let ce = &acc.ces[ce_id];
+    let mut layers = Vec::with_capacity(last - first + 1);
+    let totals = eval_single_ce_core(
+        acc,
+        ce_id,
+        first,
+        last,
+        input_off_chip,
+        output_off_chip,
+        bpc,
+        |l, compute, w_traffic, fm_load, fm_store, policy| {
+            layers.push(LayerReport {
+                layer: l,
+                ce: ce_id,
+                compute_cycles: compute,
+                weight_traffic: w_traffic,
+                fm_load_traffic: fm_load,
+                fm_store_traffic: fm_store,
+                policy,
+                utilization: ce.utilization(acc.convs[l].dims),
+            });
+        },
+    );
+    BlockOutcome {
+        time_cycles: totals.time_cycles,
+        compute_cycles: totals.compute_cycles,
+        memory_cycles: totals.memory_cycles,
+        weight_traffic: totals.weight_traffic,
+        fm_traffic: totals.fm_traffic,
+        useful_macs: totals.useful_macs,
+        // A single-CE block's engine is busy for the block's whole time.
+        busy_per_ce: vec![(ce_id, totals.time_cycles)],
+        layers,
+    }
+}
+
+/// Allocation-free core of the single-CE block model, shared by both the
+/// full [`eval_single_ce`] lane and the summary fast lane. `on_layer`
+/// receives `(layer, compute_cycles, weight_traffic, fm_load, fm_store,
+/// policy)` per layer; the fast lane passes a no-op.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_single_ce_core(
+    acc: &BuiltAccelerator,
+    ce_id: usize,
+    first: usize,
+    last: usize,
+    input_off_chip: bool,
+    output_off_chip: bool,
+    bpc: f64,
+    mut on_layer: impl FnMut(usize, u64, u64, u64, u64, SpillPolicy),
+) -> BlockTotals {
+    let ce = &acc.ces[ce_id];
     let alloc = &acc.buffers.ce[ce_id];
     let act = acc.precision.activation_bytes as u64;
     // Capacity available for feature maps once the weight stream buffer is
     // reserved (Eq. 6's constraint re-arranged).
     let fm_budget = alloc.bytes.saturating_sub(alloc.weight_stream_bytes);
 
-    let mut out = BlockOutcome {
-        time_cycles: 0,
-        compute_cycles: 0,
-        memory_cycles: 0,
-        weight_traffic: 0,
-        fm_traffic: 0,
-        useful_macs: 0,
-        busy_per_ce: vec![(ce_id, 0)],
-        layers: Vec::with_capacity(last - first + 1),
-    };
+    let mut out = BlockTotals::default();
 
     let mut ifm_on_chip = !input_off_chip;
     for l in first..=last {
@@ -153,19 +219,10 @@ pub fn eval_single_ce(
         out.weight_traffic += w_traffic;
         out.fm_traffic += fm_load + fm_store;
         out.useful_macs += conv.macs;
-        out.busy_per_ce[0].1 += time;
-        out.layers.push(LayerReport {
-            layer: l,
-            ce: ce_id,
-            compute_cycles: compute,
-            weight_traffic: w_traffic,
-            fm_load_traffic: fm_load,
-            fm_store_traffic: fm_store,
-            policy,
-            utilization: ce.utilization(conv.dims),
-        });
+        on_layer(l, compute, w_traffic, fm_load, fm_store, policy);
         ifm_on_chip = ofm_stays;
     }
+    out.max_busy_cycles = out.time_cycles;
     out
 }
 

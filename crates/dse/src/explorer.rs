@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use mccm_arch::{templates, AcceleratorSpec, ArchError, MultipleCeBuilder};
 use mccm_cnn::CnnModel;
-use mccm_core::{CostModel, EvalSummary, Evaluation};
+use mccm_core::{CostModel, EvalScratch, EvalSummary, Evaluation};
 use mccm_fpga::FpgaBoard;
 
 use crate::error::ExploreError;
@@ -98,6 +98,23 @@ impl Explorer {
         Ok(DesignPoint { spec: spec.clone(), eval: CostModel::evaluate(&acc) })
     }
 
+    /// Builds and evaluates one specification through the summary fast
+    /// lane ([`CostModel::evaluate_summary`]): metrics only, with the
+    /// caller's scratch buffers reused across calls. This is what the
+    /// `*_summaries` sweeps pay per design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors.
+    pub fn evaluate_summary(
+        &self,
+        spec: &AcceleratorSpec,
+        scratch: &mut EvalScratch,
+    ) -> Result<EvalSummary, ArchError> {
+        let acc = self.builder.build(spec)?;
+        Ok(CostModel::evaluate_summary(&acc, scratch))
+    }
+
     /// Evaluates one baseline grid cell: `Ok(None)` when the combination
     /// is infeasible on this board, `Err` on any real builder fault.
     pub(crate) fn baseline_cell(
@@ -130,6 +147,26 @@ impl Explorer {
         };
         match self.evaluate(&spec) {
             Ok(point) => Ok(Some(point)),
+            Err(ArchError::Infeasible { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fast-lane twin of [`Self::custom_cell`]: summary-only evaluation
+    /// with reused scratch buffers — `Ok(None)` when infeasible, `Err` on
+    /// real faults. Produces exactly `custom_cell(d)?.eval.summary()`.
+    pub(crate) fn custom_summary_cell(
+        &self,
+        design: &CustomDesign,
+        scratch: &mut EvalScratch,
+    ) -> Result<Option<CustomPoint>, ArchError> {
+        let spec = match design.to_spec(&self.model) {
+            Ok(spec) => spec,
+            Err(ArchError::Infeasible { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match self.evaluate_summary(&spec, scratch) {
+            Ok(summary) => Ok(Some(CustomPoint { design: design.clone(), summary })),
             Err(ArchError::Infeasible { .. }) => Ok(None),
             Err(e) => Err(e),
         }
@@ -191,7 +228,7 @@ impl Explorer {
         max_attempts: u64,
     ) -> Result<(Vec<DesignPoint>, Duration), ExploreError> {
         let start = Instant::now();
-        let points = parallel::sample_engine(self, count, seed, 1, max_attempts, &|e, d| {
+        let points = parallel::sample_engine(self, count, seed, 1, max_attempts, &|e, d, _| {
             e.custom_cell(d)
         })?;
         Ok((points, start.elapsed()))
@@ -199,7 +236,9 @@ impl Explorer {
 
     /// Samples `count` custom designs, keeping only the lean
     /// [`EvalSummary`] per design — the memory-friendly form for big
-    /// sweeps. Same point set as [`Self::sample_custom`].
+    /// sweeps, evaluated through the allocation-free summary fast lane.
+    /// Same point set (and bit-identical metrics) as
+    /// [`Self::sample_custom`].
     ///
     /// # Errors
     ///
@@ -210,13 +249,14 @@ impl Explorer {
         seed: u64,
     ) -> Result<(Vec<CustomPoint>, Duration), ExploreError> {
         let start = Instant::now();
-        let points =
-            parallel::sample_engine(self, count, seed, 1, default_max_attempts(count), &|e, d| {
-                Ok(e.custom_cell(d)?.map(|p| CustomPoint {
-                    design: d.clone(),
-                    summary: p.eval.summary(),
-                }))
-            })?;
+        let points = parallel::sample_engine(
+            self,
+            count,
+            seed,
+            1,
+            default_max_attempts(count),
+            &|e, d, scratch| e.custom_summary_cell(d, scratch),
+        )?;
         Ok((points, start.elapsed()))
     }
 

@@ -14,6 +14,13 @@
 //! lexicographic enumeration with rank/unrank for contiguous sharding
 //! ([`CustomSpace::designs`], [`CustomSpace::shards`]).
 //!
+//! The `*_summaries` sweeps (and `par_evaluate_space`) run on the
+//! **summary fast lane**: per-worker `EvalScratch` buffers feed
+//! `CostModel::evaluate_summary`, whose output is bit-identical to
+//! `evaluate(...).summary()` but skips all report construction — the
+//! rich [`DesignPoint`] sweeps remain available when per-segment /
+//! per-layer breakdowns are needed.
+//!
 //! ```
 //! use mccm_cnn::zoo;
 //! use mccm_dse::{select_all_metrics, Explorer, PAPER_TIE_FRAC};

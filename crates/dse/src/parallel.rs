@@ -22,7 +22,7 @@
 use std::time::{Duration, Instant};
 
 use mccm_arch::{templates, ArchError};
-use mccm_core::{Metric, MetricSource};
+use mccm_core::{EvalScratch, Metric, MetricSource};
 
 use crate::error::ExploreError;
 use crate::explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint, Explorer};
@@ -34,8 +34,12 @@ use crate::space::{CustomDesign, CustomSpace};
 pub const EXHAUSTIVE_LIMIT: u128 = 1 << 20;
 
 /// The per-design evaluation hook of [`sample_engine`]: `Ok(Some(T))`
-/// feasible, `Ok(None)` infeasible (skipped), `Err` a real fault.
-type EvalFn<'a, T> = &'a (dyn Fn(&Explorer, &CustomDesign) -> Result<Option<T>, ArchError> + Sync);
+/// feasible, `Ok(None)` infeasible (skipped), `Err` a real fault. The
+/// [`EvalScratch`] is per-worker (one per thread, one for the serial
+/// path), so summary-lane hooks evaluate without steady-state allocation;
+/// full-lane hooks simply ignore it.
+type EvalFn<'a, T> = &'a (dyn Fn(&Explorer, &CustomDesign, &mut EvalScratch) -> Result<Option<T>, ArchError>
+             + Sync);
 
 /// Resolves a worker-count knob: `0` means "one per available core".
 /// Results are worker-count invariant, so the knob is silently capped at
@@ -81,10 +85,11 @@ pub(crate) fn sample_engine<T: Send>(
     let mut points: Vec<T> = Vec::new();
 
     if workers <= 1 {
+        let mut scratch = EvalScratch::new();
         let mut attempt = 0u64;
         while points.len() < count && attempt < max_attempts {
             let design = sample_attempt(&space, seed, attempt);
-            if let Some(t) = eval(explorer, &design)? {
+            if let Some(t) = eval(explorer, &design, &mut scratch)? {
                 points.push(t);
             }
             attempt += 1;
@@ -109,8 +114,11 @@ pub(crate) fn sample_engine<T: Send>(
                     .map(|&(lo, hi)| {
                         let base = next_attempt;
                         s.spawn(move || {
+                            let mut scratch = EvalScratch::new();
                             (base + lo..base + hi)
-                                .map(|a| eval(explorer, &sample_attempt(&space, seed, a)))
+                                .map(|a| {
+                                    eval(explorer, &sample_attempt(&space, seed, a), &mut scratch)
+                                })
                                 .collect()
                         })
                     })
@@ -225,7 +233,7 @@ impl Explorer {
         max_attempts: u64,
     ) -> Result<(Vec<DesignPoint>, Duration), ExploreError> {
         let start = Instant::now();
-        let points = sample_engine(self, count, seed, workers, max_attempts, &|e, d| {
+        let points = sample_engine(self, count, seed, workers, max_attempts, &|e, d, _| {
             e.custom_cell(d)
         })?;
         Ok((points, start.elapsed()))
@@ -233,7 +241,8 @@ impl Explorer {
 
     /// Parallel twin of [`Self::sample_custom_summaries`] — the
     /// throughput path for 100k-design sweeps: sharded sampling, lean
-    /// per-design records, identical results for any worker count.
+    /// per-design records evaluated through the summary fast lane with
+    /// one scratch per worker, identical results for any worker count.
     ///
     /// # Errors
     ///
@@ -245,13 +254,14 @@ impl Explorer {
         workers: usize,
     ) -> Result<(Vec<CustomPoint>, Duration), ExploreError> {
         let start = Instant::now();
-        let points =
-            sample_engine(self, count, seed, workers, default_max_attempts(count), &|e, d| {
-                Ok(e.custom_cell(d)?.map(|p| CustomPoint {
-                    design: d.clone(),
-                    summary: p.eval.summary(),
-                }))
-            })?;
+        let points = sample_engine(
+            self,
+            count,
+            seed,
+            workers,
+            default_max_attempts(count),
+            &|e, d, scratch| e.custom_summary_cell(d, scratch),
+        )?;
         Ok((points, start.elapsed()))
     }
 
@@ -279,10 +289,11 @@ impl Explorer {
             let iter = space
                 .designs_from(start)
                 .expect("shard start is within the space");
+            let mut scratch = EvalScratch::new();
             let mut out = Vec::new();
             for design in iter.take((end - start) as usize) {
-                if let Some(p) = self.custom_cell(&design)? {
-                    out.push(CustomPoint { design, summary: p.eval.summary() });
+                if let Some(p) = self.custom_summary_cell(&design, &mut scratch)? {
+                    out.push(p);
                 }
             }
             Ok(out)

@@ -1,0 +1,113 @@
+//! Fast-lane equivalence: `CostModel::evaluate_summary` must be
+//! **bit-identical** to `CostModel::evaluate(..).summary()` for every
+//! design — the invariant that lets the DSE sweeps run on the
+//! allocation-free summary lane while keeping every determinism and
+//! worker-invariance guarantee of the rich lane.
+//!
+//! Coverage: every zoo model × every template × several CE counts, seeded
+//! batches of custom designs per model, and a property test over random
+//! `CustomDesign`s drawn from the counter-based attempt stream.
+
+use proptest::prelude::*;
+
+use mccm::arch::{templates, MultipleCeBuilder};
+use mccm::cnn::{zoo, CnnModel};
+use mccm::core::{CostModel, EvalScratch};
+use mccm::dse::{sample_attempt, CustomSampler, CustomSpace, Explorer};
+use mccm::fpga::FpgaBoard;
+
+fn every_zoo_model() -> Vec<CnnModel> {
+    let mut models = zoo::all_models();
+    models.extend(zoo::extended_models());
+    models
+}
+
+#[test]
+fn summary_lane_matches_rich_lane_across_the_zoo() {
+    // One scratch reused across all models/templates: steady-state buffer
+    // reuse must not leak state between designs.
+    let mut scratch = EvalScratch::new();
+    for board in [FpgaBoard::zc706(), FpgaBoard::vcu110()] {
+        for model in every_zoo_model() {
+            let builder = MultipleCeBuilder::new(&model, &board);
+            for arch in templates::Architecture::ALL {
+                for ces in [2usize, 4, 7, 11] {
+                    let ctx =
+                        format!("{} / {} / {ces} CEs / {}", model.name(), arch.name(), board.name);
+                    let Ok(spec) = arch.instantiate(&model, ces) else { continue };
+                    let Ok(acc) = builder.build(&spec) else { continue };
+                    let rich = CostModel::evaluate(&acc).summary();
+                    let fast = CostModel::evaluate_summary(&acc, &mut scratch);
+                    assert_eq!(fast, rich, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn summary_lane_matches_rich_lane_on_seeded_custom_batches() {
+    for (model, board) in [
+        (zoo::xception(), FpgaBoard::vcu110()),
+        (zoo::mobilenet_v2(), FpgaBoard::zc706()),
+        (zoo::resnet50(), FpgaBoard::zcu102()),
+    ] {
+        let builder = MultipleCeBuilder::new(&model, &board);
+        let mut scratch = EvalScratch::new();
+        let space = CustomSpace::paper_range(model.conv_layer_count());
+        for design in CustomSampler::new(space, 2024).sample_many(50) {
+            let Ok(spec) = design.to_spec(&model) else { continue };
+            let Ok(acc) = builder.build(&spec) else { continue };
+            let rich = CostModel::evaluate(&acc).summary();
+            let fast = CostModel::evaluate_summary(&acc, &mut scratch);
+            assert_eq!(fast, rich, "{} {design:?}", model.name());
+        }
+    }
+}
+
+#[test]
+fn summary_sweep_equals_full_sweep_summaries() {
+    // The sweep entry points themselves: the fast-lane summary sweep must
+    // reproduce the full-lane sweep's summaries point for point.
+    let model = zoo::xception();
+    let explorer = Explorer::new(&model, &FpgaBoard::vcu110());
+    let (full, _) = explorer.sample_custom(120, 7).unwrap();
+    let (lean, _) = explorer.sample_custom_summaries(120, 7).unwrap();
+    assert_eq!(full.len(), lean.len());
+    for (f, l) in full.iter().zip(&lean) {
+        assert_eq!(f.eval.summary(), l.summary);
+    }
+    // And the parallel twin agrees for several worker counts.
+    for workers in [2usize, 5] {
+        let (par, _) = explorer.par_sample_custom_summaries(120, 7, workers).unwrap();
+        assert_eq!(par, lean, "workers = {workers}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_custom_designs_evaluate_identically_on_both_lanes(
+        seed in 0u64..1_000_000,
+        attempt in 0u64..10_000,
+        model_pick in 0usize..3,
+    ) {
+        let (model, board) = match model_pick {
+            0 => (zoo::xception(), FpgaBoard::vcu110()),
+            1 => (zoo::mobilenet_v2(), FpgaBoard::zc706()),
+            _ => (zoo::densenet121(), FpgaBoard::vcu108()),
+        };
+        let space = CustomSpace::paper_range(model.conv_layer_count());
+        let design = sample_attempt(&space, seed, attempt);
+        let builder = MultipleCeBuilder::new(&model, &board);
+        let mut scratch = EvalScratch::new();
+        if let Ok(spec) = design.to_spec(&model) {
+            if let Ok(acc) = builder.build(&spec) {
+                let rich = CostModel::evaluate(&acc).summary();
+                let fast = CostModel::evaluate_summary(&acc, &mut scratch);
+                prop_assert_eq!(fast, rich);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Cheap tier-1 performance guard for the DSE fast lane.
+//!
+//! A mid-size summary sweep must finish far inside a generous wall-clock
+//! ceiling even in debug builds. The point is not to benchmark (criterion
+//! does that) but to fail loudly if a change re-introduces per-design
+//! work that the shared build context is supposed to amortize — e.g.
+//! busting the parallelism memo cache, deep-cloning the conv view per
+//! design, or an accidental O(n²) in the sweep loop. At the time of
+//! writing the sweep below runs in ~2.5 s unoptimized (~25x headroom);
+//! the pre-fast-lane code took ~40 s, well over the ceiling.
+
+use std::time::{Duration, Instant};
+
+use mccm::cnn::zoo;
+use mccm::dse::Explorer;
+use mccm::fpga::FpgaBoard;
+
+const DESIGNS: usize = 2_000;
+const CEILING: Duration = Duration::from_secs(60);
+
+#[test]
+fn midsize_summary_sweep_stays_under_wall_clock_ceiling() {
+    let model = zoo::xception();
+    let explorer = Explorer::new(&model, &FpgaBoard::vcu110());
+    let start = Instant::now();
+    let (points, _) = explorer
+        .sample_custom_summaries(DESIGNS, 99)
+        .expect("mid-size xception sweep must be feasible");
+    let elapsed = start.elapsed();
+    assert_eq!(points.len(), DESIGNS);
+    assert!(
+        elapsed < CEILING,
+        "summary sweep of {DESIGNS} designs took {elapsed:?} (ceiling {CEILING:?}): \
+         the evaluation fast lane has regressed — check the parallelism memo \
+         cache, the Arc-shared build context, and EvalScratch reuse"
+    );
+}
