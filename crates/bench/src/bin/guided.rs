@@ -1,0 +1,26 @@
+//! Compares guided (NSGA-II island) and random exploration at equal
+//! evaluation budget on Xception/VCU110 and records the front-quality
+//! trajectory: `BENCH_guided.json` at the repo root (override the path
+//! with `MCCM_BENCH_GUIDED_JSON`). Accepts `--budget N` (default 4000),
+//! `--seed N` (default 42), and `--workers N` (default 0 = one per core).
+//!
+//! ```text
+//! cargo run --release -p mccm-bench --bin guided -- --budget 4000
+//! ```
+fn main() {
+    let budget = mccm_bench::arg_value("--budget", 4000);
+    let seed = mccm_bench::arg_value("--seed", 42);
+    let workers = mccm_bench::arg_value("--workers", 0) as usize;
+    let measured = mccm_bench::experiments::guided::measure(budget, seed, workers);
+    mccm_bench::emit(&measured.report());
+    let path = std::env::var_os("MCCM_BENCH_GUIDED_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_guided.json"));
+    match std::fs::write(&path, measured.to_json()) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

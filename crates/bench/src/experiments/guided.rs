@@ -1,0 +1,271 @@
+//! Guided-vs-random front quality at equal evaluation budget — the
+//! experiment behind `BENCH_guided.json`.
+//!
+//! The paper's Use Case 3 explores the custom Xception/VCU110 space by
+//! random sampling. This experiment gives both search strategies the
+//! *same* number of fast-lane evaluation attempts and compares the Pareto
+//! fronts they produce over the five-metric objective set (the paper's
+//! four plus energy):
+//!
+//! * **random** — the counter-based sampling stream, every attempt
+//!   evaluated, front extracted incrementally;
+//! * **guided** — [`Explorer::optimize_par`], the NSGA-II island model
+//!   seeded from the same kind of stream.
+//!
+//! Front quality is scored by normalized hypervolume (shared union
+//! bounds), the coverage indicator in both directions, and the per-metric
+//! best values. Both lanes are deterministic, so the comparison is
+//! reproducible run to run.
+
+use std::time::Instant;
+
+use mccm_arch::ArchError;
+use mccm_core::{EvalScratch, EvalSummary, Metric};
+use mccm_dse::{
+    compare_fronts, sample_attempt, CustomSpace, Explorer, FrontComparison, OptimizerConfig,
+    ParetoFront,
+};
+use mccm_fpga::FpgaBoard;
+
+use crate::experiments::eval_speed::machine_name;
+use crate::output::{Report, Table};
+
+/// Per-lane outcome: the front plus its cost accounting.
+#[derive(Debug, Clone)]
+pub struct LaneStats {
+    /// Evaluation attempts the lane spent (feasible + infeasible).
+    pub evaluations: u64,
+    /// Feasible designs among them.
+    pub feasible: u64,
+    /// Points on the lane's Pareto front.
+    pub front: Vec<EvalSummary>,
+    /// Wall time in seconds.
+    pub seconds: f64,
+}
+
+/// The measured experiment: both lanes plus their quality comparison
+/// (`a` = guided, `b` = random throughout).
+#[derive(Debug, Clone)]
+pub struct GuidedQuality {
+    /// CPU the numbers were taken on.
+    pub machine: String,
+    /// Evaluation-attempt budget given to each lane.
+    pub budget: u64,
+    /// The objective set.
+    pub metrics: Vec<Metric>,
+    /// Guided-lane outcome.
+    pub guided: LaneStats,
+    /// Random-lane outcome.
+    pub random: LaneStats,
+    /// Front-quality comparison (guided = `a`, random = `b`).
+    pub comparison: FrontComparison,
+}
+
+/// Runs both lanes on the paper's Use Case 3 setup (Xception / VCU110)
+/// at `budget` evaluation attempts each.
+///
+/// # Panics
+///
+/// On real builder faults — the space must only ever produce clean
+/// feasible/infeasible outcomes here.
+pub fn measure(budget: u64, seed: u64, workers: usize) -> GuidedQuality {
+    let model = mccm_cnn::zoo::xception();
+    let board = FpgaBoard::vcu110();
+    let explorer = Explorer::new(&model, &board);
+    let space = CustomSpace::paper_range(model.conv_layer_count());
+    let metrics = Metric::WITH_ENERGY.to_vec();
+
+    // Random lane: exactly `budget` attempts of the counter-based stream.
+    let start = Instant::now();
+    let mut scratch = EvalScratch::new();
+    let mut front = ParetoFront::new(&metrics);
+    let mut feasible = 0u64;
+    for attempt in 0..budget {
+        let design = sample_attempt(&space, seed, attempt);
+        let spec = match design.to_spec(&model) {
+            Ok(spec) => spec,
+            Err(ArchError::Infeasible { .. }) => continue,
+            Err(e) => panic!("builder fault in random lane: {e}"),
+        };
+        match explorer.evaluate_summary(&spec, &mut scratch) {
+            Ok(summary) => {
+                feasible += 1;
+                front.offer(summary);
+            }
+            Err(ArchError::Infeasible { .. }) => continue,
+            Err(e) => panic!("builder fault in random lane: {e}"),
+        }
+    }
+    let random = LaneStats {
+        evaluations: budget,
+        feasible,
+        front: front.into_items(),
+        seconds: start.elapsed().as_secs_f64(),
+    };
+
+    // Guided lane: the NSGA-II island model at the same attempt budget.
+    // Population scales with the budget so tiny smoke runs still breed.
+    let population = (budget / 40).clamp(8, 48) as usize;
+    let config = OptimizerConfig::default()
+        .with_metrics(&metrics)
+        .with_budget(budget)
+        .with_population(population)
+        .with_islands(4)
+        .with_seed(seed);
+    let outcome = explorer
+        .optimize_par(&config, workers)
+        .expect("guided search must not hit real builder faults");
+    let guided = LaneStats {
+        evaluations: outcome.evaluations,
+        feasible: outcome.feasible,
+        front: outcome.points.iter().map(|p| p.summary.clone()).collect(),
+        seconds: outcome.elapsed.as_secs_f64(),
+    };
+
+    let comparison = compare_fronts(&guided.front, &random.front, &metrics);
+    GuidedQuality {
+        machine: machine_name(),
+        budget,
+        metrics,
+        guided,
+        random,
+        comparison,
+    }
+}
+
+impl GuidedQuality {
+    /// Printable report.
+    pub fn report(&self) -> Report {
+        let mut report = Report::new(
+            "guided",
+            "Guided vs random front quality at equal budget (Xception on VCU110)",
+        );
+        let mut lanes = Table::new(
+            "lanes",
+            &["lane", "attempts", "feasible", "front size", "hypervolume", "covers other", "seconds"],
+        );
+        for (name, lane, hv, cov) in [
+            ("guided (NSGA-II islands)", &self.guided, self.comparison.hypervolume_a, self.comparison.coverage_a_over_b),
+            ("random (seeded stream)", &self.random, self.comparison.hypervolume_b, self.comparison.coverage_b_over_a),
+        ] {
+            lanes.row(vec![
+                name.into(),
+                lane.evaluations.to_string(),
+                lane.feasible.to_string(),
+                lane.front.len().to_string(),
+                format!("{hv:.4}"),
+                format!("{:.0}%", 100.0 * cov),
+                format!("{:.2}", lane.seconds),
+            ]);
+        }
+        report.tables.push(lanes);
+
+        let mut best = Table::new("best_per_metric", &["metric", "guided best", "random best", "winner"]);
+        for (i, m) in self.metrics.iter().enumerate() {
+            let (g, r) = (self.comparison.best_a[i], self.comparison.best_b[i]);
+            let winner = if m.better(g, r) {
+                "guided"
+            } else if m.better(r, g) {
+                "random"
+            } else {
+                "tie"
+            };
+            best.row(vec![
+                m.name().to_string(),
+                format!("{g:.6e}"),
+                format!("{r:.6e}"),
+                winner.to_string(),
+            ]);
+        }
+        report.tables.push(best);
+        report.note(format!(
+            "Guided matches or beats random on {}/{} metrics at {} attempts each \
+             (hypervolume {:.4} vs {:.4}) on {}.",
+            self.comparison.a_best_or_tied,
+            self.metrics.len(),
+            self.budget,
+            self.comparison.hypervolume_a,
+            self.comparison.hypervolume_b,
+            self.machine
+        ));
+        report
+    }
+
+    /// The `BENCH_guided.json` record (hand-rendered; the workspace
+    /// carries no JSON dependency) — lives alongside `BENCH_eval.json` in
+    /// the repo's perf/quality trajectory.
+    pub fn to_json(&self) -> String {
+        // Non-finite bests (an empty front) must stay valid JSON.
+        let best = |v: &[f64]| -> String {
+            v.iter()
+                .map(|x| if x.is_finite() { format!("{x:.6e}") } else { "null".to_string() })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "{{\n  \"experiment\": \"guided\",\n  \"machine\": \"{}\",\n  \
+             \"model\": \"Xception\",\n  \"board\": \"VCU110\",\n  \"budget\": {},\n  \
+             \"metrics\": [{}],\n  \
+             \"guided\": {{\n    \"evaluations\": {},\n    \"feasible\": {},\n    \
+             \"front_size\": {},\n    \"hypervolume\": {:.6},\n    \
+             \"coverage_of_random\": {:.4},\n    \"best\": [{}],\n    \"seconds\": {:.3}\n  }},\n  \
+             \"random\": {{\n    \"evaluations\": {},\n    \"feasible\": {},\n    \
+             \"front_size\": {},\n    \"hypervolume\": {:.6},\n    \
+             \"coverage_of_guided\": {:.4},\n    \"best\": [{}],\n    \"seconds\": {:.3}\n  }},\n  \
+             \"guided_best_or_tied_metrics\": {}\n}}\n",
+            self.machine.replace('"', "'"),
+            self.budget,
+            self.metrics
+                .iter()
+                .map(|m| format!("\"{}\"", m.name()))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.guided.evaluations,
+            self.guided.feasible,
+            self.guided.front.len(),
+            self.comparison.hypervolume_a,
+            self.comparison.coverage_a_over_b,
+            best(&self.comparison.best_a),
+            self.guided.seconds,
+            self.random.evaluations,
+            self.random.feasible,
+            self.random.front.len(),
+            self.comparison.hypervolume_b,
+            self.comparison.coverage_b_over_a,
+            best(&self.comparison.best_b),
+            self.random.seconds,
+            self.comparison.a_best_or_tied,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guided_front_matches_or_beats_random_at_equal_budget() {
+        // The acceptance bar of the guided optimizer: at the same attempt
+        // budget on the paper's Use Case 3 setup, the guided front must
+        // dominate or match the random front's best on at least 3 of the
+        // 5 metrics.
+        let q = measure(600, 7, 1);
+        assert_eq!(q.random.evaluations, 600);
+        assert!(q.guided.evaluations <= 600);
+        assert!(!q.guided.front.is_empty() && !q.random.front.is_empty());
+        assert!(
+            q.comparison.a_best_or_tied >= 3,
+            "guided only best/tied on {}/5 metrics: guided {:?} vs random {:?}",
+            q.comparison.a_best_or_tied,
+            q.comparison.best_a,
+            q.comparison.best_b
+        );
+        // The quality measures and JSON must render sanely.
+        assert!(q.comparison.hypervolume_a > 0.0 && q.comparison.hypervolume_a <= 1.0);
+        assert!(q.comparison.hypervolume_b > 0.0 && q.comparison.hypervolume_b <= 1.0);
+        let json = q.to_json();
+        assert!(json.contains("\"guided_best_or_tied_metrics\""));
+        assert!(json.contains("\"budget\": 600"));
+        assert_eq!(q.report().tables.len(), 2);
+    }
+}

@@ -16,11 +16,13 @@
 //! | [`speed`] | §I/§V-E — evaluation-speed claims |
 //! | [`ablation`] | DESIGN.md §2 — design-choice ablations |
 //! | [`compression`] | §V-D follow-through — targeted weight compression |
+//! | [`guided`] | Guided-vs-random front quality at equal budget (beyond the paper) |
 
 pub mod ablation;
 pub mod compression;
 pub mod eval_speed;
 pub mod fig10;
+pub mod guided;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

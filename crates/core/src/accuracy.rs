@@ -13,8 +13,15 @@ use crate::metrics::Metric;
 /// Eq. (10): percentage accuracy of an estimate against a reference.
 ///
 /// Values below 0 (estimates off by more than 2×) are clamped to 0 so that
-/// aggregates stay meaningful.
+/// aggregates stay meaningful. The reference must be a non-negative
+/// measurement (times, bytes, rates) — a negative reference flips the
+/// relative-error sign convention and is a caller bug, caught by a debug
+/// assertion.
 pub fn accuracy_pct(reference: f64, estimated: f64) -> f64 {
+    debug_assert!(
+        reference >= 0.0 || reference.is_nan(),
+        "accuracy_pct reference must be non-negative, got {reference}"
+    );
     if reference == 0.0 {
         return if estimated == 0.0 { 100.0 } else { 0.0 };
     }
@@ -49,24 +56,37 @@ pub struct AccuracySummary {
     pub min: f64,
     /// Mean accuracy.
     pub average: f64,
-    /// Number of records aggregated.
+    /// Number of (finite) records aggregated.
     pub count: usize,
+    /// NaN inputs that were skipped instead of aggregated — a non-zero
+    /// value flags a broken upstream record without corrupting max/min/
+    /// average (NaN used to poison all three silently: `f64::max`/`min`
+    /// drop NaN but the sum does not).
+    pub skipped_nan: usize,
 }
 
 impl AccuracySummary {
     /// Aggregates an iterator of accuracy percentages.
+    ///
+    /// NaN values are skipped and counted in [`Self::skipped_nan`];
+    /// returns `None` when no non-NaN value remains.
     pub fn from_accuracies(values: impl IntoIterator<Item = f64>) -> Option<Self> {
         let mut max = f64::MIN;
         let mut min = f64::MAX;
         let mut sum = 0.0;
         let mut count = 0usize;
+        let mut skipped_nan = 0usize;
         for v in values {
+            if v.is_nan() {
+                skipped_nan += 1;
+                continue;
+            }
             max = max.max(v);
             min = min.min(v);
             sum += v;
             count += 1;
         }
-        (count > 0).then(|| Self { max, min, average: sum / count as f64, count })
+        (count > 0).then(|| Self { max, min, average: sum / count as f64, count, skipped_nan })
     }
 
     /// Aggregates records.
@@ -112,5 +132,27 @@ mod tests {
     #[test]
     fn empty_summary_is_none() {
         assert!(AccuracySummary::from_accuracies(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn nan_inputs_are_skipped_with_count() {
+        // Regression: a single NaN used to corrupt the average (and leave
+        // max/min whatever f64::max's NaN-dropping happened to produce)
+        // while reporting a full count.
+        let s = AccuracySummary::from_accuracies([90.0, f64::NAN, 80.0, f64::NAN]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.skipped_nan, 2);
+        assert!((s.max - 90.0).abs() < 1e-12);
+        assert!((s.min - 80.0).abs() < 1e-12);
+        assert!((s.average - 85.0).abs() < 1e-12);
+        // All-NaN input aggregates nothing.
+        assert!(AccuracySummary::from_accuracies([f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-negative")]
+    fn negative_reference_is_a_caller_bug() {
+        accuracy_pct(-1.0, 1.0);
     }
 }

@@ -9,7 +9,7 @@
 //! figures scaled to a modern FPGA process (DRAM ≈ two orders of
 //! magnitude costlier per byte than on-chip SRAM).
 
-use crate::report::Evaluation;
+use crate::report::{EvalSummary, Evaluation};
 
 /// Energy coefficients.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,14 +79,35 @@ impl EnergyModel {
     /// [`CnnModel::conv_macs`](mccm_cnn::CnnModel::conv_macs) or the
     /// built accelerator's conv view).
     pub fn estimate(&self, eval: &Evaluation, total_macs: u64) -> EnergyEstimate {
+        self.estimate_parts(total_macs, eval.offchip_bytes, eval.latency_s)
+    }
+
+    /// Estimates the energy of one inference from a lean [`EvalSummary`]
+    /// — the fast-lane twin of [`Self::estimate`]. The summary carries
+    /// its own MAC count, so big sweeps can rank on energy without ever
+    /// materializing a full [`Evaluation`]. Bit-identical to
+    /// `estimate(&evaluation, macs)` on the same design: both paths run
+    /// [`Self::estimate_parts`] on the same three scalars.
+    pub fn estimate_summary(&self, summary: &EvalSummary) -> EnergyEstimate {
+        self.estimate_parts(summary.total_macs, summary.offchip_bytes, summary.latency_s)
+    }
+
+    /// The shared estimation core both lanes go through: MAC count,
+    /// off-chip bytes, and latency fully determine the estimate.
+    pub fn estimate_parts(
+        &self,
+        total_macs: u64,
+        offchip_bytes: u64,
+        latency_s: f64,
+    ) -> EnergyEstimate {
         // Each MAC reads two operands and accumulates locally; partial
         // sums and reuse keep on-chip traffic near 2 bytes/MAC at 8-bit.
         let onchip_bytes = 2.0 * total_macs as f64;
         EnergyEstimate {
             compute_j: total_macs as f64 * self.pj_per_mac * 1e-12,
             onchip_j: onchip_bytes * self.pj_per_onchip_byte * 1e-12,
-            dram_j: eval.offchip_bytes as f64 * self.pj_per_dram_byte * 1e-12,
-            static_j: self.static_w * eval.latency_s,
+            dram_j: offchip_bytes as f64 * self.pj_per_dram_byte * 1e-12,
+            static_j: self.static_w * latency_s,
         }
     }
 
@@ -154,6 +175,22 @@ mod tests {
             static_w: 0.0,
         };
         assert_eq!(m.estimate(&eval, macs).total_j(), 0.0);
+    }
+
+    #[test]
+    fn summary_estimate_matches_full_estimate_bitwise() {
+        // The fast-lane energy path must agree with the rich-lane path to
+        // the bit: both go through estimate_parts on the same scalars, and
+        // the summary's MAC count equals the CNN's conv_macs.
+        for arch in templates::Architecture::ALL {
+            let (eval, macs) = eval_for(arch);
+            assert_eq!(eval.total_macs, macs);
+            let m = EnergyModel::default();
+            let full = m.estimate(&eval, macs);
+            let fast = m.estimate_summary(&eval.summary());
+            assert_eq!(full, fast, "{arch:?}");
+            assert_eq!(full.total_j().to_bits(), fast.total_j().to_bits());
+        }
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The four evaluation metrics and their comparison semantics, including
-//! Table V's 10%-tie rule.
+//! Table V's 10%-tie rule — plus the energy extension ([`Metric::Energy`])
+//! that makes whole-cost selection possible in big sweeps.
 
 use std::fmt;
 
+use crate::energy::EnergyModel;
 use crate::report::{EvalSummary, Evaluation};
 
 /// Anything the four paper metrics can be read from: the full
@@ -19,6 +21,7 @@ impl MetricSource for Evaluation {
             Metric::Throughput => self.throughput_fps,
             Metric::OnChipBuffers => self.buffer_req_bytes as f64,
             Metric::OffChipAccesses => self.offchip_bytes as f64,
+            Metric::Energy => default_energy_j(self.total_macs, self.offchip_bytes, self.latency_s),
         }
     }
 }
@@ -30,8 +33,16 @@ impl MetricSource for EvalSummary {
             Metric::Throughput => self.throughput_fps,
             Metric::OnChipBuffers => self.buffer_req_bytes as f64,
             Metric::OffChipAccesses => self.offchip_bytes as f64,
+            Metric::Energy => default_energy_j(self.total_macs, self.offchip_bytes, self.latency_s),
         }
     }
+}
+
+/// Per-inference energy in joules under the default [`EnergyModel`]
+/// coefficients — the shared read both [`MetricSource`] impls go through,
+/// so `Metric::Energy` is bit-identical between the rich and fast lanes.
+fn default_energy_j(total_macs: u64, offchip_bytes: u64, latency_s: f64) -> f64 {
+    EnergyModel::default().estimate_parts(total_macs, offchip_bytes, latency_s).total_j()
 }
 
 /// A paper metric (Table I / Table V rows).
@@ -45,12 +56,26 @@ pub enum Metric {
     OnChipBuffers,
     /// Off-chip accesses per inference (lower is better).
     OffChipAccesses,
+    /// Estimated energy per inference in joules under the default
+    /// [`EnergyModel`] coefficients (lower is better) — the whole-cost
+    /// extension beyond the paper's four metrics.
+    Energy,
 }
 
 impl Metric {
     /// All four metrics in the paper's row order (Table V).
     pub const ALL: [Self; 4] =
         [Self::Latency, Self::Throughput, Self::OffChipAccesses, Self::OnChipBuffers];
+
+    /// The paper's four metrics plus [`Metric::Energy`] — the objective
+    /// set energy-aware sweeps and the guided optimizer rank on.
+    pub const WITH_ENERGY: [Self; 5] = [
+        Self::Latency,
+        Self::Throughput,
+        Self::OffChipAccesses,
+        Self::OnChipBuffers,
+        Self::Energy,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -59,12 +84,25 @@ impl Metric {
             Self::Throughput => "Throughput",
             Self::OnChipBuffers => "Buffers",
             Self::OffChipAccesses => "Access",
+            Self::Energy => "Energy",
         }
     }
 
     /// Raw metric value from an evaluation or summary.
     pub fn value<S: MetricSource>(&self, e: &S) -> f64 {
         e.metric_value(*self)
+    }
+
+    /// Parses a metric from its (case-insensitive) CLI name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "latency" => Some(Self::Latency),
+            "throughput" | "fps" => Some(Self::Throughput),
+            "buffers" | "onchipbuffers" => Some(Self::OnChipBuffers),
+            "access" | "accesses" | "offchipaccesses" => Some(Self::OffChipAccesses),
+            "energy" => Some(Self::Energy),
+            _ => None,
+        }
     }
 
     /// Whether higher values are better.
@@ -165,5 +203,98 @@ mod tests {
     fn metric_names() {
         assert_eq!(Metric::OnChipBuffers.to_string(), "Buffers");
         assert_eq!(Metric::ALL.len(), 4);
+        assert_eq!(Metric::WITH_ENERGY.len(), 5);
+        assert_eq!(Metric::Energy.to_string(), "Energy");
+        assert!(!Metric::Energy.higher_is_better());
+        // WITH_ENERGY extends ALL in order.
+        assert_eq!(&Metric::WITH_ENERGY[..4], &Metric::ALL[..]);
+    }
+
+    #[test]
+    fn by_name_round_trips_and_rejects_unknowns() {
+        for m in Metric::WITH_ENERGY {
+            assert_eq!(Metric::by_name(m.name()), Some(m));
+            assert_eq!(Metric::by_name(&m.name().to_ascii_uppercase()), Some(m));
+        }
+        assert_eq!(Metric::by_name("fps"), Some(Metric::Throughput));
+        assert_eq!(Metric::by_name("accesses"), Some(Metric::OffChipAccesses));
+        assert_eq!(Metric::by_name("power"), None);
+        assert_eq!(Metric::by_name(""), None);
+    }
+
+    #[test]
+    fn within_tie_zero_best_requires_exact_zero() {
+        // A zero best makes the relative difference undefined; only an
+        // exact zero ties it, for either metric direction.
+        for m in [Metric::Latency, Metric::Throughput] {
+            assert!(m.within_tie(0.0, 0.0, 0.10));
+            assert!(!m.within_tie(1e-300, 0.0, 0.10));
+            assert!(!m.within_tie(-1e-300, 0.0, 0.10));
+        }
+    }
+
+    #[test]
+    fn within_tie_boundary_absorbs_rounding_noise() {
+        let m = Metric::Latency;
+        // The +1e-9 slack admits values an ulp past the exact 10% edge...
+        assert!(m.within_tie(1.1 + 1e-10, 1.0, 0.10));
+        assert!(m.within_tie(1.0 + (0.10 + 1e-9), 1.0, 0.10));
+        // ...but nothing materially beyond it.
+        assert!(!m.within_tie(1.0 + (0.10 + 3e-9), 1.0, 0.10));
+        // Direction-symmetric: throughput ties from below.
+        let t = Metric::Throughput;
+        assert!(t.within_tie(0.9 - 1e-10, 1.0, 0.10));
+        assert!(!t.within_tie(0.9 - 3e-9, 1.0, 0.10));
+    }
+
+    #[test]
+    fn normalize_to_best_zero_best_and_direction() {
+        // A zero best would divide by zero: the values come back verbatim.
+        let z = Metric::Latency.normalize_to_best(&[0.0, 2.0, 3.0]);
+        assert_eq!(z, vec![0.0, 2.0, 3.0]);
+        // Empty input stays empty.
+        assert!(Metric::Latency.normalize_to_best(&[]).is_empty());
+        // Throughput normalizes against its maximum: best = 1.0, rest ≤ 1.
+        let t = Metric::Throughput.normalize_to_best(&[50.0, 100.0, 25.0]);
+        assert!((t[1] - 1.0).abs() < 1e-12);
+        assert!((t[0] - 0.5).abs() < 1e-12);
+        assert!((t[2] - 0.25).abs() < 1e-12);
+        // Lower-is-better metrics normalize against their minimum: rest ≥ 1.
+        let l = Metric::Latency.normalize_to_best(&[4.0, 2.0, 8.0]);
+        assert!((l[1] - 1.0).abs() < 1e-12);
+        assert!((l[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_metric_reads_identically_from_both_record_kinds() {
+        use crate::report::{EvalSummary, Evaluation};
+        let eval = Evaluation {
+            notation: String::new(),
+            model_name: String::new(),
+            board_name: String::new(),
+            ce_count: 2,
+            total_macs: 3_000_000_000,
+            latency_s: 0.02,
+            throughput_fps: 50.0,
+            buffer_req_bytes: 1,
+            buffer_alloc_bytes: 1,
+            offchip_bytes: 40_000_000,
+            offchip_weight_bytes: 0,
+            offchip_fm_bytes: 0,
+            memory_stall_fraction: 0.0,
+            segments: vec![],
+            ces: vec![],
+            layers: vec![],
+        };
+        let summary: EvalSummary = eval.summary();
+        let a = Metric::Energy.value(&eval);
+        let b = Metric::Energy.value(&summary);
+        assert!(a > 0.0 && a.is_finite());
+        assert_eq!(a.to_bits(), b.to_bits());
+        // And it matches the energy model's own total.
+        let direct = crate::energy::EnergyModel::default()
+            .estimate_summary(&summary)
+            .total_j();
+        assert_eq!(a.to_bits(), direct.to_bits());
     }
 }

@@ -272,6 +272,7 @@ impl CostModel {
             model_name: acc.model_name.to_string(),
             board_name: acc.board.name.clone(),
             ce_count: acc.ce_count(),
+            total_macs: total_macs(acc),
             latency_s,
             throughput_fps,
             buffer_req_bytes,
@@ -425,6 +426,7 @@ impl CostModel {
         EvalSummary {
             notation: acc.notation(),
             ce_count: acc.ce_count(),
+            total_macs: total_macs(acc),
             latency_s,
             throughput_fps,
             buffer_req_bytes: buffer_requirement(acc),
@@ -442,6 +444,13 @@ impl CostModel {
         let n = acc.convs.len();
         acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1)
     }
+}
+
+/// Total convolution MACs of the accelerator's CNN — the compute-side
+/// energy input both lanes stamp into their reports (identical to
+/// `CnnModel::conv_macs` of the originating model).
+fn total_macs(acc: &BuiltAccelerator) -> u64 {
+    acc.convs.iter().map(|c| c.macs).sum()
 }
 
 /// On-chip buffer requirement guaranteeing the design's minimum accesses:

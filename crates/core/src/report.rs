@@ -141,6 +141,10 @@ pub struct Evaluation {
     pub board_name: String,
     /// Number of CEs.
     pub ce_count: usize,
+    /// Total convolution MACs of the CNN per inference — the compute-side
+    /// input of the energy model (identical for every design of the same
+    /// CNN).
+    pub total_macs: u64,
     /// End-to-end single-input latency in seconds.
     pub latency_s: f64,
     /// Steady-state throughput in frames per second.
@@ -183,6 +187,9 @@ pub struct EvalSummary {
     pub notation: String,
     /// Number of CEs.
     pub ce_count: usize,
+    /// Total convolution MACs of the CNN per inference (energy-model
+    /// input, see [`Evaluation::total_macs`]).
+    pub total_macs: u64,
     /// End-to-end single-input latency in seconds.
     pub latency_s: f64,
     /// Steady-state throughput in frames per second.
@@ -205,6 +212,13 @@ impl EvalSummary {
     /// Latency in milliseconds.
     pub fn latency_ms(&self) -> f64 {
         self.latency_s * 1e3
+    }
+
+    /// On-chip buffer traffic the energy model charges per inference:
+    /// each MAC reads two operands and accumulates locally; partial sums
+    /// and reuse keep the traffic near 2 bytes/MAC at 8-bit.
+    pub fn onchip_traffic_bytes(&self) -> u64 {
+        2 * self.total_macs
     }
 
     /// Off-chip traffic in MiB.
@@ -239,12 +253,19 @@ impl Evaluation {
         self.latency_s * 1e3
     }
 
+    /// On-chip buffer traffic the energy model charges per inference
+    /// (see [`EvalSummary::onchip_traffic_bytes`]).
+    pub fn onchip_traffic_bytes(&self) -> u64 {
+        2 * self.total_macs
+    }
+
     /// The metrics-only view of this evaluation (drops the per-segment /
     /// per-engine / per-layer breakdowns).
     pub fn summary(&self) -> EvalSummary {
         EvalSummary {
             notation: self.notation.clone(),
             ce_count: self.ce_count,
+            total_macs: self.total_macs,
             latency_s: self.latency_s,
             throughput_fps: self.throughput_fps,
             buffer_req_bytes: self.buffer_req_bytes,
@@ -323,6 +344,7 @@ mod tests {
             model_name: "m".into(),
             board_name: "b".into(),
             ce_count: 1,
+            total_macs: 1_000_000,
             latency_s: 0.010,
             throughput_fps: 100.0,
             buffer_req_bytes: 2 * 1024 * 1024,

@@ -40,8 +40,10 @@
 mod enumerate;
 mod error;
 mod explorer;
+mod optimizer;
 mod parallel;
 mod pareto;
+mod quality;
 mod sampler;
 mod selection;
 mod space;
@@ -49,8 +51,10 @@ mod space;
 pub use enumerate::DesignIter;
 pub use error::ExploreError;
 pub use explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint, Explorer};
+pub use optimizer::{GuidedFront, OptimizerConfig};
 pub use parallel::{par_pareto_indices, EXHAUSTIVE_LIMIT};
 pub use pareto::{pareto_front, ParetoFront};
+pub use quality::{compare_fronts, coverage, hypervolume, union_bounds, FrontComparison, MetricBounds};
 pub use sampler::{sample_attempt, CustomSampler};
 pub use selection::{select_all_metrics, select_best, SelectionCell, PAPER_TIE_FRAC};
 pub use space::{binomial, binomial_checked, CustomDesign, CustomSpace};

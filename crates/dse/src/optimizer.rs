@@ -1,0 +1,743 @@
+//! Guided multi-objective exploration of the custom design space: an
+//! NSGA-II-style evolutionary optimizer running entirely on the summary
+//! fast lane.
+//!
+//! The paper's Use Case 3 samples its ~97-billion-design space at random;
+//! with the fast lane evaluating ~100k designs/s the binding constraint
+//! becomes *search quality*, not evaluation cost. This module turns the
+//! explorer into a guided optimizer:
+//!
+//! * **Objectives** are any subset of [`Metric`] (the paper's four plus
+//!   [`Metric::Energy`]), ranked by non-dominated sorting with crowding
+//!   distance — the standard NSGA-II machinery.
+//! * **Variation** uses the [`CustomSpace::mutate`] /
+//!   [`CustomSpace::crossover`] operators: head-length shifts and
+//!   tail-boundary moves, the natural neighborhood of the
+//!   Hybrid-head/Segmented-tail encoding.
+//! * **Determinism**: the search runs as an island model. Each island owns
+//!   an independent counter-derived RNG stream
+//!   (`stream_seed(seed, island)`), evolves serially, and exchanges elite
+//!   migrants along a ring at fixed epoch boundaries. Threads parallelize
+//!   *across* islands only, so any `--workers` count yields bit-identical
+//!   Pareto fronts — the same contract every `par_*` sweep in this crate
+//!   honors.
+//! * **Budget**: a total evaluation-attempt budget is split evenly across
+//!   islands up front (again worker-invariant). Every builder attempt —
+//!   feasible or infeasible — costs one unit, so guided-vs-random
+//!   comparisons at equal budget are fair. Designs already evaluated by an
+//!   island are served from its memo and cost nothing.
+//!
+//! Every feasible evaluation is offered to a per-island archive
+//! ([`ParetoFront`]); the final front is the deterministic merge of all
+//! island archives.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use mccm_arch::ArchError;
+use mccm_core::{EvalScratch, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ExploreError;
+use crate::explorer::{CustomPoint, Explorer};
+use crate::pareto::{dominates, ParetoFront};
+use crate::sampler::{sample_attempt, stream_seed};
+use crate::space::{CustomDesign, CustomSpace};
+
+/// Configuration of [`Explorer::optimize`].
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Objectives to minimize/maximize (per [`Metric::higher_is_better`]).
+    pub metrics: Vec<Metric>,
+    /// Total evaluation-attempt budget across all islands. Every builder
+    /// attempt (feasible or infeasible) costs one unit; memoized re-visits
+    /// of a design an island has already evaluated are free.
+    pub budget: u64,
+    /// Population size per island.
+    pub population: usize,
+    /// Independent islands (the unit of parallelism).
+    pub islands: usize,
+    /// Base RNG seed; the full search is a pure function of the config.
+    pub seed: u64,
+    /// Generations between migration epochs.
+    pub migration_interval: usize,
+    /// Elite designs each island sends around the ring per epoch.
+    pub migrants: usize,
+    /// Probability that an offspring is produced by crossover before
+    /// mutation (otherwise mutation of a tournament winner alone).
+    pub crossover_prob: f64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            metrics: Metric::WITH_ENERGY.to_vec(),
+            budget: 10_000,
+            population: 48,
+            islands: 4,
+            seed: 1,
+            migration_interval: 8,
+            migrants: 4,
+            crossover_prob: 0.9,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Replaces the objective set.
+    pub fn with_metrics(mut self, metrics: &[Metric]) -> Self {
+        self.metrics = metrics.to_vec();
+        self
+    }
+
+    /// Replaces the total evaluation budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the per-island population size.
+    pub fn with_population(mut self, population: usize) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Replaces the island count.
+    pub fn with_islands(mut self, islands: usize) -> Self {
+        self.islands = islands;
+        self
+    }
+
+    /// Replaces the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a guided optimization run.
+#[derive(Debug, Clone)]
+pub struct GuidedFront {
+    /// The non-dominated designs over the configured metrics, in
+    /// deterministic order (best first on the first metric, notation as
+    /// the tie-break).
+    pub points: Vec<CustomPoint>,
+    /// The objective set the front is defined over.
+    pub metrics: Vec<Metric>,
+    /// Evaluation attempts actually spent (≤ the configured budget).
+    pub evaluations: u64,
+    /// Feasible designs among them.
+    pub feasible: u64,
+    /// Wall time of the run.
+    pub elapsed: Duration,
+}
+
+impl GuidedFront {
+    /// Best raw value of `metric` on the front (`None` for an empty
+    /// front).
+    pub fn best(&self, metric: Metric) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| metric.value(&p.summary))
+            .reduce(|a, b| if metric.better(b, a) { b } else { a })
+    }
+}
+
+/// One evaluated, feasible population member.
+#[derive(Debug, Clone)]
+struct Individual {
+    design: CustomDesign,
+    values: Vec<f64>,
+}
+
+/// One island's full evolutionary state. Everything an island does is a
+/// pure function of its initial state (seed stream + budget share), which
+/// is what makes the island model worker-invariant.
+struct Island {
+    rng: StdRng,
+    /// Seed of this island's counter-based init-sampling stream.
+    sample_stream: u64,
+    next_attempt: u64,
+    population: Vec<Individual>,
+    archive: ParetoFront<CustomPoint>,
+    /// Designs this island has already built: `None` = infeasible.
+    memo: HashMap<CustomDesign, Option<Vec<f64>>>,
+    budget: u64,
+    evaluations: u64,
+    feasible: u64,
+    initialized: bool,
+}
+
+impl Island {
+    fn new(seed: u64, index: u64, budget: u64, metrics: &[Metric]) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(stream_seed(seed, index.wrapping_mul(2) + 1)),
+            sample_stream: stream_seed(seed, index.wrapping_mul(2)),
+            next_attempt: 0,
+            population: Vec::new(),
+            archive: ParetoFront::new(metrics),
+            memo: HashMap::new(),
+            budget,
+            evaluations: 0,
+            feasible: 0,
+            initialized: false,
+        }
+    }
+
+    /// Builds and evaluates `design` through the fast lane, memoized.
+    /// `Ok(None)` = infeasible (or out of budget for a new design).
+    fn try_evaluate(
+        &mut self,
+        explorer: &Explorer,
+        scratch: &mut EvalScratch,
+        metrics: &[Metric],
+        design: &CustomDesign,
+    ) -> Result<Option<Vec<f64>>, ArchError> {
+        if let Some(known) = self.memo.get(design) {
+            return Ok(known.clone());
+        }
+        if self.budget == 0 {
+            return Ok(None);
+        }
+        self.budget -= 1;
+        self.evaluations += 1;
+        let outcome = explorer.custom_summary_cell(design, scratch)?;
+        let values = outcome.map(|point| {
+            let values: Vec<f64> =
+                metrics.iter().map(|m| m.value(&point.summary)).collect();
+            self.feasible += 1;
+            self.archive.offer_with_values(point, values.clone());
+            values
+        });
+        self.memo.insert(design.clone(), values.clone());
+        Ok(values)
+    }
+
+    /// Fills the initial population from this island's counter-based
+    /// sampling stream (the same generator behind
+    /// [`Explorer::sample_custom_summaries`]).
+    fn initialize(
+        &mut self,
+        explorer: &Explorer,
+        scratch: &mut EvalScratch,
+        space: &CustomSpace,
+        metrics: &[Metric],
+        target: usize,
+    ) -> Result<(), ArchError> {
+        let attempt_cap = (target as u64).saturating_mul(64).max(1024);
+        while self.population.len() < target
+            && self.budget > 0
+            && self.next_attempt < attempt_cap
+        {
+            let design = sample_attempt(space, self.sample_stream, self.next_attempt);
+            self.next_attempt += 1;
+            if let Some(values) = self.try_evaluate(explorer, scratch, metrics, &design)? {
+                self.population.push(Individual { design, values });
+            }
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// One NSGA-II generation: tournament selection → crossover + mutation
+    /// → environmental selection over parents ∪ offspring.
+    fn step(
+        &mut self,
+        explorer: &Explorer,
+        scratch: &mut EvalScratch,
+        space: &CustomSpace,
+        metrics: &[Metric],
+        mu: usize,
+        crossover_prob: f64,
+    ) -> Result<(), ArchError> {
+        if self.population.len() < 2 || self.budget == 0 {
+            return Ok(());
+        }
+        let values: Vec<&[f64]> =
+            self.population.iter().map(|i| i.values.as_slice()).collect();
+        let (rank, crowd) = rank_and_crowding(&values, metrics);
+        let n = self.population.len();
+        let mut offspring: Vec<Individual> = Vec::with_capacity(mu);
+        // Infeasible (or memo-hit infeasible) children make no progress;
+        // bound the dry spell so a degenerate neighborhood cannot spin.
+        let mut dry = 0usize;
+        while offspring.len() < mu && self.budget > 0 && dry < 4 * mu {
+            let p1 = tournament(&mut self.rng, n, &rank, &crowd);
+            let child = if self.rng.random_bool(crossover_prob) {
+                let p2 = tournament(&mut self.rng, n, &rank, &crowd);
+                space.crossover(
+                    &self.population[p1].design,
+                    &self.population[p2].design,
+                    &mut self.rng,
+                )
+            } else {
+                self.population[p1].design.clone()
+            };
+            let child = space.mutate(&child, &mut self.rng);
+            match self.try_evaluate(explorer, scratch, metrics, &child)? {
+                Some(values) => {
+                    offspring.push(Individual { design: child, values });
+                    dry = 0;
+                }
+                None => dry += 1,
+            }
+        }
+        let mut combined = std::mem::take(&mut self.population);
+        combined.extend(offspring);
+        self.population = environmental_select(combined, mu, metrics);
+        Ok(())
+    }
+
+    /// The island's `count` elite members (rank-0 front, most-spread
+    /// first) — the designs it exports at a migration epoch.
+    fn emigrants(&self, count: usize, metrics: &[Metric]) -> Vec<Individual> {
+        if self.population.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let values: Vec<&[f64]> =
+            self.population.iter().map(|i| i.values.as_slice()).collect();
+        let (rank, crowd) = rank_and_crowding(&values, metrics);
+        let mut first_front: Vec<usize> =
+            (0..self.population.len()).filter(|&i| rank[i] == 0).collect();
+        first_front.sort_by(|&a, &b| {
+            crowd[b].total_cmp(&crowd[a]).then_with(|| a.cmp(&b))
+        });
+        first_front
+            .into_iter()
+            .take(count)
+            .map(|i| self.population[i].clone())
+            .collect()
+    }
+
+    /// Absorbs migrants, then trims back to `mu` members (selection only —
+    /// migrants arrive already evaluated, so immigration is free).
+    fn receive(&mut self, migrants: Vec<Individual>, mu: usize, metrics: &[Metric]) {
+        if migrants.is_empty() {
+            return;
+        }
+        let mut combined = std::mem::take(&mut self.population);
+        combined.extend(migrants);
+        self.population = environmental_select(combined, mu, metrics);
+    }
+}
+
+/// Fast non-dominated sort + crowding distance of a set of objective
+/// vectors. Returns `(rank, crowding)` per index; rank 0 is the first
+/// (best) front.
+fn rank_and_crowding(values: &[&[f64]], metrics: &[Metric]) -> (Vec<usize>, Vec<f64>) {
+    let n = values.len();
+    let mut dominated_by = vec![0usize; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(metrics, values[i], values[j]) {
+                dominates_list[i].push(j);
+                dominated_by[j] += 1;
+            } else if dominates(metrics, values[j], values[i]) {
+                dominates_list[j].push(i);
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut rank = vec![0usize; n];
+    let mut crowd = vec![0.0f64; n];
+    let mut front: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut level = 0usize;
+    while !front.is_empty() {
+        crowding_into(&front, values, metrics, &mut crowd);
+        let mut next = Vec::new();
+        for &i in &front {
+            rank[i] = level;
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable(); // deterministic front order
+        front = next;
+        level += 1;
+    }
+    (rank, crowd)
+}
+
+/// Crowding distance of one front, written into `crowd` at the front's
+/// indices. Boundary points get `f64::INFINITY`.
+fn crowding_into(front: &[usize], values: &[&[f64]], metrics: &[Metric], crowd: &mut [f64]) {
+    for &i in front {
+        crowd[i] = 0.0;
+    }
+    if front.len() <= 2 {
+        for &i in front {
+            crowd[i] = f64::INFINITY;
+        }
+        return;
+    }
+    let mut order: Vec<usize> = front.to_vec();
+    for (m, _) in metrics.iter().enumerate() {
+        order.sort_by(|&a, &b| values[a][m].total_cmp(&values[b][m]).then_with(|| a.cmp(&b)));
+        let lo = values[order[0]][m];
+        let hi = values[order[order.len() - 1]][m];
+        crowd[order[0]] = f64::INFINITY;
+        crowd[order[order.len() - 1]] = f64::INFINITY;
+        if hi > lo {
+            for w in 1..order.len() - 1 {
+                let span = values[order[w + 1]][m] - values[order[w - 1]][m];
+                crowd[order[w]] += span / (hi - lo);
+            }
+        }
+    }
+}
+
+/// Binary tournament on (rank asc, crowding desc, index asc).
+fn tournament(rng: &mut StdRng, n: usize, rank: &[usize], crowd: &[f64]) -> usize {
+    let a = rng.random_range(0..n);
+    let b = rng.random_range(0..n);
+    if rank[a] != rank[b] {
+        if rank[a] < rank[b] {
+            a
+        } else {
+            b
+        }
+    } else if crowd[a] != crowd[b] {
+        if crowd[a] > crowd[b] {
+            a
+        } else {
+            b
+        }
+    } else {
+        a.min(b)
+    }
+}
+
+/// NSGA-II environmental selection: fill by front rank; the cut front is
+/// admitted by crowding distance (descending, index ascending) — all
+/// deterministic.
+fn environmental_select(
+    combined: Vec<Individual>,
+    mu: usize,
+    metrics: &[Metric],
+) -> Vec<Individual> {
+    if combined.len() <= mu {
+        return combined;
+    }
+    let values: Vec<&[f64]> = combined.iter().map(|i| i.values.as_slice()).collect();
+    let (rank, crowd) = rank_and_crowding(&values, metrics);
+    let mut order: Vec<usize> = (0..combined.len()).collect();
+    order.sort_by(|&a, &b| {
+        rank[a]
+            .cmp(&rank[b])
+            .then_with(|| crowd[b].total_cmp(&crowd[a]))
+            .then_with(|| a.cmp(&b))
+    });
+    order.truncate(mu);
+    order.sort_unstable(); // keep survivors in their stable arrival order
+    let mut keep: Vec<Option<Individual>> = combined.into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .map(|i| keep[i].take().expect("selection indices are unique"))
+        .collect()
+}
+
+impl Explorer {
+    /// Guided multi-objective search over the paper's custom space (serial
+    /// twin of [`Self::optimize_par`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::Arch`] on any real builder fault (infeasible
+    /// designs are handled, not errors).
+    ///
+    /// # Panics
+    ///
+    /// On degenerate configs: empty metric set, `population < 4`, or
+    /// `islands == 0`.
+    pub fn optimize(&self, config: &OptimizerConfig) -> Result<GuidedFront, ExploreError> {
+        self.optimize_par(config, 1)
+    }
+
+    /// Guided multi-objective search with `workers` threads (`0` = one per
+    /// core). Threads parallelize across islands; the returned front is
+    /// **bit-identical for any worker count** — the same determinism
+    /// contract as every `par_*` sweep.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::optimize`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::optimize`].
+    pub fn optimize_par(
+        &self,
+        config: &OptimizerConfig,
+        workers: usize,
+    ) -> Result<GuidedFront, ExploreError> {
+        assert!(!config.metrics.is_empty(), "optimizer needs at least one metric");
+        assert!(config.population >= 4, "population must be at least 4");
+        assert!(config.islands >= 1, "need at least one island");
+        let start = Instant::now();
+        let space = self.paper_space();
+        let metrics = config.metrics.clone();
+        let k = config.islands;
+        let share = config.budget / k as u64;
+        let extra = (config.budget % k as u64) as usize;
+        let mut islands: Vec<Island> = (0..k)
+            .map(|i| {
+                let budget = share + u64::from(i < extra);
+                Island::new(config.seed, i as u64, budget, &metrics)
+            })
+            .collect();
+
+        let epoch_generations = config.migration_interval.max(1);
+        loop {
+            let spent_before: u64 = islands.iter().map(|i| i.evaluations).sum();
+            if !islands.iter().any(|i| i.budget > 0) {
+                break;
+            }
+            islands = self.run_epoch(
+                islands,
+                &space,
+                &metrics,
+                config,
+                epoch_generations,
+                workers,
+            )?;
+            let spent_after: u64 = islands.iter().map(|i| i.evaluations).sum();
+            if spent_after == spent_before {
+                // No island can make progress any more (e.g. populations
+                // too small to breed) — stop instead of spinning.
+                break;
+            }
+            // Ring migration at the epoch boundary (free: selection only).
+            if k > 1 && config.migrants > 0 {
+                let picks: Vec<Vec<Individual>> = islands
+                    .iter()
+                    .map(|isl| isl.emigrants(config.migrants, &metrics))
+                    .collect();
+                for (i, pick) in picks.into_iter().enumerate() {
+                    islands[(i + 1) % k].receive(pick, config.population, &metrics);
+                }
+            }
+        }
+
+        let mut merged = ParetoFront::new(&metrics);
+        let mut evaluations = 0u64;
+        let mut feasible = 0u64;
+        for isl in islands {
+            evaluations += isl.evaluations;
+            feasible += isl.feasible;
+            merged.merge(isl.archive);
+        }
+        let mut points = merged.into_items();
+        let lead = metrics[0];
+        points.sort_by(|a, b| {
+            let (va, vb) = (lead.value(&a.summary), lead.value(&b.summary));
+            let ord = if lead.higher_is_better() {
+                vb.total_cmp(&va)
+            } else {
+                va.total_cmp(&vb)
+            };
+            ord.then_with(|| a.summary.notation.cmp(&b.summary.notation))
+        });
+        // Two islands can discover the same design independently; equal
+        // points never dominate each other, so the merge keeps both. One
+        // copy per design is enough for the caller (the sort above parks
+        // duplicates adjacently).
+        points.dedup_by(|a, b| a.summary.notation == b.summary.notation);
+        Ok(GuidedFront {
+            points,
+            metrics,
+            evaluations,
+            feasible,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Runs one epoch (`generations` NSGA-II steps) on every island,
+    /// chunked across `workers` threads. Island evolution is a pure
+    /// function of island state, so the chunking cannot change results.
+    fn run_epoch(
+        &self,
+        islands: Vec<Island>,
+        space: &CustomSpace,
+        metrics: &[Metric],
+        config: &OptimizerConfig,
+        generations: usize,
+        workers: usize,
+    ) -> Result<Vec<Island>, ExploreError> {
+        let run_one = |mut isl: Island,
+                       scratch: &mut EvalScratch|
+         -> Result<Island, ArchError> {
+            if !isl.initialized {
+                isl.initialize(self, scratch, space, metrics, config.population)?;
+            }
+            for _ in 0..generations {
+                isl.step(
+                    self,
+                    scratch,
+                    space,
+                    metrics,
+                    config.population,
+                    config.crossover_prob,
+                )?;
+            }
+            Ok(isl)
+        };
+
+        let workers = crate::parallel::resolve_workers(workers).min(islands.len().max(1));
+        if workers <= 1 {
+            let mut scratch = EvalScratch::new();
+            let mut out = Vec::with_capacity(islands.len());
+            for isl in islands {
+                out.push(run_one(isl, &mut scratch)?);
+            }
+            return Ok(out);
+        }
+        let chunks = crate::enumerate::partition(islands.len() as u128, workers);
+        let mut slots: Vec<Option<Island>> = islands.into_iter().map(Some).collect();
+        let chunk_results: Vec<Vec<Result<Island, ArchError>>> =
+            std::thread::scope(|s| {
+                let run_one = &run_one;
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let chunk: Vec<Island> = slots[lo as usize..hi as usize]
+                            .iter_mut()
+                            .map(|slot| slot.take().expect("island taken once"))
+                            .collect();
+                        s.spawn(move || {
+                            let mut scratch = EvalScratch::new();
+                            chunk
+                                .into_iter()
+                                .map(|isl| run_one(isl, &mut scratch))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("optimizer worker panicked"))
+                    .collect()
+            });
+        let mut out = Vec::with_capacity(slots.len());
+        for r in chunk_results.into_iter().flatten() {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_cnn::zoo;
+    use mccm_fpga::FpgaBoard;
+
+    fn front_key(f: &GuidedFront) -> Vec<(String, Vec<u64>)> {
+        f.points
+            .iter()
+            .map(|p| {
+                (
+                    p.summary.notation.clone(),
+                    f.metrics
+                        .iter()
+                        .map(|m| m.value(&p.summary).to_bits())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn small_config() -> OptimizerConfig {
+        OptimizerConfig::default()
+            .with_budget(600)
+            .with_population(16)
+            .with_islands(3)
+            .with_seed(9)
+    }
+
+    #[test]
+    fn optimize_finds_a_nonempty_front_within_budget() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let cfg = small_config();
+        let f = e.optimize(&cfg).unwrap();
+        assert!(!f.points.is_empty());
+        assert!(f.evaluations <= cfg.budget);
+        assert!(f.feasible > 0 && f.feasible <= f.evaluations);
+        // The front really is mutually non-dominated.
+        for a in &f.points {
+            for b in &f.points {
+                let va: Vec<f64> = f.metrics.iter().map(|m| m.value(&a.summary)).collect();
+                let vb: Vec<f64> = f.metrics.iter().map(|m| m.value(&b.summary)).collect();
+                assert!(!dominates(&f.metrics, &va, &vb) || a.summary == b.summary);
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_is_worker_invariant_and_deterministic() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let cfg = small_config();
+        let serial = e.optimize(&cfg).unwrap();
+        let rerun = e.optimize(&cfg).unwrap();
+        assert_eq!(front_key(&serial), front_key(&rerun), "same config must reproduce");
+        for workers in [2usize, 3, 8] {
+            let par = e.optimize_par(&cfg, workers).unwrap();
+            assert_eq!(
+                front_key(&par),
+                front_key(&serial),
+                "front diverged at workers={workers}"
+            );
+            assert_eq!(par.evaluations, serial.evaluations);
+            assert_eq!(par.feasible, serial.feasible);
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let a = e.optimize(&small_config().with_seed(1)).unwrap();
+        let b = e.optimize(&small_config().with_seed(2)).unwrap();
+        assert_ne!(front_key(&a), front_key(&b));
+    }
+
+    #[test]
+    fn single_metric_search_climbs() {
+        // With one objective the optimizer degenerates to a (μ+λ) search;
+        // its best design must at least match its own random init stream's
+        // best at the same budget.
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let cfg = small_config().with_metrics(&[Metric::Throughput]).with_islands(2);
+        let f = e.optimize(&cfg).unwrap();
+        // A single-objective front holds only exactly-tied best designs.
+        let guided_best = f.best(Metric::Throughput).unwrap();
+        for p in &f.points {
+            assert_eq!(p.summary.throughput_fps, guided_best);
+        }
+        let (random, _) = e.sample_custom_summaries(64, 9).unwrap();
+        let random_best = random
+            .iter()
+            .map(|p| p.summary.throughput_fps)
+            .fold(0.0f64, f64::max);
+        assert!(
+            guided_best >= random_best * 0.95,
+            "guided {guided_best} vs random {random_best}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one metric")]
+    fn empty_metric_set_is_rejected() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let cfg = OptimizerConfig { metrics: vec![], ..OptimizerConfig::default() };
+        let _ = e.optimize(&cfg);
+    }
+}

@@ -45,7 +45,7 @@ type EvalFn<'a, T> = &'a (dyn Fn(&Explorer, &CustomDesign, &mut EvalScratch) -> 
 /// Results are worker-count invariant, so the knob is silently capped at
 /// 4× the available cores — an absurd `--workers` value must not make
 /// thread spawning itself the failure mode.
-fn resolve_workers(workers: usize) -> usize {
+pub(crate) fn resolve_workers(workers: usize) -> usize {
     let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     if workers == 0 {
         cores

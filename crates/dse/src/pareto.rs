@@ -105,7 +105,7 @@ impl<T> ParetoFront<T> {
 }
 
 /// Whether `a` dominates `b` under `metrics`.
-fn dominates(metrics: &[Metric], a: &[f64], b: &[f64]) -> bool {
+pub(crate) fn dominates(metrics: &[Metric], a: &[f64], b: &[f64]) -> bool {
     let mut strictly = false;
     for (i, m) in metrics.iter().enumerate() {
         if m.better(b[i], a[i]) {
@@ -141,6 +141,7 @@ mod tests {
             model_name: String::new(),
             board_name: String::new(),
             ce_count: 2,
+            total_macs: 0,
             latency_s: 1.0,
             throughput_fps: throughput,
             buffer_req_bytes: buffer,

@@ -89,6 +89,15 @@ fn attempt_seed(seed: u64, attempt: u64) -> u64 {
     splitmix(seed ^ splitmix(attempt.wrapping_add(0x9E37_79B9_7F4A_7C15)))
 }
 
+/// Derives the seed of an independent, named RNG stream (island index,
+/// shard id, …) from a base seed — the same SplitMix64 mixing behind
+/// [`sample_attempt`]. Streams for different ids are decorrelated, and the
+/// mapping is pure, so any structure built on stream ids is reproducible
+/// regardless of which thread consumes which stream.
+pub(crate) fn stream_seed(seed: u64, stream: u64) -> u64 {
+    attempt_seed(seed, stream)
+}
+
 fn splitmix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -25,6 +25,14 @@ pub const PAPER_TIE_FRAC: f64 = 0.10;
 /// Per architecture, the best instance (over CE counts) is found first;
 /// architectures whose best lies within `tie_frac` of the overall best are
 /// winners, reported with their best instance's CE count.
+///
+/// **Tie-breaking is explicit and deterministic:** when two instances of
+/// the same architecture achieve the exact same value, the one with fewer
+/// CEs wins (fewer engines at equal quality is the cheaper design); among
+/// equal CE counts, the earlier point in `points` wins. The old `reduce`
+/// silently kept whichever instance happened to iterate first, so callers
+/// that reordered or deduplicated a sweep got different winning CE counts
+/// for the same data.
 pub fn select_best(
     points: &[BaselinePoint],
     metric: Metric,
@@ -36,7 +44,13 @@ pub fn select_best(
             .iter()
             .filter(|p| p.architecture == arch)
             .map(|p| (p.ces, metric.value(&p.eval)))
-            .reduce(|a, b| if metric.better(b.1, a.1) { b } else { a });
+            .reduce(|a, b| {
+                if metric.better(b.1, a.1) || (b.1 == a.1 && b.0 < a.0) {
+                    b
+                } else {
+                    a
+                }
+            });
         if let Some((ces, value)) = best {
             per_arch.push((arch, ces, value));
         }
@@ -112,5 +126,30 @@ mod tests {
     fn empty_sweep_gives_empty_cell() {
         let cell = select_best(&[], Metric::Latency, PAPER_TIE_FRAC);
         assert!(cell.winners.is_empty());
+    }
+
+    #[test]
+    fn exact_value_ties_prefer_fewer_ces_regardless_of_order() {
+        // Constructed tie: the same architecture hits the identical best
+        // value at 7 and at 3 CEs. The explicit tie-break must report the
+        // 3-CE instance whichever order the points arrive in.
+        let m = zoo::resnet50();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let base = e.sweep_baselines(2..=2).unwrap();
+        let mk = |ces: usize, latency: f64| {
+            let mut p = base[0].clone();
+            p.ces = ces;
+            p.eval.latency_s = latency;
+            p
+        };
+        let forward = vec![mk(7, 0.5), mk(3, 0.5), mk(5, 0.9)];
+        let backward = vec![mk(3, 0.5), mk(7, 0.5), mk(5, 0.9)];
+        for points in [forward, backward] {
+            let cell = select_best(&points, Metric::Latency, 0.0);
+            assert_eq!(cell.winners.len(), 1);
+            let (_, ces, value) = cell.winners[0];
+            assert_eq!(ces, 3, "exact tie must resolve to the fewer-CE instance");
+            assert_eq!(value, 0.5);
+        }
     }
 }

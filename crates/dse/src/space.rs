@@ -11,6 +11,7 @@
 
 use mccm_arch::{templates, AcceleratorSpec, ArchError};
 use mccm_cnn::CnnModel;
+use rand::Rng;
 
 /// A point in the custom space: head length plus tail boundaries
 /// (exclusive layer end indices, strictly increasing, last = layer count).
@@ -26,6 +27,12 @@ impl CustomDesign {
     /// Total CE count of the design.
     pub fn ce_count(&self) -> usize {
         self.head_layers + self.tail_ends.len()
+    }
+
+    /// The movable tail boundaries: every exclusive segment end except the
+    /// final one (which is pinned to the layer count).
+    fn interior(&self) -> &[usize] {
+        &self.tail_ends[..self.tail_ends.len().saturating_sub(1)]
     }
 
     /// Materializes the design as an accelerator spec.
@@ -64,6 +71,171 @@ impl CustomSpace {
     /// from `n - h - 1` positions).
     pub fn size(&self) -> u128 {
         self.size_checked().unwrap_or(u128::MAX)
+    }
+
+    /// Whether `design` is a well-formed member of this space: head in
+    /// `[1, layers - 1]`, CE count within the space's range, tail
+    /// boundaries strictly increasing past the head, last boundary equal
+    /// to the layer count.
+    pub fn contains(&self, design: &CustomDesign) -> bool {
+        let n = self.layers;
+        let h = design.head_layers;
+        if h < 1 || h + 1 > n {
+            return false;
+        }
+        let k = design.ce_count();
+        if k < self.min_ces || k > self.max_ces {
+            return false;
+        }
+        if design.tail_ends.last() != Some(&n) {
+            return false;
+        }
+        let mut prev = h;
+        design.tail_ends.iter().all(|&e| {
+            let ok = e > prev;
+            prev = e;
+            ok
+        })
+    }
+
+    /// The guided optimizer's **mutation operator**: one random head-length
+    /// shift or tail-boundary move (slide, split, or merge), retried a few
+    /// times until it yields a valid member of this space. Falls back to a
+    /// clone of the input when no attempted move applies (e.g. a 2-layer
+    /// space with nothing to vary).
+    ///
+    /// Deterministic given the RNG state — the optimizer drives it from
+    /// counter-based per-island streams so results are worker-invariant.
+    pub fn mutate<R: Rng>(&self, design: &CustomDesign, rng: &mut R) -> CustomDesign {
+        debug_assert!(self.contains(design), "mutate input must be valid");
+        for _ in 0..8 {
+            let mut d = design.clone();
+            let applied = match rng.random_range(0..4u32) {
+                0 => self.shift_head(&mut d, rng),
+                1 => self.slide_boundary(&mut d, rng),
+                2 => self.split_segment(&mut d, rng),
+                _ => self.merge_segments(&mut d, rng),
+            };
+            if applied && self.contains(&d) {
+                return d;
+            }
+        }
+        design.clone()
+    }
+
+    /// The guided optimizer's **crossover operator**: the child takes one
+    /// parent's head length and a coin-flip blend of both parents' tail
+    /// boundaries, repaired back into the space's CE range. Falls back to
+    /// a clone of `a` when repair cannot produce a valid design.
+    pub fn crossover<R: Rng>(
+        &self,
+        a: &CustomDesign,
+        b: &CustomDesign,
+        rng: &mut R,
+    ) -> CustomDesign {
+        debug_assert!(self.contains(a) && self.contains(b), "crossover inputs must be valid");
+        let n = self.layers;
+        let head = if rng.random_bool(0.5) { a.head_layers } else { b.head_layers };
+        // Blend: every parental copy of a boundary gets a p=1/2 coin flip
+        // until one copy is kept, so a boundary unique to one parent
+        // survives with p=1/2 and one both parents agree on with p=3/4 —
+        // a deliberate bias toward consensus boundaries. (Boundaries at or
+        // before the chosen head no longer exist.)
+        let mut interior: Vec<usize> = Vec::new();
+        let mut last_seen = 0usize;
+        for e in merged_sorted(a.interior(), b.interior()) {
+            if e > head && e < n && e != last_seen && rng.random_bool(0.5) {
+                interior.push(e);
+                last_seen = e;
+            }
+        }
+        // Repair the segment count into [min_ces - head, max_ces - head].
+        let min_segs = self.min_ces.saturating_sub(head).max(1);
+        let max_segs = match self.max_ces.checked_sub(head) {
+            Some(s) if s >= 1 => s,
+            _ => return a.clone(), // head ≥ max_ces: no room for a tail
+        };
+        while interior.len() + 1 > max_segs {
+            let i = rng.random_range(0..interior.len());
+            interior.remove(i);
+        }
+        while interior.len() + 1 < min_segs {
+            let free: Vec<usize> =
+                (head + 1..n).filter(|p| !interior.contains(p)).collect();
+            let Some(&p) = free.get(rng.random_range(0..free.len().max(1))) else {
+                return a.clone(); // not enough layers to split further
+            };
+            let at = interior.partition_point(|&e| e < p);
+            interior.insert(at, p);
+        }
+        let mut tail_ends = interior;
+        tail_ends.push(n);
+        let child = CustomDesign { head_layers: head, tail_ends };
+        if self.contains(&child) {
+            child
+        } else {
+            a.clone()
+        }
+    }
+
+    /// Head-length shift: ±1 pipelined head layer. Boundaries at or below
+    /// the new head are swallowed by it.
+    fn shift_head<R: Rng>(&self, d: &mut CustomDesign, rng: &mut R) -> bool {
+        let grow = rng.random_bool(0.5);
+        let h = d.head_layers;
+        let new_h = if grow { h + 1 } else { h.wrapping_sub(1) };
+        if new_h < 1 || new_h + 1 > self.layers {
+            return false;
+        }
+        d.head_layers = new_h;
+        // Boundaries the head swallowed disappear; the final `== layers`
+        // end always survives (new_h < layers).
+        d.tail_ends.retain(|&e| e > new_h);
+        true
+    }
+
+    /// Tail-boundary slide: move one interior boundary ±1 layer, keeping
+    /// strict monotonicity.
+    fn slide_boundary<R: Rng>(&self, d: &mut CustomDesign, rng: &mut R) -> bool {
+        let interior_len = d.interior().len();
+        if interior_len == 0 {
+            return false;
+        }
+        let i = rng.random_range(0..interior_len);
+        let delta: isize = if rng.random_bool(0.5) { 1 } else { -1 };
+        let lo = if i == 0 { d.head_layers + 1 } else { d.tail_ends[i - 1] + 1 };
+        let hi = d.tail_ends[i + 1] - 1; // interior ⇒ i + 1 exists
+        let moved = d.tail_ends[i].saturating_add_signed(delta);
+        if moved < lo || moved > hi {
+            return false;
+        }
+        d.tail_ends[i] = moved;
+        true
+    }
+
+    /// Tail split: insert a new boundary (one more, smaller tail segment).
+    fn split_segment<R: Rng>(&self, d: &mut CustomDesign, rng: &mut R) -> bool {
+        if d.ce_count() + 1 > self.max_ces || d.head_layers + 1 >= self.layers {
+            return false;
+        }
+        let p = rng.random_range(d.head_layers + 1..self.layers);
+        if d.tail_ends.contains(&p) {
+            return false; // outer retry loop draws again
+        }
+        let at = d.tail_ends.partition_point(|&e| e < p);
+        d.tail_ends.insert(at, p);
+        true
+    }
+
+    /// Tail merge: drop one interior boundary (two segments fuse).
+    fn merge_segments<R: Rng>(&self, d: &mut CustomDesign, rng: &mut R) -> bool {
+        let interior_len = d.interior().len();
+        if interior_len == 0 || d.ce_count() <= self.min_ces {
+            return false;
+        }
+        let i = rng.random_range(0..interior_len);
+        d.tail_ends.remove(i);
+        true
     }
 
     /// Exact number of designs in the space, or `None` if the count
@@ -126,6 +298,24 @@ pub fn binomial_checked(n: u128, k: u128) -> Option<u128> {
     Some(result)
 }
 
+/// Merges two ascending slices into one ascending `Vec` (duplicates kept
+/// adjacent — crossover's blend loop skips the second copy of a kept
+/// boundary).
+fn merged_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
 fn gcd(mut a: u128, mut b: u128) -> u128 {
     while b != 0 {
         (a, b) = (b, a % b);
@@ -136,6 +326,7 @@ fn gcd(mut a: u128, mut b: u128) -> u128 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sampler::CustomSampler;
     use mccm_cnn::zoo;
 
     #[test]
@@ -194,6 +385,87 @@ mod tests {
         // k=3: h=1 tail 2 segs -> C(2,1)=2; h=2 tail 1 seg -> 1.
         let space = CustomSpace { layers: 4, min_ces: 2, max_ces: 3 };
         assert_eq!(space.size(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn contains_accepts_members_and_rejects_malformed_designs() {
+        let space = CustomSpace::paper_range(74);
+        let ok = CustomDesign { head_layers: 3, tail_ends: vec![20, 52, 74] };
+        assert!(space.contains(&ok));
+        // Last end must be the layer count.
+        assert!(!space.contains(&CustomDesign { head_layers: 3, tail_ends: vec![20, 52] }));
+        // Boundaries must be strictly increasing past the head.
+        assert!(!space.contains(&CustomDesign { head_layers: 3, tail_ends: vec![3, 74] }));
+        assert!(!space.contains(&CustomDesign { head_layers: 3, tail_ends: vec![52, 20, 74] }));
+        // CE count must stay within the range.
+        let narrow = CustomSpace { layers: 74, min_ces: 3, max_ces: 11 };
+        assert!(!narrow.contains(&CustomDesign { head_layers: 1, tail_ends: vec![74] }));
+        let too_many = CustomDesign {
+            head_layers: 6,
+            tail_ends: (7..=11).chain(std::iter::once(74)).collect(),
+        };
+        assert_eq!(too_many.ce_count(), 12);
+        assert!(!space.contains(&too_many));
+        // Headless designs are not members.
+        assert!(!space.contains(&CustomDesign { head_layers: 0, tail_ends: vec![10, 74] }));
+    }
+
+    #[test]
+    fn mutation_stays_inside_the_space_and_moves() {
+        use rand::{rngs::StdRng, SeedableRng};
+        for (layers, min_ces, max_ces) in [(74, 2, 11), (6, 2, 5), (10, 2, 11)] {
+            let space = CustomSpace { layers, min_ces, max_ces };
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut sampler = CustomSampler::new(space, 3);
+            let mut changed = 0usize;
+            for _ in 0..200 {
+                let d = sampler.sample();
+                let m = space.mutate(&d, &mut rng);
+                assert!(space.contains(&m), "mutant of {d:?} invalid: {m:?}");
+                if m != d {
+                    changed += 1;
+                }
+            }
+            // Mutation must actually move most of the time.
+            assert!(changed > 150, "only {changed}/200 mutations moved ({layers} layers)");
+        }
+    }
+
+    #[test]
+    fn crossover_stays_inside_the_space_and_blends() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let space = CustomSpace::paper_range(74);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sampler = CustomSampler::new(space, 5);
+        let mut differs_from_both = 0usize;
+        for _ in 0..200 {
+            let a = sampler.sample();
+            let b = sampler.sample();
+            let c = space.crossover(&a, &b, &mut rng);
+            assert!(space.contains(&c), "child of {a:?} x {b:?} invalid: {c:?}");
+            if c != a && c != b {
+                differs_from_both += 1;
+            }
+        }
+        assert!(differs_from_both > 100, "crossover degenerated to cloning");
+    }
+
+    #[test]
+    fn operators_are_deterministic_per_rng_stream() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let space = CustomSpace::paper_range(74);
+        let a = CustomDesign { head_layers: 3, tail_ends: vec![20, 52, 74] };
+        let b = CustomDesign { head_layers: 5, tail_ends: vec![30, 60, 70, 74] };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut out = Vec::new();
+            for _ in 0..50 {
+                out.push(space.mutate(&a, &mut rng));
+                out.push(space.crossover(&a, &b, &mut rng));
+            }
+            out
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -91,6 +91,7 @@ mod tests {
             model_name: String::new(),
             board_name: String::new(),
             ce_count: 1,
+            total_macs: 0,
             latency_s: 0.009,
             throughput_fps: 105.0,
             buffer_req_bytes: 2_000_000,

@@ -75,8 +75,16 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
                     let fml_per = rep.fm_load_traffic / n_tiles;
                     let st_per = rep.fm_store_traffic / n_tiles;
                     for t in 0..n_tiles {
+                        // The last tile's height is the exact division
+                        // remainder: `n_tiles = ceil(height / poh)`
+                        // guarantees `poh * (n_tiles - 1) < height`, so the
+                        // subtraction is in `[1, poh]` for any non-empty
+                        // OFM. (The old `.min(height - 1)` clamp forced a
+                        // phantom 1-row floor — and underflowed on
+                        // zero-height OFMs — instead of computing the
+                        // remainder.)
                         let rows = if t + 1 == n_tiles {
-                            conv.ofm.height - (poh * (n_tiles as u32 - 1)).min(conv.ofm.height - 1)
+                            conv.ofm.height - poh * (n_tiles as u32 - 1)
                         } else {
                             poh
                         };
@@ -335,6 +343,63 @@ mod tests {
         if has_resident {
             assert!(g.tiles.iter().any(|t| t.ce.is_none()));
         }
+    }
+
+    #[test]
+    fn last_tile_rows_are_the_exact_remainder() {
+        // Regression for the old `.min(ofm.height - 1)` clamp on the last
+        // tile's row count: the final tile must carry the exact division
+        // remainder (in [1, poh]) — degenerate shapes included (stride
+        // larger than the remaining height, 1-row OFMs) — and the per-layer
+        // tile heights must partition the OFM rows exactly.
+        use mccm_cnn::{ConvSpec, ModelBuilder, Padding, TensorShape};
+
+        let mut b = ModelBuilder::new("degenerate", TensorShape::new(3, 23, 23));
+        b.conv("c1", ConvSpec::standard(3, 1, Padding::same(3, 3)), 8, 0); // 23 rows
+        b.conv("c2", ConvSpec::standard(3, 2, Padding::same(3, 3)), 16, 0); // 12 rows
+        b.conv("c3", ConvSpec::standard(3, 22, Padding::valid()), 16, 0); // stride 22 > 12: 1 row
+        b.conv("c4", ConvSpec::pointwise(1), 8, 0); // 1-row OFM chained
+        let m = b.finish().unwrap();
+
+        let spec = templates::segmented(&m, 2).unwrap();
+        let acc = MultipleCeBuilder::new(&m, &FpgaBoard::zc706()).build(&spec).unwrap();
+        let (_, g) = expand(&acc);
+
+        let mut one_row_layers = 0usize;
+        for seg in &acc.segments {
+            let Executor::SingleCe(ce) = &seg.executor else {
+                panic!("segmented template uses single-CE executors");
+            };
+            let poh = acc.ces[*ce].parallelism.dims[2].max(1);
+            for l in seg.first..=seg.last {
+                let conv = &acc.convs[l];
+                let h = conv.ofm.height;
+                let n_tiles = (h as u64).div_ceil(poh as u64).max(1);
+                let tiles: Vec<_> = g.tiles.iter().filter(|t| t.layer == l).collect();
+                assert_eq!(tiles.len() as u64, n_tiles, "layer {l}");
+                let mut rows_sum = 0u32;
+                for (i, t) in tiles.iter().enumerate() {
+                    let rows = if i as u64 + 1 == n_tiles {
+                        h - poh * (n_tiles as u32 - 1) // exact remainder
+                    } else {
+                        poh
+                    };
+                    assert!((1..=poh).contains(&rows), "layer {l} tile {i}: {rows} rows");
+                    assert_eq!(
+                        t.compute_cycles,
+                        acc.ces[*ce].parallelism.tile_latency_cycles(conv.dims, rows),
+                        "layer {l} tile {i} latency disagrees with its exact row count"
+                    );
+                    rows_sum += rows;
+                }
+                assert_eq!(rows_sum, h, "layer {l}: tile heights must partition the OFM");
+                if h == 1 {
+                    one_row_layers += 1;
+                    assert_eq!(tiles.len(), 1, "a 1-row OFM is a single tile");
+                }
+            }
+        }
+        assert!(one_row_layers >= 2, "the degenerate model must exercise 1-row OFMs");
     }
 
     #[test]

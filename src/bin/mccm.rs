@@ -8,6 +8,7 @@
 //! mccm validate  --model resnet50 --board vcu108 --arch segmented --ces 4
 //! mccm sweep     --model mobilenetv2 --board zcu102
 //! mccm explore   --model xception --board vcu110 --samples 5000 --seed 1 --workers 4
+//! mccm optimize  --model xception --board vcu110 --budget 4000 --islands 4 --workers 4
 //! ```
 
 use std::process::ExitCode;
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
+        "optimize" => cmd_optimize(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -58,8 +60,11 @@ USAGE:
   mccm validate --model M --board B --arch A --ces K
   mccm sweep    --model M --board B
   mccm explore  --model M --board B [--samples N] [--seed N] [--workers N]
+  mccm optimize --model M --board B [--budget N] [--population N] [--islands N]
+                [--seed N] [--workers N] [--metrics latency,throughput,...]
 
-ARCHITECTURES: segmented | segmentedrr | hybrid";
+ARCHITECTURES: segmented | segmentedrr | hybrid
+METRICS:       latency | throughput | access | buffers | energy (default: all five)";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
@@ -230,6 +235,81 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         let winners: Vec<String> =
             cell.winners.iter().map(|(a, c, _)| format!("{}-{}", a.name(), c)).collect();
         println!("  {:<11} {}", cell.metric.name(), winners.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    use mccm::core::{EnergyModel, Metric};
+    use mccm::dse::OptimizerConfig;
+
+    let model = parse_model(args)?;
+    let board = parse_board(args)?;
+    let budget: u64 = flag(args, "--budget").and_then(|s| s.parse().ok()).unwrap_or(4_000);
+    let population: usize =
+        flag(args, "--population").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let islands: usize = flag(args, "--islands").and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let workers: usize =
+        flag(args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(0);
+    if population < 4 {
+        return Err("--population must be at least 4".into());
+    }
+    if islands == 0 {
+        return Err("--islands must be at least 1".into());
+    }
+    let metrics: Vec<Metric> = match flag(args, "--metrics") {
+        None => Metric::WITH_ENERGY.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                Metric::by_name(name.trim())
+                    .ok_or_else(|| format!("unknown metric `{name}` (see METRICS in --help)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if metrics.is_empty() {
+        return Err("--metrics must name at least one metric".into());
+    }
+
+    let explorer = Explorer::new(&model, &board);
+    let config = OptimizerConfig::default()
+        .with_metrics(&metrics)
+        .with_budget(budget)
+        .with_population(population)
+        .with_islands(islands)
+        .with_seed(seed);
+    let front = explorer.optimize_par(&config, workers).map_err(|e| e.to_string())?;
+
+    println!(
+        "guided search: {} evaluations ({} feasible) in {:.2} s — front of {} designs over [{}]",
+        front.evaluations,
+        front.feasible,
+        front.elapsed.as_secs_f64(),
+        front.points.len(),
+        metrics.iter().map(Metric::name).collect::<Vec<_>>().join(", ")
+    );
+    println!("\nbest per metric:");
+    for &m in &metrics {
+        if let Some(v) = front.best(m) {
+            println!("  {:<11} {v:.4e}", m.name());
+        }
+    }
+    let energy = EnergyModel::default();
+    println!("\nfront (best-first on {}):", metrics[0].name());
+    for p in front.points.iter().take(12) {
+        println!(
+            "  {:>7.1} FPS  {:>7.2} ms  {:>7.2} MiB buf  {:>6.1} MiB acc  {:>6.1} mJ  {}",
+            p.summary.throughput_fps,
+            p.summary.latency_ms(),
+            p.summary.buffer_mib(),
+            p.summary.offchip_mib(),
+            energy.estimate_summary(&p.summary).total_mj(),
+            p.summary.notation
+        );
+    }
+    if front.points.len() > 12 {
+        println!("  ... and {} more", front.points.len() - 12);
     }
     Ok(())
 }

@@ -1,0 +1,142 @@
+//! Integration tests for the guided multi-objective optimizer and the
+//! energy-aware fast lane: worker-invariant fronts, budget accounting,
+//! front validity over the energy-extended metric set, and the
+//! fast-lane/full-lane energy equivalence across the zoo × templates grid.
+
+use mccm::arch::{templates, MultipleCeBuilder};
+use mccm::cnn::zoo;
+use mccm::core::{CostModel, EnergyModel, EvalScratch, Metric};
+use mccm::dse::{Explorer, GuidedFront, OptimizerConfig};
+use mccm::fpga::FpgaBoard;
+
+fn front_fingerprint(f: &GuidedFront) -> Vec<(String, Vec<u64>)> {
+    f.points
+        .iter()
+        .map(|p| {
+            (
+                p.summary.notation.clone(),
+                f.metrics.iter().map(|m| m.value(&p.summary).to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn guided_fronts_are_bit_identical_for_any_worker_count() {
+    let model = zoo::xception();
+    let explorer = Explorer::new(&model, &FpgaBoard::vcu110());
+    let config = OptimizerConfig::default()
+        .with_budget(500)
+        .with_population(12)
+        .with_islands(3)
+        .with_seed(21);
+    let serial = explorer.optimize(&config).unwrap();
+    assert!(!serial.points.is_empty());
+    assert!(serial.evaluations <= config.budget);
+    for workers in [2usize, 3, 8] {
+        let par = explorer.optimize_par(&config, workers).unwrap();
+        assert_eq!(
+            front_fingerprint(&par),
+            front_fingerprint(&serial),
+            "workers={workers}"
+        );
+        assert_eq!(par.evaluations, serial.evaluations, "workers={workers}");
+        assert_eq!(par.feasible, serial.feasible, "workers={workers}");
+    }
+}
+
+#[test]
+fn guided_front_designs_rebuild_to_their_reported_metrics() {
+    // Every design on the front must re-materialize through the rich lane
+    // to exactly the summary the optimizer recorded — including the energy
+    // metric, which the fast lane computes from its own MAC count.
+    let model = zoo::mobilenet_v2();
+    let board = FpgaBoard::zc706();
+    let explorer = Explorer::new(&model, &board);
+    let config = OptimizerConfig::default()
+        .with_budget(400)
+        .with_population(12)
+        .with_islands(2)
+        .with_seed(5);
+    let front = explorer.optimize(&config).unwrap();
+    assert!(!front.points.is_empty());
+    let builder = MultipleCeBuilder::new(&model, &board);
+    for p in &front.points {
+        let spec = p.design.to_spec(&model).unwrap();
+        let rich = CostModel::evaluate(&builder.build(&spec).unwrap());
+        assert_eq!(rich.summary(), p.summary, "{}", p.summary.notation);
+        for m in Metric::WITH_ENERGY {
+            assert_eq!(
+                m.value(&rich).to_bits(),
+                m.value(&p.summary).to_bits(),
+                "{} on {}",
+                m.name(),
+                p.summary.notation
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_fast_lane_matches_full_lane_on_the_zoo_templates_grid() {
+    // Acceptance bar: EnergyModel::estimate_summary is bit-identical to
+    // the full-Evaluation energy path on every zoo model × template × CE
+    // count cell.
+    let energy = EnergyModel::default();
+    let mut scratch = EvalScratch::new();
+    for model in mccm::cnn::zoo::all_models() {
+        let board = FpgaBoard::zc706();
+        let builder = MultipleCeBuilder::new(&model, &board);
+        for arch in templates::Architecture::ALL {
+            for ces in [2usize, 5] {
+                let Ok(spec) = arch.instantiate(&model, ces) else { continue };
+                let Ok(acc) = builder.build(&spec) else { continue };
+                let rich = CostModel::evaluate(&acc);
+                let fast = CostModel::evaluate_summary(&acc, &mut scratch);
+                let full_estimate = energy.estimate(&rich, model.conv_macs());
+                let fast_estimate = energy.estimate_summary(&fast);
+                assert_eq!(
+                    full_estimate, fast_estimate,
+                    "{} {arch} {ces}",
+                    model.name()
+                );
+                assert_eq!(
+                    full_estimate.total_j().to_bits(),
+                    fast_estimate.total_j().to_bits(),
+                    "{} {arch} {ces}",
+                    model.name()
+                );
+                // And the Metric::Energy read agrees across lanes too.
+                assert_eq!(
+                    Metric::Energy.value(&rich).to_bits(),
+                    Metric::Energy.value(&fast).to_bits(),
+                    "{} {arch} {ces}",
+                    model.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn energy_orders_designs_consistently_with_its_inputs() {
+    // Energy is monotone in off-chip traffic and latency at fixed MACs:
+    // of two designs of the same CNN, one dominating on both inputs must
+    // not cost more energy.
+    let model = zoo::resnet50();
+    let explorer = Explorer::new(&model, &FpgaBoard::zc706());
+    let points = explorer.sweep_baselines(2..=6).unwrap();
+    for a in &points {
+        for b in &points {
+            let (ea, eb) = (&a.eval, &b.eval);
+            if ea.offchip_bytes <= eb.offchip_bytes && ea.latency_s <= eb.latency_s {
+                assert!(
+                    Metric::Energy.value(ea) <= Metric::Energy.value(eb),
+                    "{} vs {}",
+                    ea.notation,
+                    eb.notation
+                );
+            }
+        }
+    }
+}

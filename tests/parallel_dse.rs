@@ -15,6 +15,7 @@ fn summary(latency_ms: u64, fps: u64, buf: u64, traffic: u64) -> EvalSummary {
     EvalSummary {
         notation: String::new(),
         ce_count: 2,
+        total_macs: 0,
         latency_s: latency_ms as f64 / 1e3,
         throughput_fps: fps as f64,
         buffer_req_bytes: buf,
