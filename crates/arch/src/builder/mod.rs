@@ -161,6 +161,33 @@ impl MultipleCeBuilder {
         self.convs.len()
     }
 
+    /// The board this builder targets.
+    pub fn board(&self) -> &FpgaBoard {
+        &self.board
+    }
+
+    /// The data-type widths builds use.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// An opaque token identifying this builder's shared build context.
+    /// Builders cloned from one another share one context (and thus one
+    /// memo cache) and report the same token; independently constructed
+    /// builders report different tokens while both are alive. Session
+    /// caches use this hook to assert that a warmed builder really is
+    /// being reused rather than reconstructed.
+    pub fn context_token(&self) -> usize {
+        Arc::as_ptr(&self.ctx) as usize
+    }
+
+    /// Number of memoized parallelism-search results held by the shared
+    /// build context — a warmth indicator for session caches (zero on a
+    /// freshly constructed builder, growing as designs are built).
+    pub fn memo_len(&self) -> usize {
+        self.ctx.memo.read().expect("memo poisoned").len()
+    }
+
     /// Memoized per-CE parallelism selection: cache hit for layer sets
     /// (and PE budgets) seen in any earlier build of this builder or its
     /// clones; otherwise the precomputed-grid search.
@@ -370,6 +397,24 @@ mod tests {
             Arc::as_ptr(&clone.ctx),
             "clones must share one build context"
         );
+    }
+
+    #[test]
+    fn context_token_tracks_sharing_and_memo_len_tracks_warmth() {
+        let m = zoo::mobilenet_v2();
+        let board = FpgaBoard::zc706();
+        let a = MultipleCeBuilder::new(&m, &board);
+        let clone = a.clone();
+        let fresh = MultipleCeBuilder::new(&m, &board);
+        assert_eq!(a.context_token(), clone.context_token());
+        assert_ne!(a.context_token(), fresh.context_token());
+        assert_eq!(a.memo_len(), 0);
+        a.build(&templates::segmented(&m, 4).unwrap()).unwrap();
+        assert!(a.memo_len() > 0);
+        assert_eq!(a.memo_len(), clone.memo_len(), "clones share the memo");
+        assert_eq!(fresh.memo_len(), 0);
+        assert_eq!(a.precision(), Precision::default());
+        assert_eq!(a.board().name, board.name);
     }
 
     #[test]

@@ -210,6 +210,23 @@ impl Architecture {
         }
     }
 
+    /// Looks up an architecture by case-insensitive name (`"segmented"`,
+    /// `"segmentedrr"` / `"rr"`, `"hybrid"`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "segmented" => Some(Self::Segmented),
+            "segmentedrr" | "rr" => Some(Self::SegmentedRr),
+            "hybrid" => Some(Self::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase names accepted by [`Self::by_name`], in
+    /// [`Self::ALL`] order.
+    pub fn names() -> &'static [&'static str] {
+        &["segmented", "segmentedrr", "hybrid"]
+    }
+
     /// Instantiates this architecture for a model and CE count.
     ///
     /// # Errors
@@ -235,6 +252,16 @@ impl std::fmt::Display for Architecture {
 mod tests {
     use super::*;
     use mccm_cnn::zoo;
+
+    #[test]
+    fn architecture_by_name_round_trips() {
+        for (arch, name) in Architecture::ALL.into_iter().zip(Architecture::names()) {
+            assert_eq!(Architecture::by_name(name), Some(arch));
+            assert_eq!(Architecture::by_name(&arch.name().to_ascii_uppercase()), Some(arch));
+        }
+        assert_eq!(Architecture::by_name("rr"), Some(Architecture::SegmentedRr));
+        assert_eq!(Architecture::by_name("systolic"), None);
+    }
 
     #[test]
     fn balanced_partition_minimizes_max() {

@@ -8,8 +8,7 @@
 //!
 //! * **baseline** — the pre-fast-lane per-design path, reconstructed:
 //!   parallelism memoization disabled, full [`CostModel::evaluate`] with
-//!   all report vectors, then [`Evaluation::summary`]
-//!   (`Evaluation` from `mccm_core`);
+//!   all report vectors, then [`mccm_core::Evaluation::summary`];
 //! * **fastlane** — [`Explorer::sample_custom_summaries`]: memoized
 //!   builds against the shared context plus the allocation-free
 //!   [`CostModel::evaluate_summary`].

@@ -14,7 +14,7 @@ use crate::model::{CnnModel, ModelBuilder};
 use crate::tensor::TensorShape;
 
 /// Configuration for [`random_cnn`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticConfig {
     /// Number of convolution layers to generate (≥ 1).
     pub conv_layers: usize,

@@ -45,6 +45,21 @@ pub fn extended_models() -> Vec<CnnModel> {
     vec![vgg16(), efficientnet_b0()]
 }
 
+/// Canonical names accepted by [`by_name`], in Table III order followed by
+/// the extended workloads — the registry machine-readable front ends and
+/// error messages list.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "resnet152",
+        "resnet50",
+        "xception",
+        "densenet121",
+        "mobilenetv2",
+        "vgg16",
+        "efficientnetb0",
+    ]
+}
+
 /// Looks up a model constructor by name or abbreviation.
 pub fn by_name(name: &str) -> Option<CnnModel> {
     match name {
@@ -91,6 +106,16 @@ mod tests {
         }
         assert_eq!(abbreviation("resnet50"), "Res50");
         assert_eq!(abbreviation("unknown"), "?");
+    }
+
+    #[test]
+    fn name_registry_covers_every_model() {
+        let names = names();
+        assert_eq!(names.len(), all_models().len() + extended_models().len());
+        for name in names {
+            let model = by_name(name).expect(name);
+            assert_eq!(model.name(), *name, "registry names are canonical");
+        }
     }
 
     #[test]

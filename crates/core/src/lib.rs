@@ -36,7 +36,7 @@ mod model;
 mod report;
 
 pub use accuracy::{accuracy_pct, AccuracyRecord, AccuracySummary};
-pub use config::{ModelConfig, PipelineLatencyMode};
+pub use config::{ConfigError, ModelConfig, PipelineLatencyMode};
 pub use energy::{EnergyEstimate, EnergyModel};
 pub use metrics::{Metric, MetricSource};
 pub use model::{CostModel, EvalScratch};

@@ -30,6 +30,14 @@ pub enum ExploreError {
     /// A design failed to build for a reason other than infeasibility —
     /// a real builder/spec bug that must not be masked as "infeasible".
     Arch(ArchError),
+    /// An exploration/optimizer configuration is unusable (empty metric
+    /// set, degenerate population, zero islands, an out-of-range
+    /// probability) — the typed twin of the panics `optimize` reserves
+    /// for programmer error, for machine-supplied configs.
+    BadConfig {
+        /// What is wrong, naming the offending field.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -45,6 +53,7 @@ impl fmt::Display for ExploreError {
                 "space holds {size} designs, beyond the exhaustive-evaluation limit of {limit}"
             ),
             Self::Arch(e) => write!(f, "design evaluation failed: {e}"),
+            Self::BadConfig { detail } => write!(f, "bad exploration config: {detail}"),
         }
     }
 }

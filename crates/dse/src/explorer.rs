@@ -29,7 +29,7 @@ pub struct DesignPoint {
 }
 
 /// A baseline instance: architecture, CE count, evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselinePoint {
     /// Which of the three architectures.
     pub architecture: templates::Architecture,
@@ -83,9 +83,28 @@ impl Explorer {
         Self { model: model.clone(), builder: MultipleCeBuilder::new(model, board) }
     }
 
+    /// Wraps an existing builder (with whatever precision/options it
+    /// carries) instead of constructing a fresh one — the hook session
+    /// caches use so a warmed builder context (shared `Arc`s, populated
+    /// parallelism memo) keeps serving every exploration entry point.
+    /// `builder` must have been constructed for `model`.
+    pub fn from_parts(model: CnnModel, builder: MultipleCeBuilder) -> Self {
+        assert_eq!(
+            model.conv_layer_count(),
+            builder.layer_count(),
+            "builder was constructed for a different model"
+        );
+        Self { model, builder }
+    }
+
     /// The underlying model.
     pub fn model(&self) -> &CnnModel {
         &self.model
+    }
+
+    /// The underlying builder (shared build context, precision, board).
+    pub fn builder(&self) -> &MultipleCeBuilder {
+        &self.builder
     }
 
     /// Builds and evaluates one specification.
@@ -282,6 +301,32 @@ mod tests {
             assert_eq!(p.eval.ce_count, p.ces);
             assert!(p.eval.throughput_fps > 0.0);
         }
+    }
+
+    #[test]
+    fn from_parts_reuses_the_given_builder_context() {
+        let m = zoo::mobilenet_v2();
+        let board = FpgaBoard::zc706();
+        let fresh = Explorer::new(&m, &board);
+        let wrapped = Explorer::from_parts(m.clone(), fresh.builder().clone());
+        assert_eq!(
+            fresh.builder().context_token(),
+            wrapped.builder().context_token(),
+            "from_parts must not reconstruct the build context"
+        );
+        let spec = mccm_arch::templates::segmented(&m, 3).unwrap();
+        let a = fresh.evaluate(&spec).unwrap();
+        let b = wrapped.evaluate(&spec).unwrap();
+        assert_eq!(a.eval, b.eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn from_parts_rejects_mismatched_model() {
+        let m = zoo::mobilenet_v2();
+        let other = zoo::resnet50();
+        let builder = MultipleCeBuilder::new(&other, &FpgaBoard::zc706());
+        let _ = Explorer::from_parts(m, builder);
     }
 
     #[test]

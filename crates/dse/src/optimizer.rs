@@ -114,6 +114,52 @@ impl OptimizerConfig {
         self.seed = seed;
         self
     }
+
+    /// Replaces the generations-per-migration-epoch interval.
+    pub fn with_migration_interval(mut self, generations: usize) -> Self {
+        self.migration_interval = generations;
+        self
+    }
+
+    /// Replaces the per-epoch migrant count.
+    pub fn with_migrants(mut self, migrants: usize) -> Self {
+        self.migrants = migrants;
+        self
+    }
+
+    /// Replaces the crossover probability.
+    pub fn with_crossover_prob(mut self, prob: f64) -> Self {
+        self.crossover_prob = prob;
+        self
+    }
+
+    /// Checks the configuration is runnable — the typed pre-flight check
+    /// machine-supplied configs (scenario files, request payloads) go
+    /// through before [`Explorer::optimize`], whose own guards are
+    /// panics reserved for programmer error.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ExploreError> {
+        let fail = |detail: String| Err(ExploreError::BadConfig { detail });
+        if self.metrics.is_empty() {
+            return fail("metric set is empty".into());
+        }
+        if self.population < 4 {
+            return fail(format!("population must be at least 4, got {}", self.population));
+        }
+        if self.islands == 0 {
+            return fail("islands must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.crossover_prob) {
+            return fail(format!(
+                "crossover_prob must be in [0, 1], got {}",
+                self.crossover_prob
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Result of a guided optimization run.
@@ -657,6 +703,28 @@ mod tests {
             .with_population(16)
             .with_islands(3)
             .with_seed(9)
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs_with_the_field_named() {
+        assert!(OptimizerConfig::default().validate().is_ok());
+        assert!(small_config().validate().is_ok());
+        let cases: [(OptimizerConfig, &str); 4] = [
+            (OptimizerConfig::default().with_metrics(&[]), "metric"),
+            (OptimizerConfig::default().with_population(3), "population"),
+            (OptimizerConfig::default().with_islands(0), "islands"),
+            (OptimizerConfig::default().with_crossover_prob(1.5), "crossover_prob"),
+        ];
+        for (cfg, field) in cases {
+            match cfg.validate() {
+                Err(ExploreError::BadConfig { detail }) => {
+                    assert!(detail.contains(field), "{detail} should name {field}");
+                }
+                other => panic!("expected BadConfig naming {field}, got {other:?}"),
+            }
+        }
+        // NaN probabilities are out of range too.
+        assert!(OptimizerConfig::default().with_crossover_prob(f64::NAN).validate().is_err());
     }
 
     #[test]

@@ -123,6 +123,12 @@ impl FpgaBoard {
             _ => None,
         }
     }
+
+    /// Canonical names accepted by [`Self::by_name`], in Table II order —
+    /// the registry error messages and machine-readable front ends list.
+    pub fn names() -> &'static [&'static str] {
+        &["zc706", "vcu108", "vcu110", "zcu102"]
+    }
 }
 
 impl fmt::Display for FpgaBoard {
@@ -152,6 +158,30 @@ impl Precision {
     pub const INT8: Self = Self { weight_bytes: 1, activation_bytes: 1 };
     /// 16-bit weights and activations.
     pub const INT16: Self = Self { weight_bytes: 2, activation_bytes: 2 };
+
+    /// Canonical lowercase name of this precision, when it is one of the
+    /// named constants (`"int8"` / `"int16"`).
+    pub fn name(&self) -> Option<&'static str> {
+        match *self {
+            Self::INT8 => Some("int8"),
+            Self::INT16 => Some("int16"),
+            _ => None,
+        }
+    }
+
+    /// Looks up a named precision (case-insensitive: `"int8"`, `"int16"`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "int8" => Some(Self::INT8),
+            "int16" => Some(Self::INT16),
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`Self::by_name`].
+    pub fn names() -> &'static [&'static str] {
+        &["int8", "int16"]
+    }
 
     /// Bytes occupied by `n` weight elements.
     pub fn weight_size(&self, n: u64) -> u64 {
@@ -210,6 +240,27 @@ mod tests {
         assert_eq!(FpgaBoard::by_name("zcu102").unwrap().dsps, 2520);
         assert_eq!(FpgaBoard::by_name("ZC706").unwrap().dsps, 900);
         assert!(FpgaBoard::by_name("vu9p").is_none());
+    }
+
+    #[test]
+    fn name_registry_covers_every_evaluation_board() {
+        let names = FpgaBoard::names();
+        assert_eq!(names.len(), FpgaBoard::evaluation_boards().len());
+        for name in names {
+            assert!(FpgaBoard::by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn precision_name_registry_round_trips() {
+        for name in Precision::names() {
+            let p = Precision::by_name(name).unwrap();
+            assert_eq!(p.name(), Some(*name));
+        }
+        assert_eq!(Precision::by_name("INT16"), Some(Precision::INT16));
+        assert!(Precision::by_name("fp32").is_none());
+        let odd = Precision { weight_bytes: 4, activation_bytes: 1 };
+        assert_eq!(odd.name(), None);
     }
 
     #[test]

@@ -1,6 +1,48 @@
 //! Simulator configuration: the second-order implementation effects the
 //! analytical model deliberately ignores.
 
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when validating a [`SimConfig`].
+///
+/// Carries the same `Display` + [`std::error::Error`] impls as the other
+/// crates' error types, so a top-level error can wrap simulator
+/// configuration faults without stringifying them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// `images` is below the minimum the latency/throughput split needs.
+    TooFewImages {
+        /// The configured image count.
+        images: usize,
+        /// The minimum required (first image = latency, steady tail =
+        /// throughput).
+        minimum: usize,
+    },
+    /// A byte granularity that must be positive is zero.
+    ZeroGranularity {
+        /// Which field is zero (`"burst_bytes"` or `"bram_bank_bytes"`).
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewImages { images, minimum } => write!(
+                f,
+                "simulator needs at least {minimum} images (first = latency, steady tail = \
+                 throughput), got {images}"
+            ),
+            Self::ZeroGranularity { field } => {
+                write!(f, "simulator config field `{field}` must be positive")
+            }
+        }
+    }
+}
+
+impl Error for SimConfigError {}
+
 /// Tunable implementation overheads of the reference simulator.
 ///
 /// Defaults reflect typical HLS accelerator implementations on the
@@ -53,6 +95,28 @@ impl SimConfig {
         }
     }
 
+    /// Checks the configuration is runnable: enough images for the
+    /// latency/throughput split and positive byte granularities. The
+    /// simulator itself clamps rather than fails (it predates this check);
+    /// front ends call this to reject bad configs with a typed error
+    /// instead of silently simulating something else.
+    ///
+    /// # Errors
+    ///
+    /// [`SimConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.images < 3 {
+            return Err(SimConfigError::TooFewImages { images: self.images, minimum: 3 });
+        }
+        if self.burst_bytes == 0 {
+            return Err(SimConfigError::ZeroGranularity { field: "burst_bytes" });
+        }
+        if self.bram_bank_bytes == 0 {
+            return Err(SimConfigError::ZeroGranularity { field: "bram_bank_bytes" });
+        }
+        Ok(())
+    }
+
     /// Channel occupancy of a transfer in bytes, after burst rounding.
     pub fn burst_rounded(&self, bytes: u64) -> u64 {
         if bytes == 0 {
@@ -72,6 +136,25 @@ mod tests {
         let c = SimConfig::default();
         assert!(c.images >= 3);
         assert!(c.burst_bytes.is_power_of_two());
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+        assert_eq!(SimConfig::ideal().validate(), Ok(()));
+        let few = SimConfig { images: 2, ..Default::default() };
+        match few.validate() {
+            Err(SimConfigError::TooFewImages { images: 2, minimum: 3 }) => {}
+            other => panic!("expected TooFewImages, got {other:?}"),
+        }
+        let burst = SimConfig { burst_bytes: 0, ..Default::default() };
+        let err = burst.validate().unwrap_err();
+        assert!(err.to_string().contains("burst_bytes"));
+        let bank = SimConfig { bram_bank_bytes: 0, ..Default::default() };
+        assert!(bank.validate().unwrap_err().to_string().contains("bram_bank_bytes"));
+        // The trait impls mccm::Error relies on.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(!boxed.to_string().is_empty());
     }
 
     #[test]

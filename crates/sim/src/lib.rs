@@ -40,7 +40,7 @@ mod result;
 mod sim;
 pub mod workload;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, SimConfigError};
 pub use engine::{Cycles, DmaChannel, Event, Events};
 pub use result::SimResult;
 pub use sim::Simulator;

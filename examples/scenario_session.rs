@@ -1,0 +1,77 @@
+//! The scenario API end to end: declarative JSON requests executed by a
+//! `Session` with an LRU cache of warmed builder contexts.
+//!
+//! Run with: `cargo run --release --example scenario_session`
+
+use mccm::scenario::Scenario;
+use mccm::session::{Outcome, Session};
+
+fn main() -> Result<(), mccm::Error> {
+    let mut session = Session::new();
+
+    // 1. Evaluate one design, declared as data.
+    let evaluate = Scenario::from_json_str(
+        r#"{
+            "model": {"zoo": "xception"},
+            "board": {"builtin": "vcu110"},
+            "batch": 8,
+            "action": {"evaluate": {"template": "hybrid", "ces": 7}}
+        }"#,
+    )?;
+    let outcome = session.run(&evaluate)?;
+    if let Outcome::Evaluation(e) = &outcome {
+        println!(
+            "evaluate: {} → {:.2} ms, {:.1} FPS, {:.1} mJ/inference",
+            e.eval.notation,
+            e.eval.latency_ms(),
+            e.eval.throughput_fps,
+            e.energy.total_mj()
+        );
+    }
+
+    // 2. Re-running any scenario on the same (model, board, precision,
+    //    batch) context is a cache hit: no CNN rebuild, no builder
+    //    reconstruction, parallelism memo already warm.
+    let again = session.run(&evaluate)?;
+    assert_eq!(again, outcome, "warm results are identical");
+    println!(
+        "cache: {} hit(s), {} miss(es) after re-running the same scenario",
+        session.stats().hits,
+        session.stats().misses
+    );
+
+    // 3. A different action on the same context stays warm too: sample
+    //    the custom space and report its Pareto front.
+    let sample = Scenario::from_json_str(
+        r#"{
+            "model": {"zoo": "xception"},
+            "board": {"builtin": "vcu110"},
+            "batch": 8,
+            "seed": 1,
+            "action": {"sample": {"count": 2000}}
+        }"#,
+    )?;
+    if let Outcome::Front(front) = session.run(&sample)? {
+        println!(
+            "sample: {} designs → front of {} (hypervolume {:.3})",
+            front.evaluated,
+            front.front.len(),
+            front.hypervolume
+        );
+        for s in front.front.iter().take(3) {
+            println!("  {:>7.1} FPS  {:>6.2} MiB  {}", s.throughput_fps, s.buffer_mib(), s.notation);
+        }
+    }
+    assert_eq!(session.stats().hits, 2, "the sample reused the warmed context");
+
+    // 4. Every outcome serializes to deterministic JSON — the payload a
+    //    serving layer would return. Identical requests give identical
+    //    bytes.
+    let json = session.run(&sample)?.to_json_string();
+    assert_eq!(json, session.run(&sample)?.to_json_string());
+    println!("\noutcome JSON is deterministic ({} bytes); first lines:", json.len());
+    for line in json.lines().take(8) {
+        println!("  {line}");
+    }
+    Ok(())
+}

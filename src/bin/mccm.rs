@@ -1,352 +1,29 @@
 //! `mccm` — command-line front end for the MCCM evaluation methodology.
 //!
+//! The binary is a thin wrapper over [`mccm::cli::main_with_args`]; all
+//! command logic lives in the library so tests drive it in-process.
+//!
 //! ```text
-//! mccm models                              list the CNN zoo
-//! mccm boards                              list the evaluation boards
-//! mccm evaluate  --model resnet50 --board zc706 --notation "{L1-Last: CE1-CE4}"
-//! mccm evaluate  --model xception --board vcu110 --arch hybrid --ces 7 --verbose
-//! mccm validate  --model resnet50 --board vcu108 --arch segmented --ces 4
-//! mccm sweep     --model mobilenetv2 --board zcu102
-//! mccm explore   --model xception --board vcu110 --samples 5000 --seed 1 --workers 4
-//! mccm optimize  --model xception --board vcu110 --budget 4000 --islands 4 --workers 4
+//! mccm run examples/scenarios/evaluate.json
+//! mccm run examples/scenarios/evaluate.json --set model.zoo=vgg16
+//! mccm run --batch examples/scenarios --workers 4
+//! mccm models
+//! mccm evaluate --model resnet50 --board zc706 --notation "{L1-Last: CE1-CE4}"
+//! mccm sweep    --model mobilenetv2 --board zcu102 --json
+//! mccm explore  --model xception --board vcu110 --samples 5000 --seed 1
+//! mccm optimize --model xception --board vcu110 --budget 4000 --islands 4
 //! ```
 
 use std::process::ExitCode;
 
-use mccm::arch::{notation, templates, AcceleratorSpec, MultipleCeBuilder};
-use mccm::cnn::{zoo, CnnModel};
-use mccm::core::CostModel;
-use mccm::dse::{par_pareto_indices, select_all_metrics, Explorer, PAPER_TIE_FRAC};
-use mccm::fpga::{FpgaBoard, Precision};
-use mccm::sim::{SimConfig, Simulator};
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let result = match command.as_str() {
-        "models" => cmd_models(),
-        "boards" => cmd_boards(),
-        "evaluate" => cmd_evaluate(&args[1..]),
-        "validate" => cmd_validate(&args[1..]),
-        "sweep" => cmd_sweep(&args[1..]),
-        "explore" => cmd_explore(&args[1..]),
-        "optimize" => cmd_optimize(&args[1..]),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
-    };
-    match result {
+    let mut out = std::io::stdout();
+    match mccm::cli::main_with_args(&args, &mut out) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
-}
-
-const USAGE: &str = "\
-mccm — analytical cost model for multiple compute-engine CNN accelerators
-
-USAGE:
-  mccm models                         list available CNNs
-  mccm boards                         list evaluation FPGA boards
-  mccm evaluate --model M --board B (--notation S | --arch A --ces K)
-                [--precision int8|int16] [--batch N] [--verbose]
-  mccm validate --model M --board B --arch A --ces K
-  mccm sweep    --model M --board B
-  mccm explore  --model M --board B [--samples N] [--seed N] [--workers N]
-  mccm optimize --model M --board B [--budget N] [--population N] [--islands N]
-                [--seed N] [--workers N] [--metrics latency,throughput,...]
-
-ARCHITECTURES: segmented | segmentedrr | hybrid
-METRICS:       latency | throughput | access | buffers | energy (default: all five)";
-
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
-}
-
-fn has_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-fn parse_model(args: &[String]) -> Result<CnnModel, String> {
-    let name = flag(args, "--model").ok_or("missing --model")?;
-    zoo::by_name(&name).ok_or_else(|| format!("unknown model `{name}` (see `mccm models`)"))
-}
-
-fn parse_board(args: &[String]) -> Result<FpgaBoard, String> {
-    let name = flag(args, "--board").ok_or("missing --board")?;
-    FpgaBoard::by_name(&name).ok_or_else(|| format!("unknown board `{name}` (see `mccm boards`)"))
-}
-
-fn parse_spec(args: &[String], model: &CnnModel) -> Result<AcceleratorSpec, String> {
-    if let Some(text) = flag(args, "--notation") {
-        return notation::parse(&text).map_err(|e| e.to_string());
-    }
-    let arch = flag(args, "--arch").ok_or("need --notation or --arch")?;
-    let ces: usize = flag(args, "--ces")
-        .ok_or("missing --ces")?
-        .parse()
-        .map_err(|_| "--ces must be a number")?;
-    let arch = match arch.to_ascii_lowercase().as_str() {
-        "segmented" => templates::Architecture::Segmented,
-        "segmentedrr" | "rr" => templates::Architecture::SegmentedRr,
-        "hybrid" => templates::Architecture::Hybrid,
-        other => return Err(format!("unknown architecture `{other}`")),
-    };
-    arch.instantiate(model, ces).map_err(|e| e.to_string())
-}
-
-fn builder_for(args: &[String], model: &CnnModel, board: &FpgaBoard) -> Result<MultipleCeBuilder, String> {
-    let mut b = MultipleCeBuilder::new(model, board);
-    if let Some(p) = flag(args, "--precision") {
-        b = b.with_precision(match p.to_ascii_lowercase().as_str() {
-            "int8" => Precision::INT8,
-            "int16" => Precision::INT16,
-            other => return Err(format!("unknown precision `{other}`")),
-        });
-    }
-    Ok(b)
-}
-
-fn cmd_models() -> Result<(), String> {
-    println!("{:<14} {:<8} {:>11} {:>12} {:>11}", "model", "abbrev", "weights (M)", "conv layers", "GMACs");
-    for m in zoo::all_models() {
-        println!(
-            "{:<14} {:<8} {:>11.1} {:>12} {:>11.2}",
-            m.name(),
-            zoo::abbreviation(m.name()),
-            m.total_params() as f64 / 1e6,
-            m.conv_layer_count(),
-            m.conv_macs() as f64 / 1e9
-        );
-    }
-    Ok(())
-}
-
-fn cmd_boards() -> Result<(), String> {
-    for b in FpgaBoard::evaluation_boards() {
-        println!("{b}");
-    }
-    Ok(())
-}
-
-fn cmd_evaluate(args: &[String]) -> Result<(), String> {
-    let model = parse_model(args)?;
-    let board = parse_board(args)?;
-    let spec = parse_spec(args, &model)?;
-    let acc = builder_for(args, &model, &board)?.build(&spec).map_err(|e| e.to_string())?;
-    let eval = CostModel::evaluate(&acc);
-
-    println!("design:     {}", eval.notation);
-    println!("workload:   {} on {}", eval.model_name, board);
-    println!("latency:    {:.3} ms", eval.latency_ms());
-    println!("throughput: {:.1} FPS", eval.throughput_fps);
-    println!("buffers:    {:.2} MiB required ({:.2} MiB granted on-chip)",
-        eval.buffer_mib(), eval.buffer_alloc_bytes as f64 / (1 << 20) as f64);
-    println!("accesses:   {:.1} MiB/inference ({:.0}% weights)",
-        eval.offchip_mib(), 100.0 * eval.weight_traffic_share());
-    println!("stalls:     {:.0}% of time waiting on memory", 100.0 * eval.memory_stall_fraction);
-    let energy = mccm::core::EnergyModel::default();
-    let est = energy.estimate(&eval, model.conv_macs());
-    println!(
-        "energy:     {:.1} mJ/inference ({:.0}% of dynamic energy in DRAM), {:.0} GOPS/W",
-        est.total_mj(),
-        100.0 * est.dram_share(),
-        energy.efficiency_gops_per_w(&eval, model.conv_macs())
-    );
-    if let Some(batch) = flag(args, "--batch").and_then(|b| b.parse::<usize>().ok()) {
-        println!(
-            "batch({batch}): {:.3} ms total, {:.3} ms amortized per input",
-            eval.batch_latency_s(batch) * 1e3,
-            eval.amortized_latency_s(batch) * 1e3
-        );
-    }
-    if has_flag(args, "--verbose") {
-        println!("\nengines:");
-        for ce in &acc.ces {
-            println!("  {ce}");
-        }
-        println!("\nsegments:");
-        for s in &eval.segments {
-            println!(
-                "  seg {:>2}  L{:>3}-L{:<3}  {:>8.3} ms  util {:>3.0}%  traffic {:>7.2} MiB{}",
-                s.index + 1,
-                s.first + 1,
-                s.last + 1,
-                s.time_s * 1e3,
-                100.0 * s.utilization,
-                s.traffic() as f64 / (1 << 20) as f64,
-                if s.memory_s > s.compute_s { "  [memory-bound]" } else { "" }
-            );
-        }
-    }
-    Ok(())
-}
-
-fn cmd_validate(args: &[String]) -> Result<(), String> {
-    let model = parse_model(args)?;
-    let board = parse_board(args)?;
-    let spec = parse_spec(args, &model)?;
-    let acc = builder_for(args, &model, &board)?.build(&spec).map_err(|e| e.to_string())?;
-    let eval = CostModel::evaluate(&acc);
-    let sim = Simulator::new(SimConfig::default()).run_with_eval(&acc, &eval);
-    println!("design: {}", eval.notation);
-    println!("{:<12} {:>14} {:>14} {:>9}", "metric", "model", "simulator", "accuracy");
-    for rec in sim.accuracy_records(&eval) {
-        println!(
-            "{:<12} {:>14.4} {:>14.4} {:>8.1}%",
-            rec.metric.name(),
-            rec.estimated,
-            rec.reference,
-            rec.accuracy()
-        );
-    }
-    Ok(())
-}
-
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let model = parse_model(args)?;
-    let board = parse_board(args)?;
-    let explorer = Explorer::new(&model, &board);
-    let sweep = explorer.sweep_baselines(2..=11).map_err(|e| e.to_string())?;
-    println!(
-        "{:<12} {:>3} {:>12} {:>9} {:>13} {:>13}",
-        "architecture", "CEs", "latency(ms)", "FPS", "buffers(MiB)", "access(MiB)"
-    );
-    for p in &sweep {
-        println!(
-            "{:<12} {:>3} {:>12.2} {:>9.1} {:>13.2} {:>13.1}",
-            p.architecture.name(),
-            p.ces,
-            p.eval.latency_ms(),
-            p.eval.throughput_fps,
-            p.eval.buffer_mib(),
-            p.eval.offchip_mib()
-        );
-    }
-    println!("\nbest (10% tie rule):");
-    for cell in select_all_metrics(&sweep, PAPER_TIE_FRAC) {
-        let winners: Vec<String> =
-            cell.winners.iter().map(|(a, c, _)| format!("{}-{}", a.name(), c)).collect();
-        println!("  {:<11} {}", cell.metric.name(), winners.join(", "));
-    }
-    Ok(())
-}
-
-fn cmd_optimize(args: &[String]) -> Result<(), String> {
-    use mccm::core::{EnergyModel, Metric};
-    use mccm::dse::OptimizerConfig;
-
-    let model = parse_model(args)?;
-    let board = parse_board(args)?;
-    let budget: u64 = flag(args, "--budget").and_then(|s| s.parse().ok()).unwrap_or(4_000);
-    let population: usize =
-        flag(args, "--population").and_then(|s| s.parse().ok()).unwrap_or(32);
-    let islands: usize = flag(args, "--islands").and_then(|s| s.parse().ok()).unwrap_or(4);
-    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let workers: usize =
-        flag(args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(0);
-    if population < 4 {
-        return Err("--population must be at least 4".into());
-    }
-    if islands == 0 {
-        return Err("--islands must be at least 1".into());
-    }
-    let metrics: Vec<Metric> = match flag(args, "--metrics") {
-        None => Metric::WITH_ENERGY.to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(|name| {
-                Metric::by_name(name.trim())
-                    .ok_or_else(|| format!("unknown metric `{name}` (see METRICS in --help)"))
-            })
-            .collect::<Result<_, _>>()?,
-    };
-    if metrics.is_empty() {
-        return Err("--metrics must name at least one metric".into());
-    }
-
-    let explorer = Explorer::new(&model, &board);
-    let config = OptimizerConfig::default()
-        .with_metrics(&metrics)
-        .with_budget(budget)
-        .with_population(population)
-        .with_islands(islands)
-        .with_seed(seed);
-    let front = explorer.optimize_par(&config, workers).map_err(|e| e.to_string())?;
-
-    println!(
-        "guided search: {} evaluations ({} feasible) in {:.2} s — front of {} designs over [{}]",
-        front.evaluations,
-        front.feasible,
-        front.elapsed.as_secs_f64(),
-        front.points.len(),
-        metrics.iter().map(Metric::name).collect::<Vec<_>>().join(", ")
-    );
-    println!("\nbest per metric:");
-    for &m in &metrics {
-        if let Some(v) = front.best(m) {
-            println!("  {:<11} {v:.4e}", m.name());
-        }
-    }
-    let energy = EnergyModel::default();
-    println!("\nfront (best-first on {}):", metrics[0].name());
-    for p in front.points.iter().take(12) {
-        println!(
-            "  {:>7.1} FPS  {:>7.2} ms  {:>7.2} MiB buf  {:>6.1} MiB acc  {:>6.1} mJ  {}",
-            p.summary.throughput_fps,
-            p.summary.latency_ms(),
-            p.summary.buffer_mib(),
-            p.summary.offchip_mib(),
-            energy.estimate_summary(&p.summary).total_mj(),
-            p.summary.notation
-        );
-    }
-    if front.points.len() > 12 {
-        println!("  ... and {} more", front.points.len() - 12);
-    }
-    Ok(())
-}
-
-fn cmd_explore(args: &[String]) -> Result<(), String> {
-    let model = parse_model(args)?;
-    let board = parse_board(args)?;
-    let samples: usize =
-        flag(args, "--samples").and_then(|s| s.parse().ok()).unwrap_or(2_000);
-    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let workers: usize =
-        flag(args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let explorer = Explorer::new(&model, &board);
-    let (points, elapsed) = explorer
-        .par_sample_custom_summaries(samples, seed, workers)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "evaluated {samples} custom designs in {:.2} s ({:.2} ms/design)",
-        elapsed.as_secs_f64(),
-        1e3 * elapsed.as_secs_f64() / samples as f64
-    );
-    let summaries: Vec<_> = points.into_iter().map(|p| p.summary).collect();
-    let front = par_pareto_indices(
-        &summaries,
-        &[mccm::core::Metric::Throughput, mccm::core::Metric::OnChipBuffers],
-        workers,
-    );
-    println!("Pareto-optimal designs (throughput vs buffers): {}", front.len());
-    let mut sorted: Vec<usize> = front.clone();
-    sorted.sort_by(|&a, &b| summaries[b].throughput_fps.total_cmp(&summaries[a].throughput_fps));
-    for &i in sorted.iter().take(12) {
-        println!(
-            "  {:>7.1} FPS  {:>7.2} MiB  {}",
-            summaries[i].throughput_fps,
-            summaries[i].buffer_mib(),
-            summaries[i].notation
-        );
-    }
-    Ok(())
 }

@@ -1,0 +1,930 @@
+//! The `mccm` command-line front end, as a library so tests drive it
+//! in-process.
+//!
+//! `mccm run scenario.json` is the canonical path: it parses a
+//! [`Scenario`], applies `--set key=value` overrides, executes it through
+//! a [`Session`], and prints the outcome's deterministic JSON. The legacy
+//! subcommands (`evaluate`, `sweep`, `explore`, `optimize`) are thin
+//! shims that assemble the equivalent scenario document and run it
+//! through the same session machinery — with `--json` they print exactly
+//! the bytes `mccm run` prints for the equivalent scenario file.
+//!
+//! Flag parsing is strict: unknown and duplicate flags are rejected with
+//! the offending flag named (the old parser silently ignored both).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::cnn::zoo;
+use crate::error::Error;
+use crate::fpga::FpgaBoard;
+use crate::json::Json;
+use crate::scenario::{apply_override, Scenario};
+use crate::session::{Outcome, Session};
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+mccm — analytical cost model for multiple compute-engine CNN accelerators
+
+USAGE:
+  mccm run SCENARIO.json [--set key=value]...   execute a scenario file
+  mccm run --batch DIR [--workers N]            execute every scenario in DIR
+  mccm models                         list available CNNs
+  mccm boards                         list evaluation FPGA boards
+  mccm evaluate --model M --board B (--notation S | --arch A --ces K)
+                [--precision int8|int16] [--batch N] [--verbose] [--json]
+  mccm validate --model M --board B (--notation S | --arch A --ces K)
+                [--precision int8|int16]
+  mccm sweep    --model M --board B [--min-ces N] [--max-ces N]
+                [--workers N] [--json]
+  mccm explore  --model M --board B [--samples N] [--seed N] [--workers N]
+                [--json]
+  mccm optimize --model M --board B [--budget N] [--population N] [--islands N]
+                [--seed N] [--workers N] [--metrics latency,throughput,...]
+                [--json]
+
+ARCHITECTURES: segmented | segmentedrr | hybrid
+METRICS:       latency | throughput | access | buffers | energy (default: all five)
+SCENARIOS:     see docs/scenario_file.md for the JSON format";
+
+/// Entry point: parses `args` (without the program name) and writes
+/// command output to `out`.
+///
+/// # Errors
+///
+/// [`Error::Usage`] for CLI misuse (with the offending flag or command
+/// named), any other [`enum@Error`] from scenario execution.
+pub fn main_with_args(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let Some(command) = args.first() else {
+        return Err(Error::Usage(format!("missing command\n{USAGE}")));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "run" => cmd_run(rest, out),
+        "models" => cmd_models(rest, out),
+        "boards" => cmd_boards(rest, out),
+        "evaluate" => cmd_evaluate(rest, out),
+        "validate" => cmd_validate(rest, out),
+        "sweep" => cmd_sweep(rest, out),
+        "explore" => cmd_explore(rest, out),
+        "optimize" => cmd_optimize(rest, out),
+        "help" | "--help" | "-h" => {
+            emit(out, format_args!("{USAGE}\n"))?;
+            Ok(())
+        }
+        other => Err(Error::Usage(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+fn emit(out: &mut dyn Write, args: std::fmt::Arguments<'_>) -> Result<(), Error> {
+    out.write_fmt(args).map_err(|e| Error::io("writing output", e))
+}
+
+/// How a flag consumes arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlagKind {
+    /// `--flag value`, at most once.
+    Value,
+    /// `--flag value`, repeatable (`--set`).
+    Repeatable,
+    /// Bare `--flag`, at most once.
+    Switch,
+}
+
+/// Strictly parsed flags: every `--name` must be declared in `spec`,
+/// non-repeatable flags must appear at most once, and value flags must
+/// have a value. Anything not starting with `--` is a positional.
+struct Flags {
+    command: &'static str,
+    seen: Vec<(String, Option<String>)>,
+    positionals: Vec<String>,
+}
+
+impl Flags {
+    fn parse(
+        command: &'static str,
+        args: &[String],
+        spec: &[(&str, FlagKind)],
+    ) -> Result<Self, Error> {
+        let mut seen: Vec<(String, Option<String>)> = Vec::new();
+        let mut positionals = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if arg.starts_with("--") {
+                let Some(&(name, kind)) = spec.iter().find(|(n, _)| n == arg) else {
+                    let known: Vec<&str> = spec.iter().map(|(n, _)| *n).collect();
+                    return Err(Error::Usage(format!(
+                        "unknown flag `{arg}` for `mccm {command}` (expected {})",
+                        known.join(", ")
+                    )));
+                };
+                if kind != FlagKind::Repeatable
+                    && seen.iter().any(|(n, _)| n == name)
+                {
+                    return Err(Error::Usage(format!(
+                        "duplicate flag `{name}` for `mccm {command}`"
+                    )));
+                }
+                let value = match kind {
+                    FlagKind::Switch => None,
+                    FlagKind::Value | FlagKind::Repeatable => {
+                        i += 1;
+                        let Some(v) = args.get(i) else {
+                            return Err(Error::Usage(format!(
+                                "flag `{name}` needs a value"
+                            )));
+                        };
+                        Some(v.clone())
+                    }
+                };
+                seen.push((name.to_string(), value));
+            } else {
+                positionals.push(arg.clone());
+            }
+            i += 1;
+        }
+        Ok(Self { command, seen, positionals })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.seen
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.seen
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.seen.iter().any(|(n, _)| n == name)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, Error> {
+        self.value(name).ok_or_else(|| {
+            Error::Usage(format!("`mccm {}` requires `{name} <value>`", self.command))
+        })
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, Error> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(text) => text.parse().map(Some).map_err(|_| {
+                Error::Usage(format!("flag `{name}` expects a number, got `{text}`"))
+            }),
+        }
+    }
+
+    fn no_positionals(&self) -> Result<(), Error> {
+        if let Some(extra) = self.positionals.first() {
+            return Err(Error::Usage(format!(
+                "unexpected argument `{extra}` for `mccm {}`",
+                self.command
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn cmd_models(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    Flags::parse("models", args, &[])?.no_positionals()?;
+    emit(
+        out,
+        format_args!(
+            "{:<14} {:<8} {:>11} {:>12} {:>11}\n",
+            "model", "abbrev", "weights (M)", "conv layers", "GMACs"
+        ),
+    )?;
+    for name in zoo::names() {
+        let m = zoo::by_name(name).expect("registry names resolve");
+        emit(
+            out,
+            format_args!(
+                "{:<14} {:<8} {:>11.1} {:>12} {:>11.2}\n",
+                m.name(),
+                zoo::abbreviation(m.name()),
+                m.total_params() as f64 / 1e6,
+                m.conv_layer_count(),
+                m.conv_macs() as f64 / 1e9
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_boards(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    Flags::parse("boards", args, &[])?.no_positionals()?;
+    for b in FpgaBoard::evaluation_boards() {
+        emit(out, format_args!("{b}\n"))?;
+    }
+    Ok(())
+}
+
+/// Shared flag spec of the scenario-backed legacy subcommands.
+const CONTEXT_FLAGS: [(&str, FlagKind); 3] = [
+    ("--model", FlagKind::Value),
+    ("--board", FlagKind::Value),
+    ("--json", FlagKind::Switch),
+];
+
+/// Assembles the scenario document every legacy shim starts from.
+fn context_json(flags: &Flags) -> Result<Json, Error> {
+    let mut root = Json::object();
+    let mut model = Json::object();
+    model.push("zoo", flags.require("--model")?);
+    root.push("model", model);
+    let mut board = Json::object();
+    board.push("builtin", flags.require("--board")?);
+    root.push("board", board);
+    Ok(root)
+}
+
+/// Runs an assembled scenario document and prints the outcome: canonical
+/// JSON with `--json`, human text otherwise.
+fn run_document(
+    root: &Json,
+    json_output: bool,
+    verbose: bool,
+    out: &mut dyn Write,
+) -> Result<(), Error> {
+    let scenario = Scenario::from_json(root)?;
+    let outcome = Session::new().run(&scenario)?;
+    if json_output {
+        emit(out, format_args!("{}", outcome.to_json_string()))
+    } else {
+        render_human(&outcome, verbose, out)
+    }
+}
+
+fn cmd_evaluate(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let spec: Vec<(&str, FlagKind)> = CONTEXT_FLAGS
+        .into_iter()
+        .chain([
+            ("--notation", FlagKind::Value),
+            ("--arch", FlagKind::Value),
+            ("--ces", FlagKind::Value),
+            ("--precision", FlagKind::Value),
+            ("--batch", FlagKind::Value),
+            ("--verbose", FlagKind::Switch),
+        ])
+        .collect();
+    let flags = Flags::parse("evaluate", args, &spec)?;
+    flags.no_positionals()?;
+    let mut root = context_json(&flags)?;
+    if let Some(p) = flags.value("--precision") {
+        root.push("precision", p);
+    }
+    if let Some(batch) = flags.parsed::<usize>("--batch")? {
+        root.push("batch", batch);
+    }
+    let mut action = Json::object();
+    action.push("evaluate", design_body("evaluate", &flags)?);
+    root.push("action", action);
+    run_document(&root, flags.switch("--json"), flags.switch("--verbose"), out)
+}
+
+/// The `evaluate`-action body shared by the `evaluate` and `validate`
+/// shims: exactly one of `--notation` or `--arch --ces`, with the same
+/// rejection the scenario parser applies (`--ces` alongside `--notation`
+/// is an error, not silently dropped).
+fn design_body(command: &str, flags: &Flags) -> Result<Json, Error> {
+    let mut body = Json::object();
+    match (flags.value("--notation"), flags.value("--arch")) {
+        (Some(text), None) => {
+            if flags.value("--ces").is_some() {
+                return Err(Error::Usage(
+                    "`--ces` only applies to `--arch` designs, not `--notation`".into(),
+                ));
+            }
+            body.push("notation", text);
+        }
+        (None, Some(arch)) => {
+            body.push("template", arch.to_ascii_lowercase());
+            body.push("ces", flags.parsed::<usize>("--ces")?.ok_or_else(|| {
+                Error::Usage("`--arch` requires `--ces <count>`".into())
+            })?);
+        }
+        _ => {
+            return Err(Error::Usage(format!(
+                "`mccm {command}` needs exactly one of `--notation` or `--arch`"
+            )))
+        }
+    }
+    Ok(body)
+}
+
+fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let spec: Vec<(&str, FlagKind)> = CONTEXT_FLAGS
+        .into_iter()
+        .chain([
+            ("--min-ces", FlagKind::Value),
+            ("--max-ces", FlagKind::Value),
+            ("--workers", FlagKind::Value),
+        ])
+        .collect();
+    let flags = Flags::parse("sweep", args, &spec)?;
+    flags.no_positionals()?;
+    let mut root = context_json(&flags)?;
+    if let Some(w) = flags.parsed::<usize>("--workers")? {
+        root.push("workers", w);
+    }
+    let mut body = Json::object();
+    if let Some(n) = flags.parsed::<usize>("--min-ces")? {
+        body.push("min_ces", n);
+    }
+    if let Some(n) = flags.parsed::<usize>("--max-ces")? {
+        body.push("max_ces", n);
+    }
+    let mut action = Json::object();
+    action.push("sweep", body);
+    root.push("action", action);
+    run_document(&root, flags.switch("--json"), false, out)
+}
+
+fn cmd_explore(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let spec: Vec<(&str, FlagKind)> = CONTEXT_FLAGS
+        .into_iter()
+        .chain([
+            ("--samples", FlagKind::Value),
+            ("--seed", FlagKind::Value),
+            ("--workers", FlagKind::Value),
+        ])
+        .collect();
+    let flags = Flags::parse("explore", args, &spec)?;
+    flags.no_positionals()?;
+    let mut root = context_json(&flags)?;
+    if let Some(seed) = flags.parsed::<u64>("--seed")? {
+        root.push("seed", seed);
+    }
+    if let Some(w) = flags.parsed::<usize>("--workers")? {
+        root.push("workers", w);
+    }
+    let mut body = Json::object();
+    body.push("count", flags.parsed::<usize>("--samples")?.unwrap_or(2_000));
+    let mut action = Json::object();
+    action.push("sample", body);
+    root.push("action", action);
+    run_document(&root, flags.switch("--json"), false, out)
+}
+
+fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let spec: Vec<(&str, FlagKind)> = CONTEXT_FLAGS
+        .into_iter()
+        .chain([
+            ("--budget", FlagKind::Value),
+            ("--population", FlagKind::Value),
+            ("--islands", FlagKind::Value),
+            ("--seed", FlagKind::Value),
+            ("--workers", FlagKind::Value),
+            ("--metrics", FlagKind::Value),
+        ])
+        .collect();
+    let flags = Flags::parse("optimize", args, &spec)?;
+    flags.no_positionals()?;
+    let mut root = context_json(&flags)?;
+    if let Some(seed) = flags.parsed::<u64>("--seed")? {
+        root.push("seed", seed);
+    }
+    if let Some(w) = flags.parsed::<usize>("--workers")? {
+        root.push("workers", w);
+    }
+    let mut body = Json::object();
+    if let Some(list) = flags.value("--metrics") {
+        let names: Vec<Json> =
+            list.split(',').map(|m| Json::from(m.trim().to_ascii_lowercase())).collect();
+        body.push("metrics", names);
+    }
+    if let Some(n) = flags.parsed::<u64>("--budget")? {
+        body.push("budget", n);
+    }
+    if let Some(n) = flags.parsed::<usize>("--population")? {
+        body.push("population", n);
+    }
+    if let Some(n) = flags.parsed::<usize>("--islands")? {
+        body.push("islands", n);
+    }
+    let mut action = Json::object();
+    action.push("optimize", body);
+    root.push("action", action);
+    run_document(&root, flags.switch("--json"), false, out)
+}
+
+fn cmd_validate(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    use crate::core::CostModel;
+    use crate::sim::{SimConfig, Simulator};
+
+    let flag_spec: Vec<(&str, FlagKind)> = vec![
+        ("--model", FlagKind::Value),
+        ("--board", FlagKind::Value),
+        ("--notation", FlagKind::Value),
+        ("--arch", FlagKind::Value),
+        ("--ces", FlagKind::Value),
+        ("--precision", FlagKind::Value),
+    ];
+    let flags = Flags::parse("validate", args, &flag_spec)?;
+    flags.no_positionals()?;
+    // Reuse the scenario plumbing to resolve names and the design, then
+    // run the simulator (validation is a model-vs-simulator check, not a
+    // scenario action).
+    let mut root = context_json(&flags)?;
+    if let Some(p) = flags.value("--precision") {
+        root.push("precision", p);
+    }
+    let mut action = Json::object();
+    action.push("evaluate", design_body("validate", &flags)?);
+    root.push("action", action);
+    let scenario = Scenario::from_json(&root)?;
+    let model = scenario.model.build()?;
+    let board = scenario.board.build()?;
+    let builder = crate::arch::MultipleCeBuilder::new(&model, &board)
+        .with_precision(scenario.precision);
+    let design = match &scenario.action {
+        crate::scenario::Action::Evaluate { design } => design.clone(),
+        _ => unreachable!("assembled above"),
+    };
+    let spec = design.instantiate(&model)?;
+    let acc = builder.build(&spec)?;
+    let eval = CostModel::evaluate(&acc);
+    let config = SimConfig::default();
+    config.validate()?;
+    let sim = Simulator::new(config).run_with_eval(&acc, &eval);
+    emit(out, format_args!("design: {}\n", eval.notation))?;
+    emit(
+        out,
+        format_args!("{:<12} {:>14} {:>14} {:>9}\n", "metric", "model", "simulator", "accuracy"),
+    )?;
+    for rec in sim.accuracy_records(&eval) {
+        emit(
+            out,
+            format_args!(
+                "{:<12} {:>14.4} {:>14.4} {:>8.1}%\n",
+                rec.metric.name(),
+                rec.estimated,
+                rec.reference,
+                rec.accuracy()
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let flags = Flags::parse(
+        "run",
+        args,
+        &[
+            ("--set", FlagKind::Repeatable),
+            ("--batch", FlagKind::Value),
+            ("--workers", FlagKind::Value),
+        ],
+    )?;
+    if let Some(dir) = flags.value("--batch") {
+        if !flags.positionals.is_empty() {
+            return Err(Error::Usage(
+                "`mccm run --batch DIR` takes no scenario-file argument".into(),
+            ));
+        }
+        if !flags.values("--set").is_empty() {
+            return Err(Error::Usage(
+                "`--set` applies to single scenario files, not `--batch` directories".into(),
+            ));
+        }
+        let workers = flags.parsed::<usize>("--workers")?.unwrap_or(0);
+        return run_batch(Path::new(dir), workers, out);
+    }
+    if flags.value("--workers").is_some() {
+        return Err(Error::Usage(
+            "`--workers` shards `--batch` runs; set `workers` in the scenario file (or \
+             `--set workers=N`) for a single run"
+                .into(),
+        ));
+    }
+    let [path] = flags.positionals.as_slice() else {
+        return Err(Error::Usage(
+            "`mccm run` needs exactly one scenario file (or `--batch DIR`)".into(),
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::io(format!("reading scenario `{path}`"), e))?;
+    let mut root = Json::parse(&text)?;
+    for setting in flags.values("--set") {
+        let Some((key, value)) = setting.split_once('=') else {
+            return Err(Error::Usage(format!(
+                "`--set` expects `key=value`, got `{setting}`"
+            )));
+        };
+        apply_override(&mut root, key, value)?;
+    }
+    let scenario = Scenario::from_json(&root)?;
+    let outcome = Session::new().run(&scenario)?;
+    emit(out, format_args!("{}", outcome.to_json_string()))
+}
+
+/// Executes every `*.json` scenario in `dir` (sorted by file name),
+/// sharded across `workers` threads, each with its own [`Session`].
+/// Output is one JSON document listing each file's outcome or error in
+/// name order; the command fails (after printing) when any scenario
+/// failed.
+fn run_batch(dir: &Path, workers: usize, out: &mut dyn Write) -> Result<(), Error> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| Error::io(format!("reading scenario directory `{}`", dir.display()), e))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(Error::Usage(format!(
+            "no `*.json` scenario files in `{}`",
+            dir.display()
+        )));
+    }
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(files.len())
+    .max(1);
+
+    // One result slot per file; contiguous shards, one session per
+    // worker so scenarios sharing a (model, board) context within a
+    // shard reuse its warmed builder.
+    let results: Vec<Result<Outcome, Error>> = {
+        let run_shard = |shard: &[PathBuf]| -> Vec<Result<Outcome, Error>> {
+            let mut session = Session::new();
+            shard
+                .iter()
+                .map(|path| {
+                    let text = std::fs::read_to_string(path).map_err(|e| {
+                        Error::io(format!("reading scenario `{}`", path.display()), e)
+                    })?;
+                    let scenario = Scenario::from_json_str(&text)?;
+                    session.run(&scenario)
+                })
+                .collect()
+        };
+        if workers <= 1 {
+            run_shard(&files)
+        } else {
+            let chunk = files.len().div_ceil(workers);
+            let shards: Vec<&[PathBuf]> = files.chunks(chunk).collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| s.spawn(move || run_shard(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            })
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut entries: Vec<Json> = Vec::with_capacity(files.len());
+    for (path, result) in files.iter().zip(results) {
+        let mut entry = Json::object();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        entry.push("file", name);
+        match result {
+            Ok(outcome) => entry.push("outcome", outcome.to_json()),
+            Err(e) => {
+                failures += 1;
+                entry.push("error", e.to_string());
+            }
+        }
+        entries.push(entry);
+    }
+    let mut root = Json::object();
+    root.push("batch", entries);
+    root.push("scenarios", files.len());
+    root.push("failures", failures);
+    emit(out, format_args!("{}", root.to_string_pretty()))?;
+    if failures > 0 {
+        return Err(Error::Usage(format!(
+            "{failures} of {} scenarios failed (see `error` entries above)",
+            files.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Human rendering of an outcome — the presentation layer of the legacy
+/// subcommands. The JSON form ([`Outcome::to_json`]) is the stable
+/// machine interface; this text is free to evolve.
+fn render_human(outcome: &Outcome, verbose: bool, out: &mut dyn Write) -> Result<(), Error> {
+    match outcome {
+        Outcome::Evaluation(o) => {
+            let e = &o.eval;
+            emit(out, format_args!("design:     {}\n", e.notation))?;
+            emit(
+                out,
+                format_args!("workload:   {} on {} ({})\n", e.model_name, o.board, o.precision),
+            )?;
+            emit(out, format_args!("latency:    {:.3} ms\n", e.latency_ms()))?;
+            emit(out, format_args!("throughput: {:.1} FPS\n", e.throughput_fps))?;
+            emit(
+                out,
+                format_args!(
+                    "buffers:    {:.2} MiB required ({:.2} MiB granted on-chip)\n",
+                    e.buffer_mib(),
+                    e.buffer_alloc_bytes as f64 / (1u64 << 20) as f64
+                ),
+            )?;
+            emit(
+                out,
+                format_args!(
+                    "accesses:   {:.1} MiB/inference ({:.0}% weights)\n",
+                    e.offchip_mib(),
+                    100.0 * e.weight_traffic_share()
+                ),
+            )?;
+            emit(
+                out,
+                format_args!(
+                    "stalls:     {:.0}% of time waiting on memory\n",
+                    100.0 * e.memory_stall_fraction
+                ),
+            )?;
+            emit(
+                out,
+                format_args!(
+                    "energy:     {:.1} mJ/inference ({:.0}% of dynamic energy in DRAM), \
+                     {:.0} GOPS/W\n",
+                    o.energy.total_mj(),
+                    100.0 * o.energy.dram_share(),
+                    o.gops_per_w
+                ),
+            )?;
+            if o.batch > 1 {
+                emit(
+                    out,
+                    format_args!(
+                        "batch({}): {:.3} ms total, {:.3} ms amortized per input\n",
+                        o.batch,
+                        e.batch_latency_s(o.batch) * 1e3,
+                        e.amortized_latency_s(o.batch) * 1e3
+                    ),
+                )?;
+            }
+            if verbose {
+                emit(out, format_args!("\nengines:\n"))?;
+                for c in &e.ces {
+                    emit(
+                        out,
+                        format_args!(
+                            "  CE{:<3} {:>5} PEs  busy {:>8.3} ms  util {:>3.0}%\n",
+                            c.ce + 1,
+                            c.pes,
+                            c.busy_s * 1e3,
+                            100.0 * c.utilization
+                        ),
+                    )?;
+                }
+                emit(out, format_args!("\nsegments:\n"))?;
+                for s in &e.segments {
+                    emit(
+                        out,
+                        format_args!(
+                            "  seg {:>2}  L{:>3}-L{:<3}  {:>8.3} ms  util {:>3.0}%  traffic \
+                             {:>7.2} MiB{}\n",
+                            s.index + 1,
+                            s.first + 1,
+                            s.last + 1,
+                            s.time_s * 1e3,
+                            100.0 * s.utilization,
+                            s.traffic() as f64 / (1u64 << 20) as f64,
+                            if s.memory_s > s.compute_s { "  [memory-bound]" } else { "" }
+                        ),
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        Outcome::Sweep(o) => {
+            emit(
+                out,
+                format_args!(
+                    "{:<12} {:>3} {:>12} {:>9} {:>13} {:>13}\n",
+                    "architecture", "CEs", "latency(ms)", "FPS", "buffers(MiB)", "access(MiB)"
+                ),
+            )?;
+            for p in &o.points {
+                emit(
+                    out,
+                    format_args!(
+                        "{:<12} {:>3} {:>12.2} {:>9.1} {:>13.2} {:>13.1}\n",
+                        p.architecture.name(),
+                        p.ces,
+                        p.eval.latency_ms(),
+                        p.eval.throughput_fps,
+                        p.eval.buffer_mib(),
+                        p.eval.offchip_mib()
+                    ),
+                )?;
+            }
+            emit(out, format_args!("\nbest (10% tie rule):\n"))?;
+            for cell in &o.selection {
+                let winners: Vec<String> = cell
+                    .winners
+                    .iter()
+                    .map(|(a, c, _)| format!("{}-{}", a.name(), c))
+                    .collect();
+                emit(
+                    out,
+                    format_args!("  {:<11} {}\n", cell.metric.name(), winners.join(", ")),
+                )?;
+            }
+            Ok(())
+        }
+        Outcome::Front(o) => {
+            emit(
+                out,
+                format_args!(
+                    "evaluated {} custom designs (seed {}) on {} / {}\n",
+                    o.evaluated, o.seed, o.model, o.board
+                ),
+            )?;
+            emit(
+                out,
+                format_args!(
+                    "Pareto front over [{}]: {} designs, hypervolume {:.3}\n",
+                    o.metrics
+                        .iter()
+                        .map(|m| m.name())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    o.front.len(),
+                    o.hypervolume
+                ),
+            )?;
+            for s in o.front.iter().take(12) {
+                emit(
+                    out,
+                    format_args!(
+                        "  {:>7.1} FPS  {:>7.2} MiB  {}\n",
+                        s.throughput_fps,
+                        s.buffer_mib(),
+                        s.notation
+                    ),
+                )?;
+            }
+            if o.front.len() > 12 {
+                emit(out, format_args!("  ... and {} more\n", o.front.len() - 12))?;
+            }
+            Ok(())
+        }
+        Outcome::Optimized(o) => {
+            emit(
+                out,
+                format_args!(
+                    "guided search: {} evaluations ({} feasible) of budget {} — front of {} \
+                     designs over [{}]\n",
+                    o.evaluations,
+                    o.feasible,
+                    o.budget,
+                    o.front.len(),
+                    o.metrics.iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+                ),
+            )?;
+            emit(out, format_args!("\nbest per metric:\n"))?;
+            for &m in &o.metrics {
+                let best = o
+                    .front
+                    .iter()
+                    .map(|s| m.value(s))
+                    .reduce(|a, b| if m.better(b, a) { b } else { a });
+                if let Some(v) = best {
+                    emit(out, format_args!("  {:<11} {v:.4e}\n", m.name()))?;
+                }
+            }
+            let energy = crate::core::EnergyModel::default();
+            emit(out, format_args!("\nfront (best-first on {}):\n", o.metrics[0].name()))?;
+            for s in o.front.iter().take(12) {
+                emit(
+                    out,
+                    format_args!(
+                        "  {:>7.1} FPS  {:>7.2} ms  {:>7.2} MiB buf  {:>6.1} MiB acc  {:>6.1} \
+                         mJ  {}\n",
+                        s.throughput_fps,
+                        s.latency_ms(),
+                        s.buffer_mib(),
+                        s.offchip_mib(),
+                        energy.estimate_summary(s).total_mj(),
+                        s.notation
+                    ),
+                )?;
+            }
+            if o.front.len() > 12 {
+                emit(out, format_args!("  ... and {} more\n", o.front.len() - 12))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> Result<String, Error> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        main_with_args(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("CLI output is UTF-8"))
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_its_name() {
+        let err = run_cli(&["evaluate", "--model", "resnet50", "--bored", "zc706"]).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("--bored"), "{text}");
+        assert!(text.contains("evaluate"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_flag_is_rejected_with_its_name() {
+        let err = run_cli(&[
+            "evaluate", "--model", "resnet50", "--model", "vgg16", "--board", "zc706",
+            "--arch", "hybrid", "--ces", "4",
+        ])
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("duplicate flag `--model`"), "{text}");
+    }
+
+    #[test]
+    fn valueless_value_flag_is_rejected() {
+        let err = run_cli(&["evaluate", "--model"]).unwrap_err();
+        assert!(err.to_string().contains("`--model` needs a value"), "{err}");
+    }
+
+    #[test]
+    fn notation_with_ces_is_rejected_not_dropped() {
+        // Regression: the old shim silently ignored `--ces` next to
+        // `--notation`, diverging from the scenario parser's rejection.
+        for command in ["evaluate", "validate"] {
+            let err = run_cli(&[
+                command, "--model", "resnet50", "--board", "zc706", "--notation",
+                "{L1-Last: CE1-CE4}", "--ces", "9",
+            ])
+            .unwrap_err();
+            assert!(err.to_string().contains("--ces"), "{command}: {err}");
+        }
+    }
+
+    #[test]
+    fn verbose_evaluate_lists_engines_and_segments() {
+        let text = run_cli(&[
+            "evaluate", "--model", "mobilenetv2", "--board", "zc706", "--arch", "segmented",
+            "--ces", "3", "--verbose",
+        ])
+        .unwrap();
+        assert!(text.contains("engines:"), "{text}");
+        assert!(text.contains("CE1"), "{text}");
+        assert!(text.contains("segments:"), "{text}");
+    }
+
+    #[test]
+    fn models_and_boards_list() {
+        let models = run_cli(&["models"]).unwrap();
+        assert!(models.contains("resnet50") && models.contains("vgg16"));
+        let boards = run_cli(&["boards"]).unwrap();
+        assert!(boards.contains("ZC706") && boards.contains("ZCU102"));
+    }
+
+    #[test]
+    fn evaluate_json_and_human_forms_work() {
+        let json = run_cli(&[
+            "evaluate", "--model", "mobilenetv2", "--board", "zc706", "--arch", "hybrid",
+            "--ces", "4", "--json",
+        ])
+        .unwrap();
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("action").and_then(Json::as_str), Some("evaluate"));
+        let human = run_cli(&[
+            "evaluate", "--model", "mobilenetv2", "--board", "zc706", "--arch", "hybrid",
+            "--ces", "4",
+        ])
+        .unwrap();
+        assert!(human.contains("latency:"), "{human}");
+    }
+
+    #[test]
+    fn help_shows_usage_and_unknown_command_errors() {
+        let help = run_cli(&["help"]).unwrap();
+        assert!(help.contains("mccm run"));
+        let err = run_cli(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+}

@@ -1,0 +1,168 @@
+//! The workspace-wide error type: every crate's typed error converges
+//! here, so the scenario API (and anything built on it — the CLI, a
+//! serving layer) handles one `Result<_, mccm::Error>` instead of five
+//! unrelated error enums.
+
+use std::fmt;
+
+use crate::arch::ArchError;
+use crate::cnn::CnnError;
+use crate::core::ConfigError;
+use crate::dse::ExploreError;
+use crate::json::JsonError;
+use crate::sim::SimConfigError;
+
+/// Top-level error of the `mccm` facade.
+///
+/// Wraps each crate's typed error losslessly (the inner values remain
+/// matchable and `source()` exposes them), plus the facade's own failure
+/// modes: JSON syntax, scenario validation, CLI usage, and I/O.
+#[derive(Debug)]
+pub enum Error {
+    /// Architecture specification / builder fault ([`ArchError`]).
+    Arch(ArchError),
+    /// CNN construction or validation fault ([`CnnError`]).
+    Cnn(CnnError),
+    /// Design-space exploration fault ([`ExploreError`]).
+    Explore(ExploreError),
+    /// Cost-model configuration fault ([`ConfigError`]).
+    ModelConfig(ConfigError),
+    /// Simulator configuration fault ([`SimConfigError`]).
+    SimConfig(SimConfigError),
+    /// JSON syntax fault ([`JsonError`]).
+    Json(JsonError),
+    /// A syntactically valid scenario with invalid content: an unknown
+    /// name, a missing or mistyped field, an out-of-range value.
+    Scenario {
+        /// Dotted path of the offending field (e.g. `model.zoo`).
+        field: String,
+        /// What is wrong, including valid alternatives where known.
+        detail: String,
+    },
+    /// Command-line misuse: unknown command, unknown/duplicate/valueless
+    /// flag, missing required argument.
+    Usage(String),
+    /// An I/O fault, with the path or operation that failed.
+    Io {
+        /// What was being read or written.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl Error {
+    /// Builds a [`Error::Scenario`] (convenience for the scenario
+    /// parser).
+    pub fn scenario(field: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self::Scenario { field: field.into(), detail: detail.into() }
+    }
+
+    /// Builds an [`Error::Io`] tagged with its context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Self::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Arch(e) => write!(f, "{e}"),
+            Self::Cnn(e) => write!(f, "{e}"),
+            Self::Explore(e) => write!(f, "{e}"),
+            Self::ModelConfig(e) => write!(f, "{e}"),
+            Self::SimConfig(e) => write!(f, "{e}"),
+            Self::Json(e) => write!(f, "{e}"),
+            Self::Scenario { field, detail } => {
+                write!(f, "scenario field `{field}`: {detail}")
+            }
+            Self::Usage(detail) => write!(f, "{detail}"),
+            Self::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Arch(e) => Some(e),
+            Self::Cnn(e) => Some(e),
+            Self::Explore(e) => Some(e),
+            Self::ModelConfig(e) => Some(e),
+            Self::SimConfig(e) => Some(e),
+            Self::Json(e) => Some(e),
+            Self::Io { source, .. } => Some(source),
+            Self::Scenario { .. } | Self::Usage(_) => None,
+        }
+    }
+}
+
+impl From<ArchError> for Error {
+    fn from(e: ArchError) -> Self {
+        Self::Arch(e)
+    }
+}
+
+impl From<CnnError> for Error {
+    fn from(e: CnnError) -> Self {
+        Self::Cnn(e)
+    }
+}
+
+impl From<ExploreError> for Error {
+    fn from(e: ExploreError) -> Self {
+        Self::Explore(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Self::ModelConfig(e)
+    }
+}
+
+impl From<SimConfigError> for Error {
+    fn from(e: SimConfigError) -> Self {
+        Self::SimConfig(e)
+    }
+}
+
+impl From<JsonError> for Error {
+    fn from(e: JsonError) -> Self {
+        Self::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn every_crate_error_converts_and_keeps_its_source() {
+        let cases: Vec<Error> = vec![
+            ArchError::EmptySpec.into(),
+            CnnError::EmptyModel.into(),
+            ExploreError::BadConfig { detail: "islands".into() }.into(),
+            ConfigError::BadBandwidthDerate { derate: 2.0 }.into(),
+            SimConfigError::TooFewImages { images: 1, minimum: 3 }.into(),
+            JsonError { offset: 3, detail: "x".into() }.into(),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_some(), "{e:?} should expose its source");
+        }
+        let s = Error::scenario("model.zoo", "unknown model");
+        assert_eq!(s.to_string(), "scenario field `model.zoo`: unknown model");
+        assert!(s.source().is_none());
+    }
+
+    #[test]
+    fn inner_values_stay_matchable() {
+        let e: Error = ExploreError::AttemptsExhausted { wanted: 5, got: 1, attempts: 64 }.into();
+        match e {
+            Error::Explore(ExploreError::AttemptsExhausted { wanted: 5, .. }) => {}
+            other => panic!("lost the inner value: {other:?}"),
+        }
+    }
+}

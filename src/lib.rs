@@ -1,7 +1,15 @@
 //! MCCM — An Analytical Cost Model for Fast Evaluation of Multiple
 //! Compute-Engine CNN Accelerators (ISPASS 2025 reproduction).
 //!
-//! This facade crate re-exports the whole workspace:
+//! The facade crate ties the workspace together behind one declarative
+//! entry point: a [`scenario::Scenario`] (a serializable request — which
+//! CNN, which board, what to do) executed by a [`session::Session`] (an
+//! LRU cache of warmed builder contexts) into a typed
+//! [`session::Outcome`] that serializes to deterministic JSON. The same
+//! scenario files drive the `mccm run` CLI, batch sweeps, and any serving
+//! layer built on top.
+//!
+//! The underlying crates remain available for fine-grained use:
 //!
 //! * [`cnn`] — CNN representation and the verified model zoo (Table III).
 //! * [`fpga`] — FPGA platform descriptions (Table II).
@@ -11,27 +19,37 @@
 //! * [`sim`] — the event-driven reference simulator (synthesis surrogate).
 //! * [`dse`] — design-space exploration (Use Cases 1 & 3).
 //!
+//! Every crate error converges into [`enum@Error`].
+//!
 //! # Quick start
 //!
 //! ```
-//! use mccm::arch::{templates, MultipleCeBuilder};
-//! use mccm::cnn::zoo;
-//! use mccm::core::CostModel;
-//! use mccm::fpga::FpgaBoard;
+//! use mccm::scenario::Scenario;
+//! use mccm::session::{Outcome, Session};
 //!
-//! # fn main() -> Result<(), mccm::arch::ArchError> {
-//! let model = zoo::resnet50();
-//! let board = FpgaBoard::zc706();
-//! let builder = MultipleCeBuilder::new(&model, &board);
+//! # fn main() -> Result<(), mccm::Error> {
+//! let scenario = Scenario::from_json_str(
+//!     r#"{
+//!         "model": {"zoo": "resnet50"},
+//!         "board": {"builtin": "zc706"},
+//!         "action": {"evaluate": {"template": "hybrid", "ces": 4}}
+//!     }"#,
+//! )?;
 //!
-//! for arch in templates::Architecture::ALL {
-//!     let acc = builder.build(&arch.instantiate(&model, 4)?)?;
-//!     let eval = CostModel::evaluate(&acc);
-//!     println!("{arch}: {eval}");
-//! }
+//! let mut session = Session::new();
+//! let outcome = session.run(&scenario)?;
+//! println!("{}", outcome.to_json_string());
+//!
+//! // Re-running any scenario for the same (model, board) pair reuses the
+//! // warmed builder context — no reconstruction, just cache hits.
+//! let again = session.run(&scenario)?;
+//! assert_eq!(session.stats().hits, 1);
+//! assert!(matches!(again, Outcome::Evaluation(_)));
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 pub use mccm_arch as arch;
 pub use mccm_cnn as cnn;
@@ -39,3 +57,13 @@ pub use mccm_core as core;
 pub use mccm_dse as dse;
 pub use mccm_fpga as fpga;
 pub use mccm_sim as sim;
+
+pub mod cli;
+mod error;
+pub mod json;
+pub mod scenario;
+pub mod session;
+
+pub use error::Error;
+pub use scenario::Scenario;
+pub use session::{Outcome, Session};

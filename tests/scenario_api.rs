@@ -1,0 +1,285 @@
+//! Scenario API integration: JSON round-trips (property-based and golden
+//! files), malformed-input error messages, and the session cache's
+//! no-rebuild guarantee.
+
+use proptest::prelude::*;
+
+use mccm::arch::templates::Architecture;
+use mccm::cnn::synthetic::SyntheticConfig;
+use mccm::cnn::zoo;
+use mccm::core::Metric;
+use mccm::fpga::{FpgaBoard, MiB, Precision};
+use mccm::json::Json;
+use mccm::scenario::{Action, BoardSpec, DesignSpec, ModelSpec, Scenario};
+use mccm::session::{Outcome, Session};
+use mccm::Error;
+
+fn scenario_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios")
+}
+
+fn read_scenario(name: &str) -> String {
+    let path = scenario_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn any_model() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        (0usize..zoo::names().len()).prop_map(|i| ModelSpec::Zoo(zoo::names()[i].into())),
+        (0u64..1000, 2usize..24, 1u32..6, 0u32..101, 0u32..101).prop_map(
+            |(seed, conv_layers, size_quarters, res, dw)| ModelSpec::Synthetic {
+                seed,
+                config: SyntheticConfig {
+                    conv_layers,
+                    input_size: 16 * size_quarters,
+                    base_channels: 8,
+                    residual_prob: f64::from(res) / 100.0,
+                    depthwise_prob: f64::from(dw) / 100.0,
+                },
+            }
+        ),
+    ]
+}
+
+fn any_board() -> impl Strategy<Value = BoardSpec> {
+    prop_oneof![
+        (0usize..FpgaBoard::names().len())
+            .prop_map(|i| BoardSpec::Builtin(FpgaBoard::names()[i].into())),
+        (64u32..4096, 1u32..64, 1u32..64, 1u32..8).prop_map(|(dsps, bram_q, bw_h, clk)| {
+            BoardSpec::Custom(
+                FpgaBoard::new(
+                    "prop-board",
+                    dsps,
+                    MiB(f64::from(bram_q) / 4.0),
+                    f64::from(bw_h) / 2.0,
+                )
+                .with_clock_mhz(f64::from(clk) * 50.0),
+            )
+        }),
+    ]
+}
+
+fn metric_subset(mask: u32) -> Vec<Metric> {
+    let picked: Vec<Metric> = Metric::WITH_ENERGY
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, m)| m)
+        .collect();
+    if picked.is_empty() {
+        vec![Metric::Latency]
+    } else {
+        picked
+    }
+}
+
+fn any_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..3, 1usize..12).prop_map(|(arch, ces)| Action::Evaluate {
+            design: DesignSpec::Template { architecture: Architecture::ALL[arch], ces },
+        }),
+        Just(Action::Evaluate {
+            design: DesignSpec::Notation("{L1-L4: CE1-CE4, L5-Last: CE5}".into()),
+        }),
+        (1usize..6, 0usize..12).prop_map(|(min, extra)| Action::Sweep {
+            min_ces: min,
+            max_ces: min + extra,
+        }),
+        (1usize..5000, 1u32..32).prop_map(|(count, mask)| Action::Sample {
+            count,
+            metrics: metric_subset(mask),
+        }),
+        ((1u64..100_000, 4usize..64, 1usize..8), (1usize..16, 0u32..101, 1u32..32)).prop_map(
+            |((budget, population, islands), (interval, prob, mask))| Action::Optimize {
+                metrics: metric_subset(mask),
+                budget,
+                population,
+                islands,
+                migration_interval: interval,
+                migrants: 2,
+                crossover_prob: f64::from(prob) / 100.0,
+            }
+        ),
+    ]
+}
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    (any_model(), any_board(), any_action(), (1usize..64, 0u64..1_000_000, 0usize..16, 0usize..2))
+        .prop_map(|(model, board, action, (batch, seed, workers, precision))| {
+            let mut s = Scenario::new(model, board, action);
+            s.batch = batch;
+            s.seed = seed;
+            s.workers = workers;
+            s.precision = if precision == 0 { Precision::INT8 } else { Precision::INT16 };
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `Scenario -> JSON text -> Scenario` is the identity: nothing in a
+    /// scenario is lost, reordered, or renormalized by serialization.
+    #[test]
+    fn scenario_json_round_trips(scenario in any_scenario()) {
+        let text = scenario.to_json_string();
+        let back = Scenario::from_json_str(&text)
+            .unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(&back, &scenario);
+        // And the canonical text itself is a fixed point.
+        prop_assert_eq!(back.to_json_string(), text);
+    }
+}
+
+#[test]
+fn golden_files_cover_all_four_actions_and_round_trip() {
+    let cases = [
+        ("golden_evaluate.json", "evaluate"),
+        ("golden_sweep.json", "sweep"),
+        ("golden_sample.json", "sample"),
+        ("golden_optimize.json", "optimize"),
+    ];
+    for (file, action) in cases {
+        let text = read_scenario(file);
+        let scenario = Scenario::from_json_str(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(scenario.action.name(), action, "{file}");
+        let back = Scenario::from_json_str(&scenario.to_json_string()).unwrap();
+        assert_eq!(back, scenario, "{file}");
+    }
+}
+
+#[test]
+fn golden_scenarios_execute_through_one_session() {
+    let mut session = Session::new();
+    for file in ["golden_evaluate.json", "golden_sweep.json", "golden_sample.json",
+                 "golden_optimize.json"]
+    {
+        let scenario = Scenario::from_json_str(&read_scenario(file)).unwrap();
+        let outcome = session.run(&scenario).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(outcome.action(), scenario.action.name(), "{file}");
+        // The outcome JSON is parseable and self-describing.
+        let json = Json::parse(&outcome.to_json_string()).unwrap();
+        assert_eq!(json.get("action").and_then(Json::as_str), Some(scenario.action.name()));
+    }
+    // Four distinct contexts → no hits; sample and optimize share
+    // (mobilenetv2, zc706, int8, batch 1) → one hit.
+    assert_eq!(session.stats().misses, 3);
+    assert_eq!(session.stats().hits, 1);
+}
+
+#[test]
+fn malformed_scenarios_fail_with_named_fields() {
+    let cases = [
+        ("malformed_unknown_model.json", "model.zoo"),
+        ("malformed_unknown_field.json", "action.sample.sample_count"),
+        ("malformed_syntax.json", "JSON parse error"),
+    ];
+    for (file, needle) in cases {
+        let err = Scenario::from_json_str(&read_scenario(file))
+            .expect_err(file)
+            .to_string();
+        assert!(err.contains(needle), "{file}: `{err}` should contain `{needle}`");
+    }
+}
+
+#[test]
+fn malformed_inline_inputs_name_the_problem() {
+    let cases = [
+        (r#"{"board": {"builtin": "zc706"}, "action": {"sweep": {}}}"#, "model"),
+        (
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "vcu9000"},
+                "action": {"sweep": {}}}"#,
+            "vcu9000",
+        ),
+        (
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "zc706"},
+                "precision": "fp64", "action": {"sweep": {}}}"#,
+            "precision",
+        ),
+        (
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "zc706"},
+                "action": {"sample": {"count": 0}}}"#,
+            "action.sample.count",
+        ),
+        (
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "zc706"},
+                "action": {"sample": {"count": 5, "metrics": ["speed"]}}}"#,
+            "unknown metric `speed`",
+        ),
+        (
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "zc706"},
+                "action": {"sweep": {"min_ces": 5, "max_ces": 2}}}"#,
+            "min_ces",
+        ),
+        (
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "zc706"},
+                "batch": -1, "action": {"sweep": {}}}"#,
+            "batch",
+        ),
+    ];
+    for (text, needle) in cases {
+        let err = Scenario::from_json_str(text).expect_err(text).to_string();
+        assert!(err.contains(needle), "`{err}` should contain `{needle}`");
+    }
+}
+
+#[test]
+fn warmed_session_reevaluates_without_rebuilding_the_context() {
+    // The acceptance bar: a warmed Session re-evaluating the same
+    // (model, board) pair does no builder reconstruction — asserted via
+    // the cache-hit counter and the builder's context token.
+    let mut session = Session::new();
+    let scenario = Scenario::from_json_str(
+        r#"{"model": {"zoo": "mobilenetv2"}, "board": {"builtin": "zc706"},
+            "action": {"evaluate": {"template": "segmentedrr", "ces": 4}}}"#,
+    )
+    .unwrap();
+    let first = session.run(&scenario).unwrap();
+    assert_eq!(
+        (session.stats().hits, session.stats().misses),
+        (0, 1),
+        "first run constructs the context"
+    );
+    let token = session.cached_context_token(&scenario).expect("context cached");
+    for round in 1..=5u64 {
+        let outcome = session.run(&scenario).unwrap();
+        assert_eq!(session.stats().hits, round, "round {round} must be a cache hit");
+        assert_eq!(session.stats().misses, 1, "no context is ever reconstructed");
+        assert_eq!(
+            session.cached_context_token(&scenario),
+            Some(token),
+            "the same build context keeps serving"
+        );
+        assert_eq!(outcome, first, "warm results are identical to cold ones");
+    }
+    // A different action on the same (model, board, precision, batch)
+    // context is still a hit.
+    let sample = Scenario::from_json_str(
+        r#"{"model": {"zoo": "mobilenetv2"}, "board": {"builtin": "zc706"},
+            "action": {"sample": {"count": 10}}}"#,
+    )
+    .unwrap();
+    let Outcome::Front(front) = session.run(&sample).unwrap() else { panic!() };
+    assert!(!front.front.is_empty());
+    assert_eq!(session.stats().misses, 1);
+    assert_eq!(session.stats().hits, 6);
+}
+
+#[test]
+fn session_errors_converge_into_mccm_error() {
+    let mut session = Session::new();
+    // Attempt-exhaustion from dse surfaces as Error::Explore: a 1-DSP
+    // board hosts no multi-CE design, so every sampling attempt is
+    // infeasible and the budget runs out fast.
+    let scenario = Scenario::from_json_str(
+        r#"{"model": {"zoo": "mobilenetv2"},
+            "board": {"custom": {"name": "tiny", "dsps": 1, "bram_mib": 0.1,
+                                 "bandwidth_gbps": 0.5}},
+            "action": {"sample": {"count": 100}}}"#,
+    )
+    .unwrap();
+    match session.run(&scenario) {
+        Err(Error::Explore(mccm::dse::ExploreError::AttemptsExhausted { .. })) => {}
+        other => panic!("expected AttemptsExhausted, got {other:?}"),
+    }
+}

@@ -1,0 +1,173 @@
+//! CLI-level guarantees of the scenario API: `mccm run` on every
+//! checked-in scenario file is byte-identical to the equivalent legacy
+//! subcommand with `--json`, batch mode covers a directory, and the
+//! strict flag parser rejects misuse by name.
+
+use mccm::cli::main_with_args;
+use mccm::json::Json;
+use mccm::Error;
+
+fn run_cli(args: &[&str]) -> Result<String, Error> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    main_with_args(&args, &mut out)?;
+    Ok(String::from_utf8(out).expect("CLI output is UTF-8"))
+}
+
+fn example_scenario(name: &str) -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// The acceptance bar: `mccm run <file>` produces byte-identical JSON to
+/// the equivalent legacy subcommand invocation, for every checked-in
+/// scenario file.
+#[test]
+fn run_matches_legacy_subcommands_byte_for_byte() {
+    let cases: [(&str, Vec<&str>); 4] = [
+        (
+            "evaluate.json",
+            vec![
+                "evaluate", "--model", "xception", "--board", "vcu110", "--arch", "hybrid",
+                "--ces", "7", "--batch", "8", "--json",
+            ],
+        ),
+        (
+            "sweep.json",
+            vec![
+                "sweep", "--model", "mobilenetv2", "--board", "zcu102", "--min-ces", "2",
+                "--max-ces", "11", "--json",
+            ],
+        ),
+        (
+            "sample.json",
+            vec![
+                "explore", "--model", "mobilenetv2", "--board", "zc706", "--samples", "300",
+                "--seed", "1", "--json",
+            ],
+        ),
+        (
+            "optimize.json",
+            vec![
+                "optimize", "--model", "mobilenetv2", "--board", "vcu108", "--budget", "300",
+                "--population", "16", "--islands", "2", "--seed", "1", "--json",
+            ],
+        ),
+    ];
+    for (file, legacy) in cases {
+        let path = example_scenario(file);
+        let from_scenario = run_cli(&["run", &path]).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let from_legacy = run_cli(&legacy).unwrap_or_else(|e| panic!("{legacy:?}: {e}"));
+        assert_eq!(from_scenario, from_legacy, "{file} vs {legacy:?}");
+        // And the output is valid JSON tagged with its action.
+        let parsed = Json::parse(&from_scenario).unwrap();
+        let action = file.strip_suffix(".json").unwrap();
+        let reported = parsed.get("action").and_then(Json::as_str).unwrap();
+        let expected = if action == "sample" { "sample" } else { action };
+        assert_eq!(reported, expected, "{file}");
+    }
+}
+
+#[test]
+fn set_overrides_change_the_executed_scenario() {
+    let path = example_scenario("evaluate.json");
+    let base = run_cli(&["run", &path]).unwrap();
+    let overridden = run_cli(&[
+        "run",
+        &path,
+        "--set",
+        "action.evaluate.ces=5",
+        "--set",
+        "model.zoo=mobilenetv2",
+    ])
+    .unwrap();
+    assert_ne!(base, overridden);
+    let parsed = Json::parse(&overridden).unwrap();
+    assert_eq!(parsed.get("model").and_then(Json::as_str), Some("mobilenetv2"));
+    assert_eq!(parsed.get("ce_count").and_then(Json::as_usize), Some(5));
+    // Identical invocations are byte-identical (determinism).
+    assert_eq!(base, run_cli(&["run", &path]).unwrap());
+}
+
+#[test]
+fn batch_mode_runs_a_directory_with_any_worker_count() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    let dir = dir.to_string_lossy().into_owned();
+    let serial = run_cli(&["run", "--batch", &dir, "--workers", "1"]).unwrap();
+    let parsed = Json::parse(&serial).unwrap();
+    assert_eq!(parsed.get("failures").and_then(Json::as_u64), Some(0));
+    assert_eq!(parsed.get("scenarios").and_then(Json::as_u64), Some(4));
+    let entries = parsed.get("batch").and_then(Json::as_array).unwrap();
+    // Sorted by file name, each entry carrying its outcome.
+    let names: Vec<&str> = entries
+        .iter()
+        .map(|e| e.get("file").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(names, ["evaluate.json", "optimize.json", "sample.json", "sweep.json"]);
+    for entry in entries {
+        assert!(entry.get("outcome").is_some(), "{entry}");
+    }
+    // Worker count never changes the output bytes.
+    let parallel = run_cli(&["run", "--batch", &dir, "--workers", "3"]).unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn batch_mode_reports_per_file_errors_and_fails() {
+    let tmp = std::env::temp_dir().join(format!("mccm-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    std::fs::write(
+        tmp.join("good.json"),
+        r#"{"model": {"zoo": "mobilenetv2"}, "board": {"builtin": "zc706"},
+            "action": {"evaluate": {"template": "segmented", "ces": 3}}}"#,
+    )
+    .unwrap();
+    std::fs::write(tmp.join("broken.json"), "{ not json").unwrap();
+    let args: Vec<String> =
+        ["run", "--batch", tmp.to_str().unwrap()].iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let err = main_with_args(&args, &mut out).expect_err("one scenario is broken");
+    assert!(err.to_string().contains("1 of 2"), "{err}");
+    let parsed = Json::parse(&String::from_utf8(out).unwrap()).unwrap();
+    assert_eq!(parsed.get("failures").and_then(Json::as_u64), Some(1));
+    let entries = parsed.get("batch").and_then(Json::as_array).unwrap();
+    assert!(entries[0].get("error").and_then(Json::as_str).unwrap().contains("JSON"));
+    assert!(entries[1].get("outcome").is_some());
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn unknown_and_duplicate_flags_are_regression_locked() {
+    // Unknown flag: named, with the command and its real flags listed.
+    let err = run_cli(&["explore", "--model", "xception", "--board", "vcu110", "--sample", "5"])
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("unknown flag `--sample`"), "{err}");
+    assert!(err.contains("--samples"), "suggests the real flags: {err}");
+    // Duplicate flag: named.
+    let err = run_cli(&["sweep", "--model", "vgg16", "--model", "vgg16", "--board", "zc706"])
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("duplicate flag `--model`"), "{err}");
+    // Repeatable --set is exempt from duplicate rejection (covered by
+    // set_overrides_change_the_executed_scenario), but unknown flags in
+    // `run` still reject.
+    let err = run_cli(&["run", "x.json", "--sets", "a=1"]).unwrap_err().to_string();
+    assert!(err.contains("unknown flag `--sets`"), "{err}");
+    // Missing value.
+    let err = run_cli(&["optimize", "--model"]).unwrap_err().to_string();
+    assert!(err.contains("needs a value"), "{err}");
+}
+
+#[test]
+fn run_requires_exactly_one_scenario_file() {
+    let err = run_cli(&["run"]).unwrap_err().to_string();
+    assert!(err.contains("scenario file"), "{err}");
+    let err = run_cli(&["run", "a.json", "b.json"]).unwrap_err().to_string();
+    assert!(err.contains("exactly one"), "{err}");
+    let err = run_cli(&["run", "/nonexistent/scenario.json"]).unwrap_err().to_string();
+    assert!(err.contains("reading scenario"), "{err}");
+}
