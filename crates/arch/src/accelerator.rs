@@ -71,6 +71,11 @@ impl BuiltAccelerator {
     pub fn weight_bytes(&self, layer: usize) -> u64 {
         let raw = self.precision.weight_size(self.convs[layer].weights);
         match self.weight_compression.get(layer) {
+            // The compressed size is `ceil(raw × ratio)` with ratio in
+            // (0, 1]: non-negative and no larger than `raw`, so the round
+            // trip through f64 is lossless for any realistic layer.
+            #[allow(clippy::cast_precision_loss)]
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             Some(&ratio) if ratio < 1.0 => (raw as f64 * ratio).ceil() as u64,
             _ => raw,
         }
@@ -91,7 +96,10 @@ impl BuiltAccelerator {
     /// range.
     #[must_use]
     pub fn with_weight_compression(mut self, layers: &[usize], ratio: f64) -> Self {
-        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1], got {ratio}");
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "ratio must be in (0, 1], got {ratio}"
+        );
         if self.weight_compression.is_empty() {
             self.weight_compression = vec![1.0; self.convs.len()];
         }
@@ -103,12 +111,14 @@ impl BuiltAccelerator {
 
     /// IFM bytes of a conv layer.
     pub fn ifm_bytes(&self, layer: usize) -> u64 {
-        self.precision.activation_size(self.convs[layer].ifm.elements())
+        self.precision
+            .activation_size(self.convs[layer].ifm.elements())
     }
 
     /// OFM bytes of a conv layer.
     pub fn ofm_bytes(&self, layer: usize) -> u64 {
-        self.precision.activation_size(self.convs[layer].ofm.elements())
+        self.precision
+            .activation_size(self.convs[layer].ofm.elements())
     }
 
     /// The CE processing `layer` within `segment`.

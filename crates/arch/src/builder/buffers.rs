@@ -111,27 +111,31 @@ pub fn plan_buffers(
     bram_bytes: u64,
 ) -> BufferPlan {
     let wb = |l: &ConvInfo| precision.weight_size(l.weights);
-    let ab = precision.activation_bytes as u64;
+    let ab = u64::from(precision.activation_bytes);
 
     // Consumer kernel height per layer: rows of a layer's OFM the next
     // layer needs before producing one row (1 for the final layer).
-    let next_k = |idx: usize| -> u64 {
-        convs.get(idx + 1).map_or(1, |n| n.spec.kernel.0 as u64)
-    };
+    let next_k =
+        |idx: usize| -> u64 { convs.get(idx + 1).map_or(1, |n| u64::from(n.spec.kernel.0)) };
 
     // Per-CE needs.
     let mut allocs: Vec<CeBufferAlloc> = ces
         .iter()
         .map(|ce| {
             let layers: Vec<&ConvInfo> = ce.layers.iter().map(|&l| &convs[l]).collect();
-            let pf = ce.parallelism.dims[0] as u64;
+            let pf = u64::from(ce.parallelism.dims[0]);
 
-            let weight_stream = 2 * layers
-                .iter()
-                .map(|l| pf.min(l.dims[0] as u64) * l.dims[1] as u64 * (l.dims[4] as u64 * l.dims[5] as u64))
-                .max()
-                .unwrap_or(0)
-                * precision.weight_bytes as u64;
+            let weight_stream = 2
+                * layers
+                    .iter()
+                    .map(|l| {
+                        pf.min(u64::from(l.dims[0]))
+                            * u64::from(l.dims[1])
+                            * (u64::from(l.dims[4]) * u64::from(l.dims[5]))
+                    })
+                    .max()
+                    .unwrap_or(0)
+                * u64::from(precision.weight_bytes);
 
             let fm_tile = match ce.role {
                 // Streaming spill tiles: K input rows + 1 output row, double
@@ -140,7 +144,7 @@ pub fn plan_buffers(
                     2 * layers
                         .iter()
                         .map(|l| {
-                            l.spec.kernel.0 as u64 * l.ifm.row_elements() + l.ofm.row_elements()
+                            u64::from(l.spec.kernel.0) * l.ifm.row_elements() + l.ofm.row_elements()
                         })
                         .max()
                         .unwrap_or(0)
@@ -153,7 +157,7 @@ pub fn plan_buffers(
                     2 * layers
                         .iter()
                         .map(|l| {
-                            l.spec.kernel.0 as u64 * l.ifm.row_elements()
+                            u64::from(l.spec.kernel.0) * l.ifm.row_elements()
                                 + next_k(l.index) * l.ofm.row_elements()
                         })
                         .max()
@@ -164,7 +168,11 @@ pub fn plan_buffers(
 
             let weights_total: u64 = layers.iter().map(|l| wb(l)).sum();
             let weights_max = layers.iter().map(|l| wb(l)).max().unwrap_or(0);
-            let fm_ws = layers.iter().map(|l| l.fm_working_set * ab).max().unwrap_or(0);
+            let fm_ws = layers
+                .iter()
+                .map(|l| l.fm_working_set * ab)
+                .max()
+                .unwrap_or(0);
 
             let min_bytes = fm_tile + weight_stream;
             let ideal_bytes = match ce.role {
@@ -197,7 +205,11 @@ pub fn plan_buffers(
             };
             let pipelined_handoff = coarse_pipeline && disjoint;
             InterSegmentBuffer {
-                bytes_needed: if pipelined_handoff { 2 * fm_bytes } else { fm_bytes },
+                bytes_needed: if pipelined_handoff {
+                    2 * fm_bytes
+                } else {
+                    fm_bytes
+                },
                 on_chip: false,
                 pipelined_handoff,
                 same_block: !disjoint,
@@ -208,7 +220,12 @@ pub fn plan_buffers(
     let spent: u64 = allocs.iter().map(|a| a.bytes).sum();
     let fits_minimums = spent <= bram_bytes;
     if !fits_minimums {
-        return BufferPlan { ce: allocs, inter_segment: inter, bram_bytes, fits_minimums };
+        return BufferPlan {
+            ce: allocs,
+            inter_segment: inter,
+            bram_bytes,
+            fits_minimums,
+        };
     }
     let mut slack = bram_bytes - spent;
 
@@ -234,9 +251,7 @@ pub fn plan_buffers(
     let mut upgrades: Vec<(usize, u64)> = allocs
         .iter()
         .enumerate()
-        .filter(|(i, a)| {
-            matches!(ces[*i].role, CeRole::Pipelined) && a.ideal_bytes > a.bytes
-        })
+        .filter(|(i, a)| matches!(ces[*i].role, CeRole::Pipelined) && a.ideal_bytes > a.bytes)
         .map(|(i, a)| (i, a.ideal_bytes - a.bytes))
         .collect();
     upgrades.sort_by_key(|&(i, cost)| (cost, i));
@@ -249,8 +264,7 @@ pub fn plan_buffers(
 
     // Priority 4: inter-segment buffers between distinct blocks, smallest
     // first. Same-block (round-robin) handoffs always stream off-chip.
-    let mut order: Vec<usize> =
-        (0..inter.len()).filter(|&i| !inter[i].same_block).collect();
+    let mut order: Vec<usize> = (0..inter.len()).filter(|&i| !inter[i].same_block).collect();
     order.sort_by_key(|&i| (inter[i].bytes_needed, i));
     for i in order {
         if inter[i].bytes_needed <= slack {
@@ -264,9 +278,7 @@ pub fn plan_buffers(
         let residuals: Vec<(usize, u64)> = allocs
             .iter()
             .enumerate()
-            .filter(|(i, a)| {
-                matches!(ces[*i].role, CeRole::Single) && a.ideal_bytes > a.bytes
-            })
+            .filter(|(i, a)| matches!(ces[*i].role, CeRole::Single) && a.ideal_bytes > a.bytes)
             .map(|(i, a)| (i, a.ideal_bytes - a.bytes))
             .collect();
         let total_res: u64 = residuals.iter().map(|&(_, r)| r).sum();
@@ -280,15 +292,21 @@ pub fn plan_buffers(
             break;
         }
         for (i, r) in residuals {
-            let grant =
-                ((slack as u128 * r as u128) / total_res as u128) as u64;
+            // The quotient of (slack × r) / total_res is ≤ slack, a u64.
+            #[allow(clippy::cast_possible_truncation)]
+            let grant = ((u128::from(slack) * u128::from(r)) / u128::from(total_res)) as u64;
             let grant = grant.min(allocs[i].ideal_bytes - allocs[i].bytes);
             allocs[i].bytes += grant;
             slack -= grant;
         }
     }
 
-    BufferPlan { ce: allocs, inter_segment: inter, bram_bytes, fits_minimums }
+    BufferPlan {
+        ce: allocs,
+        inter_segment: inter,
+        bram_bytes,
+        fits_minimums,
+    }
 }
 
 #[cfg(test)]
@@ -323,10 +341,23 @@ mod tests {
         let convs = m.conv_view();
         let n = convs.len();
         let segments = vec![
-            Segment { index: 0, first: 0, last: 9, executor: Executor::SingleCe(0) },
-            Segment { index: 1, first: 10, last: n - 1, executor: Executor::SingleCe(1) },
+            Segment {
+                index: 0,
+                first: 0,
+                last: 9,
+                executor: Executor::SingleCe(0),
+            },
+            Segment {
+                index: 1,
+                first: 10,
+                last: n - 1,
+                executor: Executor::SingleCe(1),
+            },
         ];
-        let ces = vec![single_ce(0, (0..10).collect()), single_ce(1, (10..n).collect())];
+        let ces = vec![
+            single_ce(0, (0..10).collect()),
+            single_ce(1, (10..n).collect()),
+        ];
         (convs, segments, ces)
     }
 
@@ -361,8 +392,7 @@ mod tests {
     fn allocation_never_exceeds_bram_when_feasible() {
         let (convs, segments, ces) = two_segment_fixture();
         for budget in [200_000u64, 500_000, 2_000_000, 8_000_000] {
-            let plan =
-                plan_buffers(&convs, &segments, &ces, true, Precision::INT8, budget);
+            let plan = plan_buffers(&convs, &segments, &ces, true, Precision::INT8, budget);
             if plan.fits_minimums {
                 assert!(plan.total_bytes() <= budget, "budget {budget}");
             }
@@ -396,10 +426,23 @@ mod tests {
         let convs = m.conv_view();
         let n = convs.len();
         let segments = vec![
-            Segment { index: 0, first: 0, last: 9, executor: Executor::SingleCe(0) },
-            Segment { index: 1, first: 10, last: n - 1, executor: Executor::SingleCe(1) },
+            Segment {
+                index: 0,
+                first: 0,
+                last: 9,
+                executor: Executor::SingleCe(0),
+            },
+            Segment {
+                index: 1,
+                first: 10,
+                last: n - 1,
+                executor: Executor::SingleCe(1),
+            },
         ];
-        let ces = vec![single_ce(0, (0..10).collect()), single_ce(1, (10..n).collect())];
+        let ces = vec![
+            single_ce(0, (0..10).collect()),
+            single_ce(1, (10..n).collect()),
+        ];
         let coarse = plan_buffers(&convs, &segments, &ces, true, Precision::INT8, 1 << 30);
         let seq = plan_buffers(&convs, &segments, &ces, false, Precision::INT8, 1 << 30);
         assert_eq!(

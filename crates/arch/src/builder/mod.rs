@@ -129,7 +129,10 @@ impl MultipleCeBuilder {
             precision: Precision::default(),
             options: BuilderOptions::default(),
             memoize: true,
-            ctx: Arc::new(BuildContext { candidates, memo: RwLock::new(HashMap::new()) }),
+            ctx: Arc::new(BuildContext {
+                candidates,
+                memo: RwLock::new(HashMap::new()),
+            }),
         }
     }
 
@@ -264,7 +267,13 @@ impl MultipleCeBuilder {
                     CeRole::Pipelined => self.options.pipelined_row_parallelism,
                 };
                 let parallelism = self.parallelism_for(pes[id], &layers, allow_rows);
-                ComputeEngine { id, pes: pes[id], parallelism, role: roles[id], layers }
+                ComputeEngine {
+                    id,
+                    pes: pes[id],
+                    parallelism,
+                    role: roles[id],
+                    layers,
+                }
             })
             .collect();
 
@@ -348,7 +357,7 @@ mod tests {
                 assert_eq!(total_pes, board.dsps, "{arch} {k}");
                 assert!(check_segments(&acc.segments, 53));
                 for ce in &acc.ces {
-                    assert!(ce.parallelism.total() <= ce.pes as u64);
+                    assert!(ce.parallelism.total() <= u64::from(ce.pes));
                     assert!(!ce.layers.is_empty());
                 }
             }
@@ -425,8 +434,8 @@ mod tests {
         let acc = b.build(&spec).unwrap();
         // MAC-balanced segments should give roughly equal PEs.
         let pes: Vec<u32> = acc.ces.iter().map(|c| c.pes).collect();
-        let max = *pes.iter().max().unwrap() as f64;
-        let min = *pes.iter().min().unwrap() as f64;
+        let max = f64::from(*pes.iter().max().unwrap());
+        let min = f64::from(*pes.iter().min().unwrap());
         assert!(max / min < 2.0, "pes {pes:?}");
     }
 
@@ -487,4 +496,3 @@ mod tests {
         assert_eq!(acc.segments.len(), 2);
     }
 }
-

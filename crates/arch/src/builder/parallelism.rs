@@ -25,6 +25,7 @@
 //! [`MultipleCeBuilder`]: crate::MultipleCeBuilder
 
 use mccm_cnn::ConvInfo;
+use mccm_quantity::Cycles;
 
 use crate::engine::Parallelism;
 
@@ -111,8 +112,10 @@ pub(crate) fn search_parallelism(
     debug_assert!(!dims.is_empty() && pes > 1);
     let n = dims.len();
     // Per-layer Eq. (1) factor invariant under the 3-D search: C·KH·KW.
-    let rest: Vec<u64> =
-        dims.iter().map(|d| d[1] as u64 * d[4] as u64 * d[5] as u64).collect();
+    let rest: Vec<u64> = dims
+        .iter()
+        .map(|d| u64::from(d[1]) * u64::from(d[4]) * u64::from(d[5]))
+        .collect();
     // ceil(extent / candidate) grids, candidate-major.
     let nc = cand.len();
     let mut cf = vec![0u64; nc * n];
@@ -120,9 +123,9 @@ pub(crate) fn search_parallelism(
     let mut cow = vec![0u64; nc * n];
     for (i, &c) in cand.iter().enumerate() {
         for (l, d) in dims.iter().enumerate() {
-            cf[i * n + l] = (d[0] as u64).div_ceil(c as u64);
-            coh[i * n + l] = (d[2] as u64).div_ceil(c as u64);
-            cow[i * n + l] = (d[3] as u64).div_ceil(c as u64);
+            cf[i * n + l] = u64::from(d[0]).div_ceil(u64::from(c));
+            coh[i * n + l] = u64::from(d[2]).div_ceil(u64::from(c));
+            cow[i * n + l] = u64::from(d[3]).div_ceil(u64::from(c));
         }
     }
     // Row-pipelined engines fix p_oh = 1; `cand` always starts at 1.
@@ -130,10 +133,12 @@ pub(crate) fn search_parallelism(
 
     let mut best = Parallelism::scalar();
     // Scalar baseline: Σ_l rest · F · OH · OW (all ceil terms at factor 1).
-    let mut best_cost: u64 = dims
+    // The running cost is a cycle count — typed, so a traffic or MAC total
+    // can never leak into the comparison.
+    let mut best_cost: Cycles = dims
         .iter()
         .zip(&rest)
-        .map(|(d, &r)| r * d[0] as u64 * d[2] as u64 * d[3] as u64)
+        .map(|(d, &r)| Cycles::new(r * u64::from(d[0]) * u64::from(d[2]) * u64::from(d[3])))
         .sum();
     let mut a = vec![0u64; n];
     let mut b = vec![0u64; n];
@@ -160,13 +165,22 @@ pub(crate) fn search_parallelism(
                 // Partial-sum abort: once the running cost exceeds the
                 // incumbent it can never win (and can never tie, since the
                 // abort only fires strictly above `best_cost`).
-                let mut cost = 0u64;
+                //
+                // The partial sum stays raw `u64` inside this cubic loop:
+                // `Cycles`' saturating add costs an extra compare per term,
+                // measurable across the whole search. Terms are products of
+                // in-range layer extents, so plain addition cannot overflow
+                // where saturation would have engaged; the typed comparison
+                // happens once per candidate at the boundary below.
+                let best_raw = best_cost.get();
+                let mut raw = 0u64;
                 for (l, &bv) in b.iter().enumerate() {
-                    cost += bv * cow[k * n + l];
-                    if cost > best_cost {
+                    raw += bv * cow[k * n + l];
+                    if raw > best_raw {
                         break;
                     }
                 }
+                let cost = Cycles::new(raw);
                 if cost < best_cost
                     || (cost == best_cost
                         && (pf, poh, pow) > (best.dims[0], best.dims[2], best.dims[3]))
@@ -199,8 +213,8 @@ mod tests {
         let cand = candidates(pes);
         let row_cand = if allow_rows { cand.clone() } else { vec![1u32] };
         let dims: Vec<[u32; 6]> = layers.iter().map(|l| l.dims).collect();
-        let total = |p: &Parallelism| -> u64 {
-            dims.iter().map(|&d| p.latency_cycles(d)).sum()
+        let total = |p: &Parallelism| -> Cycles {
+            dims.iter().map(|&d| Cycles::new(p.latency_cycles(d))).sum()
         };
         let mut best = Parallelism::scalar();
         let mut best_cost = total(&best);
@@ -264,7 +278,11 @@ mod tests {
     fn candidate_prefix_matches_direct_candidates() {
         let table = candidates(4096);
         for pes in [1u32, 2, 8, 100, 149, 150, 1024, 4096] {
-            assert_eq!(candidate_prefix(&table, pes), candidates(pes).as_slice(), "pes {pes}");
+            assert_eq!(
+                candidate_prefix(&table, pes),
+                candidates(pes).as_slice(),
+                "pes {pes}"
+            );
         }
     }
 
@@ -278,9 +296,10 @@ mod tests {
         let p = select_parallelism(256, &refs);
         let dims = convs[0].dims;
         // Perfect division -> utilization equals engaged/allocated ratio.
-        let cycles = p.latency_cycles(dims);
-        let macs: u64 = dims.iter().map(|&d| d as u64).product();
-        let util = macs as f64 / (cycles as f64 * 256.0);
+        let cycles = Cycles::new(p.latency_cycles(dims));
+        let macs: u64 = dims.iter().map(|&d| u64::from(d)).product();
+        #[allow(clippy::cast_precision_loss)] // layer MACs ≪ 2^53
+        let util = macs as f64 / (cycles.as_f64() * 256.0);
         assert!(util > 0.95, "util {util}, p {p}");
     }
 
@@ -292,7 +311,7 @@ mod tests {
         let refs: Vec<&ConvInfo> = layers.iter().collect();
         for pes in [1u32, 7, 64, 300, 1800] {
             let p = select_parallelism(pes, &refs);
-            assert!(p.total() <= pes as u64, "{pes} PEs, chose {p}");
+            assert!(p.total() <= u64::from(pes), "{pes} PEs, chose {p}");
         }
     }
 
@@ -304,11 +323,13 @@ mod tests {
         let refs_all: Vec<&ConvInfo> = all.iter().collect();
         let p_all = select_parallelism(512, &refs_all);
         // Average utilization across all layers under the compromise config.
+        #[allow(clippy::cast_precision_loss)] // layer count ≪ 2^53
+        let layers = all.len() as f64;
         let avg_all: f64 = all
             .iter()
             .map(|l| p_all.utilization(l.dims, 512))
             .sum::<f64>()
-            / all.len() as f64;
+            / layers;
 
         // Per-layer specialized engines do at least as well on their layer.
         let mut better = 0;
@@ -320,7 +341,10 @@ mod tests {
             }
         }
         assert_eq!(better, 10);
-        assert!(avg_all > 0.2, "compromise config should still be usable: {avg_all}");
+        assert!(
+            avg_all > 0.2,
+            "compromise config should still be usable: {avg_all}"
+        );
     }
 
     #[test]
@@ -334,7 +358,10 @@ mod tests {
         let convs = m.conv_view();
         let layers: Vec<ConvInfo> = convs.to_vec();
         let refs: Vec<&ConvInfo> = layers.iter().collect();
-        assert_eq!(select_parallelism(900, &refs), select_parallelism(900, &refs));
+        assert_eq!(
+            select_parallelism(900, &refs),
+            select_parallelism(900, &refs)
+        );
     }
 
     #[test]

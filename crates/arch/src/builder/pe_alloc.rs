@@ -18,10 +18,12 @@ pub fn distribute_pes(total: u32, workloads: &[u64]) -> Vec<u32> {
     assert!(n > 0, "no CEs to allocate to");
     assert!(total as usize >= n, "fewer PEs ({total}) than CEs ({n})");
 
+    let n_u32 = u32::try_from(n).expect("CE count fits u32 (bounded by the PE budget)");
+
     let sum: u64 = workloads.iter().sum();
     if sum == 0 {
         // Degenerate: spread evenly.
-        let base = total / n as u32;
+        let base = total / n_u32;
         let mut out = vec![base; n];
         for item in out.iter_mut().take(total as usize % n) {
             *item += 1;
@@ -30,16 +32,20 @@ pub fn distribute_pes(total: u32, workloads: &[u64]) -> Vec<u32> {
     }
 
     // Reserve one PE per CE, distribute the rest proportionally.
-    let spare = total - n as u32;
+    let spare = total - n_u32;
     let mut alloc: Vec<u32> = vec![1; n];
     let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
     let mut assigned = 0u32;
     for (i, &w) in workloads.iter().enumerate() {
-        let exact = spare as f64 * w as f64 / sum as f64;
+        // Workload MAC counts stay below 2^53, so the proportional shares
+        // are exact; the floor of a share of a u32 budget refits u32.
+        #[allow(clippy::cast_precision_loss)]
+        let exact = f64::from(spare) * w as f64 / sum as f64;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let floor = exact.floor() as u32;
         alloc[i] += floor;
         assigned += floor;
-        remainders.push((i, exact - floor as f64));
+        remainders.push((i, exact - f64::from(floor)));
     }
     // Largest remainders (ties broken by index for determinism).
     remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
@@ -66,7 +72,7 @@ mod tests {
         let alloc = distribute_pes(900, &[3, 1]);
         assert_eq!(alloc.iter().sum::<u32>(), 900);
         // 3:1 split of 898 spare plus the reserved 1s.
-        assert!((alloc[0] as f64 / alloc[1] as f64 - 3.0).abs() < 0.05);
+        assert!((f64::from(alloc[0]) / f64::from(alloc[1]) - 3.0).abs() < 0.05);
     }
 
     #[test]

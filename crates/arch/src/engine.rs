@@ -23,12 +23,14 @@ impl Parallelism {
 
     /// 3-D parallelism over filters and OFM height/width.
     pub const fn spatial(pf: u32, poh: u32, pow: u32) -> Self {
-        Self { dims: [pf, 1, poh, pow, 1, 1] }
+        Self {
+            dims: [pf, 1, poh, pow, 1, 1],
+        }
     }
 
     /// Total PEs engaged (product of all factors).
     pub fn total(&self) -> u64 {
-        self.dims.iter().map(|&d| d as u64).product()
+        self.dims.iter().map(|&d| u64::from(d)).product()
     }
 
     /// Cycles to process a layer with loop extents `dims`, per Eq. (1):
@@ -37,7 +39,7 @@ impl Parallelism {
         self.dims
             .iter()
             .zip(dims.iter())
-            .map(|(&p, &d)| (d as u64).div_ceil(p as u64))
+            .map(|(&p, &d)| u64::from(d).div_ceil(u64::from(p)))
             .product()
     }
 
@@ -55,12 +57,16 @@ impl Parallelism {
     /// The denominator uses the engine's allocated PE count (not just the
     /// engaged product), so unallocated PEs count as underutilization.
     pub fn utilization(&self, dims: [u32; 6], pes: u32) -> f64 {
-        let macs: u64 = dims.iter().map(|&d| d as u64).product();
+        let macs: u64 = dims.iter().map(|&d| u64::from(d)).product();
         let cycles = self.latency_cycles(dims);
         if cycles == 0 || pes == 0 {
             return 0.0;
         }
-        macs as f64 / (cycles as f64 * pes as f64)
+        // Layer MAC and cycle counts sit far below 2^53: the f64 ratio is
+        // exact to well past any tolerance the model compares at.
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = macs as f64 / (cycles as f64 * f64::from(pes));
+        ratio
     }
 }
 
@@ -168,7 +174,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Parallelism::spatial(4, 2, 2).to_string(), "F4·C1·OH2·OW2·KH1·KW1");
+        assert_eq!(
+            Parallelism::spatial(4, 2, 2).to_string(),
+            "F4·C1·OH2·OW2·KH1·KW1"
+        );
         let ce = ComputeEngine {
             id: 0,
             pes: 16,

@@ -35,7 +35,9 @@ mod spec;
 pub mod templates;
 
 pub use accelerator::BuiltAccelerator;
-pub use builder::{BufferPlan, BuilderOptions, CeBufferAlloc, InterSegmentBuffer, MultipleCeBuilder, PeAllocation};
+pub use builder::{
+    BufferPlan, BuilderOptions, CeBufferAlloc, InterSegmentBuffer, MultipleCeBuilder, PeAllocation,
+};
 pub use engine::{CeRole, ComputeEngine, Parallelism};
 pub use error::ArchError;
 pub use spec::{AcceleratorSpec, Assignment, BlockSpec, Executor, LayerRange, Segment};

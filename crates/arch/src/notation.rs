@@ -92,7 +92,10 @@ pub fn parse_with_pipelining(
     input: &str,
     coarse_pipeline: bool,
 ) -> Result<AcceleratorSpec, ArchError> {
-    Ok(AcceleratorSpec::new(parse_assignments(input)?, coarse_pipeline))
+    Ok(AcceleratorSpec::new(
+        parse_assignments(input)?,
+        coarse_pipeline,
+    ))
 }
 
 struct Cursor<'a> {
@@ -147,7 +150,9 @@ impl<'a> Cursor<'a> {
         if len == 0 {
             return Err(self.error("expected a number".into()));
         }
-        let n: usize = rest[..len].parse().map_err(|_| self.error("number too large".into()))?;
+        let n: usize = rest[..len]
+            .parse()
+            .map_err(|_| self.error("number too large".into()))?;
         self.pos += len;
         if n == 0 {
             return Err(self.error("indices are one-based".into()));
@@ -156,7 +161,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn error(&self, detail: String) -> ArchError {
-        ArchError::Parse { offset: self.pos, detail }
+        ArchError::Parse {
+            offset: self.pos,
+            detail,
+        }
     }
 
     fn at_end(&mut self) -> bool {
@@ -228,8 +236,7 @@ mod tests {
 
     #[test]
     fn parses_paper_segmented_example() {
-        let spec =
-            parse("{L1-L4: CE1, L5-L6: CE2, L7-L9: CE3, L10-L12: CE4}").unwrap();
+        let spec = parse("{L1-L4: CE1, L5-L6: CE2, L7-L9: CE3, L10-L12: CE4}").unwrap();
         assert_eq!(spec.assignments.len(), 4);
         assert!(spec.coarse_pipeline);
         assert_eq!(spec.assignments[0].range, LayerRange::new(0, 3));
@@ -242,7 +249,10 @@ mod tests {
         assert!(!spec.coarse_pipeline); // single block -> inferred false
         assert_eq!(
             spec.assignments[0].block,
-            BlockSpec::Pipelined { first_ce: 0, last_ce: 3 }
+            BlockSpec::Pipelined {
+                first_ce: 0,
+                last_ce: 3
+            }
         );
         assert_eq!(spec.assignments[0].range, LayerRange::through_last(0));
     }

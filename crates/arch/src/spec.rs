@@ -24,7 +24,10 @@ pub struct LayerRange {
 impl LayerRange {
     /// Range covering `first..=last` (zero-based).
     pub const fn new(first: usize, last: usize) -> Self {
-        Self { first, last: Some(last) }
+        Self {
+            first,
+            last: Some(last),
+        }
     }
 
     /// Range from `first` through the last layer of the model.
@@ -34,12 +37,18 @@ impl LayerRange {
 
     /// Single layer.
     pub const fn single(layer: usize) -> Self {
-        Self { first: layer, last: Some(layer) }
+        Self {
+            first: layer,
+            last: Some(layer),
+        }
     }
 
     /// Resolves `Last` against a model with `num_layers` conv layers.
     pub fn resolve(&self, num_layers: usize) -> (usize, usize) {
-        (self.first, self.last.unwrap_or(num_layers.saturating_sub(1)))
+        (
+            self.first,
+            self.last.unwrap_or(num_layers.saturating_sub(1)),
+        )
     }
 }
 
@@ -158,7 +167,10 @@ impl AcceleratorSpec {
     /// Creates a spec; `coarse_pipeline` defaults to `true` when more than
     /// one distinct block exists (the common case for Segmented/Hybrid).
     pub fn new(assignments: Vec<Assignment>, coarse_pipeline: bool) -> Self {
-        Self { assignments, coarse_pipeline }
+        Self {
+            assignments,
+            coarse_pipeline,
+        }
     }
 
     /// Total number of distinct CEs referenced.
@@ -210,7 +222,10 @@ impl AcceleratorSpec {
             }
         }
         if let Some(ce) = role.iter().position(Option::is_none) {
-            return Err(ArchError::BadCeUsage { ce, detail: "CE id gap".into() });
+            return Err(ArchError::BadCeUsage {
+                ce,
+                detail: "CE id gap".into(),
+            });
         }
 
         // Coverage and segment expansion.
@@ -296,8 +311,14 @@ mod tests {
         // {L1-L4: CE1, L5-L12: CE2}
         AcceleratorSpec::new(
             vec![
-                Assignment { range: LayerRange::new(0, 3), block: BlockSpec::Single(0) },
-                Assignment { range: LayerRange::through_last(4), block: BlockSpec::Single(1) },
+                Assignment {
+                    range: LayerRange::new(0, 3),
+                    block: BlockSpec::Single(0),
+                },
+                Assignment {
+                    range: LayerRange::through_last(4),
+                    block: BlockSpec::Single(1),
+                },
             ],
             true,
         )
@@ -318,7 +339,10 @@ mod tests {
         let spec = AcceleratorSpec::new(
             vec![Assignment {
                 range: LayerRange::through_last(0),
-                block: BlockSpec::Pipelined { first_ce: 0, last_ce: 1 },
+                block: BlockSpec::Pipelined {
+                    first_ce: 0,
+                    last_ce: 1,
+                },
             }],
             false,
         );
@@ -334,7 +358,10 @@ mod tests {
         let spec = AcceleratorSpec::new(
             vec![Assignment {
                 range: LayerRange::through_last(0),
-                block: BlockSpec::Pipelined { first_ce: 0, last_ce: 2 },
+                block: BlockSpec::Pipelined {
+                    first_ce: 0,
+                    last_ce: 2,
+                },
             }],
             false,
         );
@@ -349,8 +376,14 @@ mod tests {
     fn gap_rejected() {
         let spec = AcceleratorSpec::new(
             vec![
-                Assignment { range: LayerRange::new(0, 3), block: BlockSpec::Single(0) },
-                Assignment { range: LayerRange::new(6, 11), block: BlockSpec::Single(1) },
+                Assignment {
+                    range: LayerRange::new(0, 3),
+                    block: BlockSpec::Single(0),
+                },
+                Assignment {
+                    range: LayerRange::new(6, 11),
+                    block: BlockSpec::Single(1),
+                },
             ],
             true,
         );
@@ -363,10 +396,16 @@ mod tests {
     #[test]
     fn missing_tail_rejected() {
         let spec = AcceleratorSpec::new(
-            vec![Assignment { range: LayerRange::new(0, 3), block: BlockSpec::Single(0) }],
+            vec![Assignment {
+                range: LayerRange::new(0, 3),
+                block: BlockSpec::Single(0),
+            }],
             true,
         );
-        assert!(matches!(spec.segments(12), Err(ArchError::NonContiguousCoverage { .. })));
+        assert!(matches!(
+            spec.segments(12),
+            Err(ArchError::NonContiguousCoverage { .. })
+        ));
     }
 
     #[test]
@@ -375,34 +414,58 @@ mod tests {
             vec![
                 Assignment {
                     range: LayerRange::new(0, 1),
-                    block: BlockSpec::Pipelined { first_ce: 0, last_ce: 1 },
+                    block: BlockSpec::Pipelined {
+                        first_ce: 0,
+                        last_ce: 1,
+                    },
                 },
-                Assignment { range: LayerRange::through_last(2), block: BlockSpec::Single(1) },
+                Assignment {
+                    range: LayerRange::through_last(2),
+                    block: BlockSpec::Single(1),
+                },
             ],
             true,
         );
-        assert!(matches!(spec.segments(12), Err(ArchError::BadCeUsage { ce: 1, .. })));
+        assert!(matches!(
+            spec.segments(12),
+            Err(ArchError::BadCeUsage { ce: 1, .. })
+        ));
     }
 
     #[test]
     fn ce_id_gap_rejected() {
         let spec = AcceleratorSpec::new(
             vec![
-                Assignment { range: LayerRange::new(0, 5), block: BlockSpec::Single(0) },
-                Assignment { range: LayerRange::through_last(6), block: BlockSpec::Single(2) },
+                Assignment {
+                    range: LayerRange::new(0, 5),
+                    block: BlockSpec::Single(0),
+                },
+                Assignment {
+                    range: LayerRange::through_last(6),
+                    block: BlockSpec::Single(2),
+                },
             ],
             true,
         );
-        assert!(matches!(spec.segments(12), Err(ArchError::BadCeUsage { ce: 1, .. })));
+        assert!(matches!(
+            spec.segments(12),
+            Err(ArchError::BadCeUsage { ce: 1, .. })
+        ));
     }
 
     #[test]
     fn out_of_bounds_rejected() {
         let spec = AcceleratorSpec::new(
-            vec![Assignment { range: LayerRange::new(0, 15), block: BlockSpec::Single(0) }],
+            vec![Assignment {
+                range: LayerRange::new(0, 15),
+                block: BlockSpec::Single(0),
+            }],
             true,
         );
-        assert!(matches!(spec.segments(12), Err(ArchError::BadLayerRange { .. })));
+        assert!(matches!(
+            spec.segments(12),
+            Err(ArchError::BadLayerRange { .. })
+        ));
     }
 
     #[test]
@@ -411,7 +474,10 @@ mod tests {
         let spec = AcceleratorSpec::new(
             vec![Assignment {
                 range: LayerRange::through_last(0),
-                block: BlockSpec::Pipelined { first_ce: 0, last_ce: 3 },
+                block: BlockSpec::Pipelined {
+                    first_ce: 0,
+                    last_ce: 3,
+                },
             }],
             false,
         );

@@ -100,12 +100,17 @@ pub fn segmented(model: &CnnModel, ces: usize) -> Result<AcceleratorSpec, ArchEr
 pub fn segmented_rr(model: &CnnModel, ces: usize) -> Result<AcceleratorSpec, ArchError> {
     let n = model.conv_layer_count();
     if ces == 0 || ces > n {
-        return Err(ArchError::Infeasible { detail: format!("{ces} CEs for {n} layers") });
+        return Err(ArchError::Infeasible {
+            detail: format!("{ces} CEs for {n} layers"),
+        });
     }
     Ok(AcceleratorSpec::new(
         vec![Assignment {
             range: LayerRange::through_last(0),
-            block: BlockSpec::Pipelined { first_ce: 0, last_ce: ces - 1 },
+            block: BlockSpec::Pipelined {
+                first_ce: 0,
+                last_ce: ces - 1,
+            },
         }],
         false,
     ))
@@ -131,7 +136,10 @@ pub fn hybrid(model: &CnnModel, ces: usize) -> Result<AcceleratorSpec, ArchError
         vec![
             Assignment {
                 range: LayerRange::new(0, head - 1),
-                block: BlockSpec::Pipelined { first_ce: 0, last_ce: head - 1 },
+                block: BlockSpec::Pipelined {
+                    first_ce: 0,
+                    last_ce: head - 1,
+                },
             },
             Assignment {
                 range: LayerRange::through_last(head),
@@ -163,11 +171,16 @@ pub fn custom_hybrid_segmented(
         });
     }
     if tail_ends.is_empty() || *tail_ends.last().unwrap() != n {
-        return Err(ArchError::Infeasible { detail: "tail must end at the last layer".into() });
+        return Err(ArchError::Infeasible {
+            detail: "tail must end at the last layer".into(),
+        });
     }
     let mut assignments = vec![Assignment {
         range: LayerRange::new(0, head_layers - 1),
-        block: BlockSpec::Pipelined { first_ce: 0, last_ce: head_layers - 1 },
+        block: BlockSpec::Pipelined {
+            first_ce: 0,
+            last_ce: head_layers - 1,
+        },
     }];
     let mut first = head_layers;
     for (i, &end) in tail_ends.iter().enumerate() {
@@ -257,7 +270,10 @@ mod tests {
     fn architecture_by_name_round_trips() {
         for (arch, name) in Architecture::ALL.into_iter().zip(Architecture::names()) {
             assert_eq!(Architecture::by_name(name), Some(arch));
-            assert_eq!(Architecture::by_name(&arch.name().to_ascii_uppercase()), Some(arch));
+            assert_eq!(
+                Architecture::by_name(&arch.name().to_ascii_uppercase()),
+                Some(arch)
+            );
         }
         assert_eq!(Architecture::by_name("rr"), Some(Architecture::SegmentedRr));
         assert_eq!(Architecture::by_name("systolic"), None);

@@ -22,7 +22,9 @@ fn bench_model_eval(c: &mut Criterion) {
     ] {
         let board = FpgaBoard::vcu110();
         let builder = MultipleCeBuilder::new(&model, &board);
-        let acc = builder.build(&arch.instantiate(&model, k).unwrap()).unwrap();
+        let acc = builder
+            .build(&arch.instantiate(&model, k).unwrap())
+            .unwrap();
         let id = format!("{}/{}-{}", model.name(), arch.name(), k);
         g.bench_function(BenchmarkId::from_parameter(id), |b| {
             b.iter(|| black_box(CostModel::evaluate(black_box(&acc))))
@@ -55,7 +57,9 @@ fn bench_reference_simulator(c: &mut Criterion) {
     ] {
         let board = FpgaBoard::vcu108();
         let builder = MultipleCeBuilder::new(&model, &board);
-        let acc = builder.build(&arch.instantiate(&model, k).unwrap()).unwrap();
+        let acc = builder
+            .build(&arch.instantiate(&model, k).unwrap())
+            .unwrap();
         let eval = CostModel::evaluate(&acc);
         let sim = Simulator::new(SimConfig::default());
         let id = format!("{}/{}-{}", model.name(), arch.name(), k);
@@ -66,5 +70,10 @@ fn bench_reference_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_model_eval, bench_full_pipeline, bench_reference_simulator);
+criterion_group!(
+    benches,
+    bench_model_eval,
+    bench_full_pipeline,
+    bench_reference_simulator
+);
 criterion_main!(benches);

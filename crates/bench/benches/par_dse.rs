@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use mccm_core::Metric;
 use mccm_cnn::zoo;
+use mccm_core::Metric;
 use mccm_dse::{par_pareto_indices, CustomSpace, Explorer};
 use mccm_fpga::FpgaBoard;
 
@@ -27,7 +27,11 @@ fn bench_sampled_sweep(c: &mut Criterion) {
     for workers in [2usize, 4] {
         g.bench_function(BenchmarkId::new("workers", workers), |b| {
             b.iter(|| {
-                black_box(explorer.par_sample_custom_summaries(COUNT, 5, workers).unwrap())
+                black_box(
+                    explorer
+                        .par_sample_custom_summaries(COUNT, 5, workers)
+                        .unwrap(),
+                )
             })
         });
     }
@@ -40,7 +44,11 @@ fn bench_exhaustive_3ce(c: &mut Criterion) {
     let model = zoo::resnet50();
     let board = FpgaBoard::vcu108();
     let explorer = Explorer::new(&model, &board);
-    let space = CustomSpace { layers: model.conv_layer_count(), min_ces: 2, max_ces: 3 };
+    let space = CustomSpace {
+        layers: model.conv_layer_count(),
+        min_ces: 2,
+        max_ces: 3,
+    };
     let size = space.size() as u64;
     let mut g = c.benchmark_group("par_exhaustive_resnet50_3ce");
     g.sample_size(10);
@@ -70,5 +78,10 @@ fn bench_pareto_merge(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sampled_sweep, bench_exhaustive_3ce, bench_pareto_merge);
+criterion_group!(
+    benches,
+    bench_sampled_sweep,
+    bench_exhaustive_3ce,
+    bench_pareto_merge
+);
 criterion_main!(benches);

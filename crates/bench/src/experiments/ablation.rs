@@ -15,7 +15,7 @@
 use mccm_arch::templates::Architecture;
 use mccm_arch::{BuilderOptions, MultipleCeBuilder, PeAllocation};
 use mccm_cnn::zoo;
-use mccm_core::{CostModel, Metric, ModelConfig, PipelineLatencyMode};
+use mccm_core::{CostModel, ModelConfig, PipelineLatencyMode};
 use mccm_fpga::FpgaBoard;
 use mccm_sim::{SimConfig, Simulator};
 
@@ -57,7 +57,9 @@ fn latency_mode_table() -> Table {
             (Architecture::Hybrid, 11),
             (Architecture::SegmentedRr, 8),
         ] {
-            let acc = builder.build(&arch.instantiate(&model, k).unwrap()).unwrap();
+            let acc = builder
+                .build(&arch.instantiate(&model, k).unwrap())
+                .unwrap();
             let cp = CostModel::evaluate_with(&acc, &ModelConfig::default());
             let ls = CostModel::evaluate_with(
                 &acc,
@@ -86,13 +88,15 @@ fn bandwidth_derate_table() -> Table {
         .unwrap();
     let mut t = Table::new(
         "bandwidth_derate",
-        &["derate", "latency (ms)", "throughput (FPS)", "stall fraction"],
+        &[
+            "derate",
+            "latency (ms)",
+            "throughput (FPS)",
+            "stall fraction",
+        ],
     );
     for derate in [1.0f64, 0.9, 0.8, 0.7, 0.6] {
-        let e = CostModel::evaluate_with(
-            &acc,
-            &ModelConfig::new().with_bandwidth_derate(derate),
-        );
+        let e = CostModel::evaluate_with(&acc, &ModelConfig::new().with_bandwidth_derate(derate));
         t.row(vec![
             format!("{derate:.1}"),
             format!("{:.1}", e.latency_ms()),
@@ -109,7 +113,13 @@ fn pe_allocation_table() -> Table {
     let board = FpgaBoard::zcu102();
     let mut t = Table::new(
         "pe_allocation",
-        &["arch", "CEs", "proportional FPS", "uniform FPS", "uniform penalty"],
+        &[
+            "arch",
+            "CEs",
+            "proportional FPS",
+            "uniform FPS",
+            "uniform penalty",
+        ],
     );
     for (arch, k) in [
         (Architecture::Segmented, 4usize),
@@ -118,9 +128,8 @@ fn pe_allocation_table() -> Table {
         (Architecture::Hybrid, 7),
     ] {
         let spec = arch.instantiate(&model, k).unwrap();
-        let prop = CostModel::evaluate(
-            &MultipleCeBuilder::new(&model, &board).build(&spec).unwrap(),
-        );
+        let prop =
+            CostModel::evaluate(&MultipleCeBuilder::new(&model, &board).build(&spec).unwrap());
         let unif = CostModel::evaluate(
             &MultipleCeBuilder::new(&model, &board)
                 .with_options(BuilderOptions {
@@ -135,7 +144,10 @@ fn pe_allocation_table() -> Table {
             k.to_string(),
             format!("{:.1}", prop.throughput_fps),
             format!("{:.1}", unif.throughput_fps),
-            format!("{:.0}%", 100.0 * (1.0 - unif.throughput_fps / prop.throughput_fps)),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - unif.throughput_fps / prop.throughput_fps)
+            ),
         ]);
     }
     t
@@ -146,9 +158,7 @@ fn row_parallelism_table() -> Table {
     let model = zoo::resnet50();
     let board = FpgaBoard::zc706();
     let spec = Architecture::SegmentedRr.instantiate(&model, 2).unwrap();
-    let row = CostModel::evaluate(
-        &MultipleCeBuilder::new(&model, &board).build(&spec).unwrap(),
-    );
+    let row = CostModel::evaluate(&MultipleCeBuilder::new(&model, &board).build(&spec).unwrap());
     let full = CostModel::evaluate(
         &MultipleCeBuilder::new(&model, &board)
             .with_options(BuilderOptions {
@@ -160,12 +170,20 @@ fn row_parallelism_table() -> Table {
     );
     let mut t = Table::new(
         "row_parallelism",
-        &["pipelined parallelism", "accesses (MiB)", "latency (ms)", "weights share"],
+        &[
+            "pipelined parallelism",
+            "accesses (MiB)",
+            "latency (ms)",
+            "weights share",
+        ],
     );
-    for (name, e) in [("row-pipelined (p_oh = 1)", &row), ("unrestricted 3-D", &full)] {
+    for (name, e) in [
+        ("row-pipelined (p_oh = 1)", &row),
+        ("unrestricted 3-D", &full),
+    ] {
         t.row(vec![
             name.to_string(),
-            format!("{:.1}", mib(Metric::OffChipAccesses.value(e) as u64)),
+            format!("{:.1}", mib(e.offchip_bytes)),
             format!("{:.1}", e.latency_ms()),
             format!("{:.0}%", 100.0 * e.weight_traffic_share()),
         ]);

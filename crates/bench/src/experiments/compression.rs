@@ -33,8 +33,9 @@ pub fn run() -> Report {
     let model = zoo::resnet50();
     let board = FpgaBoard::zc706();
     let builder = MultipleCeBuilder::new(&model, &board);
-    let acc: BuiltAccelerator =
-        builder.build(&templates::segmented_rr(&model, 2).unwrap()).unwrap();
+    let acc: BuiltAccelerator = builder
+        .build(&templates::segmented_rr(&model, 2).unwrap())
+        .unwrap();
     let base = CostModel::evaluate(&acc);
 
     // Targeted: only layers of memory-bound segments (what Fig. 6a points
@@ -45,8 +46,7 @@ pub fn run() -> Report {
         .filter(|s| s.memory_s > s.compute_s)
         .flat_map(|s| s.first..=s.last)
         .collect();
-    let acc_targeted =
-        acc.clone().with_weight_compression(&targeted_layers, RATIO);
+    let acc_targeted = acc.clone().with_weight_compression(&targeted_layers, RATIO);
     let targeted = CostModel::evaluate(&acc_targeted);
 
     // Blanket: everything.
@@ -60,15 +60,31 @@ pub fn run() -> Report {
     );
     let mut t = Table::new(
         "comparison",
-        &["scheme", "layers compressed", "latency (ms)", "FPS", "accesses (MiB)", "stalls"],
+        &[
+            "scheme",
+            "layers compressed",
+            "latency (ms)",
+            "FPS",
+            "accesses (MiB)",
+            "stalls",
+        ],
     );
     row(&mut t, "none", 0, &base);
-    row(&mut t, "targeted (memory-bound segments)", targeted_layers.len(), &targeted);
+    row(
+        &mut t,
+        "targeted (memory-bound segments)",
+        targeted_layers.len(),
+        &targeted,
+    );
     row(&mut t, "blanket (all layers)", all_layers.len(), &blanket);
     report.tables.push(t);
 
     let gain = |e: &Evaluation| base.latency_s - e.latency_s;
-    let captured = if gain(&blanket) > 0.0 { gain(&targeted) / gain(&blanket) } else { 1.0 };
+    let captured = if gain(&blanket) > 0.0 {
+        gain(&targeted) / gain(&blanket)
+    } else {
+        1.0
+    };
     report.note(format!(
         "Targeted compression touches {}/{} layers yet captures {:.0}% of the blanket \
          scheme's latency gain — the selective-optimization story of §V-D.",

@@ -79,11 +79,11 @@ impl EvalSpeed {
             "lanes",
             &["lane", "designs", "wall time", "designs/sec", "ms/design"],
         );
-        for (name, secs) in
-            [("baseline (unmemoized + full evaluate)", self.baseline_s),
-             ("fast lane, cold memo cache", self.fastlane_s),
-             ("fast lane, warm memo cache", self.fastlane_warm_s)]
-        {
+        for (name, secs) in [
+            ("baseline (unmemoized + full evaluate)", self.baseline_s),
+            ("fast lane, cold memo cache", self.fastlane_s),
+            ("fast lane, warm memo cache", self.fastlane_warm_s),
+        ] {
             t.row(vec![
                 name.into(),
                 self.designs.to_string(),
@@ -94,8 +94,14 @@ impl EvalSpeed {
         }
         report.tables.push(t);
         let mut e = Table::new("evaluate_only", &["lane", "µs/design"]);
-        e.row(vec!["CostModel::evaluate (rich reports)".into(), format!("{:.1}", self.eval_full_us)]);
-        e.row(vec!["CostModel::evaluate_summary (fast)".into(), format!("{:.1}", self.eval_summary_us)]);
+        e.row(vec![
+            "CostModel::evaluate (rich reports)".into(),
+            format!("{:.1}", self.eval_full_us),
+        ]);
+        e.row(vec![
+            "CostModel::evaluate_summary (fast)".into(),
+            format!("{:.1}", self.eval_summary_us),
+        ]);
         report.tables.push(e);
         report.note(format!(
             "Sweep speedup {:.1}x on {} ({} designs; paper headline: 6.3 ms/design, \
@@ -224,7 +230,10 @@ pub fn measure(count: usize, seed: u64) -> EvalSpeed {
         .sample_custom_summaries(count, seed)
         .expect("warm re-run samples the identical stream");
     let fastlane_warm_s = warm_elapsed.as_secs_f64();
-    assert_eq!(warm_points, points, "warm cache changed results — memo cache is broken");
+    assert_eq!(
+        warm_points, points,
+        "warm cache changed results — memo cache is broken"
+    );
 
     assert_eq!(points.len(), baseline_summaries.len());
     for (fast, slow) in points.iter().zip(&baseline_summaries) {
@@ -236,8 +245,13 @@ pub fn measure(count: usize, seed: u64) -> EvalSpeed {
         .iter()
         .take(32)
         .map(|p| {
-            let spec = p.design.to_spec(&model).expect("sampled design re-materializes");
-            baseline_builder.build(&spec).expect("sampled design rebuilds")
+            let spec = p
+                .design
+                .to_spec(&model)
+                .expect("sampled design re-materializes");
+            baseline_builder
+                .build(&spec)
+                .expect("sampled design rebuilds")
         })
         .collect();
     let reps = (count / accs.len().max(1)).max(8);
@@ -249,7 +263,10 @@ pub fn measure(count: usize, seed: u64) -> EvalSpeed {
     let mut scratch = EvalScratch::new();
     let start = Instant::now();
     for i in 0..reps * accs.len() {
-        black_box(CostModel::evaluate_summary(&accs[i % accs.len()], &mut scratch));
+        black_box(CostModel::evaluate_summary(
+            &accs[i % accs.len()],
+            &mut scratch,
+        ));
     }
     let eval_summary_us = start.elapsed().as_secs_f64() * 1e6 / (reps * accs.len()) as f64;
 

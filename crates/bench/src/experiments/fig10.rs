@@ -25,9 +25,12 @@ pub fn run(samples: usize, seed: u64, workers: usize) -> Report {
     let explorer = Explorer::new(&model, &board);
 
     let sweep = baseline_sweep(&model, &board);
-    let seg_best =
-        best_instance(&sweep, mccm_arch::templates::Architecture::Segmented, Metric::Throughput)
-            .unwrap();
+    let seg_best = best_instance(
+        &sweep,
+        mccm_arch::templates::Architecture::Segmented,
+        Metric::Throughput,
+    )
+    .unwrap();
 
     let (points, elapsed) = explorer
         .par_sample_custom_summaries(samples, seed, workers)
@@ -40,7 +43,10 @@ pub fn run(samples: usize, seed: u64, workers: usize) -> Report {
     );
 
     // Scatter CSV (throughput, buffers) — the Fig. 10 cloud.
-    let mut t = Table::new("scatter", &["notation", "CEs", "throughput (FPS)", "buffers (MiB)"]);
+    let mut t = Table::new(
+        "scatter",
+        &["notation", "CEs", "throughput (FPS)", "buffers (MiB)"],
+    );
     for p in &points {
         t.row(vec![
             p.summary.notation.clone(),
@@ -56,9 +62,15 @@ pub fn run(samples: usize, seed: u64, workers: usize) -> Report {
     // was the last user of the full points, so move the summaries out
     // instead of cloning 100k notation strings.
     let summaries: Vec<_> = points.into_iter().map(|p| p.summary).collect();
-    let front =
-        par_pareto_indices(&summaries, &[Metric::Throughput, Metric::OnChipBuffers], workers);
-    let mut pf = Table::new("pareto", &["notation", "CEs", "throughput (FPS)", "buffers (MiB)"]);
+    let front = par_pareto_indices(
+        &summaries,
+        &[Metric::Throughput, Metric::OnChipBuffers],
+        workers,
+    );
+    let mut pf = Table::new(
+        "pareto",
+        &["notation", "CEs", "throughput (FPS)", "buffers (MiB)"],
+    );
     for &i in &front {
         pf.row(vec![
             summaries[i].notation.clone(),
@@ -72,17 +84,20 @@ pub fn run(samples: usize, seed: u64, workers: usize) -> Report {
     // The paper's two headline comparisons against Segmented-4 (the
     // highest-throughput baseline).
     let base_fps = seg_best.eval.throughput_fps;
-    let base_buf = seg_best.eval.buffer_req_bytes as f64;
+    let base_buf = seg_best.eval.buffer_req_bytes.as_f64();
     let best_buf_at_base = summaries
         .iter()
         .filter(|e| e.throughput_fps >= base_fps * 0.999)
-        .map(|e| e.buffer_req_bytes as f64)
+        .map(|e| e.buffer_req_bytes.as_f64())
         .fold(f64::INFINITY, f64::min);
-    let best_fps = summaries.iter().map(|e| e.throughput_fps).fold(0.0f64, f64::max);
+    let best_fps = summaries
+        .iter()
+        .map(|e| e.throughput_fps)
+        .fold(0.0f64, f64::max);
     let best_fps_buf = summaries
         .iter()
         .filter(|e| e.throughput_fps >= best_fps * 0.999)
-        .map(|e| e.buffer_req_bytes as f64)
+        .map(|e| e.buffer_req_bytes.as_f64())
         .fold(f64::INFINITY, f64::min);
 
     report.note(format!(

@@ -15,8 +15,10 @@ pub fn run() -> Report {
     let board = FpgaBoard::zc706();
     let sweep = baseline_sweep(&model, &board);
 
-    let mut report =
-        Report::new("fig5", "Throughput vs off-chip accesses, ResNet-50 on ZC706");
+    let mut report = Report::new(
+        "fig5",
+        "Throughput vs off-chip accesses, ResNet-50 on ZC706",
+    );
     let mut t = Table::new(
         "scatter",
         &["architecture", "CEs", "throughput (FPS)", "accesses (MiB)"],
@@ -35,7 +37,13 @@ pub fn run() -> Report {
     // Hyb-9; access bests labeled 2 / 3 / 2-ish).
     let mut ann = Table::new(
         "annotations",
-        &["architecture", "best-FPS CEs", "FPS", "min-access CEs", "accesses (MiB)"],
+        &[
+            "architecture",
+            "best-FPS CEs",
+            "FPS",
+            "min-access CEs",
+            "accesses (MiB)",
+        ],
     );
     for arch in Architecture::ALL {
         let bt = best_instance(&sweep, arch, Metric::Throughput).unwrap();
@@ -68,7 +76,11 @@ pub fn run() -> Report {
          the off-chip bottleneck of Fig. 5 ({}).",
         mib(min_rr),
         mib(max_other),
-        if min_rr > max_other { "reproduced" } else { "NOT reproduced" }
+        if min_rr > max_other {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     report
 }

@@ -15,7 +15,13 @@ fn segment_table(name: &str, eval: &Evaluation) -> Table {
     let total: f64 = eval.segments.iter().map(|s| s.time_s).sum();
     let mut t = Table::new(
         name,
-        &["segment", "layers", "compute (% overall)", "memory (% overall)", "memory-bound"],
+        &[
+            "segment",
+            "layers",
+            "compute (% overall)",
+            "memory (% overall)",
+            "memory-bound",
+        ],
     );
     for s in &eval.segments {
         t.row(vec![
@@ -23,7 +29,11 @@ fn segment_table(name: &str, eval: &Evaluation) -> Table {
             format!("L{}-L{}", s.first + 1, s.last + 1),
             format!("{:.1}", 100.0 * s.compute_s / total),
             format!("{:.1}", 100.0 * s.memory_s / total),
-            if s.memory_s > s.compute_s { "yes".into() } else { String::new() },
+            if s.memory_s > s.compute_s {
+                "yes".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     t
@@ -36,21 +46,35 @@ pub fn run() -> Report {
     let builder = MultipleCeBuilder::new(&model, &board);
 
     let rr = CostModel::evaluate(
-        &builder.build(&templates::segmented_rr(&model, 2).unwrap()).unwrap(),
+        &builder
+            .build(&templates::segmented_rr(&model, 2).unwrap())
+            .unwrap(),
     );
     let seg = CostModel::evaluate(
-        &builder.build(&templates::segmented(&model, 7).unwrap()).unwrap(),
+        &builder
+            .build(&templates::segmented(&model, 7).unwrap())
+            .unwrap(),
     );
 
     let mut report = Report::new(
         "fig6",
         "Per-segment compute vs memory time, ResNet-50 on ZC706",
     );
-    report.tables.push(segment_table("a_segmented_rr_2ces", &rr));
+    report
+        .tables
+        .push(segment_table("a_segmented_rr_2ces", &rr));
     report.tables.push(segment_table("b_segmented_7ces", &seg));
 
-    let rr_bound = rr.segments.iter().filter(|s| s.memory_s > s.compute_s).count();
-    let seg_bound = seg.segments.iter().filter(|s| s.memory_s > s.compute_s).count();
+    let rr_bound = rr
+        .segments
+        .iter()
+        .filter(|s| s.memory_s > s.compute_s)
+        .count();
+    let seg_bound = seg
+        .segments
+        .iter()
+        .filter(|s| s.memory_s > s.compute_s)
+        .count();
     report.note(format!(
         "SegmentedRR-2: {}/{} segments memory-bound; idle (stall) fraction {:.0}% \
          (paper: segments 22-26 memory-bound, 29% idle).",
@@ -81,6 +105,9 @@ mod tests {
             .skip(18)
             .filter(|row| row[4] == "yes")
             .count();
-        assert!(bound >= 3, "late rounds should be memory-bound, got {bound}");
+        assert!(
+            bound >= 3,
+            "late rounds should be memory-bound, got {bound}"
+        );
     }
 }

@@ -22,10 +22,20 @@ pub fn run() -> Report {
     );
     let mut t = Table::new(
         "breakdown",
-        &["architecture", "CEs", "weights (MiB)", "FMs (MiB)", "weights share"],
+        &[
+            "architecture",
+            "CEs",
+            "weights (MiB)",
+            "FMs (MiB)",
+            "weights share",
+        ],
     );
     let mut shares = Vec::new();
-    for arch in [Architecture::SegmentedRr, Architecture::Segmented, Architecture::Hybrid] {
+    for arch in [
+        Architecture::SegmentedRr,
+        Architecture::Segmented,
+        Architecture::Hybrid,
+    ] {
         let p = best_instance(&sweep, arch, Metric::Throughput).unwrap();
         let share = p.eval.weight_traffic_share();
         shares.push((arch, share));
@@ -41,7 +51,8 @@ pub fn run() -> Report {
 
     report.note(
         "Paper: weights dominate SegmentedRR and Hybrid accesses (compressing FMs there would be \
-         pure overhead), while Segmented splits more evenly.".to_string(),
+         pure overhead), while Segmented splits more evenly."
+            .to_string(),
     );
     for (arch, share) in shares {
         if arch != Architecture::Segmented {
@@ -49,7 +60,11 @@ pub fn run() -> Report {
                 "{}: weights share {:.0}% ({})",
                 arch.name(),
                 100.0 * share,
-                if share > 0.5 { "weights-dominated, as in the paper" } else { "FM-dominated" }
+                if share > 0.5 {
+                    "weights-dominated, as in the paper"
+                } else {
+                    "FM-dominated"
+                }
             ));
         }
     }

@@ -15,8 +15,7 @@ pub fn run() -> Report {
     let board = FpgaBoard::vcu110();
     let sweep = baseline_sweep(&model, &board);
 
-    let mut report =
-        Report::new("fig8", "Throughput vs on-chip buffers, Xception on VCU110");
+    let mut report = Report::new("fig8", "Throughput vs on-chip buffers, Xception on VCU110");
     let mut t = Table::new(
         "scatter",
         &["architecture", "CEs", "throughput (FPS)", "buffers (MiB)"],
@@ -33,7 +32,13 @@ pub fn run() -> Report {
 
     let mut ann = Table::new(
         "annotations",
-        &["architecture", "best-FPS CEs", "FPS", "min-buffer CEs", "buffers (MiB)"],
+        &[
+            "architecture",
+            "best-FPS CEs",
+            "FPS",
+            "min-buffer CEs",
+            "buffers (MiB)",
+        ],
     );
     for arch in Architecture::ALL {
         let bt = best_instance(&sweep, arch, Metric::Throughput).unwrap();

@@ -18,10 +18,14 @@ pub fn run() -> Report {
     let builder = MultipleCeBuilder::new(&model, &board);
 
     let seg4 = CostModel::evaluate(
-        &builder.build(&templates::segmented(&model, 4).unwrap()).unwrap(),
+        &builder
+            .build(&templates::segmented(&model, 4).unwrap())
+            .unwrap(),
     );
     let hyb7 = CostModel::evaluate(
-        &builder.build(&templates::hybrid(&model, 7).unwrap()).unwrap(),
+        &builder
+            .build(&templates::hybrid(&model, 7).unwrap())
+            .unwrap(),
     );
 
     let mut report = Report::new(
@@ -30,17 +34,21 @@ pub fn run() -> Report {
     );
 
     // (a) Buffers normalized to the Segmented total (as in the paper).
-    let seg_total: u64 = seg4.segments.iter().map(|s| s.buffer_req_bytes).sum();
+    let seg_total: mccm_core::Bytes = seg4.segments.iter().map(|s| s.buffer_req_bytes).sum();
     let mut a = Table::new(
         "a_buffers",
-        &["design", "segment", "buffer (normalized to Segmented total)"],
+        &[
+            "design",
+            "segment",
+            "buffer (normalized to Segmented total)",
+        ],
     );
     for (name, eval) in [("Segmented-4", &seg4), ("Hybrid-7", &hyb7)] {
         for s in &eval.segments {
             a.row(vec![
                 name.to_string(),
                 format!("Seg{}", s.index + 1),
-                format!("{:.3}", s.buffer_req_bytes as f64 / seg_total as f64),
+                format!("{:.3}", s.buffer_req_bytes.as_f64() / seg_total.as_f64()),
             ]);
         }
     }
@@ -75,7 +83,8 @@ pub fn run() -> Report {
     report.note(
         "Paper: the Segmented's first segments dominate its buffers while the Hybrid's \
          bottleneck sits in its last block — hinting at the Hybrid-head + Segmented-tail \
-         custom space explored in Fig. 10.".to_string(),
+         custom space explored in Fig. 10."
+            .to_string(),
     );
     report
 }

@@ -142,11 +142,29 @@ impl GuidedQuality {
         );
         let mut lanes = Table::new(
             "lanes",
-            &["lane", "attempts", "feasible", "front size", "hypervolume", "covers other", "seconds"],
+            &[
+                "lane",
+                "attempts",
+                "feasible",
+                "front size",
+                "hypervolume",
+                "covers other",
+                "seconds",
+            ],
         );
         for (name, lane, hv, cov) in [
-            ("guided (NSGA-II islands)", &self.guided, self.comparison.hypervolume_a, self.comparison.coverage_a_over_b),
-            ("random (seeded stream)", &self.random, self.comparison.hypervolume_b, self.comparison.coverage_b_over_a),
+            (
+                "guided (NSGA-II islands)",
+                &self.guided,
+                self.comparison.hypervolume_a,
+                self.comparison.coverage_a_over_b,
+            ),
+            (
+                "random (seeded stream)",
+                &self.random,
+                self.comparison.hypervolume_b,
+                self.comparison.coverage_b_over_a,
+            ),
         ] {
             lanes.row(vec![
                 name.into(),
@@ -160,7 +178,10 @@ impl GuidedQuality {
         }
         report.tables.push(lanes);
 
-        let mut best = Table::new("best_per_metric", &["metric", "guided best", "random best", "winner"]);
+        let mut best = Table::new(
+            "best_per_metric",
+            &["metric", "guided best", "random best", "winner"],
+        );
         for (i, m) in self.metrics.iter().enumerate() {
             let (g, r) = (self.comparison.best_a[i], self.comparison.best_b[i]);
             let winner = if m.better(g, r) {
@@ -198,7 +219,13 @@ impl GuidedQuality {
         // Non-finite bests (an empty front) must stay valid JSON.
         let best = |v: &[f64]| -> String {
             v.iter()
-                .map(|x| if x.is_finite() { format!("{x:.6e}") } else { "null".to_string() })
+                .map(|x| {
+                    if x.is_finite() {
+                        format!("{x:.6e}")
+                    } else {
+                        "null".to_string()
+                    }
+                })
                 .collect::<Vec<_>>()
                 .join(", ")
         };

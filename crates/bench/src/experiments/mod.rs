@@ -22,12 +22,12 @@ pub mod ablation;
 pub mod compression;
 pub mod eval_speed;
 pub mod fig10;
-pub mod guided;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod guided;
 pub mod speed;
 pub mod table1;
 pub mod table2;

@@ -25,7 +25,11 @@ pub fn run(reps: usize) -> Report {
 
     // Pre-build a rotating set of accelerators.
     let accs: Vec<_> = (2..=11)
-        .map(|k| builder.build(&templates::hybrid(&model, k).unwrap()).unwrap())
+        .map(|k| {
+            builder
+                .build(&templates::hybrid(&model, k).unwrap())
+                .unwrap()
+        })
         .collect();
     let evals: Vec<_> = accs.iter().map(CostModel::evaluate).collect();
 
@@ -40,7 +44,10 @@ pub fn run(reps: usize) -> Report {
     let mut scratch = EvalScratch::new();
     let start = Instant::now();
     for i in 0..reps {
-        std::hint::black_box(CostModel::evaluate_summary(&accs[i % accs.len()], &mut scratch));
+        std::hint::black_box(CostModel::evaluate_summary(
+            &accs[i % accs.len()],
+            &mut scratch,
+        ));
     }
     let summary_s = start.elapsed().as_secs_f64() / reps as f64;
 

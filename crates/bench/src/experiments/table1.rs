@@ -28,15 +28,25 @@ pub fn run() -> Report {
     let board = FpgaBoard::zcu102();
     let sweep = baseline_sweep(&model, &board);
 
-    let order = [Architecture::SegmentedRr, Architecture::Segmented, Architecture::Hybrid];
+    let order = [
+        Architecture::SegmentedRr,
+        Architecture::Segmented,
+        Architecture::Hybrid,
+    ];
     let picks: Vec<_> = order
         .iter()
         .map(|&a| best_instance(&sweep, a, Metric::Throughput).expect("sweep non-empty"))
         .collect();
 
     let lat: Vec<f64> = picks.iter().map(|p| p.eval.latency_s).collect();
-    let buf: Vec<f64> = picks.iter().map(|p| p.eval.buffer_req_bytes as f64).collect();
-    let acc: Vec<f64> = picks.iter().map(|p| p.eval.offchip_bytes as f64).collect();
+    let buf: Vec<f64> = picks
+        .iter()
+        .map(|p| p.eval.buffer_req_bytes.as_f64())
+        .collect();
+    let acc: Vec<f64> = picks
+        .iter()
+        .map(|p| p.eval.offchip_bytes.as_f64())
+        .collect();
     let nl = Metric::Latency.normalize_to_best(&lat);
     let nb = Metric::OnChipBuffers.normalize_to_best(&buf);
     let na = Metric::OffChipAccesses.normalize_to_best(&acc);
@@ -74,7 +84,14 @@ pub fn run() -> Report {
 
     let mut raw = Table::new(
         "raw",
-        &["architecture", "CEs", "latency (ms)", "buffers (MiB)", "accesses (MiB)", "FPS"],
+        &[
+            "architecture",
+            "CEs",
+            "latency (ms)",
+            "buffers (MiB)",
+            "accesses (MiB)",
+            "FPS",
+        ],
     );
     for (i, p) in picks.iter().enumerate() {
         raw.row(vec![

@@ -9,7 +9,13 @@ pub fn run() -> Report {
     let mut report = Report::new("table2", "Evaluation FPGA boards");
     let mut t = Table::new(
         "boards",
-        &["board", "DSPs", "Block RAM (MiB)", "off-chip BW (GB/s)", "clock (MHz)"],
+        &[
+            "board",
+            "DSPs",
+            "Block RAM (MiB)",
+            "off-chip BW (GB/s)",
+            "clock (MHz)",
+        ],
     );
     for b in boards() {
         t.row(vec![

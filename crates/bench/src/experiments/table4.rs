@@ -56,8 +56,12 @@ pub fn run() -> Report {
                 let r = sim.run_with_eval(&acc, &eval);
                 let recs = r.accuracy_records(&eval);
                 let by = |m: Metric| recs.iter().find(|x| x.metric == m).unwrap();
-                let accuracy =
-                    [recs[2].accuracy(), recs[0].accuracy(), recs[1].accuracy(), recs[3].accuracy()];
+                let accuracy = [
+                    recs[2].accuracy(),
+                    recs[0].accuracy(),
+                    recs[1].accuracy(),
+                    recs[3].accuracy(),
+                ];
                 cells.push(Cell {
                     arch,
                     ces,
@@ -77,7 +81,14 @@ pub fn run() -> Report {
     );
     let mut t = Table::new(
         "summary",
-        &["metric", "stat", "Segmented", "SegmentedRR", "Hybrid", "paper avg (S/R/H)"],
+        &[
+            "metric",
+            "stat",
+            "Segmented",
+            "SegmentedRR",
+            "Hybrid",
+            "paper avg (S/R/H)",
+        ],
     );
     for (mi, metric) in METRICS.iter().enumerate() {
         let per_arch: Vec<AccuracySummary> = Architecture::ALL
@@ -91,7 +102,10 @@ pub fn run() -> Report {
             .collect();
         let paper = PAPER_AVG[mi].1;
         for (stat, get) in [
-            ("max", &(|s: &AccuracySummary| s.max) as &dyn Fn(&AccuracySummary) -> f64),
+            (
+                "max",
+                &(|s: &AccuracySummary| s.max) as &dyn Fn(&AccuracySummary) -> f64,
+            ),
             ("min", &|s: &AccuracySummary| s.min),
             ("avg", &|s: &AccuracySummary| s.average),
         ] {
@@ -123,14 +137,19 @@ pub fn run() -> Report {
                     .iter()
                     .filter(|c| c.model == model.name() && c.ces == ces)
                     .collect();
-                let best =
-                    |vals: &dyn Fn(&Cell) -> f64| -> Architecture {
-                        group
-                            .iter()
-                            .reduce(|a, b| if metric.better(vals(b), vals(a)) { b } else { a })
-                            .unwrap()
-                            .arch
-                    };
+                let best = |vals: &dyn Fn(&Cell) -> f64| -> Architecture {
+                    group
+                        .iter()
+                        .reduce(|a, b| {
+                            if metric.better(vals(b), vals(a)) {
+                                b
+                            } else {
+                                a
+                            }
+                        })
+                        .unwrap()
+                        .arch
+                };
                 let model_best = best(&|c: &Cell| c.model_vals[mi]);
                 let ref_best = best(&|c: &Cell| c.ref_vals[mi]);
                 // Each group covers 3 experiments, as in the paper's
@@ -154,8 +173,7 @@ pub fn run() -> Report {
     }
     report.tables.push(pred);
 
-    let overall: f64 =
-        cells.iter().flat_map(|c| c.accuracy.iter()).sum::<f64>() / (150.0 * 4.0);
+    let overall: f64 = cells.iter().flat_map(|c| c.accuracy.iter()).sum::<f64>() / (150.0 * 4.0);
     report.note(format!(
         "Overall average accuracy {overall:.1}% (paper: > 90% for all architectures)."
     ));

@@ -16,8 +16,12 @@ pub fn run() -> Report {
         "Best architectures per board, CNN, and metric (10% tie rule)",
     );
 
-    let metric_rows =
-        [Metric::Latency, Metric::Throughput, Metric::OffChipAccesses, Metric::OnChipBuffers];
+    let metric_rows = [
+        Metric::Latency,
+        Metric::Throughput,
+        Metric::OffChipAccesses,
+        Metric::OnChipBuffers,
+    ];
 
     let mut headers: Vec<String> = vec!["metric".into()];
     for b in boards() {
@@ -25,7 +29,10 @@ pub fn run() -> Report {
             headers.push(format!("{}/{}", b.name, zoo::abbreviation(m.name())));
         }
     }
-    let mut t = Table::new("grid", &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut t = Table::new(
+        "grid",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
 
     // Pre-compute sweeps (20 columns).
     let mut sweeps = Vec::new();

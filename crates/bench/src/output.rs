@@ -41,7 +41,14 @@ impl Table {
                 cell.to_string()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -66,7 +73,11 @@ impl fmt::Display for Table {
             writeln!(f)
         };
         line(f, &self.headers)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             line(f, row)?;
         }
@@ -90,7 +101,12 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        Self { id: id.into(), title: title.into(), tables: Vec::new(), notes: Vec::new() }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Adds a note line.

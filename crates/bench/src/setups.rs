@@ -60,8 +60,8 @@ pub fn arch_initial(arch: Architecture) -> &'static str {
 }
 
 /// Bytes → MiB.
-pub fn mib(bytes: u64) -> f64 {
-    bytes as f64 / (1024.0 * 1024.0)
+pub fn mib(bytes: mccm_core::Bytes) -> f64 {
+    bytes.mib()
 }
 
 #[cfg(test)]
@@ -76,7 +76,10 @@ mod tests {
         let best = best_instance(&sweep, Architecture::Hybrid, Metric::Throughput).unwrap();
         assert_eq!(best.architecture, Architecture::Hybrid);
         // It really is the max-throughput hybrid.
-        for p in sweep.iter().filter(|p| p.architecture == Architecture::Hybrid) {
+        for p in sweep
+            .iter()
+            .filter(|p| p.architecture == Architecture::Hybrid)
+        {
             assert!(best.eval.throughput_fps >= p.eval.throughput_fps);
         }
     }

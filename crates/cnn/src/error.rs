@@ -42,7 +42,11 @@ impl fmt::Display for CnnError {
             Self::ForwardReference { layer, source } => {
                 write!(f, "layer {layer} references non-preceding layer {source}")
             }
-            Self::BadInputArity { layer, found, expected } => {
+            Self::BadInputArity {
+                layer,
+                found,
+                expected,
+            } => {
                 write!(f, "layer {layer} has {found} inputs, expected {expected}")
             }
             Self::ShapeMismatch { layer, detail } => {

@@ -41,7 +41,10 @@ impl Padding {
 
     /// `SAME` padding for a given (odd) kernel.
     pub const fn same(kernel_h: u32, kernel_w: u32) -> Self {
-        Self { h: (kernel_h - 1) / 2, w: (kernel_w - 1) / 2 }
+        Self {
+            h: (kernel_h - 1) / 2,
+            w: (kernel_w - 1) / 2,
+        }
     }
 
     /// No padding (`VALID`).
@@ -71,7 +74,12 @@ pub struct ConvSpec {
 impl ConvSpec {
     /// Standard convolution with square kernel/stride and explicit padding.
     pub const fn standard(kernel: u32, stride: u32, padding: Padding) -> Self {
-        Self { kernel: (kernel, kernel), stride: (stride, stride), padding, depthwise: false }
+        Self {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding,
+            depthwise: false,
+        }
     }
 
     /// Pointwise (1×1) convolution.
@@ -86,7 +94,12 @@ impl ConvSpec {
 
     /// Depthwise convolution with square kernel.
     pub const fn depthwise(kernel: u32, stride: u32, padding: Padding) -> Self {
-        Self { kernel: (kernel, kernel), stride: (stride, stride), padding, depthwise: true }
+        Self {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding,
+            depthwise: true,
+        }
     }
 
     /// Output spatial size for an input of `(h, w)`.
@@ -144,7 +157,12 @@ impl PoolSpec {
 
     /// Global average pooling.
     pub const fn global_avg() -> Self {
-        Self { kind: PoolKind::GlobalAvg, kernel: (0, 0), stride: (0, 0), padding: Padding::valid() }
+        Self {
+            kind: PoolKind::GlobalAvg,
+            kernel: (0, 0),
+            stride: (0, 0),
+            padding: Padding::valid(),
+        }
     }
 
     /// Output spatial size for an input of `(h, w)`.
@@ -373,7 +391,10 @@ mod tests {
         let l = Layer {
             id: LayerId(0),
             name: "fc".into(),
-            op: LayerOp::Dense { inputs: 2048, outputs: 1000 },
+            op: LayerOp::Dense {
+                inputs: 2048,
+                outputs: 1000,
+            },
             ifm: TensorShape::new(2048, 1, 1),
             ofm: TensorShape::new(1000, 1, 1),
             inputs: vec![Src::Input],

@@ -77,7 +77,11 @@ impl CnnModel {
     /// Convolution weights only — the data the accelerator streams from
     /// off-chip memory.
     pub fn conv_weights(&self) -> u64 {
-        self.layers.iter().filter(|l| l.is_conv()).map(Layer::weight_count).sum()
+        self.layers
+            .iter()
+            .filter(|l| l.is_conv())
+            .map(Layer::weight_count)
+            .sum()
     }
 
     /// Total multiply-accumulate operations per inference.
@@ -87,7 +91,11 @@ impl CnnModel {
 
     /// Multiply-accumulate operations in convolution layers only.
     pub fn conv_macs(&self) -> u64 {
-        self.layers.iter().filter(|l| l.is_conv()).map(Layer::macs).sum()
+        self.layers
+            .iter()
+            .filter(|l| l.is_conv())
+            .map(Layer::macs)
+            .sum()
     }
 
     /// Extra feature-map elements that must stay resident while `layer`
@@ -109,9 +117,7 @@ impl CnnModel {
         self.layers[..i]
             .iter()
             .enumerate()
-            .filter(|(j, _)| {
-                !direct.contains(j) && self.last_consumer[*j].is_some_and(|c| c >= i)
-            })
+            .filter(|(j, _)| !direct.contains(j) && self.last_consumer[*j].is_some_and(|c| c >= i))
             .map(|(_, l)| l.ofm.elements())
             .sum()
     }
@@ -264,7 +270,11 @@ pub struct ModelBuilder {
 impl ModelBuilder {
     /// Starts a model with the given input image shape.
     pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
-        Self { name: name.into(), input, layers: Vec::new() }
+        Self {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
     }
 
     /// Shape produced by a source.
@@ -281,23 +291,56 @@ impl ModelBuilder {
         self.layers.last().map_or(Src::Input, |l| Src::Layer(l.id))
     }
 
-    fn push(&mut self, name: impl Into<String>, op: LayerOp, ifm: TensorShape, ofm: TensorShape, inputs: Vec<Src>, extra_params: u64) -> LayerId {
+    fn push(
+        &mut self,
+        name: impl Into<String>,
+        op: LayerOp,
+        ifm: TensorShape,
+        ofm: TensorShape,
+        inputs: Vec<Src>,
+        extra_params: u64,
+    ) -> LayerId {
         let id = LayerId(self.layers.len());
-        self.layers.push(Layer { id, name: name.into(), op, ifm, ofm, inputs, extra_params });
+        self.layers.push(Layer {
+            id,
+            name: name.into(),
+            op,
+            ifm,
+            ofm,
+            inputs,
+            extra_params,
+        });
         id
     }
 
     /// Appends a convolution consuming the previous layer.
-    pub fn conv(&mut self, name: impl Into<String>, spec: ConvSpec, out_channels: u32, extra_params: u64) -> LayerId {
+    pub fn conv(
+        &mut self,
+        name: impl Into<String>,
+        spec: ConvSpec,
+        out_channels: u32,
+        extra_params: u64,
+    ) -> LayerId {
         let src = self.last();
         self.conv_from(name, spec, out_channels, src, extra_params)
     }
 
     /// Appends a convolution consuming an explicit source.
-    pub fn conv_from(&mut self, name: impl Into<String>, spec: ConvSpec, out_channels: u32, src: Src, extra_params: u64) -> LayerId {
+    pub fn conv_from(
+        &mut self,
+        name: impl Into<String>,
+        spec: ConvSpec,
+        out_channels: u32,
+        src: Src,
+        extra_params: u64,
+    ) -> LayerId {
         let ifm = self.shape_of(src);
         let (oh, ow) = spec.out_spatial(ifm.height, ifm.width);
-        let out_channels = if spec.depthwise { ifm.channels } else { out_channels };
+        let out_channels = if spec.depthwise {
+            ifm.channels
+        } else {
+            out_channels
+        };
         let ofm = TensorShape::new(out_channels, oh, ow);
         self.push(name, LayerOp::Conv(spec), ifm, ofm, vec![src], extra_params)
     }
@@ -348,8 +391,7 @@ impl ModelBuilder {
     pub fn dense(&mut self, name: impl Into<String>, outputs: u32, extra_params: u64) -> LayerId {
         let src = self.last();
         let ifm = self.shape_of(src);
-        let inputs =
-            u32::try_from(ifm.elements()).expect("dense input feature count fits in u32");
+        let inputs = u32::try_from(ifm.elements()).expect("dense input feature count fits in u32");
         self.push(
             name,
             LayerOp::Dense { inputs, outputs },
@@ -381,7 +423,10 @@ impl ModelBuilder {
             for src in &l.inputs {
                 if let Src::Layer(id) = src {
                     if id.0 >= i {
-                        return Err(CnnError::ForwardReference { layer: i, source: id.0 });
+                        return Err(CnnError::ForwardReference {
+                            layer: i,
+                            source: id.0,
+                        });
                     }
                 }
             }
@@ -396,12 +441,21 @@ impl ModelBuilder {
                     LayerOp::Mul => "exactly 2",
                     _ => "exactly 1",
                 };
-                return Err(CnnError::BadInputArity { layer: i, found: l.inputs.len(), expected });
+                return Err(CnnError::BadInputArity {
+                    layer: i,
+                    found: l.inputs.len(),
+                    expected,
+                });
             }
             self.check_shapes(i, l)?;
         }
         let last_consumer = compute_last_consumers(&self.layers);
-        Ok(CnnModel { name: self.name, input: self.input, layers: self.layers, last_consumer })
+        Ok(CnnModel {
+            name: self.name,
+            input: self.input,
+            layers: self.layers,
+            last_consumer,
+        })
     }
 
     fn shape_of_at(&self, src: Src) -> TensorShape {
@@ -424,7 +478,9 @@ impl ModelBuilder {
                     )));
                 }
                 if spec.depthwise && l.ofm.channels != src.channels {
-                    return Err(mismatch("depthwise output channels differ from input".into()));
+                    return Err(mismatch(
+                        "depthwise output channels differ from input".into(),
+                    ));
                 }
             }
             LayerOp::Pool(spec) => {
@@ -551,7 +607,7 @@ mod tests {
         let c2_id = LayerId(2);
         assert_eq!(m.extra_live_elements(c1_id), 0); // c0 is direct input of c1
         assert_eq!(m.extra_live_elements(c2_id), 8 * 16 * 16); // c0 held for add
-        // Working set of c2 = ifm + ofm + held copy.
+                                                               // Working set of c2 = ifm + ofm + held copy.
         assert_eq!(m.fm_working_set(c2_id), (8 + 8 + 8) * 16 * 16);
     }
 

@@ -64,7 +64,12 @@ pub fn random_cnn(seed: u64, cfg: &SyntheticConfig) -> CnnModel {
     let mut made = 0usize;
     let mut n = 0usize;
     // Stem always present so channel counts leave 3.
-    b.conv("stem", ConvSpec::standard(3, 1, Padding::same(3, 3)), channels, 0);
+    b.conv(
+        "stem",
+        ConvSpec::standard(3, 1, Padding::same(3, 3)),
+        channels,
+        0,
+    );
     made += 1;
 
     while made < cfg.conv_layers {
@@ -72,7 +77,11 @@ pub fn random_cnn(seed: u64, cfg: &SyntheticConfig) -> CnnModel {
         let cur = b.last();
         let cur_shape = b.shape_of(cur);
         let can_stride = cur_shape.height >= 8;
-        let stride = if can_stride && rng.random_bool(0.25) { 2 } else { 1 };
+        let stride = if can_stride && rng.random_bool(0.25) {
+            2
+        } else {
+            1
+        };
 
         if rng.random_bool(cfg.depthwise_prob) && made + 2 <= cfg.conv_layers {
             // Depthwise + pointwise pair.
@@ -85,7 +94,13 @@ pub fn random_cnn(seed: u64, cfg: &SyntheticConfig) -> CnnModel {
             if stride == 1 && rng.random_bool(0.5) {
                 channels = (channels + rng.random_range(0..=channels / 2)).max(4);
             }
-            b.conv_from(format!("pw{n}"), ConvSpec::pointwise(1), channels, Src::Layer(d), 0);
+            b.conv_from(
+                format!("pw{n}"),
+                ConvSpec::pointwise(1),
+                channels,
+                Src::Layer(d),
+                0,
+            );
             made += 2;
         } else {
             let kernel = *[1u32, 3, 3, 5].get(rng.random_range(0..4)).unwrap();
@@ -97,7 +112,11 @@ pub fn random_cnn(seed: u64, cfg: &SyntheticConfig) -> CnnModel {
             } else {
                 ConvSpec::standard(kernel, stride, Padding::same(kernel, kernel))
             };
-            let prev2 = if b.shape_of(cur) == b.shape_of(b.last()) { Some(cur) } else { None };
+            let prev2 = if b.shape_of(cur) == b.shape_of(b.last()) {
+                Some(cur)
+            } else {
+                None
+            };
             let c = b.conv(format!("conv{n}"), spec, channels, 0);
             made += 1;
             // Optionally close a residual over this layer when shapes match.
@@ -112,7 +131,8 @@ pub fn random_cnn(seed: u64, cfg: &SyntheticConfig) -> CnnModel {
         }
     }
 
-    b.finish().expect("synthetic CNNs are valid by construction")
+    b.finish()
+        .expect("synthetic CNNs are valid by construction")
 }
 
 #[cfg(test)]
@@ -129,7 +149,10 @@ mod tests {
     #[test]
     fn respects_layer_budget() {
         for seed in 0..20 {
-            let cfg = SyntheticConfig { conv_layers: 9, ..Default::default() };
+            let cfg = SyntheticConfig {
+                conv_layers: 9,
+                ..Default::default()
+            };
             let m = random_cnn(seed, &cfg);
             assert!(m.conv_layer_count() >= 9, "seed {seed}");
             assert!(m.conv_layer_count() <= 10, "seed {seed}");

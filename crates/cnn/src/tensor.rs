@@ -31,7 +31,11 @@ pub struct TensorShape {
 impl TensorShape {
     /// Creates a shape from channel count and spatial dimensions.
     pub const fn new(channels: u32, height: u32, width: u32) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Total number of elements in the tensor.

@@ -42,7 +42,12 @@ fn dense_layer(b: &mut ModelBuilder, name: &str, input: Src) -> Src {
 pub fn densenet121() -> CnnModel {
     let mut b = ModelBuilder::new("densenet121", TensorShape::new(3, 224, 224));
     // Stem: conv-BN (post-activation for the stem only), maxpool.
-    b.conv("conv1", ConvSpec::standard(7, 2, Padding::new(3, 3)), 64, bn(64));
+    b.conv(
+        "conv1",
+        ConvSpec::standard(7, 2, Padding::new(3, 3)),
+        64,
+        bn(64),
+    );
     b.pool("pool1", PoolSpec::max(3, 2, Padding::new(1, 1)));
     let mut x = b.last();
 
@@ -75,7 +80,8 @@ pub fn densenet121() -> CnnModel {
     let gap = b.pool_from("avgpool", PoolSpec::global_avg(), x);
     b.layer_extra_params(gap, bn(final_c));
     b.dense("fc1000", 1000, 1000);
-    b.finish().expect("densenet construction is internally consistent")
+    b.finish()
+        .expect("densenet construction is internally consistent")
 }
 
 #[cfg(test)]

@@ -51,7 +51,11 @@ fn mbconv(
     // (biased) -> broadcast multiply. The reduction width derives from the
     // block's *input* channels (se_ratio = 0.25).
     let se_c = (se_from / 4).max(1);
-    let gap = b.pool_from(format!("{name}_se_squeeze"), PoolSpec::global_avg(), Src::Layer(d));
+    let gap = b.pool_from(
+        format!("{name}_se_squeeze"),
+        PoolSpec::global_avg(),
+        Src::Layer(d),
+    );
     let r = b.conv_from(
         format!("{name}_se_reduce"),
         ConvSpec::pointwise(1),
@@ -86,7 +90,12 @@ fn mbconv(
 /// 5.3 M parameters.
 pub fn efficientnet_b0() -> CnnModel {
     let mut b = ModelBuilder::new("efficientnetb0", TensorShape::new(3, 224, 224));
-    b.conv("stem", ConvSpec::standard(3, 2, Padding::same(3, 3)), 32, bn(32));
+    b.conv(
+        "stem",
+        ConvSpec::standard(3, 2, Padding::same(3, 3)),
+        32,
+        bn(32),
+    );
     let mut x = b.last();
 
     // (kernel, repeats, out channels, expand, first stride).
@@ -105,14 +114,24 @@ pub fn efficientnet_b0() -> CnnModel {
             idx += 1;
             let stride = if rep == 0 { s } else { 1 };
             let in_c = b.shape_of(x).channels;
-            x = mbconv(&mut b, &format!("block{idx}"), x, k, expand, out, stride, in_c);
+            x = mbconv(
+                &mut b,
+                &format!("block{idx}"),
+                x,
+                k,
+                expand,
+                out,
+                stride,
+                in_c,
+            );
         }
     }
 
     b.conv_from("head", ConvSpec::pointwise(1), 1280, x, bn(1280));
     b.pool("avgpool", PoolSpec::global_avg());
     b.dense("fc1000", 1000, 1000);
-    b.finish().expect("efficientnet construction is internally consistent")
+    b.finish()
+        .expect("efficientnet construction is internally consistent")
 }
 
 #[cfg(test)]

@@ -63,7 +63,12 @@ fn inverted_residual(
 /// MobileNetV2: 52 convolution layers, 3.5 M parameters (Table III).
 pub fn mobilenet_v2() -> CnnModel {
     let mut b = ModelBuilder::new("mobilenetv2", TensorShape::new(3, 224, 224));
-    b.conv("conv1", ConvSpec::standard(3, 2, Padding::same(3, 3)), 32, bn(32));
+    b.conv(
+        "conv1",
+        ConvSpec::standard(3, 2, Padding::same(3, 3)),
+        32,
+        bn(32),
+    );
     let mut x = b.last();
 
     // (expansion t, output channels c, repeats n, first stride s).
@@ -88,7 +93,8 @@ pub fn mobilenet_v2() -> CnnModel {
     b.conv_from("conv_last", ConvSpec::pointwise(1), 1280, x, bn(1280));
     b.pool("avgpool", PoolSpec::global_avg());
     b.dense("fc1000", 1000, 1000);
-    b.finish().expect("mobilenetv2 construction is internally consistent")
+    b.finish()
+        .expect("mobilenetv2 construction is internally consistent")
 }
 
 #[cfg(test)]
@@ -108,7 +114,10 @@ mod tests {
         let convs = m.conv_view();
         assert_eq!((convs[0].ofm.height, convs[0].ofm.width), (112, 112));
         let last = convs.last().unwrap();
-        assert_eq!((last.ofm.channels, last.ofm.height, last.ofm.width), (1280, 7, 7));
+        assert_eq!(
+            (last.ofm.channels, last.ofm.height, last.ofm.width),
+            (1280, 7, 7)
+        );
     }
 
     #[test]

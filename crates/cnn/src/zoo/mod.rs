@@ -35,7 +35,13 @@ pub fn abbreviation(model_name: &str) -> &'static str {
 /// All five evaluation CNNs in Table III order (Res152, Res50, XCp, Dns121,
 /// MobV2).
 pub fn all_models() -> Vec<CnnModel> {
-    vec![resnet152(), resnet50(), xception(), densenet121(), mobilenet_v2()]
+    vec![
+        resnet152(),
+        resnet50(),
+        xception(),
+        densenet121(),
+        mobilenet_v2(),
+    ]
 }
 
 /// Additional workloads beyond Table III: the classic weights-heavy VGG-16

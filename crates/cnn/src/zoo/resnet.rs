@@ -68,7 +68,12 @@ fn bottleneck(
 /// Builds a bottleneck ResNet with the given per-stage block counts.
 fn resnet(name: &str, blocks: [usize; 4]) -> CnnModel {
     let mut b = ModelBuilder::new(name, TensorShape::new(3, 224, 224));
-    b.conv("conv1", ConvSpec::standard(7, 2, Padding::new(3, 3)), 64, extra(64));
+    b.conv(
+        "conv1",
+        ConvSpec::standard(7, 2, Padding::new(3, 3)),
+        64,
+        extra(64),
+    );
     b.pool("pool1", PoolSpec::max(3, 2, Padding::new(1, 1)));
     let mut x = b.last();
 
@@ -96,7 +101,8 @@ fn resnet(name: &str, blocks: [usize; 4]) -> CnnModel {
 
     b.pool("avgpool", PoolSpec::global_avg());
     b.dense("fc1000", 1000, 1000);
-    b.finish().expect("resnet construction is internally consistent")
+    b.finish()
+        .expect("resnet construction is internally consistent")
 }
 
 /// ResNet-50: 53 convolution layers, 25.6 M parameters (Table III).
@@ -135,7 +141,10 @@ mod tests {
         // Stem downsamples to 112, maxpool to 56; stages end at 56/28/14/7.
         assert_eq!((convs[0].ofm.height, convs[0].ofm.width), (112, 112));
         let last = convs.last().unwrap();
-        assert_eq!((last.ofm.channels, last.ofm.height, last.ofm.width), (2048, 7, 7));
+        assert_eq!(
+            (last.ofm.channels, last.ofm.height, last.ofm.width),
+            (2048, 7, 7)
+        );
     }
 
     #[test]

@@ -23,12 +23,16 @@ pub fn vgg16() -> CnnModel {
                 channels as u64, // bias
             );
         }
-        b.pool(format!("block{}_pool", si + 1), PoolSpec::max(2, 2, Padding::valid()));
+        b.pool(
+            format!("block{}_pool", si + 1),
+            PoolSpec::max(2, 2, Padding::valid()),
+        );
     }
     b.dense("fc1", 4096, 4096);
     b.dense("fc2", 4096, 4096);
     b.dense("fc1000", 1000, 1000);
-    b.finish().expect("vgg16 construction is internally consistent")
+    b.finish()
+        .expect("vgg16 construction is internally consistent")
 }
 
 #[cfg(test)]

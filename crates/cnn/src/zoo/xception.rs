@@ -26,7 +26,13 @@ fn sepconv(b: &mut ModelBuilder, name: &str, input: Src, out: u32) -> Src {
         input,
         0,
     );
-    let p = b.conv_from(format!("{name}_pw"), ConvSpec::pointwise(1), out, Src::Layer(d), bn(out));
+    let p = b.conv_from(
+        format!("{name}_pw"),
+        ConvSpec::pointwise(1),
+        out,
+        Src::Layer(d),
+        bn(out),
+    );
     Src::Layer(p)
 }
 
@@ -40,8 +46,17 @@ fn downsample_module(b: &mut ModelBuilder, name: &str, input: Src, c1: u32, c2: 
         PoolSpec::max(3, 2, Padding::same(3, 3)),
         s2,
     );
-    let res = b.conv_from(format!("{name}_res"), ConvSpec::pointwise(2), c2, input, bn(c2));
-    let add = b.add(format!("{name}_add"), &[Src::Layer(pooled), Src::Layer(res)]);
+    let res = b.conv_from(
+        format!("{name}_res"),
+        ConvSpec::pointwise(2),
+        c2,
+        input,
+        bn(c2),
+    );
+    let add = b.add(
+        format!("{name}_add"),
+        &[Src::Layer(pooled), Src::Layer(res)],
+    );
     Src::Layer(add)
 }
 
@@ -50,8 +65,18 @@ fn downsample_module(b: &mut ModelBuilder, name: &str, input: Src, c1: u32, c2: 
 pub fn xception() -> CnnModel {
     let mut b = ModelBuilder::new("xception", TensorShape::new(3, 299, 299));
     // Entry stem: two VALID convolutions.
-    b.conv("block1_conv1", ConvSpec::standard(3, 2, Padding::valid()), 32, bn(32));
-    b.conv("block1_conv2", ConvSpec::standard(3, 1, Padding::valid()), 64, bn(64));
+    b.conv(
+        "block1_conv1",
+        ConvSpec::standard(3, 2, Padding::valid()),
+        32,
+        bn(32),
+    );
+    b.conv(
+        "block1_conv2",
+        ConvSpec::standard(3, 1, Padding::valid()),
+        64,
+        bn(64),
+    );
     let mut x = b.last();
 
     // Entry flow downsampling modules.
@@ -72,15 +97,15 @@ pub fn xception() -> CnnModel {
     // Exit flow.
     let s1 = sepconv(&mut b, "block13_sep1", x, 728);
     let s2 = sepconv(&mut b, "block13_sep2", s1, 1024);
-    let pooled =
-        b.pool_from("block13_pool", PoolSpec::max(3, 2, Padding::same(3, 3)), s2);
+    let pooled = b.pool_from("block13_pool", PoolSpec::max(3, 2, Padding::same(3, 3)), s2);
     let res = b.conv_from("block13_res", ConvSpec::pointwise(2), 1024, x, bn(1024));
     let add = b.add("block13_add", &[Src::Layer(pooled), Src::Layer(res)]);
     let s1 = sepconv(&mut b, "block14_sep1", Src::Layer(add), 1536);
     let s2 = sepconv(&mut b, "block14_sep2", s1, 2048);
     b.pool_from("avgpool", PoolSpec::global_avg(), s2);
     b.dense("fc1000", 1000, 1000);
-    b.finish().expect("xception construction is internally consistent")
+    b.finish()
+        .expect("xception construction is internally consistent")
 }
 
 #[cfg(test)]

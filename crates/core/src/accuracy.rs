@@ -15,10 +15,15 @@ use crate::metrics::Metric;
 /// Values below 0 (estimates off by more than 2×) are clamped to 0 so that
 /// aggregates stay meaningful. The reference must be a non-negative
 /// measurement (times, bytes, rates) — a negative reference flips the
-/// relative-error sign convention and is a caller bug, caught by a debug
-/// assertion.
+/// relative-error sign convention and is a caller bug, rejected in release
+/// builds too (same policy as the [`crate::quantity`] constructors: a
+/// poisoned aggregate is worse than a panic).
+///
+/// # Panics
+///
+/// If `reference` is negative (NaN passes through and yields NaN).
 pub fn accuracy_pct(reference: f64, estimated: f64) -> f64 {
-    debug_assert!(
+    assert!(
         reference >= 0.0 || reference.is_nan(),
         "accuracy_pct reference must be non-negative, got {reference}"
     );
@@ -86,13 +91,20 @@ impl AccuracySummary {
             sum += v;
             count += 1;
         }
-        (count > 0).then(|| Self { max, min, average: sum / count as f64, count, skipped_nan })
+        // Record counts stay far below 2^53, so the f64 mean is exact.
+        #[allow(clippy::cast_precision_loss)]
+        let average = sum / count as f64;
+        (count > 0).then_some(Self {
+            max,
+            min,
+            average,
+            count,
+            skipped_nan,
+        })
     }
 
     /// Aggregates records.
-    pub fn from_records<'a>(
-        records: impl IntoIterator<Item = &'a AccuracyRecord>,
-    ) -> Option<Self> {
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a AccuracyRecord>) -> Option<Self> {
         Self::from_accuracies(records.into_iter().map(AccuracyRecord::accuracy))
     }
 }
@@ -118,9 +130,21 @@ mod tests {
     #[test]
     fn summary_aggregates() {
         let records = [
-            AccuracyRecord { metric: Metric::Latency, reference: 10.0, estimated: 9.0 },
-            AccuracyRecord { metric: Metric::Latency, reference: 10.0, estimated: 10.0 },
-            AccuracyRecord { metric: Metric::Latency, reference: 10.0, estimated: 8.0 },
+            AccuracyRecord {
+                metric: Metric::Latency,
+                reference: 10.0,
+                estimated: 9.0,
+            },
+            AccuracyRecord {
+                metric: Metric::Latency,
+                reference: 10.0,
+                estimated: 10.0,
+            },
+            AccuracyRecord {
+                metric: Metric::Latency,
+                reference: 10.0,
+                estimated: 8.0,
+            },
         ];
         let s = AccuracySummary::from_records(records.iter()).unwrap();
         assert!((s.max - 100.0).abs() < 1e-12);
@@ -150,9 +174,9 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
     #[should_panic(expected = "non-negative")]
     fn negative_reference_is_a_caller_bug() {
+        // `assert!`, not `debug_assert!`: this must fire in release too.
         accuracy_pct(-1.0, 1.0);
     }
 }

@@ -61,7 +61,10 @@ pub struct ModelConfig {
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        Self { pipeline_latency: PipelineLatencyMode::default(), bandwidth_derate: 1.0 }
+        Self {
+            pipeline_latency: PipelineLatencyMode::default(),
+            bandwidth_derate: 1.0,
+        }
     }
 }
 
@@ -113,7 +116,9 @@ impl ModelConfig {
     /// [`ConfigError`] naming the offending field.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.bandwidth_derate > 0.0 && self.bandwidth_derate <= 1.0) {
-            return Err(ConfigError::BadBandwidthDerate { derate: self.bandwidth_derate });
+            return Err(ConfigError::BadBandwidthDerate {
+                derate: self.bandwidth_derate,
+            });
         }
         Ok(())
     }
@@ -159,7 +164,9 @@ mod tests {
         assert!((ok.bandwidth_derate - 0.5).abs() < 1e-12);
         assert_eq!(ok.validate(), Ok(()));
         // The trait impls mccm::Error relies on.
-        let err = ModelConfig::new().try_with_bandwidth_derate(2.0).unwrap_err();
+        let err = ModelConfig::new()
+            .try_with_bandwidth_derate(2.0)
+            .unwrap_err();
         let boxed: Box<dyn std::error::Error> = Box::new(err);
         assert!(boxed.to_string().contains("derate"));
     }

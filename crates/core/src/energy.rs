@@ -9,6 +9,7 @@
 //! figures scaled to a modern FPGA process (DRAM ≈ two orders of
 //! magnitude costlier per byte than on-chip SRAM).
 
+use crate::quantity::{Bytes, Joules, Macs};
 use crate::report::{EvalSummary, Evaluation};
 
 /// Energy coefficients.
@@ -38,36 +39,36 @@ impl Default for EnergyModel {
 /// Energy estimate for one inference.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyEstimate {
-    /// MAC switching energy, joules.
-    pub compute_j: f64,
-    /// On-chip buffer movement energy, joules (approximated as one read
-    /// and one write per useful MAC operand set).
-    pub onchip_j: f64,
-    /// Off-chip DRAM energy, joules.
-    pub dram_j: f64,
-    /// Static energy over the inference latency, joules.
-    pub static_j: f64,
+    /// MAC switching energy.
+    pub compute_j: Joules,
+    /// On-chip buffer movement energy (approximated as one read and one
+    /// write per useful MAC operand set).
+    pub onchip_j: Joules,
+    /// Off-chip DRAM energy.
+    pub dram_j: Joules,
+    /// Static energy over the inference latency.
+    pub static_j: Joules,
 }
 
 impl EnergyEstimate {
-    /// Total energy per inference, joules.
-    pub fn total_j(&self) -> f64 {
+    /// Total energy per inference.
+    pub fn total_j(&self) -> Joules {
         self.compute_j + self.onchip_j + self.dram_j + self.static_j
     }
 
     /// Total energy in millijoules.
     pub fn total_mj(&self) -> f64 {
-        self.total_j() * 1e3
+        self.total_j().millijoules()
     }
 
     /// Share of dynamic energy spent on DRAM traffic — the quantity the
     /// paper's access-minimization objective attacks.
     pub fn dram_share(&self) -> f64 {
-        let dynamic = self.compute_j + self.onchip_j + self.dram_j;
+        let dynamic = (self.compute_j + self.onchip_j + self.dram_j).get();
         if dynamic <= 0.0 {
             0.0
         } else {
-            self.dram_j / dynamic
+            self.dram_j.get() / dynamic
         }
     }
 }
@@ -78,7 +79,7 @@ impl EnergyModel {
     /// `total_macs` is the CNN's convolution MACs (from
     /// [`CnnModel::conv_macs`](mccm_cnn::CnnModel::conv_macs) or the
     /// built accelerator's conv view).
-    pub fn estimate(&self, eval: &Evaluation, total_macs: u64) -> EnergyEstimate {
+    pub fn estimate(&self, eval: &Evaluation, total_macs: Macs) -> EnergyEstimate {
         self.estimate_parts(total_macs, eval.offchip_bytes, eval.latency_s)
     }
 
@@ -96,18 +97,18 @@ impl EnergyModel {
     /// off-chip bytes, and latency fully determine the estimate.
     pub fn estimate_parts(
         &self,
-        total_macs: u64,
-        offchip_bytes: u64,
+        total_macs: Macs,
+        offchip_bytes: Bytes,
         latency_s: f64,
     ) -> EnergyEstimate {
         // Each MAC reads two operands and accumulates locally; partial
         // sums and reuse keep on-chip traffic near 2 bytes/MAC at 8-bit.
-        let onchip_bytes = 2.0 * total_macs as f64;
+        let onchip_bytes = total_macs.traffic_at(2);
         EnergyEstimate {
-            compute_j: total_macs as f64 * self.pj_per_mac * 1e-12,
-            onchip_j: onchip_bytes * self.pj_per_onchip_byte * 1e-12,
-            dram_j: offchip_bytes as f64 * self.pj_per_dram_byte * 1e-12,
-            static_j: self.static_w * latency_s,
+            compute_j: Joules::new(total_macs.as_f64() * self.pj_per_mac * 1e-12),
+            onchip_j: Joules::new(onchip_bytes.as_f64() * self.pj_per_onchip_byte * 1e-12),
+            dram_j: Joules::new(offchip_bytes.as_f64() * self.pj_per_dram_byte * 1e-12),
+            static_j: Joules::new(self.static_w * latency_s),
         }
     }
 
@@ -116,11 +117,11 @@ impl EnergyModel {
     /// GOPS/W equals operations per nanojoule: at steady state, static
     /// power amortizes over the initiation interval rather than the full
     /// latency.
-    pub fn efficiency_gops_per_w(&self, eval: &Evaluation, total_macs: u64) -> f64 {
+    pub fn efficiency_gops_per_w(&self, eval: &Evaluation, total_macs: Macs) -> f64 {
         let e = self.estimate(eval, total_macs);
         let ii = 1.0 / eval.throughput_fps.max(1e-12);
-        let per_inference_j = e.compute_j + e.onchip_j + e.dram_j + self.static_w * ii;
-        let ops = 2.0 * total_macs as f64;
+        let per_inference_j = (e.compute_j + e.onchip_j + e.dram_j).get() + self.static_w * ii;
+        let ops = 2.0 * total_macs.as_f64();
         ops / per_inference_j / 1e9
     }
 }
@@ -132,24 +133,28 @@ mod tests {
     use mccm_cnn::zoo;
     use mccm_fpga::FpgaBoard;
 
-    fn eval_for(arch: templates::Architecture) -> (Evaluation, u64) {
+    fn eval_for(arch: templates::Architecture) -> (Evaluation, Macs) {
         let m = zoo::resnet50();
         let b = MultipleCeBuilder::new(&m, &FpgaBoard::zc706());
         let acc = b.build(&arch.instantiate(&m, 4).unwrap()).unwrap();
-        (crate::CostModel::evaluate(&acc), m.conv_macs())
+        (crate::CostModel::evaluate(&acc), Macs::new(m.conv_macs()))
     }
 
     #[test]
     fn energy_components_positive_and_sum() {
         let (eval, macs) = eval_for(templates::Architecture::Hybrid);
         let e = EnergyModel::default().estimate(&eval, macs);
-        assert!(e.compute_j > 0.0 && e.onchip_j > 0.0 && e.dram_j > 0.0 && e.static_j > 0.0);
-        assert!(
-            (e.total_j() - (e.compute_j + e.onchip_j + e.dram_j + e.static_j)).abs() < 1e-15
-        );
+        assert!(e.compute_j > Joules::ZERO && e.onchip_j > Joules::ZERO);
+        assert!(e.dram_j > Joules::ZERO && e.static_j > Joules::ZERO);
+        let parts = e.compute_j + e.onchip_j + e.dram_j + e.static_j;
+        assert!((e.total_j().get() - parts.get()).abs() < 1e-15);
         // ResNet-50 at 8-bit on an FPGA: single-digit millijoule dynamic
         // energy, sub-second latency -> total in the 1-100 mJ band.
-        assert!(e.total_mj() > 1.0 && e.total_mj() < 1000.0, "{} mJ", e.total_mj());
+        assert!(
+            e.total_mj() > 1.0 && e.total_mj() < 1000.0,
+            "{} mJ",
+            e.total_mj()
+        );
     }
 
     #[test]
@@ -161,7 +166,7 @@ mod tests {
         let e_rr = m.estimate(&rr, macs);
         // SegmentedRR moves ~5x the bytes on ZC706 -> more DRAM energy and
         // a larger DRAM share.
-        assert!(e_rr.dram_j > 2.0 * e_seg.dram_j);
+        assert!(e_rr.dram_j.get() > 2.0 * e_seg.dram_j.get());
         assert!(e_rr.dram_share() > e_seg.dram_share());
     }
 
@@ -174,7 +179,7 @@ mod tests {
             pj_per_dram_byte: 0.0,
             static_w: 0.0,
         };
-        assert_eq!(m.estimate(&eval, macs).total_j(), 0.0);
+        assert_eq!(m.estimate(&eval, macs).total_j(), Joules::ZERO);
     }
 
     #[test]
@@ -189,7 +194,10 @@ mod tests {
             let full = m.estimate(&eval, macs);
             let fast = m.estimate_summary(&eval.summary());
             assert_eq!(full, fast, "{arch:?}");
-            assert_eq!(full.total_j().to_bits(), fast.total_j().to_bits());
+            assert_eq!(
+                full.total_j().get().to_bits(),
+                fast.total_j().get().to_bits()
+            );
         }
     }
 

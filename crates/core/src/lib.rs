@@ -33,6 +33,13 @@ mod config;
 pub mod energy;
 mod metrics;
 mod model;
+/// Dimensional-safety newtypes ([`Cycles`](quantity::Cycles),
+/// [`Bytes`](quantity::Bytes), [`Macs`](quantity::Macs), …) used by every
+/// model output — re-exported from the bottom-of-workspace
+/// `mccm-quantity` crate so `mccm-arch` can share the same types.
+pub mod quantity {
+    pub use mccm_quantity::*;
+}
 mod report;
 
 pub use accuracy::{accuracy_pct, AccuracyRecord, AccuracySummary};
@@ -40,4 +47,5 @@ pub use config::{ConfigError, ModelConfig, PipelineLatencyMode};
 pub use energy::{EnergyEstimate, EnergyModel};
 pub use metrics::{Metric, MetricSource};
 pub use model::{CostModel, EvalScratch};
+pub use quantity::{Bandwidth, Bytes, Cycles, Joules, Macs, Pes, Throughput};
 pub use report::{CeReport, EvalSummary, Evaluation, LayerReport, SegmentReport, SpillPolicy};

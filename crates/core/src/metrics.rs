@@ -5,6 +5,7 @@
 use std::fmt;
 
 use crate::energy::EnergyModel;
+use crate::quantity::{Bytes, Macs};
 use crate::report::{EvalSummary, Evaluation};
 
 /// Anything the four paper metrics can be read from: the full
@@ -19,8 +20,8 @@ impl MetricSource for Evaluation {
         match metric {
             Metric::Latency => self.latency_s,
             Metric::Throughput => self.throughput_fps,
-            Metric::OnChipBuffers => self.buffer_req_bytes as f64,
-            Metric::OffChipAccesses => self.offchip_bytes as f64,
+            Metric::OnChipBuffers => self.buffer_req_bytes.as_f64(),
+            Metric::OffChipAccesses => self.offchip_bytes.as_f64(),
             Metric::Energy => default_energy_j(self.total_macs, self.offchip_bytes, self.latency_s),
         }
     }
@@ -31,8 +32,8 @@ impl MetricSource for EvalSummary {
         match metric {
             Metric::Latency => self.latency_s,
             Metric::Throughput => self.throughput_fps,
-            Metric::OnChipBuffers => self.buffer_req_bytes as f64,
-            Metric::OffChipAccesses => self.offchip_bytes as f64,
+            Metric::OnChipBuffers => self.buffer_req_bytes.as_f64(),
+            Metric::OffChipAccesses => self.offchip_bytes.as_f64(),
             Metric::Energy => default_energy_j(self.total_macs, self.offchip_bytes, self.latency_s),
         }
     }
@@ -41,8 +42,11 @@ impl MetricSource for EvalSummary {
 /// Per-inference energy in joules under the default [`EnergyModel`]
 /// coefficients — the shared read both [`MetricSource`] impls go through,
 /// so `Metric::Energy` is bit-identical between the rich and fast lanes.
-fn default_energy_j(total_macs: u64, offchip_bytes: u64, latency_s: f64) -> f64 {
-    EnergyModel::default().estimate_parts(total_macs, offchip_bytes, latency_s).total_j()
+fn default_energy_j(total_macs: Macs, offchip_bytes: Bytes, latency_s: f64) -> f64 {
+    EnergyModel::default()
+        .estimate_parts(total_macs, offchip_bytes, latency_s)
+        .total_j()
+        .get()
 }
 
 /// A paper metric (Table I / Table V rows).
@@ -64,8 +68,12 @@ pub enum Metric {
 
 impl Metric {
     /// All four metrics in the paper's row order (Table V).
-    pub const ALL: [Self; 4] =
-        [Self::Latency, Self::Throughput, Self::OffChipAccesses, Self::OnChipBuffers];
+    pub const ALL: [Self; 4] = [
+        Self::Latency,
+        Self::Throughput,
+        Self::OffChipAccesses,
+        Self::OnChipBuffers,
+    ];
 
     /// The paper's four metrics plus [`Metric::Energy`] — the objective
     /// set energy-aware sweeps and the guided optimizer rank on.
@@ -146,9 +154,7 @@ impl Metric {
     /// best becomes 1.0, others ≥ 1.0 (or ≤ 1.0 for throughput).
     pub fn normalize_to_best(&self, values: &[f64]) -> Vec<f64> {
         match self.best_index(values) {
-            Some(b) if values[b] != 0.0 => {
-                values.iter().map(|&v| v / values[b]).collect()
-            }
+            Some(b) if values[b] != 0.0 => values.iter().map(|&v| v / values[b]).collect(),
             _ => values.to_vec(),
         }
     }
@@ -273,14 +279,14 @@ mod tests {
             model_name: String::new(),
             board_name: String::new(),
             ce_count: 2,
-            total_macs: 3_000_000_000,
+            total_macs: Macs::new(3_000_000_000),
             latency_s: 0.02,
             throughput_fps: 50.0,
-            buffer_req_bytes: 1,
-            buffer_alloc_bytes: 1,
-            offchip_bytes: 40_000_000,
-            offchip_weight_bytes: 0,
-            offchip_fm_bytes: 0,
+            buffer_req_bytes: Bytes::new(1),
+            buffer_alloc_bytes: Bytes::new(1),
+            offchip_bytes: Bytes::new(40_000_000),
+            offchip_weight_bytes: Bytes::ZERO,
+            offchip_fm_bytes: Bytes::ZERO,
             memory_stall_fraction: 0.0,
             segments: vec![],
             ces: vec![],
@@ -295,6 +301,6 @@ mod tests {
         let direct = crate::energy::EnergyModel::default()
             .estimate_summary(&summary)
             .total_j();
-        assert_eq!(a.to_bits(), direct.to_bits());
+        assert_eq!(a.to_bits(), direct.get().to_bits());
     }
 }

@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use mccm_arch::{BuiltAccelerator, CeRole, Executor};
 
 use crate::config::ModelConfig;
+use crate::quantity::{Bandwidth, Bytes, Cycles, Macs, Pes};
 use crate::report::{CeReport, EvalSummary, Evaluation, SegmentReport};
 use pipeline::{eval_pipelined_round, eval_pipelined_round_core, PipeScratch};
 use single_ce::{eval_single_ce, eval_single_ce_core, BlockOutcome};
@@ -95,9 +96,9 @@ pub struct EvalScratch {
 struct BlockSlot {
     first_ce: usize,
     len: usize,
-    occupancy: u64,
+    occupancy: Cycles,
     segments: usize,
-    max_busy: u64,
+    max_busy: Cycles,
 }
 
 impl EvalScratch {
@@ -118,33 +119,32 @@ impl CostModel {
     /// bandwidth derating).
     pub fn evaluate_with(acc: &BuiltAccelerator, config: &ModelConfig) -> Evaluation {
         let cyc = acc.board.cycle_time_s();
-        let bpc = acc.board.bytes_per_cycle() * config.bandwidth_derate;
+        let bw = Bandwidth::new(acc.board.bytes_per_cycle() * config.bandwidth_derate);
         let n_segments = acc.segments.len();
 
         let mut seg_reports = Vec::with_capacity(n_segments);
         let mut layers = Vec::with_capacity(acc.convs.len());
-        let mut busy_cycles: Vec<u64> = vec![0; acc.ces.len()];
-        let mut ce_macs: Vec<u64> = vec![0; acc.ces.len()];
-        let mut latency_cycles = 0u64;
-        let mut compute_cycles_total = 0u64;
-        let mut total_w = 0u64;
-        let mut total_fm = 0u64;
+        let mut busy_cycles: Vec<Cycles> = vec![Cycles::ZERO; acc.ces.len()];
+        let mut ce_macs: Vec<Macs> = vec![Macs::ZERO; acc.ces.len()];
+        let mut latency_cycles = Cycles::ZERO;
+        let mut compute_cycles_total = Cycles::ZERO;
+        let mut total_w = Bytes::ZERO;
+        let mut total_fm = Bytes::ZERO;
 
         // Block occupancy for coarse-pipelined throughput: keyed by the
         // executor's CE set.
-        let mut occupancy: HashMap<Vec<usize>, u64> = HashMap::new();
+        let mut occupancy: HashMap<Vec<usize>, Cycles> = HashMap::new();
         let mut block_segments: HashMap<Vec<usize>, usize> = HashMap::new();
-        let mut block_max_busy: HashMap<Vec<usize>, u64> = HashMap::new();
+        let mut block_max_busy: HashMap<Vec<usize>, Cycles> = HashMap::new();
 
         for seg in &acc.segments {
-            let input_off = seg.index == 0
-                || !acc.buffers.inter_segment[seg.index - 1].on_chip;
-            let output_off = seg.index + 1 == n_segments
-                || !acc.buffers.inter_segment[seg.index].on_chip;
+            let input_off = seg.index == 0 || !acc.buffers.inter_segment[seg.index - 1].on_chip;
+            let output_off =
+                seg.index + 1 == n_segments || !acc.buffers.inter_segment[seg.index].on_chip;
 
             let outcome: BlockOutcome = match &seg.executor {
                 Executor::SingleCe(ce) => {
-                    eval_single_ce(acc, *ce, seg.first, seg.last, input_off, output_off, bpc)
+                    eval_single_ce(acc, *ce, seg.first, seg.last, input_off, output_off, bw)
                 }
                 Executor::PipelinedCes(ces) => eval_pipelined_round(
                     acc,
@@ -153,7 +153,7 @@ impl CostModel {
                     seg.last,
                     input_off,
                     output_off,
-                    bpc,
+                    bw,
                     config.pipeline_latency,
                 ),
             };
@@ -165,8 +165,12 @@ impl CostModel {
             };
             *occupancy.entry(key.clone()).or_default() += outcome.time_cycles;
             *block_segments.entry(key.clone()).or_default() += 1;
-            let round_busy =
-                outcome.busy_per_ce.iter().map(|&(_, b)| b).max().unwrap_or(0);
+            let round_busy = outcome
+                .busy_per_ce
+                .iter()
+                .map(|&(_, b)| b)
+                .max()
+                .unwrap_or(Cycles::ZERO);
             let e = block_max_busy.entry(key).or_default();
             *e = (*e).max(round_busy);
 
@@ -174,16 +178,19 @@ impl CostModel {
                 busy_cycles[ce] += b;
             }
             for lr in &outcome.layers {
-                ce_macs[lr.ce] += acc.convs[lr.layer].macs;
+                ce_macs[lr.ce] += Macs::new(acc.convs[lr.layer].macs);
             }
 
-            let block_pes: u64 =
-                seg.executor.ces().iter().map(|&c| acc.ces[c].pes as u64).sum();
-            let utilization = if outcome.time_cycles == 0 {
+            let block_pes: Pes = seg
+                .executor
+                .ces()
+                .iter()
+                .map(|&c| Pes::new(acc.ces[c].pes))
+                .sum();
+            let utilization = if outcome.time_cycles.is_zero() {
                 0.0
             } else {
-                outcome.useful_macs as f64
-                    / (block_pes as f64 * outcome.time_cycles as f64)
+                outcome.useful_macs.as_f64() / (block_pes.as_f64() * outcome.time_cycles.as_f64())
             };
 
             seg_reports.push(SegmentReport {
@@ -191,9 +198,9 @@ impl CostModel {
                 first: seg.first,
                 last: seg.last,
                 ces: seg.executor.ces(),
-                compute_s: outcome.compute_cycles as f64 * cyc,
-                memory_s: outcome.memory_cycles as f64 * cyc,
-                time_s: outcome.time_cycles as f64 * cyc,
+                compute_s: outcome.compute_cycles.to_seconds(cyc),
+                memory_s: outcome.memory_cycles.to_seconds(cyc),
+                time_s: outcome.time_cycles.to_seconds(cyc),
                 weight_traffic: outcome.weight_traffic,
                 fm_traffic: outcome.fm_traffic,
                 buffer_req_bytes: segment_buffer_req(acc, seg.index),
@@ -218,7 +225,7 @@ impl CostModel {
                     let single_round = block_segments[key] == 1
                         && key.iter().any(|&c| acc.ces[c].role == CeRole::Pipelined);
                     if single_round {
-                        block_max_busy[key].max(1)
+                        block_max_busy[key].max(Cycles::new(1))
                     } else {
                         occ
                     }
@@ -228,17 +235,17 @@ impl CostModel {
             // Coarse-pipelined blocks share the off-chip channel: the
             // initiation interval cannot beat the per-image total traffic
             // over the full bandwidth.
-            let mem_bound = single_ce::mem_cycles(total_w + total_fm, bpc);
+            let mem_bound = bw.cycles_for(total_w + total_fm);
             block_bound.max(mem_bound)
         } else {
             latency_cycles
         };
 
-        let latency_s = latency_cycles as f64 * cyc;
-        let throughput_fps = if bottleneck_cycles == 0 {
+        let latency_s = latency_cycles.to_seconds(cyc);
+        let throughput_fps = if bottleneck_cycles.is_zero() {
             0.0
         } else {
-            1.0 / (bottleneck_cycles as f64 * cyc)
+            1.0 / bottleneck_cycles.to_seconds(cyc)
         };
 
         let buffer_req_bytes = buffer_requirement(acc);
@@ -249,22 +256,22 @@ impl CostModel {
                 let busy = busy_cycles[ce.id];
                 CeReport {
                     ce: ce.id,
-                    pes: ce.pes,
-                    busy_s: busy as f64 * cyc,
-                    utilization: if busy == 0 {
+                    pes: Pes::new(ce.pes),
+                    busy_s: busy.to_seconds(cyc),
+                    utilization: if busy.is_zero() {
                         0.0
                     } else {
-                        ce_macs[ce.id] as f64 / (busy as f64 * ce.pes as f64)
+                        ce_macs[ce.id].as_f64() / (busy.as_f64() * f64::from(ce.pes))
                     },
                 }
             })
             .collect();
 
-        let memory_stall_fraction = if latency_cycles == 0 {
+        let memory_stall_fraction = if latency_cycles.is_zero() {
             0.0
         } else {
-            (latency_cycles - compute_cycles_total.min(latency_cycles)) as f64
-                / latency_cycles as f64
+            (latency_cycles - compute_cycles_total.min(latency_cycles)).as_f64()
+                / latency_cycles.as_f64()
         };
 
         Evaluation {
@@ -276,7 +283,7 @@ impl CostModel {
             latency_s,
             throughput_fps,
             buffer_req_bytes,
-            buffer_alloc_bytes: acc.buffers.total_bytes(),
+            buffer_alloc_bytes: Bytes::new(acc.buffers.total_bytes()),
             offchip_bytes: total_w + total_fm,
             offchip_weight_bytes: total_w,
             offchip_fm_bytes: total_fm,
@@ -306,20 +313,19 @@ impl CostModel {
         scratch: &mut EvalScratch,
     ) -> EvalSummary {
         let cyc = acc.board.cycle_time_s();
-        let bpc = acc.board.bytes_per_cycle() * config.bandwidth_derate;
+        let bw = Bandwidth::new(acc.board.bytes_per_cycle() * config.bandwidth_derate);
         let n_segments = acc.segments.len();
 
-        let mut latency_cycles = 0u64;
-        let mut compute_cycles_total = 0u64;
-        let mut total_w = 0u64;
-        let mut total_fm = 0u64;
+        let mut latency_cycles = Cycles::ZERO;
+        let mut compute_cycles_total = Cycles::ZERO;
+        let mut total_w = Bytes::ZERO;
+        let mut total_fm = Bytes::ZERO;
         scratch.blocks.clear();
 
         for seg in &acc.segments {
-            let input_off = seg.index == 0
-                || !acc.buffers.inter_segment[seg.index - 1].on_chip;
-            let output_off = seg.index + 1 == n_segments
-                || !acc.buffers.inter_segment[seg.index].on_chip;
+            let input_off = seg.index == 0 || !acc.buffers.inter_segment[seg.index - 1].on_chip;
+            let output_off =
+                seg.index + 1 == n_segments || !acc.buffers.inter_segment[seg.index].on_chip;
 
             let (first_ce, block_len, totals) = match &seg.executor {
                 Executor::SingleCe(ce) => (
@@ -332,7 +338,7 @@ impl CostModel {
                         seg.last,
                         input_off,
                         output_off,
-                        bpc,
+                        bw,
                         |_, _, _, _, _, _| {},
                     ),
                 ),
@@ -346,7 +352,7 @@ impl CostModel {
                         seg.last,
                         input_off,
                         output_off,
-                        bpc,
+                        bw,
                         config.pipeline_latency,
                         &mut scratch.pipe,
                         |_, _, _, _, _, _, _| {},
@@ -367,9 +373,9 @@ impl CostModel {
                     scratch.blocks.push(BlockSlot {
                         first_ce,
                         len: block_len,
-                        occupancy: 0,
+                        occupancy: Cycles::ZERO,
                         segments: 0,
-                        max_busy: 0,
+                        max_busy: Cycles::ZERO,
                     });
                     scratch.blocks.last_mut().expect("just pushed")
                 }
@@ -396,31 +402,31 @@ impl CostModel {
                             .iter()
                             .any(|ce| ce.role == CeRole::Pipelined);
                     if single_round {
-                        b.max_busy.max(1)
+                        b.max_busy.max(Cycles::new(1))
                     } else {
                         b.occupancy
                     }
                 })
                 .max()
                 .unwrap_or(latency_cycles);
-            let mem_bound = single_ce::mem_cycles(total_w + total_fm, bpc);
+            let mem_bound = bw.cycles_for(total_w + total_fm);
             block_bound.max(mem_bound)
         } else {
             latency_cycles
         };
 
-        let latency_s = latency_cycles as f64 * cyc;
-        let throughput_fps = if bottleneck_cycles == 0 {
+        let latency_s = latency_cycles.to_seconds(cyc);
+        let throughput_fps = if bottleneck_cycles.is_zero() {
             0.0
         } else {
-            1.0 / (bottleneck_cycles as f64 * cyc)
+            1.0 / bottleneck_cycles.to_seconds(cyc)
         };
 
-        let memory_stall_fraction = if latency_cycles == 0 {
+        let memory_stall_fraction = if latency_cycles.is_zero() {
             0.0
         } else {
-            (latency_cycles - compute_cycles_total.min(latency_cycles)) as f64
-                / latency_cycles as f64
+            (latency_cycles - compute_cycles_total.min(latency_cycles)).as_f64()
+                / latency_cycles.as_f64()
         };
 
         EvalSummary {
@@ -430,7 +436,7 @@ impl CostModel {
             latency_s,
             throughput_fps,
             buffer_req_bytes: buffer_requirement(acc),
-            buffer_alloc_bytes: acc.buffers.total_bytes(),
+            buffer_alloc_bytes: Bytes::new(acc.buffers.total_bytes()),
             offchip_bytes: total_w + total_fm,
             offchip_weight_bytes: total_w,
             offchip_fm_bytes: total_fm,
@@ -440,30 +446,35 @@ impl CostModel {
 
     /// The deterministic minimum off-chip traffic for this accelerator's
     /// CNN: every weight once plus the model input and output (§IV-A2).
-    pub fn minimum_offchip_bytes(acc: &BuiltAccelerator) -> u64 {
+    pub fn minimum_offchip_bytes(acc: &BuiltAccelerator) -> Bytes {
         let n = acc.convs.len();
-        acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1)
+        Bytes::new(acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1))
     }
 }
 
 /// Total convolution MACs of the accelerator's CNN — the compute-side
 /// energy input both lanes stamp into their reports (identical to
 /// `CnnModel::conv_macs` of the originating model).
-fn total_macs(acc: &BuiltAccelerator) -> u64 {
-    acc.convs.iter().map(|c| c.macs).sum()
+fn total_macs(acc: &BuiltAccelerator) -> Macs {
+    acc.convs.iter().map(|c| Macs::new(c.macs)).sum()
 }
 
 /// On-chip buffer requirement guaranteeing the design's minimum accesses:
 /// Σ per-CE ideals (Eq. 4 / Eq. 5) plus distinct-block handoff buffers
 /// (Eq. 8). Round-robin (same-block) handoffs stream off-chip by design.
-fn buffer_requirement(acc: &BuiltAccelerator) -> u64 {
-    let ce_sum: u64 = acc.buffers.ce.iter().map(|a| a.ideal_bytes).sum();
-    let handoffs: u64 = acc
+fn buffer_requirement(acc: &BuiltAccelerator) -> Bytes {
+    let ce_sum: Bytes = acc
+        .buffers
+        .ce
+        .iter()
+        .map(|a| Bytes::new(a.ideal_bytes))
+        .sum();
+    let handoffs: Bytes = acc
         .buffers
         .inter_segment
         .iter()
         .filter(|b| !b.same_block)
-        .map(|b| b.bytes_needed)
+        .map(|b| Bytes::new(b.bytes_needed))
         .sum();
     ce_sum + handoffs
 }
@@ -472,9 +483,9 @@ fn buffer_requirement(acc: &BuiltAccelerator) -> u64 {
 /// weight-residency share plus its engines' tile/FM buffers (shared CE
 /// buffers split evenly across the CE's segments) and its outgoing
 /// handoff.
-fn segment_buffer_req(acc: &BuiltAccelerator, index: usize) -> u64 {
+fn segment_buffer_req(acc: &BuiltAccelerator, index: usize) -> Bytes {
     let seg = &acc.segments[index];
-    let mut req = 0u64;
+    let mut req = Bytes::ZERO;
     match &seg.executor {
         Executor::SingleCe(ce) => {
             let segments_of_ce = acc
@@ -482,19 +493,19 @@ fn segment_buffer_req(acc: &BuiltAccelerator, index: usize) -> u64 {
                 .iter()
                 .filter(|s| matches!(&s.executor, Executor::SingleCe(c) if c == ce))
                 .count() as u64;
-            req += acc.buffers.ce[*ce].ideal_bytes / segments_of_ce.max(1);
+            req += Bytes::new(acc.buffers.ce[*ce].ideal_bytes) / segments_of_ce.max(1);
         }
         Executor::PipelinedCes(ces) => {
             for (offset, &ce) in ces.iter().enumerate() {
                 let rounds = acc.ces[ce].layers.len() as u64;
-                req += acc.buffers.ce[ce].fm_tile_bytes / rounds.max(1);
-                req += acc.weight_bytes(seg.first + offset);
+                req += Bytes::new(acc.buffers.ce[ce].fm_tile_bytes) / rounds.max(1);
+                req += Bytes::new(acc.weight_bytes(seg.first + offset));
             }
         }
     }
     if let Some(b) = acc.buffers.inter_segment.get(index) {
         if !b.same_block {
-            req += b.bytes_needed;
+            req += Bytes::new(b.bytes_needed);
         }
     }
     req
@@ -527,13 +538,14 @@ mod tests {
                 let e = eval(&m, &board, arch, k);
                 assert!(e.latency_s > 0.0, "{arch} {k}");
                 assert!(e.throughput_fps > 0.0, "{arch} {k}");
-                assert!(e.buffer_req_bytes > 0, "{arch} {k}");
+                assert!(!e.buffer_req_bytes.is_zero(), "{arch} {k}");
                 assert!(
-                    e.offchip_bytes >= CostModel::minimum_offchip_bytes(
-                        &MultipleCeBuilder::new(&m, &board)
-                            .build(&arch.instantiate(&m, k).unwrap())
-                            .unwrap()
-                    ),
+                    e.offchip_bytes
+                        >= CostModel::minimum_offchip_bytes(
+                            &MultipleCeBuilder::new(&m, &board)
+                                .build(&arch.instantiate(&m, k).unwrap())
+                                .unwrap()
+                        ),
                     "{arch} {k}: accesses below deterministic minimum"
                 );
                 // Throughput can't beat the compute bound by more than the
@@ -591,7 +603,12 @@ mod tests {
     #[test]
     fn coarse_pipeline_throughput_exceeds_inverse_latency() {
         let m = zoo::resnet50();
-        let e = eval(&m, &FpgaBoard::zcu102(), templates::Architecture::Segmented, 4);
+        let e = eval(
+            &m,
+            &FpgaBoard::zcu102(),
+            templates::Architecture::Segmented,
+            4,
+        );
         // Four balanced coarse-pipelined segments: throughput should be
         // well above 1/latency (ideally ~4x).
         assert!(e.throughput_fps * e.latency_s > 1.5);
@@ -600,14 +617,24 @@ mod tests {
     #[test]
     fn segmented_rr_throughput_is_inverse_latency() {
         let m = zoo::resnet50();
-        let e = eval(&m, &FpgaBoard::zcu102(), templates::Architecture::SegmentedRr, 4);
+        let e = eval(
+            &m,
+            &FpgaBoard::zcu102(),
+            templates::Architecture::SegmentedRr,
+            4,
+        );
         assert!((e.throughput_fps * e.latency_s - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn segment_reports_cover_all_layers() {
         let m = zoo::xception();
-        let e = eval(&m, &FpgaBoard::vcu110(), templates::Architecture::SegmentedRr, 3);
+        let e = eval(
+            &m,
+            &FpgaBoard::vcu110(),
+            templates::Architecture::SegmentedRr,
+            3,
+        );
         let total: usize = e.segments.iter().map(|s| s.last - s.first + 1).sum();
         assert_eq!(total, 74);
         assert_eq!(e.layers.len(), 74);
@@ -619,7 +646,7 @@ mod tests {
         let m = zoo::mobilenet_v2();
         let e = eval(&m, &FpgaBoard::zc706(), templates::Architecture::Hybrid, 5);
         assert_eq!(e.offchip_bytes, e.offchip_weight_bytes + e.offchip_fm_bytes);
-        let seg_sum: u64 = e.segments.iter().map(|s| s.traffic()).sum();
+        let seg_sum: Bytes = e.segments.iter().map(|s| s.traffic()).sum();
         assert_eq!(seg_sum, e.offchip_bytes);
     }
 
@@ -655,7 +682,7 @@ mod tests {
         let e = CostModel::evaluate(&acc);
         let min = CostModel::minimum_offchip_bytes(&acc);
         assert!(
-            (e.offchip_bytes as f64) < 1.6 * min as f64,
+            e.offchip_bytes.as_f64() < 1.6 * min.as_f64(),
             "hybrid traffic {} vs min {min}",
             e.offchip_bytes
         );
@@ -666,9 +693,14 @@ mod tests {
         // Eq. 5: pipelined blocks require all weights on-chip; for
         // ResNet-50 that is ~22.4 MiB of 8-bit weights.
         let m = zoo::resnet50();
-        let e = eval(&m, &FpgaBoard::zcu102(), templates::Architecture::SegmentedRr, 4);
-        let w = m.conv_weights();
-        assert!(e.buffer_req_bytes as f64 > 0.95 * w as f64);
+        let e = eval(
+            &m,
+            &FpgaBoard::zcu102(),
+            templates::Architecture::SegmentedRr,
+            4,
+        );
+        let w = Bytes::new(m.conv_weights());
+        assert!(e.buffer_req_bytes.as_f64() > 0.95 * w.as_f64());
     }
 
     #[test]

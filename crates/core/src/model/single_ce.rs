@@ -14,25 +14,26 @@
 
 use mccm_arch::BuiltAccelerator;
 
+use crate::quantity::{Bandwidth, Bytes, Cycles, Macs};
 use crate::report::{LayerReport, SpillPolicy};
 
 /// Evaluation of one block over one segment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockOutcome {
-    /// Contribution to latency, in cycles (stalls included).
-    pub time_cycles: u64,
+    /// Contribution to latency (stalls included).
+    pub time_cycles: Cycles,
     /// Pure compute cycles.
-    pub compute_cycles: u64,
+    pub compute_cycles: Cycles,
     /// Memory access cycles (as if serialized; overlap decided by `time`).
-    pub memory_cycles: u64,
-    /// Off-chip weight traffic in bytes.
-    pub weight_traffic: u64,
-    /// Off-chip feature-map traffic in bytes.
-    pub fm_traffic: u64,
+    pub memory_cycles: Cycles,
+    /// Off-chip weight traffic.
+    pub weight_traffic: Bytes,
+    /// Off-chip feature-map traffic.
+    pub fm_traffic: Bytes,
     /// Useful MACs performed.
-    pub useful_macs: u64,
+    pub useful_macs: Macs,
     /// Busy cycles per participating CE (id, cycles).
-    pub busy_per_ce: Vec<(usize, u64)>,
+    pub busy_per_ce: Vec<(usize, Cycles)>,
     /// Per-layer records.
     pub layers: Vec<LayerReport>,
 }
@@ -44,30 +45,21 @@ pub struct BlockOutcome {
 /// `on_layer` callbacks, so the two lanes cannot drift apart.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub(crate) struct BlockTotals {
-    /// Contribution to latency, in cycles (stalls included).
-    pub time_cycles: u64,
+    /// Contribution to latency (stalls included).
+    pub time_cycles: Cycles,
     /// Pure compute cycles.
-    pub compute_cycles: u64,
+    pub compute_cycles: Cycles,
     /// Memory access cycles (as if serialized; overlap decided by `time`).
-    pub memory_cycles: u64,
-    /// Off-chip weight traffic in bytes.
-    pub weight_traffic: u64,
-    /// Off-chip feature-map traffic in bytes.
-    pub fm_traffic: u64,
+    pub memory_cycles: Cycles,
+    /// Off-chip weight traffic.
+    pub weight_traffic: Bytes,
+    /// Off-chip feature-map traffic.
+    pub fm_traffic: Bytes,
     /// Useful MACs performed.
-    pub useful_macs: u64,
+    pub useful_macs: Macs,
     /// Largest per-CE busy time within the block (the Eq. 3 bottleneck
     /// used for single-round pipelined throughput).
-    pub max_busy_cycles: u64,
-}
-
-/// Ceiling division of byte counts by a fractional bytes-per-cycle rate.
-pub(crate) fn mem_cycles(bytes: u64, bytes_per_cycle: f64) -> u64 {
-    if bytes == 0 {
-        0
-    } else {
-        (bytes as f64 / bytes_per_cycle).ceil() as u64
-    }
+    pub max_busy_cycles: Cycles,
 }
 
 /// Evaluates a single-CE block over layers `first..=last` (Eq. 1, 4, 6).
@@ -83,7 +75,7 @@ pub fn eval_single_ce(
     last: usize,
     input_off_chip: bool,
     output_off_chip: bool,
-    bpc: f64,
+    bw: Bandwidth,
 ) -> BlockOutcome {
     let ce = &acc.ces[ce_id];
     let mut layers = Vec::with_capacity(last - first + 1);
@@ -94,7 +86,7 @@ pub fn eval_single_ce(
         last,
         input_off_chip,
         output_off_chip,
-        bpc,
+        bw,
         |l, compute, w_traffic, fm_load, fm_store, policy| {
             layers.push(LayerReport {
                 layer: l,
@@ -133,53 +125,71 @@ pub(crate) fn eval_single_ce_core(
     last: usize,
     input_off_chip: bool,
     output_off_chip: bool,
-    bpc: f64,
-    mut on_layer: impl FnMut(usize, u64, u64, u64, u64, SpillPolicy),
+    bw: Bandwidth,
+    mut on_layer: impl FnMut(usize, Cycles, Bytes, Bytes, Bytes, SpillPolicy),
 ) -> BlockTotals {
     let ce = &acc.ces[ce_id];
     let alloc = &acc.buffers.ce[ce_id];
-    let act = acc.precision.activation_bytes as u64;
+    let act = u64::from(acc.precision.activation_bytes);
     // Capacity available for feature maps once the weight stream buffer is
     // reserved (Eq. 6's constraint re-arranged).
-    let fm_budget = alloc.bytes.saturating_sub(alloc.weight_stream_bytes);
+    let fm_budget = Bytes::new(alloc.bytes.saturating_sub(alloc.weight_stream_bytes));
 
     let mut out = BlockTotals::default();
 
     let mut ifm_on_chip = !input_off_chip;
     for l in first..=last {
         let conv = &acc.convs[l];
-        let w_bytes = acc.weight_bytes(l);
-        let ifm_bytes = acc.ifm_bytes(l);
-        let ofm_bytes = acc.ofm_bytes(l);
-        let extra_bytes = acc
-            .precision
-            .activation_size(conv.fm_working_set - conv.ifm.elements() - conv.ofm.elements());
+        let w_bytes = Bytes::new(acc.weight_bytes(l));
+        let ifm_bytes = Bytes::new(acc.ifm_bytes(l));
+        let ofm_bytes = Bytes::new(acc.ofm_bytes(l));
+        let extra_bytes = Bytes::new(
+            acc.precision
+                .activation_size(conv.fm_working_set - conv.ifm.elements() - conv.ofm.elements()),
+        );
         let working_set = ifm_bytes + ofm_bytes + extra_bytes;
         let must_store = l == last && output_off_chip;
 
-        let compute = ce.parallelism.latency_cycles(conv.dims);
+        let compute = Cycles::new(ce.parallelism.latency_cycles(conv.dims));
         let (policy, w_traffic, fm_load, fm_store, ofm_stays) = if ifm_on_chip {
             if working_set <= fm_budget && !must_store {
-                (SpillPolicy::None, w_bytes, 0, 0, true)
+                (SpillPolicy::None, w_bytes, Bytes::ZERO, Bytes::ZERO, true)
             } else {
                 // OFMs streamed out (boundary store or capacity); IFMs are
                 // already resident, weights stream once.
-                (SpillPolicy::OutputSpill, w_bytes, 0, ofm_bytes, false)
+                (
+                    SpillPolicy::OutputSpill,
+                    w_bytes,
+                    Bytes::ZERO,
+                    ofm_bytes,
+                    false,
+                )
             }
         } else if working_set <= fm_budget && !must_store {
             // Load IFMs once, keep OFMs for the next layer.
-            (SpillPolicy::None, w_bytes, ifm_bytes, 0, true)
+            (SpillPolicy::None, w_bytes, ifm_bytes, Bytes::ZERO, true)
         } else if ifm_bytes + extra_bytes <= fm_budget {
             // IFMs fit; OFMs streamed out.
-            (SpillPolicy::OutputSpill, w_bytes, ifm_bytes, ofm_bytes, false)
+            (
+                SpillPolicy::OutputSpill,
+                w_bytes,
+                ifm_bytes,
+                ofm_bytes,
+                false,
+            )
         } else {
             // Nothing fits: Eq. (6)'s argmin over the two locally
             // stationary options and the IFM/weight buffer split.
-            let min_ifm_buf = (conv.spec.kernel.0 as u64 * conv.ifm.row_elements() * act).max(1);
-            let min_w_buf = alloc.weight_stream_bytes.max(1);
+            let min_ifm_buf =
+                Bytes::new((u64::from(conv.spec.kernel.0) * conv.ifm.row_elements() * act).max(1));
+            let min_w_buf = Bytes::new(alloc.weight_stream_bytes.max(1));
             let budget = fm_budget.max(min_ifm_buf + min_w_buf);
-            let mut best =
-                (u64::MAX, SpillPolicy::LocalInputStationary, 0u64, 0u64);
+            let mut best = (
+                Bytes::MAX,
+                SpillPolicy::LocalInputStationary,
+                Bytes::ZERO,
+                Bytes::ZERO,
+            );
             for i in 1..16u64 {
                 let ifm_buf = (budget * i / 16).max(min_ifm_buf);
                 let w_buf = budget.saturating_sub(ifm_buf).max(min_w_buf);
@@ -210,7 +220,7 @@ pub(crate) fn eval_single_ce_core(
         };
 
         let mem_bytes = w_traffic + fm_load + fm_store;
-        let memory = mem_cycles(mem_bytes, bpc);
+        let memory = bw.cycles_for(mem_bytes);
         let time = compute.max(memory);
 
         out.time_cycles += time;
@@ -218,7 +228,7 @@ pub(crate) fn eval_single_ce_core(
         out.memory_cycles += memory;
         out.weight_traffic += w_traffic;
         out.fm_traffic += fm_load + fm_store;
-        out.useful_macs += conv.macs;
+        out.useful_macs += Macs::new(conv.macs);
         on_layer(l, compute, w_traffic, fm_load, fm_store, policy);
         ifm_on_chip = ofm_stays;
     }
@@ -239,14 +249,18 @@ mod tests {
         MultipleCeBuilder::new(&m, &board).build(&spec).unwrap()
     }
 
+    fn bw_of(acc: &BuiltAccelerator) -> Bandwidth {
+        Bandwidth::new(acc.board.bytes_per_cycle())
+    }
+
     #[test]
     fn compute_cycles_match_eq1() {
         let acc = single_ce_acc(FpgaBoard::zcu102());
-        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, acc.board.bytes_per_cycle());
-        let expect: u64 = acc
+        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, bw_of(&acc));
+        let expect: Cycles = acc
             .convs
             .iter()
-            .map(|c| acc.ces[0].parallelism.latency_cycles(c.dims))
+            .map(|c| Cycles::new(acc.ces[0].parallelism.latency_cycles(c.dims)))
             .sum();
         assert_eq!(o.compute_cycles, expect);
         assert!(o.time_cycles >= o.compute_cycles);
@@ -259,13 +273,13 @@ mod tests {
         let board = FpgaBoard::new("big", 900, mccm_fpga::MiB(64.0), 19.2);
         let acc = single_ce_acc(board);
         let n = acc.convs.len();
-        let o = eval_single_ce(&acc, 0, 0, n - 1, true, true, acc.board.bytes_per_cycle());
-        let min = acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1);
+        let o = eval_single_ce(&acc, 0, 0, n - 1, true, true, bw_of(&acc));
+        let min = Bytes::new(acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1));
         assert_eq!(o.weight_traffic + o.fm_traffic, min);
         // All mid layers keep FMs on chip.
         assert!(o.layers[1..n - 1]
             .iter()
-            .all(|l| l.policy == SpillPolicy::None && l.fm_traffic() == 0));
+            .all(|l| l.policy == SpillPolicy::None && l.fm_traffic().is_zero()));
     }
 
     #[test]
@@ -273,24 +287,24 @@ mod tests {
         let tiny = FpgaBoard::new("tiny", 900, mccm_fpga::MiB(0.2), 19.2);
         let acc = single_ce_acc(tiny);
         let n = acc.convs.len();
-        let o = eval_single_ce(&acc, 0, 0, n - 1, true, true, acc.board.bytes_per_cycle());
-        let min = acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1);
+        let o = eval_single_ce(&acc, 0, 0, n - 1, true, true, bw_of(&acc));
+        let min = Bytes::new(acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1));
         assert!(o.weight_traffic + o.fm_traffic > min);
-        assert!(o
-            .layers
-            .iter()
-            .any(|l| l.policy != SpillPolicy::None));
+        assert!(o.layers.iter().any(|l| l.policy != SpillPolicy::None));
     }
 
     #[test]
     fn traffic_monotone_in_bram() {
-        let mut last_traffic = u64::MAX;
+        let mut last_traffic = Bytes::MAX;
         for mib in [0.2, 0.5, 1.0, 4.0, 16.0, 64.0] {
             let board = FpgaBoard::new("b", 900, mccm_fpga::MiB(mib), 19.2);
             let acc = single_ce_acc(board);
-            let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, acc.board.bytes_per_cycle());
+            let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, bw_of(&acc));
             let t = o.weight_traffic + o.fm_traffic;
-            assert!(t <= last_traffic, "traffic must not grow with BRAM ({mib} MiB)");
+            assert!(
+                t <= last_traffic,
+                "traffic must not grow with BRAM ({mib} MiB)"
+            );
             last_traffic = t;
         }
     }
@@ -299,18 +313,21 @@ mod tests {
     fn boundary_store_forced() {
         let board = FpgaBoard::new("big", 900, mccm_fpga::MiB(64.0), 19.2);
         let acc = single_ce_acc(board);
-        let o = eval_single_ce(&acc, 0, 0, 5, false, true, acc.board.bytes_per_cycle());
+        let o = eval_single_ce(&acc, 0, 0, 5, false, true, bw_of(&acc));
         // Last layer must store its OFM.
-        assert_eq!(o.layers.last().unwrap().fm_store_traffic, acc.ofm_bytes(5));
+        assert_eq!(
+            o.layers.last().unwrap().fm_store_traffic,
+            Bytes::new(acc.ofm_bytes(5))
+        );
         // On-chip input: no IFM load for the first layer.
-        assert_eq!(o.layers[0].fm_traffic(), 0);
+        assert!(o.layers[0].fm_traffic().is_zero());
     }
 
     #[test]
     fn low_bandwidth_makes_memory_bound_layers() {
         let slow = FpgaBoard::new("slow", 900, mccm_fpga::MiB(0.5), 0.4);
         let acc = single_ce_acc(slow);
-        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, acc.board.bytes_per_cycle());
+        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, bw_of(&acc));
         assert!(o.time_cycles > o.compute_cycles);
         assert!(o.memory_cycles > o.compute_cycles);
     }
@@ -323,11 +340,18 @@ mod tests {
         let m = zoo::resnet50();
         let spec = notation::parse("{L1-Last: CE1}").unwrap();
         let acc = MultipleCeBuilder::new(&m, &tiny).build(&spec).unwrap();
-        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, acc.board.bytes_per_cycle());
+        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, bw_of(&acc));
         // Late ResNet layers have big weights and small FMs: local-WS wins;
         // early layers the reverse. Both policies should appear.
-        let has_ws = o.layers.iter().any(|l| l.policy == SpillPolicy::LocalWeightStationary);
-        let spills = o.layers.iter().filter(|l| l.policy != SpillPolicy::None).count();
+        let has_ws = o
+            .layers
+            .iter()
+            .any(|l| l.policy == SpillPolicy::LocalWeightStationary);
+        let spills = o
+            .layers
+            .iter()
+            .filter(|l| l.policy != SpillPolicy::None)
+            .count();
         assert!(spills > 0);
         assert!(has_ws || spills > 0);
     }

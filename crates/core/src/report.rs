@@ -1,7 +1,16 @@
 //! Evaluation outputs: end-to-end metrics plus the fine-grained breakdowns
 //! behind the paper's Use Case 2 (Figs. 6, 7, 9).
+//!
+//! Every discrete quantity in these records is a typed
+//! [`quantity`](crate::quantity) newtype — [`Bytes`], [`Macs`],
+//! [`Cycles`], [`Pes`] — so a traffic volume cannot silently add to a
+//! cycle count anywhere downstream. Continuous measurements (seconds,
+//! frames/s, fractions) stay `f64`: their unit is part of the field name
+//! and they participate in genuinely mixed floating-point expressions.
 
 use std::fmt;
+
+use crate::quantity::{Bytes, Cycles, Macs, Pes, Throughput};
 
 /// Off-chip spill policy chosen for a layer by Eq. (6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,14 +48,14 @@ pub struct LayerReport {
     /// CE that processed it.
     pub ce: usize,
     /// Eq. (1) compute cycles.
-    pub compute_cycles: u64,
-    /// Off-chip weight traffic in bytes (loads only; weights are never
-    /// written back).
-    pub weight_traffic: u64,
-    /// Off-chip feature-map loads in bytes.
-    pub fm_load_traffic: u64,
-    /// Off-chip feature-map stores in bytes.
-    pub fm_store_traffic: u64,
+    pub compute_cycles: Cycles,
+    /// Off-chip weight traffic (loads only; weights are never written
+    /// back).
+    pub weight_traffic: Bytes,
+    /// Off-chip feature-map loads.
+    pub fm_load_traffic: Bytes,
+    /// Off-chip feature-map stores.
+    pub fm_store_traffic: Bytes,
     /// Spill policy chosen by Eq. (6) (single-CE layers) or `None`.
     pub policy: SpillPolicy,
     /// PE utilization on this layer.
@@ -55,12 +64,12 @@ pub struct LayerReport {
 
 impl LayerReport {
     /// Off-chip feature-map traffic (loads + stores).
-    pub fn fm_traffic(&self) -> u64 {
+    pub fn fm_traffic(&self) -> Bytes {
         self.fm_load_traffic + self.fm_store_traffic
     }
 
     /// Total off-chip traffic of the layer.
-    pub fn traffic(&self) -> u64 {
+    pub fn traffic(&self) -> Bytes {
         self.weight_traffic + self.fm_traffic()
     }
 }
@@ -83,13 +92,13 @@ pub struct SegmentReport {
     /// Contribution to end-to-end latency (seconds): per-tile/per-layer
     /// `max(compute, memory)` accumulated.
     pub time_s: f64,
-    /// Off-chip weight traffic (bytes).
-    pub weight_traffic: u64,
-    /// Off-chip feature-map traffic (bytes).
-    pub fm_traffic: u64,
-    /// On-chip buffer requirement attributed to this segment (bytes):
-    /// its executor's Eq. (4)/(5) term plus its outgoing handoff buffer.
-    pub buffer_req_bytes: u64,
+    /// Off-chip weight traffic.
+    pub weight_traffic: Bytes,
+    /// Off-chip feature-map traffic.
+    pub fm_traffic: Bytes,
+    /// On-chip buffer requirement attributed to this segment: its
+    /// executor's Eq. (4)/(5) term plus its outgoing handoff buffer.
+    pub buffer_req_bytes: Bytes,
     /// MAC-weighted PE utilization of the segment's engines over the
     /// segment's runtime.
     pub utilization: f64,
@@ -97,7 +106,7 @@ pub struct SegmentReport {
 
 impl SegmentReport {
     /// Total off-chip traffic of the segment.
-    pub fn traffic(&self) -> u64 {
+    pub fn traffic(&self) -> Bytes {
         self.weight_traffic + self.fm_traffic
     }
 
@@ -122,7 +131,7 @@ pub struct CeReport {
     /// CE id.
     pub ce: usize,
     /// Allocated PEs.
-    pub pes: u32,
+    pub pes: Pes,
     /// Busy time over one inference (seconds).
     pub busy_s: f64,
     /// MAC-weighted utilization while busy.
@@ -144,23 +153,23 @@ pub struct Evaluation {
     /// Total convolution MACs of the CNN per inference — the compute-side
     /// input of the energy model (identical for every design of the same
     /// CNN).
-    pub total_macs: u64,
+    pub total_macs: Macs,
     /// End-to-end single-input latency in seconds.
     pub latency_s: f64,
     /// Steady-state throughput in frames per second.
     pub throughput_fps: f64,
-    /// On-chip buffer requirement in bytes to guarantee the design's
-    /// minimum off-chip accesses (Eqs. 4/5/8) — may exceed the board's
-    /// BRAM, exactly as in the paper's Fig. 8.
-    pub buffer_req_bytes: u64,
+    /// On-chip buffer requirement to guarantee the design's minimum
+    /// off-chip accesses (Eqs. 4/5/8) — may exceed the board's BRAM,
+    /// exactly as in the paper's Fig. 8.
+    pub buffer_req_bytes: Bytes,
     /// On-chip bytes actually granted by the builder's plan (≤ BRAM).
-    pub buffer_alloc_bytes: u64,
-    /// Off-chip traffic per inference in bytes (with the granted buffers).
-    pub offchip_bytes: u64,
+    pub buffer_alloc_bytes: Bytes,
+    /// Off-chip traffic per inference (with the granted buffers).
+    pub offchip_bytes: Bytes,
     /// Weight portion of `offchip_bytes`.
-    pub offchip_weight_bytes: u64,
+    pub offchip_weight_bytes: Bytes,
     /// Feature-map portion of `offchip_bytes`.
-    pub offchip_fm_bytes: u64,
+    pub offchip_fm_bytes: Bytes,
     /// Fraction of end-to-end time the engines stall on memory (§V-D's
     /// "29% of the overall execution time, CEs are idle").
     pub memory_stall_fraction: f64,
@@ -189,21 +198,21 @@ pub struct EvalSummary {
     pub ce_count: usize,
     /// Total convolution MACs of the CNN per inference (energy-model
     /// input, see [`Evaluation::total_macs`]).
-    pub total_macs: u64,
+    pub total_macs: Macs,
     /// End-to-end single-input latency in seconds.
     pub latency_s: f64,
     /// Steady-state throughput in frames per second.
     pub throughput_fps: f64,
-    /// On-chip buffer requirement in bytes (Eqs. 4/5/8).
-    pub buffer_req_bytes: u64,
+    /// On-chip buffer requirement (Eqs. 4/5/8).
+    pub buffer_req_bytes: Bytes,
     /// On-chip bytes actually granted by the builder's plan (≤ BRAM).
-    pub buffer_alloc_bytes: u64,
-    /// Off-chip traffic per inference in bytes.
-    pub offchip_bytes: u64,
+    pub buffer_alloc_bytes: Bytes,
+    /// Off-chip traffic per inference.
+    pub offchip_bytes: Bytes,
     /// Weight portion of `offchip_bytes`.
-    pub offchip_weight_bytes: u64,
+    pub offchip_weight_bytes: Bytes,
     /// Feature-map portion of `offchip_bytes`.
-    pub offchip_fm_bytes: u64,
+    pub offchip_fm_bytes: Bytes,
     /// Fraction of end-to-end time the engines stall on memory.
     pub memory_stall_fraction: f64,
 }
@@ -214,21 +223,26 @@ impl EvalSummary {
         self.latency_s * 1e3
     }
 
+    /// Steady-state throughput as a typed rate.
+    pub fn throughput(&self) -> Throughput {
+        Throughput::new(self.throughput_fps)
+    }
+
     /// On-chip buffer traffic the energy model charges per inference:
     /// each MAC reads two operands and accumulates locally; partial sums
     /// and reuse keep the traffic near 2 bytes/MAC at 8-bit.
-    pub fn onchip_traffic_bytes(&self) -> u64 {
-        2 * self.total_macs
+    pub fn onchip_traffic_bytes(&self) -> Bytes {
+        self.total_macs.traffic_at(2)
     }
 
     /// Off-chip traffic in MiB.
     pub fn offchip_mib(&self) -> f64 {
-        self.offchip_bytes as f64 / (1024.0 * 1024.0)
+        self.offchip_bytes.mib()
     }
 
     /// Buffer requirement in MiB.
     pub fn buffer_mib(&self) -> f64 {
-        self.buffer_req_bytes as f64 / (1024.0 * 1024.0)
+        self.buffer_req_bytes.mib()
     }
 }
 
@@ -253,10 +267,15 @@ impl Evaluation {
         self.latency_s * 1e3
     }
 
+    /// Steady-state throughput as a typed rate.
+    pub fn throughput(&self) -> Throughput {
+        Throughput::new(self.throughput_fps)
+    }
+
     /// On-chip buffer traffic the energy model charges per inference
     /// (see [`EvalSummary::onchip_traffic_bytes`]).
-    pub fn onchip_traffic_bytes(&self) -> u64 {
-        2 * self.total_macs
+    pub fn onchip_traffic_bytes(&self) -> Bytes {
+        self.total_macs.traffic_at(2)
     }
 
     /// The metrics-only view of this evaluation (drops the per-segment /
@@ -279,12 +298,12 @@ impl Evaluation {
 
     /// Off-chip traffic in MiB.
     pub fn offchip_mib(&self) -> f64 {
-        self.offchip_bytes as f64 / (1024.0 * 1024.0)
+        self.offchip_bytes.mib()
     }
 
     /// Buffer requirement in MiB.
     pub fn buffer_mib(&self) -> f64 {
-        self.buffer_req_bytes as f64 / (1024.0 * 1024.0)
+        self.buffer_req_bytes.mib()
     }
 
     /// Latency of processing a batch of `batch` inputs: the first input's
@@ -295,7 +314,8 @@ impl Evaluation {
         if batch == 0 {
             return 0.0;
         }
-        self.latency_s + (batch as f64 - 1.0) / self.throughput_fps.max(1e-12)
+        let extra = to_f64_lossless(batch) - 1.0;
+        self.latency_s + extra / self.throughput_fps.max(1e-12)
     }
 
     /// Amortized per-input latency at batch size `batch`.
@@ -303,18 +323,25 @@ impl Evaluation {
         if batch == 0 {
             0.0
         } else {
-            self.batch_latency_s(batch) / batch as f64
+            self.batch_latency_s(batch) / to_f64_lossless(batch)
         }
     }
 
     /// Weight share of off-chip traffic in `[0, 1]` (Fig. 7).
     pub fn weight_traffic_share(&self) -> f64 {
-        if self.offchip_bytes == 0 {
+        if self.offchip_bytes.is_zero() {
             0.0
         } else {
-            self.offchip_weight_bytes as f64 / self.offchip_bytes as f64
+            self.offchip_weight_bytes.as_f64() / self.offchip_bytes.as_f64()
         }
     }
+}
+
+/// Batch sizes as `f64` — batch counts are small (≤ 2⁵³), so this is
+/// exact; centralized so the cast-lint allow has a single audited site.
+#[allow(clippy::cast_precision_loss)]
+fn to_f64_lossless(batch: usize) -> f64 {
+    batch as f64
 }
 
 impl fmt::Display for Evaluation {
@@ -344,14 +371,14 @@ mod tests {
             model_name: "m".into(),
             board_name: "b".into(),
             ce_count: 1,
-            total_macs: 1_000_000,
+            total_macs: Macs::new(1_000_000),
             latency_s: 0.010,
             throughput_fps: 100.0,
-            buffer_req_bytes: 2 * 1024 * 1024,
-            buffer_alloc_bytes: 1024 * 1024,
-            offchip_bytes: 100,
-            offchip_weight_bytes: 75,
-            offchip_fm_bytes: 25,
+            buffer_req_bytes: Bytes::new(2 * 1024 * 1024),
+            buffer_alloc_bytes: Bytes::new(1024 * 1024),
+            offchip_bytes: Bytes::new(100),
+            offchip_weight_bytes: Bytes::new(75),
+            offchip_fm_bytes: Bytes::new(25),
             memory_stall_fraction: 0.1,
             segments: vec![],
             ces: vec![],
@@ -365,6 +392,8 @@ mod tests {
         assert!((e.latency_ms() - 10.0).abs() < 1e-12);
         assert!((e.buffer_mib() - 2.0).abs() < 1e-12);
         assert!((e.weight_traffic_share() - 0.75).abs() < 1e-12);
+        assert_eq!(e.onchip_traffic_bytes(), Bytes::new(2_000_000));
+        assert!((e.throughput().get() - 100.0).abs() < 1e-12);
     }
 
     #[test]
@@ -387,14 +416,30 @@ mod tests {
             compute_s: 0.6,
             memory_s: 0.9,
             time_s: 1.0,
-            weight_traffic: 10,
-            fm_traffic: 30,
-            buffer_req_bytes: 0,
+            weight_traffic: Bytes::new(10),
+            fm_traffic: Bytes::new(30),
+            buffer_req_bytes: Bytes::ZERO,
             utilization: 0.7,
         };
-        assert_eq!(s.traffic(), 40);
+        assert_eq!(s.traffic(), Bytes::new(40));
         assert!((s.underutilization() - 0.3).abs() < 1e-12);
         assert!((s.memory_stall_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_traffic_sums_typed_components() {
+        let l = LayerReport {
+            layer: 0,
+            ce: 0,
+            compute_cycles: Cycles::new(1000),
+            weight_traffic: Bytes::new(7),
+            fm_load_traffic: Bytes::new(5),
+            fm_store_traffic: Bytes::new(3),
+            policy: SpillPolicy::OutputSpill,
+            utilization: 1.0,
+        };
+        assert_eq!(l.fm_traffic(), Bytes::new(8));
+        assert_eq!(l.traffic(), Bytes::new(15));
     }
 
     #[test]

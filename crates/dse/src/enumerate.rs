@@ -42,7 +42,12 @@ fn blocks(space: &CustomSpace) -> Vec<Block> {
                 continue; // not enough layers for that many segments
             }
             let size = binomial_checked(positions as u128, segments as u128 - 1);
-            out.push(Block { head: h, segments, positions, size });
+            out.push(Block {
+                head: h,
+                segments,
+                positions,
+                size,
+            });
         }
     }
     out
@@ -56,10 +61,7 @@ fn comb_rank(m: usize, comb: &[usize]) -> Option<u128> {
     let mut prev = 0usize;
     for (j, &c) in comb.iter().enumerate() {
         for v in prev..c {
-            rank = rank.checked_add(binomial_checked(
-                (m - v - 1) as u128,
-                (t - j - 1) as u128,
-            )?)?;
+            rank = rank.checked_add(binomial_checked((m - v - 1) as u128, (t - j - 1) as u128)?)?;
         }
         prev = c + 1;
     }
@@ -122,10 +124,12 @@ pub struct DesignIter {
 impl DesignIter {
     fn design(&self) -> CustomDesign {
         let b = &self.blocks[self.block];
-        let mut tail_ends: Vec<usize> =
-            self.comb.iter().map(|&c| b.head + 1 + c).collect();
+        let mut tail_ends: Vec<usize> = self.comb.iter().map(|&c| b.head + 1 + c).collect();
         tail_ends.push(self.layers);
-        CustomDesign { head_layers: b.head, tail_ends }
+        CustomDesign {
+            head_layers: b.head,
+            tail_ends,
+        }
     }
 
     fn enter_block(&mut self, block: usize) {
@@ -271,14 +275,30 @@ mod tests {
     #[test]
     fn tiny_space_enumerates_in_order() {
         // n=4, k=2..3 — the 4 designs of space.rs's `tiny_space_enumerates`.
-        let space = CustomSpace { layers: 4, min_ces: 2, max_ces: 3 };
+        let space = CustomSpace {
+            layers: 4,
+            min_ces: 2,
+            max_ces: 3,
+        };
         let all: Vec<CustomDesign> = space.designs().collect();
         assert_eq!(all.len() as u128, space.size());
         let expected = [
-            CustomDesign { head_layers: 1, tail_ends: vec![4] },
-            CustomDesign { head_layers: 1, tail_ends: vec![2, 4] },
-            CustomDesign { head_layers: 1, tail_ends: vec![3, 4] },
-            CustomDesign { head_layers: 2, tail_ends: vec![4] },
+            CustomDesign {
+                head_layers: 1,
+                tail_ends: vec![4],
+            },
+            CustomDesign {
+                head_layers: 1,
+                tail_ends: vec![2, 4],
+            },
+            CustomDesign {
+                head_layers: 1,
+                tail_ends: vec![3, 4],
+            },
+            CustomDesign {
+                head_layers: 2,
+                tail_ends: vec![4],
+            },
         ];
         assert_eq!(all, expected);
     }
@@ -286,9 +306,21 @@ mod tests {
     #[test]
     fn rank_unrank_roundtrip() {
         for space in [
-            CustomSpace { layers: 7, min_ces: 2, max_ces: 5 },
-            CustomSpace { layers: 10, min_ces: 2, max_ces: 4 },
-            CustomSpace { layers: 5, min_ces: 2, max_ces: 11 }, // clamped head
+            CustomSpace {
+                layers: 7,
+                min_ces: 2,
+                max_ces: 5,
+            },
+            CustomSpace {
+                layers: 10,
+                min_ces: 2,
+                max_ces: 4,
+            },
+            CustomSpace {
+                layers: 5,
+                min_ces: 2,
+                max_ces: 11,
+            }, // clamped head
         ] {
             let size = space.size();
             let mut seen = std::collections::HashSet::new();
@@ -305,11 +337,14 @@ mod tests {
 
     #[test]
     fn designs_from_resumes_mid_stream() {
-        let space = CustomSpace { layers: 9, min_ces: 2, max_ces: 5 };
+        let space = CustomSpace {
+            layers: 9,
+            min_ces: 2,
+            max_ces: 5,
+        };
         let all: Vec<CustomDesign> = space.designs().collect();
         for start in [0u128, 1, 7, all.len() as u128 - 1] {
-            let tail: Vec<CustomDesign> =
-                space.designs_from(start).unwrap().collect();
+            let tail: Vec<CustomDesign> = space.designs_from(start).unwrap().collect();
             assert_eq!(tail, all[start as usize..]);
         }
         assert!(space.designs_from(all.len() as u128).is_none());
@@ -317,7 +352,11 @@ mod tests {
 
     #[test]
     fn shards_partition_the_space() {
-        let space = CustomSpace { layers: 10, min_ces: 2, max_ces: 6 };
+        let space = CustomSpace {
+            layers: 10,
+            min_ces: 2,
+            max_ces: 6,
+        };
         let size = space.size();
         for workers in [1usize, 2, 3, 7, 100_000] {
             let shards = space.shards(workers).unwrap();
@@ -334,7 +373,11 @@ mod tests {
 
     #[test]
     fn sharded_iteration_covers_exactly_the_space() {
-        let space = CustomSpace { layers: 8, min_ces: 2, max_ces: 6 };
+        let space = CustomSpace {
+            layers: 8,
+            min_ces: 2,
+            max_ces: 6,
+        };
         let all: Vec<CustomDesign> = space.designs().collect();
         let mut sharded = Vec::new();
         for (start, end) in space.shards(3).unwrap() {
@@ -346,21 +389,38 @@ mod tests {
 
     #[test]
     fn rank_rejects_foreign_designs() {
-        let space = CustomSpace { layers: 8, min_ces: 2, max_ces: 4 };
+        let space = CustomSpace {
+            layers: 8,
+            min_ces: 2,
+            max_ces: 4,
+        };
         // Too many CEs for the space.
-        let d = CustomDesign { head_layers: 3, tail_ends: vec![5, 6, 7, 8] };
+        let d = CustomDesign {
+            head_layers: 3,
+            tail_ends: vec![5, 6, 7, 8],
+        };
         assert_eq!(space.rank(&d), None);
         // Boundary past the model.
-        let d = CustomDesign { head_layers: 1, tail_ends: vec![9] };
+        let d = CustomDesign {
+            head_layers: 1,
+            tail_ends: vec![9],
+        };
         assert_eq!(space.rank(&d), None);
         // Non-increasing boundaries.
-        let d = CustomDesign { head_layers: 1, tail_ends: vec![5, 5, 8] };
+        let d = CustomDesign {
+            head_layers: 1,
+            tail_ends: vec![5, 5, 8],
+        };
         assert_eq!(space.rank(&d), None);
     }
 
     #[test]
     fn empty_space_yields_nothing() {
-        let space = CustomSpace { layers: 4, min_ces: 6, max_ces: 11 };
+        let space = CustomSpace {
+            layers: 4,
+            min_ces: 6,
+            max_ces: 11,
+        };
         assert_eq!(space.designs().count(), 0);
         assert_eq!(space.size(), 0);
         assert_eq!(space.shards(4), Some(vec![]));

@@ -43,7 +43,11 @@ pub enum ExploreError {
 impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::AttemptsExhausted { wanted, got, attempts } => write!(
+            Self::AttemptsExhausted {
+                wanted,
+                got,
+                attempts,
+            } => write!(
                 f,
                 "sampling exhausted {attempts} attempts with only {got}/{wanted} feasible \
                  designs found — the space looks (mostly) infeasible for this CNN/board pair"

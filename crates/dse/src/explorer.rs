@@ -80,7 +80,10 @@ pub struct Explorer {
 impl Explorer {
     /// Creates an explorer (default 8-bit precision).
     pub fn new(model: &CnnModel, board: &FpgaBoard) -> Self {
-        Self { model: model.clone(), builder: MultipleCeBuilder::new(model, board) }
+        Self {
+            model: model.clone(),
+            builder: MultipleCeBuilder::new(model, board),
+        }
     }
 
     /// Wraps an existing builder (with whatever precision/options it
@@ -114,7 +117,10 @@ impl Explorer {
     /// Propagates builder validation errors.
     pub fn evaluate(&self, spec: &AcceleratorSpec) -> Result<DesignPoint, ArchError> {
         let acc = self.builder.build(spec)?;
-        Ok(DesignPoint { spec: spec.clone(), eval: CostModel::evaluate(&acc) })
+        Ok(DesignPoint {
+            spec: spec.clone(),
+            eval: CostModel::evaluate(&acc),
+        })
     }
 
     /// Builds and evaluates one specification through the summary fast
@@ -147,7 +153,11 @@ impl Explorer {
             Err(e) => return Err(e),
         };
         match self.evaluate(&spec) {
-            Ok(point) => Ok(Some(BaselinePoint { architecture, ces, eval: point.eval })),
+            Ok(point) => Ok(Some(BaselinePoint {
+                architecture,
+                ces,
+                eval: point.eval,
+            })),
             Err(ArchError::Infeasible { .. }) => Ok(None),
             Err(e) => Err(e),
         }
@@ -185,7 +195,10 @@ impl Explorer {
             Err(e) => return Err(e),
         };
         match self.evaluate_summary(&spec, scratch) {
-            Ok(summary) => Ok(Some(CustomPoint { design: design.clone(), summary })),
+            Ok(summary) => Ok(Some(CustomPoint {
+                design: design.clone(),
+                summary,
+            })),
             Err(ArchError::Infeasible { .. }) => Ok(None),
             Err(e) => Err(e),
         }
@@ -371,7 +384,10 @@ mod tests {
             .map(|p| Metric::OnChipBuffers.value(&p.eval))
             .fold(f64::INFINITY, f64::min);
         // Customs should at least approach the baseline best (within 2x).
-        assert!(best_custom < 2.0 * best_buffer, "{best_custom} vs {best_buffer}");
+        assert!(
+            best_custom < 2.0 * best_buffer,
+            "{best_custom} vs {best_buffer}"
+        );
     }
 
     #[test]
@@ -392,7 +408,11 @@ mod tests {
         let m = zoo::mobilenet_v2();
         let e = Explorer::new(&m, &FpgaBoard::zc706());
         match e.sample_custom_capped(100, 1, 5) {
-            Err(ExploreError::AttemptsExhausted { wanted, got, attempts }) => {
+            Err(ExploreError::AttemptsExhausted {
+                wanted,
+                got,
+                attempts,
+            }) => {
                 assert_eq!(wanted, 100);
                 assert!(got <= 5);
                 assert!(attempts <= 5);

@@ -54,7 +54,9 @@ pub use explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint
 pub use optimizer::{GuidedFront, OptimizerConfig};
 pub use parallel::{par_pareto_indices, EXHAUSTIVE_LIMIT};
 pub use pareto::{pareto_front, ParetoFront};
-pub use quality::{compare_fronts, coverage, hypervolume, union_bounds, FrontComparison, MetricBounds};
+pub use quality::{
+    compare_fronts, coverage, hypervolume, union_bounds, FrontComparison, MetricBounds,
+};
 pub use sampler::{sample_attempt, CustomSampler};
 pub use selection::{select_all_metrics, select_best, SelectionCell, PAPER_TIE_FRAC};
 pub use space::{binomial, binomial_checked, CustomDesign, CustomSpace};

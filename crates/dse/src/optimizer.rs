@@ -147,7 +147,10 @@ impl OptimizerConfig {
             return fail("metric set is empty".into());
         }
         if self.population < 4 {
-            return fail(format!("population must be at least 4, got {}", self.population));
+            return fail(format!(
+                "population must be at least 4, got {}",
+                self.population
+            ));
         }
         if self.islands == 0 {
             return fail("islands must be at least 1".into());
@@ -250,8 +253,7 @@ impl Island {
         self.evaluations += 1;
         let outcome = explorer.custom_summary_cell(design, scratch)?;
         let values = outcome.map(|point| {
-            let values: Vec<f64> =
-                metrics.iter().map(|m| m.value(&point.summary)).collect();
+            let values: Vec<f64> = metrics.iter().map(|m| m.value(&point.summary)).collect();
             self.feasible += 1;
             self.archive.offer_with_values(point, values.clone());
             values
@@ -272,10 +274,7 @@ impl Island {
         target: usize,
     ) -> Result<(), ArchError> {
         let attempt_cap = (target as u64).saturating_mul(64).max(1024);
-        while self.population.len() < target
-            && self.budget > 0
-            && self.next_attempt < attempt_cap
-        {
+        while self.population.len() < target && self.budget > 0 && self.next_attempt < attempt_cap {
             let design = sample_attempt(space, self.sample_stream, self.next_attempt);
             self.next_attempt += 1;
             if let Some(values) = self.try_evaluate(explorer, scratch, metrics, &design)? {
@@ -300,8 +299,11 @@ impl Island {
         if self.population.len() < 2 || self.budget == 0 {
             return Ok(());
         }
-        let values: Vec<&[f64]> =
-            self.population.iter().map(|i| i.values.as_slice()).collect();
+        let values: Vec<&[f64]> = self
+            .population
+            .iter()
+            .map(|i| i.values.as_slice())
+            .collect();
         let (rank, crowd) = rank_and_crowding(&values, metrics);
         let n = self.population.len();
         let mut offspring: Vec<Individual> = Vec::with_capacity(mu);
@@ -323,7 +325,10 @@ impl Island {
             let child = space.mutate(&child, &mut self.rng);
             match self.try_evaluate(explorer, scratch, metrics, &child)? {
                 Some(values) => {
-                    offspring.push(Individual { design: child, values });
+                    offspring.push(Individual {
+                        design: child,
+                        values,
+                    });
                     dry = 0;
                 }
                 None => dry += 1,
@@ -341,14 +346,16 @@ impl Island {
         if self.population.is_empty() || count == 0 {
             return Vec::new();
         }
-        let values: Vec<&[f64]> =
-            self.population.iter().map(|i| i.values.as_slice()).collect();
+        let values: Vec<&[f64]> = self
+            .population
+            .iter()
+            .map(|i| i.values.as_slice())
+            .collect();
         let (rank, crowd) = rank_and_crowding(&values, metrics);
-        let mut first_front: Vec<usize> =
-            (0..self.population.len()).filter(|&i| rank[i] == 0).collect();
-        first_front.sort_by(|&a, &b| {
-            crowd[b].total_cmp(&crowd[a]).then_with(|| a.cmp(&b))
-        });
+        let mut first_front: Vec<usize> = (0..self.population.len())
+            .filter(|&i| rank[i] == 0)
+            .collect();
+        first_front.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]).then_with(|| a.cmp(&b)));
         first_front
             .into_iter()
             .take(count)
@@ -423,7 +430,11 @@ fn crowding_into(front: &[usize], values: &[&[f64]], metrics: &[Metric], crowd: 
     }
     let mut order: Vec<usize> = front.to_vec();
     for (m, _) in metrics.iter().enumerate() {
-        order.sort_by(|&a, &b| values[a][m].total_cmp(&values[b][m]).then_with(|| a.cmp(&b)));
+        order.sort_by(|&a, &b| {
+            values[a][m]
+                .total_cmp(&values[b][m])
+                .then_with(|| a.cmp(&b))
+        });
         let lo = values[order[0]][m];
         let hi = values[order[order.len() - 1]][m];
         crowd[order[0]] = f64::INFINITY;
@@ -521,7 +532,10 @@ impl Explorer {
         config: &OptimizerConfig,
         workers: usize,
     ) -> Result<GuidedFront, ExploreError> {
-        assert!(!config.metrics.is_empty(), "optimizer needs at least one metric");
+        assert!(
+            !config.metrics.is_empty(),
+            "optimizer needs at least one metric"
+        );
         assert!(config.population >= 4, "population must be at least 4");
         assert!(config.islands >= 1, "need at least one island");
         let start = Instant::now();
@@ -529,7 +543,8 @@ impl Explorer {
         let metrics = config.metrics.clone();
         let k = config.islands;
         let share = config.budget / k as u64;
-        let extra = (config.budget % k as u64) as usize;
+        let extra = usize::try_from(config.budget % k as u64)
+            .expect("remainder is below the island count, a usize");
         let mut islands: Vec<Island> = (0..k)
             .map(|i| {
                 let budget = share + u64::from(i < extra);
@@ -614,9 +629,7 @@ impl Explorer {
         generations: usize,
         workers: usize,
     ) -> Result<Vec<Island>, ExploreError> {
-        let run_one = |mut isl: Island,
-                       scratch: &mut EvalScratch|
-         -> Result<Island, ArchError> {
+        let run_one = |mut isl: Island, scratch: &mut EvalScratch| -> Result<Island, ArchError> {
             if !isl.initialized {
                 isl.initialize(self, scratch, space, metrics, config.population)?;
             }
@@ -644,30 +657,29 @@ impl Explorer {
         }
         let chunks = crate::enumerate::partition(islands.len() as u128, workers);
         let mut slots: Vec<Option<Island>> = islands.into_iter().map(Some).collect();
-        let chunk_results: Vec<Vec<Result<Island, ArchError>>> =
-            std::thread::scope(|s| {
-                let run_one = &run_one;
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|&(lo, hi)| {
-                        let chunk: Vec<Island> = slots[lo as usize..hi as usize]
-                            .iter_mut()
-                            .map(|slot| slot.take().expect("island taken once"))
-                            .collect();
-                        s.spawn(move || {
-                            let mut scratch = EvalScratch::new();
-                            chunk
-                                .into_iter()
-                                .map(|isl| run_one(isl, &mut scratch))
-                                .collect()
-                        })
+        let chunk_results: Vec<Vec<Result<Island, ArchError>>> = std::thread::scope(|s| {
+            let run_one = &run_one;
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(lo, hi)| {
+                    let chunk: Vec<Island> = slots[lo as usize..hi as usize]
+                        .iter_mut()
+                        .map(|slot| slot.take().expect("island taken once"))
+                        .collect();
+                    s.spawn(move || {
+                        let mut scratch = EvalScratch::new();
+                        chunk
+                            .into_iter()
+                            .map(|isl| run_one(isl, &mut scratch))
+                            .collect()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("optimizer worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("optimizer worker panicked"))
+                .collect()
+        });
         let mut out = Vec::with_capacity(slots.len());
         for r in chunk_results.into_iter().flatten() {
             out.push(r?);
@@ -713,7 +725,10 @@ mod tests {
             (OptimizerConfig::default().with_metrics(&[]), "metric"),
             (OptimizerConfig::default().with_population(3), "population"),
             (OptimizerConfig::default().with_islands(0), "islands"),
-            (OptimizerConfig::default().with_crossover_prob(1.5), "crossover_prob"),
+            (
+                OptimizerConfig::default().with_crossover_prob(1.5),
+                "crossover_prob",
+            ),
         ];
         for (cfg, field) in cases {
             match cfg.validate() {
@@ -724,7 +739,10 @@ mod tests {
             }
         }
         // NaN probabilities are out of range too.
-        assert!(OptimizerConfig::default().with_crossover_prob(f64::NAN).validate().is_err());
+        assert!(OptimizerConfig::default()
+            .with_crossover_prob(f64::NAN)
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -753,7 +771,11 @@ mod tests {
         let cfg = small_config();
         let serial = e.optimize(&cfg).unwrap();
         let rerun = e.optimize(&cfg).unwrap();
-        assert_eq!(front_key(&serial), front_key(&rerun), "same config must reproduce");
+        assert_eq!(
+            front_key(&serial),
+            front_key(&rerun),
+            "same config must reproduce"
+        );
         for workers in [2usize, 3, 8] {
             let par = e.optimize_par(&cfg, workers).unwrap();
             assert_eq!(
@@ -782,7 +804,9 @@ mod tests {
         // best at the same budget.
         let m = zoo::mobilenet_v2();
         let e = Explorer::new(&m, &FpgaBoard::zc706());
-        let cfg = small_config().with_metrics(&[Metric::Throughput]).with_islands(2);
+        let cfg = small_config()
+            .with_metrics(&[Metric::Throughput])
+            .with_islands(2);
         let f = e.optimize(&cfg).unwrap();
         // A single-objective front holds only exactly-tied best designs.
         let guided_best = f.best(Metric::Throughput).unwrap();
@@ -805,7 +829,10 @@ mod tests {
     fn empty_metric_set_is_rejected() {
         let m = zoo::mobilenet_v2();
         let e = Explorer::new(&m, &FpgaBoard::zc706());
-        let cfg = OptimizerConfig { metrics: vec![], ..OptimizerConfig::default() };
+        let cfg = OptimizerConfig {
+            metrics: vec![],
+            ..OptimizerConfig::default()
+        };
         let _ = e.optimize(&cfg);
     }
 }

@@ -38,15 +38,17 @@ pub const EXHAUSTIVE_LIMIT: u128 = 1 << 20;
 /// [`EvalScratch`] is per-worker (one per thread, one for the serial
 /// path), so summary-lane hooks evaluate without steady-state allocation;
 /// full-lane hooks simply ignore it.
-type EvalFn<'a, T> = &'a (dyn Fn(&Explorer, &CustomDesign, &mut EvalScratch) -> Result<Option<T>, ArchError>
-             + Sync);
+type EvalFn<'a, T> =
+    &'a (dyn Fn(&Explorer, &CustomDesign, &mut EvalScratch) -> Result<Option<T>, ArchError> + Sync);
 
 /// Resolves a worker-count knob: `0` means "one per available core".
 /// Results are worker-count invariant, so the knob is silently capped at
 /// 4× the available cores — an absurd `--workers` value must not make
 /// thread spawning itself the failure mode.
 pub(crate) fn resolve_workers(workers: usize) -> usize {
-    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
     if workers == 0 {
         cores
     } else {
@@ -56,10 +58,11 @@ pub(crate) fn resolve_workers(workers: usize) -> usize {
 
 /// Splits `len` items into at most `parts` contiguous near-equal chunks
 /// (the same partition [`CustomSpace::shards`] applies to rank ranges).
-fn chunk_bounds(len: u64, parts: usize) -> Vec<(u64, u64)> {
+fn chunk_bounds(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let bound = |v: u128| usize::try_from(v).expect("partition bounds of a slice length fit usize");
     crate::enumerate::partition(len as u128, parts)
         .into_iter()
-        .map(|(a, b)| (a as u64, b as u64))
+        .map(|(a, b)| (bound(a), bound(b)))
         .collect()
 }
 
@@ -106,28 +109,27 @@ pub(crate) fn sample_engine<T: Send>(
         let batch = (need + need / 16 + 16)
             .max(workers as u64 * 8)
             .min(max_attempts - next_attempt);
+        let batch = usize::try_from(batch)
+            .expect("batch is bounded by the remaining sample count, a usize");
         let chunks = chunk_bounds(batch, workers);
-        let chunk_results: Vec<Vec<Result<Option<T>, ArchError>>> =
-            std::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|&(lo, hi)| {
-                        let base = next_attempt;
-                        s.spawn(move || {
-                            let mut scratch = EvalScratch::new();
-                            (base + lo..base + hi)
-                                .map(|a| {
-                                    eval(explorer, &sample_attempt(&space, seed, a), &mut scratch)
-                                })
-                                .collect()
-                        })
+        let chunk_results: Vec<Vec<Result<Option<T>, ArchError>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(lo, hi)| {
+                    let base = next_attempt;
+                    s.spawn(move || {
+                        let mut scratch = EvalScratch::new();
+                        (base + lo as u64..base + hi as u64)
+                            .map(|a| eval(explorer, &sample_attempt(&space, seed, a), &mut scratch))
+                            .collect()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sweep worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
         // Chunks are contiguous and concatenated in order, so this scan
         // replays the exact serial attempt order; outcomes past the
         // count-th success (including faults) are ignored, as a serial
@@ -140,14 +142,18 @@ pub(crate) fn sample_engine<T: Send>(
                 points.push(t);
             }
         }
-        next_attempt += batch;
+        next_attempt += batch as u64;
     }
     finish(points, count, next_attempt)
 }
 
 fn finish<T>(points: Vec<T>, count: usize, attempts: u64) -> Result<Vec<T>, ExploreError> {
     if points.len() < count {
-        Err(ExploreError::AttemptsExhausted { wanted: count, got: points.len(), attempts })
+        Err(ExploreError::AttemptsExhausted {
+            wanted: count,
+            got: points.len(),
+            attempts,
+        })
     } else {
         Ok(points)
     }
@@ -173,16 +179,19 @@ impl Explorer {
             .collect();
         let workers = resolve_workers(workers).min(cells.len().max(1));
         let cell_results: Vec<Result<Option<BaselinePoint>, ArchError>> = if workers <= 1 {
-            cells.iter().map(|&(a, ces)| self.baseline_cell(a, ces)).collect()
+            cells
+                .iter()
+                .map(|&(a, ces)| self.baseline_cell(a, ces))
+                .collect()
         } else {
-            let chunks = chunk_bounds(cells.len() as u64, workers);
+            let chunks = chunk_bounds(cells.len(), workers);
             std::thread::scope(|s| {
                 let cells = &cells;
                 let handles: Vec<_> = chunks
                     .iter()
                     .map(|&(lo, hi)| {
                         s.spawn(move || {
-                            cells[lo as usize..hi as usize]
+                            cells[lo..hi]
                                 .iter()
                                 .map(|&(a, ces)| self.baseline_cell(a, ces))
                                 .collect::<Vec<_>>()
@@ -282,7 +291,10 @@ impl Explorer {
     ) -> Result<Vec<CustomPoint>, ExploreError> {
         let size = space.size();
         if size > EXHAUSTIVE_LIMIT {
-            return Err(ExploreError::SpaceTooLarge { size, limit: EXHAUSTIVE_LIMIT });
+            return Err(ExploreError::SpaceTooLarge {
+                size,
+                limit: EXHAUSTIVE_LIMIT,
+            });
         }
         let workers = resolve_workers(workers);
         let walk_shard = |start: u128, end: u128| -> Result<Vec<CustomPoint>, ArchError> {
@@ -339,15 +351,15 @@ pub fn par_pareto_indices<S: MetricSource + Sync>(
             merged.offer_with_values(i, values(item));
         }
     } else {
-        let chunks = chunk_bounds(items.len() as u64, workers);
+        let chunks = chunk_bounds(items.len(), workers);
         let fronts: Vec<ParetoFront<usize>> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|&(lo, hi)| {
                     s.spawn(move || {
                         let mut front = ParetoFront::new(metrics);
-                        for (off, item) in items[lo as usize..hi as usize].iter().enumerate() {
-                            front.offer_with_values(lo as usize + off, values(item));
+                        for (off, item) in items[lo..hi].iter().enumerate() {
+                            front.offer_with_values(lo + off, values(item));
                         }
                         front
                     })
@@ -408,7 +420,11 @@ mod tests {
     fn exhaustive_evaluation_matches_serial_and_covers_the_space() {
         let m = zoo::mobilenet_v2();
         let e = Explorer::new(&m, &FpgaBoard::zc706());
-        let space = CustomSpace { layers: m.conv_layer_count(), min_ces: 2, max_ces: 3 };
+        let space = CustomSpace {
+            layers: m.conv_layer_count(),
+            min_ces: 2,
+            max_ces: 3,
+        };
         let serial = e.par_evaluate_space(&space, 1).unwrap();
         assert!(!serial.is_empty());
         assert!(serial.len() as u128 <= space.size());

@@ -30,8 +30,14 @@ impl<T> ParetoFront<T> {
     ///
     /// If `metrics` is empty — a front over zero metrics is meaningless.
     pub fn new(metrics: &[Metric]) -> Self {
-        assert!(!metrics.is_empty(), "a Pareto front needs at least one metric");
-        Self { metrics: metrics.to_vec(), entries: Vec::new() }
+        assert!(
+            !metrics.is_empty(),
+            "a Pareto front needs at least one metric"
+        );
+        Self {
+            metrics: metrics.to_vec(),
+            entries: Vec::new(),
+        }
     }
 
     /// The metric set the front is defined over.
@@ -87,7 +93,10 @@ impl<T> ParetoFront<T> {
     ///
     /// If the two fronts were built over different metric sets.
     pub fn merge(&mut self, other: ParetoFront<T>) {
-        assert_eq!(self.metrics, other.metrics, "fronts must share a metric set");
+        assert_eq!(
+            self.metrics, other.metrics,
+            "fronts must share a metric set"
+        );
         for (values, item) in other.entries {
             self.offer_with_values(item, values);
         }
@@ -134,6 +143,7 @@ pub fn pareto_front(evals: &[Evaluation], metrics: &[Metric]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mccm_core::{Bytes, Macs};
 
     fn eval(throughput: f64, buffer: u64) -> Evaluation {
         Evaluation {
@@ -141,14 +151,14 @@ mod tests {
             model_name: String::new(),
             board_name: String::new(),
             ce_count: 2,
-            total_macs: 0,
+            total_macs: Macs::ZERO,
             latency_s: 1.0,
             throughput_fps: throughput,
-            buffer_req_bytes: buffer,
-            buffer_alloc_bytes: buffer,
-            offchip_bytes: 0,
-            offchip_weight_bytes: 0,
-            offchip_fm_bytes: 0,
+            buffer_req_bytes: Bytes::new(buffer),
+            buffer_alloc_bytes: Bytes::new(buffer),
+            offchip_bytes: Bytes::ZERO,
+            offchip_weight_bytes: Bytes::ZERO,
+            offchip_fm_bytes: Bytes::ZERO,
             memory_stall_fraction: 0.0,
             segments: vec![],
             ces: vec![],

@@ -34,7 +34,10 @@ const REFERENCE: f64 = 1.1;
 /// If the union is empty or `metrics` is empty.
 pub fn union_bounds<S: MetricSource>(sets: &[&[S]], metrics: &[Metric]) -> Vec<MetricBounds> {
     assert!(!metrics.is_empty(), "bounds need at least one metric");
-    assert!(sets.iter().any(|s| !s.is_empty()), "bounds need at least one point");
+    assert!(
+        sets.iter().any(|s| !s.is_empty()),
+        "bounds need at least one point"
+    );
     metrics
         .iter()
         .map(|m| {
@@ -47,7 +50,10 @@ pub fn union_bounds<S: MetricSource>(sets: &[&[S]], metrics: &[Metric]) -> Vec<M
                     nadir = nadir.max(v);
                 }
             }
-            MetricBounds { ideal: unoriented(*m, ideal), nadir: unoriented(*m, nadir) }
+            MetricBounds {
+                ideal: unoriented(*m, ideal),
+                nadir: unoriented(*m, nadir),
+            }
         })
         .collect()
 }
@@ -79,7 +85,8 @@ pub fn hypervolume<S: MetricSource>(
         })
         .collect();
     prune_min(&mut points);
-    hv_min(&mut points) / REFERENCE.powi(metrics.len() as i32)
+    let dims = i32::try_from(metrics.len()).expect("metric sets are tiny");
+    hv_min(&mut points) / REFERENCE.powi(dims)
 }
 
 /// The coverage indicator `C(a, b)`: the fraction of `b`'s points that
@@ -94,14 +101,14 @@ pub fn coverage<S: MetricSource>(a: &[S], b: &[S], metrics: &[Metric]) -> f64 {
     let covered = b
         .iter()
         .filter(|q| {
-            a.iter().any(|p| {
-                metrics
-                    .iter()
-                    .all(|m| !m.better(m.value(*q), m.value(p)))
-            })
+            a.iter()
+                .any(|p| metrics.iter().all(|m| !m.better(m.value(*q), m.value(p))))
         })
         .count();
-    covered as f64 / b.len() as f64
+    // Front sizes stay far below 2^53, so the f64 ratio is exact.
+    #[allow(clippy::cast_precision_loss)]
+    let frac = covered as f64 / b.len() as f64;
+    frac
 }
 
 /// Side-by-side quality comparison of two fronts over the same metric set
@@ -129,11 +136,7 @@ pub struct FrontComparison {
 /// # Panics
 ///
 /// If both fronts are empty or `metrics` is empty.
-pub fn compare_fronts<S: MetricSource>(
-    a: &[S],
-    b: &[S],
-    metrics: &[Metric],
-) -> FrontComparison {
+pub fn compare_fronts<S: MetricSource>(a: &[S], b: &[S], metrics: &[Metric]) -> FrontComparison {
     let bounds = union_bounds(&[a, b], metrics);
     let best = |set: &[S], m: Metric| {
         set.iter()
@@ -239,7 +242,11 @@ fn hv_min(points: &mut [Vec<f64>]) -> f64 {
             active.push(points[i][1..].to_vec());
             i += 1;
         }
-        let next = if i < points.len() { points[i][0].min(REFERENCE) } else { REFERENCE };
+        let next = if i < points.len() {
+            points[i][0].min(REFERENCE)
+        } else {
+            REFERENCE
+        };
         let width = next - z.min(REFERENCE);
         if width > 0.0 {
             let mut slice = active.clone();
@@ -253,21 +260,21 @@ fn hv_min(points: &mut [Vec<f64>]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mccm_core::EvalSummary;
+    use mccm_core::{Bytes, EvalSummary, Macs};
 
     /// Stub summary with controllable latency (s) and buffers (bytes).
     fn point(latency_s: f64, buffers: u64) -> EvalSummary {
         EvalSummary {
             notation: String::new(),
             ce_count: 2,
-            total_macs: 0,
+            total_macs: Macs::ZERO,
             latency_s,
             throughput_fps: 1.0,
-            buffer_req_bytes: buffers,
-            buffer_alloc_bytes: buffers,
-            offchip_bytes: 0,
-            offchip_weight_bytes: 0,
-            offchip_fm_bytes: 0,
+            buffer_req_bytes: Bytes::new(buffers),
+            buffer_alloc_bytes: Bytes::new(buffers),
+            offchip_bytes: Bytes::ZERO,
+            offchip_weight_bytes: Bytes::ZERO,
+            offchip_fm_bytes: Bytes::ZERO,
             memory_stall_fraction: 0.0,
         }
     }
@@ -278,8 +285,16 @@ mod tests {
     fn ideal_point_dominates_the_whole_box() {
         // Bounds [0,1] on both metrics; a point at the shared ideal
         // dominates the entire 1.1 x 1.1 reference box.
-        let bounds =
-            [MetricBounds { ideal: 0.0, nadir: 1.0 }, MetricBounds { ideal: 0.0, nadir: 1.0 }];
+        let bounds = [
+            MetricBounds {
+                ideal: 0.0,
+                nadir: 1.0,
+            },
+            MetricBounds {
+                ideal: 0.0,
+                nadir: 1.0,
+            },
+        ];
         let hv = hypervolume(&[point(0.0, 0)], &LB, &bounds);
         assert!((hv - 1.0).abs() < 1e-12, "{hv}");
         // A nadir point still dominates the 0.1-wide margin strip.
@@ -290,8 +305,14 @@ mod tests {
     #[test]
     fn two_point_front_volume_is_the_union_of_boxes() {
         let bounds = [
-            MetricBounds { ideal: 0.0, nadir: 1.0 },
-            MetricBounds { ideal: 0.0, nadir: 1_000_000_000.0 },
+            MetricBounds {
+                ideal: 0.0,
+                nadir: 1.0,
+            },
+            MetricBounds {
+                ideal: 0.0,
+                nadir: 1_000_000_000.0,
+            },
         ];
         // Scaled points (0, 0.5) and (0.5, 0):
         // union = 1.1*0.6 + 0.6*1.1 - 0.6*0.6 = 0.96, box = 1.21.

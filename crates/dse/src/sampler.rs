@@ -24,16 +24,32 @@ impl CustomSampler {
     /// head layer and a tail layer), `min_ces < 2`, an empty CE range, or
     /// `min_ces > layers` (no design can use more CEs than layers).
     pub fn new(space: CustomSpace, seed: u64) -> Self {
-        assert!(space.layers >= 2, "custom space needs >= 2 layers, got {}", space.layers);
-        assert!(space.min_ces >= 2, "custom space needs min_ces >= 2, got {}", space.min_ces);
-        assert!(space.min_ces <= space.max_ces, "empty CE range {}..={}", space.min_ces, space.max_ces);
+        assert!(
+            space.layers >= 2,
+            "custom space needs >= 2 layers, got {}",
+            space.layers
+        );
+        assert!(
+            space.min_ces >= 2,
+            "custom space needs min_ces >= 2, got {}",
+            space.min_ces
+        );
+        assert!(
+            space.min_ces <= space.max_ces,
+            "empty CE range {}..={}",
+            space.min_ces,
+            space.max_ces
+        );
         assert!(
             space.min_ces <= space.layers,
             "min_ces {} exceeds layer count {}: the space is empty",
             space.min_ces,
             space.layers
         );
-        Self { space, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws the next design.
@@ -68,7 +84,10 @@ fn draw_design(space: &CustomSpace, rng: &mut StdRng) -> CustomDesign {
             .collect();
         ends.sort_unstable();
         ends.push(n);
-        return CustomDesign { head_layers: h, tail_ends: ends };
+        return CustomDesign {
+            head_layers: h,
+            tail_ends: ends,
+        };
     }
 }
 
@@ -144,8 +163,11 @@ mod tests {
     #[test]
     fn covers_the_ce_range() {
         let space = CustomSpace::paper_range(74);
-        let counts: std::collections::HashSet<usize> =
-            CustomSampler::new(space, 1).sample_many(500).iter().map(CustomDesign::ce_count).collect();
+        let counts: std::collections::HashSet<usize> = CustomSampler::new(space, 1)
+            .sample_many(500)
+            .iter()
+            .map(CustomDesign::ce_count)
+            .collect();
         for k in 2..=11 {
             assert!(counts.contains(&k), "CE count {k} never sampled");
         }
@@ -153,7 +175,11 @@ mod tests {
 
     #[test]
     fn small_models_sample_too() {
-        let space = CustomSpace { layers: 6, min_ces: 2, max_ces: 5 };
+        let space = CustomSpace {
+            layers: 6,
+            min_ces: 2,
+            max_ces: 5,
+        };
         for d in CustomSampler::new(space, 3).sample_many(100) {
             assert!(d.ce_count() <= 5);
             assert!(*d.tail_ends.last().unwrap() == 6);
@@ -191,7 +217,11 @@ mod tests {
 
     #[test]
     fn attempt_samples_are_valid_designs() {
-        let space = CustomSpace { layers: 6, min_ces: 2, max_ces: 5 };
+        let space = CustomSpace {
+            layers: 6,
+            min_ces: 2,
+            max_ces: 5,
+        };
         for a in 0..300u64 {
             let d = sample_attempt(&space, 9, a);
             assert!((2..=5).contains(&d.ce_count()));
@@ -203,7 +233,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "min_ces >= 2")]
     fn degenerate_min_ces_rejected_at_construction() {
-        CustomSampler::new(CustomSpace { layers: 10, min_ces: 1, max_ces: 4 }, 0);
+        CustomSampler::new(
+            CustomSpace {
+                layers: 10,
+                min_ces: 1,
+                max_ces: 4,
+            },
+            0,
+        );
     }
 
     #[test]
@@ -211,6 +248,13 @@ mod tests {
     fn empty_space_rejected_instead_of_spinning() {
         // min_ces > layers means every draw is infeasible; without the
         // construction check sample() would loop forever.
-        CustomSampler::new(CustomSpace { layers: 4, min_ces: 6, max_ces: 11 }, 0);
+        CustomSampler::new(
+            CustomSpace {
+                layers: 4,
+                min_ces: 6,
+                max_ces: 11,
+            },
+            0,
+        );
     }
 }

@@ -33,11 +33,7 @@ pub const PAPER_TIE_FRAC: f64 = 0.10;
 /// silently kept whichever instance happened to iterate first, so callers
 /// that reordered or deduplicated a sweep got different winning CE counts
 /// for the same data.
-pub fn select_best(
-    points: &[BaselinePoint],
-    metric: Metric,
-    tie_frac: f64,
-) -> SelectionCell {
+pub fn select_best(points: &[BaselinePoint], metric: Metric, tie_frac: f64) -> SelectionCell {
     let mut per_arch: Vec<(Architecture, usize, f64)> = Vec::new();
     for arch in Architecture::ALL {
         let best = points
@@ -55,10 +51,11 @@ pub fn select_best(
             per_arch.push((arch, ces, value));
         }
     }
-    let overall = per_arch
-        .iter()
-        .map(|&(_, _, v)| v)
-        .reduce(|a, b| if metric.better(b, a) { b } else { a });
+    let overall =
+        per_arch
+            .iter()
+            .map(|&(_, _, v)| v)
+            .reduce(|a, b| if metric.better(b, a) { b } else { a });
     let winners = match overall {
         None => Vec::new(),
         Some(best) => per_arch
@@ -71,7 +68,10 @@ pub fn select_best(
 
 /// Selects all four metrics (one Table V column).
 pub fn select_all_metrics(points: &[BaselinePoint], tie_frac: f64) -> Vec<SelectionCell> {
-    Metric::ALL.iter().map(|&m| select_best(points, m, tie_frac)).collect()
+    Metric::ALL
+        .iter()
+        .map(|&m| select_best(points, m, tie_frac))
+        .collect()
 }
 
 #[cfg(test)]
@@ -83,7 +83,9 @@ mod tests {
 
     fn sweep() -> Vec<BaselinePoint> {
         let m = zoo::resnet50();
-        Explorer::new(&m, &FpgaBoard::zc706()).sweep_baselines(2..=11).unwrap()
+        Explorer::new(&m, &FpgaBoard::zc706())
+            .sweep_baselines(2..=11)
+            .unwrap()
     }
 
     #[test]

@@ -59,7 +59,11 @@ pub struct CustomSpace {
 impl CustomSpace {
     /// The paper's CE range (2-11 CEs, §V-A3).
     pub fn paper_range(layers: usize) -> Self {
-        Self { layers, min_ces: 2, max_ces: 11 }
+        Self {
+            layers,
+            min_ces: 2,
+            max_ces: 11,
+        }
     }
 
     /// Exact number of designs in the space, saturating at `u128::MAX`
@@ -133,9 +137,16 @@ impl CustomSpace {
         b: &CustomDesign,
         rng: &mut R,
     ) -> CustomDesign {
-        debug_assert!(self.contains(a) && self.contains(b), "crossover inputs must be valid");
+        debug_assert!(
+            self.contains(a) && self.contains(b),
+            "crossover inputs must be valid"
+        );
         let n = self.layers;
-        let head = if rng.random_bool(0.5) { a.head_layers } else { b.head_layers };
+        let head = if rng.random_bool(0.5) {
+            a.head_layers
+        } else {
+            b.head_layers
+        };
         // Blend: every parental copy of a boundary gets a p=1/2 coin flip
         // until one copy is kept, so a boundary unique to one parent
         // survives with p=1/2 and one both parents agree on with p=3/4 —
@@ -160,8 +171,7 @@ impl CustomSpace {
             interior.remove(i);
         }
         while interior.len() + 1 < min_segs {
-            let free: Vec<usize> =
-                (head + 1..n).filter(|p| !interior.contains(p)).collect();
+            let free: Vec<usize> = (head + 1..n).filter(|p| !interior.contains(p)).collect();
             let Some(&p) = free.get(rng.random_range(0..free.len().max(1))) else {
                 return a.clone(); // not enough layers to split further
             };
@@ -170,7 +180,10 @@ impl CustomSpace {
         }
         let mut tail_ends = interior;
         tail_ends.push(n);
-        let child = CustomDesign { head_layers: head, tail_ends };
+        let child = CustomDesign {
+            head_layers: head,
+            tail_ends,
+        };
         if self.contains(&child) {
             child
         } else {
@@ -203,7 +216,11 @@ impl CustomSpace {
         }
         let i = rng.random_range(0..interior_len);
         let delta: isize = if rng.random_bool(0.5) { 1 } else { -1 };
-        let lo = if i == 0 { d.head_layers + 1 } else { d.tail_ends[i - 1] + 1 };
+        let lo = if i == 0 {
+            d.head_layers + 1
+        } else {
+            d.tail_ends[i - 1] + 1
+        };
         let hi = d.tail_ends[i + 1] - 1; // interior ⇒ i + 1 exists
         let moved = d.tail_ends[i].saturating_add_signed(delta);
         if moved < lo || moved > hi {
@@ -241,15 +258,19 @@ impl CustomSpace {
     /// Exact number of designs in the space, or `None` if the count
     /// overflows `u128`.
     pub fn size_checked(&self) -> Option<u128> {
-        let n = self.layers as u128;
+        // Explicit (infallible) widenings: `usize` has no `From` impl
+        // into `u128`, and an `as` here would go silently lossy if the
+        // index types ever changed.
+        let n = u128::try_from(self.layers).ok()?;
         let mut total = 0u128;
         for k in self.min_ces..=self.max_ces {
             for h in 1..k {
-                let tail_segments = (k - h) as u128;
+                let tail_segments = u128::try_from(k - h).ok()?;
                 // A head of h layers needs at least one tail layer; the
                 // old saturating_sub here silently counted one phantom
                 // design per (k, h) with h >= layers.
-                let Some(positions) = n.checked_sub(h as u128 + 1) else {
+                let h_wide = u128::try_from(h).ok()?;
+                let Some(positions) = n.checked_sub(h_wide + 1) else {
                     continue;
                 };
                 total = total.checked_add(binomial_checked(positions, tail_segments - 1)?)?;
@@ -383,23 +404,46 @@ mod tests {
         // n=4 layers, k=2..3:
         // k=2: h=1, tail=1 segment -> 1 design.
         // k=3: h=1 tail 2 segs -> C(2,1)=2; h=2 tail 1 seg -> 1.
-        let space = CustomSpace { layers: 4, min_ces: 2, max_ces: 3 };
+        let space = CustomSpace {
+            layers: 4,
+            min_ces: 2,
+            max_ces: 3,
+        };
         assert_eq!(space.size(), 1 + 2 + 1);
     }
 
     #[test]
     fn contains_accepts_members_and_rejects_malformed_designs() {
         let space = CustomSpace::paper_range(74);
-        let ok = CustomDesign { head_layers: 3, tail_ends: vec![20, 52, 74] };
+        let ok = CustomDesign {
+            head_layers: 3,
+            tail_ends: vec![20, 52, 74],
+        };
         assert!(space.contains(&ok));
         // Last end must be the layer count.
-        assert!(!space.contains(&CustomDesign { head_layers: 3, tail_ends: vec![20, 52] }));
+        assert!(!space.contains(&CustomDesign {
+            head_layers: 3,
+            tail_ends: vec![20, 52]
+        }));
         // Boundaries must be strictly increasing past the head.
-        assert!(!space.contains(&CustomDesign { head_layers: 3, tail_ends: vec![3, 74] }));
-        assert!(!space.contains(&CustomDesign { head_layers: 3, tail_ends: vec![52, 20, 74] }));
+        assert!(!space.contains(&CustomDesign {
+            head_layers: 3,
+            tail_ends: vec![3, 74]
+        }));
+        assert!(!space.contains(&CustomDesign {
+            head_layers: 3,
+            tail_ends: vec![52, 20, 74]
+        }));
         // CE count must stay within the range.
-        let narrow = CustomSpace { layers: 74, min_ces: 3, max_ces: 11 };
-        assert!(!narrow.contains(&CustomDesign { head_layers: 1, tail_ends: vec![74] }));
+        let narrow = CustomSpace {
+            layers: 74,
+            min_ces: 3,
+            max_ces: 11,
+        };
+        assert!(!narrow.contains(&CustomDesign {
+            head_layers: 1,
+            tail_ends: vec![74]
+        }));
         let too_many = CustomDesign {
             head_layers: 6,
             tail_ends: (7..=11).chain(std::iter::once(74)).collect(),
@@ -407,14 +451,21 @@ mod tests {
         assert_eq!(too_many.ce_count(), 12);
         assert!(!space.contains(&too_many));
         // Headless designs are not members.
-        assert!(!space.contains(&CustomDesign { head_layers: 0, tail_ends: vec![10, 74] }));
+        assert!(!space.contains(&CustomDesign {
+            head_layers: 0,
+            tail_ends: vec![10, 74]
+        }));
     }
 
     #[test]
     fn mutation_stays_inside_the_space_and_moves() {
         use rand::{rngs::StdRng, SeedableRng};
         for (layers, min_ces, max_ces) in [(74, 2, 11), (6, 2, 5), (10, 2, 11)] {
-            let space = CustomSpace { layers, min_ces, max_ces };
+            let space = CustomSpace {
+                layers,
+                min_ces,
+                max_ces,
+            };
             let mut rng = StdRng::seed_from_u64(7);
             let mut sampler = CustomSampler::new(space, 3);
             let mut changed = 0usize;
@@ -427,7 +478,10 @@ mod tests {
                 }
             }
             // Mutation must actually move most of the time.
-            assert!(changed > 150, "only {changed}/200 mutations moved ({layers} layers)");
+            assert!(
+                changed > 150,
+                "only {changed}/200 mutations moved ({layers} layers)"
+            );
         }
     }
 
@@ -454,8 +508,14 @@ mod tests {
     fn operators_are_deterministic_per_rng_stream() {
         use rand::{rngs::StdRng, SeedableRng};
         let space = CustomSpace::paper_range(74);
-        let a = CustomDesign { head_layers: 3, tail_ends: vec![20, 52, 74] };
-        let b = CustomDesign { head_layers: 5, tail_ends: vec![30, 60, 70, 74] };
+        let a = CustomDesign {
+            head_layers: 3,
+            tail_ends: vec![20, 52, 74],
+        };
+        let b = CustomDesign {
+            head_layers: 5,
+            tail_ends: vec![30, 60, 70, 74],
+        };
         let run = || {
             let mut rng = StdRng::seed_from_u64(42);
             let mut out = Vec::new();
@@ -471,7 +531,10 @@ mod tests {
     #[test]
     fn design_materializes() {
         let m = zoo::mobilenet_v2();
-        let d = CustomDesign { head_layers: 3, tail_ends: vec![20, 52] };
+        let d = CustomDesign {
+            head_layers: 3,
+            tail_ends: vec![20, 52],
+        };
         assert_eq!(d.ce_count(), 5);
         let spec = d.to_spec(&m).unwrap();
         assert_eq!(spec.ce_count(), 5);

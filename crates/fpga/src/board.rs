@@ -110,7 +110,12 @@ impl FpgaBoard {
     /// The four evaluation boards in Table II order (ZC706, VCU108, VCU110,
     /// ZCU102).
     pub fn evaluation_boards() -> Vec<Self> {
-        vec![Self::zc706(), Self::vcu108(), Self::vcu110(), Self::zcu102()]
+        vec![
+            Self::zc706(),
+            Self::vcu108(),
+            Self::vcu110(),
+            Self::zcu102(),
+        ]
     }
 
     /// Looks up an evaluation board by case-insensitive name.
@@ -155,9 +160,15 @@ pub struct Precision {
 
 impl Precision {
     /// 8-bit weights and activations (default).
-    pub const INT8: Self = Self { weight_bytes: 1, activation_bytes: 1 };
+    pub const INT8: Self = Self {
+        weight_bytes: 1,
+        activation_bytes: 1,
+    };
     /// 16-bit weights and activations.
-    pub const INT16: Self = Self { weight_bytes: 2, activation_bytes: 2 };
+    pub const INT16: Self = Self {
+        weight_bytes: 2,
+        activation_bytes: 2,
+    };
 
     /// Canonical lowercase name of this precision, when it is one of the
     /// named constants (`"int8"` / `"int16"`).
@@ -259,7 +270,10 @@ mod tests {
         }
         assert_eq!(Precision::by_name("INT16"), Some(Precision::INT16));
         assert!(Precision::by_name("fp32").is_none());
-        let odd = Precision { weight_bytes: 4, activation_bytes: 1 };
+        let odd = Precision {
+            weight_bytes: 4,
+            activation_bytes: 1,
+        };
         assert_eq!(odd.name(), None);
     }
 

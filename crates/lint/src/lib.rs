@@ -1,0 +1,391 @@
+//! Hand-rolled conformance lints for the MCCM workspace.
+//!
+//! `cargo run -p mccm-lint` statically scans the workspace's own source
+//! (never its dependencies — there are none) for conformance violations
+//! that `rustc` and clippy cannot express because they are *project*
+//! rules, not language rules:
+//!
+//! - **raw-quantity-field** — a public field of an `mccm_core` struct
+//!   holding a dimensioned quantity (`*_bytes`, `*_cycles`, `*_macs`, …)
+//!   as a raw `u64`/`f64` instead of the typed newtypes from
+//!   [`mccm_core::quantity`]. The whole point of the quantity layer is
+//!   that these cannot reappear silently.
+//! - **ok-swallow** — `.ok()` used to discard a builder `Result`. The
+//!   build path reports real errors (`ArchError`); swallowing one turns
+//!   an infeasible design into a silent skip.
+//! - **wall-clock** — `Instant`/`SystemTime` in deterministic-output
+//!   paths. Model outputs must be a pure function of their inputs; wall
+//!   time may only be read by explicitly allowlisted measurement code
+//!   (DSE time budgets, speed benchmarks).
+//! - **debug-print** — stray `dbg!`/`println!`/`eprintln!` in library
+//!   code. Libraries return data; binaries print.
+//!
+//! The scan is line-based and intentionally simple (in the offline,
+//! no-dependency style of `mccm::json`): comments are skipped, the
+//! trailing `#[cfg(test)]` module of a file is ignored, and anything the
+//! rules overmatch is silenced through the checked-in allowlist file
+//! (`lint-allow.txt` at the workspace root) rather than through code
+//! contortions — every exception stays visible and reviewable.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The conformance rules, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Raw `u64`/`f64` public field with a quantity-suffixed name in
+    /// `mccm_core` (outside the quantity module itself).
+    RawQuantityField,
+    /// `.ok()` discarding a builder `Result`.
+    OkSwallow,
+    /// Wall-clock reads (`Instant`, `SystemTime`, `std::time`) outside
+    /// allowlisted measurement code.
+    WallClock,
+    /// `dbg!`/`println!`/`eprintln!` in library code.
+    DebugPrint,
+}
+
+impl Rule {
+    /// Stable kebab-case name, used in diagnostics and the allowlist.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RawQuantityField => "raw-quantity-field",
+            Self::OkSwallow => "ok-swallow",
+            Self::WallClock => "wall-clock",
+            Self::DebugPrint => "debug-print",
+        }
+    }
+
+    /// Parses a rule name from the allowlist.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "raw-quantity-field" => Some(Self::RawQuantityField),
+            "ok-swallow" => Some(Self::OkSwallow),
+            "wall-clock" => Some(Self::WallClock),
+            "debug-print" => Some(Self::DebugPrint),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violation: rule, workspace-relative path, 1-based line, and the
+/// offending line's trimmed text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line, for the diagnostic.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Field-name suffixes that denote a counted quantity. A public raw
+/// `u64`/`f64` field with one of these suffixes in `mccm_core` should be
+/// a [`mccm_core::quantity`] newtype instead.
+const QUANTITY_SUFFIXES: &[&str] = &[
+    "_bytes", "_cycles", "_macs", "_traffic", "_pes", "_joules", "_j",
+];
+
+/// Wall-clock tokens. `Instant` alone would also match the word
+/// "Instantiates" in prose and identifiers, so match only usages that
+/// are unambiguously the std type.
+const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime", "std::time::"];
+
+/// Print macros banned from library code.
+const PRINT_TOKENS: &[&str] = &["dbg!(", "println!(", "eprintln!("];
+
+/// Whether `rule` applies to the file at `path` (workspace-relative).
+fn rule_applies(rule: Rule, path: &str) -> bool {
+    match rule {
+        // The typed-field guarantee is a contract of the core model's
+        // public structs; other crates (e.g. the simulator's raw
+        // measurement results) may keep raw integers at their edges.
+        Rule::RawQuantityField => path.starts_with("crates/core/src/"),
+        Rule::OkSwallow => {
+            path.starts_with("crates/core/src/")
+                || path.starts_with("crates/arch/src/")
+                || path.starts_with("crates/dse/src/")
+                || path.starts_with("src/")
+        }
+        Rule::WallClock => true,
+        // Library code only: binaries and the facade CLI print by design.
+        Rule::DebugPrint => {
+            path.starts_with("crates/") && path.contains("/src/") && !path.contains("/bin/")
+        }
+    }
+}
+
+/// Scans one source file. `path` must be workspace-relative with `/`
+/// separators; it selects which rules apply.
+///
+/// The scanner is line-based: comment lines are skipped, and everything
+/// from the first `#[cfg(test)]` on is ignored (by repo convention the
+/// test module is the last item of a file — test code may print, measure
+/// time, and build throwaway structs freely).
+pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_pub_struct = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if line.starts_with("//") {
+            continue;
+        }
+        let push = |findings: &mut Vec<Finding>, rule: Rule| {
+            findings.push(Finding {
+                rule,
+                path: path.to_string(),
+                line: idx + 1,
+                excerpt: line.to_string(),
+            });
+        };
+
+        // raw-quantity-field: track `pub struct` bodies, flag raw fields.
+        if rule_applies(Rule::RawQuantityField, path) {
+            if line.starts_with("pub struct ") {
+                in_pub_struct = line.ends_with('{');
+            } else if in_pub_struct && line == "}" {
+                in_pub_struct = false;
+            } else if in_pub_struct && is_raw_quantity_field(line) {
+                push(&mut findings, Rule::RawQuantityField);
+            }
+        }
+
+        if rule_applies(Rule::OkSwallow, path) && is_ok_swallow(line) {
+            push(&mut findings, Rule::OkSwallow);
+        }
+        if rule_applies(Rule::WallClock, path) && WALL_CLOCK_TOKENS.iter().any(|t| line.contains(t))
+        {
+            push(&mut findings, Rule::WallClock);
+        }
+        if rule_applies(Rule::DebugPrint, path) && PRINT_TOKENS.iter().any(|t| line.contains(t)) {
+            push(&mut findings, Rule::DebugPrint);
+        }
+    }
+    findings
+}
+
+/// `pub name: u64,` / `pub name: f64,` with a quantity-suffixed name.
+fn is_raw_quantity_field(line: &str) -> bool {
+    let Some(rest) = line.strip_prefix("pub ") else {
+        return false;
+    };
+    let Some((name, ty)) = rest.split_once(':') else {
+        return false;
+    };
+    let name = name.trim();
+    let ty = ty.trim().trim_end_matches(',');
+    (ty == "u64" || ty == "f64") && QUANTITY_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// `.ok()` that discards an error: either a bare `.ok();` statement or
+/// `.ok()` directly on a builder call. Chained uses that go on to
+/// inspect the value (`.ok()?`, `.ok().map(...)`) are left alone.
+fn is_ok_swallow(line: &str) -> bool {
+    line.ends_with(".ok();") || (line.contains(".ok()") && line.contains("build("))
+}
+
+/// One allowlist entry: suppress `rule` findings in files whose path
+/// starts with `path_prefix`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The suppressed rule.
+    pub rule: Rule,
+    /// Workspace-relative path prefix.
+    pub path_prefix: String,
+}
+
+/// Parses the allowlist file: one `rule path-prefix` pair per line,
+/// `#`-comments and blank lines ignored. Unknown rule names are errors —
+/// a typo must not silently allow nothing.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(prefix), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "allowlist line {}: expected `rule path-prefix`",
+                idx + 1
+            ));
+        };
+        let Some(rule) = Rule::parse(rule) else {
+            return Err(format!("allowlist line {}: unknown rule `{rule}`", idx + 1));
+        };
+        entries.push(AllowEntry {
+            rule,
+            path_prefix: prefix.to_string(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Whether `finding` is suppressed by the allowlist.
+pub fn is_allowed(finding: &Finding, allow: &[AllowEntry]) -> bool {
+    allow
+        .iter()
+        .any(|e| e.rule == finding.rule && finding.path.starts_with(&e.path_prefix))
+}
+
+/// Collects the workspace-relative paths of all `.rs` files the scan
+/// covers: `src/` and every `crates/*/src/`, except this lint crate
+/// itself (its source spells out the banned tokens) and `vendor/` (the
+/// offline dependency stand-ins are not model code).
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates)? {
+        let dir = entry?.path();
+        if dir.file_name().is_some_and(|n| n == "lint") {
+            continue;
+        }
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full scan over a workspace: reads every covered source file,
+/// applies the rules, and filters through the allowlist. Findings come
+/// back sorted by path and line for deterministic output.
+pub fn scan_workspace(root: &Path, allow: &[AllowEntry]) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in workspace_sources(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .expect("workspace files live under the root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(
+            scan_source(&rel, &source)
+                .into_iter()
+                .filter(|f| !is_allowed(f, allow)),
+        );
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_quantity_fields_flagged_in_core_only() {
+        let src = "pub struct Report {\n    pub offchip_bytes: u64,\n    pub latency_s: f64,\n}\n";
+        let hits = scan_source("crates/core/src/report.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::RawQuantityField);
+        assert_eq!(hits[0].line, 2);
+        // Same text elsewhere is fine: the contract is core's.
+        assert!(scan_source("crates/sim/src/result.rs", src).is_empty());
+    }
+
+    #[test]
+    fn typed_fields_pass() {
+        let src =
+            "pub struct Report {\n    pub offchip_bytes: Bytes,\n    pub total_macs: Macs,\n}\n";
+        assert!(scan_source("crates/core/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ok_swallow_on_build_flagged_chains_pass() {
+        let bad = "    let acc = builder.build(&spec).ok();\n";
+        let hits = scan_source("crates/dse/src/explorer.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::OkSwallow);
+        let fine = "    let n = u128::try_from(x).ok()?;\n";
+        assert!(scan_source("crates/dse/src/space.rs", fine).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_but_not_prose() {
+        let bad = "    let t0 = Instant::now();\n";
+        assert_eq!(scan_source("crates/core/src/model/mod.rs", bad).len(), 1);
+        // "Instantiates" in a doc comment or identifier must not match.
+        let fine = "/// Instantiates this architecture.\nfn instantiate() {}\n";
+        assert!(scan_source("crates/arch/src/templates.rs", fine).is_empty());
+    }
+
+    #[test]
+    fn prints_flagged_in_libs_not_bins_or_tests() {
+        let src = "fn f() {\n    println!(\"x\");\n}\n";
+        assert_eq!(scan_source("crates/core/src/model/mod.rs", src).len(), 1);
+        assert!(scan_source("crates/bench/src/bin/fig5.rs", src).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests {\n    println!(\"x\");\n}\n";
+        assert!(scan_source("crates/core/src/model/mod.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_rule_and_prefix() {
+        let allow = parse_allowlist(
+            "# timing is this module's job\nwall-clock crates/dse/src/optimizer.rs\n",
+        )
+        .unwrap();
+        let hit = Finding {
+            rule: Rule::WallClock,
+            path: "crates/dse/src/optimizer.rs".into(),
+            line: 1,
+            excerpt: String::new(),
+        };
+        assert!(is_allowed(&hit, &allow));
+        // Different rule or path: not suppressed.
+        let other = Finding {
+            rule: Rule::DebugPrint,
+            ..hit.clone()
+        };
+        assert!(!is_allowed(&other, &allow));
+        let elsewhere = Finding {
+            path: "crates/core/src/lib.rs".into(),
+            ..hit
+        };
+        assert!(!is_allowed(&elsewhere, &allow));
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_rules() {
+        assert!(parse_allowlist("no-such-rule src/\n").is_err());
+        assert!(parse_allowlist("wall-clock\n").is_err());
+    }
+}

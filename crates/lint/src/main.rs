@@ -1,0 +1,49 @@
+//! `mccm-lint`: the workspace conformance gate.
+//!
+//! Scans the MCCM workspace source for project-rule violations (see the
+//! library docs for the rule catalogue) and exits non-zero with
+//! `file:line` diagnostics when any unallowlisted finding remains —
+//! wired into CI next to `cargo clippy`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use mccm_lint::{parse_allowlist, scan_workspace};
+
+fn main() -> ExitCode {
+    // The binary lives at `crates/lint`, two levels below the root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+
+    let allow_path = root.join("lint-allow.txt");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("mccm-lint: {}: {e}", allow_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Vec::new(), // no allowlist: nothing is exempt
+    };
+
+    let findings = match scan_workspace(root, &allow) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("mccm-lint: scanning {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if findings.is_empty() {
+        println!("mccm-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("mccm-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

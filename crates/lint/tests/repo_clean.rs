@@ -1,0 +1,46 @@
+//! The conformance gate, enforced from `cargo test` too: the workspace's
+//! own source must scan clean against the checked-in allowlist.
+
+use std::path::Path;
+
+use mccm_lint::{parse_allowlist, scan_workspace};
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let allow_text = std::fs::read_to_string(root.join("lint-allow.txt"))
+        .expect("lint-allow.txt exists at the workspace root");
+    let allow = parse_allowlist(&allow_text).expect("allowlist parses");
+    let findings = scan_workspace(root, &allow).expect("scan succeeds");
+    assert!(
+        findings.is_empty(),
+        "mccm-lint findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn allowlist_prefixes_still_exist() {
+    // A stale allowlist entry (file renamed away) would silently allow a
+    // future reintroduction at the old path; require entries to point at
+    // real files or directories.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap();
+    let allow_text = std::fs::read_to_string(root.join("lint-allow.txt")).unwrap();
+    for entry in parse_allowlist(&allow_text).unwrap() {
+        assert!(
+            root.join(&entry.path_prefix).exists(),
+            "allowlist prefix `{}` matches nothing",
+            entry.path_prefix
+        );
+    }
+}

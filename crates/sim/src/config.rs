@@ -106,13 +106,20 @@ impl SimConfig {
     /// [`SimConfigError`] naming the offending field.
     pub fn validate(&self) -> Result<(), SimConfigError> {
         if self.images < 3 {
-            return Err(SimConfigError::TooFewImages { images: self.images, minimum: 3 });
+            return Err(SimConfigError::TooFewImages {
+                images: self.images,
+                minimum: 3,
+            });
         }
         if self.burst_bytes == 0 {
-            return Err(SimConfigError::ZeroGranularity { field: "burst_bytes" });
+            return Err(SimConfigError::ZeroGranularity {
+                field: "burst_bytes",
+            });
         }
         if self.bram_bank_bytes == 0 {
-            return Err(SimConfigError::ZeroGranularity { field: "bram_bank_bytes" });
+            return Err(SimConfigError::ZeroGranularity {
+                field: "bram_bank_bytes",
+            });
         }
         Ok(())
     }
@@ -142,16 +149,32 @@ mod tests {
     fn validate_names_the_offending_field() {
         assert_eq!(SimConfig::default().validate(), Ok(()));
         assert_eq!(SimConfig::ideal().validate(), Ok(()));
-        let few = SimConfig { images: 2, ..Default::default() };
+        let few = SimConfig {
+            images: 2,
+            ..Default::default()
+        };
         match few.validate() {
-            Err(SimConfigError::TooFewImages { images: 2, minimum: 3 }) => {}
+            Err(SimConfigError::TooFewImages {
+                images: 2,
+                minimum: 3,
+            }) => {}
             other => panic!("expected TooFewImages, got {other:?}"),
         }
-        let burst = SimConfig { burst_bytes: 0, ..Default::default() };
+        let burst = SimConfig {
+            burst_bytes: 0,
+            ..Default::default()
+        };
         let err = burst.validate().unwrap_err();
         assert!(err.to_string().contains("burst_bytes"));
-        let bank = SimConfig { bram_bank_bytes: 0, ..Default::default() };
-        assert!(bank.validate().unwrap_err().to_string().contains("bram_bank_bytes"));
+        let bank = SimConfig {
+            bram_bank_bytes: 0,
+            ..Default::default()
+        };
+        assert!(bank
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("bram_bank_bytes"));
         // The trait impls mccm::Error relies on.
         let boxed: Box<dyn std::error::Error> = Box::new(err);
         assert!(!boxed.to_string().is_empty());

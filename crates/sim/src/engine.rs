@@ -65,7 +65,11 @@ impl Events {
 
     /// Schedules `event` at absolute `time`.
     pub fn push(&mut self, time: Cycles, event: Event) {
-        self.heap.push(Reverse(Entry { time, seq: self.seq, event }));
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 
@@ -120,7 +124,8 @@ impl DmaChannel {
         occupancy_bytes: u64,
         events: &mut Events,
     ) {
-        self.waiting.push(Reverse((now, tile, store, occupancy_bytes)));
+        self.waiting
+            .push(Reverse((now, tile, store, occupancy_bytes)));
         if !self.busy {
             self.start_next(now, events);
         }
@@ -135,8 +140,7 @@ impl DmaChannel {
 
     fn start_next(&mut self, now: Cycles, events: &mut Events) {
         if let Some(Reverse((_, tile, store, bytes))) = self.waiting.pop() {
-            let duration =
-                self.latency + (bytes as f64 / self.bytes_per_cycle).ceil() as Cycles;
+            let duration = self.latency + (bytes as f64 / self.bytes_per_cycle).ceil() as Cycles;
             self.busy = true;
             self.busy_cycles += duration;
             self.transfers += 1;
@@ -153,7 +157,13 @@ mod tests {
     fn events_pop_in_time_order() {
         let mut q = Events::new();
         q.push(10, Event::CeDone { ce: 0, tile: 1 });
-        q.push(5, Event::DmaDone { tile: 0, store: false });
+        q.push(
+            5,
+            Event::DmaDone {
+                tile: 0,
+                store: false,
+            },
+        );
         q.push(10, Event::CeDone { ce: 1, tile: 2 });
         assert_eq!(q.pop().unwrap().0, 5);
         // Same-time events pop in insertion order.
@@ -177,7 +187,13 @@ mod tests {
         dma.on_done(t, &mut q);
         let (t, e) = q.pop().unwrap();
         assert_eq!(t, 150);
-        assert_eq!(e, Event::DmaDone { tile: 1, store: false });
+        assert_eq!(
+            e,
+            Event::DmaDone {
+                tile: 1,
+                store: false
+            }
+        );
         assert_eq!(dma.transfers, 2);
         assert_eq!(dma.busy_cycles, 150);
     }
@@ -194,7 +210,13 @@ mod tests {
         dma.on_done(t, &mut q);
         // Earliest ARRIVAL (tile 3) served before tile 1 despite lower id.
         let (_, e) = q.pop().unwrap();
-        assert_eq!(e, Event::DmaDone { tile: 3, store: false });
+        assert_eq!(
+            e,
+            Event::DmaDone {
+                tile: 3,
+                store: false
+            }
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! let eval = CostModel::evaluate(&acc);
 //! let sim = Simulator::new(SimConfig::default()).run_with_eval(&acc, &eval);
 //! // Deterministic traffic matches exactly; timing is independent.
-//! assert_eq!(sim.offchip_bytes, eval.offchip_bytes);
+//! assert_eq!(sim.offchip_bytes, eval.offchip_bytes.get());
 //! # Ok(())
 //! # }
 //! ```

@@ -52,12 +52,12 @@ impl SimResult {
             AccuracyRecord {
                 metric: Metric::OnChipBuffers,
                 reference: self.implemented_buffer_bytes as f64,
-                estimated: model.buffer_alloc_bytes as f64,
+                estimated: model.buffer_alloc_bytes.as_f64(),
             },
             AccuracyRecord {
                 metric: Metric::OffChipAccesses,
                 reference: self.offchip_bytes as f64,
-                estimated: model.offchip_bytes as f64,
+                estimated: model.offchip_bytes.as_f64(),
             },
         ]
     }
@@ -91,14 +91,14 @@ mod tests {
             model_name: String::new(),
             board_name: String::new(),
             ce_count: 1,
-            total_macs: 0,
+            total_macs: mccm_core::Macs::ZERO,
             latency_s: 0.009,
             throughput_fps: 105.0,
-            buffer_req_bytes: 2_000_000,
-            buffer_alloc_bytes: 1_000_000,
-            offchip_bytes: 1000,
-            offchip_weight_bytes: 800,
-            offchip_fm_bytes: 200,
+            buffer_req_bytes: mccm_core::Bytes::new(2_000_000),
+            buffer_alloc_bytes: mccm_core::Bytes::new(1_000_000),
+            offchip_bytes: mccm_core::Bytes::new(1000),
+            offchip_weight_bytes: mccm_core::Bytes::new(800),
+            offchip_fm_bytes: mccm_core::Bytes::new(200),
             memory_stall_fraction: 0.0,
             segments: vec![],
             ces: vec![],

@@ -142,7 +142,13 @@ impl Simulator {
         ) -> bool {
             if graph_tile.load_bytes > 0 {
                 state[gid] = TileState::Loading;
-                dma.request(now, gid, false, cfg.burst_rounded(graph_tile.load_bytes), events);
+                dma.request(
+                    now,
+                    gid,
+                    false,
+                    cfg.burst_rounded(graph_tile.load_bytes),
+                    events,
+                );
                 false
             } else {
                 state[gid] = TileState::Ready;
@@ -195,7 +201,15 @@ impl Simulator {
         };
 
         for ce in prod_ces {
-            try_start(ce, 0, &ce_next, &mut ce_busy, &mut state, &mut compute_start, &mut events);
+            try_start(
+                ce,
+                0,
+                &ce_next,
+                &mut ce_busy,
+                &mut state,
+                &mut compute_start,
+                &mut events,
+            );
         }
 
         // Completion: notify dependents, cascade readiness.
@@ -305,7 +319,13 @@ impl Simulator {
                     let t = &graph.tiles[gid % per_image];
                     if t.store_bytes > 0 {
                         state[gid] = TileState::Storing;
-                        dma.request(now, gid, true, cfg.burst_rounded(t.store_bytes), &mut events);
+                        dma.request(
+                            now,
+                            gid,
+                            true,
+                            cfg.burst_rounded(t.store_bytes),
+                            &mut events,
+                        );
                     } else {
                         complete(
                             gid,
@@ -349,13 +369,20 @@ impl Simulator {
         let cyc = acc.board.cycle_time_s();
         let image_done = |img: usize| -> Cycles {
             let base = img * per_image;
-            (base..base + per_image).map(|g| complete_time[g]).max().unwrap_or(0)
+            (base..base + per_image)
+                .map(|g| complete_time[g])
+                .max()
+                .unwrap_or(0)
         };
         let latency_s = image_done(0) as f64 * cyc;
         let first_steady = 1usize;
         let steady_span = image_done(images - 1) - image_done(first_steady);
         let ii = steady_span as f64 / (images - 1 - first_steady) as f64;
-        let throughput_fps = if ii > 0.0 { 1.0 / (ii * cyc) } else { 1.0 / latency_s.max(1e-12) };
+        let throughput_fps = if ii > 0.0 {
+            1.0 / (ii * cyc)
+        } else {
+            1.0 / latency_s.max(1e-12)
+        };
 
         let (w, fl, fs) = graph_traffic(graph);
 

@@ -71,9 +71,16 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
                     let rep = &eval.layers[l];
                     debug_assert_eq!(rep.layer, l);
                     let n_tiles = (conv.ofm.height as u64).div_ceil(poh as u64).max(1);
-                    let w_per = rep.weight_traffic / n_tiles;
-                    let fml_per = rep.fm_load_traffic / n_tiles;
-                    let st_per = rep.fm_store_traffic / n_tiles;
+                    // The simulator replays the model's per-layer traffic
+                    // tile by tile; splitting works in raw bytes.
+                    let (w_total, fml_total, st_total) = (
+                        rep.weight_traffic.get(),
+                        rep.fm_load_traffic.get(),
+                        rep.fm_store_traffic.get(),
+                    );
+                    let w_per = w_total / n_tiles;
+                    let fml_per = fml_total / n_tiles;
+                    let st_per = st_total / n_tiles;
                     for t in 0..n_tiles {
                         // The last tile's height is the exact division
                         // remainder: `n_tiles = ceil(height / poh)`
@@ -105,9 +112,9 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
                         let last_t = t + 1 == n_tiles;
                         let (lw, lf, ls) = if last_t {
                             (
-                                rep.weight_traffic - w_per * (n_tiles - 1),
-                                rep.fm_load_traffic - fml_per * (n_tiles - 1),
-                                rep.fm_store_traffic - st_per * (n_tiles - 1),
+                                w_total - w_per * (n_tiles - 1),
+                                fml_total - fml_per * (n_tiles - 1),
+                                st_total - st_per * (n_tiles - 1),
                             )
                         } else {
                             (w_per, fml_per, st_per)
@@ -147,7 +154,11 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
                     .sum();
                 let prefetch_id = if resident_bytes > 0 {
                     let id = tiles.len();
-                    let deps = prefetch_chain.get(&block_key).copied().into_iter().collect();
+                    let deps = prefetch_chain
+                        .get(&block_key)
+                        .copied()
+                        .into_iter()
+                        .collect();
                     tiles.push(TileSpec {
                         id,
                         ce: None,
@@ -165,8 +176,7 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
                     None
                 };
 
-                let input_off = seg.index == 0
-                    || !acc.buffers.inter_segment[seg.index - 1].on_chip;
+                let input_off = seg.index == 0 || !acc.buffers.inter_segment[seg.index - 1].on_chip;
                 let output_off = seg.index + 1 == acc.segments.len()
                     || !acc.buffers.inter_segment[seg.index].on_chip;
 
@@ -174,8 +184,7 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
                     let l = seg.first + j;
                     let conv = &acc.convs[l];
                     let oh = conv.ofm.height as usize;
-                    let row_lat =
-                        acc.ces[ce_id].parallelism.tile_latency_cycles(conv.dims, 1);
+                    let row_lat = acc.ces[ce_id].parallelism.tile_latency_cycles(conv.dims, 1);
                     let w_bytes = acc.weight_bytes(l);
                     let in_round: Vec<usize> = conv
                         .producers
@@ -183,7 +192,11 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
                         .filter(|&&p| p >= seg.first && p < l)
                         .copied()
                         .collect();
-                    let ifm_total = if j == 0 && input_off { acc.ifm_bytes(l) } else { 0 };
+                    let ifm_total = if j == 0 && input_off {
+                        acc.ifm_bytes(l)
+                    } else {
+                        0
+                    };
                     let ifm_row_share = ifm_total / oh as u64;
                     let store_row = if j + 1 == ces.len() && output_off {
                         acc.precision.activation_size(conv.ofm.row_elements())
@@ -212,8 +225,7 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
                             let need = rows_needed(acc, l, r as u32);
                             let prod_h = acc.convs[p].ofm.height as u64;
                             let ifm_h = conv.ifm.height.max(1) as u64;
-                            let prod_rows =
-                                ((need * prod_h).div_ceil(ifm_h)).min(prod_h) as usize;
+                            let prod_rows = ((need * prod_h).div_ceil(ifm_h)).min(prod_h) as usize;
                             if let Some(&dep) = layer_row_tiles[p].get(prod_rows - 1) {
                                 deps.push(dep);
                             }
@@ -253,9 +265,7 @@ pub fn build_tile_graph(acc: &BuiltAccelerator, eval: &Evaluation) -> TileGraph 
     }
 
     // Topological sanity: deps point backwards.
-    debug_assert!(tiles
-        .iter()
-        .all(|t| t.deps.iter().all(|&d| d < t.id)));
+    debug_assert!(tiles.iter().all(|t| t.deps.iter().all(|&d| d < t.id)));
 
     TileGraph { tiles, ce_order }
 }
@@ -298,7 +308,9 @@ mod tests {
     fn build(arch: templates::Architecture, k: usize) -> (BuiltAccelerator, Evaluation, TileGraph) {
         let m = zoo::resnet50();
         let spec = arch.instantiate(&m, k).unwrap();
-        let acc = MultipleCeBuilder::new(&m, &FpgaBoard::zc706()).build(&spec).unwrap();
+        let acc = MultipleCeBuilder::new(&m, &FpgaBoard::zc706())
+            .build(&spec)
+            .unwrap();
         let (eval, graph) = expand(&acc);
         (acc, eval, graph)
     }
@@ -321,8 +333,8 @@ mod tests {
             for k in [2, 5, 9] {
                 let (_, eval, g) = build(arch, k);
                 let (w, fl, fs) = graph_traffic(&g);
-                assert_eq!(w, eval.offchip_weight_bytes, "{arch} {k} weights");
-                assert_eq!(fl + fs, eval.offchip_fm_bytes, "{arch} {k} fms");
+                assert_eq!(w, eval.offchip_weight_bytes.get(), "{arch} {k} weights");
+                assert_eq!(fl + fs, eval.offchip_fm_bytes.get(), "{arch} {k} fms");
             }
         }
     }
@@ -338,8 +350,8 @@ mod tests {
     #[test]
     fn pipelined_rounds_have_prefetch_tiles_when_resident() {
         let (acc, _, g) = build(templates::Architecture::Hybrid, 5);
-        let has_resident = (0..4)
-            .any(|l| acc.buffers.ce[l].weight_capacity() >= acc.weight_bytes(l));
+        let has_resident =
+            (0..4).any(|l| acc.buffers.ce[l].weight_capacity() >= acc.weight_bytes(l));
         if has_resident {
             assert!(g.tiles.iter().any(|t| t.ce.is_none()));
         }
@@ -362,7 +374,9 @@ mod tests {
         let m = b.finish().unwrap();
 
         let spec = templates::segmented(&m, 2).unwrap();
-        let acc = MultipleCeBuilder::new(&m, &FpgaBoard::zc706()).build(&spec).unwrap();
+        let acc = MultipleCeBuilder::new(&m, &FpgaBoard::zc706())
+            .build(&spec)
+            .unwrap();
         let (_, g) = expand(&acc);
 
         let mut one_row_layers = 0usize;
@@ -387,19 +401,27 @@ mod tests {
                     assert!((1..=poh).contains(&rows), "layer {l} tile {i}: {rows} rows");
                     assert_eq!(
                         t.compute_cycles,
-                        acc.ces[*ce].parallelism.tile_latency_cycles(conv.dims, rows),
+                        acc.ces[*ce]
+                            .parallelism
+                            .tile_latency_cycles(conv.dims, rows),
                         "layer {l} tile {i} latency disagrees with its exact row count"
                     );
                     rows_sum += rows;
                 }
-                assert_eq!(rows_sum, h, "layer {l}: tile heights must partition the OFM");
+                assert_eq!(
+                    rows_sum, h,
+                    "layer {l}: tile heights must partition the OFM"
+                );
                 if h == 1 {
                     one_row_layers += 1;
                     assert_eq!(tiles.len(), 1, "a 1-row OFM is a single tile");
                 }
             }
         }
-        assert!(one_row_layers >= 2, "the degenerate model must exercise 1-row OFMs");
+        assert!(
+            one_row_layers >= 2,
+            "the degenerate model must exercise 1-row OFMs"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ fn accuracy_grid_within_paper_band() {
         }
     }
     let avg = all.iter().sum::<f64>() / all.len() as f64;
-    assert!(avg > 90.0, "average accuracy {avg:.1}% (paper reports > 90%)");
+    assert!(
+        avg > 90.0,
+        "average accuracy {avg:.1}% (paper reports > 90%)"
+    );
 }
 
 #[test]
@@ -105,12 +108,15 @@ fn synthetic_cnns_simulate_and_match_traffic() {
         let n = model.conv_layer_count();
         for arch in templates::Architecture::ALL {
             let k = 2 + (seed as usize % 3).min(n.saturating_sub(2));
-            let Ok(spec) = arch.instantiate(&model, k) else { continue };
+            let Ok(spec) = arch.instantiate(&model, k) else {
+                continue;
+            };
             let acc = b.build(&spec).unwrap();
             let eval = CostModel::evaluate(&acc);
             let r = sim.run_with_eval(&acc, &eval);
             assert_eq!(
-                r.offchip_bytes, eval.offchip_bytes,
+                r.offchip_bytes,
+                eval.offchip_bytes.get(),
                 "seed {seed} {arch}: deterministic traffic must match"
             );
             assert!(r.latency_s > 0.0);

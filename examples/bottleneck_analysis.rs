@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "#".repeat(bar_c),
             100.0 * s.memory_s / total,
             "#".repeat(bar_m),
-            if s.memory_s > s.compute_s { "  <- memory-bound" } else { "" }
+            if s.memory_s > s.compute_s {
+                "  <- memory-bound"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -57,9 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 7-style access breakdown: what would compression help?
     println!(
         "\noff-chip accesses: weights {:.1} MiB ({:.0}%), feature maps {:.1} MiB ({:.0}%)",
-        eval.offchip_weight_bytes as f64 / (1 << 20) as f64,
+        eval.offchip_weight_bytes.mib(),
         100.0 * eval.weight_traffic_share(),
-        eval.offchip_fm_bytes as f64 / (1 << 20) as f64,
+        eval.offchip_fm_bytes.mib(),
         100.0 * (1.0 - eval.weight_traffic_share()),
     );
     let candidates: Vec<usize> = eval

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nreference simulator:");
     println!("  latency     {:>8.2} ms", sim.latency_s * 1e3);
     println!("  throughput  {:>8.1} FPS", sim.throughput_fps);
-    println!("  accesses    {:>8.1} MiB/inference", sim.offchip_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "  accesses    {:>8.1} MiB/inference",
+        sim.offchip_bytes as f64 / (1 << 20) as f64
+    );
 
     println!("\nEq. (10) accuracy of the model against the reference:");
     for rec in sim.accuracy_records(&eval) {

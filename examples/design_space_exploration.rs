@@ -13,12 +13,17 @@ use mccm::dse::{pareto_front, select_all_metrics, Explorer, PAPER_TIE_FRAC};
 use mccm::fpga::FpgaBoard;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let samples: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
 
     let model = zoo::xception();
     let board = FpgaBoard::vcu110();
-    println!("exploring {} on {board} ({samples} custom samples)\n", model.name());
+    println!(
+        "exploring {} on {board} ({samples} custom samples)\n",
+        model.name()
+    );
 
     let explorer = Explorer::new(&model, &board);
 
@@ -60,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let evals: Vec<_> = points.iter().map(|p| p.eval.clone()).collect();
     let front = pareto_front(&evals, &[Metric::Throughput, Metric::OnChipBuffers]);
-    println!("\nPareto front ({} designs), throughput vs buffers:", front.len());
+    println!(
+        "\nPareto front ({} designs), throughput vs buffers:",
+        front.len()
+    );
     let mut shown = 0;
     for &i in front.iter().rev() {
         let e = &evals[i];
@@ -88,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "\ncustom designs reach the baseline's throughput with {:.0}% smaller buffers \
              (paper: up to 48%).",
-            100.0 * (1.0 - buf as f64 / base.eval.buffer_req_bytes as f64)
+            100.0 * (1.0 - buf.as_f64() / base.eval.buffer_req_bytes.as_f64())
         );
     }
     Ok(())

@@ -29,14 +29,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.name(),
         board.name,
         config.budget,
-        metrics.iter().map(Metric::name).collect::<Vec<_>>().join(", ")
+        metrics
+            .iter()
+            .map(Metric::name)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let serial = explorer.optimize(&config)?;
     let parallel = explorer.optimize_par(&config, 2)?;
     let key = |f: &mccm::dse::GuidedFront| -> Vec<String> {
-        f.points.iter().map(|p| p.summary.notation.clone()).collect()
+        f.points
+            .iter()
+            .map(|p| p.summary.notation.clone())
+            .collect()
     };
-    assert_eq!(key(&serial), key(&parallel), "island model diverged across worker counts");
+    assert_eq!(
+        key(&serial),
+        key(&parallel),
+        "island model diverged across worker counts"
+    );
     println!(
         "  front of {} designs from {} evaluations, parallel == serial",
         serial.points.len(),
@@ -81,7 +92,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  energy-aware picks (lowest energy first):");
     let mut by_energy = serial.points.clone();
     by_energy.sort_by(|a, b| {
-        Metric::Energy.value(&a.summary).total_cmp(&Metric::Energy.value(&b.summary))
+        Metric::Energy
+            .value(&a.summary)
+            .total_cmp(&Metric::Energy.value(&b.summary))
     });
     for p in by_energy.iter().take(3) {
         println!(

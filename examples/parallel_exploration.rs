@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let explorer = Explorer::new(&model, &board);
 
     // Exhaustive sweep of a space small enough to walk completely.
-    let space = CustomSpace { layers: model.conv_layer_count(), min_ces: 2, max_ces: 3 };
+    let space = CustomSpace {
+        layers: model.conv_layer_count(),
+        min_ces: 2,
+        max_ces: 3,
+    };
     println!(
         "exhaustive sweep: {} on {} — {} designs, {WORKERS} workers",
         model.name(),
@@ -27,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let serial = explorer.par_evaluate_space(&space, 1)?;
     let parallel = explorer.par_evaluate_space(&space, WORKERS)?;
-    assert_eq!(serial, parallel, "sharded exhaustive sweep diverged from serial");
+    assert_eq!(
+        serial, parallel,
+        "sharded exhaustive sweep diverged from serial"
+    );
     println!("  {} feasible designs, parallel == serial", parallel.len());
 
     // Sharded sampling: same seed, same point set as the serial path.
@@ -44,10 +51,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics = [Metric::Throughput, Metric::OnChipBuffers];
     let front = par_pareto_indices(&summaries, &metrics, WORKERS);
     assert_eq!(front, par_pareto_indices(&summaries, &metrics, 1));
-    println!("pareto front (throughput vs buffers): {} designs", front.len());
+    println!(
+        "pareto front (throughput vs buffers): {} designs",
+        front.len()
+    );
     for &i in front.iter().take(5) {
         let s = &summaries[i];
-        println!("  {:>7.1} FPS  {:>6.2} MiB  {}", s.throughput_fps, s.buffer_mib(), s.notation);
+        println!(
+            "  {:>7.1} FPS  {:>6.2} MiB  {}",
+            s.throughput_fps,
+            s.buffer_mib(),
+            s.notation
+        );
     }
     println!("parallel DSE smoke: OK");
     Ok(())

@@ -11,13 +11,21 @@ use mccm::fpga::FpgaBoard;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = zoo::resnet50();
     let board = FpgaBoard::zc706();
-    println!("CNN:   {} ({} conv layers, {:.1} M params)", model.name(), model.conv_layer_count(), model.total_params() as f64 / 1e6);
+    println!(
+        "CNN:   {} ({} conv layers, {:.1} M params)",
+        model.name(),
+        model.conv_layer_count(),
+        model.total_params() as f64 / 1e6
+    );
     println!("Board: {board}\n");
 
     let builder = MultipleCeBuilder::new(&model, &board);
 
     // The three state-of-the-art architectures at a few CE counts.
-    println!("{:<14} {:>3} {:>12} {:>10} {:>12} {:>12}  notation", "architecture", "CEs", "latency(ms)", "FPS", "buffer(MiB)", "access(MiB)");
+    println!(
+        "{:<14} {:>3} {:>12} {:>10} {:>12} {:>12}  notation",
+        "architecture", "CEs", "latency(ms)", "FPS", "buffer(MiB)", "access(MiB)"
+    );
     for arch in templates::Architecture::ALL {
         for k in [2usize, 4, 7, 11] {
             let spec = arch.instantiate(&model, k)?;
@@ -30,7 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             println!(
                 "{:<14} {:>3} {:>12.2} {:>10.1} {:>12.2} {:>12.1}  {}",
-                arch.name(), k, e.latency_ms(), e.throughput_fps, e.buffer_mib(), e.offchip_mib(), text
+                arch.name(),
+                k,
+                e.latency_ms(),
+                e.throughput_fps,
+                e.buffer_mib(),
+                e.offchip_mib(),
+                text
             );
         }
     }

@@ -59,17 +59,29 @@ fn main() -> Result<(), mccm::Error> {
             front.hypervolume
         );
         for s in front.front.iter().take(3) {
-            println!("  {:>7.1} FPS  {:>6.2} MiB  {}", s.throughput_fps, s.buffer_mib(), s.notation);
+            println!(
+                "  {:>7.1} FPS  {:>6.2} MiB  {}",
+                s.throughput_fps,
+                s.buffer_mib(),
+                s.notation
+            );
         }
     }
-    assert_eq!(session.stats().hits, 2, "the sample reused the warmed context");
+    assert_eq!(
+        session.stats().hits,
+        2,
+        "the sample reused the warmed context"
+    );
 
     // 4. Every outcome serializes to deterministic JSON — the payload a
     //    serving layer would return. Identical requests give identical
     //    bytes.
     let json = session.run(&sample)?.to_json_string();
     assert_eq!(json, session.run(&sample)?.to_json_string());
-    println!("\noutcome JSON is deterministic ({} bytes); first lines:", json.len());
+    println!(
+        "\noutcome JSON is deterministic ({} bytes); first lines:",
+        json.len()
+    );
     for line in json.lines().take(8) {
         println!("  {line}");
     }

@@ -77,7 +77,8 @@ pub fn main_with_args(args: &[String], out: &mut dyn Write) -> Result<(), Error>
 }
 
 fn emit(out: &mut dyn Write, args: std::fmt::Arguments<'_>) -> Result<(), Error> {
-    out.write_fmt(args).map_err(|e| Error::io("writing output", e))
+    out.write_fmt(args)
+        .map_err(|e| Error::io("writing output", e))
 }
 
 /// How a flag consumes arguments.
@@ -119,9 +120,7 @@ impl Flags {
                         known.join(", ")
                     )));
                 };
-                if kind != FlagKind::Repeatable
-                    && seen.iter().any(|(n, _)| n == name)
-                {
+                if kind != FlagKind::Repeatable && seen.iter().any(|(n, _)| n == name) {
                     return Err(Error::Usage(format!(
                         "duplicate flag `{name}` for `mccm {command}`"
                     )));
@@ -131,9 +130,7 @@ impl Flags {
                     FlagKind::Value | FlagKind::Repeatable => {
                         i += 1;
                         let Some(v) = args.get(i) else {
-                            return Err(Error::Usage(format!(
-                                "flag `{name}` needs a value"
-                            )));
+                            return Err(Error::Usage(format!("flag `{name}` needs a value")));
                         };
                         Some(v.clone())
                     }
@@ -144,7 +141,11 @@ impl Flags {
             }
             i += 1;
         }
-        Ok(Self { command, seen, positionals })
+        Ok(Self {
+            command,
+            seen,
+            positionals,
+        })
     }
 
     fn value(&self, name: &str) -> Option<&str> {
@@ -175,9 +176,10 @@ impl Flags {
     fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, Error> {
         match self.value(name) {
             None => Ok(None),
-            Some(text) => text.parse().map(Some).map_err(|_| {
-                Error::Usage(format!("flag `{name}` expects a number, got `{text}`"))
-            }),
+            Some(text) => text
+                .parse()
+                .map(Some)
+                .map_err(|_| Error::Usage(format!("flag `{name}` expects a number, got `{text}`"))),
         }
     }
 
@@ -286,7 +288,12 @@ fn cmd_evaluate(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
     let mut action = Json::object();
     action.push("evaluate", design_body("evaluate", &flags)?);
     root.push("action", action);
-    run_document(&root, flags.switch("--json"), flags.switch("--verbose"), out)
+    run_document(
+        &root,
+        flags.switch("--json"),
+        flags.switch("--verbose"),
+        out,
+    )
 }
 
 /// The `evaluate`-action body shared by the `evaluate` and `validate`
@@ -306,9 +313,12 @@ fn design_body(command: &str, flags: &Flags) -> Result<Json, Error> {
         }
         (None, Some(arch)) => {
             body.push("template", arch.to_ascii_lowercase());
-            body.push("ces", flags.parsed::<usize>("--ces")?.ok_or_else(|| {
-                Error::Usage("`--arch` requires `--ces <count>`".into())
-            })?);
+            body.push(
+                "ces",
+                flags
+                    .parsed::<usize>("--ces")?
+                    .ok_or_else(|| Error::Usage("`--arch` requires `--ces <count>`".into()))?,
+            );
         }
         _ => {
             return Err(Error::Usage(format!(
@@ -366,7 +376,10 @@ fn cmd_explore(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
         root.push("workers", w);
     }
     let mut body = Json::object();
-    body.push("count", flags.parsed::<usize>("--samples")?.unwrap_or(2_000));
+    body.push(
+        "count",
+        flags.parsed::<usize>("--samples")?.unwrap_or(2_000),
+    );
     let mut action = Json::object();
     action.push("sample", body);
     root.push("action", action);
@@ -396,8 +409,10 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
     }
     let mut body = Json::object();
     if let Some(list) = flags.value("--metrics") {
-        let names: Vec<Json> =
-            list.split(',').map(|m| Json::from(m.trim().to_ascii_lowercase())).collect();
+        let names: Vec<Json> = list
+            .split(',')
+            .map(|m| Json::from(m.trim().to_ascii_lowercase()))
+            .collect();
         body.push("metrics", names);
     }
     if let Some(n) = flags.parsed::<u64>("--budget")? {
@@ -442,8 +457,8 @@ fn cmd_validate(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
     let scenario = Scenario::from_json(&root)?;
     let model = scenario.model.build()?;
     let board = scenario.board.build()?;
-    let builder = crate::arch::MultipleCeBuilder::new(&model, &board)
-        .with_precision(scenario.precision);
+    let builder =
+        crate::arch::MultipleCeBuilder::new(&model, &board).with_precision(scenario.precision);
     let design = match &scenario.action {
         crate::scenario::Action::Evaluate { design } => design.clone(),
         _ => unreachable!("assembled above"),
@@ -457,7 +472,10 @@ fn cmd_validate(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
     emit(out, format_args!("design: {}\n", eval.notation))?;
     emit(
         out,
-        format_args!("{:<12} {:>14} {:>14} {:>9}\n", "metric", "model", "simulator", "accuracy"),
+        format_args!(
+            "{:<12} {:>14} {:>14} {:>9}\n",
+            "metric", "model", "simulator", "accuracy"
+        ),
     )?;
     for rec in sim.accuracy_records(&eval) {
         emit(
@@ -545,7 +563,9 @@ fn run_batch(dir: &Path, workers: usize, out: &mut dyn Write) -> Result<(), Erro
         )));
     }
     let workers = if workers == 0 {
-        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
     } else {
         workers
     }
@@ -629,16 +649,22 @@ fn render_human(outcome: &Outcome, verbose: bool, out: &mut dyn Write) -> Result
             emit(out, format_args!("design:     {}\n", e.notation))?;
             emit(
                 out,
-                format_args!("workload:   {} on {} ({})\n", e.model_name, o.board, o.precision),
+                format_args!(
+                    "workload:   {} on {} ({})\n",
+                    e.model_name, o.board, o.precision
+                ),
             )?;
             emit(out, format_args!("latency:    {:.3} ms\n", e.latency_ms()))?;
-            emit(out, format_args!("throughput: {:.1} FPS\n", e.throughput_fps))?;
+            emit(
+                out,
+                format_args!("throughput: {:.1} FPS\n", e.throughput_fps),
+            )?;
             emit(
                 out,
                 format_args!(
                     "buffers:    {:.2} MiB required ({:.2} MiB granted on-chip)\n",
                     e.buffer_mib(),
-                    e.buffer_alloc_bytes as f64 / (1u64 << 20) as f64
+                    e.buffer_alloc_bytes.mib()
                 ),
             )?;
             emit(
@@ -703,8 +729,12 @@ fn render_human(outcome: &Outcome, verbose: bool, out: &mut dyn Write) -> Result
                             s.last + 1,
                             s.time_s * 1e3,
                             100.0 * s.utilization,
-                            s.traffic() as f64 / (1u64 << 20) as f64,
-                            if s.memory_s > s.compute_s { "  [memory-bound]" } else { "" }
+                            s.traffic().mib(),
+                            if s.memory_s > s.compute_s {
+                                "  [memory-bound]"
+                            } else {
+                                ""
+                            }
                         ),
                     )?;
                 }
@@ -794,22 +824,29 @@ fn render_human(outcome: &Outcome, verbose: bool, out: &mut dyn Write) -> Result
                     o.feasible,
                     o.budget,
                     o.front.len(),
-                    o.metrics.iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+                    o.metrics
+                        .iter()
+                        .map(|m| m.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ),
             )?;
             emit(out, format_args!("\nbest per metric:\n"))?;
             for &m in &o.metrics {
-                let best = o
-                    .front
-                    .iter()
-                    .map(|s| m.value(s))
-                    .reduce(|a, b| if m.better(b, a) { b } else { a });
+                let best =
+                    o.front
+                        .iter()
+                        .map(|s| m.value(s))
+                        .reduce(|a, b| if m.better(b, a) { b } else { a });
                 if let Some(v) = best {
                     emit(out, format_args!("  {:<11} {v:.4e}\n", m.name()))?;
                 }
             }
             let energy = crate::core::EnergyModel::default();
-            emit(out, format_args!("\nfront (best-first on {}):\n", o.metrics[0].name()))?;
+            emit(
+                out,
+                format_args!("\nfront (best-first on {}):\n", o.metrics[0].name()),
+            )?;
             for s in o.front.iter().take(12) {
                 emit(
                     out,
@@ -855,8 +892,8 @@ mod tests {
     #[test]
     fn duplicate_flag_is_rejected_with_its_name() {
         let err = run_cli(&[
-            "evaluate", "--model", "resnet50", "--model", "vgg16", "--board", "zc706",
-            "--arch", "hybrid", "--ces", "4",
+            "evaluate", "--model", "resnet50", "--model", "vgg16", "--board", "zc706", "--arch",
+            "hybrid", "--ces", "4",
         ])
         .unwrap_err();
         let text = err.to_string();
@@ -875,8 +912,15 @@ mod tests {
         // `--notation`, diverging from the scenario parser's rejection.
         for command in ["evaluate", "validate"] {
             let err = run_cli(&[
-                command, "--model", "resnet50", "--board", "zc706", "--notation",
-                "{L1-Last: CE1-CE4}", "--ces", "9",
+                command,
+                "--model",
+                "resnet50",
+                "--board",
+                "zc706",
+                "--notation",
+                "{L1-Last: CE1-CE4}",
+                "--ces",
+                "9",
             ])
             .unwrap_err();
             assert!(err.to_string().contains("--ces"), "{command}: {err}");
@@ -886,8 +930,16 @@ mod tests {
     #[test]
     fn verbose_evaluate_lists_engines_and_segments() {
         let text = run_cli(&[
-            "evaluate", "--model", "mobilenetv2", "--board", "zc706", "--arch", "segmented",
-            "--ces", "3", "--verbose",
+            "evaluate",
+            "--model",
+            "mobilenetv2",
+            "--board",
+            "zc706",
+            "--arch",
+            "segmented",
+            "--ces",
+            "3",
+            "--verbose",
         ])
         .unwrap();
         assert!(text.contains("engines:"), "{text}");
@@ -906,15 +958,33 @@ mod tests {
     #[test]
     fn evaluate_json_and_human_forms_work() {
         let json = run_cli(&[
-            "evaluate", "--model", "mobilenetv2", "--board", "zc706", "--arch", "hybrid",
-            "--ces", "4", "--json",
+            "evaluate",
+            "--model",
+            "mobilenetv2",
+            "--board",
+            "zc706",
+            "--arch",
+            "hybrid",
+            "--ces",
+            "4",
+            "--json",
         ])
         .unwrap();
         let parsed = Json::parse(&json).unwrap();
-        assert_eq!(parsed.get("action").and_then(Json::as_str), Some("evaluate"));
+        assert_eq!(
+            parsed.get("action").and_then(Json::as_str),
+            Some("evaluate")
+        );
         let human = run_cli(&[
-            "evaluate", "--model", "mobilenetv2", "--board", "zc706", "--arch", "hybrid",
-            "--ces", "4",
+            "evaluate",
+            "--model",
+            "mobilenetv2",
+            "--board",
+            "zc706",
+            "--arch",
+            "hybrid",
+            "--ces",
+            "4",
         ])
         .unwrap();
         assert!(human.contains("latency:"), "{human}");

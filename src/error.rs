@@ -55,12 +55,18 @@ impl Error {
     /// Builds a [`Error::Scenario`] (convenience for the scenario
     /// parser).
     pub fn scenario(field: impl Into<String>, detail: impl Into<String>) -> Self {
-        Self::Scenario { field: field.into(), detail: detail.into() }
+        Self::Scenario {
+            field: field.into(),
+            detail: detail.into(),
+        }
     }
 
     /// Builds an [`Error::Io`] tagged with its context.
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
-        Self::Io { context: context.into(), source }
+        Self::Io {
+            context: context.into(),
+            source,
+        }
     }
 }
 
@@ -143,10 +149,21 @@ mod tests {
         let cases: Vec<Error> = vec![
             ArchError::EmptySpec.into(),
             CnnError::EmptyModel.into(),
-            ExploreError::BadConfig { detail: "islands".into() }.into(),
+            ExploreError::BadConfig {
+                detail: "islands".into(),
+            }
+            .into(),
             ConfigError::BadBandwidthDerate { derate: 2.0 }.into(),
-            SimConfigError::TooFewImages { images: 1, minimum: 3 }.into(),
-            JsonError { offset: 3, detail: "x".into() }.into(),
+            SimConfigError::TooFewImages {
+                images: 1,
+                minimum: 3,
+            }
+            .into(),
+            JsonError {
+                offset: 3,
+                detail: "x".into(),
+            }
+            .into(),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
@@ -159,7 +176,12 @@ mod tests {
 
     #[test]
     fn inner_values_stay_matchable() {
-        let e: Error = ExploreError::AttemptsExhausted { wanted: 5, got: 1, attempts: 64 }.into();
+        let e: Error = ExploreError::AttemptsExhausted {
+            wanted: 5,
+            got: 1,
+            attempts: 64,
+        }
+        .into();
         match e {
             Error::Explore(ExploreError::AttemptsExhausted { wanted: 5, .. }) => {}
             other => panic!("lost the inner value: {other:?}"),

@@ -64,7 +64,11 @@ pub struct JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.detail)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.detail
+        )
     }
 }
 
@@ -162,7 +166,10 @@ impl Json {
     ///
     /// [`JsonError`] with the byte offset of the first problem.
     pub fn parse(text: &str) -> Result<Self, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let value = p.value(0)?;
         p.skip_ws();
@@ -284,6 +291,38 @@ impl From<Vec<Json>> for Json {
     }
 }
 
+// The dimensional newtypes serialize as their bare numeric value, so the
+// JSON wire format is byte-identical to the pre-typed-quantity output.
+impl From<mccm_core::Cycles> for Json {
+    fn from(v: mccm_core::Cycles) -> Self {
+        Self::from(v.get())
+    }
+}
+
+impl From<mccm_core::Bytes> for Json {
+    fn from(v: mccm_core::Bytes) -> Self {
+        Self::from(v.get())
+    }
+}
+
+impl From<mccm_core::Macs> for Json {
+    fn from(v: mccm_core::Macs) -> Self {
+        Self::from(v.get())
+    }
+}
+
+impl From<mccm_core::Pes> for Json {
+    fn from(v: mccm_core::Pes) -> Self {
+        Self::from(v.get())
+    }
+}
+
+impl From<mccm_core::Joules> for Json {
+    fn from(v: mccm_core::Joules) -> Self {
+        Self::Num(v.get())
+    }
+}
+
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_string_compact())
@@ -341,7 +380,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, detail: impl Into<String>) -> JsonError {
-        JsonError { offset: self.pos, detail: detail.into() }
+        JsonError {
+            offset: self.pos,
+            detail: detail.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -488,8 +530,7 @@ impl Parser<'_> {
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let code =
-                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(code)
                                         .ok_or_else(|| self.err("invalid surrogate pair"))?
                                 } else {
@@ -608,12 +649,16 @@ mod tests {
         let v = Json::parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
         assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].get("b"), Some(&Json::Null));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].get("b"),
+            Some(&Json::Null)
+        );
     }
 
     #[test]
     fn string_escapes_round_trip() {
-        let original = "quote\" back\\ slash/ tab\t nl\n cr\r bell\u{08} ff\u{0C} unicode é 涛 \u{1F600}";
+        let original =
+            "quote\" back\\ slash/ tab\t nl\n cr\r bell\u{08} ff\u{0C} unicode é 涛 \u{1F600}";
         let mut out = String::new();
         write_string(&mut out, original);
         let back = Json::parse(&out).unwrap();
@@ -681,7 +726,10 @@ mod tests {
         for text in [obj.to_string_compact(), obj.to_string_pretty()] {
             assert_eq!(Json::parse(&text).unwrap(), obj);
         }
-        assert_eq!(obj.to_string_compact(), r#"{"name":"x","count":3,"items":[1,2],"empty":{}}"#);
+        assert_eq!(
+            obj.to_string_compact(),
+            r#"{"name":"x","count":3,"items":[1,2],"empty":{}}"#
+        );
         assert!(obj.to_string_pretty().ends_with('\n'));
     }
 
@@ -696,7 +744,10 @@ mod tests {
         // 2^64 would saturate through `as u64`; it must be rejected, not
         // clamped to u64::MAX.
         assert_eq!(Json::Num(18_446_744_073_709_551_616.0).as_u64(), None);
-        assert_eq!(Json::Num(18_446_744_073_709_549_568.0).as_u64(), Some(18_446_744_073_709_549_568));
+        assert_eq!(
+            Json::Num(18_446_744_073_709_549_568.0).as_u64(),
+            Some(18_446_744_073_709_549_568)
+        );
         assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("s").unwrap().as_str(), Some("t"));
         assert_eq!(v.get("missing"), None);

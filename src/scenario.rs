@@ -59,11 +59,8 @@ impl ModelSpec {
     /// normally catches this first).
     pub fn build(&self) -> Result<CnnModel, Error> {
         match self {
-            Self::Zoo(name) => zoo::by_name(name).ok_or_else(|| unknown_name_error(
-                "model.zoo",
-                name,
-                zoo::names(),
-            )),
+            Self::Zoo(name) => zoo::by_name(name)
+                .ok_or_else(|| unknown_name_error("model.zoo", name, zoo::names())),
             Self::Synthetic { seed, config } => {
                 Ok(crate::cnn::synthetic::random_cnn(*seed, config))
             }
@@ -104,11 +101,8 @@ impl BoardSpec {
     /// [`Error::Scenario`] for unknown builtin names.
     pub fn build(&self) -> Result<FpgaBoard, Error> {
         match self {
-            Self::Builtin(name) => FpgaBoard::by_name(name).ok_or_else(|| unknown_name_error(
-                "board.builtin",
-                name,
-                FpgaBoard::names(),
-            )),
+            Self::Builtin(name) => FpgaBoard::by_name(name)
+                .ok_or_else(|| unknown_name_error("board.builtin", name, FpgaBoard::names())),
             Self::Custom(board) => Ok(board.clone()),
         }
     }
@@ -151,9 +145,7 @@ impl DesignSpec {
     pub fn instantiate(&self, model: &CnnModel) -> Result<crate::arch::AcceleratorSpec, Error> {
         match self {
             Self::Notation(text) => Ok(crate::arch::notation::parse(text)?),
-            Self::Template { architecture, ces } => {
-                Ok(architecture.instantiate(model, *ces)?)
-            }
+            Self::Template { architecture, ces } => Ok(architecture.instantiate(model, *ces)?),
         }
     }
 }
@@ -275,7 +267,15 @@ impl Scenario {
         check_keys(
             obj,
             "(root)",
-            &["model", "board", "precision", "batch", "seed", "workers", "action"],
+            &[
+                "model",
+                "board",
+                "precision",
+                "batch",
+                "seed",
+                "workers",
+                "action",
+            ],
         )?;
         let model = parse_model(require(root, "model", "(root)")?)?;
         let board = parse_board(require(root, "board", "(root)")?)?;
@@ -294,7 +294,15 @@ impl Scenario {
         let seed = opt_u64(root, "seed", 1)?;
         let workers = opt_usize(root, "workers", 0)?;
         let action = parse_action(require(root, "action", "(root)")?)?;
-        Ok(Self { model, board, precision, batch, seed, workers, action })
+        Ok(Self {
+            model,
+            board,
+            precision,
+            batch,
+            seed,
+            workers,
+            action,
+        })
     }
 
     /// The canonical JSON form: every field materialized (defaults
@@ -464,25 +472,34 @@ pub fn apply_override(root: &mut Json, path: &str, raw: &str) -> Result<(), Erro
 }
 
 fn metric_list(metrics: &[Metric]) -> Json {
-    Json::Array(metrics.iter().map(|m| Json::from(m.name().to_ascii_lowercase())).collect())
+    Json::Array(
+        metrics
+            .iter()
+            .map(|m| Json::from(m.name().to_ascii_lowercase()))
+            .collect(),
+    )
 }
 
 fn unknown_name_error(field: &str, name: &str, valid: &[&str]) -> Error {
-    Error::scenario(field, format!("unknown name `{name}` (valid: {})", valid.join(", ")))
+    Error::scenario(
+        field,
+        format!("unknown name `{name}` (valid: {})", valid.join(", ")),
+    )
 }
 
 fn expect_object<'a>(v: &'a Json, path: &str) -> Result<&'a [(String, Json)], Error> {
-    v.entries().ok_or_else(|| Error::scenario(path, "expected a JSON object"))
+    v.entries()
+        .ok_or_else(|| Error::scenario(path, "expected a JSON object"))
 }
 
 fn expect_str<'a>(v: &'a Json, path: &str) -> Result<&'a str, Error> {
-    v.as_str().ok_or_else(|| Error::scenario(path, "expected a string"))
+    v.as_str()
+        .ok_or_else(|| Error::scenario(path, "expected a string"))
 }
 
 fn require<'a>(v: &'a Json, key: &str, path: &str) -> Result<&'a Json, Error> {
-    v.get(key).ok_or_else(|| {
-        Error::scenario(join_path(path, key), "required field is missing")
-    })
+    v.get(key)
+        .ok_or_else(|| Error::scenario(join_path(path, key), "required field is missing"))
 }
 
 fn join_path(path: &str, key: &str) -> String {
@@ -506,15 +523,18 @@ fn check_keys(pairs: &[(String, Json)], path: &str, allowed: &[&str]) -> Result<
 }
 
 fn field_usize(v: &Json, path: &str) -> Result<usize, Error> {
-    v.as_usize().ok_or_else(|| Error::scenario(path, "expected a non-negative integer"))
+    v.as_usize()
+        .ok_or_else(|| Error::scenario(path, "expected a non-negative integer"))
 }
 
 fn field_u64(v: &Json, path: &str) -> Result<u64, Error> {
-    v.as_u64().ok_or_else(|| Error::scenario(path, "expected a non-negative integer"))
+    v.as_u64()
+        .ok_or_else(|| Error::scenario(path, "expected a non-negative integer"))
 }
 
 fn field_f64(v: &Json, path: &str) -> Result<f64, Error> {
-    v.as_f64().ok_or_else(|| Error::scenario(path, "expected a number"))
+    v.as_f64()
+        .ok_or_else(|| Error::scenario(path, "expected a number"))
 }
 
 fn field_u32(v: &Json, path: &str) -> Result<u32, Error> {
@@ -595,22 +615,34 @@ fn parse_model(v: &Json) -> Result<ModelSpec, Error> {
                 ));
             }
             if config.input_size < 4 {
-                return Err(Error::scenario("model.synthetic.input_size", "must be at least 4"));
+                return Err(Error::scenario(
+                    "model.synthetic.input_size",
+                    "must be at least 4",
+                ));
             }
             if config.base_channels == 0 {
-                return Err(Error::scenario("model.synthetic.base_channels", "must be positive"));
+                return Err(Error::scenario(
+                    "model.synthetic.base_channels",
+                    "must be positive",
+                ));
             }
             for (field, p) in [
                 ("model.synthetic.residual_prob", config.residual_prob),
                 ("model.synthetic.depthwise_prob", config.depthwise_prob),
             ] {
                 if !(0.0..=1.0).contains(&p) {
-                    return Err(Error::scenario(field, format!("must be in [0, 1], got {p}")));
+                    return Err(Error::scenario(
+                        field,
+                        format!("must be in [0, 1], got {p}"),
+                    ));
                 }
             }
             Ok(ModelSpec::Synthetic { seed, config })
         }
-        _ => Err(Error::scenario("model", "expected exactly one of `zoo` or `synthetic`")),
+        _ => Err(Error::scenario(
+            "model",
+            "expected exactly one of `zoo` or `synthetic`",
+        )),
     }
 }
 
@@ -621,7 +653,11 @@ fn parse_board(v: &Json) -> Result<BoardSpec, Error> {
         (Some(name), None) => {
             let name = expect_str(name, "board.builtin")?;
             if FpgaBoard::by_name(name).is_none() {
-                return Err(unknown_name_error("board.builtin", name, FpgaBoard::names()));
+                return Err(unknown_name_error(
+                    "board.builtin",
+                    name,
+                    FpgaBoard::names(),
+                ));
             }
             Ok(BoardSpec::Builtin(name.to_ascii_lowercase()))
         }
@@ -635,8 +671,10 @@ fn parse_board(v: &Json) -> Result<BoardSpec, Error> {
             )?;
             let name = expect_str(require(custom, "name", "board")?, "board.custom.name")?;
             let dsps = field_u32(require(custom, "dsps", "board")?, "board.custom.dsps")?;
-            let bram_mib =
-                field_f64(require(custom, "bram_mib", "board")?, "board.custom.bram_mib")?;
+            let bram_mib = field_f64(
+                require(custom, "bram_mib", "board")?,
+                "board.custom.bram_mib",
+            )?;
             let bandwidth = field_f64(
                 require(custom, "bandwidth_gbps", "board")?,
                 "board.custom.bandwidth_gbps",
@@ -654,19 +692,27 @@ fn parse_board(v: &Json) -> Result<BoardSpec, Error> {
                 ("board.custom.clock_mhz", clock),
             ] {
                 if !(value.is_finite() && value > 0.0) {
-                    return Err(Error::scenario(field, format!("must be positive, got {value}")));
+                    return Err(Error::scenario(
+                        field,
+                        format!("must be positive, got {value}"),
+                    ));
                 }
             }
             Ok(BoardSpec::Custom(
                 FpgaBoard::new(name, dsps, MiB(bram_mib), bandwidth).with_clock_mhz(clock),
             ))
         }
-        _ => Err(Error::scenario("board", "expected exactly one of `builtin` or `custom`")),
+        _ => Err(Error::scenario(
+            "board",
+            "expected exactly one of `builtin` or `custom`",
+        )),
     }
 }
 
 fn parse_metrics(v: Option<&Json>, path: &str, default: &[Metric]) -> Result<Vec<Metric>, Error> {
-    let Some(v) = v else { return Ok(default.to_vec()) };
+    let Some(v) = v else {
+        return Ok(default.to_vec());
+    };
     let items = v
         .as_array()
         .ok_or_else(|| Error::scenario(path, "expected an array of metric names"))?;
@@ -695,7 +741,11 @@ fn parse_metrics(v: Option<&Json>, path: &str, default: &[Metric]) -> Result<Vec
 
 fn parse_action(v: &Json) -> Result<Action, Error> {
     let pairs = expect_object(v, "action")?;
-    check_keys(pairs, "action", &["evaluate", "sweep", "sample", "optimize"])?;
+    check_keys(
+        pairs,
+        "action",
+        &["evaluate", "sweep", "sample", "optimize"],
+    )?;
     if pairs.len() != 1 {
         return Err(Error::scenario(
             "action",
@@ -719,10 +769,11 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
                     let text = expect_str(text, "action.evaluate.notation")?;
                     // Validate the notation eagerly: parse errors carry
                     // the byte offset into the notation string.
-                    crate::arch::notation::parse(text).map_err(|e| {
-                        Error::scenario("action.evaluate.notation", e.to_string())
-                    })?;
-                    Ok(Action::Evaluate { design: DesignSpec::Notation(text.to_string()) })
+                    crate::arch::notation::parse(text)
+                        .map_err(|e| Error::scenario("action.evaluate.notation", e.to_string()))?;
+                    Ok(Action::Evaluate {
+                        design: DesignSpec::Notation(text.to_string()),
+                    })
                 }
                 (None, Some(template)) => {
                     let name = expect_str(template, "action.evaluate.template")?;
@@ -736,7 +787,9 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
                     if ces == 0 {
                         return Err(Error::scenario("action.evaluate.ces", "must be positive"));
                     }
-                    Ok(Action::Evaluate { design: DesignSpec::Template { architecture, ces } })
+                    Ok(Action::Evaluate {
+                        design: DesignSpec::Template { architecture, ces },
+                    })
                 }
                 _ => Err(Error::scenario(
                     path,
@@ -765,13 +818,15 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
             let path = "action.sample";
             let obj = expect_object(body, path)?;
             check_keys(obj, path, &["count", "metrics"])?;
-            let count =
-                field_usize(require(body, "count", path)?, "action.sample.count")?;
+            let count = field_usize(require(body, "count", path)?, "action.sample.count")?;
             if count == 0 {
                 return Err(Error::scenario("action.sample.count", "must be positive"));
             }
-            let metrics =
-                parse_metrics(body.get("metrics"), "action.sample.metrics", &SAMPLE_DEFAULT_METRICS)?;
+            let metrics = parse_metrics(
+                body.get("metrics"),
+                "action.sample.metrics",
+                &SAMPLE_DEFAULT_METRICS,
+            )?;
             Ok(Action::Sample { count, metrics })
         }
         "optimize" => {
@@ -791,8 +846,11 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
                 ],
             )?;
             let defaults = OptimizerConfig::default();
-            let metrics =
-                parse_metrics(body.get("metrics"), "action.optimize.metrics", &defaults.metrics)?;
+            let metrics = parse_metrics(
+                body.get("metrics"),
+                "action.optimize.metrics",
+                &defaults.metrics,
+            )?;
             let budget = opt_u64(body, "budget", defaults.budget)?;
             let population = opt_usize(body, "population", defaults.population)?;
             let islands = opt_usize(body, "islands", defaults.islands)?;
@@ -834,7 +892,10 @@ mod tests {
         Scenario::new(
             ModelSpec::Zoo("xception".into()),
             BoardSpec::Builtin("vcu110".into()),
-            Action::Sample { count: 50, metrics: SAMPLE_DEFAULT_METRICS.to_vec() },
+            Action::Sample {
+                count: 50,
+                metrics: SAMPLE_DEFAULT_METRICS.to_vec(),
+            },
         )
     }
 
@@ -855,12 +916,23 @@ mod tests {
     #[test]
     fn canonical_json_round_trips_every_action() {
         let actions = [
-            Action::Evaluate { design: DesignSpec::Notation("{L1-Last: CE1-CE4}".into()) },
             Action::Evaluate {
-                design: DesignSpec::Template { architecture: Architecture::Hybrid, ces: 7 },
+                design: DesignSpec::Notation("{L1-Last: CE1-CE4}".into()),
             },
-            Action::Sweep { min_ces: 2, max_ces: 6 },
-            Action::Sample { count: 123, metrics: vec![Metric::Latency, Metric::Energy] },
+            Action::Evaluate {
+                design: DesignSpec::Template {
+                    architecture: Architecture::Hybrid,
+                    ces: 7,
+                },
+            },
+            Action::Sweep {
+                min_ces: 2,
+                max_ces: 6,
+            },
+            Action::Sample {
+                count: 123,
+                metrics: vec![Metric::Latency, Metric::Energy],
+            },
             Action::Optimize {
                 metrics: Metric::WITH_ENERGY.to_vec(),
                 budget: 4000,
@@ -915,7 +987,10 @@ mod tests {
         )
         .unwrap_err();
         let text = err.to_string();
-        assert!(text.contains("model.zoo") && text.contains("alexnet"), "{text}");
+        assert!(
+            text.contains("model.zoo") && text.contains("alexnet"),
+            "{text}"
+        );
         assert!(text.contains("xception"), "valid names listed: {text}");
     }
 
@@ -954,7 +1029,10 @@ mod tests {
                 "action": {"evaluate": {"notation": "{L1: CE"}}}"#,
         )
         .unwrap_err();
-        assert!(err.to_string().contains("action.evaluate.notation"), "{err}");
+        assert!(
+            err.to_string().contains("action.evaluate.notation"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1000,7 +1078,10 @@ mod tests {
         assert_eq!(a.board.cache_token(), "builtin:vcu110");
         let custom = BoardSpec::Custom(FpgaBoard::new("x", 100, MiB(1.0), 2.0));
         assert_ne!(custom.cache_token(), a.board.cache_token());
-        let synth = ModelSpec::Synthetic { seed: 3, config: SyntheticConfig::default() };
+        let synth = ModelSpec::Synthetic {
+            seed: 3,
+            config: SyntheticConfig::default(),
+        };
         assert!(synth.cache_token().contains("seed=3"));
     }
 }

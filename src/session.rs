@@ -90,8 +90,15 @@ impl Session {
     ///
     /// Panics when `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity >= 1, "session cache needs capacity for at least one context");
-        Self { capacity, entries: Vec::new(), stats: SessionStats::default() }
+        assert!(
+            capacity >= 1,
+            "session cache needs capacity for at least one context"
+        );
+        Self {
+            capacity,
+            entries: Vec::new(),
+            stats: SessionStats::default(),
+        }
     }
 
     /// Cache accounting so far.
@@ -173,11 +180,12 @@ impl Session {
                 }
                 let (points, _elapsed) =
                     explorer.par_sample_custom_summaries(*count, scenario.seed, workers)?;
-                let summaries: Vec<EvalSummary> =
-                    points.into_iter().map(|p| p.summary).collect();
+                let summaries: Vec<EvalSummary> = points.into_iter().map(|p| p.summary).collect();
                 let front_indices = par_pareto_indices(&summaries, metrics, workers);
-                let mut front: Vec<EvalSummary> =
-                    front_indices.iter().map(|&i| summaries[i].clone()).collect();
+                let mut front: Vec<EvalSummary> = front_indices
+                    .iter()
+                    .map(|&i| summaries[i].clone())
+                    .collect();
                 sort_front(&mut front, metrics);
                 // Quality stats: the front's dominated fraction of the
                 // box spanned by *everything* evaluated, plus per-metric
@@ -387,10 +395,13 @@ impl Outcome {
     }
 }
 
-const MIB: f64 = 1024.0 * 1024.0;
-
 fn metric_names(metrics: &[Metric]) -> Json {
-    Json::Array(metrics.iter().map(|m| Json::from(m.name().to_ascii_lowercase())).collect())
+    Json::Array(
+        metrics
+            .iter()
+            .map(|m| Json::from(m.name().to_ascii_lowercase()))
+            .collect(),
+    )
 }
 
 fn summary_json(s: &EvalSummary) -> Json {
@@ -401,7 +412,10 @@ fn summary_json(s: &EvalSummary) -> Json {
     row.push("throughput_fps", s.throughput_fps);
     row.push("buffer_req_mib", s.buffer_mib());
     row.push("offchip_mib", s.offchip_mib());
-    row.push("energy_mj", EnergyModel::default().estimate_summary(s).total_mj());
+    row.push(
+        "energy_mj",
+        EnergyModel::default().estimate_summary(s).total_mj(),
+    );
     row
 }
 
@@ -418,7 +432,7 @@ fn evaluation_json(o: &EvaluationOutcome) -> Json {
     metrics.push("latency_ms", e.latency_ms());
     metrics.push("throughput_fps", e.throughput_fps);
     metrics.push("buffer_req_mib", e.buffer_mib());
-    metrics.push("buffer_alloc_mib", e.buffer_alloc_bytes as f64 / MIB);
+    metrics.push("buffer_alloc_mib", e.buffer_alloc_bytes.mib());
     metrics.push("offchip_mib", e.offchip_mib());
     metrics.push("offchip_weight_share", e.weight_traffic_share());
     metrics.push("memory_stall_fraction", e.memory_stall_fraction);
@@ -444,7 +458,7 @@ fn evaluation_json(o: &EvaluationOutcome) -> Json {
             seg.push("last_layer", s.last + 1);
             seg.push("time_ms", s.time_s * 1e3);
             seg.push("utilization", s.utilization);
-            seg.push("traffic_mib", s.traffic() as f64 / MIB);
+            seg.push("traffic_mib", s.traffic().mib());
             seg.push("memory_bound", s.memory_s > s.compute_s);
             seg
         })
@@ -523,7 +537,10 @@ fn sample_json(o: &SampleOutcome) -> Json {
     root.push("metrics", metric_names(&o.metrics));
     root.push("hypervolume", o.hypervolume);
     root.push("front_size", o.front.len());
-    root.push("front", o.front.iter().map(summary_json).collect::<Vec<_>>());
+    root.push(
+        "front",
+        o.front.iter().map(summary_json).collect::<Vec<_>>(),
+    );
     root
 }
 
@@ -550,7 +567,10 @@ fn optimize_json(o: &OptimizeOutcome) -> Json {
     }
     root.push("best", best);
     root.push("front_size", o.front.len());
-    root.push("front", o.front.iter().map(summary_json).collect::<Vec<_>>());
+    root.push(
+        "front",
+        o.front.iter().map(summary_json).collect::<Vec<_>>(),
+    );
     root
 }
 
@@ -578,7 +598,9 @@ mod tests {
         let scenario = evaluate_scenario("mobilenetv2", "zc706");
         assert_eq!(session.cached_context_token(&scenario), None);
         let a = session.run(&scenario).unwrap();
-        let token = session.cached_context_token(&scenario).expect("context cached");
+        let token = session
+            .cached_context_token(&scenario)
+            .expect("context cached");
         let warm_memo = {
             // The parallelism memo was populated by the first run.
             let entry = &session.entries[0];
@@ -601,8 +623,12 @@ mod tests {
     #[test]
     fn distinct_contexts_do_not_collide() {
         let mut session = Session::new();
-        session.run(&evaluate_scenario("mobilenetv2", "zc706")).unwrap();
-        session.run(&evaluate_scenario("mobilenetv2", "vcu108")).unwrap();
+        session
+            .run(&evaluate_scenario("mobilenetv2", "zc706"))
+            .unwrap();
+        session
+            .run(&evaluate_scenario("mobilenetv2", "vcu108"))
+            .unwrap();
         let mut int16 = evaluate_scenario("mobilenetv2", "zc706");
         int16.precision = crate::fpga::Precision::INT16;
         session.run(&int16).unwrap();
@@ -633,10 +659,17 @@ mod tests {
         let scenario = Scenario::new(
             ModelSpec::Zoo("mobilenetv2".into()),
             BoardSpec::Builtin("zc706".into()),
-            Action::Sample { count: 40, metrics: SAMPLE_DEFAULT_METRICS.to_vec() },
+            Action::Sample {
+                count: 40,
+                metrics: SAMPLE_DEFAULT_METRICS.to_vec(),
+            },
         );
-        let Outcome::Front(a) = session.run(&scenario).unwrap() else { panic!() };
-        let Outcome::Front(b) = session.run(&scenario).unwrap() else { panic!() };
+        let Outcome::Front(a) = session.run(&scenario).unwrap() else {
+            panic!()
+        };
+        let Outcome::Front(b) = session.run(&scenario).unwrap() else {
+            panic!()
+        };
         assert_eq!(a, b);
         assert!(a.hypervolume > 0.0 && a.hypervolume <= 1.0);
         assert!(!a.front.is_empty());
@@ -655,8 +688,14 @@ mod tests {
             Action::Evaluate {
                 design: DesignSpec::Notation("{L1-Last: CE1-CE3}".into()),
             },
-            Action::Sweep { min_ces: 2, max_ces: 4 },
-            Action::Sample { count: 20, metrics: SAMPLE_DEFAULT_METRICS.to_vec() },
+            Action::Sweep {
+                min_ces: 2,
+                max_ces: 4,
+            },
+            Action::Sample {
+                count: 20,
+                metrics: SAMPLE_DEFAULT_METRICS.to_vec(),
+            },
             Action::Optimize {
                 metrics: vec![Metric::Throughput, Metric::OnChipBuffers],
                 budget: 200,
@@ -692,7 +731,10 @@ mod tests {
         let scenario = Scenario::new(
             crate::scenario::ModelSpec::Zoo("mobilenetv2".into()),
             crate::scenario::BoardSpec::Builtin("zc706".into()),
-            Action::Sample { count: 5, metrics: vec![] },
+            Action::Sample {
+                count: 5,
+                metrics: vec![],
+            },
         );
         match session.run(&scenario) {
             Err(Error::Scenario { field, .. }) => {

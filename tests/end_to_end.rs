@@ -3,7 +3,7 @@
 
 use mccm::arch::{notation, templates, MultipleCeBuilder};
 use mccm::cnn::zoo;
-use mccm::core::{CostModel, Metric};
+use mccm::core::{Bytes, CostModel, Metric};
 use mccm::fpga::FpgaBoard;
 use mccm::sim::{SimConfig, Simulator};
 
@@ -26,8 +26,8 @@ fn full_pipeline_for_every_model_and_board() {
                 );
                 assert_eq!(eval.layers.len(), model.conv_layer_count(), "{ctx}");
                 // Traffic decomposition is consistent at every level.
-                let seg: u64 = eval.segments.iter().map(|s| s.traffic()).sum();
-                let lay: u64 = eval.layers.iter().map(|l| l.traffic()).sum();
+                let seg: Bytes = eval.segments.iter().map(|s| s.traffic()).sum();
+                let lay: Bytes = eval.layers.iter().map(|l| l.traffic()).sum();
                 assert_eq!(seg, eval.offchip_bytes, "{ctx}");
                 assert_eq!(lay, eval.offchip_bytes, "{ctx}");
             }
@@ -71,7 +71,7 @@ fn simulator_validates_model_on_mixed_designs() {
         let acc = builder.build(&spec).unwrap();
         let eval = CostModel::evaluate(&acc);
         let r = sim.run_with_eval(&acc, &eval);
-        assert_eq!(r.offchip_bytes, eval.offchip_bytes, "{text}");
+        assert_eq!(r.offchip_bytes, eval.offchip_bytes.get(), "{text}");
         for rec in r.accuracy_records(&eval) {
             assert!(
                 rec.accuracy() >= 75.0,
@@ -95,7 +95,11 @@ fn single_ce_baseline_is_expressible() {
         assert_eq!(acc.ce_count(), 1);
         let eval = CostModel::evaluate(&acc);
         // Without coarse pipelining, throughput = 1/latency.
-        assert!((eval.throughput_fps * eval.latency_s - 1.0).abs() < 1e-9, "{}", model.name());
+        assert!(
+            (eval.throughput_fps * eval.latency_s - 1.0).abs() < 1e-9,
+            "{}",
+            model.name()
+        );
     }
 }
 
@@ -126,14 +130,26 @@ fn metrics_trade_off_across_architectures() {
     for arch in templates::Architecture::ALL {
         let best = (2..=11)
             .map(|k| {
-                let acc = builder.build(&arch.instantiate(&model, k).unwrap()).unwrap();
+                let acc = builder
+                    .build(&arch.instantiate(&model, k).unwrap())
+                    .unwrap();
                 CostModel::evaluate(&acc)
             })
-            .reduce(|a, b| if b.throughput_fps > a.throughput_fps { b } else { a })
+            .reduce(|a, b| {
+                if b.throughput_fps > a.throughput_fps {
+                    b
+                } else {
+                    a
+                }
+            })
             .unwrap();
         evals.push(best);
     }
-    for metric in [Metric::Latency, Metric::OnChipBuffers, Metric::OffChipAccesses] {
+    for metric in [
+        Metric::Latency,
+        Metric::OnChipBuffers,
+        Metric::OffChipAccesses,
+    ] {
         let vals: Vec<f64> = evals.iter().map(|e| metric.value(e)).collect();
         assert!(metric.best_index(&vals).is_some());
     }

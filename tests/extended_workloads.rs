@@ -26,10 +26,12 @@ fn vgg16_is_weight_traffic_bound() {
     let board = FpgaBoard::zcu102();
     let builder = MultipleCeBuilder::new(&model, &board);
     for arch in templates::Architecture::ALL {
-        let acc = builder.build(&arch.instantiate(&model, 4).unwrap()).unwrap();
+        let acc = builder
+            .build(&arch.instantiate(&model, 4).unwrap())
+            .unwrap();
         let eval = CostModel::evaluate(&acc);
         assert!(
-            eval.offchip_weight_bytes >= model.conv_weights(),
+            eval.offchip_weight_bytes.get() >= model.conv_weights(),
             "{arch}: every weight crosses the pins at least once"
         );
         assert!(eval.weight_traffic_share() > 0.5, "{arch}");
@@ -44,13 +46,15 @@ fn efficientnet_b0_full_stack_with_se_gates() {
     let sim = Simulator::new(SimConfig::default());
     for arch in templates::Architecture::ALL {
         for k in [2usize, 6, 11] {
-            let acc = builder.build(&arch.instantiate(&model, k).unwrap()).unwrap();
+            let acc = builder
+                .build(&arch.instantiate(&model, k).unwrap())
+                .unwrap();
             let eval = CostModel::evaluate(&acc);
             assert!(eval.latency_s > 0.0, "{arch} {k}");
             // The SE 1x1 convs over 1x1 spatial tensors must not break the
             // pipelined row scheduler (single-row layers).
             let r = sim.run_with_eval(&acc, &eval);
-            assert_eq!(r.offchip_bytes, eval.offchip_bytes, "{arch} {k}");
+            assert_eq!(r.offchip_bytes, eval.offchip_bytes.get(), "{arch} {k}");
             assert!(
                 r.latency_accuracy(&eval) > 55.0,
                 "{arch} {k}: latency accuracy {:.1}%",
@@ -62,8 +66,10 @@ fn efficientnet_b0_full_stack_with_se_gates() {
 
 #[test]
 fn extended_models_listed() {
-    let names: Vec<String> =
-        zoo::extended_models().iter().map(|m| m.name().to_string()).collect();
+    let names: Vec<String> = zoo::extended_models()
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
     assert_eq!(names, ["vgg16", "efficientnetb0"]);
     for m in zoo::extended_models() {
         assert_ne!(zoo::abbreviation(m.name()), "?");

@@ -32,10 +32,18 @@ fn summary_lane_matches_rich_lane_across_the_zoo() {
             let builder = MultipleCeBuilder::new(&model, &board);
             for arch in templates::Architecture::ALL {
                 for ces in [2usize, 4, 7, 11] {
-                    let ctx =
-                        format!("{} / {} / {ces} CEs / {}", model.name(), arch.name(), board.name);
-                    let Ok(spec) = arch.instantiate(&model, ces) else { continue };
-                    let Ok(acc) = builder.build(&spec) else { continue };
+                    let ctx = format!(
+                        "{} / {} / {ces} CEs / {}",
+                        model.name(),
+                        arch.name(),
+                        board.name
+                    );
+                    let Ok(spec) = arch.instantiate(&model, ces) else {
+                        continue;
+                    };
+                    let Ok(acc) = builder.build(&spec) else {
+                        continue;
+                    };
                     let rich = CostModel::evaluate(&acc).summary();
                     let fast = CostModel::evaluate_summary(&acc, &mut scratch);
                     assert_eq!(fast, rich, "{ctx}");
@@ -56,11 +64,78 @@ fn summary_lane_matches_rich_lane_on_seeded_custom_batches() {
         let mut scratch = EvalScratch::new();
         let space = CustomSpace::paper_range(model.conv_layer_count());
         for design in CustomSampler::new(space, 2024).sample_many(50) {
-            let Ok(spec) = design.to_spec(&model) else { continue };
-            let Ok(acc) = builder.build(&spec) else { continue };
+            let Ok(spec) = design.to_spec(&model) else {
+                continue;
+            };
+            let Ok(acc) = builder.build(&spec) else {
+                continue;
+            };
             let rich = CostModel::evaluate(&acc).summary();
             let fast = CostModel::evaluate_summary(&acc, &mut scratch);
             assert_eq!(fast, rich, "{} {design:?}", model.name());
+        }
+    }
+}
+
+#[test]
+fn typed_fields_are_bit_identical_across_lanes() {
+    // `EvalSummary: PartialEq` would accept `-0.0 == 0.0` on the float
+    // fields; the invariant is stronger — after the typed-quantity
+    // refactor the two lanes must still agree to the *bit* on every
+    // field, integer and float alike.
+    let mut scratch = EvalScratch::new();
+    for (model, board) in [
+        (zoo::xception(), FpgaBoard::vcu110()),
+        (zoo::mobilenet_v2(), FpgaBoard::zc706()),
+    ] {
+        let builder = MultipleCeBuilder::new(&model, &board);
+        for arch in templates::Architecture::ALL {
+            for ces in [2usize, 5, 9] {
+                let ctx = format!("{} / {} / {ces} CEs", model.name(), arch.name());
+                let Ok(spec) = arch.instantiate(&model, ces) else {
+                    continue;
+                };
+                let Ok(acc) = builder.build(&spec) else {
+                    continue;
+                };
+                let rich = CostModel::evaluate(&acc).summary();
+                let fast = CostModel::evaluate_summary(&acc, &mut scratch);
+                // Typed counting quantities: exact integer equality.
+                assert_eq!(fast.total_macs.get(), rich.total_macs.get(), "{ctx}");
+                assert_eq!(
+                    fast.buffer_req_bytes.get(),
+                    rich.buffer_req_bytes.get(),
+                    "{ctx}"
+                );
+                assert_eq!(
+                    fast.buffer_alloc_bytes.get(),
+                    rich.buffer_alloc_bytes.get(),
+                    "{ctx}"
+                );
+                assert_eq!(fast.offchip_bytes.get(), rich.offchip_bytes.get(), "{ctx}");
+                assert_eq!(
+                    fast.offchip_weight_bytes.get(),
+                    rich.offchip_weight_bytes.get(),
+                    "{ctx}"
+                );
+                assert_eq!(
+                    fast.offchip_fm_bytes.get(),
+                    rich.offchip_fm_bytes.get(),
+                    "{ctx}"
+                );
+                // Continuous quantities: identical down to the bit.
+                assert_eq!(fast.latency_s.to_bits(), rich.latency_s.to_bits(), "{ctx}");
+                assert_eq!(
+                    fast.throughput_fps.to_bits(),
+                    rich.throughput_fps.to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(
+                    fast.memory_stall_fraction.to_bits(),
+                    rich.memory_stall_fraction.to_bits(),
+                    "{ctx}"
+                );
+            }
         }
     }
 }
@@ -79,7 +154,9 @@ fn summary_sweep_equals_full_sweep_summaries() {
     }
     // And the parallel twin agrees for several worker counts.
     for workers in [2usize, 5] {
-        let (par, _) = explorer.par_sample_custom_summaries(120, 7, workers).unwrap();
+        let (par, _) = explorer
+            .par_sample_custom_summaries(120, 7, workers)
+            .unwrap();
         assert_eq!(par, lean, "workers = {workers}");
     }
 }

@@ -5,7 +5,7 @@
 
 use mccm::arch::{templates, MultipleCeBuilder};
 use mccm::cnn::zoo;
-use mccm::core::{CostModel, EnergyModel, EvalScratch, Metric};
+use mccm::core::{CostModel, EnergyModel, EvalScratch, Macs, Metric};
 use mccm::dse::{Explorer, GuidedFront, OptimizerConfig};
 use mccm::fpga::FpgaBoard;
 
@@ -15,7 +15,10 @@ fn front_fingerprint(f: &GuidedFront) -> Vec<(String, Vec<u64>)> {
         .map(|p| {
             (
                 p.summary.notation.clone(),
-                f.metrics.iter().map(|m| m.value(&p.summary).to_bits()).collect(),
+                f.metrics
+                    .iter()
+                    .map(|m| m.value(&p.summary).to_bits())
+                    .collect(),
             )
         })
         .collect()
@@ -89,20 +92,25 @@ fn energy_fast_lane_matches_full_lane_on_the_zoo_templates_grid() {
         let builder = MultipleCeBuilder::new(&model, &board);
         for arch in templates::Architecture::ALL {
             for ces in [2usize, 5] {
-                let Ok(spec) = arch.instantiate(&model, ces) else { continue };
-                let Ok(acc) = builder.build(&spec) else { continue };
+                let Ok(spec) = arch.instantiate(&model, ces) else {
+                    continue;
+                };
+                let Ok(acc) = builder.build(&spec) else {
+                    continue;
+                };
                 let rich = CostModel::evaluate(&acc);
                 let fast = CostModel::evaluate_summary(&acc, &mut scratch);
-                let full_estimate = energy.estimate(&rich, model.conv_macs());
+                let full_estimate = energy.estimate(&rich, Macs::new(model.conv_macs()));
                 let fast_estimate = energy.estimate_summary(&fast);
                 assert_eq!(
-                    full_estimate, fast_estimate,
+                    full_estimate,
+                    fast_estimate,
                     "{} {arch} {ces}",
                     model.name()
                 );
                 assert_eq!(
-                    full_estimate.total_j().to_bits(),
-                    fast_estimate.total_j().to_bits(),
+                    full_estimate.total_j().get().to_bits(),
+                    fast_estimate.total_j().get().to_bits(),
                     "{} {arch} {ces}",
                     model.name()
                 );

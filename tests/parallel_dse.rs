@@ -7,22 +7,22 @@
 use proptest::prelude::*;
 
 use mccm::cnn::zoo;
-use mccm::core::{EvalSummary, Metric};
-use mccm::dse::{par_pareto_indices, CustomSpace, Explorer, ExploreError, ParetoFront};
+use mccm::core::{Bytes, EvalSummary, Macs, Metric};
+use mccm::dse::{par_pareto_indices, CustomSpace, ExploreError, Explorer, ParetoFront};
 use mccm::fpga::FpgaBoard;
 
 fn summary(latency_ms: u64, fps: u64, buf: u64, traffic: u64) -> EvalSummary {
     EvalSummary {
         notation: String::new(),
         ce_count: 2,
-        total_macs: 0,
+        total_macs: Macs::ZERO,
         latency_s: latency_ms as f64 / 1e3,
         throughput_fps: fps as f64,
-        buffer_req_bytes: buf,
-        buffer_alloc_bytes: buf,
-        offchip_bytes: traffic,
-        offchip_weight_bytes: 0,
-        offchip_fm_bytes: 0,
+        buffer_req_bytes: Bytes::new(buf),
+        buffer_alloc_bytes: Bytes::new(buf),
+        offchip_bytes: Bytes::new(traffic),
+        offchip_weight_bytes: Bytes::ZERO,
+        offchip_fm_bytes: Bytes::ZERO,
         memory_stall_fraction: 0.0,
     }
 }
@@ -43,9 +43,7 @@ fn brute_force_front(points: &[EvalSummary], metrics: &[Metric]) -> Vec<usize> {
         strictly
     };
     (0..points.len())
-        .filter(|&i| {
-            !(0..points.len()).any(|j| j != i && dominates(&points[j], &points[i]))
-        })
+        .filter(|&i| !(0..points.len()).any(|j| j != i && dominates(&points[j], &points[i])))
         .collect()
 }
 
@@ -133,7 +131,11 @@ fn parallel_baseline_sweep_matches_serial() {
 fn exhaustive_tiny_space_is_complete_and_worker_invariant() {
     let model = zoo::mobilenet_v2();
     let explorer = Explorer::new(&model, &FpgaBoard::zc706());
-    let space = CustomSpace { layers: model.conv_layer_count(), min_ces: 2, max_ces: 3 };
+    let space = CustomSpace {
+        layers: model.conv_layer_count(),
+        min_ces: 2,
+        max_ces: 3,
+    };
     let serial = explorer.par_evaluate_space(&space, 1).unwrap();
     // Every enumerated design is distinct and the sweep covers the space
     // (minus infeasible designs).
@@ -143,7 +145,10 @@ fn exhaustive_tiny_space_is_complete_and_worker_invariant() {
     assert!(serial.len() as u128 <= space.size());
     assert!(!serial.is_empty());
     for workers in [2usize, 3, 8] {
-        assert_eq!(explorer.par_evaluate_space(&space, workers).unwrap(), serial);
+        assert_eq!(
+            explorer.par_evaluate_space(&space, workers).unwrap(),
+            serial
+        );
     }
 }
 
@@ -155,13 +160,18 @@ fn infeasible_heavy_spaces_error_instead_of_hanging() {
         let capped = if workers == 1 {
             explorer.sample_custom_capped(1_000, 2, 10).map(|(p, _)| p)
         } else {
-            explorer.par_sample_custom_capped(1_000, 2, workers, 10).map(|(p, _)| p)
+            explorer
+                .par_sample_custom_capped(1_000, 2, workers, 10)
+                .map(|(p, _)| p)
         };
         match capped {
             Err(ExploreError::AttemptsExhausted { wanted, got, .. }) => {
                 assert!(got < wanted);
             }
-            other => panic!("expected AttemptsExhausted, got {:?}", other.map(|p| p.len())),
+            other => panic!(
+                "expected AttemptsExhausted, got {:?}",
+                other.map(|p| p.len())
+            ),
         }
     }
 }

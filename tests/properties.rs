@@ -13,24 +13,26 @@ use mccm::sim::{SimConfig, Simulator};
 
 fn any_board() -> impl Strategy<Value = FpgaBoard> {
     (64u32..4096, 1u64..64, 1u64..64).prop_map(|(dsps, bram_dmib, bw_d)| {
-        FpgaBoard::new(
-            "prop",
-            dsps,
-            MiB(bram_dmib as f64 / 4.0),
-            bw_d as f64 / 2.0,
-        )
+        FpgaBoard::new("prop", dsps, MiB(bram_dmib as f64 / 4.0), bw_d as f64 / 2.0)
     })
 }
 
 fn any_model() -> impl Strategy<Value = mccm::cnn::CnnModel> {
-    (0u64..64, 4usize..24, prop_oneof![Just(32u32), Just(64), Just(96)]).prop_map(
-        |(seed, layers, size)| {
+    (
+        0u64..64,
+        4usize..24,
+        prop_oneof![Just(32u32), Just(64), Just(96)],
+    )
+        .prop_map(|(seed, layers, size)| {
             random_cnn(
                 seed,
-                &SyntheticConfig { conv_layers: layers, input_size: size, ..Default::default() },
+                &SyntheticConfig {
+                    conv_layers: layers,
+                    input_size: size,
+                    ..Default::default()
+                },
             )
-        },
-    )
+        })
 }
 
 proptest! {
@@ -88,10 +90,10 @@ proptest! {
             let Ok(acc) = MultipleCeBuilder::new(&model, &board).build(&spec) else { continue };
             let eval = CostModel::evaluate(&acc);
             prop_assert!(
-                eval.offchip_bytes <= last,
+                eval.offchip_bytes.get() <= last,
                 "accesses grew from {last} to {} at {bram} MiB", eval.offchip_bytes
             );
-            last = eval.offchip_bytes;
+            last = eval.offchip_bytes.get();
         }
     }
 
@@ -130,7 +132,7 @@ proptest! {
             let Ok(acc) = builder.build(&spec) else { continue };
             let eval = CostModel::evaluate(&acc);
             let r = sim.run_with_eval(&acc, &eval);
-            prop_assert_eq!(r.offchip_bytes, eval.offchip_bytes);
+            prop_assert_eq!(r.offchip_bytes, eval.offchip_bytes.get());
             prop_assert!(r.latency_s > 0.0);
         }
     }
@@ -149,7 +151,7 @@ proptest! {
             let Ok(acc) = builder.build(&spec) else { continue };
             let eval = CostModel::evaluate(&acc);
             prop_assert!(eval.throughput_fps.is_finite());
-            prop_assert!(eval.buffer_req_bytes > 0);
+            prop_assert!(!eval.buffer_req_bytes.is_zero());
         }
     }
 }

@@ -1,0 +1,91 @@
+//! Property tests for the dimensional-safety newtypes: the quantity
+//! operators must *saturate* instead of wrapping, agree with the
+//! `saturating_*` integer primitives everywhere, and report overflow
+//! honestly through the `checked_*` variants. A wrapped counter is the
+//! worst dimensional bug of all — a huge traffic total silently becoming
+//! a small, plausible one.
+
+use proptest::prelude::*;
+
+use mccm::core::quantity::{Bytes, Cycles, Macs};
+
+/// Mixes in-range magnitudes with values right at the `u64` ceiling so
+/// every case set exercises both the common path and saturation.
+fn magnitude() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..=1_000_000,
+        (0u64..=1024).prop_map(|k| u64::MAX - k),
+        (0u64..=63).prop_map(|s| 1u64 << s),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_saturates_like_the_primitive(a in magnitude(), b in magnitude()) {
+        prop_assert_eq!(
+            (Cycles::new(a) + Cycles::new(b)).get(),
+            a.saturating_add(b)
+        );
+        prop_assert_eq!((Bytes::new(a) + Bytes::new(b)).get(), a.saturating_add(b));
+        prop_assert_eq!((Macs::new(a) + Macs::new(b)).get(), a.saturating_add(b));
+    }
+
+    #[test]
+    fn sub_saturates_at_zero(a in magnitude(), b in magnitude()) {
+        prop_assert_eq!(
+            (Cycles::new(a) - Cycles::new(b)).get(),
+            a.saturating_sub(b)
+        );
+        prop_assert_eq!((Bytes::new(a) - Bytes::new(b)).get(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn mul_saturates_like_the_primitive(a in magnitude(), k in magnitude()) {
+        prop_assert_eq!((Cycles::new(a) * k).get(), a.saturating_mul(k));
+        prop_assert_eq!((Bytes::new(a) * k).get(), a.saturating_mul(k));
+        prop_assert_eq!((Macs::new(a) * k).get(), a.saturating_mul(k));
+    }
+
+    #[test]
+    fn checked_ops_report_overflow_honestly(a in magnitude(), b in magnitude()) {
+        prop_assert_eq!(
+            Cycles::new(a).checked_add(Cycles::new(b)).map(Cycles::get),
+            a.checked_add(b)
+        );
+        prop_assert_eq!(
+            Cycles::new(a).checked_sub(Cycles::new(b)).map(Cycles::get),
+            a.checked_sub(b)
+        );
+        prop_assert_eq!(
+            Bytes::new(a).checked_mul(b).map(Bytes::get),
+            a.checked_mul(b)
+        );
+    }
+
+    #[test]
+    fn accumulation_never_wraps_below_any_operand(a in magnitude(), b in magnitude()) {
+        // The property the model relies on: a sum of quantities is never
+        // smaller than either operand, even at the ceiling.
+        let sum = Bytes::new(a) + Bytes::new(b);
+        prop_assert!(sum >= Bytes::new(a));
+        prop_assert!(sum >= Bytes::new(b));
+    }
+
+    #[test]
+    fn ordering_and_display_match_the_raw_value(a in magnitude(), b in magnitude()) {
+        prop_assert_eq!(Cycles::new(a) <= Cycles::new(b), a <= b);
+        // Display is the bare integer: the typed refactor must not change
+        // a single byte of serialized output.
+        prop_assert_eq!(Bytes::new(a).to_string(), a.to_string());
+    }
+
+    #[test]
+    fn sum_of_iterator_saturates(values in (0usize..8, magnitude())) {
+        let (n, v) = values;
+        let total: Macs = std::iter::repeat_n(Macs::new(v), n).sum();
+        let expected = (0..n).fold(0u64, |acc, _| acc.saturating_add(v));
+        prop_assert_eq!(total.get(), expected);
+    }
+}

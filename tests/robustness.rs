@@ -4,7 +4,7 @@
 
 use mccm::arch::{notation, templates, ArchError, MultipleCeBuilder};
 use mccm::cnn::{zoo, CnnError, ConvSpec, ModelBuilder, Padding, TensorShape};
-use mccm::core::CostModel;
+use mccm::core::{Bytes, CostModel};
 use mccm::fpga::{FpgaBoard, MiB, Precision};
 use mccm::sim::{SimConfig, Simulator};
 
@@ -20,7 +20,7 @@ fn one_layer_model_works_end_to_end() {
     let eval = CostModel::evaluate(&acc);
     assert!(eval.latency_s > 0.0);
     let sim = Simulator::new(SimConfig::default()).run_with_eval(&acc, &eval);
-    assert_eq!(sim.offchip_bytes, eval.offchip_bytes);
+    assert_eq!(sim.offchip_bytes, eval.offchip_bytes.get());
 }
 
 #[test]
@@ -43,10 +43,16 @@ fn notation_referencing_missing_layers_rejected() {
     let builder = MultipleCeBuilder::new(&model, &board);
     // 52 layers; L60 is out of range.
     let spec = notation::parse("{L1-L60: CE1}").unwrap();
-    assert!(matches!(builder.build(&spec), Err(ArchError::BadLayerRange { .. })));
+    assert!(matches!(
+        builder.build(&spec),
+        Err(ArchError::BadLayerRange { .. })
+    ));
     // Gap between assignments.
     let spec = notation::parse("{L1-L10: CE1, L20-Last: CE2}").unwrap();
-    assert!(matches!(builder.build(&spec), Err(ArchError::NonContiguousCoverage { .. })));
+    assert!(matches!(
+        builder.build(&spec),
+        Err(ArchError::NonContiguousCoverage { .. })
+    ));
 }
 
 #[test]
@@ -56,9 +62,15 @@ fn starved_board_still_evaluates() {
     let model = zoo::resnet50();
     let starved = FpgaBoard::new("starved", 16, MiB(0.0625), 0.1);
     let builder = MultipleCeBuilder::new(&model, &starved);
-    let acc = builder.build(&templates::segmented(&model, 2).unwrap()).unwrap();
+    let acc = builder
+        .build(&templates::segmented(&model, 2).unwrap())
+        .unwrap();
     let eval = CostModel::evaluate(&acc);
-    assert!(eval.latency_s > 1.0, "a starved board should be slow: {}", eval.latency_s);
+    assert!(
+        eval.latency_s > 1.0,
+        "a starved board should be slow: {}",
+        eval.latency_s
+    );
     assert!(eval.offchip_bytes > CostModel::minimum_offchip_bytes(&acc));
     assert!(eval.memory_stall_fraction > 0.0);
 }
@@ -71,7 +83,9 @@ fn luxurious_board_reaches_minimum_traffic() {
     let lux = FpgaBoard::new("lux", 4096, MiB(512.0), 25.6);
     let builder = MultipleCeBuilder::new(&model, &lux);
     for arch in templates::Architecture::ALL {
-        let acc = builder.build(&arch.instantiate(&model, 4).unwrap()).unwrap();
+        let acc = builder
+            .build(&arch.instantiate(&model, 4).unwrap())
+            .unwrap();
         let eval = CostModel::evaluate(&acc);
         let min = CostModel::minimum_offchip_bytes(&acc);
         // SegmentedRR still spills its round handoffs by design; the
@@ -96,7 +110,7 @@ fn int16_doubles_minimum_traffic() {
         .unwrap();
     assert_eq!(
         CostModel::minimum_offchip_bytes(&acc16),
-        2 * CostModel::minimum_offchip_bytes(&acc8)
+        CostModel::minimum_offchip_bytes(&acc8) * 2
     );
 }
 
@@ -117,7 +131,9 @@ fn simulator_handles_zero_overhead_and_heavy_overhead() {
     let model = zoo::mobilenet_v2();
     let board = FpgaBoard::vcu108();
     let builder = MultipleCeBuilder::new(&model, &board);
-    let acc = builder.build(&templates::segmented_rr(&model, 3).unwrap()).unwrap();
+    let acc = builder
+        .build(&templates::segmented_rr(&model, 3).unwrap())
+        .unwrap();
     let eval = CostModel::evaluate(&acc);
 
     let ideal = Simulator::new(SimConfig::ideal()).run_with_eval(&acc, &eval);
@@ -127,7 +143,10 @@ fn simulator_handles_zero_overhead_and_heavy_overhead() {
         ..SimConfig::default()
     })
     .run_with_eval(&acc, &eval);
-    assert!(heavy.latency_s > 2.0 * ideal.latency_s, "heavy overheads must show");
+    assert!(
+        heavy.latency_s > 2.0 * ideal.latency_s,
+        "heavy overheads must show"
+    );
     assert_eq!(heavy.offchip_bytes, ideal.offchip_bytes);
 }
 
@@ -149,7 +168,9 @@ fn weight_compression_scales_traffic_and_stays_sim_consistent() {
     let model = zoo::resnet50();
     let board = FpgaBoard::zc706();
     let builder = MultipleCeBuilder::new(&model, &board);
-    let acc = builder.build(&templates::segmented_rr(&model, 2).unwrap()).unwrap();
+    let acc = builder
+        .build(&templates::segmented_rr(&model, 2).unwrap())
+        .unwrap();
     let base = CostModel::evaluate(&acc);
 
     let all: Vec<usize> = (0..acc.convs.len()).collect();
@@ -158,14 +179,16 @@ fn weight_compression_scales_traffic_and_stays_sim_consistent() {
 
     // Compression halves weight traffic (up to per-layer rounding) and
     // never increases latency.
-    assert!(comp.offchip_weight_bytes <= base.offchip_weight_bytes / 2 + all.len() as u64);
+    assert!(
+        comp.offchip_weight_bytes <= base.offchip_weight_bytes / 2 + Bytes::new(all.len() as u64)
+    );
     assert!(comp.latency_s <= base.latency_s);
     // FM traffic is untouched.
     assert_eq!(comp.offchip_fm_bytes, base.offchip_fm_bytes);
 
     // The reference simulator sees the same compressed traffic.
     let sim = Simulator::new(SimConfig::default()).run_with_eval(&acc_c, &comp);
-    assert_eq!(sim.offchip_bytes, comp.offchip_bytes);
+    assert_eq!(sim.offchip_bytes, comp.offchip_bytes.get());
 
     // Buffer requirements are unchanged: weights decompress on-chip.
     assert_eq!(comp.buffer_req_bytes, base.buffer_req_bytes);
@@ -176,6 +199,8 @@ fn weight_compression_scales_traffic_and_stays_sim_consistent() {
 fn compression_ratio_validated() {
     let model = zoo::mobilenet_v2();
     let builder = MultipleCeBuilder::new(&model, &FpgaBoard::zc706());
-    let acc = builder.build(&templates::hybrid(&model, 3).unwrap()).unwrap();
+    let acc = builder
+        .build(&templates::hybrid(&model, 3).unwrap())
+        .unwrap();
     let _ = acc.with_weight_compression(&[0], 1.5);
 }

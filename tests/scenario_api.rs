@@ -76,7 +76,10 @@ fn metric_subset(mask: u32) -> Vec<Metric> {
 fn any_action() -> impl Strategy<Value = Action> {
     prop_oneof![
         (0usize..3, 1usize..12).prop_map(|(arch, ces)| Action::Evaluate {
-            design: DesignSpec::Template { architecture: Architecture::ALL[arch], ces },
+            design: DesignSpec::Template {
+                architecture: Architecture::ALL[arch],
+                ces
+            },
         }),
         Just(Action::Evaluate {
             design: DesignSpec::Notation("{L1-L4: CE1-CE4, L5-Last: CE5}".into()),
@@ -89,30 +92,45 @@ fn any_action() -> impl Strategy<Value = Action> {
             count,
             metrics: metric_subset(mask),
         }),
-        ((1u64..100_000, 4usize..64, 1usize..8), (1usize..16, 0u32..101, 1u32..32)).prop_map(
-            |((budget, population, islands), (interval, prob, mask))| Action::Optimize {
-                metrics: metric_subset(mask),
-                budget,
-                population,
-                islands,
-                migration_interval: interval,
-                migrants: 2,
-                crossover_prob: f64::from(prob) / 100.0,
-            }
-        ),
+        (
+            (1u64..100_000, 4usize..64, 1usize..8),
+            (1usize..16, 0u32..101, 1u32..32)
+        )
+            .prop_map(|((budget, population, islands), (interval, prob, mask))| {
+                Action::Optimize {
+                    metrics: metric_subset(mask),
+                    budget,
+                    population,
+                    islands,
+                    migration_interval: interval,
+                    migrants: 2,
+                    crossover_prob: f64::from(prob) / 100.0,
+                }
+            }),
     ]
 }
 
 fn any_scenario() -> impl Strategy<Value = Scenario> {
-    (any_model(), any_board(), any_action(), (1usize..64, 0u64..1_000_000, 0usize..16, 0usize..2))
-        .prop_map(|(model, board, action, (batch, seed, workers, precision))| {
-            let mut s = Scenario::new(model, board, action);
-            s.batch = batch;
-            s.seed = seed;
-            s.workers = workers;
-            s.precision = if precision == 0 { Precision::INT8 } else { Precision::INT16 };
-            s
-        })
+    (
+        any_model(),
+        any_board(),
+        any_action(),
+        (1usize..64, 0u64..1_000_000, 0usize..16, 0usize..2),
+    )
+        .prop_map(
+            |(model, board, action, (batch, seed, workers, precision))| {
+                let mut s = Scenario::new(model, board, action);
+                s.batch = batch;
+                s.seed = seed;
+                s.workers = workers;
+                s.precision = if precision == 0 {
+                    Precision::INT8
+                } else {
+                    Precision::INT16
+                };
+                s
+            },
+        )
 }
 
 proptest! {
@@ -151,15 +169,23 @@ fn golden_files_cover_all_four_actions_and_round_trip() {
 #[test]
 fn golden_scenarios_execute_through_one_session() {
     let mut session = Session::new();
-    for file in ["golden_evaluate.json", "golden_sweep.json", "golden_sample.json",
-                 "golden_optimize.json"]
-    {
+    for file in [
+        "golden_evaluate.json",
+        "golden_sweep.json",
+        "golden_sample.json",
+        "golden_optimize.json",
+    ] {
         let scenario = Scenario::from_json_str(&read_scenario(file)).unwrap();
-        let outcome = session.run(&scenario).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let outcome = session
+            .run(&scenario)
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
         assert_eq!(outcome.action(), scenario.action.name(), "{file}");
         // The outcome JSON is parseable and self-describing.
         let json = Json::parse(&outcome.to_json_string()).unwrap();
-        assert_eq!(json.get("action").and_then(Json::as_str), Some(scenario.action.name()));
+        assert_eq!(
+            json.get("action").and_then(Json::as_str),
+            Some(scenario.action.name())
+        );
     }
     // Four distinct contexts → no hits; sample and optimize share
     // (mobilenetv2, zc706, int8, batch 1) → one hit.
@@ -178,14 +204,20 @@ fn malformed_scenarios_fail_with_named_fields() {
         let err = Scenario::from_json_str(&read_scenario(file))
             .expect_err(file)
             .to_string();
-        assert!(err.contains(needle), "{file}: `{err}` should contain `{needle}`");
+        assert!(
+            err.contains(needle),
+            "{file}: `{err}` should contain `{needle}`"
+        );
     }
 }
 
 #[test]
 fn malformed_inline_inputs_name_the_problem() {
     let cases = [
-        (r#"{"board": {"builtin": "zc706"}, "action": {"sweep": {}}}"#, "model"),
+        (
+            r#"{"board": {"builtin": "zc706"}, "action": {"sweep": {}}}"#,
+            "model",
+        ),
         (
             r#"{"model": {"zoo": "xception"}, "board": {"builtin": "vcu9000"},
                 "action": {"sweep": {}}}"#,
@@ -240,11 +272,21 @@ fn warmed_session_reevaluates_without_rebuilding_the_context() {
         (0, 1),
         "first run constructs the context"
     );
-    let token = session.cached_context_token(&scenario).expect("context cached");
+    let token = session
+        .cached_context_token(&scenario)
+        .expect("context cached");
     for round in 1..=5u64 {
         let outcome = session.run(&scenario).unwrap();
-        assert_eq!(session.stats().hits, round, "round {round} must be a cache hit");
-        assert_eq!(session.stats().misses, 1, "no context is ever reconstructed");
+        assert_eq!(
+            session.stats().hits,
+            round,
+            "round {round} must be a cache hit"
+        );
+        assert_eq!(
+            session.stats().misses,
+            1,
+            "no context is ever reconstructed"
+        );
         assert_eq!(
             session.cached_context_token(&scenario),
             Some(token),
@@ -259,7 +301,9 @@ fn warmed_session_reevaluates_without_rebuilding_the_context() {
             "action": {"sample": {"count": 10}}}"#,
     )
     .unwrap();
-    let Outcome::Front(front) = session.run(&sample).unwrap() else { panic!() };
+    let Outcome::Front(front) = session.run(&sample).unwrap() else {
+        panic!()
+    };
     assert!(!front.front.is_empty());
     assert_eq!(session.stats().misses, 1);
     assert_eq!(session.stats().hits, 6);

@@ -38,22 +38,50 @@ fn run_matches_legacy_subcommands_byte_for_byte() {
         (
             "sweep.json",
             vec![
-                "sweep", "--model", "mobilenetv2", "--board", "zcu102", "--min-ces", "2",
-                "--max-ces", "11", "--json",
+                "sweep",
+                "--model",
+                "mobilenetv2",
+                "--board",
+                "zcu102",
+                "--min-ces",
+                "2",
+                "--max-ces",
+                "11",
+                "--json",
             ],
         ),
         (
             "sample.json",
             vec![
-                "explore", "--model", "mobilenetv2", "--board", "zc706", "--samples", "300",
-                "--seed", "1", "--json",
+                "explore",
+                "--model",
+                "mobilenetv2",
+                "--board",
+                "zc706",
+                "--samples",
+                "300",
+                "--seed",
+                "1",
+                "--json",
             ],
         ),
         (
             "optimize.json",
             vec![
-                "optimize", "--model", "mobilenetv2", "--board", "vcu108", "--budget", "300",
-                "--population", "16", "--islands", "2", "--seed", "1", "--json",
+                "optimize",
+                "--model",
+                "mobilenetv2",
+                "--board",
+                "vcu108",
+                "--budget",
+                "300",
+                "--population",
+                "16",
+                "--islands",
+                "2",
+                "--seed",
+                "1",
+                "--json",
             ],
         ),
     ];
@@ -86,7 +114,10 @@ fn set_overrides_change_the_executed_scenario() {
     .unwrap();
     assert_ne!(base, overridden);
     let parsed = Json::parse(&overridden).unwrap();
-    assert_eq!(parsed.get("model").and_then(Json::as_str), Some("mobilenetv2"));
+    assert_eq!(
+        parsed.get("model").and_then(Json::as_str),
+        Some("mobilenetv2")
+    );
     assert_eq!(parsed.get("ce_count").and_then(Json::as_usize), Some(5));
     // Identical invocations are byte-identical (determinism).
     assert_eq!(base, run_cli(&["run", &path]).unwrap());
@@ -106,7 +137,15 @@ fn batch_mode_runs_a_directory_with_any_worker_count() {
         .iter()
         .map(|e| e.get("file").and_then(Json::as_str).unwrap())
         .collect();
-    assert_eq!(names, ["evaluate.json", "optimize.json", "sample.json", "sweep.json"]);
+    assert_eq!(
+        names,
+        [
+            "evaluate.json",
+            "optimize.json",
+            "sample.json",
+            "sweep.json"
+        ]
+    );
     for entry in entries {
         assert!(entry.get("outcome").is_some(), "{entry}");
     }
@@ -126,15 +165,21 @@ fn batch_mode_reports_per_file_errors_and_fails() {
     )
     .unwrap();
     std::fs::write(tmp.join("broken.json"), "{ not json").unwrap();
-    let args: Vec<String> =
-        ["run", "--batch", tmp.to_str().unwrap()].iter().map(|s| s.to_string()).collect();
+    let args: Vec<String> = ["run", "--batch", tmp.to_str().unwrap()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut out = Vec::new();
     let err = main_with_args(&args, &mut out).expect_err("one scenario is broken");
     assert!(err.to_string().contains("1 of 2"), "{err}");
     let parsed = Json::parse(&String::from_utf8(out).unwrap()).unwrap();
     assert_eq!(parsed.get("failures").and_then(Json::as_u64), Some(1));
     let entries = parsed.get("batch").and_then(Json::as_array).unwrap();
-    assert!(entries[0].get("error").and_then(Json::as_str).unwrap().contains("JSON"));
+    assert!(entries[0]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("JSON"));
     assert!(entries[1].get("outcome").is_some());
     std::fs::remove_dir_all(&tmp).ok();
 }
@@ -142,20 +187,26 @@ fn batch_mode_reports_per_file_errors_and_fails() {
 #[test]
 fn unknown_and_duplicate_flags_are_regression_locked() {
     // Unknown flag: named, with the command and its real flags listed.
-    let err = run_cli(&["explore", "--model", "xception", "--board", "vcu110", "--sample", "5"])
-        .unwrap_err()
-        .to_string();
+    let err = run_cli(&[
+        "explore", "--model", "xception", "--board", "vcu110", "--sample", "5",
+    ])
+    .unwrap_err()
+    .to_string();
     assert!(err.contains("unknown flag `--sample`"), "{err}");
     assert!(err.contains("--samples"), "suggests the real flags: {err}");
     // Duplicate flag: named.
-    let err = run_cli(&["sweep", "--model", "vgg16", "--model", "vgg16", "--board", "zc706"])
-        .unwrap_err()
-        .to_string();
+    let err = run_cli(&[
+        "sweep", "--model", "vgg16", "--model", "vgg16", "--board", "zc706",
+    ])
+    .unwrap_err()
+    .to_string();
     assert!(err.contains("duplicate flag `--model`"), "{err}");
     // Repeatable --set is exempt from duplicate rejection (covered by
     // set_overrides_change_the_executed_scenario), but unknown flags in
     // `run` still reject.
-    let err = run_cli(&["run", "x.json", "--sets", "a=1"]).unwrap_err().to_string();
+    let err = run_cli(&["run", "x.json", "--sets", "a=1"])
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("unknown flag `--sets`"), "{err}");
     // Missing value.
     let err = run_cli(&["optimize", "--model"]).unwrap_err().to_string();
@@ -166,8 +217,12 @@ fn unknown_and_duplicate_flags_are_regression_locked() {
 fn run_requires_exactly_one_scenario_file() {
     let err = run_cli(&["run"]).unwrap_err().to_string();
     assert!(err.contains("scenario file"), "{err}");
-    let err = run_cli(&["run", "a.json", "b.json"]).unwrap_err().to_string();
+    let err = run_cli(&["run", "a.json", "b.json"])
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("exactly one"), "{err}");
-    let err = run_cli(&["run", "/nonexistent/scenario.json"]).unwrap_err().to_string();
+    let err = run_cli(&["run", "/nonexistent/scenario.json"])
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("reading scenario"), "{err}");
 }

@@ -20,16 +20,26 @@ fn every_model_builds_on_every_template() {
             let builder = MultipleCeBuilder::new(&model, &board);
             for arch in templates::Architecture::ALL {
                 for ces in [2usize, 4, 7] {
-                    let ctx = format!("{} / {} / {ces} CEs / {}", model.name(), arch.name(), board.name);
+                    let ctx = format!(
+                        "{} / {} / {ces} CEs / {}",
+                        model.name(),
+                        arch.name(),
+                        board.name
+                    );
                     let spec = arch
                         .instantiate(&model, ces)
                         .unwrap_or_else(|e| panic!("instantiate failed for {ctx}: {e}"));
-                    let acc = builder.build(&spec).unwrap_or_else(|e| panic!("build failed for {ctx}: {e}"));
+                    let acc = builder
+                        .build(&spec)
+                        .unwrap_or_else(|e| panic!("build failed for {ctx}: {e}"));
                     assert_eq!(acc.ce_count(), ces, "{ctx}");
                     let eval = CostModel::evaluate(&acc);
                     assert!(eval.latency_s > 0.0, "{ctx}: non-positive latency");
                     assert!(eval.throughput_fps > 0.0, "{ctx}: non-positive throughput");
-                    assert!(eval.buffer_req_bytes > 0, "{ctx}: zero buffer requirement");
+                    assert!(
+                        !eval.buffer_req_bytes.is_zero(),
+                        "{ctx}: zero buffer requirement"
+                    );
                 }
             }
         }
@@ -58,6 +68,11 @@ fn zoo_lookup_covers_every_exported_model() {
         let found = zoo::by_name(model.name())
             .unwrap_or_else(|| panic!("{} missing from zoo::by_name", model.name()));
         assert_eq!(found.name(), model.name());
-        assert_ne!(zoo::abbreviation(model.name()), "?", "{} has no abbreviation", model.name());
+        assert_ne!(
+            zoo::abbreviation(model.name()),
+            "?",
+            "{} has no abbreviation",
+            model.name()
+        );
     }
 }

@@ -26,12 +26,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id from a function name and a parameter value.
     pub fn new(function: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
-        Self { id: format!("{}/{}", function.into(), parameter) }
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
     }
 
     /// Creates an id from a parameter value alone.
     pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -97,11 +101,17 @@ fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
             format!("  ({:.0} elem/s)", n as f64 * 1e9 / b.mean_ns.max(1.0))
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  ({:.1} MiB/s)", n as f64 * 1e9 / b.mean_ns.max(1.0) / (1 << 20) as f64)
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 * 1e9 / b.mean_ns.max(1.0) / (1 << 20) as f64
+            )
         }
         None => String::new(),
     };
-    println!("{id:<60} {:>14.1} ns/iter  [{} iters]{rate}", b.mean_ns, b.iters);
+    println!(
+        "{id:<60} {:>14.1} ns/iter  [{} iters]{rate}",
+        b.mean_ns, b.iters
+    );
 }
 
 /// Top-level benchmark driver.
@@ -125,7 +135,11 @@ impl Criterion {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 
@@ -162,7 +176,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark with an explicit input.
-    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -207,7 +226,9 @@ mod tests {
         let mut g = c.benchmark_group("grp");
         g.sample_size(10);
         g.throughput(Throughput::Elements(4));
-        g.bench_function(BenchmarkId::from_parameter(4), |b| b.iter(|| (0..4).sum::<u64>()));
+        g.bench_function(BenchmarkId::from_parameter(4), |b| {
+            b.iter(|| (0..4).sum::<u64>())
+        });
         g.finish();
     }
 

@@ -150,7 +150,9 @@ pub mod strategy {
         /// Starts a union from one strategy (used by `prop_oneof!`; the
         /// generic bound lets integer-literal types unify across arms).
         pub fn of<S: DynStrategy<Value = V> + 'static>(s: S) -> Self {
-            Self { choices: vec![Box::new(s)] }
+            Self {
+                choices: vec![Box::new(s)],
+            }
         }
 
         /// Adds another equally-weighted choice.
@@ -349,7 +351,10 @@ macro_rules! prop_assert_eq {
         $crate::prop_assert!(
             *l == *r,
             "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
-            stringify!($left), stringify!($right), l, r
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
         );
     }};
 }
@@ -362,7 +367,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

@@ -119,7 +119,14 @@ pub mod rngs {
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
-            Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
         }
     }
 
@@ -186,7 +193,10 @@ pub mod seq {
         /// # Panics
         /// If `amount > length`.
         pub fn sample<R: RngCore>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
-            assert!(amount <= length, "cannot sample {amount} of {length} indices");
+            assert!(
+                amount <= length,
+                "cannot sample {amount} of {length} indices"
+            );
             let mut pool: Vec<usize> = (0..length).collect();
             let mut out = Vec::with_capacity(amount);
             for i in 0..amount {
@@ -225,7 +235,10 @@ mod tests {
             let v: usize = rng.random_range(0..10);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all of 0..10 should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of 0..10 should appear in 1000 draws"
+        );
         for _ in 0..1000 {
             let v: u64 = rng.random_range(5..=7);
             assert!((5..=7).contains(&v));
