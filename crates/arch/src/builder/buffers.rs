@@ -26,7 +26,47 @@ use mccm_cnn::ConvInfo;
 use mccm_fpga::Precision;
 
 use crate::engine::{CeRole, ComputeEngine};
-use crate::spec::Segment;
+use crate::spec::{Executor, Segment};
+
+/// On-chip bytes a depth-first fuse group `first..=last` needs to execute
+/// without spilling intermediates: every fused layer's (decompressed)
+/// weights resident simultaneously, a line buffer of `K` input rows per
+/// fused layer, and a double-buffered output row for the group's last
+/// layer.
+///
+/// This is the single definition of the fused working set — the buffer
+/// planner sizes depth-first CEs by it and the cost model checks fusion
+/// feasibility against it, so the two can never disagree.
+pub fn fused_group_bytes(
+    convs: &[ConvInfo],
+    first: usize,
+    last: usize,
+    precision: Precision,
+) -> u64 {
+    let weights: u64 = convs[first..=last]
+        .iter()
+        .map(|l| precision.weight_size(l.weights))
+        .sum();
+    let line_elements: u64 = convs[first..=last]
+        .iter()
+        .map(|l| u64::from(l.spec.kernel.0) * l.ifm.row_elements())
+        .sum();
+    let out_elements = 2 * convs[last].ofm.row_elements();
+    weights + precision.activation_size(line_elements + out_elements)
+}
+
+/// The consecutive fuse groups a depth-first segment `first..=last` splits
+/// into: chunks of `fuse_depth` layers, the last possibly shorter.
+pub fn fuse_groups(
+    first: usize,
+    last: usize,
+    fuse_depth: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let depth = fuse_depth.max(1);
+    (first..=last)
+        .step_by(depth)
+        .map(move |lo| (lo, (lo + depth - 1).min(last)))
+}
 
 /// Buffer allocation for one compute engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,6 +232,26 @@ pub fn plan_buffers(
         })
         .collect();
 
+    // Depth-first CEs additionally want every fuse group's working set
+    // (group weights + line buffers) resident; raise their ideal so
+    // generous BRAM lets every group fuse. The layer-by-layer ideal stays
+    // the floor — infeasible groups fall back to per-layer execution with
+    // streaming tiles. Fuse depth 1 is layer-by-layer and changes nothing.
+    for seg in segments {
+        let Executor::SingleCe(ce) = &seg.executor else {
+            continue;
+        };
+        let ce = *ce;
+        if seg.schedule.fuse_depth() <= 1 {
+            continue;
+        }
+        let fused_need = fuse_groups(seg.first, seg.last, seg.schedule.fuse_depth())
+            .map(|(lo, hi)| fused_group_bytes(convs, lo, hi, precision))
+            .max()
+            .unwrap_or(0);
+        allocs[ce].ideal_bytes = allocs[ce].ideal_bytes.max(fused_need);
+    }
+
     // Inter-segment handoffs.
     let mut inter: Vec<InterSegmentBuffer> = segments
         .windows(2)
@@ -313,7 +373,7 @@ pub fn plan_buffers(
 mod tests {
     use super::*;
     use crate::engine::Parallelism;
-    use crate::spec::Executor;
+    use crate::spec::{Executor, Schedule};
     use mccm_cnn::zoo;
 
     fn single_ce(id: usize, layers: Vec<usize>) -> ComputeEngine {
@@ -322,6 +382,7 @@ mod tests {
             pes: 64,
             parallelism: Parallelism::spatial(8, 2, 4),
             role: CeRole::Single,
+            schedule: Schedule::LayerByLayer,
             layers,
         }
     }
@@ -332,6 +393,7 @@ mod tests {
             pes: 64,
             parallelism: Parallelism::spatial(8, 2, 4),
             role: CeRole::Pipelined,
+            schedule: Schedule::LayerByLayer,
             layers,
         }
     }
@@ -342,12 +404,14 @@ mod tests {
         let n = convs.len();
         let segments = vec![
             Segment {
+                schedule: Schedule::LayerByLayer,
                 index: 0,
                 first: 0,
                 last: 9,
                 executor: Executor::SingleCe(0),
             },
             Segment {
+                schedule: Schedule::LayerByLayer,
                 index: 1,
                 first: 10,
                 last: n - 1,
@@ -404,6 +468,7 @@ mod tests {
         let m = zoo::mobilenet_v2();
         let convs = m.conv_view();
         let segments = vec![Segment {
+            schedule: Schedule::LayerByLayer,
             index: 0,
             first: 0,
             last: 1,
@@ -427,12 +492,14 @@ mod tests {
         let n = convs.len();
         let segments = vec![
             Segment {
+                schedule: Schedule::LayerByLayer,
                 index: 0,
                 first: 0,
                 last: 9,
                 executor: Executor::SingleCe(0),
             },
             Segment {
+                schedule: Schedule::LayerByLayer,
                 index: 1,
                 first: 10,
                 last: n - 1,
@@ -461,12 +528,14 @@ mod tests {
         let convs = m.conv_view();
         let segments = vec![
             Segment {
+                schedule: Schedule::LayerByLayer,
                 index: 0,
                 first: 0,
                 last: 1,
                 executor: Executor::PipelinedCes(vec![0, 1]),
             },
             Segment {
+                schedule: Schedule::LayerByLayer,
                 index: 1,
                 first: 2,
                 last: 3,

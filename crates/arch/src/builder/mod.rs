@@ -7,7 +7,7 @@ mod buffers;
 mod parallelism;
 mod pe_alloc;
 
-pub use buffers::{BufferPlan, CeBufferAlloc, InterSegmentBuffer};
+pub use buffers::{fuse_groups, fused_group_bytes, BufferPlan, CeBufferAlloc, InterSegmentBuffer};
 pub use parallelism::{select_parallelism, select_row_parallelism};
 pub use pe_alloc::distribute_pes;
 
@@ -20,7 +20,7 @@ use mccm_fpga::{FpgaBoard, Precision};
 use crate::accelerator::BuiltAccelerator;
 use crate::engine::{CeRole, ComputeEngine, Parallelism};
 use crate::error::ArchError;
-use crate::spec::{AcceleratorSpec, BlockSpec, Segment};
+use crate::spec::{AcceleratorSpec, BlockSpec, Schedule, Segment};
 
 /// How the DSP budget is split across engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,10 +47,13 @@ pub struct BuilderOptions {
 }
 
 /// Memo key of one parallelism search: PE budget, whether OFM-row
-/// parallelism is allowed, and the exact layer set the CE processes. The
-/// CNN itself is fixed per [`BuildContext`], so this key captures every
-/// input of the search.
-type ParKey = (u32, bool, Vec<usize>);
+/// parallelism is allowed, the CE's schedule, and the exact layer set the
+/// CE processes. The CNN itself is fixed per [`BuildContext`], so this key
+/// captures every input of the search. (The search itself is
+/// schedule-independent today — fused groups run the same loop nest — but
+/// the schedule is part of the key so a future schedule-aware search
+/// cannot silently alias cache entries across schedules.)
+type ParKey = (u32, bool, Schedule, Vec<usize>);
 
 /// Upper bound on memoized search results per build context. The PE
 /// budget in the key depends on the whole design's workload split, so a
@@ -194,14 +197,20 @@ impl MultipleCeBuilder {
     /// Memoized per-CE parallelism selection: cache hit for layer sets
     /// (and PE budgets) seen in any earlier build of this builder or its
     /// clones; otherwise the precomputed-grid search.
-    fn parallelism_for(&self, pes: u32, layers: &[usize], allow_rows: bool) -> Parallelism {
+    fn parallelism_for(
+        &self,
+        pes: u32,
+        layers: &[usize],
+        allow_rows: bool,
+        schedule: Schedule,
+    ) -> Parallelism {
         if layers.is_empty() || pes <= 1 {
             return Parallelism::scalar();
         }
         if !self.memoize {
             return self.search_parallelism(pes, layers, allow_rows);
         }
-        let key: ParKey = (pes, allow_rows, layers.to_vec());
+        let key: ParKey = (pes, allow_rows, schedule, layers.to_vec());
         if let Some(p) = self.ctx.memo.read().expect("memo poisoned").get(&key) {
             return *p;
         }
@@ -234,13 +243,18 @@ impl MultipleCeBuilder {
             });
         }
 
-        // Roles from the spec (validated consistent by `segments`).
+        // Roles and schedules from the spec (validated consistent by
+        // `segments`).
         let mut roles = vec![CeRole::Single; n_ces];
+        let mut schedules = vec![Schedule::LayerByLayer; n_ces];
         for a in &spec.assignments {
-            if let BlockSpec::Pipelined { first_ce, last_ce } = a.block {
-                for r in roles.iter_mut().take(last_ce + 1).skip(first_ce) {
-                    *r = CeRole::Pipelined;
+            match a.block {
+                BlockSpec::Pipelined { first_ce, last_ce } => {
+                    for r in roles.iter_mut().take(last_ce + 1).skip(first_ce) {
+                        *r = CeRole::Pipelined;
+                    }
                 }
+                BlockSpec::Single(ce) => schedules[ce] = a.schedule,
             }
         }
 
@@ -266,12 +280,13 @@ impl MultipleCeBuilder {
                     CeRole::Single => true,
                     CeRole::Pipelined => self.options.pipelined_row_parallelism,
                 };
-                let parallelism = self.parallelism_for(pes[id], &layers, allow_rows);
+                let parallelism = self.parallelism_for(pes[id], &layers, allow_rows, schedules[id]);
                 ComputeEngine {
                     id,
                     pes: pes[id],
                     parallelism,
                     role: roles[id],
+                    schedule: schedules[id],
                     layers,
                 }
             })

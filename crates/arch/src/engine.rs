@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::spec::Schedule;
+
 /// Per-dimension parallelism of a compute engine over the six convolution
 /// loop dimensions `[F, C, OH, OW, KH, KW]` (§II-B).
 ///
@@ -97,6 +99,9 @@ pub struct ComputeEngine {
     pub parallelism: Parallelism,
     /// Single or pipelined role.
     pub role: CeRole,
+    /// How a single-role engine walks its layers (always
+    /// [`Schedule::LayerByLayer`] for pipelined engines).
+    pub schedule: Schedule,
     /// Conv-layer indices this engine processes, in execution order.
     pub layers: Vec<usize>,
 }
@@ -183,6 +188,7 @@ mod tests {
             pes: 16,
             parallelism: Parallelism::spatial(4, 2, 2),
             role: CeRole::Single,
+            schedule: Schedule::LayerByLayer,
             layers: vec![0, 1],
         };
         assert!(ce.to_string().contains("CE1"));

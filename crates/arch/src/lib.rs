@@ -36,9 +36,10 @@ pub mod templates;
 
 pub use accelerator::BuiltAccelerator;
 pub use builder::{
-    BufferPlan, BuilderOptions, CeBufferAlloc, InterSegmentBuffer, MultipleCeBuilder, PeAllocation,
+    fuse_groups, fused_group_bytes, BufferPlan, BuilderOptions, CeBufferAlloc, InterSegmentBuffer,
+    MultipleCeBuilder, PeAllocation,
 };
 pub use engine::{CeRole, ComputeEngine, Parallelism};
 pub use error::ArchError;
-pub use spec::{AcceleratorSpec, Assignment, BlockSpec, Executor, LayerRange, Segment};
+pub use spec::{AcceleratorSpec, Assignment, BlockSpec, Executor, LayerRange, Schedule, Segment};
 pub use templates::Architecture;

@@ -4,13 +4,17 @@
 //!
 //! ```text
 //! spec       := '{' entry (',' entry)* '}'
-//! entry      := layers ':' block
+//! entry      := layers ':' block schedule?
 //! layers     := 'L' index | 'L' index '-' ('L' index | 'Last')
 //! block      := 'CE' index | 'CE' index '-' 'CE' index
+//! schedule   := '@' 'df' index
 //! ```
 //!
 //! Examples from the paper: `{L1-L4: CE1, L5-L6: CE2, L7-L9: CE3,
 //! L10-L12: CE4}` (Segmented) and `{L1-Last: CE1-CE4}` (SegmentedRR).
+//! The `@df<n>` suffix (not in the paper) marks a single-CE block as
+//! depth-first scheduled with fuse depth `n`: `{L1-L4: CE1 @df2}` fuses
+//! the block's layers pairwise. Layer-by-layer blocks carry no suffix.
 //!
 //! The textual form does not carry the coarse-pipelining flag;
 //! [`parse`] infers it (`true` when more than one distinct block exists),
@@ -19,7 +23,7 @@
 use std::fmt::Write as _;
 
 use crate::error::ArchError;
-use crate::spec::{AcceleratorSpec, Assignment, BlockSpec, LayerRange};
+use crate::spec::{AcceleratorSpec, Assignment, BlockSpec, LayerRange, Schedule};
 
 /// Formats a spec in the paper's notation.
 ///
@@ -30,10 +34,10 @@ use crate::spec::{AcceleratorSpec, Assignment, BlockSpec, LayerRange};
 /// use mccm_arch::{AcceleratorSpec, Assignment, BlockSpec, LayerRange};
 ///
 /// let spec = AcceleratorSpec::new(
-///     vec![Assignment {
-///         range: LayerRange::through_last(0),
-///         block: BlockSpec::Pipelined { first_ce: 0, last_ce: 3 },
-///     }],
+///     vec![Assignment::new(
+///         LayerRange::through_last(0),
+///         BlockSpec::Pipelined { first_ce: 0, last_ce: 3 },
+///     )],
 ///     false,
 /// );
 /// assert_eq!(notation::format(&spec), "{L1-Last: CE1-CE4}");
@@ -63,6 +67,9 @@ pub fn format(spec: &AcceleratorSpec) -> String {
             BlockSpec::Pipelined { first_ce, last_ce } => {
                 let _ = write!(out, "CE{}-CE{}", first_ce + 1, last_ce + 1);
             }
+        }
+        if let Schedule::DepthFirst { fuse_depth } = a.schedule {
+            let _ = write!(out, " @df{fuse_depth}");
         }
     }
     out.push('}');
@@ -217,7 +224,21 @@ fn parse_assignments(input: &str) -> Result<Vec<Assignment>, ArchError> {
         } else {
             BlockSpec::Single(first_ce)
         };
-        assignments.push(Assignment { range, block });
+        let schedule = if c.eat("@") {
+            if !c.eat_keyword_ci("df") {
+                return Err(c.error("expected `df<n>` after `@`".into()));
+            }
+            Schedule::DepthFirst {
+                fuse_depth: c.number()?,
+            }
+        } else {
+            Schedule::LayerByLayer
+        };
+        assignments.push(Assignment {
+            range,
+            block,
+            schedule,
+        });
         if c.eat(",") {
             continue;
         }
@@ -274,6 +295,46 @@ mod tests {
             let spec = parse(text).unwrap();
             assert_eq!(format(&spec), text);
             assert_eq!(parse(&format(&spec)).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn parses_depth_first_suffix() {
+        let spec = parse("{L1-L4: CE1 @df2, L5-Last: CE2}").unwrap();
+        assert_eq!(
+            spec.assignments[0].schedule,
+            Schedule::DepthFirst { fuse_depth: 2 }
+        );
+        assert_eq!(spec.assignments[1].schedule, Schedule::LayerByLayer);
+    }
+
+    #[test]
+    fn depth_first_round_trips() {
+        for text in [
+            "{L1-L4: CE1 @df2, L5-Last: CE2}",
+            "{L1-L4: CE1 @df1, L5-Last: CE2 @df3}",
+            "{L1-L3: CE1-CE3, L4-Last: CE4 @df4}",
+        ] {
+            let spec = parse(text).unwrap();
+            assert_eq!(format(&spec), text);
+            assert_eq!(parse(&format(&spec)).unwrap(), spec);
+        }
+        // Case- and whitespace-insensitive like the rest of the grammar.
+        assert_eq!(
+            parse("{ l1 - l4 : ce1 @ DF2 , l5 - last : ce2 }").unwrap(),
+            parse("{L1-L4: CE1 @df2, L5-Last: CE2}").unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_schedules() {
+        for bad in [
+            "{L1-L4: CE1 @df0, L5-Last: CE2}",
+            "{L1-L4: CE1 @df, L5-Last: CE2}",
+            "{L1-L4: CE1 @lbl, L5-Last: CE2}",
+            "{L1-L4: CE1 @, L5-Last: CE2}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject `{bad}`");
         }
     }
 

@@ -52,6 +52,43 @@ impl LayerRange {
     }
 }
 
+/// How a single-CE block walks its layer range.
+///
+/// `LayerByLayer` is the paper's default: each layer runs to completion,
+/// spilling feature maps per Eq. 6 when they exceed the CE's buffers.
+/// `DepthFirst` fuses consecutive layers DeFiNES-style: the CE tiles the
+/// fused stack's output rows, keeps intermediate activations in on-chip
+/// line buffers, and pays off-chip feature-map traffic only at fuse-group
+/// boundaries. `fuse_depth` is the number of consecutive layers per fuse
+/// group; `DepthFirst { fuse_depth: 1 }` is exactly `LayerByLayer`.
+///
+/// The schedule is meaningful for [`BlockSpec::Single`] blocks only —
+/// pipelined blocks already overlap their layers at tile granularity, and
+/// [`AcceleratorSpec::segments`] rejects depth-first pipelined
+/// assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// Each layer runs to completion before the next starts.
+    #[default]
+    LayerByLayer,
+    /// Consecutive layers are fused into groups of `fuse_depth` and
+    /// executed depth-first over output rows.
+    DepthFirst {
+        /// Layers per fuse group (≥ 1).
+        fuse_depth: usize,
+    },
+}
+
+impl Schedule {
+    /// Layers per fuse group: 1 for layer-by-layer.
+    pub fn fuse_depth(&self) -> usize {
+        match *self {
+            Self::LayerByLayer => 1,
+            Self::DepthFirst { fuse_depth } => fuse_depth,
+        }
+    }
+}
+
 /// The building block an assignment maps its layers onto (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockSpec {
@@ -93,6 +130,27 @@ pub struct Assignment {
     pub range: LayerRange,
     /// The block processing them.
     pub block: BlockSpec,
+    /// How a single-CE block walks the range (ignored for pipelined
+    /// blocks, which must stay [`Schedule::LayerByLayer`]).
+    pub schedule: Schedule,
+}
+
+impl Assignment {
+    /// A layer-by-layer assignment (the default schedule).
+    pub const fn new(range: LayerRange, block: BlockSpec) -> Self {
+        Self {
+            range,
+            block,
+            schedule: Schedule::LayerByLayer,
+        }
+    }
+
+    /// The same assignment under a different schedule.
+    #[must_use]
+    pub const fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
 }
 
 /// A complete multiple-CE accelerator description.
@@ -144,6 +202,9 @@ pub struct Segment {
     pub last: usize,
     /// The block processing this segment.
     pub executor: Executor,
+    /// How the segment's layers are walked (always
+    /// [`Schedule::LayerByLayer`] for pipelined executors).
+    pub schedule: Schedule,
 }
 
 impl Segment {
@@ -207,6 +268,24 @@ impl AcceleratorSpec {
                         detail: "inverted CE range".into(),
                     });
                 }
+                if a.schedule != Schedule::LayerByLayer {
+                    return Err(ArchError::BadCeUsage {
+                        ce: first_ce,
+                        detail: "depth-first schedule on a pipelined block (pipelined blocks \
+                                 already overlap layers at tile granularity)"
+                            .into(),
+                    });
+                }
+            }
+            if let Schedule::DepthFirst { fuse_depth } = a.schedule {
+                if fuse_depth == 0 {
+                    if let BlockSpec::Single(ce) = a.block {
+                        return Err(ArchError::BadCeUsage {
+                            ce,
+                            detail: "depth-first fuse depth must be at least 1".into(),
+                        });
+                    }
+                }
             }
             for ce in a.block.ces() {
                 match role[ce] {
@@ -256,6 +335,7 @@ impl AcceleratorSpec {
                         first,
                         last,
                         executor: Executor::SingleCe(ce),
+                        schedule: a.schedule,
                     });
                 }
                 BlockSpec::Pipelined { first_ce, last_ce } => {
@@ -269,6 +349,7 @@ impl AcceleratorSpec {
                             first: lo,
                             last: hi,
                             executor: Executor::PipelinedCes(ces[..hi - lo + 1].to_vec()),
+                            schedule: Schedule::LayerByLayer,
                         });
                         lo = hi + 1;
                     }
@@ -312,10 +393,12 @@ mod tests {
         AcceleratorSpec::new(
             vec![
                 Assignment {
+                    schedule: Schedule::LayerByLayer,
                     range: LayerRange::new(0, 3),
                     block: BlockSpec::Single(0),
                 },
                 Assignment {
+                    schedule: Schedule::LayerByLayer,
                     range: LayerRange::through_last(4),
                     block: BlockSpec::Single(1),
                 },
@@ -338,6 +421,7 @@ mod tests {
         // {L1-Last: CE1-CE2} over 53 layers -> 27 rounds (Fig. 6a).
         let spec = AcceleratorSpec::new(
             vec![Assignment {
+                schedule: Schedule::LayerByLayer,
                 range: LayerRange::through_last(0),
                 block: BlockSpec::Pipelined {
                     first_ce: 0,
@@ -357,6 +441,7 @@ mod tests {
     fn ce_layers_round_robin() {
         let spec = AcceleratorSpec::new(
             vec![Assignment {
+                schedule: Schedule::LayerByLayer,
                 range: LayerRange::through_last(0),
                 block: BlockSpec::Pipelined {
                     first_ce: 0,
@@ -377,10 +462,12 @@ mod tests {
         let spec = AcceleratorSpec::new(
             vec![
                 Assignment {
+                    schedule: Schedule::LayerByLayer,
                     range: LayerRange::new(0, 3),
                     block: BlockSpec::Single(0),
                 },
                 Assignment {
+                    schedule: Schedule::LayerByLayer,
                     range: LayerRange::new(6, 11),
                     block: BlockSpec::Single(1),
                 },
@@ -397,6 +484,7 @@ mod tests {
     fn missing_tail_rejected() {
         let spec = AcceleratorSpec::new(
             vec![Assignment {
+                schedule: Schedule::LayerByLayer,
                 range: LayerRange::new(0, 3),
                 block: BlockSpec::Single(0),
             }],
@@ -413,6 +501,7 @@ mod tests {
         let spec = AcceleratorSpec::new(
             vec![
                 Assignment {
+                    schedule: Schedule::LayerByLayer,
                     range: LayerRange::new(0, 1),
                     block: BlockSpec::Pipelined {
                         first_ce: 0,
@@ -420,6 +509,7 @@ mod tests {
                     },
                 },
                 Assignment {
+                    schedule: Schedule::LayerByLayer,
                     range: LayerRange::through_last(2),
                     block: BlockSpec::Single(1),
                 },
@@ -437,10 +527,12 @@ mod tests {
         let spec = AcceleratorSpec::new(
             vec![
                 Assignment {
+                    schedule: Schedule::LayerByLayer,
                     range: LayerRange::new(0, 5),
                     block: BlockSpec::Single(0),
                 },
                 Assignment {
+                    schedule: Schedule::LayerByLayer,
                     range: LayerRange::through_last(6),
                     block: BlockSpec::Single(2),
                 },
@@ -457,6 +549,7 @@ mod tests {
     fn out_of_bounds_rejected() {
         let spec = AcceleratorSpec::new(
             vec![Assignment {
+                schedule: Schedule::LayerByLayer,
                 range: LayerRange::new(0, 15),
                 block: BlockSpec::Single(0),
             }],
@@ -473,6 +566,7 @@ mod tests {
         assert_eq!(seg_spec().ce_count(), 2);
         let spec = AcceleratorSpec::new(
             vec![Assignment {
+                schedule: Schedule::LayerByLayer,
                 range: LayerRange::through_last(0),
                 block: BlockSpec::Pipelined {
                     first_ce: 0,

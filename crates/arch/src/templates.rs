@@ -15,7 +15,7 @@
 use mccm_cnn::CnnModel;
 
 use crate::error::ArchError;
-use crate::spec::{AcceleratorSpec, Assignment, BlockSpec, LayerRange};
+use crate::spec::{AcceleratorSpec, Assignment, BlockSpec, LayerRange, Schedule};
 
 /// Partitions `weights[0..n]` into `k` contiguous, non-empty segments
 /// minimizing the maximum segment weight (classic linear partition DP).
@@ -81,10 +81,10 @@ pub fn segmented(model: &CnnModel, ces: usize) -> Result<AcceleratorSpec, ArchEr
     let mut assignments = Vec::with_capacity(ces);
     let mut first = 0usize;
     for (ce, &end) in ends.iter().enumerate() {
-        assignments.push(Assignment {
-            range: LayerRange::new(first, end - 1),
-            block: BlockSpec::Single(ce),
-        });
+        assignments.push(Assignment::new(
+            LayerRange::new(first, end - 1),
+            BlockSpec::Single(ce),
+        ));
         first = end;
     }
     Ok(AcceleratorSpec::new(assignments, true))
@@ -105,13 +105,13 @@ pub fn segmented_rr(model: &CnnModel, ces: usize) -> Result<AcceleratorSpec, Arc
         });
     }
     Ok(AcceleratorSpec::new(
-        vec![Assignment {
-            range: LayerRange::through_last(0),
-            block: BlockSpec::Pipelined {
+        vec![Assignment::new(
+            LayerRange::through_last(0),
+            BlockSpec::Pipelined {
                 first_ce: 0,
                 last_ce: ces - 1,
             },
-        }],
+        )],
         false,
     ))
 }
@@ -134,17 +134,14 @@ pub fn hybrid(model: &CnnModel, ces: usize) -> Result<AcceleratorSpec, ArchError
     let head = ces - 1;
     Ok(AcceleratorSpec::new(
         vec![
-            Assignment {
-                range: LayerRange::new(0, head - 1),
-                block: BlockSpec::Pipelined {
+            Assignment::new(
+                LayerRange::new(0, head - 1),
+                BlockSpec::Pipelined {
                     first_ce: 0,
                     last_ce: head - 1,
                 },
-            },
-            Assignment {
-                range: LayerRange::through_last(head),
-                block: BlockSpec::Single(head),
-            },
+            ),
+            Assignment::new(LayerRange::through_last(head), BlockSpec::Single(head)),
         ],
         true,
     ))
@@ -164,6 +161,21 @@ pub fn custom_hybrid_segmented(
     head_layers: usize,
     tail_ends: &[usize],
 ) -> Result<AcceleratorSpec, ArchError> {
+    custom_hybrid_segmented_scheduled(model, head_layers, tail_ends, Schedule::LayerByLayer)
+}
+
+/// [`custom_hybrid_segmented`] with every tail (single-CE) segment carrying
+/// `tail_schedule` — the shape the schedule-extended design space explores.
+///
+/// # Errors
+///
+/// Returns [`ArchError::Infeasible`] on malformed boundaries.
+pub fn custom_hybrid_segmented_scheduled(
+    model: &CnnModel,
+    head_layers: usize,
+    tail_ends: &[usize],
+    tail_schedule: Schedule,
+) -> Result<AcceleratorSpec, ArchError> {
     let n = model.conv_layer_count();
     if head_layers == 0 || head_layers >= n {
         return Err(ArchError::Infeasible {
@@ -175,13 +187,13 @@ pub fn custom_hybrid_segmented(
             detail: "tail must end at the last layer".into(),
         });
     }
-    let mut assignments = vec![Assignment {
-        range: LayerRange::new(0, head_layers - 1),
-        block: BlockSpec::Pipelined {
+    let mut assignments = vec![Assignment::new(
+        LayerRange::new(0, head_layers - 1),
+        BlockSpec::Pipelined {
             first_ce: 0,
             last_ce: head_layers - 1,
         },
-    }];
+    )];
     let mut first = head_layers;
     for (i, &end) in tail_ends.iter().enumerate() {
         if end <= first || end > n {
@@ -189,10 +201,13 @@ pub fn custom_hybrid_segmented(
                 detail: format!("bad tail boundary {end} (segment {i})"),
             });
         }
-        assignments.push(Assignment {
-            range: LayerRange::new(first, end - 1),
-            block: BlockSpec::Single(head_layers + i),
-        });
+        assignments.push(
+            Assignment::new(
+                LayerRange::new(first, end - 1),
+                BlockSpec::Single(head_layers + i),
+            )
+            .with_schedule(tail_schedule),
+        );
         first = end;
     }
     Ok(AcceleratorSpec::new(assignments, true))
@@ -359,6 +374,26 @@ mod tests {
         assert!(custom_hybrid_segmented(&m, 4, &[30, 50]).is_err());
         assert!(custom_hybrid_segmented(&m, 0, &[n]).is_err());
         assert!(custom_hybrid_segmented(&m, 4, &[2, n]).is_err());
+    }
+
+    #[test]
+    fn custom_template_scheduled_tails() {
+        let m = zoo::xception();
+        let n = m.conv_layer_count();
+        let df = Schedule::DepthFirst { fuse_depth: 3 };
+        let spec = custom_hybrid_segmented_scheduled(&m, 4, &[30, 50, n], df).unwrap();
+        // The pipelined head stays layer-by-layer; every tail segment
+        // carries the requested schedule.
+        assert_eq!(spec.assignments[0].schedule, Schedule::LayerByLayer);
+        for a in &spec.assignments[1..] {
+            assert_eq!(a.schedule, df);
+        }
+        // The default wrapper is the layer-by-layer special case.
+        let lbl = custom_hybrid_segmented(&m, 4, &[30, 50, n]).unwrap();
+        assert_eq!(
+            custom_hybrid_segmented_scheduled(&m, 4, &[30, 50, n], Schedule::LayerByLayer).unwrap(),
+            lbl
+        );
     }
 
     #[test]

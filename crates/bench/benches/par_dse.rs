@@ -45,6 +45,7 @@ fn bench_exhaustive_3ce(c: &mut Criterion) {
     let board = FpgaBoard::vcu108();
     let explorer = Explorer::new(&model, &board);
     let space = CustomSpace {
+        max_fuse_depth: 1,
         layers: model.conv_layer_count(),
         min_ces: 2,
         max_ces: 3,

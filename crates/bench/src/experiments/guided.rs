@@ -16,16 +16,21 @@
 //! bounds), the coverage indicator in both directions, and the per-metric
 //! best values. Both lanes are deterministic, so the comparison is
 //! reproducible run to run.
+//!
+//! A third section measures the **schedule axis**: the same guided
+//! search on a BRAM-starved board, once restricted to layer-by-layer
+//! and once with the depth-first axis open, recording how far the best
+//! fused design cuts off-chip traffic below the best layer-by-layer one.
 
 use std::time::Instant;
 
-use mccm_arch::ArchError;
+use mccm_arch::{ArchError, Schedule};
 use mccm_core::{EvalScratch, EvalSummary, Metric};
 use mccm_dse::{
     compare_fronts, sample_attempt, CustomSpace, Explorer, FrontComparison, OptimizerConfig,
     ParetoFront,
 };
-use mccm_fpga::FpgaBoard;
+use mccm_fpga::{FpgaBoard, MiB};
 
 use crate::experiments::eval_speed::machine_name;
 use crate::output::{Report, Table};
@@ -41,6 +46,36 @@ pub struct LaneStats {
     pub front: Vec<EvalSummary>,
     /// Wall time in seconds.
     pub seconds: f64,
+}
+
+/// Schedule-axis outcome: the guided search rerun with the depth-first
+/// axis enabled on a BRAM-starved board, against an equal-budget
+/// layer-by-layer-only run.
+#[derive(Debug, Clone)]
+pub struct ScheduleAxis {
+    /// Model the axis was measured on.
+    pub model: String,
+    /// The BRAM-starved board (layer-by-layer spills feature maps here).
+    pub board: String,
+    /// Points on the schedule-extended front.
+    pub front_size: usize,
+    /// Depth-first designs among them.
+    pub depth_first_points: usize,
+    /// Best off-chip traffic on the layer-by-layer-only front, bytes.
+    pub best_lbl_offchip_bytes: u64,
+    /// Best off-chip traffic among depth-first front members, bytes.
+    pub best_df_offchip_bytes: u64,
+}
+
+impl ScheduleAxis {
+    /// Fractional traffic cut of the best depth-first design vs the best
+    /// layer-by-layer design (positive = depth-first is better).
+    pub fn traffic_reduction(&self) -> f64 {
+        if self.best_lbl_offchip_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.best_df_offchip_bytes as f64 / self.best_lbl_offchip_bytes as f64
+    }
 }
 
 /// The measured experiment: both lanes plus their quality comparison
@@ -59,6 +94,8 @@ pub struct GuidedQuality {
     pub random: LaneStats,
     /// Front-quality comparison (guided = `a`, random = `b`).
     pub comparison: FrontComparison,
+    /// The depth-first schedule axis measured on a BRAM-starved board.
+    pub schedule_axis: ScheduleAxis,
 }
 
 /// Runs both lanes on the paper's Use Case 3 setup (Xception / VCU110)
@@ -123,6 +160,49 @@ pub fn measure(budget: u64, seed: u64, workers: usize) -> GuidedQuality {
     };
 
     let comparison = compare_fronts(&guided.front, &random.front, &metrics);
+
+    // Schedule axis: the same kind of guided search on a BRAM-starved
+    // board where layer-by-layer execution spills feature maps, once
+    // with the depth-first axis open (fuse depths up to 4) and once
+    // restricted to layer-by-layer, at equal budget and seed.
+    let sa_model = mccm_cnn::zoo::mobilenet_v2();
+    let sa_board = FpgaBoard::new("small-bram", 900, MiB(0.5), 4.0);
+    let sa_explorer = Explorer::new(&sa_model, &sa_board);
+    let sa_config = OptimizerConfig::default()
+        .with_metrics(&metrics)
+        .with_budget(budget)
+        .with_population(population)
+        .with_islands(3)
+        .with_seed(seed);
+    let lbl_front = sa_explorer
+        .optimize_par(&sa_config, workers)
+        .expect("schedule-axis baseline must not hit real builder faults");
+    let df_front = sa_explorer
+        .optimize_par(&sa_config.clone().with_max_fuse_depth(4), workers)
+        .expect("schedule-axis search must not hit real builder faults");
+    let df_points: Vec<_> = df_front
+        .points
+        .iter()
+        .filter(|p| matches!(p.design.schedule, Schedule::DepthFirst { .. }))
+        .collect();
+    let schedule_axis = ScheduleAxis {
+        model: sa_model.name().to_string(),
+        board: sa_board.name.clone(),
+        front_size: df_front.points.len(),
+        depth_first_points: df_points.len(),
+        best_lbl_offchip_bytes: lbl_front
+            .points
+            .iter()
+            .map(|p| p.summary.offchip_bytes.get())
+            .min()
+            .unwrap_or(0),
+        best_df_offchip_bytes: df_points
+            .iter()
+            .map(|p| p.summary.offchip_bytes.get())
+            .min()
+            .unwrap_or(0),
+    };
+
     GuidedQuality {
         machine: machine_name(),
         budget,
@@ -130,6 +210,7 @@ pub fn measure(budget: u64, seed: u64, workers: usize) -> GuidedQuality {
         guided,
         random,
         comparison,
+        schedule_axis,
     }
 }
 
@@ -199,6 +280,29 @@ impl GuidedQuality {
             ]);
         }
         report.tables.push(best);
+
+        let sa = &self.schedule_axis;
+        let mut axis = Table::new(
+            "schedule_axis",
+            &[
+                "setup",
+                "front size",
+                "depth-first points",
+                "best LbL traffic (B)",
+                "best DF traffic (B)",
+                "traffic cut",
+            ],
+        );
+        axis.row(vec![
+            format!("{} on {}", sa.model, sa.board),
+            sa.front_size.to_string(),
+            sa.depth_first_points.to_string(),
+            sa.best_lbl_offchip_bytes.to_string(),
+            sa.best_df_offchip_bytes.to_string(),
+            format!("{:.1}%", 100.0 * sa.traffic_reduction()),
+        ]);
+        report.tables.push(axis);
+
         report.note(format!(
             "Guided matches or beats random on {}/{} metrics at {} attempts each \
              (hypervolume {:.4} vs {:.4}) on {}.",
@@ -239,7 +343,12 @@ impl GuidedQuality {
              \"random\": {{\n    \"evaluations\": {},\n    \"feasible\": {},\n    \
              \"front_size\": {},\n    \"hypervolume\": {:.6},\n    \
              \"coverage_of_guided\": {:.4},\n    \"best\": [{}],\n    \"seconds\": {:.3}\n  }},\n  \
-             \"guided_best_or_tied_metrics\": {}\n}}\n",
+             \"guided_best_or_tied_metrics\": {},\n  \
+             \"schedule_axis\": {{\n    \"model\": \"{}\",\n    \"board\": \"{}\",\n    \
+             \"front_size\": {},\n    \"depth_first_points\": {},\n    \
+             \"best_layer_by_layer_offchip_bytes\": {},\n    \
+             \"best_depth_first_offchip_bytes\": {},\n    \
+             \"traffic_reduction\": {:.4}\n  }}\n}}\n",
             self.machine.replace('"', "'"),
             self.budget,
             self.metrics
@@ -262,6 +371,13 @@ impl GuidedQuality {
             best(&self.comparison.best_b),
             self.random.seconds,
             self.comparison.a_best_or_tied,
+            self.schedule_axis.model.replace('"', "'"),
+            self.schedule_axis.board.replace('"', "'"),
+            self.schedule_axis.front_size,
+            self.schedule_axis.depth_first_points,
+            self.schedule_axis.best_lbl_offchip_bytes,
+            self.schedule_axis.best_df_offchip_bytes,
+            self.schedule_axis.traffic_reduction(),
         )
     }
 }
@@ -293,6 +409,19 @@ mod tests {
         let json = q.to_json();
         assert!(json.contains("\"guided_best_or_tied_metrics\""));
         assert!(json.contains("\"budget\": 600"));
-        assert_eq!(q.report().tables.len(), 2);
+        assert!(json.contains("\"schedule_axis\""));
+        assert_eq!(q.report().tables.len(), 3);
+        // The schedule axis must actually pay off on the starved board:
+        // depth-first designs on the front, cutting traffic strictly
+        // below the layer-by-layer-only search.
+        let sa = &q.schedule_axis;
+        assert!(sa.depth_first_points > 0);
+        assert!(
+            sa.best_df_offchip_bytes < sa.best_lbl_offchip_bytes,
+            "depth-first {} vs layer-by-layer {}",
+            sa.best_df_offchip_bytes,
+            sa.best_lbl_offchip_bytes
+        );
+        assert!(sa.traffic_reduction() > 0.0);
     }
 }

@@ -33,8 +33,8 @@ mod config;
 pub mod energy;
 mod metrics;
 mod model;
-/// Dimensional-safety newtypes ([`Cycles`](quantity::Cycles),
-/// [`Bytes`](quantity::Bytes), [`Macs`](quantity::Macs), …) used by every
+/// Dimensional-safety newtypes ([`quantity::Cycles`],
+/// [`quantity::Bytes`], [`quantity::Macs`], …) used by every
 /// model output — re-exported from the bottom-of-workspace
 /// `mccm-quantity` crate so `mccm-arch` can share the same types.
 pub mod quantity {

@@ -143,9 +143,16 @@ impl CostModel {
                 seg.index + 1 == n_segments || !acc.buffers.inter_segment[seg.index].on_chip;
 
             let outcome: BlockOutcome = match &seg.executor {
-                Executor::SingleCe(ce) => {
-                    eval_single_ce(acc, *ce, seg.first, seg.last, input_off, output_off, bw)
-                }
+                Executor::SingleCe(ce) => eval_single_ce(
+                    acc,
+                    *ce,
+                    seg.schedule,
+                    seg.first,
+                    seg.last,
+                    input_off,
+                    output_off,
+                    bw,
+                ),
                 Executor::PipelinedCes(ces) => eval_pipelined_round(
                     acc,
                     ces,
@@ -334,6 +341,7 @@ impl CostModel {
                     eval_single_ce_core(
                         acc,
                         *ce,
+                        seg.schedule,
                         seg.first,
                         seg.last,
                         input_off,

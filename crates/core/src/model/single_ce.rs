@@ -12,7 +12,9 @@
 //! double buffering overlaps transfers with computation, so whichever
 //! dominates sets the pace.
 
-use mccm_arch::BuiltAccelerator;
+use mccm_arch::{
+    fuse_groups, fused_group_bytes, BuiltAccelerator, CeBufferAlloc, ComputeEngine, Schedule,
+};
 
 use crate::quantity::{Bandwidth, Bytes, Cycles, Macs};
 use crate::report::{LayerReport, SpillPolicy};
@@ -64,13 +66,18 @@ pub(crate) struct BlockTotals {
 
 /// Evaluates a single-CE block over layers `first..=last` (Eq. 1, 4, 6).
 ///
-/// `input_off_chip`: the segment's input FMs come from off-chip (model
-/// input or a spilled handoff). `output_off_chip`: the segment's final
-/// OFMs must be stored off-chip (model output or a spilled/double-buffered
-/// handoff).
+/// `schedule` selects the block's execution order: layer-by-layer runs
+/// each layer to completion; depth-first fuses runs of `fuse_depth`
+/// consecutive layers, tiling over the fused stack's output rows so
+/// intermediate FMs stay in on-chip line buffers. `input_off_chip`: the
+/// segment's input FMs come from off-chip (model input or a spilled
+/// handoff). `output_off_chip`: the segment's final OFMs must be stored
+/// off-chip (model output or a spilled/double-buffered handoff).
+#[allow(clippy::too_many_arguments)]
 pub fn eval_single_ce(
     acc: &BuiltAccelerator,
     ce_id: usize,
+    schedule: Schedule,
     first: usize,
     last: usize,
     input_off_chip: bool,
@@ -82,6 +89,7 @@ pub fn eval_single_ce(
     let totals = eval_single_ce_core(
         acc,
         ce_id,
+        schedule,
         first,
         last,
         input_off_chip,
@@ -117,10 +125,19 @@ pub fn eval_single_ce(
 /// full [`eval_single_ce`] lane and the summary fast lane. `on_layer`
 /// receives `(layer, compute_cycles, weight_traffic, fm_load, fm_store,
 /// policy)` per layer; the fast lane passes a no-op.
+///
+/// This is the single schedule-dispatch point of the cost model: layers
+/// are walked in fuse groups of `schedule.fuse_depth()` (layer-by-layer
+/// is the degenerate depth-1 case), and each group runs either the fused
+/// depth-first step or the per-layer Eq. (6) step. A fuse group of one
+/// layer, or one whose fused working set exceeds the CE's buffer, takes
+/// the exact per-layer path — so `DepthFirst { fuse_depth: 1 }` is
+/// bit-identical to `LayerByLayer` by construction.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_single_ce_core(
     acc: &BuiltAccelerator,
     ce_id: usize,
+    schedule: Schedule,
     first: usize,
     last: usize,
     input_off_chip: bool,
@@ -128,112 +145,222 @@ pub(crate) fn eval_single_ce_core(
     bw: Bandwidth,
     mut on_layer: impl FnMut(usize, Cycles, Bytes, Bytes, Bytes, SpillPolicy),
 ) -> BlockTotals {
-    let ce = &acc.ces[ce_id];
-    let alloc = &acc.buffers.ce[ce_id];
-    let act = u64::from(acc.precision.activation_bytes);
-    // Capacity available for feature maps once the weight stream buffer is
-    // reserved (Eq. 6's constraint re-arranged).
-    let fm_budget = Bytes::new(alloc.bytes.saturating_sub(alloc.weight_stream_bytes));
+    let ctx = StepCtx {
+        acc,
+        ce: &acc.ces[ce_id],
+        alloc: &acc.buffers.ce[ce_id],
+        act: u64::from(acc.precision.activation_bytes),
+        // Capacity available for feature maps once the weight stream
+        // buffer is reserved (Eq. 6's constraint re-arranged).
+        fm_budget: Bytes::new(
+            acc.buffers.ce[ce_id]
+                .bytes
+                .saturating_sub(acc.buffers.ce[ce_id].weight_stream_bytes),
+        ),
+        bw,
+        last,
+        output_off_chip,
+    };
 
     let mut out = BlockTotals::default();
-
     let mut ifm_on_chip = !input_off_chip;
-    for l in first..=last {
-        let conv = &acc.convs[l];
-        let w_bytes = Bytes::new(acc.weight_bytes(l));
-        let ifm_bytes = Bytes::new(acc.ifm_bytes(l));
-        let ofm_bytes = Bytes::new(acc.ofm_bytes(l));
-        let extra_bytes = Bytes::new(
-            acc.precision
-                .activation_size(conv.fm_working_set - conv.ifm.elements() - conv.ofm.elements()),
-        );
-        let working_set = ifm_bytes + ofm_bytes + extra_bytes;
-        let must_store = l == last && output_off_chip;
-
-        let compute = Cycles::new(ce.parallelism.latency_cycles(conv.dims));
-        let (policy, w_traffic, fm_load, fm_store, ofm_stays) = if ifm_on_chip {
-            if working_set <= fm_budget && !must_store {
-                (SpillPolicy::None, w_bytes, Bytes::ZERO, Bytes::ZERO, true)
-            } else {
-                // OFMs streamed out (boundary store or capacity); IFMs are
-                // already resident, weights stream once.
-                (
-                    SpillPolicy::OutputSpill,
-                    w_bytes,
-                    Bytes::ZERO,
-                    ofm_bytes,
-                    false,
-                )
-            }
-        } else if working_set <= fm_budget && !must_store {
-            // Load IFMs once, keep OFMs for the next layer.
-            (SpillPolicy::None, w_bytes, ifm_bytes, Bytes::ZERO, true)
-        } else if ifm_bytes + extra_bytes <= fm_budget {
-            // IFMs fit; OFMs streamed out.
-            (
-                SpillPolicy::OutputSpill,
-                w_bytes,
-                ifm_bytes,
-                ofm_bytes,
-                false,
-            )
+    for (lo, hi) in fuse_groups(first, last, schedule.fuse_depth()) {
+        // A fused group is only worth (and only valid) fusing when it has
+        // at least two layers and its whole working set — group weights,
+        // line buffers, double-buffered output row — fits the CE's actual
+        // allocation. Otherwise fall back to the per-layer step, which is
+        // always feasible (it degrades through Eq. 6's spill policies).
+        let fusible =
+            hi > lo && fused_group_bytes(&acc.convs, lo, hi, acc.precision) <= ctx.alloc.bytes;
+        if fusible {
+            ifm_on_chip = fused_step(&ctx, lo, hi, ifm_on_chip, &mut out, &mut on_layer);
         } else {
-            // Nothing fits: Eq. (6)'s argmin over the two locally
-            // stationary options and the IFM/weight buffer split.
-            let min_ifm_buf =
-                Bytes::new((u64::from(conv.spec.kernel.0) * conv.ifm.row_elements() * act).max(1));
-            let min_w_buf = Bytes::new(alloc.weight_stream_bytes.max(1));
-            let budget = fm_budget.max(min_ifm_buf + min_w_buf);
-            let mut best = (
-                Bytes::MAX,
-                SpillPolicy::LocalInputStationary,
-                Bytes::ZERO,
-                Bytes::ZERO,
-            );
-            for i in 1..16u64 {
-                let ifm_buf = (budget * i / 16).max(min_ifm_buf);
-                let w_buf = budget.saturating_sub(ifm_buf).max(min_w_buf);
-                // OS local-IS: IFMs once, weights per IFM-buffer pass.
-                let is_passes = ifm_bytes.div_ceil(ifm_buf);
-                let is_cost = w_bytes * is_passes + ifm_bytes;
-                if is_cost < best.0 {
-                    best = (
-                        is_cost,
-                        SpillPolicy::LocalInputStationary,
-                        w_bytes * is_passes,
-                        ifm_bytes,
-                    );
-                }
-                // OS local-WS: weights once, IFMs per weight-buffer pass.
-                let ws_passes = w_bytes.div_ceil(w_buf);
-                let ws_cost = ifm_bytes * ws_passes + w_bytes;
-                if ws_cost < best.0 {
-                    best = (
-                        ws_cost,
-                        SpillPolicy::LocalWeightStationary,
-                        w_bytes,
-                        ifm_bytes * ws_passes,
-                    );
-                }
+            for l in lo..=hi {
+                ifm_on_chip = layer_step(&ctx, l, ifm_on_chip, &mut out, &mut on_layer);
             }
-            (best.1, best.2, best.3, ofm_bytes, false)
-        };
-
-        let mem_bytes = w_traffic + fm_load + fm_store;
-        let memory = bw.cycles_for(mem_bytes);
-        let time = compute.max(memory);
-
-        out.time_cycles += time;
-        out.compute_cycles += compute;
-        out.memory_cycles += memory;
-        out.weight_traffic += w_traffic;
-        out.fm_traffic += fm_load + fm_store;
-        out.useful_macs += Macs::new(conv.macs);
-        on_layer(l, compute, w_traffic, fm_load, fm_store, policy);
-        ifm_on_chip = ofm_stays;
+        }
     }
     out.max_busy_cycles = out.time_cycles;
     out
+}
+
+/// Per-block invariants threaded through the per-layer / per-group steps.
+struct StepCtx<'a> {
+    acc: &'a BuiltAccelerator,
+    ce: &'a ComputeEngine,
+    alloc: &'a CeBufferAlloc,
+    /// Bytes per activation element.
+    act: u64,
+    /// FM capacity once the weight stream buffer is reserved.
+    fm_budget: Bytes,
+    bw: Bandwidth,
+    /// The segment's last layer (boundary-store detection).
+    last: usize,
+    /// The segment's final OFMs must go off-chip.
+    output_off_chip: bool,
+}
+
+/// One layer-by-layer step: Eq. (1) compute, Eq. (6) spill-policy argmin,
+/// `max(compute, memory)` pacing. Returns whether the layer's OFMs stay
+/// on-chip for the next step.
+fn layer_step(
+    ctx: &StepCtx<'_>,
+    l: usize,
+    ifm_on_chip: bool,
+    out: &mut BlockTotals,
+    on_layer: &mut impl FnMut(usize, Cycles, Bytes, Bytes, Bytes, SpillPolicy),
+) -> bool {
+    let acc = ctx.acc;
+    let conv = &acc.convs[l];
+    let w_bytes = Bytes::new(acc.weight_bytes(l));
+    let ifm_bytes = Bytes::new(acc.ifm_bytes(l));
+    let ofm_bytes = Bytes::new(acc.ofm_bytes(l));
+    let extra_bytes = Bytes::new(
+        acc.precision
+            .activation_size(conv.fm_working_set - conv.ifm.elements() - conv.ofm.elements()),
+    );
+    let working_set = ifm_bytes + ofm_bytes + extra_bytes;
+    let must_store = l == ctx.last && ctx.output_off_chip;
+
+    let compute = Cycles::new(ctx.ce.parallelism.latency_cycles(conv.dims));
+    let (policy, w_traffic, fm_load, fm_store, ofm_stays) = if ifm_on_chip {
+        if working_set <= ctx.fm_budget && !must_store {
+            (SpillPolicy::None, w_bytes, Bytes::ZERO, Bytes::ZERO, true)
+        } else {
+            // OFMs streamed out (boundary store or capacity); IFMs are
+            // already resident, weights stream once.
+            (
+                SpillPolicy::OutputSpill,
+                w_bytes,
+                Bytes::ZERO,
+                ofm_bytes,
+                false,
+            )
+        }
+    } else if working_set <= ctx.fm_budget && !must_store {
+        // Load IFMs once, keep OFMs for the next layer.
+        (SpillPolicy::None, w_bytes, ifm_bytes, Bytes::ZERO, true)
+    } else if ifm_bytes + extra_bytes <= ctx.fm_budget {
+        // IFMs fit; OFMs streamed out.
+        (
+            SpillPolicy::OutputSpill,
+            w_bytes,
+            ifm_bytes,
+            ofm_bytes,
+            false,
+        )
+    } else {
+        // Nothing fits: Eq. (6)'s argmin over the two locally
+        // stationary options and the IFM/weight buffer split.
+        let min_ifm_buf =
+            Bytes::new((u64::from(conv.spec.kernel.0) * conv.ifm.row_elements() * ctx.act).max(1));
+        let min_w_buf = Bytes::new(ctx.alloc.weight_stream_bytes.max(1));
+        let budget = ctx.fm_budget.max(min_ifm_buf + min_w_buf);
+        let mut best = (
+            Bytes::MAX,
+            SpillPolicy::LocalInputStationary,
+            Bytes::ZERO,
+            Bytes::ZERO,
+        );
+        for i in 1..16u64 {
+            let ifm_buf = (budget * i / 16).max(min_ifm_buf);
+            let w_buf = budget.saturating_sub(ifm_buf).max(min_w_buf);
+            // OS local-IS: IFMs once, weights per IFM-buffer pass.
+            let is_passes = ifm_bytes.div_ceil(ifm_buf);
+            let is_cost = w_bytes * is_passes + ifm_bytes;
+            if is_cost < best.0 {
+                best = (
+                    is_cost,
+                    SpillPolicy::LocalInputStationary,
+                    w_bytes * is_passes,
+                    ifm_bytes,
+                );
+            }
+            // OS local-WS: weights once, IFMs per weight-buffer pass.
+            let ws_passes = w_bytes.div_ceil(w_buf);
+            let ws_cost = ifm_bytes * ws_passes + w_bytes;
+            if ws_cost < best.0 {
+                best = (
+                    ws_cost,
+                    SpillPolicy::LocalWeightStationary,
+                    w_bytes,
+                    ifm_bytes * ws_passes,
+                );
+            }
+        }
+        (best.1, best.2, best.3, ofm_bytes, false)
+    };
+
+    let mem_bytes = w_traffic + fm_load + fm_store;
+    let memory = ctx.bw.cycles_for(mem_bytes);
+    let time = compute.max(memory);
+
+    out.time_cycles += time;
+    out.compute_cycles += compute;
+    out.memory_cycles += memory;
+    out.weight_traffic += w_traffic;
+    out.fm_traffic += fm_load + fm_store;
+    out.useful_macs += Macs::new(conv.macs);
+    on_layer(l, compute, w_traffic, fm_load, fm_store, policy);
+    ofm_stays
+}
+
+/// One depth-first fused-group step over layers `lo..=hi` (all resident
+/// per the caller's feasibility check): the group tiles over its final
+/// layer's output rows, propagating each tile through the whole stack
+/// while intermediate FMs stay in on-chip line buffers. Off-chip traffic
+/// is therefore only the group's weights (streamed once), an IFM load at
+/// the group entry if the previous step spilled, and an OFM store at the
+/// group exit if the result cannot stay on-chip. Compute is the plain
+/// Eq. (1) sum — the CE runs the same MACs, just reordered — and the
+/// group paces at `max(compute, memory)` like any double-buffered step.
+/// Returns whether the group's final OFMs stay on-chip.
+fn fused_step(
+    ctx: &StepCtx<'_>,
+    lo: usize,
+    hi: usize,
+    ifm_on_chip: bool,
+    out: &mut BlockTotals,
+    on_layer: &mut impl FnMut(usize, Cycles, Bytes, Bytes, Bytes, SpillPolicy),
+) -> bool {
+    let acc = ctx.acc;
+    let ifm_bytes = Bytes::new(acc.ifm_bytes(lo));
+    let ofm_bytes = Bytes::new(acc.ofm_bytes(hi));
+    let fm_load = if ifm_on_chip { Bytes::ZERO } else { ifm_bytes };
+    let must_store = hi == ctx.last && ctx.output_off_chip;
+    // After the group retires, its weights and line buffers are dead; the
+    // final OFM survives for the next step iff it fits the FM budget.
+    let ofm_stays = ofm_bytes <= ctx.fm_budget && !must_store;
+    let fm_store = if ofm_stays { Bytes::ZERO } else { ofm_bytes };
+
+    let mut group_compute = Cycles::ZERO;
+    let mut group_w = Bytes::ZERO;
+    for l in lo..=hi {
+        group_compute += Cycles::new(ctx.ce.parallelism.latency_cycles(acc.convs[l].dims));
+        group_w += Bytes::new(acc.weight_bytes(l));
+        out.useful_macs += Macs::new(acc.convs[l].macs);
+    }
+    let memory = ctx.bw.cycles_for(group_w + fm_load + fm_store);
+    let time = group_compute.max(memory);
+
+    out.time_cycles += time;
+    out.compute_cycles += group_compute;
+    out.memory_cycles += memory;
+    out.weight_traffic += group_w;
+    out.fm_traffic += fm_load + fm_store;
+    for l in lo..=hi {
+        // Per-layer attribution: own compute and weights; the group's FM
+        // loads/stores land on its boundary layers.
+        on_layer(
+            l,
+            Cycles::new(ctx.ce.parallelism.latency_cycles(acc.convs[l].dims)),
+            Bytes::new(acc.weight_bytes(l)),
+            if l == lo { fm_load } else { Bytes::ZERO },
+            if l == hi { fm_store } else { Bytes::ZERO },
+            SpillPolicy::Fused,
+        );
+    }
+    ofm_stays
 }
 
 #[cfg(test)]
@@ -254,9 +381,113 @@ mod tests {
     }
 
     #[test]
+    fn depth_first_fuse1_is_bit_identical_to_layer_by_layer() {
+        // fuse_depth = 1 must route through the exact per-layer path.
+        for mib in [0.2, 0.5, 4.0, 64.0] {
+            let acc = single_ce_acc(FpgaBoard::new("b", 900, mccm_fpga::MiB(mib), 19.2));
+            let n = acc.convs.len();
+            let lbl = eval_single_ce(
+                &acc,
+                0,
+                Schedule::LayerByLayer,
+                0,
+                n - 1,
+                true,
+                true,
+                bw_of(&acc),
+            );
+            let df1 = eval_single_ce(
+                &acc,
+                0,
+                Schedule::DepthFirst { fuse_depth: 1 },
+                0,
+                n - 1,
+                true,
+                true,
+                bw_of(&acc),
+            );
+            assert_eq!(lbl, df1, "{mib} MiB");
+        }
+    }
+
+    #[test]
+    fn depth_first_fusion_cuts_fm_traffic_when_layers_spill() {
+        // On a small board MobileNetV2's early FMs exceed the budget and
+        // layer-by-layer spills; pairwise fusion keeps intermediates in
+        // line buffers and must strictly reduce traffic without touching
+        // compute cycles.
+        let acc = single_ce_acc(FpgaBoard::new("small", 900, mccm_fpga::MiB(0.5), 19.2));
+        let n = acc.convs.len();
+        let bw = bw_of(&acc);
+        let lbl = eval_single_ce(&acc, 0, Schedule::LayerByLayer, 0, n - 1, true, true, bw);
+        let df = eval_single_ce(
+            &acc,
+            0,
+            Schedule::DepthFirst { fuse_depth: 2 },
+            0,
+            n - 1,
+            true,
+            true,
+            bw,
+        );
+        assert_eq!(df.compute_cycles, lbl.compute_cycles);
+        assert!(
+            df.layers.iter().any(|l| l.policy == SpillPolicy::Fused),
+            "no group fused on the small board"
+        );
+        assert!(
+            df.weight_traffic + df.fm_traffic < lbl.weight_traffic + lbl.fm_traffic,
+            "fusion did not reduce traffic: df {} vs lbl {}",
+            df.weight_traffic + df.fm_traffic,
+            lbl.weight_traffic + lbl.fm_traffic
+        );
+        // Fused groups stream weights exactly once.
+        assert!(df.weight_traffic <= lbl.weight_traffic);
+    }
+
+    #[test]
+    fn fused_groups_pay_traffic_only_at_boundaries() {
+        let acc = single_ce_acc(FpgaBoard::new("small", 900, mccm_fpga::MiB(0.5), 19.2));
+        let n = acc.convs.len();
+        let df = eval_single_ce(
+            &acc,
+            0,
+            Schedule::DepthFirst { fuse_depth: 3 },
+            0,
+            n - 1,
+            true,
+            true,
+            bw_of(&acc),
+        );
+        for group in df.layers.chunks(3) {
+            if group.iter().all(|l| l.policy == SpillPolicy::Fused) {
+                // Interior layers of a fused group move no FMs off-chip.
+                for l in &group[1..group.len() - 1] {
+                    assert!(
+                        l.fm_traffic().is_zero(),
+                        "layer {} leaked FM traffic",
+                        l.layer
+                    );
+                }
+                assert!(group.last().unwrap().fm_load_traffic.is_zero());
+                assert!(group[0].fm_store_traffic.is_zero());
+            }
+        }
+    }
+
+    #[test]
     fn compute_cycles_match_eq1() {
         let acc = single_ce_acc(FpgaBoard::zcu102());
-        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, bw_of(&acc));
+        let o = eval_single_ce(
+            &acc,
+            0,
+            Schedule::LayerByLayer,
+            0,
+            acc.convs.len() - 1,
+            true,
+            true,
+            bw_of(&acc),
+        );
         let expect: Cycles = acc
             .convs
             .iter()
@@ -273,7 +504,16 @@ mod tests {
         let board = FpgaBoard::new("big", 900, mccm_fpga::MiB(64.0), 19.2);
         let acc = single_ce_acc(board);
         let n = acc.convs.len();
-        let o = eval_single_ce(&acc, 0, 0, n - 1, true, true, bw_of(&acc));
+        let o = eval_single_ce(
+            &acc,
+            0,
+            Schedule::LayerByLayer,
+            0,
+            n - 1,
+            true,
+            true,
+            bw_of(&acc),
+        );
         let min = Bytes::new(acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1));
         assert_eq!(o.weight_traffic + o.fm_traffic, min);
         // All mid layers keep FMs on chip.
@@ -287,7 +527,16 @@ mod tests {
         let tiny = FpgaBoard::new("tiny", 900, mccm_fpga::MiB(0.2), 19.2);
         let acc = single_ce_acc(tiny);
         let n = acc.convs.len();
-        let o = eval_single_ce(&acc, 0, 0, n - 1, true, true, bw_of(&acc));
+        let o = eval_single_ce(
+            &acc,
+            0,
+            Schedule::LayerByLayer,
+            0,
+            n - 1,
+            true,
+            true,
+            bw_of(&acc),
+        );
         let min = Bytes::new(acc.total_weight_bytes() + acc.ifm_bytes(0) + acc.ofm_bytes(n - 1));
         assert!(o.weight_traffic + o.fm_traffic > min);
         assert!(o.layers.iter().any(|l| l.policy != SpillPolicy::None));
@@ -299,7 +548,16 @@ mod tests {
         for mib in [0.2, 0.5, 1.0, 4.0, 16.0, 64.0] {
             let board = FpgaBoard::new("b", 900, mccm_fpga::MiB(mib), 19.2);
             let acc = single_ce_acc(board);
-            let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, bw_of(&acc));
+            let o = eval_single_ce(
+                &acc,
+                0,
+                Schedule::LayerByLayer,
+                0,
+                acc.convs.len() - 1,
+                true,
+                true,
+                bw_of(&acc),
+            );
             let t = o.weight_traffic + o.fm_traffic;
             assert!(
                 t <= last_traffic,
@@ -313,7 +571,16 @@ mod tests {
     fn boundary_store_forced() {
         let board = FpgaBoard::new("big", 900, mccm_fpga::MiB(64.0), 19.2);
         let acc = single_ce_acc(board);
-        let o = eval_single_ce(&acc, 0, 0, 5, false, true, bw_of(&acc));
+        let o = eval_single_ce(
+            &acc,
+            0,
+            Schedule::LayerByLayer,
+            0,
+            5,
+            false,
+            true,
+            bw_of(&acc),
+        );
         // Last layer must store its OFM.
         assert_eq!(
             o.layers.last().unwrap().fm_store_traffic,
@@ -327,7 +594,16 @@ mod tests {
     fn low_bandwidth_makes_memory_bound_layers() {
         let slow = FpgaBoard::new("slow", 900, mccm_fpga::MiB(0.5), 0.4);
         let acc = single_ce_acc(slow);
-        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, bw_of(&acc));
+        let o = eval_single_ce(
+            &acc,
+            0,
+            Schedule::LayerByLayer,
+            0,
+            acc.convs.len() - 1,
+            true,
+            true,
+            bw_of(&acc),
+        );
         assert!(o.time_cycles > o.compute_cycles);
         assert!(o.memory_cycles > o.compute_cycles);
     }
@@ -340,7 +616,16 @@ mod tests {
         let m = zoo::resnet50();
         let spec = notation::parse("{L1-Last: CE1}").unwrap();
         let acc = MultipleCeBuilder::new(&m, &tiny).build(&spec).unwrap();
-        let o = eval_single_ce(&acc, 0, 0, acc.convs.len() - 1, true, true, bw_of(&acc));
+        let o = eval_single_ce(
+            &acc,
+            0,
+            Schedule::LayerByLayer,
+            0,
+            acc.convs.len() - 1,
+            true,
+            true,
+            bw_of(&acc),
+        );
         // Late ResNet layers have big weights and small FMs: local-WS wins;
         // early layers the reverse. Both policies should appear.
         let has_ws = o

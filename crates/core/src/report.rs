@@ -26,6 +26,11 @@ pub enum SpillPolicy {
     /// Output-stationary, locally weight-stationary: each weight loaded
     /// once, IFMs re-loaded per weight-buffer pass.
     LocalWeightStationary,
+    /// Depth-first fused group member: intermediate FMs between the
+    /// group's layers stay in on-chip line buffers, so the layer pays no
+    /// FM traffic except a possible IFM load at the group's entry (first
+    /// layer) or OFM store at its exit (last layer).
+    Fused,
 }
 
 impl fmt::Display for SpillPolicy {
@@ -35,6 +40,7 @@ impl fmt::Display for SpillPolicy {
             Self::OutputSpill => "OFM-spill",
             Self::LocalInputStationary => "OS-IS",
             Self::LocalWeightStationary => "OS-WS",
+            Self::Fused => "fused",
         };
         f.write_str(s)
     }

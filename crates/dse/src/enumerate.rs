@@ -1,8 +1,11 @@
 //! Lexicographic enumeration of a [`CustomSpace`] with rank/unrank.
 //!
-//! Designs are totally ordered by `(ce_count, head_layers, boundaries)`:
-//! CE count ascending, head length ascending, then the tail-boundary
-//! combination in lexicographic order. [`CustomSpace::rank`] and
+//! Designs are totally ordered by `(ce_count, head_layers, boundaries,
+//! schedule)`: CE count ascending, head length ascending, the
+//! tail-boundary combination in lexicographic order, then the schedule
+//! index innermost (layer-by-layer first, depth-first by fuse depth) —
+//! so a `max_fuse_depth = 1` space enumerates exactly as before the
+//! schedule axis existed. [`CustomSpace::rank`] and
 //! [`CustomSpace::unrank`] map between designs and their position in that
 //! order via the combinatorial number system, so the whole space — or any
 //! contiguous chunk of it — can be walked without materializing it. That
@@ -117,8 +120,14 @@ pub struct DesignIter {
     block: usize,
     /// Current combination within the block (next design to yield).
     comb: Vec<usize>,
-    /// Whether `comb` has already been yielded.
+    /// Whether `comb`'s current schedule variant has been yielded.
     spent: bool,
+    /// Schedule index of the next design (`0` = layer-by-layer); cycles
+    /// through `0..schedules` before the combination advances.
+    sched: usize,
+    /// Schedule choices per structural design (the space's
+    /// `schedule_choices()`).
+    schedules: usize,
 }
 
 impl DesignIter {
@@ -127,6 +136,7 @@ impl DesignIter {
         let mut tail_ends: Vec<usize> = self.comb.iter().map(|&c| b.head + 1 + c).collect();
         tail_ends.push(self.layers);
         CustomDesign {
+            schedule: CustomSpace::schedule_at(self.sched),
             head_layers: b.head,
             tail_ends,
         }
@@ -135,6 +145,7 @@ impl DesignIter {
     fn enter_block(&mut self, block: usize) {
         self.block = block;
         self.spent = false;
+        self.sched = 0;
         if block < self.blocks.len() {
             let b = &self.blocks[block];
             self.comb = (0..b.segments - 1).collect();
@@ -154,6 +165,13 @@ impl Iterator for DesignIter {
                 self.spent = true;
                 return Some(self.design());
             }
+            // All schedule variants of the current combination first …
+            if self.sched + 1 < self.schedules {
+                self.sched += 1;
+                return Some(self.design());
+            }
+            // … then the next combination, back at layer-by-layer.
+            self.sched = 0;
             let positions = self.blocks[self.block].positions;
             if next_combination(&mut self.comb, positions) {
                 return Some(self.design());
@@ -172,6 +190,8 @@ impl CustomSpace {
             block: 0,
             comb: Vec::new(),
             spent: false,
+            sched: 0,
+            schedules: self.schedule_choices(),
         };
         it.enter_block(0);
         it
@@ -180,8 +200,13 @@ impl CustomSpace {
     /// Iterates designs starting at lexicographic `rank` (inclusive);
     /// `None` when `rank >= size` or the space is too large to rank.
     pub fn designs_from(&self, rank: u128) -> Option<DesignIter> {
+        let schedules = self.schedule_choices();
+        // Rank interleaves the schedule axis innermost: structural rank
+        // times `schedules`, plus the schedule index.
+        let structural = rank / u128::try_from(schedules).ok()?;
+        let sched = usize::try_from(rank % u128::try_from(schedules).ok()?).ok()?;
         let blocks = blocks(self);
-        let mut remaining = rank;
+        let mut remaining = structural;
         for (i, b) in blocks.iter().enumerate() {
             let size = b.size?;
             if remaining < size {
@@ -192,6 +217,8 @@ impl CustomSpace {
                     block: i,
                     comb,
                     spent: false,
+                    sched,
+                    schedules,
                 });
             }
             remaining -= size;
@@ -212,6 +239,8 @@ impl CustomSpace {
         if design.tail_ends.last() != Some(&n) {
             return None;
         }
+        let sched = u128::try_from(self.schedule_index(design.schedule)?).ok()?;
+        let schedules = u128::try_from(self.schedule_choices()).ok()?;
         // Interior boundaries must be strictly increasing in (h, n).
         let interior = &design.tail_ends[..design.tail_ends.len() - 1];
         let mut prev = h;
@@ -225,7 +254,8 @@ impl CustomSpace {
         for b in blocks(self) {
             if b.head == h && b.segments == k - h {
                 let comb: Vec<usize> = interior.iter().map(|&e| e - h - 1).collect();
-                return base.checked_add(comb_rank(b.positions, &comb)?);
+                let structural = base.checked_add(comb_rank(b.positions, &comb)?)?;
+                return structural.checked_mul(schedules)?.checked_add(sched);
             }
             base = base.checked_add(b.size?)?;
         }
@@ -276,6 +306,7 @@ mod tests {
     fn tiny_space_enumerates_in_order() {
         // n=4, k=2..3 — the 4 designs of space.rs's `tiny_space_enumerates`.
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 4,
             min_ces: 2,
             max_ces: 3,
@@ -284,18 +315,22 @@ mod tests {
         assert_eq!(all.len() as u128, space.size());
         let expected = [
             CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
                 head_layers: 1,
                 tail_ends: vec![4],
             },
             CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
                 head_layers: 1,
                 tail_ends: vec![2, 4],
             },
             CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
                 head_layers: 1,
                 tail_ends: vec![3, 4],
             },
             CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
                 head_layers: 2,
                 tail_ends: vec![4],
             },
@@ -307,20 +342,29 @@ mod tests {
     fn rank_unrank_roundtrip() {
         for space in [
             CustomSpace {
+                max_fuse_depth: 1,
                 layers: 7,
                 min_ces: 2,
                 max_ces: 5,
             },
             CustomSpace {
+                max_fuse_depth: 1,
                 layers: 10,
                 min_ces: 2,
                 max_ces: 4,
             },
             CustomSpace {
+                max_fuse_depth: 1,
                 layers: 5,
                 min_ces: 2,
                 max_ces: 11,
             }, // clamped head
+            CustomSpace {
+                max_fuse_depth: 3,
+                layers: 7,
+                min_ces: 2,
+                max_ces: 5,
+            }, // schedule axis on
         ] {
             let size = space.size();
             let mut seen = std::collections::HashSet::new();
@@ -336,8 +380,66 @@ mod tests {
     }
 
     #[test]
+    fn schedule_axis_scales_and_orders_the_enumeration() {
+        use mccm_arch::Schedule;
+        let base = CustomSpace {
+            max_fuse_depth: 1,
+            layers: 7,
+            min_ces: 2,
+            max_ces: 5,
+        };
+        let ext = base.with_max_fuse_depth(3);
+        assert_eq!(ext.size(), 3 * base.size());
+        let all: Vec<CustomDesign> = ext.designs().collect();
+        assert_eq!(all.len() as u128, ext.size());
+        // The schedule index cycles innermost: every structural design
+        // appears as LbL, @df2, @df3, in that order, and stripping the
+        // schedule recovers the base enumeration.
+        for (i, chunk) in all.chunks(3).enumerate() {
+            assert_eq!(chunk[0].schedule, Schedule::LayerByLayer, "design {i}");
+            assert_eq!(
+                chunk[1].schedule,
+                Schedule::DepthFirst { fuse_depth: 2 },
+                "design {i}"
+            );
+            assert_eq!(
+                chunk[2].schedule,
+                Schedule::DepthFirst { fuse_depth: 3 },
+                "design {i}"
+            );
+            assert!(chunk
+                .iter()
+                .all(|d| (d.head_layers, &d.tail_ends)
+                    == (chunk[0].head_layers, &chunk[0].tail_ends)));
+        }
+        let stripped: Vec<CustomDesign> = all
+            .iter()
+            .step_by(3)
+            .map(|d| CustomDesign {
+                schedule: Schedule::LayerByLayer,
+                head_layers: d.head_layers,
+                tail_ends: d.tail_ends.clone(),
+            })
+            .collect();
+        assert_eq!(stripped, base.designs().collect::<Vec<_>>());
+        // designs_from resumes mid-schedule-cycle.
+        for start in [0u128, 1, 2, 3, 7, ext.size() - 1] {
+            let tail: Vec<CustomDesign> = ext.designs_from(start).unwrap().collect();
+            assert_eq!(tail, all[usize::try_from(start).unwrap()..]);
+        }
+        // Out-of-axis schedules don't rank: fuse depth 1 duplicates LbL
+        // and fuse depth 4 exceeds the axis.
+        let mut d = all[0].clone();
+        d.schedule = Schedule::DepthFirst { fuse_depth: 1 };
+        assert_eq!(ext.rank(&d), None);
+        d.schedule = Schedule::DepthFirst { fuse_depth: 4 };
+        assert_eq!(ext.rank(&d), None);
+    }
+
+    #[test]
     fn designs_from_resumes_mid_stream() {
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 9,
             min_ces: 2,
             max_ces: 5,
@@ -353,6 +455,7 @@ mod tests {
     #[test]
     fn shards_partition_the_space() {
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 10,
             min_ces: 2,
             max_ces: 6,
@@ -374,6 +477,7 @@ mod tests {
     #[test]
     fn sharded_iteration_covers_exactly_the_space() {
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 8,
             min_ces: 2,
             max_ces: 6,
@@ -390,24 +494,28 @@ mod tests {
     #[test]
     fn rank_rejects_foreign_designs() {
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 8,
             min_ces: 2,
             max_ces: 4,
         };
         // Too many CEs for the space.
         let d = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 3,
             tail_ends: vec![5, 6, 7, 8],
         };
         assert_eq!(space.rank(&d), None);
         // Boundary past the model.
         let d = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 1,
             tail_ends: vec![9],
         };
         assert_eq!(space.rank(&d), None);
         // Non-increasing boundaries.
         let d = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 1,
             tail_ends: vec![5, 5, 8],
         };
@@ -417,6 +525,7 @@ mod tests {
     #[test]
     fn empty_space_yields_nothing() {
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 4,
             min_ces: 6,
             max_ces: 11,

@@ -67,6 +67,12 @@ pub struct OptimizerConfig {
     /// Probability that an offspring is produced by crossover before
     /// mutation (otherwise mutation of a tournament winner alone).
     pub crossover_prob: f64,
+    /// Largest depth-first fuse depth the search may assign to tail CEs
+    /// (the schedule axis of [`CustomSpace`]). `1` — the default — keeps
+    /// the search layer-by-layer only, reproducing pre-schedule runs
+    /// exactly; `d ≥ 2` lets the optimizer trade fuse depth against the
+    /// other axes.
+    pub max_fuse_depth: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -80,6 +86,7 @@ impl Default for OptimizerConfig {
             migration_interval: 8,
             migrants: 4,
             crossover_prob: 0.9,
+            max_fuse_depth: 1,
         }
     }
 }
@@ -133,6 +140,12 @@ impl OptimizerConfig {
         self
     }
 
+    /// Replaces the schedule axis' largest fuse depth (`1` = off).
+    pub fn with_max_fuse_depth(mut self, max_fuse_depth: usize) -> Self {
+        self.max_fuse_depth = max_fuse_depth;
+        self
+    }
+
     /// Checks the configuration is runnable — the typed pre-flight check
     /// machine-supplied configs (scenario files, request payloads) go
     /// through before [`Explorer::optimize`], whose own guards are
@@ -160,6 +173,9 @@ impl OptimizerConfig {
                 "crossover_prob must be in [0, 1], got {}",
                 self.crossover_prob
             ));
+        }
+        if self.max_fuse_depth == 0 {
+            return fail("max_fuse_depth must be at least 1 (1 = layer-by-layer only)".into());
         }
         Ok(())
     }
@@ -539,7 +555,9 @@ impl Explorer {
         assert!(config.population >= 4, "population must be at least 4");
         assert!(config.islands >= 1, "need at least one island");
         let start = Instant::now();
-        let space = self.paper_space();
+        let space = self
+            .paper_space()
+            .with_max_fuse_depth(config.max_fuse_depth);
         let metrics = config.metrics.clone();
         let k = config.islands;
         let share = config.budget / k as u64;
@@ -785,6 +803,41 @@ mod tests {
             );
             assert_eq!(par.evaluations, serial.evaluations);
             assert_eq!(par.feasible, serial.feasible);
+        }
+    }
+
+    #[test]
+    fn schedule_axis_run_is_worker_invariant_too() {
+        // The schedule-extended space must keep the worker-count
+        // bit-identity guarantee: islands advance on counter-based streams,
+        // so adding an axis only changes *what* is drawn, never *who*
+        // draws it.
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let cfg = small_config().with_max_fuse_depth(3);
+        let serial = e.optimize(&cfg).unwrap();
+        assert_eq!(front_key(&serial), front_key(&e.optimize(&cfg).unwrap()));
+        for workers in [2usize, 5] {
+            let par = e.optimize_par(&cfg, workers).unwrap();
+            assert_eq!(
+                front_key(&par),
+                front_key(&serial),
+                "schedule-extended front diverged at workers={workers}"
+            );
+        }
+        // And the axis must actually change the search relative to the
+        // layer-by-layer-only run under the same seed.
+        let lbl = e.optimize(&small_config()).unwrap();
+        assert_ne!(front_key(&serial), front_key(&lbl));
+    }
+
+    #[test]
+    fn max_fuse_depth_zero_is_rejected_with_the_field_named() {
+        match small_config().with_max_fuse_depth(0).validate() {
+            Err(ExploreError::BadConfig { detail }) => {
+                assert!(detail.contains("max_fuse_depth"), "{detail}");
+            }
+            other => panic!("expected BadConfig, got {other:?}"),
         }
     }
 

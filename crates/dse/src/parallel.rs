@@ -421,6 +421,7 @@ mod tests {
         let m = zoo::mobilenet_v2();
         let e = Explorer::new(&m, &FpgaBoard::zc706());
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: m.conv_layer_count(),
             min_ces: 2,
             max_ces: 3,

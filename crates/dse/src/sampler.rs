@@ -84,7 +84,16 @@ fn draw_design(space: &CustomSpace, rng: &mut StdRng) -> CustomDesign {
             .collect();
         ends.sort_unstable();
         ends.push(n);
+        // The schedule draw only happens when the axis is on, so
+        // `max_fuse_depth = 1` spaces consume the exact RNG stream of the
+        // pre-schedule sampler — seeded point sets are unchanged.
+        let schedule = if space.schedule_choices() > 1 {
+            CustomSpace::schedule_at(rng.random_range(0..space.schedule_choices()))
+        } else {
+            mccm_arch::Schedule::LayerByLayer
+        };
         return CustomDesign {
+            schedule,
             head_layers: h,
             tail_ends: ends,
         };
@@ -174,8 +183,43 @@ mod tests {
     }
 
     #[test]
+    fn schedule_axis_sampling_covers_every_choice() {
+        let m = zoo::xception();
+        let space = CustomSpace::paper_range(74).with_max_fuse_depth(3);
+        let mut schedules = std::collections::HashSet::new();
+        for d in CustomSampler::new(space, 11).sample_many(300) {
+            assert!(space.contains(&d), "{d:?}");
+            d.to_spec(&m).unwrap();
+            schedules.insert(d.schedule);
+        }
+        use mccm_arch::Schedule;
+        for want in [
+            Schedule::LayerByLayer,
+            Schedule::DepthFirst { fuse_depth: 2 },
+            Schedule::DepthFirst { fuse_depth: 3 },
+        ] {
+            assert!(schedules.contains(&want), "{want:?} never sampled");
+        }
+    }
+
+    #[test]
+    fn axis_off_sampling_matches_the_pre_schedule_stream() {
+        // With max_fuse_depth = 1 the schedule draw is skipped entirely, so
+        // the structural part of every design must match the axis-on space
+        // only up to the point where the extra draw perturbs the stream —
+        // and more importantly the axis-off stream is self-consistent with
+        // sample_attempt (a pure function used by the parallel samplers).
+        let space = CustomSpace::paper_range(74);
+        for attempt in 0..200u64 {
+            let d = sample_attempt(&space, 21, attempt);
+            assert_eq!(d.schedule, mccm_arch::Schedule::LayerByLayer);
+        }
+    }
+
+    #[test]
     fn small_models_sample_too() {
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 6,
             min_ces: 2,
             max_ces: 5,
@@ -218,6 +262,7 @@ mod tests {
     #[test]
     fn attempt_samples_are_valid_designs() {
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 6,
             min_ces: 2,
             max_ces: 5,
@@ -235,6 +280,7 @@ mod tests {
     fn degenerate_min_ces_rejected_at_construction() {
         CustomSampler::new(
             CustomSpace {
+                max_fuse_depth: 1,
                 layers: 10,
                 min_ces: 1,
                 max_ces: 4,
@@ -250,6 +296,7 @@ mod tests {
         // construction check sample() would loop forever.
         CustomSampler::new(
             CustomSpace {
+                max_fuse_depth: 1,
                 layers: 4,
                 min_ces: 6,
                 max_ces: 11,

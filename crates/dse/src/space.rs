@@ -9,18 +9,23 @@
 //! billion such designs for Xception with 2-11 CEs; [`CustomSpace::size`]
 //! computes our space's exact cardinality.
 
-use mccm_arch::{templates, AcceleratorSpec, ArchError};
+use mccm_arch::{templates, AcceleratorSpec, ArchError, Schedule};
 use mccm_cnn::CnnModel;
 use rand::Rng;
 
-/// A point in the custom space: head length plus tail boundaries
-/// (exclusive layer end indices, strictly increasing, last = layer count).
+/// A point in the custom space: head length, tail boundaries (exclusive
+/// layer end indices, strictly increasing, last = layer count), and the
+/// schedule every tail CE runs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CustomDesign {
     /// Layers (= CEs) in the pipelined head.
     pub head_layers: usize,
     /// Exclusive end index of each tail segment.
     pub tail_ends: Vec<usize>,
+    /// Schedule applied to every tail (single-CE) segment. The pipelined
+    /// head is always layer-by-layer — depth-first makes no sense there
+    /// (pipelined blocks already overlap layers at tile granularity).
+    pub schedule: Schedule,
 }
 
 impl CustomDesign {
@@ -41,7 +46,12 @@ impl CustomDesign {
     ///
     /// Propagates [`ArchError::Infeasible`] for malformed boundaries.
     pub fn to_spec(&self, model: &CnnModel) -> Result<AcceleratorSpec, ArchError> {
-        templates::custom_hybrid_segmented(model, self.head_layers, &self.tail_ends)
+        templates::custom_hybrid_segmented_scheduled(
+            model,
+            self.head_layers,
+            &self.tail_ends,
+            self.schedule,
+        )
     }
 }
 
@@ -54,15 +64,66 @@ pub struct CustomSpace {
     pub min_ces: usize,
     /// Maximum total CEs.
     pub max_ces: usize,
+    /// Largest depth-first fuse depth the schedule axis may take. `1`
+    /// (the default everywhere) disables the axis: every design is
+    /// layer-by-layer and the space, its enumeration order, and the
+    /// optimizer's RNG streams are exactly the pre-schedule ones.
+    /// `d ≥ 2` adds `d - 1` depth-first variants (fuse depths `2..=d`)
+    /// per structural design.
+    pub max_fuse_depth: usize,
 }
 
 impl CustomSpace {
-    /// The paper's CE range (2-11 CEs, §V-A3).
+    /// The paper's CE range (2-11 CEs, §V-A3), layer-by-layer only.
     pub fn paper_range(layers: usize) -> Self {
         Self {
             layers,
             min_ces: 2,
             max_ces: 11,
+            max_fuse_depth: 1,
+        }
+    }
+
+    /// This space with the schedule axis extended to fuse depths up to
+    /// `max_fuse_depth` (`1` keeps the axis off).
+    #[must_use]
+    pub fn with_max_fuse_depth(mut self, max_fuse_depth: usize) -> Self {
+        self.max_fuse_depth = max_fuse_depth;
+        self
+    }
+
+    /// Schedule choices per structural design (≥ 1).
+    pub(crate) fn schedule_choices(&self) -> usize {
+        self.max_fuse_depth.max(1)
+    }
+
+    /// The schedule at enumeration index `index`: `0` is layer-by-layer,
+    /// `s ≥ 1` is depth-first with fuse depth `s + 1` (depth-first with
+    /// fuse depth 1 is excluded — it is bit-identical to layer-by-layer
+    /// and would duplicate every structural design).
+    pub(crate) fn schedule_at(index: usize) -> Schedule {
+        if index == 0 {
+            Schedule::LayerByLayer
+        } else {
+            Schedule::DepthFirst {
+                fuse_depth: index + 1,
+            }
+        }
+    }
+
+    /// Inverse of [`Self::schedule_at`] within this space's axis; `None`
+    /// for schedules outside the space (fuse depth 1, or beyond
+    /// `max_fuse_depth`).
+    pub(crate) fn schedule_index(&self, schedule: Schedule) -> Option<usize> {
+        match schedule {
+            Schedule::LayerByLayer => Some(0),
+            Schedule::DepthFirst { fuse_depth } => {
+                if (2..=self.schedule_choices()).contains(&fuse_depth) {
+                    Some(fuse_depth - 1)
+                } else {
+                    None
+                }
+            }
         }
     }
 
@@ -85,6 +146,9 @@ impl CustomSpace {
         let n = self.layers;
         let h = design.head_layers;
         if h < 1 || h + 1 > n {
+            return false;
+        }
+        if self.schedule_index(design.schedule).is_none() {
             return false;
         }
         let k = design.ce_count();
@@ -112,13 +176,19 @@ impl CustomSpace {
     /// counter-based per-island streams so results are worker-invariant.
     pub fn mutate<R: Rng>(&self, design: &CustomDesign, rng: &mut R) -> CustomDesign {
         debug_assert!(self.contains(design), "mutate input must be valid");
+        // The two schedule moves only join the op pool when the schedule
+        // axis is on, so `max_fuse_depth = 1` consumes the exact RNG
+        // stream of the pre-schedule operator set.
+        let ops: u32 = if self.schedule_choices() > 1 { 6 } else { 4 };
         for _ in 0..8 {
             let mut d = design.clone();
-            let applied = match rng.random_range(0..4u32) {
+            let applied = match rng.random_range(0..ops) {
                 0 => self.shift_head(&mut d, rng),
                 1 => self.slide_boundary(&mut d, rng),
                 2 => self.split_segment(&mut d, rng),
-                _ => self.merge_segments(&mut d, rng),
+                3 => self.merge_segments(&mut d, rng),
+                4 => self.flip_schedule(&mut d, rng),
+                _ => self.shift_fuse_depth(&mut d, rng),
             };
             if applied && self.contains(&d) {
                 return d;
@@ -146,6 +216,17 @@ impl CustomSpace {
             a.head_layers
         } else {
             b.head_layers
+        };
+        // One coin flip picks a parent's schedule — drawn only when the
+        // axis is on, so axis-off streams stay byte-compatible.
+        let schedule = if self.schedule_choices() > 1 {
+            if rng.random_bool(0.5) {
+                a.schedule
+            } else {
+                b.schedule
+            }
+        } else {
+            Schedule::LayerByLayer
         };
         // Blend: every parental copy of a boundary gets a p=1/2 coin flip
         // until one copy is kept, so a boundary unique to one parent
@@ -181,6 +262,7 @@ impl CustomSpace {
         let mut tail_ends = interior;
         tail_ends.push(n);
         let child = CustomDesign {
+            schedule,
             head_layers: head,
             tail_ends,
         };
@@ -255,9 +337,60 @@ impl CustomSpace {
         true
     }
 
+    /// Schedule flip: layer-by-layer becomes depth-first at a random
+    /// fuse depth in `[2, max_fuse_depth]`; depth-first reverts to
+    /// layer-by-layer. Only reachable when the schedule axis is on.
+    fn flip_schedule<R: Rng>(&self, d: &mut CustomDesign, rng: &mut R) -> bool {
+        match d.schedule {
+            Schedule::LayerByLayer => {
+                if self.schedule_choices() < 2 {
+                    return false;
+                }
+                d.schedule = Schedule::DepthFirst {
+                    fuse_depth: rng.random_range(2..=self.schedule_choices()),
+                };
+                true
+            }
+            Schedule::DepthFirst { .. } => {
+                d.schedule = Schedule::LayerByLayer;
+                true
+            }
+        }
+    }
+
+    /// Fuse-depth shift: ±1 on a depth-first design's fuse depth, staying
+    /// within `[2, max_fuse_depth]`. No-op on layer-by-layer designs.
+    fn shift_fuse_depth<R: Rng>(&self, d: &mut CustomDesign, rng: &mut R) -> bool {
+        let Schedule::DepthFirst { fuse_depth } = d.schedule else {
+            return false;
+        };
+        let deeper = rng.random_bool(0.5);
+        let new_depth = if deeper {
+            fuse_depth + 1
+        } else {
+            fuse_depth.wrapping_sub(1)
+        };
+        if !(2..=self.schedule_choices()).contains(&new_depth) {
+            return false;
+        }
+        d.schedule = Schedule::DepthFirst {
+            fuse_depth: new_depth,
+        };
+        true
+    }
+
     /// Exact number of designs in the space, or `None` if the count
-    /// overflows `u128`.
+    /// overflows `u128`. Every structural design carries one schedule
+    /// variant per choice on the schedule axis (layer-by-layer plus the
+    /// depth-first depths `2..=max_fuse_depth`).
     pub fn size_checked(&self) -> Option<u128> {
+        let schedules = u128::try_from(self.schedule_choices()).ok()?;
+        self.structural_size_checked()?.checked_mul(schedules)
+    }
+
+    /// Number of `(head, boundaries)` combinations, ignoring the schedule
+    /// axis.
+    fn structural_size_checked(&self) -> Option<u128> {
         // Explicit (infallible) widenings: `usize` has no `From` impl
         // into `u128`, and an `as` here would go silently lossy if the
         // index types ever changed.
@@ -405,6 +538,7 @@ mod tests {
         // k=2: h=1, tail=1 segment -> 1 design.
         // k=3: h=1 tail 2 segs -> C(2,1)=2; h=2 tail 1 seg -> 1.
         let space = CustomSpace {
+            max_fuse_depth: 1,
             layers: 4,
             min_ces: 2,
             max_ces: 3,
@@ -416,35 +550,42 @@ mod tests {
     fn contains_accepts_members_and_rejects_malformed_designs() {
         let space = CustomSpace::paper_range(74);
         let ok = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 3,
             tail_ends: vec![20, 52, 74],
         };
         assert!(space.contains(&ok));
         // Last end must be the layer count.
         assert!(!space.contains(&CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 3,
             tail_ends: vec![20, 52]
         }));
         // Boundaries must be strictly increasing past the head.
         assert!(!space.contains(&CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 3,
             tail_ends: vec![3, 74]
         }));
         assert!(!space.contains(&CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 3,
             tail_ends: vec![52, 20, 74]
         }));
         // CE count must stay within the range.
         let narrow = CustomSpace {
+            max_fuse_depth: 1,
             layers: 74,
             min_ces: 3,
             max_ces: 11,
         };
         assert!(!narrow.contains(&CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 1,
             tail_ends: vec![74]
         }));
         let too_many = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 6,
             tail_ends: (7..=11).chain(std::iter::once(74)).collect(),
         };
@@ -452,6 +593,7 @@ mod tests {
         assert!(!space.contains(&too_many));
         // Headless designs are not members.
         assert!(!space.contains(&CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 0,
             tail_ends: vec![10, 74]
         }));
@@ -462,6 +604,7 @@ mod tests {
         use rand::{rngs::StdRng, SeedableRng};
         for (layers, min_ces, max_ces) in [(74, 2, 11), (6, 2, 5), (10, 2, 11)] {
             let space = CustomSpace {
+                max_fuse_depth: 1,
                 layers,
                 min_ces,
                 max_ces,
@@ -509,10 +652,12 @@ mod tests {
         use rand::{rngs::StdRng, SeedableRng};
         let space = CustomSpace::paper_range(74);
         let a = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 3,
             tail_ends: vec![20, 52, 74],
         };
         let b = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 5,
             tail_ends: vec![30, 60, 70, 74],
         };
@@ -529,9 +674,86 @@ mod tests {
     }
 
     #[test]
+    fn schedule_mutations_walk_the_axis_and_stay_valid() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let space = CustomSpace::paper_range(74).with_max_fuse_depth(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut d = CustomDesign {
+            schedule: Schedule::LayerByLayer,
+            head_layers: 3,
+            tail_ends: vec![20, 52, 74],
+        };
+        let mut depths = std::collections::HashSet::new();
+        let mut back_to_lbl = false;
+        for _ in 0..400 {
+            let was_df = matches!(d.schedule, Schedule::DepthFirst { .. });
+            d = space.mutate(&d, &mut rng);
+            assert!(space.contains(&d), "mutant left the space: {d:?}");
+            match d.schedule {
+                Schedule::DepthFirst { fuse_depth } => {
+                    depths.insert(fuse_depth);
+                }
+                Schedule::LayerByLayer if was_df => back_to_lbl = true,
+                Schedule::LayerByLayer => {}
+            }
+        }
+        assert!(depths.len() >= 2, "fuse depths reached: {depths:?}");
+        assert!(depths.iter().all(|&f| (2..=4).contains(&f)));
+        assert!(back_to_lbl, "flip never reverted to layer-by-layer");
+    }
+
+    #[test]
+    fn axis_off_space_never_leaves_layer_by_layer() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let space = CustomSpace::paper_range(74);
+        assert!(!space.contains(&CustomDesign {
+            schedule: Schedule::DepthFirst { fuse_depth: 2 },
+            head_layers: 3,
+            tail_ends: vec![20, 52, 74],
+        }));
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut sampler = CustomSampler::new(space, 3);
+        for _ in 0..100 {
+            let a = sampler.sample();
+            let b = sampler.sample();
+            assert_eq!(a.schedule, Schedule::LayerByLayer);
+            let m = space.mutate(&a, &mut rng);
+            assert_eq!(m.schedule, Schedule::LayerByLayer);
+            let c = space.crossover(&a, &b, &mut rng);
+            assert_eq!(c.schedule, Schedule::LayerByLayer);
+        }
+    }
+
+    #[test]
+    fn crossover_inherits_one_parent_schedule() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let space = CustomSpace::paper_range(74).with_max_fuse_depth(3);
+        let a = CustomDesign {
+            schedule: Schedule::DepthFirst { fuse_depth: 3 },
+            head_layers: 3,
+            tail_ends: vec![20, 52, 74],
+        };
+        let b = CustomDesign {
+            schedule: Schedule::LayerByLayer,
+            head_layers: 5,
+            tail_ends: vec![30, 60, 70, 74],
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut inherited = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let c = space.crossover(&a, &b, &mut rng);
+            assert!(space.contains(&c));
+            assert!(c.schedule == a.schedule || c.schedule == b.schedule);
+            inherited.insert(c.schedule);
+        }
+        assert_eq!(inherited.len(), 2, "both parental schedules must appear");
+    }
+
+    #[test]
     fn design_materializes() {
         let m = zoo::mobilenet_v2();
         let d = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
             head_layers: 3,
             tail_ends: vec![20, 52],
         };

@@ -8,7 +8,7 @@
 //! - **raw-quantity-field** — a public field of an `mccm_core` struct
 //!   holding a dimensioned quantity (`*_bytes`, `*_cycles`, `*_macs`, …)
 //!   as a raw `u64`/`f64` instead of the typed newtypes from
-//!   [`mccm_core::quantity`]. The whole point of the quantity layer is
+//!   `mccm_core::quantity`. The whole point of the quantity layer is
 //!   that these cannot reappear silently.
 //! - **ok-swallow** — `.ok()` used to discard a builder `Result`. The
 //!   build path reports real errors (`ArchError`); swallowing one turns
@@ -19,6 +19,12 @@
 //!   (DSE time budgets, speed benchmarks).
 //! - **debug-print** — stray `dbg!`/`println!`/`eprintln!` in library
 //!   code. Libraries return data; binaries print.
+//! - **schedule-match** — naming a `BlockSpec`/`Schedule` enum *variant*
+//!   outside `crates/core/src/model/`. Schedule dispatch is the cost
+//!   model's job; a call site that matches on `Schedule::DepthFirst` or
+//!   `BlockSpec::Pipelined` is re-deriving evaluation semantics the core
+//!   already owns. Legitimate sites (the defining crate, the notation
+//!   parser, the search space) are allowlisted one by one.
 //!
 //! The scan is line-based and intentionally simple (in the offline,
 //! no-dependency style of `mccm::json`): comments are skipped, the
@@ -43,6 +49,8 @@ pub enum Rule {
     WallClock,
     /// `dbg!`/`println!`/`eprintln!` in library code.
     DebugPrint,
+    /// `BlockSpec`/`Schedule` variant dispatch outside the core model.
+    ScheduleMatch,
 }
 
 impl Rule {
@@ -53,6 +61,7 @@ impl Rule {
             Self::OkSwallow => "ok-swallow",
             Self::WallClock => "wall-clock",
             Self::DebugPrint => "debug-print",
+            Self::ScheduleMatch => "schedule-match",
         }
     }
 
@@ -63,6 +72,7 @@ impl Rule {
             "ok-swallow" => Some(Self::OkSwallow),
             "wall-clock" => Some(Self::WallClock),
             "debug-print" => Some(Self::DebugPrint),
+            "schedule-match" => Some(Self::ScheduleMatch),
             _ => None,
         }
     }
@@ -100,7 +110,7 @@ impl fmt::Display for Finding {
 
 /// Field-name suffixes that denote a counted quantity. A public raw
 /// `u64`/`f64` field with one of these suffixes in `mccm_core` should be
-/// a [`mccm_core::quantity`] newtype instead.
+/// a `mccm_core::quantity` newtype instead.
 const QUANTITY_SUFFIXES: &[&str] = &[
     "_bytes", "_cycles", "_macs", "_traffic", "_pes", "_joules", "_j",
 ];
@@ -112,6 +122,17 @@ const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime", "std::time::"
 
 /// Print macros banned from library code.
 const PRINT_TOKENS: &[&str] = &["dbg!(", "println!(", "eprintln!("];
+
+/// Variant-level schedule/block dispatch. Naming one of these outside
+/// the core model means a call site is re-deriving evaluation semantics
+/// (which layers fuse, what a pipelined block may carry) that the
+/// schedule-dispatched core already owns.
+const SCHEDULE_TOKENS: &[&str] = &[
+    "Schedule::LayerByLayer",
+    "Schedule::DepthFirst",
+    "BlockSpec::Single",
+    "BlockSpec::Pipelined",
+];
 
 /// Whether `rule` applies to the file at `path` (workspace-relative).
 fn rule_applies(rule: Rule, path: &str) -> bool {
@@ -131,6 +152,9 @@ fn rule_applies(rule: Rule, path: &str) -> bool {
         Rule::DebugPrint => {
             path.starts_with("crates/") && path.contains("/src/") && !path.contains("/bin/")
         }
+        // Schedule dispatch belongs to the core model; everywhere else
+        // must justify a variant-level match in the allowlist.
+        Rule::ScheduleMatch => !path.starts_with("crates/core/src/model/"),
     }
 }
 
@@ -181,6 +205,11 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
         }
         if rule_applies(Rule::DebugPrint, path) && PRINT_TOKENS.iter().any(|t| line.contains(t)) {
             push(&mut findings, Rule::DebugPrint);
+        }
+        if rule_applies(Rule::ScheduleMatch, path)
+            && SCHEDULE_TOKENS.iter().any(|t| line.contains(t))
+        {
+            push(&mut findings, Rule::ScheduleMatch);
         }
     }
     findings
@@ -355,6 +384,26 @@ mod tests {
         assert!(scan_source("crates/bench/src/bin/fig5.rs", src).is_empty());
         let test_only = "#[cfg(test)]\nmod tests {\n    println!(\"x\");\n}\n";
         assert!(scan_source("crates/core/src/model/mod.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn schedule_dispatch_flagged_outside_the_core_model() {
+        let src =
+            "    if matches!(a.schedule, Schedule::DepthFirst { .. }) {\n        todo!()\n    }\n";
+        let hits = scan_source("crates/dse/src/explorer.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::ScheduleMatch);
+        // The schedule-dispatched evaluation core is the one legitimate home.
+        assert!(scan_source("crates/core/src/model/single_ce.rs", src).is_empty());
+        // Naming the type without a variant is fine anywhere.
+        let fine = "    pub schedule: Schedule,\n";
+        assert!(scan_source("crates/dse/src/space.rs", fine).is_empty());
+        // Block variants count too.
+        let block = "    let BlockSpec::Pipelined { first_ce, .. } = a.block else { return };\n";
+        assert_eq!(
+            scan_source("src/session.rs", block)[0].rule,
+            Rule::ScheduleMatch
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         layers: model.conv_layer_count(),
         min_ces: 2,
         max_ces: 3,
+        max_fuse_depth: 1,
     };
     println!(
         "exhaustive sweep: {} on {} — {} designs, {WORKERS} workers",

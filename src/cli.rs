@@ -32,7 +32,8 @@ USAGE:
   mccm models                         list available CNNs
   mccm boards                         list evaluation FPGA boards
   mccm evaluate --model M --board B (--notation S | --arch A --ces K)
-                [--precision int8|int16] [--batch N] [--verbose] [--json]
+                [--fuse-depth N] [--precision int8|int16] [--batch N]
+                [--verbose] [--json]
   mccm validate --model M --board B (--notation S | --arch A --ces K)
                 [--precision int8|int16]
   mccm sweep    --model M --board B [--min-ces N] [--max-ces N]
@@ -40,8 +41,8 @@ USAGE:
   mccm explore  --model M --board B [--samples N] [--seed N] [--workers N]
                 [--json]
   mccm optimize --model M --board B [--budget N] [--population N] [--islands N]
-                [--seed N] [--workers N] [--metrics latency,throughput,...]
-                [--json]
+                [--max-fuse-depth N] [--seed N] [--workers N]
+                [--metrics latency,throughput,...] [--json]
 
 ARCHITECTURES: segmented | segmentedrr | hybrid
 METRICS:       latency | throughput | access | buffers | energy (default: all five)
@@ -271,6 +272,7 @@ fn cmd_evaluate(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
             ("--notation", FlagKind::Value),
             ("--arch", FlagKind::Value),
             ("--ces", FlagKind::Value),
+            ("--fuse-depth", FlagKind::Value),
             ("--precision", FlagKind::Value),
             ("--batch", FlagKind::Value),
             ("--verbose", FlagKind::Switch),
@@ -284,6 +286,14 @@ fn cmd_evaluate(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
     }
     if let Some(batch) = flags.parsed::<usize>("--batch")? {
         root.push("batch", batch);
+    }
+    if let Some(depth) = flags.parsed::<usize>("--fuse-depth")? {
+        // Design-wide depth-first schedule on every single-CE
+        // assignment; depth 1 is exactly layer-by-layer.
+        let mut schedule = Json::object();
+        schedule.push("mode", "depth_first");
+        schedule.push("fuse_depth", depth);
+        root.push("schedule", schedule);
     }
     let mut action = Json::object();
     action.push("evaluate", design_body("evaluate", &flags)?);
@@ -393,6 +403,7 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
             ("--budget", FlagKind::Value),
             ("--population", FlagKind::Value),
             ("--islands", FlagKind::Value),
+            ("--max-fuse-depth", FlagKind::Value),
             ("--seed", FlagKind::Value),
             ("--workers", FlagKind::Value),
             ("--metrics", FlagKind::Value),
@@ -423,6 +434,9 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
     }
     if let Some(n) = flags.parsed::<usize>("--islands")? {
         body.push("islands", n);
+    }
+    if let Some(n) = flags.parsed::<usize>("--max-fuse-depth")? {
+        body.push("max_fuse_depth", n);
     }
     let mut action = Json::object();
     action.push("optimize", body);
@@ -904,6 +918,59 @@ mod tests {
     fn valueless_value_flag_is_rejected() {
         let err = run_cli(&["evaluate", "--model"]).unwrap_err();
         assert!(err.to_string().contains("`--model` needs a value"), "{err}");
+    }
+
+    #[test]
+    fn fuse_depth_flag_schedules_the_evaluated_design() {
+        let text = run_cli(&[
+            "evaluate",
+            "--model",
+            "mobilenetv2",
+            "--board",
+            "zc706",
+            "--arch",
+            "segmented",
+            "--ces",
+            "3",
+            "--fuse-depth",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        assert!(text.contains("@df2"), "{text}");
+    }
+
+    #[test]
+    fn max_fuse_depth_flag_reaches_the_optimizer_and_rejects_zero() {
+        let ok = run_cli(&[
+            "optimize",
+            "--model",
+            "mobilenetv2",
+            "--board",
+            "zc706",
+            "--budget",
+            "80",
+            "--population",
+            "8",
+            "--islands",
+            "2",
+            "--max-fuse-depth",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        assert!(ok.contains("\"front\""), "{ok}");
+        let err = run_cli(&[
+            "optimize",
+            "--model",
+            "mobilenetv2",
+            "--board",
+            "zc706",
+            "--max-fuse-depth",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("max_fuse_depth"), "{err}");
     }
 
     #[test]

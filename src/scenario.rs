@@ -28,6 +28,7 @@
 //! ```
 
 use crate::arch::templates::Architecture;
+use crate::arch::Schedule;
 use crate::cnn::synthetic::SyntheticConfig;
 use crate::cnn::{zoo, CnnModel};
 use crate::core::Metric;
@@ -190,7 +191,18 @@ pub enum Action {
         migrants: usize,
         /// Crossover probability.
         crossover_prob: f64,
+        /// Largest depth-first fuse depth in the schedule axis (1 =
+        /// layer-by-layer only, the pre-schedule search space).
+        max_fuse_depth: usize,
     },
+}
+
+/// Per-CE overrides of an evaluate scenario (`ces[i]` addresses the
+/// design's assignment `i`, in notation order).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CeOverride {
+    /// Replaces the assignment's schedule when set.
+    pub schedule: Option<Schedule>,
 }
 
 impl Action {
@@ -227,6 +239,14 @@ pub struct Scenario {
     /// Worker threads (`0` = one per core, the default). Results are
     /// worker-count invariant throughout.
     pub workers: usize,
+    /// Design-wide schedule applied to every single-CE assignment of an
+    /// evaluate design (pipelined blocks keep layer-by-layer — they
+    /// already overlap layers at tile granularity). `None` keeps
+    /// whatever the design specifies. Evaluate-only.
+    pub schedule: Option<Schedule>,
+    /// Per-CE overrides (`ces[i]` addresses assignment `i`); may be
+    /// shorter than the design's assignment list. Evaluate-only.
+    pub ces: Vec<CeOverride>,
     /// What to run.
     pub action: Action,
 }
@@ -242,6 +262,8 @@ impl Scenario {
             batch: 1,
             seed: 1,
             workers: 0,
+            schedule: None,
+            ces: Vec::new(),
             action,
         }
     }
@@ -274,6 +296,8 @@ impl Scenario {
                 "batch",
                 "seed",
                 "workers",
+                "schedule",
+                "ces",
                 "action",
             ],
         )?;
@@ -293,7 +317,38 @@ impl Scenario {
         }
         let seed = opt_u64(root, "seed", 1)?;
         let workers = opt_usize(root, "workers", 0)?;
+        let schedule = match root.get("schedule") {
+            None => None,
+            Some(v) => Some(parse_schedule(v, "schedule")?),
+        };
+        let ces = match root.get("ces") {
+            None => Vec::new(),
+            Some(v) => parse_ce_overrides(v)?,
+        };
         let action = parse_action(require(root, "action", "(root)")?)?;
+        if !matches!(action, Action::Evaluate { .. }) {
+            // Schedule overrides rewrite one concrete design; the search
+            // actions carry the axis inside their own configuration
+            // (`action.optimize.max_fuse_depth`) instead.
+            if schedule.is_some() {
+                return Err(Error::scenario(
+                    "schedule",
+                    format!(
+                        "only applies to the evaluate action, not `{}`",
+                        action.name()
+                    ),
+                ));
+            }
+            if !ces.is_empty() {
+                return Err(Error::scenario(
+                    "ces",
+                    format!(
+                        "only applies to the evaluate action, not `{}`",
+                        action.name()
+                    ),
+                ));
+            }
+        }
         Ok(Self {
             model,
             board,
@@ -301,6 +356,8 @@ impl Scenario {
             batch,
             seed,
             workers,
+            schedule,
+            ces,
             action,
         })
     }
@@ -343,6 +400,25 @@ impl Scenario {
         root.push("batch", self.batch);
         root.push("seed", self.seed);
         root.push("workers", self.workers);
+        // Optional overrides stay absent when unset, so unset → absent →
+        // unset round-trips and the canonical form is a fixed point.
+        if let Some(schedule) = self.schedule {
+            root.push("schedule", schedule_json(schedule));
+        }
+        if !self.ces.is_empty() {
+            let entries: Vec<Json> = self
+                .ces
+                .iter()
+                .map(|c| {
+                    let mut entry = Json::object();
+                    if let Some(s) = c.schedule {
+                        entry.push("schedule", schedule_json(s));
+                    }
+                    entry
+                })
+                .collect();
+            root.push("ces", entries);
+        }
         let mut action = Json::object();
         match &self.action {
             Action::Evaluate { design } => {
@@ -376,6 +452,7 @@ impl Scenario {
                 migration_interval,
                 migrants,
                 crossover_prob,
+                max_fuse_depth,
             } => {
                 let mut body = Json::object();
                 body.push("metrics", metric_list(metrics));
@@ -385,6 +462,7 @@ impl Scenario {
                 body.push("migration_interval", *migration_interval);
                 body.push("migrants", *migrants);
                 body.push("crossover_prob", *crossover_prob);
+                body.push("max_fuse_depth", *max_fuse_depth);
                 action.push("optimize", body);
             }
         }
@@ -409,6 +487,7 @@ impl Scenario {
                 migration_interval,
                 migrants,
                 crossover_prob,
+                max_fuse_depth,
             } => Some(
                 OptimizerConfig::default()
                     .with_metrics(metrics)
@@ -418,7 +497,8 @@ impl Scenario {
                     .with_seed(self.seed)
                     .with_migration_interval(*migration_interval)
                     .with_migrants(*migrants)
-                    .with_crossover_prob(*crossover_prob),
+                    .with_crossover_prob(*crossover_prob)
+                    .with_max_fuse_depth(*max_fuse_depth),
             ),
             _ => None,
         }
@@ -427,14 +507,17 @@ impl Scenario {
 
 /// Applies one `--set key=value` override to a parsed scenario document:
 /// `path` is a dotted key chain (e.g. `action.sample.count`), descending
-/// through objects and creating missing leaves; `raw` is parsed as JSON
-/// when it is valid JSON, and treated as a bare string otherwise (so
-/// `--set model.zoo=resnet50` and `--set batch=4` both do what they
-/// look like).
+/// through objects (creating missing leaves) and — via numeric segments —
+/// into array elements (e.g. `ces.1.schedule.fuse_depth`); `raw` is
+/// parsed as JSON when it is valid JSON, and treated as a bare string
+/// otherwise (so `--set model.zoo=resnet50` and `--set batch=4` both do
+/// what they look like).
 ///
 /// # Errors
 ///
-/// [`Error::Scenario`] when the path crosses a non-object.
+/// [`Error::Scenario`] when the path crosses a scalar, indexes an array
+/// with a non-numeric or out-of-range segment (arrays are addressed, not
+/// grown), every error naming the full dotted path.
 pub fn apply_override(root: &mut Json, path: &str, raw: &str) -> Result<(), Error> {
     let value = Json::parse(raw).unwrap_or_else(|_| Json::Str(raw.to_string()));
     let segments: Vec<&str> = path.split('.').collect();
@@ -443,32 +526,122 @@ pub fn apply_override(root: &mut Json, path: &str, raw: &str) -> Result<(), Erro
     }
     let mut cursor = root;
     for (i, segment) in segments.iter().enumerate() {
-        let Json::Object(pairs) = cursor else {
-            let parent = segments[..i].join(".");
-            return Err(Error::scenario(
-                path,
-                format!("cannot descend into `{parent}`: not an object"),
-            ));
-        };
-        let position = pairs.iter().position(|(k, _)| k == segment);
         let last = i + 1 == segments.len();
-        match position {
-            Some(p) if last => {
-                pairs[p].1 = value;
-                return Ok(());
+        match cursor {
+            Json::Object(pairs) => {
+                let position = pairs.iter().position(|(k, _)| k == segment);
+                match position {
+                    Some(p) if last => {
+                        pairs[p].1 = value;
+                        return Ok(());
+                    }
+                    Some(p) => cursor = &mut pairs[p].1,
+                    None => {
+                        let fresh = if last { value.clone() } else { Json::object() };
+                        pairs.push((segment.to_string(), fresh));
+                        if last {
+                            return Ok(());
+                        }
+                        cursor = &mut pairs.last_mut().expect("just pushed").1;
+                    }
+                }
             }
-            Some(p) => cursor = &mut pairs[p].1,
-            None => {
-                let fresh = if last { value.clone() } else { Json::object() };
-                pairs.push((segment.to_string(), fresh));
+            Json::Array(items) => {
+                let parent = segments[..i].join(".");
+                let index: usize = segment.parse().map_err(|_| {
+                    Error::scenario(
+                        path,
+                        format!("`{parent}` is an array; `{segment}` is not a numeric index"),
+                    )
+                })?;
+                let len = items.len();
+                let Some(slot) = items.get_mut(index) else {
+                    return Err(Error::scenario(
+                        path,
+                        format!("index {index} is out of range for `{parent}` (length {len})"),
+                    ));
+                };
                 if last {
+                    *slot = value;
                     return Ok(());
                 }
-                cursor = &mut pairs.last_mut().expect("just pushed").1;
+                cursor = slot;
+            }
+            _ => {
+                let parent = segments[..i].join(".");
+                return Err(Error::scenario(
+                    path,
+                    format!("cannot descend into `{parent}`: not an object or array"),
+                ));
             }
         }
     }
     Ok(())
+}
+
+/// Parses a schedule object: `{"mode": "layer_by_layer"}` or
+/// `{"mode": "depth_first", "fuse_depth": N}` (N ≥ 1; `fuse_depth: 1`
+/// is the degenerate depth-first schedule, equivalent to
+/// layer-by-layer).
+fn parse_schedule(v: &Json, path: &str) -> Result<Schedule, Error> {
+    let pairs = expect_object(v, path)?;
+    check_keys(pairs, path, &["mode", "fuse_depth"])?;
+    let mode_path = join_path(path, "mode");
+    let mode = expect_str(require(v, "mode", path)?, &mode_path)?;
+    let depth_path = join_path(path, "fuse_depth");
+    match mode {
+        "layer_by_layer" => {
+            if v.get("fuse_depth").is_some() {
+                return Err(Error::scenario(
+                    depth_path,
+                    "`fuse_depth` only applies to `depth_first` schedules",
+                ));
+            }
+            Ok(Schedule::LayerByLayer)
+        }
+        "depth_first" => {
+            let fuse_depth = field_usize(require(v, "fuse_depth", path)?, &depth_path)?;
+            if fuse_depth == 0 {
+                return Err(Error::scenario(depth_path, "must be at least 1"));
+            }
+            Ok(Schedule::DepthFirst { fuse_depth })
+        }
+        other => Err(Error::scenario(
+            mode_path,
+            format!("unknown schedule mode `{other}` (valid: layer_by_layer, depth_first)"),
+        )),
+    }
+}
+
+/// The canonical JSON form of a schedule ([`parse_schedule`]'s inverse).
+fn schedule_json(schedule: Schedule) -> Json {
+    let mut obj = Json::object();
+    match schedule {
+        Schedule::LayerByLayer => obj.push("mode", "layer_by_layer"),
+        Schedule::DepthFirst { fuse_depth } => {
+            obj.push("mode", "depth_first");
+            obj.push("fuse_depth", fuse_depth);
+        }
+    }
+    obj
+}
+
+fn parse_ce_overrides(v: &Json) -> Result<Vec<CeOverride>, Error> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| Error::scenario("ces", "expected an array of per-CE override objects"))?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let path = format!("ces.{i}");
+        let pairs = expect_object(item, &path)?;
+        check_keys(pairs, &path, &["schedule"])?;
+        let schedule = match item.get("schedule") {
+            None => None,
+            Some(s) => Some(parse_schedule(s, &join_path(&path, "schedule"))?),
+        };
+        out.push(CeOverride { schedule });
+    }
+    Ok(out)
 }
 
 fn metric_list(metrics: &[Metric]) -> Json {
@@ -843,6 +1016,7 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
                     "migration_interval",
                     "migrants",
                     "crossover_prob",
+                    "max_fuse_depth",
                 ],
             )?;
             let defaults = OptimizerConfig::default();
@@ -861,6 +1035,7 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
                 None => defaults.crossover_prob,
                 Some(v) => field_f64(v, "action.optimize.crossover_prob")?,
             };
+            let max_fuse_depth = opt_usize(body, "max_fuse_depth", defaults.max_fuse_depth)?;
             // Reuse the optimizer's own validation so scenario files and
             // library callers reject exactly the same configs.
             OptimizerConfig::default()
@@ -868,6 +1043,7 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
                 .with_population(population)
                 .with_islands(islands)
                 .with_crossover_prob(crossover_prob)
+                .with_max_fuse_depth(max_fuse_depth)
                 .validate()
                 .map_err(|e| Error::scenario(path, e.to_string()))?;
             Ok(Action::Optimize {
@@ -878,6 +1054,7 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
                 migration_interval,
                 migrants,
                 crossover_prob,
+                max_fuse_depth,
             })
         }
         _ => unreachable!("check_keys limits the key set"),
@@ -941,6 +1118,7 @@ mod tests {
                 migration_interval: 8,
                 migrants: 4,
                 crossover_prob: 0.9,
+                max_fuse_depth: 3,
             },
         ];
         for action in actions {
@@ -1069,6 +1247,127 @@ mod tests {
         // Descending into a scalar is an error.
         let err = apply_override(&mut minimal, "batch.size", "1").unwrap_err();
         assert!(err.to_string().contains("not an object"), "{err}");
+    }
+
+    #[test]
+    fn schedule_fields_parse_serialize_and_are_evaluate_only() {
+        let s = Scenario::from_json_str(
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "vcu110"},
+                "schedule": {"mode": "depth_first", "fuse_depth": 3},
+                "ces": [{}, {"schedule": {"mode": "layer_by_layer"}}],
+                "action": {"evaluate": {"template": "hybrid", "ces": 4}}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.schedule, Some(Schedule::DepthFirst { fuse_depth: 3 }));
+        assert_eq!(
+            s.ces,
+            vec![
+                CeOverride { schedule: None },
+                CeOverride {
+                    schedule: Some(Schedule::LayerByLayer)
+                },
+            ]
+        );
+        let back = Scenario::from_json_str(&s.to_json_string()).unwrap();
+        assert_eq!(back, s);
+        // Both override surfaces are rejected on non-evaluate actions.
+        for (field, body) in [
+            ("schedule", r#""schedule": {"mode": "layer_by_layer"}"#),
+            ("ces", r#""ces": [{}]"#),
+        ] {
+            let err = Scenario::from_json_str(&format!(
+                r#"{{"model": {{"zoo": "xception"}}, "board": {{"builtin": "vcu110"}},
+                    {body}, "action": {{"sweep": {{}}}}}}"#
+            ))
+            .unwrap_err()
+            .to_string();
+            assert!(err.contains(field) && err.contains("evaluate"), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_schedules_name_the_offending_path() {
+        let cases = [
+            (r#"{"mode": "row_major"}"#, "schedule.mode"),
+            (r#"{"mode": "depth_first"}"#, "schedule.fuse_depth"),
+            (r#"{"mode": "depth_first", "fuse_depth": 0}"#, "at least 1"),
+            (
+                r#"{"mode": "layer_by_layer", "fuse_depth": 2}"#,
+                "depth_first",
+            ),
+            (r#"{"fuse_depth": 2}"#, "schedule.mode"),
+        ];
+        for (schedule, needle) in cases {
+            let err = Scenario::from_json_str(&format!(
+                r#"{{"model": {{"zoo": "xception"}}, "board": {{"builtin": "vcu110"}},
+                    "schedule": {schedule},
+                    "action": {{"evaluate": {{"template": "hybrid", "ces": 4}}}}}}"#
+            ))
+            .unwrap_err()
+            .to_string();
+            assert!(err.contains(needle), "`{err}` should contain `{needle}`");
+        }
+    }
+
+    #[test]
+    fn optimize_max_fuse_depth_parses_and_reaches_the_config() {
+        let s = Scenario::from_json_str(
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "vcu110"},
+                "action": {"optimize": {"max_fuse_depth": 4}}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.optimizer_config().unwrap().max_fuse_depth, 4);
+        // Defaults to 1 (layer-by-layer only) when absent.
+        let s = Scenario::from_json_str(
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "vcu110"},
+                "action": {"optimize": {}}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.optimizer_config().unwrap().max_fuse_depth, 1);
+        // Zero is rejected through the optimizer's own validation.
+        let err = Scenario::from_json_str(
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "vcu110"},
+                "action": {"optimize": {"max_fuse_depth": 0}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("max_fuse_depth"), "{err}");
+    }
+
+    #[test]
+    fn overrides_descend_into_arrays_by_numeric_index() {
+        let mut root = Json::parse(
+            r#"{"model": {"zoo": "xception"}, "board": {"builtin": "vcu110"},
+                "ces": [{}, {"schedule": {"mode": "depth_first", "fuse_depth": 2}}],
+                "action": {"evaluate": {"template": "hybrid", "ces": 4}}}"#,
+        )
+        .unwrap();
+        apply_override(&mut root, "ces.1.schedule.fuse_depth", "3").unwrap();
+        let s = Scenario::from_json(&root).unwrap();
+        assert_eq!(
+            s.ces[1].schedule,
+            Some(Schedule::DepthFirst { fuse_depth: 3 })
+        );
+        // Replacing a whole element works too.
+        apply_override(
+            &mut root,
+            "ces.0",
+            r#"{"schedule": {"mode": "layer_by_layer"}}"#,
+        )
+        .unwrap();
+        let s = Scenario::from_json(&root).unwrap();
+        assert_eq!(s.ces[0].schedule, Some(Schedule::LayerByLayer));
+        // Out-of-range indices are an error naming the full dotted path,
+        // not a silent append.
+        let err = apply_override(&mut root, "ces.7.schedule.fuse_depth", "3").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("ces.7.schedule.fuse_depth"), "{text}");
+        assert!(
+            text.contains("out of range") && text.contains("length 2"),
+            "{text}"
+        );
+        // Non-numeric segments against an array name the path as well.
+        let err = apply_override(&mut root, "ces.first.schedule", "1").unwrap_err();
+        assert!(err.to_string().contains("numeric index"), "{err}");
     }
 
     #[test]

@@ -137,7 +137,8 @@ impl Session {
         let workers = scenario.workers;
         match &scenario.action {
             Action::Evaluate { design } => {
-                let spec = design.instantiate(explorer.model())?;
+                let mut spec = design.instantiate(explorer.model())?;
+                apply_schedule_overrides(&mut spec, scenario)?;
                 let point = explorer.evaluate(&spec)?;
                 let total_macs = point.eval.total_macs;
                 let energy = EnergyModel::default();
@@ -243,6 +244,40 @@ impl Session {
         }
         Ok(&self.entries[0].explorer)
     }
+}
+
+/// Rewrites the instantiated design's per-assignment schedules from the
+/// scenario's `schedule` (design-wide default) and `ces` (per-CE)
+/// overrides. The default touches single-CE assignments only — a
+/// depth-first schedule is meaningless on a pipelined block — while an
+/// explicit `ces[i].schedule` is applied verbatim and left to the
+/// architecture validator to reject if the block cannot carry it.
+fn apply_schedule_overrides(
+    spec: &mut crate::arch::AcceleratorSpec,
+    scenario: &Scenario,
+) -> Result<(), Error> {
+    use crate::arch::BlockSpec;
+    if let Some(default) = scenario.schedule {
+        for a in &mut spec.assignments {
+            if matches!(a.block, BlockSpec::Single(_)) {
+                a.schedule = default;
+            }
+        }
+    }
+    for (i, over) in scenario.ces.iter().enumerate() {
+        let Some(schedule) = over.schedule else {
+            continue;
+        };
+        let count = spec.assignments.len();
+        let Some(a) = spec.assignments.get_mut(i) else {
+            return Err(Error::scenario(
+                format!("ces.{i}"),
+                format!("design has only {count} CE assignments"),
+            ));
+        };
+        a.schedule = schedule;
+    }
+    Ok(())
 }
 
 /// The cache key: the API contract's (model, board, precision, batch)
@@ -704,6 +739,7 @@ mod tests {
                 migration_interval: 4,
                 migrants: 2,
                 crossover_prob: 0.9,
+                max_fuse_depth: 2,
             },
         ];
         for action in actions {
@@ -740,6 +776,72 @@ mod tests {
             Err(Error::Scenario { field, .. }) => {
                 assert_eq!(field, "action.sample.metrics");
             }
+            other => panic!("expected a scenario error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_overrides_rewrite_the_evaluated_design() {
+        use crate::arch::Schedule;
+        let mut session = Session::new();
+        // A small-BRAM board where per-layer FM spills are common, so a
+        // depth-first default measurably cuts off-chip traffic.
+        let base = Scenario::new(
+            ModelSpec::Zoo("mobilenetv2".into()),
+            BoardSpec::Custom(crate::fpga::FpgaBoard::new(
+                "small-bram",
+                900,
+                crate::fpga::MiB(0.5),
+                4.0,
+            )),
+            Action::Evaluate {
+                design: DesignSpec::Notation("{L1-L17: CE1, L18-Last: CE2}".into()),
+            },
+        );
+        let Outcome::Evaluation(lbl) = session.run(&base).unwrap() else {
+            panic!()
+        };
+        let mut fused = base.clone();
+        fused.schedule = Some(Schedule::DepthFirst { fuse_depth: 4 });
+        let Outcome::Evaluation(df) = session.run(&fused).unwrap() else {
+            panic!()
+        };
+        assert!(
+            df.eval.offchip_bytes < lbl.eval.offchip_bytes,
+            "depth-first {} should beat layer-by-layer {}",
+            df.eval.offchip_bytes,
+            lbl.eval.offchip_bytes
+        );
+        // The degenerate depth is bit-identical to the unscheduled run —
+        // everything except the notation, which faithfully records @df1.
+        let mut degenerate = base.clone();
+        degenerate.schedule = Some(Schedule::DepthFirst { fuse_depth: 1 });
+        let Outcome::Evaluation(mut same) = session.run(&degenerate).unwrap() else {
+            panic!()
+        };
+        assert!(
+            same.eval.notation.contains("@df1"),
+            "{}",
+            same.eval.notation
+        );
+        same.eval.notation = lbl.eval.notation.clone();
+        assert_eq!(same.eval, lbl.eval);
+        // A per-CE override beats the design-wide default on its CE.
+        let mut per_ce = fused.clone();
+        per_ce.ces = vec![crate::scenario::CeOverride {
+            schedule: Some(Schedule::LayerByLayer),
+        }];
+        let Outcome::Evaluation(mixed) = session.run(&per_ce).unwrap() else {
+            panic!()
+        };
+        assert!(mixed.eval.offchip_bytes > df.eval.offchip_bytes);
+        assert!(mixed.eval.offchip_bytes < lbl.eval.offchip_bytes);
+        // Overrides past the design's assignment list name their path.
+        let mut bad = base.clone();
+        bad.ces = vec![crate::scenario::CeOverride::default(); 5];
+        bad.ces[4].schedule = Some(Schedule::LayerByLayer);
+        match session.run(&bad) {
+            Err(Error::Scenario { field, .. }) => assert_eq!(field, "ces.4"),
             other => panic!("expected a scenario error, got {other:?}"),
         }
     }

@@ -10,9 +10,9 @@
 
 use proptest::prelude::*;
 
-use mccm::arch::{templates, MultipleCeBuilder};
+use mccm::arch::{templates, AcceleratorSpec, BlockSpec, MultipleCeBuilder, Schedule};
 use mccm::cnn::{zoo, CnnModel};
-use mccm::core::{CostModel, EvalScratch};
+use mccm::core::{CostModel, EvalScratch, EvalSummary};
 use mccm::dse::{sample_attempt, CustomSampler, CustomSpace, Explorer};
 use mccm::fpga::FpgaBoard;
 
@@ -135,6 +135,117 @@ fn typed_fields_are_bit_identical_across_lanes() {
                     rich.memory_stall_fraction.to_bits(),
                     "{ctx}"
                 );
+            }
+        }
+    }
+}
+
+/// Returns the spec with every single-CE assignment switched to
+/// `schedule` (pipelined blocks keep layer-by-layer — the only schedule
+/// they may carry).
+fn with_schedule(spec: &AcceleratorSpec, schedule: Schedule) -> AcceleratorSpec {
+    let mut out = spec.clone();
+    for a in &mut out.assignments {
+        if matches!(a.block, BlockSpec::Single(_)) {
+            a.schedule = schedule;
+        }
+    }
+    out
+}
+
+/// Per-field bit identity between two summaries, ignoring the notation
+/// (which faithfully records the schedule suffix and so may differ).
+fn assert_numerically_bit_identical(a: &EvalSummary, b: &EvalSummary, ctx: &str) {
+    assert_eq!(a.ce_count, b.ce_count, "{ctx}");
+    assert_eq!(a.total_macs.get(), b.total_macs.get(), "{ctx}");
+    assert_eq!(a.buffer_req_bytes.get(), b.buffer_req_bytes.get(), "{ctx}");
+    assert_eq!(
+        a.buffer_alloc_bytes.get(),
+        b.buffer_alloc_bytes.get(),
+        "{ctx}"
+    );
+    assert_eq!(a.offchip_bytes.get(), b.offchip_bytes.get(), "{ctx}");
+    assert_eq!(
+        a.offchip_weight_bytes.get(),
+        b.offchip_weight_bytes.get(),
+        "{ctx}"
+    );
+    assert_eq!(a.offchip_fm_bytes.get(), b.offchip_fm_bytes.get(), "{ctx}");
+    assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits(), "{ctx}");
+    assert_eq!(
+        a.throughput_fps.to_bits(),
+        b.throughput_fps.to_bits(),
+        "{ctx}"
+    );
+    assert_eq!(
+        a.memory_stall_fraction.to_bits(),
+        b.memory_stall_fraction.to_bits(),
+        "{ctx}"
+    );
+}
+
+#[test]
+fn degenerate_depth_first_is_bit_identical_to_layer_by_layer() {
+    // `DepthFirst { fuse_depth: 1 }` must be indistinguishable from
+    // `LayerByLayer` — to the bit, on every field, on both lanes —
+    // across the full zoo × template × CE-count grid.
+    let mut scratch = EvalScratch::new();
+    for board in [FpgaBoard::zc706(), FpgaBoard::vcu110()] {
+        for model in every_zoo_model() {
+            let builder = MultipleCeBuilder::new(&model, &board);
+            for arch in templates::Architecture::ALL {
+                for ces in [2usize, 4, 7, 11] {
+                    let ctx = format!(
+                        "{} / {} / {ces} CEs / {}",
+                        model.name(),
+                        arch.name(),
+                        board.name
+                    );
+                    let Ok(spec) = arch.instantiate(&model, ces) else {
+                        continue;
+                    };
+                    let df1 = with_schedule(&spec, Schedule::DepthFirst { fuse_depth: 1 });
+                    let (Ok(lbl), Ok(df)) = (builder.build(&spec), builder.build(&df1)) else {
+                        continue;
+                    };
+                    let rich_lbl = CostModel::evaluate(&lbl).summary();
+                    let rich_df = CostModel::evaluate(&df).summary();
+                    assert_numerically_bit_identical(&rich_df, &rich_lbl, &ctx);
+                    let fast_df = CostModel::evaluate_summary(&df, &mut scratch);
+                    assert_eq!(fast_df, rich_df, "{ctx}");
+                    let fast_lbl = CostModel::evaluate_summary(&lbl, &mut scratch);
+                    assert_numerically_bit_identical(&fast_df, &fast_lbl, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_first_designs_evaluate_identically_on_both_lanes() {
+    // Fused evaluation runs through the same schedule-dispatched core on
+    // both lanes; the bit-identity contract extends to every fuse depth.
+    let mut scratch = EvalScratch::new();
+    for (model, board) in [
+        (zoo::mobilenet_v2(), FpgaBoard::zc706()),
+        (zoo::xception(), FpgaBoard::vcu110()),
+    ] {
+        let builder = MultipleCeBuilder::new(&model, &board);
+        for arch in templates::Architecture::ALL {
+            for ces in [2usize, 5, 9] {
+                for depth in [2usize, 3, 6] {
+                    let ctx = format!("{} / {} / {ces} CEs / df{depth}", model.name(), arch.name());
+                    let Ok(spec) = arch.instantiate(&model, ces) else {
+                        continue;
+                    };
+                    let df = with_schedule(&spec, Schedule::DepthFirst { fuse_depth: depth });
+                    let Ok(acc) = builder.build(&df) else {
+                        continue;
+                    };
+                    let rich = CostModel::evaluate(&acc).summary();
+                    let fast = CostModel::evaluate_summary(&acc, &mut scratch);
+                    assert_eq!(fast, rich, "{ctx}");
+                }
             }
         }
     }

@@ -3,11 +3,11 @@
 //! front validity over the energy-extended metric set, and the
 //! fast-lane/full-lane energy equivalence across the zoo × templates grid.
 
-use mccm::arch::{templates, MultipleCeBuilder};
+use mccm::arch::{templates, MultipleCeBuilder, Schedule};
 use mccm::cnn::zoo;
 use mccm::core::{CostModel, EnergyModel, EvalScratch, Macs, Metric};
 use mccm::dse::{Explorer, GuidedFront, OptimizerConfig};
-use mccm::fpga::FpgaBoard;
+use mccm::fpga::{FpgaBoard, MiB};
 
 fn front_fingerprint(f: &GuidedFront) -> Vec<(String, Vec<u64>)> {
     f.points
@@ -124,6 +124,74 @@ fn energy_fast_lane_matches_full_lane_on_the_zoo_templates_grid() {
             }
         }
     }
+}
+
+#[test]
+fn schedule_axis_front_cuts_offchip_traffic_below_layer_by_layer() {
+    // Acceptance bar for the schedule axis: on a BRAM-starved board where
+    // layer-by-layer execution spills feature maps, the optimizer's front
+    // over the schedule-extended space must contain a depth-first design
+    // whose off-chip traffic is strictly below layer-by-layer — both
+    // against its own layer-by-layer twin (same segmentation, hence the
+    // same per-CE PE allocation) and against the best design an equal
+    // search restricted to layer-by-layer finds.
+    let model = zoo::mobilenet_v2();
+    let board = FpgaBoard::new("small-bram", 900, MiB(0.5), 4.0);
+    let explorer = Explorer::new(&model, &board);
+    let base = OptimizerConfig::default()
+        .with_budget(600)
+        .with_population(16)
+        .with_islands(3)
+        .with_seed(13);
+    let front = explorer
+        .optimize(&base.clone().with_max_fuse_depth(4))
+        .unwrap();
+    let df_points: Vec<_> = front
+        .points
+        .iter()
+        .filter(|p| matches!(p.design.schedule, Schedule::DepthFirst { .. }))
+        .collect();
+    assert!(
+        !df_points.is_empty(),
+        "no depth-first design survived onto the front"
+    );
+
+    // Equal-PE comparison: flip only the schedule of each depth-first
+    // front member and re-evaluate.
+    let mut beats_own_twin = false;
+    for p in &df_points {
+        let mut twin = p.design.clone();
+        twin.schedule = Schedule::LayerByLayer;
+        let spec = twin.to_spec(&model).unwrap();
+        let lbl = explorer.evaluate(&spec).unwrap().eval.summary();
+        assert_eq!(lbl.ce_count, p.summary.ce_count, "{}", p.summary.notation);
+        if p.summary.offchip_bytes.get() < lbl.offchip_bytes.get() {
+            beats_own_twin = true;
+        }
+    }
+    assert!(
+        beats_own_twin,
+        "no depth-first front member strictly beat its layer-by-layer twin"
+    );
+
+    // And the fused lane must beat the best traffic a layer-by-layer-only
+    // search of the same budget/seed can reach at all.
+    let lbl_front = explorer.optimize(&base).unwrap();
+    let best_lbl = lbl_front
+        .points
+        .iter()
+        .map(|p| p.summary.offchip_bytes.get())
+        .min()
+        .unwrap();
+    let best_df = df_points
+        .iter()
+        .map(|p| p.summary.offchip_bytes.get())
+        .min()
+        .unwrap();
+    assert!(
+        best_df < best_lbl,
+        "best depth-first traffic {best_df} is not below best layer-by-layer {best_lbl}"
+    );
 }
 
 #[test]

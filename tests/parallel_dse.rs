@@ -132,6 +132,7 @@ fn exhaustive_tiny_space_is_complete_and_worker_invariant() {
     let model = zoo::mobilenet_v2();
     let explorer = Explorer::new(&model, &FpgaBoard::zc706());
     let space = CustomSpace {
+        max_fuse_depth: 1,
         layers: model.conv_layer_count(),
         min_ces: 2,
         max_ces: 3,

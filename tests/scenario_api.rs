@@ -5,12 +5,13 @@
 use proptest::prelude::*;
 
 use mccm::arch::templates::Architecture;
+use mccm::arch::Schedule;
 use mccm::cnn::synthetic::SyntheticConfig;
 use mccm::cnn::zoo;
 use mccm::core::Metric;
 use mccm::fpga::{FpgaBoard, MiB, Precision};
 use mccm::json::Json;
-use mccm::scenario::{Action, BoardSpec, DesignSpec, ModelSpec, Scenario};
+use mccm::scenario::{Action, BoardSpec, CeOverride, DesignSpec, ModelSpec, Scenario};
 use mccm::session::{Outcome, Session};
 use mccm::Error;
 
@@ -94,20 +95,33 @@ fn any_action() -> impl Strategy<Value = Action> {
         }),
         (
             (1u64..100_000, 4usize..64, 1usize..8),
-            (1usize..16, 0u32..101, 1u32..32)
+            (1usize..16, 0u32..101, 1u32..32, 1usize..5)
         )
-            .prop_map(|((budget, population, islands), (interval, prob, mask))| {
-                Action::Optimize {
-                    metrics: metric_subset(mask),
-                    budget,
-                    population,
-                    islands,
-                    migration_interval: interval,
-                    migrants: 2,
-                    crossover_prob: f64::from(prob) / 100.0,
+            .prop_map(
+                |((budget, population, islands), (interval, prob, mask, max_fuse_depth))| {
+                    Action::Optimize {
+                        metrics: metric_subset(mask),
+                        budget,
+                        population,
+                        islands,
+                        migration_interval: interval,
+                        migrants: 2,
+                        crossover_prob: f64::from(prob) / 100.0,
+                        max_fuse_depth,
+                    }
                 }
-            }),
+            ),
     ]
+}
+
+/// Maps a small selector to an optional schedule so scenarios cover
+/// "unset", layer-by-layer, and a spread of depth-first fuse depths.
+fn schedule_pick(sel: usize) -> Option<Schedule> {
+    match sel {
+        0 | 1 => None,
+        2 => Some(Schedule::LayerByLayer),
+        n => Some(Schedule::DepthFirst { fuse_depth: n - 2 }),
+    }
 }
 
 fn any_scenario() -> impl Strategy<Value = Scenario> {
@@ -116,9 +130,10 @@ fn any_scenario() -> impl Strategy<Value = Scenario> {
         any_board(),
         any_action(),
         (1usize..64, 0u64..1_000_000, 0usize..16, 0usize..2),
+        (0usize..8, prop::collection::vec(0usize..8, 0..4)),
     )
         .prop_map(
-            |(model, board, action, (batch, seed, workers, precision))| {
+            |(model, board, action, (batch, seed, workers, precision), (sched, ce_scheds))| {
                 let mut s = Scenario::new(model, board, action);
                 s.batch = batch;
                 s.seed = seed;
@@ -128,6 +143,18 @@ fn any_scenario() -> impl Strategy<Value = Scenario> {
                 } else {
                     Precision::INT16
                 };
+                // Schedule overrides are evaluate-only; attaching them to
+                // other actions would make the scenario invalid by
+                // construction rather than by serialization.
+                if matches!(s.action, Action::Evaluate { .. }) {
+                    s.schedule = schedule_pick(sched);
+                    s.ces = ce_scheds
+                        .into_iter()
+                        .map(|sel| CeOverride {
+                            schedule: schedule_pick(sel),
+                        })
+                        .collect();
+                }
                 s
             },
         )

@@ -130,7 +130,7 @@ fn batch_mode_runs_a_directory_with_any_worker_count() {
     let serial = run_cli(&["run", "--batch", &dir, "--workers", "1"]).unwrap();
     let parsed = Json::parse(&serial).unwrap();
     assert_eq!(parsed.get("failures").and_then(Json::as_u64), Some(0));
-    assert_eq!(parsed.get("scenarios").and_then(Json::as_u64), Some(4));
+    assert_eq!(parsed.get("scenarios").and_then(Json::as_u64), Some(5));
     let entries = parsed.get("batch").and_then(Json::as_array).unwrap();
     // Sorted by file name, each entry carrying its outcome.
     let names: Vec<&str> = entries
@@ -140,6 +140,7 @@ fn batch_mode_runs_a_directory_with_any_worker_count() {
     assert_eq!(
         names,
         [
+            "depth_first.json",
             "evaluate.json",
             "optimize.json",
             "sample.json",

@@ -3,7 +3,8 @@
 //! Supports the subset this workspace uses: the [`proptest!`] macro with
 //! an optional `#![proptest_config(..)]` attribute, strategies built from
 //! integer ranges, tuples, [`strategy::Just`], `prop_map`, `prop_oneof!`,
-//! and `any::<bool>()`, plus the `prop_assert*` macros. There is no
+//! `prop::collection::vec`, and `any::<bool>()`, plus the `prop_assert*`
+//! macros. There is no
 //! shrinking — a failing case panics with the case number and the seed of
 //! the run so it can be replayed deterministically.
 
@@ -210,6 +211,33 @@ pub mod strategy {
     }
 }
 
+pub mod collection {
+    //! Strategies for collections (the `prop::collection` subset).
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s with lengths drawn uniformly from `len` and
+    /// elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 pub mod test_runner {
     //! Runner configuration and failure plumbing.
 
@@ -253,6 +281,7 @@ pub mod test_runner {
 
 pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate as prop;
     pub use crate::strategy::{any, Any, Arbitrary, DynStrategy, Just, Strategy, TestRng, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
