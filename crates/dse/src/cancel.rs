@@ -1,0 +1,76 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] is a shared flag a *controller* (a serving layer's
+//! deadline watchdog, a Ctrl-C handler, a test) sets once and a *search*
+//! polls at its natural checkpoints — generation boundaries in the
+//! optimizer, attempt boundaries in the samplers, cell boundaries in the
+//! baseline sweeps. Cancellation is advisory and monotonic: once set it
+//! never resets, and a search that observes it stops early and returns
+//! the (honestly labelled) partial result it has instead of an error.
+//!
+//! The token deliberately knows nothing about *time*: it is a plain
+//! atomic flag with no deadline arithmetic, so this crate's outputs stay
+//! a pure function of their inputs (the workspace wall-clock lint bans
+//! `Instant` here). Whoever owns a wall clock — the serve layer — arms a
+//! timer and calls [`CancelToken::cancel`] when it expires.
+//!
+//! An un-fired token is free apart from one relaxed atomic load per
+//! checkpoint, and a never-cancelled run takes exactly the code path a
+//! token-less run takes — the worker-count bit-identity contract of the
+//! `par_*` entry points is untouched.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotonic cancellation flag (see the module docs).
+///
+/// Clones share the flag: cancelling any clone cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Self::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let twin = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!twin.is_cancelled());
+        twin.cancel();
+        assert!(token.is_cancelled());
+        // Idempotent.
+        token.cancel();
+        assert!(twin.is_cancelled());
+    }
+
+    #[test]
+    fn token_is_visible_across_threads() {
+        let token = CancelToken::new();
+        std::thread::scope(|s| {
+            let t = token.clone();
+            s.spawn(move || t.cancel());
+        });
+        assert!(token.is_cancelled());
+    }
+}

@@ -260,9 +260,16 @@ impl Explorer {
         max_attempts: u64,
     ) -> Result<(Vec<DesignPoint>, Duration), ExploreError> {
         let start = Instant::now();
-        let points = parallel::sample_engine(self, count, seed, 1, max_attempts, &|e, d, _| {
-            e.custom_cell(d)
-        })?;
+        let (points, attempts, _) = parallel::sample_engine(
+            self,
+            count,
+            seed,
+            1,
+            max_attempts,
+            &crate::CancelToken::new(),
+            &|e, d, _| e.custom_cell(d),
+        )?;
+        let points = parallel::finish(points, count, attempts)?;
         Ok((points, start.elapsed()))
     }
 
@@ -281,14 +288,16 @@ impl Explorer {
         seed: u64,
     ) -> Result<(Vec<CustomPoint>, Duration), ExploreError> {
         let start = Instant::now();
-        let points = parallel::sample_engine(
+        let (points, attempts, _) = parallel::sample_engine(
             self,
             count,
             seed,
             1,
             default_max_attempts(count),
+            &crate::CancelToken::new(),
             &|e, d, scratch| e.custom_summary_cell(d, scratch),
         )?;
+        let points = parallel::finish(points, count, attempts)?;
         Ok((points, start.elapsed()))
     }
 

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod enumerate;
 mod error;
 mod explorer;
@@ -48,11 +49,12 @@ mod sampler;
 mod selection;
 mod space;
 
+pub use cancel::CancelToken;
 pub use enumerate::DesignIter;
 pub use error::ExploreError;
 pub use explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint, Explorer};
 pub use optimizer::{GuidedFront, OptimizerConfig};
-pub use parallel::{par_pareto_indices, EXHAUSTIVE_LIMIT};
+pub use parallel::{par_pareto_indices, SampleRun, EXHAUSTIVE_LIMIT};
 pub use pareto::{pareto_front, ParetoFront};
 pub use quality::{
     compare_fronts, coverage, hypervolume, union_bounds, FrontComparison, MetricBounds,

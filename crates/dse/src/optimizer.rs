@@ -39,6 +39,7 @@ use mccm_core::{EvalScratch, Metric};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cancel::CancelToken;
 use crate::error::ExploreError;
 use crate::explorer::{CustomPoint, Explorer};
 use crate::pareto::{dominates, ParetoFront};
@@ -196,6 +197,12 @@ pub struct GuidedFront {
     pub feasible: u64,
     /// Wall time of the run.
     pub elapsed: Duration,
+    /// Whether the search was cancelled before exhausting its budget
+    /// (see [`Explorer::optimize_par_cancellable`]). A cancelled front is
+    /// a valid, mutually non-dominated front over everything evaluated so
+    /// far — it is "partial" only in the sense that the remaining budget
+    /// went unspent.
+    pub cancelled: bool,
 }
 
 impl GuidedFront {
@@ -548,6 +555,32 @@ impl Explorer {
         config: &OptimizerConfig,
         workers: usize,
     ) -> Result<GuidedFront, ExploreError> {
+        self.optimize_par_cancellable(config, workers, &CancelToken::new())
+    }
+
+    /// [`Self::optimize_par`] with a cooperative [`CancelToken`], polled
+    /// at generation and epoch boundaries. When the token fires the
+    /// search stops early and returns the merged front of everything
+    /// evaluated so far with [`GuidedFront::cancelled`] set — a partial
+    /// but honest result, never an error.
+    ///
+    /// A token that never fires changes nothing: the run takes exactly
+    /// the un-cancelled code path, so results stay bit-identical to
+    /// [`Self::optimize_par`] for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::optimize`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::optimize`].
+    pub fn optimize_par_cancellable(
+        &self,
+        config: &OptimizerConfig,
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> Result<GuidedFront, ExploreError> {
         assert!(
             !config.metrics.is_empty(),
             "optimizer needs at least one metric"
@@ -573,7 +606,7 @@ impl Explorer {
         let epoch_generations = config.migration_interval.max(1);
         loop {
             let spent_before: u64 = islands.iter().map(|i| i.evaluations).sum();
-            if !islands.iter().any(|i| i.budget > 0) {
+            if !islands.iter().any(|i| i.budget > 0) || cancel.is_cancelled() {
                 break;
             }
             islands = self.run_epoch(
@@ -583,6 +616,7 @@ impl Explorer {
                 config,
                 epoch_generations,
                 workers,
+                cancel,
             )?;
             let spent_after: u64 = islands.iter().map(|i| i.evaluations).sum();
             if spent_after == spent_before {
@@ -632,12 +666,16 @@ impl Explorer {
             evaluations,
             feasible,
             elapsed: start.elapsed(),
+            cancelled: cancel.is_cancelled(),
         })
     }
 
     /// Runs one epoch (`generations` NSGA-II steps) on every island,
     /// chunked across `workers` threads. Island evolution is a pure
-    /// function of island state, so the chunking cannot change results.
+    /// function of island state, so the chunking cannot change results;
+    /// the cancel token is polled between generations so an expiring
+    /// request stops within one generation's work per island.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one search
     fn run_epoch(
         &self,
         islands: Vec<Island>,
@@ -646,12 +684,19 @@ impl Explorer {
         config: &OptimizerConfig,
         generations: usize,
         workers: usize,
+        cancel: &CancelToken,
     ) -> Result<Vec<Island>, ExploreError> {
         let run_one = |mut isl: Island, scratch: &mut EvalScratch| -> Result<Island, ArchError> {
+            if cancel.is_cancelled() {
+                return Ok(isl);
+            }
             if !isl.initialized {
                 isl.initialize(self, scratch, space, metrics, config.population)?;
             }
             for _ in 0..generations {
+                if cancel.is_cancelled() {
+                    break;
+                }
                 isl.step(
                     self,
                     scratch,
@@ -804,6 +849,34 @@ mod tests {
             assert_eq!(par.evaluations, serial.evaluations);
             assert_eq!(par.feasible, serial.feasible);
         }
+    }
+
+    #[test]
+    fn pre_cancelled_search_returns_an_empty_labelled_front() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let f = e
+            .optimize_par_cancellable(&small_config(), 2, &cancel)
+            .unwrap();
+        assert!(f.cancelled, "a pre-fired token must label the front");
+        assert_eq!(f.evaluations, 0, "no work after cancellation");
+        assert!(f.points.is_empty());
+    }
+
+    #[test]
+    fn uncancelled_token_is_bit_identical_to_the_plain_entry_point() {
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        let cfg = small_config();
+        let plain = e.optimize_par(&cfg, 3).unwrap();
+        let tokened = e
+            .optimize_par_cancellable(&cfg, 3, &CancelToken::new())
+            .unwrap();
+        assert!(!plain.cancelled && !tokened.cancelled);
+        assert_eq!(front_key(&plain), front_key(&tokened));
+        assert_eq!(plain.evaluations, tokened.evaluations);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use mccm_arch::{templates, ArchError};
 use mccm_core::{EvalScratch, Metric, MetricSource};
 
+use crate::cancel::CancelToken;
 use crate::error::ExploreError;
 use crate::explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint, Explorer};
 use crate::pareto::ParetoFront;
@@ -66,6 +67,24 @@ fn chunk_bounds(len: usize, parts: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// The result of one cancellable sampling sweep: the feasible designs
+/// found (all of them in the un-cancelled case, a prefix otherwise), the
+/// attempt-stream position reached, and whether cancellation cut the
+/// sweep short.
+#[derive(Debug, Clone)]
+pub struct SampleRun<T> {
+    /// Feasible designs in attempt order. When `cancelled` is false this
+    /// holds exactly the requested count; when true, whatever was found
+    /// before the token fired.
+    pub points: Vec<T>,
+    /// Attempts consumed from the counter-based stream (feasible or not).
+    pub attempts: u64,
+    /// Whether the sweep stopped early because its token fired.
+    pub cancelled: bool,
+    /// Wall time of the sweep.
+    pub elapsed: Duration,
+}
+
 /// The shared sampling engine behind `sample_custom` and its parallel
 /// twin: walks the counter-based attempt stream, keeps the first `count`
 /// feasible designs in attempt order, and caps total attempts.
@@ -73,14 +92,21 @@ fn chunk_bounds(len: usize, parts: usize) -> Vec<(usize, usize)> {
 /// `eval` maps a drawn design to `Ok(Some(T))` (feasible), `Ok(None)`
 /// (infeasible — skipped), or `Err` (a real fault — propagated). With
 /// `workers <= 1` everything runs inline on the calling thread.
+///
+/// The cancel token is polled at attempt boundaries (serial) and batch /
+/// per-design boundaries (parallel); a token that never fires leaves the
+/// attempt walk — and therefore the result — bit-identical. On
+/// cancellation the engine returns the feasible prefix found so far
+/// instead of erroring.
 pub(crate) fn sample_engine<T: Send>(
     explorer: &Explorer,
     count: usize,
     seed: u64,
     workers: usize,
     max_attempts: u64,
+    cancel: &CancelToken,
     eval: EvalFn<'_, T>,
-) -> Result<Vec<T>, ExploreError> {
+) -> Result<(Vec<T>, u64, bool), ExploreError> {
     let space = explorer.paper_space();
     // Reject degenerate spaces up front (same panics as direct sampling).
     let _ = CustomSampler::new(space, seed);
@@ -90,18 +116,18 @@ pub(crate) fn sample_engine<T: Send>(
     if workers <= 1 {
         let mut scratch = EvalScratch::new();
         let mut attempt = 0u64;
-        while points.len() < count && attempt < max_attempts {
+        while points.len() < count && attempt < max_attempts && !cancel.is_cancelled() {
             let design = sample_attempt(&space, seed, attempt);
             if let Some(t) = eval(explorer, &design, &mut scratch)? {
                 points.push(t);
             }
             attempt += 1;
         }
-        return finish(points, count, attempt);
+        return Ok((points, attempt, cancel.is_cancelled()));
     }
 
     let mut next_attempt = 0u64;
-    while points.len() < count && next_attempt < max_attempts {
+    while points.len() < count && next_attempt < max_attempts && !cancel.is_cancelled() {
         let need = (count - points.len()) as u64;
         // Slight over-provisioning absorbs the (usually small) infeasible
         // fraction; any overshoot past the count-th success is discarded,
@@ -120,7 +146,16 @@ pub(crate) fn sample_engine<T: Send>(
                     s.spawn(move || {
                         let mut scratch = EvalScratch::new();
                         (base + lo as u64..base + hi as u64)
-                            .map(|a| eval(explorer, &sample_attempt(&space, seed, a), &mut scratch))
+                            .map(|a| {
+                                // A fired token skips the remaining
+                                // evaluations; skipped attempts read as
+                                // infeasible, and the batch loop exits on
+                                // the same token before drawing more.
+                                if cancel.is_cancelled() {
+                                    return Ok(None);
+                                }
+                                eval(explorer, &sample_attempt(&space, seed, a), &mut scratch)
+                            })
                             .collect()
                     })
                 })
@@ -144,10 +179,16 @@ pub(crate) fn sample_engine<T: Send>(
         }
         next_attempt += batch as u64;
     }
-    finish(points, count, next_attempt)
+    Ok((points, next_attempt, cancel.is_cancelled()))
 }
 
-fn finish<T>(points: Vec<T>, count: usize, attempts: u64) -> Result<Vec<T>, ExploreError> {
+/// Turns an un-cancelled engine result into the legacy all-or-error
+/// contract: short of `count` feasible designs is an exhausted budget.
+pub(crate) fn finish<T>(
+    points: Vec<T>,
+    count: usize,
+    attempts: u64,
+) -> Result<Vec<T>, ExploreError> {
     if points.len() < count {
         Err(ExploreError::AttemptsExhausted {
             wanted: count,
@@ -173,27 +214,51 @@ impl Explorer {
         range: impl IntoIterator<Item = usize> + Clone,
         workers: usize,
     ) -> Result<Vec<BaselinePoint>, ArchError> {
+        let (points, _) =
+            self.par_sweep_baselines_cancellable(range, workers, &CancelToken::new())?;
+        Ok(points)
+    }
+
+    /// [`Self::par_sweep_baselines`] with a cooperative [`CancelToken`],
+    /// polled before every (architecture, CE count) cell. A fired token
+    /// skips the remaining cells and returns the points built so far with
+    /// the `cancelled` flag set; a token that never fires leaves the
+    /// sweep bit-identical to the plain twin.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::par_sweep_baselines`].
+    pub fn par_sweep_baselines_cancellable(
+        &self,
+        range: impl IntoIterator<Item = usize> + Clone,
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> Result<(Vec<BaselinePoint>, bool), ArchError> {
         let cells: Vec<(templates::Architecture, usize)> = templates::Architecture::ALL
             .into_iter()
             .flat_map(|a| range.clone().into_iter().map(move |ces| (a, ces)))
             .collect();
+        let cell = |a, ces| {
+            if cancel.is_cancelled() {
+                return Ok(None);
+            }
+            self.baseline_cell(a, ces)
+        };
         let workers = resolve_workers(workers).min(cells.len().max(1));
         let cell_results: Vec<Result<Option<BaselinePoint>, ArchError>> = if workers <= 1 {
-            cells
-                .iter()
-                .map(|&(a, ces)| self.baseline_cell(a, ces))
-                .collect()
+            cells.iter().map(|&(a, ces)| cell(a, ces)).collect()
         } else {
             let chunks = chunk_bounds(cells.len(), workers);
             std::thread::scope(|s| {
                 let cells = &cells;
+                let cell = &cell;
                 let handles: Vec<_> = chunks
                     .iter()
                     .map(|&(lo, hi)| {
                         s.spawn(move || {
                             cells[lo..hi]
                                 .iter()
-                                .map(|&(a, ces)| self.baseline_cell(a, ces))
+                                .map(|&(a, ces)| cell(a, ces))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -210,7 +275,7 @@ impl Explorer {
                 out.push(point);
             }
         }
-        Ok(out)
+        Ok((out, cancel.is_cancelled()))
     }
 
     /// Parallel twin of [`Self::sample_custom`]: same `(count, seed)` ⇒
@@ -242,9 +307,16 @@ impl Explorer {
         max_attempts: u64,
     ) -> Result<(Vec<DesignPoint>, Duration), ExploreError> {
         let start = Instant::now();
-        let points = sample_engine(self, count, seed, workers, max_attempts, &|e, d, _| {
-            e.custom_cell(d)
-        })?;
+        let (points, attempts, _) = sample_engine(
+            self,
+            count,
+            seed,
+            workers,
+            max_attempts,
+            &CancelToken::new(),
+            &|e, d, _| e.custom_cell(d),
+        )?;
+        let points = finish(points, count, attempts)?;
         Ok((points, start.elapsed()))
     }
 
@@ -262,16 +334,53 @@ impl Explorer {
         seed: u64,
         workers: usize,
     ) -> Result<(Vec<CustomPoint>, Duration), ExploreError> {
+        let run = self.par_sample_custom_summaries_cancellable(
+            count,
+            seed,
+            workers,
+            &CancelToken::new(),
+        )?;
+        Ok((run.points, run.elapsed))
+    }
+
+    /// [`Self::par_sample_custom_summaries`] with a cooperative
+    /// [`CancelToken`], polled at attempt boundaries. A fired token stops
+    /// the sweep and returns the feasible prefix found so far
+    /// ([`SampleRun::cancelled`] set) instead of erroring; a token that
+    /// never fires leaves the sweep bit-identical to the plain twin.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sample_custom`] — but only un-cancelled sweeps can
+    /// exhaust their attempt budget.
+    pub fn par_sample_custom_summaries_cancellable(
+        &self,
+        count: usize,
+        seed: u64,
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> Result<SampleRun<CustomPoint>, ExploreError> {
         let start = Instant::now();
-        let points = sample_engine(
+        let (points, attempts, cancelled) = sample_engine(
             self,
             count,
             seed,
             workers,
             default_max_attempts(count),
+            cancel,
             &|e, d, scratch| e.custom_summary_cell(d, scratch),
         )?;
-        Ok((points, start.elapsed()))
+        let points = if cancelled {
+            points
+        } else {
+            finish(points, count, attempts)?
+        };
+        Ok(SampleRun {
+            points,
+            attempts,
+            cancelled,
+            elapsed: start.elapsed(),
+        })
     }
 
     /// Exhaustively evaluates every design of a (small) custom space,

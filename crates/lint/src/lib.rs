@@ -25,6 +25,14 @@
 //!   `BlockSpec::Pipelined` is re-deriving evaluation semantics the core
 //!   already owns. Legitimate sites (the defining crate, the notation
 //!   parser, the search space) are allowlisted one by one.
+//! - **no-panic-serve** — panicking constructs (`.unwrap()`, `.expect(`,
+//!   `panic!`, `unreachable!`, `todo!`, literal-index expressions) in
+//!   `src/serve/`. The daemon's availability contract is that a request
+//!   can fail but the process cannot: request paths must turn every
+//!   error into a typed protocol response, so the `catch_unwind`
+//!   isolation layer stays a last resort instead of a control-flow
+//!   mechanism. The fault-injection module's deliberate panic site is
+//!   the sole allowlisted exception.
 //!
 //! The scan is line-based and intentionally simple (in the offline,
 //! no-dependency style of `mccm::json`): comments are skipped, the
@@ -51,6 +59,9 @@ pub enum Rule {
     DebugPrint,
     /// `BlockSpec`/`Schedule` variant dispatch outside the core model.
     ScheduleMatch,
+    /// Panicking constructs (`unwrap`, `expect`, panic-family macros,
+    /// literal indexing) inside the serve layer.
+    NoPanicServe,
 }
 
 impl Rule {
@@ -62,6 +73,7 @@ impl Rule {
             Self::WallClock => "wall-clock",
             Self::DebugPrint => "debug-print",
             Self::ScheduleMatch => "schedule-match",
+            Self::NoPanicServe => "no-panic-serve",
         }
     }
 
@@ -73,6 +85,7 @@ impl Rule {
             "wall-clock" => Some(Self::WallClock),
             "debug-print" => Some(Self::DebugPrint),
             "schedule-match" => Some(Self::ScheduleMatch),
+            "no-panic-serve" => Some(Self::NoPanicServe),
             _ => None,
         }
     }
@@ -134,6 +147,18 @@ const SCHEDULE_TOKENS: &[&str] = &[
     "BlockSpec::Pipelined",
 ];
 
+/// Panicking constructs banned from the serve layer. `.unwrap()` is
+/// matched exactly so the panic-free alternatives
+/// (`.unwrap_or`, `.unwrap_or_else(PoisonError::into_inner)`, …) pass.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
 /// Whether `rule` applies to the file at `path` (workspace-relative).
 fn rule_applies(rule: Rule, path: &str) -> bool {
     match rule {
@@ -155,6 +180,9 @@ fn rule_applies(rule: Rule, path: &str) -> bool {
         // Schedule dispatch belongs to the core model; everywhere else
         // must justify a variant-level match in the allowlist.
         Rule::ScheduleMatch => !path.starts_with("crates/core/src/model/"),
+        // The availability contract is the daemon's alone; library and
+        // CLI code elsewhere may still use `unwrap` on invariants.
+        Rule::NoPanicServe => path.starts_with("src/serve/"),
     }
 }
 
@@ -211,8 +239,41 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
         {
             push(&mut findings, Rule::ScheduleMatch);
         }
+        if rule_applies(Rule::NoPanicServe, path)
+            && (PANIC_TOKENS.iter().any(|t| line.contains(t)) || has_literal_index(line))
+        {
+            push(&mut findings, Rule::NoPanicServe);
+        }
     }
     findings
+}
+
+/// A literal-index expression like `parts[0]` or `bytes()[12]`: a `[`
+/// directly following an expression (identifier, `)`, or `]`) whose
+/// bracketed content is all digits. Array types (`[u16; 4]`), array
+/// literals (`[0u8; 4]`), and attributes (`#[...]`) never match because
+/// nothing indexable precedes their `[`.
+fn has_literal_index(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        let indexable =
+            prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']';
+        if !indexable {
+            continue;
+        }
+        let rest = &bytes[i + 1..];
+        let Some(close) = rest.iter().position(|&c| c == b']') else {
+            continue;
+        };
+        if close > 0 && rest[..close].iter().all(u8::is_ascii_digit) {
+            return true;
+        }
+    }
+    false
 }
 
 /// `pub name: u64,` / `pub name: f64,` with a quantity-suffixed name.
@@ -404,6 +465,52 @@ mod tests {
             scan_source("src/session.rs", block)[0].rule,
             Rule::ScheduleMatch
         );
+    }
+
+    #[test]
+    fn panicking_constructs_flagged_in_serve_only() {
+        let cases = [
+            "    let job = queue.pop_front().unwrap();\n",
+            "    let addr = listener.local_addr().expect(\"bound\");\n",
+            "    panic!(\"unreachable state\");\n",
+            "    _ => unreachable!(\"checked above\"),\n",
+            "    todo!(\"deadline handling\")\n",
+            "    let first = shards[0];\n",
+            "    let tail = splits()[12];\n",
+        ];
+        for src in cases {
+            let hits = scan_source("src/serve/daemon.rs", src);
+            assert_eq!(hits.len(), 1, "{src:?}");
+            assert_eq!(hits[0].rule, Rule::NoPanicServe, "{src:?}");
+            // The same text outside the serve layer is not this rule's
+            // business.
+            assert!(scan_source("src/cli.rs", src).is_empty(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn panic_free_serve_idioms_pass() {
+        let fine = [
+            // The sanctioned poison-clearing lock idiom.
+            "    let guard = lock.lock().unwrap_or_else(PoisonError::into_inner);\n",
+            "    let value = map.get(key).unwrap_or(&0);\n",
+            // Array types and literals are not index expressions.
+            "    rates: [u16; 4],\n",
+            "    let zeroes = [0u8; 4];\n",
+            "    #[derive(Debug)]\n",
+            // Variable and expression indices are bounds-checked by the
+            // scanner's human reviewer, not this rule.
+            "    let rate = self.rates[site.index()];\n",
+        ];
+        for src in fine {
+            assert!(
+                scan_source("src/serve/daemon.rs", src).is_empty(),
+                "{src:?}"
+            );
+        }
+        // Test modules panic freely.
+        let test_only = "#[cfg(test)]\nmod tests {\n    x.unwrap();\n}\n";
+        assert!(scan_source("src/serve/frame.rs", test_only).is_empty());
     }
 
     #[test]

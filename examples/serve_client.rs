@@ -1,0 +1,85 @@
+//! The serving layer end to end: an in-process `mccm serve` daemon
+//! driven through the TCP client — plain runs, a deadline that expires
+//! into an honestly-labeled partial result, busy-rejection retries, and
+//! a graceful drain.
+//!
+//! Run with: `cargo run --release --example serve_client`
+
+use mccm::scenario::Scenario;
+use mccm::serve::{run_with_retry, Client, RetryPolicy, ServeConfig, Server};
+use mccm::session::Session;
+
+fn main() -> Result<(), mccm::Error> {
+    // 1. Start a daemon on an ephemeral port. `mccm serve` does exactly
+    //    this from the CLI; here it runs in-process on its own thread.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default())?;
+    let addr = server.addr().to_string();
+    let daemon = server.spawn();
+    println!("daemon listening on {addr}");
+
+    // 2. A plain run. The response bytes from a warm server are
+    //    byte-identical to a local `Session::run` of the same scenario —
+    //    the daemon adds robustness, never noise.
+    let evaluate = Scenario::from_json_str(
+        r#"{
+            "model": {"zoo": "xception"},
+            "board": {"builtin": "vcu110"},
+            "batch": 8,
+            "action": {"evaluate": {"template": "hybrid", "ces": 7}}
+        }"#,
+    )?;
+    let reply = Client::connect(&addr)?.run(&evaluate, None)?;
+    let local = Session::new().run(&evaluate)?;
+    assert_eq!(reply.outcome.to_string_pretty(), local.to_json_string());
+    assert!(!reply.degraded);
+    println!("evaluate: server response matches a local run byte-for-byte");
+
+    // 3. A deadline too tight for a 2M-evaluation search: the watchdog
+    //    fires the cooperative cancel token and the daemon returns the
+    //    partial front it had, labeled degraded — not an error, not a
+    //    fabricated full result.
+    let optimize = Scenario::from_json_str(
+        r#"{
+            "model": {"zoo": "mobilenetv2"},
+            "board": {"builtin": "zc706"},
+            "seed": 11,
+            "action": {"optimize": {"metrics": ["throughput", "buffers"],
+                                    "budget": 2000000, "population": 16,
+                                    "islands": 2}}
+        }"#,
+    )?;
+    let partial = Client::connect(&addr)?.run(&optimize, Some(60))?;
+    let evaluations = partial
+        .outcome
+        .get("evaluations")
+        .and_then(mccm::json::Json::as_u64)
+        .unwrap_or(0);
+    println!(
+        "optimize with a 60 ms deadline: degraded={}, {evaluations} of 2000000 evaluations done",
+        partial.degraded
+    );
+    assert!(evaluations < 2_000_000);
+    assert!(partial.degraded, "a 2M budget cannot finish in 60 ms");
+
+    // 4. `run_with_retry` is what `mccm run --connect` uses: it retries
+    //    busy rejections with deterministic seeded backoff (floored at
+    //    the server's retry hint) and reconnects per attempt.
+    let retried = run_with_retry(&addr, &evaluate, None, &RetryPolicy::default())?;
+    assert!(!retried.degraded);
+    println!("run_with_retry: landed without degradation");
+
+    // 5. Stats, then a graceful drain. The counters balance:
+    //    received == admitted + rejected, admitted == completed +
+    //    degraded + failed.
+    let stats = Client::connect(&addr)?.stats()?;
+    println!("stats: {}", stats.to_string_compact());
+    let goodbye = Client::connect(&addr)?.shutdown()?;
+    println!("shutdown: {}", goodbye.to_string_compact());
+    let final_stats = daemon.join().expect("daemon thread")?;
+    assert_eq!(final_stats.completed + final_stats.degraded, 3);
+    println!(
+        "daemon drained: {} completed, {} degraded, {} panics recovered",
+        final_stats.completed, final_stats.degraded, final_stats.panics_recovered
+    );
+    Ok(())
+}

@@ -23,7 +23,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // Stable, documented exit codes (see `mccm::Error::exit_code`
+            // and docs/serving.md): scripts branch on them; 7 means
+            // "retry later", 6 means "batch report has per-file errors".
+            ExitCode::from(e.exit_code())
         }
     }
 }

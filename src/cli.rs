@@ -28,7 +28,13 @@ mccm — analytical cost model for multiple compute-engine CNN accelerators
 
 USAGE:
   mccm run SCENARIO.json [--set key=value]...   execute a scenario file
+  mccm run SCENARIO.json --connect HOST:PORT [--deadline-ms N] [--retries N]
+                                      execute on an `mccm serve` daemon
   mccm run --batch DIR [--workers N]            execute every scenario in DIR
+  mccm serve [--addr HOST:PORT] [--workers N] [--queue N]
+             [--retry-after-ms N]     run the evaluation daemon
+  mccm stats --connect HOST:PORT      query a daemon's request accounting
+  mccm shutdown --connect HOST:PORT   drain a daemon and print final stats
   mccm models                         list available CNNs
   mccm boards                         list evaluation FPGA boards
   mccm evaluate --model M --board B (--notation S | --arch A --ces K)
@@ -46,7 +52,8 @@ USAGE:
 
 ARCHITECTURES: segmented | segmentedrr | hybrid
 METRICS:       latency | throughput | access | buffers | energy (default: all five)
-SCENARIOS:     see docs/scenario_file.md for the JSON format";
+SCENARIOS:     see docs/scenario_file.md for the JSON format
+SERVING:       see docs/serving.md for the daemon protocol and exit codes";
 
 /// Entry point: parses `args` (without the program name) and writes
 /// command output to `out`.
@@ -62,6 +69,9 @@ pub fn main_with_args(args: &[String], out: &mut dyn Write) -> Result<(), Error>
     let rest = &args[1..];
     match command.as_str() {
         "run" => cmd_run(rest, out),
+        "serve" => cmd_serve(rest, out),
+        "stats" => cmd_stats(rest, out),
+        "shutdown" => cmd_shutdown(rest, out),
         "models" => cmd_models(rest, out),
         "boards" => cmd_boards(rest, out),
         "evaluate" => cmd_evaluate(rest, out),
@@ -514,6 +524,9 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
             ("--set", FlagKind::Repeatable),
             ("--batch", FlagKind::Value),
             ("--workers", FlagKind::Value),
+            ("--connect", FlagKind::Value),
+            ("--deadline-ms", FlagKind::Value),
+            ("--retries", FlagKind::Value),
         ],
     )?;
     if let Some(dir) = flags.value("--batch") {
@@ -527,6 +540,11 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
                 "`--set` applies to single scenario files, not `--batch` directories".into(),
             ));
         }
+        if flags.value("--connect").is_some() {
+            return Err(Error::Usage(
+                "`--batch` runs locally; `--connect` takes a single scenario file".into(),
+            ));
+        }
         let workers = flags.parsed::<usize>("--workers")?.unwrap_or(0);
         return run_batch(Path::new(dir), workers, out);
     }
@@ -535,6 +553,13 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
             "`--workers` shards `--batch` runs; set `workers` in the scenario file (or \
              `--set workers=N`) for a single run"
                 .into(),
+        ));
+    }
+    if flags.value("--connect").is_none()
+        && (flags.value("--deadline-ms").is_some() || flags.value("--retries").is_some())
+    {
+        return Err(Error::Usage(
+            "`--deadline-ms` and `--retries` apply to `--connect` runs".into(),
         ));
     }
     let [path] = flags.positionals.as_slice() else {
@@ -554,8 +579,81 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
         apply_override(&mut root, key, value)?;
     }
     let scenario = Scenario::from_json(&root)?;
+    if let Some(addr) = flags.value("--connect") {
+        let policy = crate::serve::RetryPolicy {
+            retries: flags.parsed::<u32>("--retries")?.unwrap_or(5),
+            ..crate::serve::RetryPolicy::default()
+        };
+        let deadline_ms = flags.parsed::<u64>("--deadline-ms")?;
+        let reply = crate::serve::run_with_retry(addr, &scenario, deadline_ms, &policy)?;
+        if reply.degraded {
+            // A degraded outcome is not the scenario's full result; wrap
+            // it so nothing downstream mistakes the partial bytes for the
+            // deterministic local ones.
+            let mut envelope = Json::object();
+            envelope.push("degraded", true);
+            envelope.push("outcome", reply.outcome);
+            return emit(out, format_args!("{}", envelope.to_string_pretty()));
+        }
+        // Not degraded: byte-identical to a local `mccm run`.
+        return emit(out, format_args!("{}", reply.outcome.to_string_pretty()));
+    }
     let outcome = Session::new().run(&scenario)?;
     emit(out, format_args!("{}", outcome.to_json_string()))
+}
+
+fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let flags = Flags::parse(
+        "serve",
+        args,
+        &[
+            ("--addr", FlagKind::Value),
+            ("--workers", FlagKind::Value),
+            ("--queue", FlagKind::Value),
+            ("--retry-after-ms", FlagKind::Value),
+        ],
+    )?;
+    flags.no_positionals()?;
+    let mut config = crate::serve::ServeConfig::default();
+    if let Some(w) = flags.parsed::<usize>("--workers")? {
+        if w == 0 {
+            return Err(Error::Usage("`--workers` must be at least 1".into()));
+        }
+        config.workers = w;
+    }
+    if let Some(q) = flags.parsed::<usize>("--queue")? {
+        if q == 0 {
+            return Err(Error::Usage("`--queue` must be at least 1".into()));
+        }
+        config.queue_capacity = q;
+    }
+    if let Some(ms) = flags.parsed::<u64>("--retry-after-ms")? {
+        config.retry_after_ms = ms;
+    }
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:7070");
+    let server = crate::serve::Server::bind(addr, config)?;
+    // Announce the resolved address (port 0 resolves to an ephemeral
+    // port) before blocking, so scripts can connect.
+    emit(out, format_args!("listening on {}\n", server.addr()))?;
+    out.flush().map_err(|e| Error::io("flushing output", e))?;
+    let stats = server.run()?;
+    emit(out, format_args!("{}", stats.to_json().to_string_pretty()))
+}
+
+fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let flags = Flags::parse("stats", args, &[("--connect", FlagKind::Value)])?;
+    flags.no_positionals()?;
+    let addr = flags.require("--connect")?;
+    let response = crate::serve::Client::connect(addr)?.stats()?;
+    emit(out, format_args!("{}", response.to_string_pretty()))
+}
+
+fn cmd_shutdown(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let flags = Flags::parse("shutdown", args, &[("--connect", FlagKind::Value)])?;
+    flags.no_positionals()?;
+    let addr = flags.require("--connect")?;
+    let response = crate::serve::Client::connect(addr)?.shutdown()?;
+    emit(out, format_args!("{}", response.to_string_pretty()))
 }
 
 /// Executes every `*.json` scenario in `dir` (sorted by file name),
@@ -588,18 +686,31 @@ fn run_batch(dir: &Path, workers: usize, out: &mut dyn Write) -> Result<(), Erro
 
     // One result slot per file; contiguous shards, one session per
     // worker so scenarios sharing a (model, board) context within a
-    // shard reuse its warmed builder.
+    // shard reuse its warmed builder. One poisoned file must not take
+    // down its shard-mates: each scenario runs under `catch_unwind`,
+    // and a panic discards the (possibly inconsistent) session and
+    // rebuilds a fresh one before the next file.
     let results: Vec<Result<Outcome, Error>> = {
         let run_shard = |shard: &[PathBuf]| -> Vec<Result<Outcome, Error>> {
             let mut session = Session::new();
             shard
                 .iter()
                 .map(|path| {
-                    let text = std::fs::read_to_string(path).map_err(|e| {
-                        Error::io(format!("reading scenario `{}`", path.display()), e)
-                    })?;
-                    let scenario = Scenario::from_json_str(&text)?;
-                    session.run(&scenario)
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let text = std::fs::read_to_string(path).map_err(|e| {
+                            Error::io(format!("reading scenario `{}`", path.display()), e)
+                        })?;
+                        let scenario = Scenario::from_json_str(&text)?;
+                        session.run(&scenario)
+                    }));
+                    attempt.unwrap_or_else(|payload| {
+                        session = Session::new();
+                        Err(Error::Remote {
+                            kind: "internal".into(),
+                            exit_code: Error::INTERNAL_EXIT_CODE,
+                            detail: format!("panic: {}", panic_message(&payload)),
+                        })
+                    })
                 })
                 .collect()
         };
@@ -634,7 +745,7 @@ fn run_batch(dir: &Path, workers: usize, out: &mut dyn Write) -> Result<(), Erro
             Ok(outcome) => entry.push("outcome", outcome.to_json()),
             Err(e) => {
                 failures += 1;
-                entry.push("error", e.to_string());
+                entry.push("error", batch_error_entry(&e));
             }
         }
         entries.push(entry);
@@ -645,12 +756,50 @@ fn run_batch(dir: &Path, workers: usize, out: &mut dyn Write) -> Result<(), Erro
     root.push("failures", failures);
     emit(out, format_args!("{}", root.to_string_pretty()))?;
     if failures > 0 {
-        return Err(Error::Usage(format!(
-            "{failures} of {} scenarios failed (see `error` entries above)",
-            files.len()
-        )));
+        return Err(Error::BatchPartial {
+            failed: failures,
+            total: files.len(),
+        });
     }
     Ok(())
+}
+
+/// Typed per-file error object for batch reports: machine-readable
+/// `kind` and `exit_code` alongside the human `detail`, so scripts can
+/// triage a partial batch without string matching. A `Remote` error
+/// (e.g. a panic rendered as `internal`/9) passes its carried
+/// classification through verbatim.
+fn batch_error_entry(e: &Error) -> Json {
+    let mut entry = Json::object();
+    match e {
+        Error::Remote {
+            kind,
+            exit_code,
+            detail,
+        } => {
+            entry.push("kind", kind.clone());
+            entry.push("exit_code", u64::from(*exit_code));
+            entry.push("detail", detail.clone());
+        }
+        other => {
+            entry.push("kind", other.kind());
+            entry.push("exit_code", u64::from(other.exit_code()));
+            entry.push("detail", other.to_string());
+        }
+    }
+    entry
+}
+
+/// Best-effort text of a panic payload (the `&str`/`String` forms that
+/// `panic!` produces cover practically every real panic).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Human rendering of an outcome — the presentation layer of the legacy

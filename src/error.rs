@@ -49,6 +49,35 @@ pub enum Error {
         /// The underlying error.
         source: std::io::Error,
     },
+    /// A server's admission queue is full; retry after the hinted delay.
+    Busy {
+        /// Server-suggested retry delay in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A server is shutting down and no longer admits requests.
+    Draining,
+    /// A malformed frame or out-of-protocol message on a serve
+    /// connection (either side).
+    Protocol(String),
+    /// A server executed the request and reported a failure; the
+    /// server-side kind and exit code are carried verbatim so a client
+    /// process can exit exactly as a local run would.
+    Remote {
+        /// The server-side [`Error::kind`].
+        kind: String,
+        /// The server-side [`Error::exit_code`].
+        exit_code: u8,
+        /// The server-side rendering of the error.
+        detail: String,
+    },
+    /// A batch run where some scenarios succeeded and others failed;
+    /// the per-file details live in the batch report.
+    BatchPartial {
+        /// Scenarios that failed.
+        failed: usize,
+        /// Scenarios attempted.
+        total: usize,
+    },
 }
 
 impl Error {
@@ -68,6 +97,75 @@ impl Error {
             source,
         }
     }
+
+    /// The exit code a request that died in a panic maps to (the
+    /// "internal error" row of the exit-code table). There is no enum
+    /// variant for it — a panic is precisely the failure that produced
+    /// no typed error — but servers report it and clients propagate it
+    /// through [`Error::Remote`].
+    pub const INTERNAL_EXIT_CODE: u8 = 9;
+
+    /// Stable machine-readable tag of the variant, used in batch reports
+    /// and serve responses. One tag per variant; documented alongside
+    /// the exit codes in `docs/serving.md`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Arch(_) => "arch",
+            Self::Cnn(_) => "cnn",
+            Self::Explore(_) => "explore",
+            Self::ModelConfig(_) => "model_config",
+            Self::SimConfig(_) => "sim_config",
+            Self::Json(_) => "json",
+            Self::Scenario { .. } => "scenario",
+            Self::Usage(_) => "usage",
+            Self::Io { .. } => "io",
+            Self::Busy { .. } => "busy",
+            Self::Draining => "draining",
+            Self::Protocol(_) => "protocol",
+            Self::Remote { .. } => "remote",
+            Self::BatchPartial { .. } => "batch_partial",
+        }
+    }
+
+    /// The documented, stable process exit code for this error:
+    ///
+    /// | code | errors |
+    /// |------|--------|
+    /// | 2    | `Usage` |
+    /// | 3    | `Scenario`, `Json` (malformed input) |
+    /// | 4    | `Arch`, `Cnn`, `Explore`, `ModelConfig`, `SimConfig` (domain) |
+    /// | 5    | `Io` |
+    /// | 6    | `BatchPartial` |
+    /// | 7    | `Busy`, `Draining` (retryable; the server is fine) |
+    /// | 8    | `Protocol` |
+    /// | 9    | internal error (request panicked; no variant) |
+    ///
+    /// `Remote` carries the server-computed code verbatim so `mccm run
+    /// --connect` exits exactly as the same scenario would locally.
+    /// Success is 0 and 1 is left to the runtime (e.g. a panic in main),
+    /// so scripts can distinguish "mccm said no" from "mccm blew up".
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Self::Usage(_) => 2,
+            Self::Scenario { .. } | Self::Json(_) => 3,
+            Self::Arch(_)
+            | Self::Cnn(_)
+            | Self::Explore(_)
+            | Self::ModelConfig(_)
+            | Self::SimConfig(_) => 4,
+            Self::Io { .. } => 5,
+            Self::BatchPartial { .. } => 6,
+            Self::Busy { .. } | Self::Draining => 7,
+            Self::Protocol(_) => 8,
+            Self::Remote { exit_code, .. } => *exit_code,
+        }
+    }
+
+    /// Whether retrying the same request later can succeed without any
+    /// change on the caller's side (admission-control rejections only).
+    pub fn retryable(&self) -> bool {
+        matches!(self, Self::Busy { .. } | Self::Draining)
+    }
 }
 
 impl fmt::Display for Error {
@@ -84,6 +182,15 @@ impl fmt::Display for Error {
             }
             Self::Usage(detail) => write!(f, "{detail}"),
             Self::Io { context, source } => write!(f, "{context}: {source}"),
+            Self::Busy { retry_after_ms } => {
+                write!(f, "server busy; retry after {retry_after_ms} ms")
+            }
+            Self::Draining => write!(f, "server draining; not admitting new requests"),
+            Self::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            Self::Remote { kind, detail, .. } => write!(f, "remote {kind} error: {detail}"),
+            Self::BatchPartial { failed, total } => {
+                write!(f, "batch partially failed: {failed} of {total} scenarios")
+            }
         }
     }
 }
@@ -98,7 +205,13 @@ impl std::error::Error for Error {
             Self::SimConfig(e) => Some(e),
             Self::Json(e) => Some(e),
             Self::Io { source, .. } => Some(source),
-            Self::Scenario { .. } | Self::Usage(_) => None,
+            Self::Scenario { .. }
+            | Self::Usage(_)
+            | Self::Busy { .. }
+            | Self::Draining
+            | Self::Protocol(_)
+            | Self::Remote { .. }
+            | Self::BatchPartial { .. } => None,
         }
     }
 }
@@ -172,6 +285,62 @@ mod tests {
         let s = Error::scenario("model.zoo", "unknown model");
         assert_eq!(s.to_string(), "scenario field `model.zoo`: unknown model");
         assert!(s.source().is_none());
+    }
+
+    #[test]
+    fn exit_codes_match_the_documented_table() {
+        let table: Vec<(Error, u8, &str)> = vec![
+            (Error::Usage("bad flag".into()), 2, "usage"),
+            (Error::scenario("model.zoo", "unknown"), 3, "scenario"),
+            (
+                JsonError {
+                    offset: 0,
+                    detail: "x".into(),
+                }
+                .into(),
+                3,
+                "json",
+            ),
+            (ArchError::EmptySpec.into(), 4, "arch"),
+            (CnnError::EmptyModel.into(), 4, "cnn"),
+            (
+                ExploreError::BadConfig {
+                    detail: "islands".into(),
+                }
+                .into(),
+                4,
+                "explore",
+            ),
+            (Error::io("x", std::io::Error::other("y")), 5, "io"),
+            (
+                Error::BatchPartial {
+                    failed: 1,
+                    total: 3,
+                },
+                6,
+                "batch_partial",
+            ),
+            (Error::Busy { retry_after_ms: 50 }, 7, "busy"),
+            (Error::Draining, 7, "draining"),
+            (Error::Protocol("short frame".into()), 8, "protocol"),
+        ];
+        for (e, code, kind) in &table {
+            assert_eq!(e.exit_code(), *code, "{e}");
+            assert_eq!(e.kind(), *kind, "{e}");
+            assert!(!e.to_string().is_empty());
+        }
+        // Remote propagates the server-computed code verbatim.
+        let remote = Error::Remote {
+            kind: "arch".into(),
+            exit_code: 4,
+            detail: "infeasible".into(),
+        };
+        assert_eq!(remote.exit_code(), 4);
+        assert_eq!(remote.kind(), "remote");
+        // Only admission rejections are retryable.
+        for (e, ..) in &table {
+            assert_eq!(e.retryable(), e.exit_code() == 7, "{e}");
+        }
     }
 
     #[test]

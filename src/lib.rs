@@ -62,6 +62,7 @@ pub mod cli;
 mod error;
 pub mod json;
 pub mod scenario;
+pub mod serve;
 pub mod session;
 
 pub use error::Error;

@@ -1,0 +1,180 @@
+//! Length-prefixed JSON framing for serve connections.
+//!
+//! A frame is a 4-byte big-endian length `n` followed by exactly `n`
+//! bytes of UTF-8 JSON (the compact rendering of one [`Json`] value).
+//! The length prefix makes message boundaries explicit on a byte
+//! stream, so a reader never has to guess where one JSON value ends —
+//! and a *short* or *interrupted* read (a socket delivering one byte at
+//! a time, an `Interrupted` errno mid-frame) only ever splits a frame,
+//! never corrupts it. [`read_frame`] loops until the frame is complete,
+//! retries `Interrupted`, and treats EOF **between** frames as a clean
+//! close (`Ok(None)`) but EOF **inside** a frame as a protocol error.
+//!
+//! Frames are capped at [`MAX_FRAME_BYTES`] so a corrupt or hostile
+//! length prefix cannot make a peer allocate gigabytes.
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::error::Error;
+use crate::json::Json;
+
+/// Upper bound on a frame body (16 MiB — a full sweep outcome is well
+/// under 1 MiB; anything larger is a corrupt prefix, not a message).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes one value as a length-prefixed compact-JSON frame and flushes.
+///
+/// # Errors
+///
+/// [`Error::Io`] when the peer is gone mid-write.
+pub fn write_frame(w: &mut impl Write, value: &Json) -> Result<(), Error> {
+    let body = value.to_string_compact();
+    let len = u32::try_from(body.len())
+        .map_err(|_| Error::Protocol(format!("frame of {} bytes exceeds u32", body.len())))?;
+    w.write_all(&len.to_be_bytes())
+        .and_then(|()| w.write_all(body.as_bytes()))
+        .and_then(|()| w.flush())
+        .map_err(|e| Error::io("writing frame", e))
+}
+
+/// Reads one frame, tolerating arbitrarily short and interrupted reads.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly
+/// between frames.
+///
+/// # Errors
+///
+/// [`Error::Protocol`] on an oversized length prefix, EOF inside a
+/// frame, or a body that is not valid JSON; [`Error::Io`] on transport
+/// faults.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, Error> {
+    let mut prefix = [0u8; 4];
+    match read_full(r, &mut prefix)? {
+        0 => return Ok(None),
+        4 => {}
+        got => {
+            return Err(Error::Protocol(format!(
+                "connection closed {got} bytes into a frame header"
+            )))
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    let got = read_full(r, &mut body)?;
+    if got != len {
+        return Err(Error::Protocol(format!(
+            "connection closed {got} bytes into a {len}-byte frame body"
+        )));
+    }
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| Error::Protocol(format!("frame body is not UTF-8: {e}")))?;
+    let json = Json::parse(text).map_err(|e| Error::Protocol(format!("frame body: {e}")))?;
+    Ok(Some(json))
+}
+
+/// Fills `buf` from `r`, looping over however many partial reads the
+/// transport needs and retrying `Interrupted`. Returns the bytes
+/// actually read — short only when EOF arrived first.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, Error> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::io("reading frame", e)),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that delivers at most one byte per call and sprinkles
+    /// `Interrupted` errors between them — the worst legal transport.
+    struct TrickleReader {
+        data: Vec<u8>,
+        pos: usize,
+        interrupt_every: usize,
+        calls: usize,
+    }
+
+    impl Read for TrickleReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.interrupt_every > 0 && self.calls.is_multiple_of(self.interrupt_every) {
+                return Err(std::io::Error::new(ErrorKind::Interrupted, "injected"));
+            }
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    fn frame_bytes(value: &Json) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, value).unwrap();
+        out
+    }
+
+    #[test]
+    fn frames_survive_one_byte_interrupted_reads() {
+        let mut value = Json::object();
+        value.push("id", 7u64);
+        value.push("nested", {
+            let mut o = Json::object();
+            o.push("text", "hello \"frames\"");
+            o
+        });
+        let mut r = TrickleReader {
+            data: frame_bytes(&value),
+            pos: 0,
+            interrupt_every: 3,
+            calls: 0,
+        };
+        let back = read_frame(&mut r).unwrap().expect("one frame");
+        assert_eq!(back.to_string_compact(), value.to_string_compact());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_a_protocol_error_not_a_hang() {
+        let value = Json::from("x");
+        let mut bytes = frame_bytes(&value);
+        bytes.truncate(bytes.len() - 1);
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            Err(Error::Protocol(d)) => assert!(d.contains("frame body"), "{d}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut bytes = vec![0xFF, 0xFF, 0xFF, 0xFF];
+        bytes.extend_from_slice(b"junk");
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            Err(Error::Protocol(d)) => assert!(d.contains("cap"), "{d}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_body_is_a_protocol_error() {
+        let mut bytes = 5u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"not{j");
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Protocol(_))));
+    }
+}

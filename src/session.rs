@@ -32,8 +32,8 @@
 
 use crate::core::{EnergyEstimate, EnergyModel, EvalSummary, Evaluation, Metric};
 use crate::dse::{
-    hypervolume, par_pareto_indices, select_all_metrics, union_bounds, BaselinePoint, Explorer,
-    GuidedFront, SelectionCell, PAPER_TIE_FRAC,
+    hypervolume, par_pareto_indices, select_all_metrics, union_bounds, BaselinePoint, CancelToken,
+    Explorer, GuidedFront, SelectionCell, PAPER_TIE_FRAC,
 };
 use crate::error::Error;
 use crate::json::Json;
@@ -133,6 +133,29 @@ impl Session {
     /// infeasible designs, exhausted sampling budgets, degenerate
     /// optimizer configs.
     pub fn run(&mut self, scenario: &Scenario) -> Result<Outcome, Error> {
+        self.run_cancellable(scenario, &CancelToken::new())
+            .map(|(outcome, _degraded)| outcome)
+    }
+
+    /// [`Self::run`] with a cooperative [`CancelToken`] threaded into the
+    /// long-running actions (sweep shards, sampler attempts, optimizer
+    /// generations). Returns the outcome plus a `degraded` flag: `true`
+    /// means the token fired mid-run and the outcome holds the honest
+    /// partial result gathered so far (a shorter sweep, a smaller front,
+    /// fewer attempts) rather than an error.
+    ///
+    /// An un-fired token takes exactly the [`Self::run`] code path, so
+    /// outcomes stay byte-identical to a token-less run — the serving
+    /// layer relies on this to keep warm responses deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`]; cancellation itself is never an error.
+    pub fn run_cancellable(
+        &mut self,
+        scenario: &Scenario,
+        cancel: &CancelToken,
+    ) -> Result<(Outcome, bool), Error> {
         let explorer = self.context_for(scenario)?;
         let workers = scenario.workers;
         match &scenario.action {
@@ -144,30 +167,42 @@ impl Session {
                 let energy = EnergyModel::default();
                 let estimate = energy.estimate(&point.eval, total_macs);
                 let gops_per_w = energy.efficiency_gops_per_w(&point.eval, total_macs);
-                Ok(Outcome::Evaluation(Box::new(EvaluationOutcome {
-                    board: explorer.builder().board().to_string(),
-                    precision: scenario
-                        .precision
-                        .name()
-                        .map(str::to_string)
-                        .unwrap_or_else(|| format!("{:?}", scenario.precision)),
-                    batch: scenario.batch,
-                    energy: estimate,
-                    gops_per_w,
-                    eval: point.eval,
-                })))
+                // A single evaluation is microseconds of work — not worth
+                // a cancellation checkpoint, never degraded.
+                Ok((
+                    Outcome::Evaluation(Box::new(EvaluationOutcome {
+                        board: explorer.builder().board().to_string(),
+                        precision: scenario
+                            .precision
+                            .name()
+                            .map(str::to_string)
+                            .unwrap_or_else(|| format!("{:?}", scenario.precision)),
+                        batch: scenario.batch,
+                        energy: estimate,
+                        gops_per_w,
+                        eval: point.eval,
+                    })),
+                    false,
+                ))
             }
             Action::Sweep { min_ces, max_ces } => {
-                let points = explorer.par_sweep_baselines(*min_ces..=*max_ces, workers)?;
+                let (points, cancelled) = explorer.par_sweep_baselines_cancellable(
+                    *min_ces..=*max_ces,
+                    workers,
+                    cancel,
+                )?;
                 let selection = select_all_metrics(&points, PAPER_TIE_FRAC);
-                Ok(Outcome::Sweep(SweepOutcome {
-                    model: explorer.model().name().to_string(),
-                    board: explorer.builder().board().name.clone(),
-                    min_ces: *min_ces,
-                    max_ces: *max_ces,
-                    points,
-                    selection,
-                }))
+                Ok((
+                    Outcome::Sweep(SweepOutcome {
+                        model: explorer.model().name().to_string(),
+                        board: explorer.builder().board().name.clone(),
+                        min_ces: *min_ces,
+                        max_ces: *max_ces,
+                        points,
+                        selection,
+                    }),
+                    cancelled,
+                ))
             }
             Action::Sample { count, metrics } => {
                 // JSON parsing rejects empty metric lists; guard the
@@ -179,9 +214,14 @@ impl Session {
                         "metric list must not be empty",
                     ));
                 }
-                let (points, _elapsed) =
-                    explorer.par_sample_custom_summaries(*count, scenario.seed, workers)?;
-                let summaries: Vec<EvalSummary> = points.into_iter().map(|p| p.summary).collect();
+                let run = explorer.par_sample_custom_summaries_cancellable(
+                    *count,
+                    scenario.seed,
+                    workers,
+                    cancel,
+                )?;
+                let summaries: Vec<EvalSummary> =
+                    run.points.into_iter().map(|p| p.summary).collect();
                 let front_indices = par_pareto_indices(&summaries, metrics, workers);
                 let mut front: Vec<EvalSummary> = front_indices
                     .iter()
@@ -193,32 +233,57 @@ impl Session {
                 // bests — deterministic for (count, seed).
                 let bounds = union_bounds(&[summaries.as_slice()], metrics);
                 let hv = hypervolume(&front, metrics, &bounds);
-                Ok(Outcome::Front(SampleOutcome {
-                    model: explorer.model().name().to_string(),
-                    board: explorer.builder().board().name.clone(),
-                    evaluated: *count,
-                    seed: scenario.seed,
-                    metrics: metrics.clone(),
-                    hypervolume: hv,
-                    front,
-                }))
+                // `evaluated` reports what was actually gathered: exactly
+                // `count` on a full run, the honest partial tally when
+                // the token fired mid-sample.
+                let evaluated = if run.cancelled {
+                    summaries.len()
+                } else {
+                    *count
+                };
+                Ok((
+                    Outcome::Front(SampleOutcome {
+                        model: explorer.model().name().to_string(),
+                        board: explorer.builder().board().name.clone(),
+                        evaluated,
+                        seed: scenario.seed,
+                        metrics: metrics.clone(),
+                        hypervolume: hv,
+                        front,
+                    }),
+                    run.cancelled,
+                ))
             }
             Action::Optimize { .. } => {
                 let config = scenario.optimizer_config().expect("optimize action");
                 config.validate()?;
-                let guided: GuidedFront = explorer.optimize_par(&config, workers)?;
-                Ok(Outcome::Optimized(OptimizeOutcome {
-                    model: explorer.model().name().to_string(),
-                    board: explorer.builder().board().name.clone(),
-                    seed: scenario.seed,
-                    budget: config.budget,
-                    evaluations: guided.evaluations,
-                    feasible: guided.feasible,
-                    metrics: guided.metrics.clone(),
-                    front: guided.points.into_iter().map(|p| p.summary).collect(),
-                }))
+                let guided: GuidedFront =
+                    explorer.optimize_par_cancellable(&config, workers, cancel)?;
+                let cancelled = guided.cancelled;
+                Ok((
+                    Outcome::Optimized(OptimizeOutcome {
+                        model: explorer.model().name().to_string(),
+                        board: explorer.builder().board().name.clone(),
+                        seed: scenario.seed,
+                        budget: config.budget,
+                        evaluations: guided.evaluations,
+                        feasible: guided.feasible,
+                        metrics: guided.metrics.clone(),
+                        front: guided.points.into_iter().map(|p| p.summary).collect(),
+                    }),
+                    cancelled,
+                ))
             }
         }
+    }
+
+    /// Drops every warmed context, counting each as an eviction. The
+    /// fault-injection harness uses this to model cold-cache restarts;
+    /// it is also the recovery step after a request panics while a
+    /// context is warm (the context may hold arbitrary partial state).
+    pub fn evict_all(&mut self) {
+        self.stats.evictions += self.entries.len() as u64;
+        self.entries.clear();
     }
 
     /// Looks up (or constructs) the warmed context for a scenario and

@@ -4,16 +4,13 @@
 
 use proptest::prelude::*;
 
-use mccm::arch::templates::Architecture;
-use mccm::arch::Schedule;
-use mccm::cnn::synthetic::SyntheticConfig;
-use mccm::cnn::zoo;
-use mccm::core::Metric;
-use mccm::fpga::{FpgaBoard, MiB, Precision};
 use mccm::json::Json;
-use mccm::scenario::{Action, BoardSpec, CeOverride, DesignSpec, ModelSpec, Scenario};
+use mccm::scenario::Scenario;
 use mccm::session::{Outcome, Session};
 use mccm::Error;
+
+mod common;
+use common::any_scenario;
 
 fn scenario_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios")
@@ -22,142 +19,6 @@ fn scenario_dir() -> std::path::PathBuf {
 fn read_scenario(name: &str) -> String {
     let path = scenario_dir().join(name);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
-}
-
-fn any_model() -> impl Strategy<Value = ModelSpec> {
-    prop_oneof![
-        (0usize..zoo::names().len()).prop_map(|i| ModelSpec::Zoo(zoo::names()[i].into())),
-        (0u64..1000, 2usize..24, 1u32..6, 0u32..101, 0u32..101).prop_map(
-            |(seed, conv_layers, size_quarters, res, dw)| ModelSpec::Synthetic {
-                seed,
-                config: SyntheticConfig {
-                    conv_layers,
-                    input_size: 16 * size_quarters,
-                    base_channels: 8,
-                    residual_prob: f64::from(res) / 100.0,
-                    depthwise_prob: f64::from(dw) / 100.0,
-                },
-            }
-        ),
-    ]
-}
-
-fn any_board() -> impl Strategy<Value = BoardSpec> {
-    prop_oneof![
-        (0usize..FpgaBoard::names().len())
-            .prop_map(|i| BoardSpec::Builtin(FpgaBoard::names()[i].into())),
-        (64u32..4096, 1u32..64, 1u32..64, 1u32..8).prop_map(|(dsps, bram_q, bw_h, clk)| {
-            BoardSpec::Custom(
-                FpgaBoard::new(
-                    "prop-board",
-                    dsps,
-                    MiB(f64::from(bram_q) / 4.0),
-                    f64::from(bw_h) / 2.0,
-                )
-                .with_clock_mhz(f64::from(clk) * 50.0),
-            )
-        }),
-    ]
-}
-
-fn metric_subset(mask: u32) -> Vec<Metric> {
-    let picked: Vec<Metric> = Metric::WITH_ENERGY
-        .into_iter()
-        .enumerate()
-        .filter(|(i, _)| mask & (1 << i) != 0)
-        .map(|(_, m)| m)
-        .collect();
-    if picked.is_empty() {
-        vec![Metric::Latency]
-    } else {
-        picked
-    }
-}
-
-fn any_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0usize..3, 1usize..12).prop_map(|(arch, ces)| Action::Evaluate {
-            design: DesignSpec::Template {
-                architecture: Architecture::ALL[arch],
-                ces
-            },
-        }),
-        Just(Action::Evaluate {
-            design: DesignSpec::Notation("{L1-L4: CE1-CE4, L5-Last: CE5}".into()),
-        }),
-        (1usize..6, 0usize..12).prop_map(|(min, extra)| Action::Sweep {
-            min_ces: min,
-            max_ces: min + extra,
-        }),
-        (1usize..5000, 1u32..32).prop_map(|(count, mask)| Action::Sample {
-            count,
-            metrics: metric_subset(mask),
-        }),
-        (
-            (1u64..100_000, 4usize..64, 1usize..8),
-            (1usize..16, 0u32..101, 1u32..32, 1usize..5)
-        )
-            .prop_map(
-                |((budget, population, islands), (interval, prob, mask, max_fuse_depth))| {
-                    Action::Optimize {
-                        metrics: metric_subset(mask),
-                        budget,
-                        population,
-                        islands,
-                        migration_interval: interval,
-                        migrants: 2,
-                        crossover_prob: f64::from(prob) / 100.0,
-                        max_fuse_depth,
-                    }
-                }
-            ),
-    ]
-}
-
-/// Maps a small selector to an optional schedule so scenarios cover
-/// "unset", layer-by-layer, and a spread of depth-first fuse depths.
-fn schedule_pick(sel: usize) -> Option<Schedule> {
-    match sel {
-        0 | 1 => None,
-        2 => Some(Schedule::LayerByLayer),
-        n => Some(Schedule::DepthFirst { fuse_depth: n - 2 }),
-    }
-}
-
-fn any_scenario() -> impl Strategy<Value = Scenario> {
-    (
-        any_model(),
-        any_board(),
-        any_action(),
-        (1usize..64, 0u64..1_000_000, 0usize..16, 0usize..2),
-        (0usize..8, prop::collection::vec(0usize..8, 0..4)),
-    )
-        .prop_map(
-            |(model, board, action, (batch, seed, workers, precision), (sched, ce_scheds))| {
-                let mut s = Scenario::new(model, board, action);
-                s.batch = batch;
-                s.seed = seed;
-                s.workers = workers;
-                s.precision = if precision == 0 {
-                    Precision::INT8
-                } else {
-                    Precision::INT16
-                };
-                // Schedule overrides are evaluate-only; attaching them to
-                // other actions would make the scenario invalid by
-                // construction rather than by serialization.
-                if matches!(s.action, Action::Evaluate { .. }) {
-                    s.schedule = schedule_pick(sched);
-                    s.ces = ce_scheds
-                        .into_iter()
-                        .map(|sel| CeOverride {
-                            schedule: schedule_pick(sel),
-                        })
-                        .collect();
-                }
-                s
-            },
-        )
 }
 
 proptest! {

@@ -155,33 +155,91 @@ fn batch_mode_runs_a_directory_with_any_worker_count() {
     assert_eq!(serial, parallel);
 }
 
+/// The poisoned-directory regression test: a directory mixing good,
+/// syntactically broken, semantically invalid, and unreadable scenarios
+/// still produces one typed entry per file, runs every good scenario,
+/// and exits with the dedicated `BatchPartial` code — not a generic
+/// usage error, and never a crash.
 #[test]
 fn batch_mode_reports_per_file_errors_and_fails() {
     let tmp = std::env::temp_dir().join(format!("mccm-batch-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).unwrap();
     std::fs::write(
-        tmp.join("good.json"),
+        tmp.join("a_good.json"),
         r#"{"model": {"zoo": "mobilenetv2"}, "board": {"builtin": "zc706"},
             "action": {"evaluate": {"template": "segmented", "ces": 3}}}"#,
     )
     .unwrap();
     std::fs::write(tmp.join("broken.json"), "{ not json").unwrap();
+    std::fs::write(
+        tmp.join("unknown_model.json"),
+        r#"{"model": {"zoo": "nosuchnet"}, "board": {"builtin": "zc706"},
+            "action": {"sweep": {}}}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        tmp.join("z_good.json"),
+        r#"{"model": {"zoo": "resnet50"}, "board": {"builtin": "zcu102"},
+            "action": {"evaluate": {"template": "hybrid", "ces": 4}}}"#,
+    )
+    .unwrap();
     let args: Vec<String> = ["run", "--batch", tmp.to_str().unwrap()]
         .iter()
         .map(|s| s.to_string())
         .collect();
     let mut out = Vec::new();
-    let err = main_with_args(&args, &mut out).expect_err("one scenario is broken");
-    assert!(err.to_string().contains("1 of 2"), "{err}");
-    let parsed = Json::parse(&String::from_utf8(out).unwrap()).unwrap();
-    assert_eq!(parsed.get("failures").and_then(Json::as_u64), Some(1));
+    let err = main_with_args(&args, &mut out).expect_err("two scenarios are broken");
+    assert!(
+        matches!(
+            err,
+            Error::BatchPartial {
+                failed: 2,
+                total: 4
+            }
+        ),
+        "{err:?}"
+    );
+    assert_eq!(err.exit_code(), 6);
+    assert!(err.to_string().contains("2 of 4"), "{err}");
+    let serial = String::from_utf8(out).unwrap();
+    let parsed = Json::parse(&serial).unwrap();
+    assert_eq!(parsed.get("failures").and_then(Json::as_u64), Some(2));
     let entries = parsed.get("batch").and_then(Json::as_array).unwrap();
-    assert!(entries[0]
-        .get("error")
+    // Entries stay sorted by file name; failures are typed objects with
+    // the same kind/exit_code classification the process itself uses.
+    let by_name = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.get("file").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no entry for {name}"))
+    };
+    assert!(by_name("a_good.json").get("outcome").is_some());
+    assert!(by_name("z_good.json").get("outcome").is_some());
+    let broken = by_name("broken.json").get("error").unwrap();
+    assert_eq!(broken.get("kind").and_then(Json::as_str), Some("json"));
+    assert_eq!(broken.get("exit_code").and_then(Json::as_u64), Some(3));
+    assert!(broken
+        .get("detail")
         .and_then(Json::as_str)
         .unwrap()
         .contains("JSON"));
-    assert!(entries[1].get("outcome").is_some());
+    let unknown = by_name("unknown_model.json").get("error").unwrap();
+    assert_eq!(unknown.get("kind").and_then(Json::as_str), Some("scenario"));
+    assert_eq!(unknown.get("exit_code").and_then(Json::as_u64), Some(3));
+    assert!(unknown
+        .get("detail")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("nosuchnet"));
+    // Sharding across workers never changes the report bytes, even with
+    // failures interleaved into the shards.
+    let mut out3 = Vec::new();
+    let args3: Vec<String> = ["run", "--batch", tmp.to_str().unwrap(), "--workers", "3"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    main_with_args(&args3, &mut out3).expect_err("still partial");
+    assert_eq!(serial, String::from_utf8(out3).unwrap());
     std::fs::remove_dir_all(&tmp).ok();
 }
 
@@ -212,6 +270,65 @@ fn unknown_and_duplicate_flags_are_regression_locked() {
     // Missing value.
     let err = run_cli(&["optimize", "--model"]).unwrap_err().to_string();
     assert!(err.contains("needs a value"), "{err}");
+}
+
+/// `mccm run --connect` against a daemon prints exactly the bytes of a
+/// local `mccm run`, and `mccm stats` / `mccm shutdown` speak the same
+/// protocol through the CLI.
+#[test]
+fn connect_runs_through_a_daemon_byte_identically() {
+    let server =
+        mccm::serve::Server::bind("127.0.0.1:0", mccm::serve::ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let handle = server.spawn();
+
+    let path = example_scenario("evaluate.json");
+    let local = run_cli(&["run", &path]).unwrap();
+    let remote = run_cli(&["run", &path, "--connect", &addr]).unwrap();
+    assert_eq!(
+        local, remote,
+        "server responses match local runs byte-for-byte"
+    );
+
+    // `--set` overrides apply before the scenario ships to the server.
+    let overridden = run_cli(&[
+        "run",
+        &path,
+        "--connect",
+        &addr,
+        "--set",
+        "action.evaluate.ces=5",
+    ])
+    .unwrap();
+    assert_ne!(overridden, local);
+
+    // Remote-only flags reject local use; `--batch` rejects `--connect`.
+    let err = run_cli(&["run", &path, "--deadline-ms", "50"])
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("--connect"), "{err}");
+    let err = run_cli(&["run", "--batch", "dir", "--connect", &addr])
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("--batch"), "{err}");
+
+    let stats = run_cli(&["stats", "--connect", &addr]).unwrap();
+    let parsed = Json::parse(&stats).unwrap();
+    assert_eq!(parsed.get("draining").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        parsed
+            .get("stats")
+            .and_then(|s| s.get("completed"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+
+    let shut = run_cli(&["shutdown", "--connect", &addr]).unwrap();
+    let parsed = Json::parse(&shut).unwrap();
+    assert_eq!(parsed.get("drained").and_then(Json::as_bool), Some(true));
+    let final_stats = handle.join().unwrap().unwrap();
+    assert_eq!(final_stats.completed, 2);
+    assert_eq!(final_stats.panics_recovered, 0);
 }
 
 #[test]
