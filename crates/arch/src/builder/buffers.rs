@@ -69,7 +69,7 @@ pub fn fuse_groups(
 }
 
 /// Buffer allocation for one compute engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CeBufferAlloc {
     /// Granted on-chip capacity in bytes.
     pub bytes: u64,
@@ -141,151 +141,157 @@ impl BufferPlan {
     }
 }
 
-/// Plans buffers for a set of engines and segments against a BRAM budget.
-pub fn plan_buffers(
+/// The buffer *needs* of one CE processing `layers` (global layer
+/// indices into `convs`) in `role` with input-channel parallelism `pf`:
+/// mandatory minimums, the ideal that guarantees minimum accesses, and
+/// the weight/FM statistics the cost model reads. The grant starts at
+/// the minimum; [`distribute_slack`] raises it.
+///
+/// This is the single definition of per-CE buffer demand — both the full
+/// [`plan_buffers`] pass and the per-segment builder hook
+/// (`MultipleCeBuilder::ce_context`) call it, so a segment planned alone
+/// is byte-identical to the same segment inside a whole-design plan.
+pub fn ce_needs(
     convs: &[ConvInfo],
-    segments: &[Segment],
-    ces: &[ComputeEngine],
-    coarse_pipeline: bool,
+    layers: &[usize],
+    role: CeRole,
+    pf: u64,
     precision: Precision,
-    bram_bytes: u64,
-) -> BufferPlan {
+) -> CeBufferAlloc {
     let wb = |l: &ConvInfo| precision.weight_size(l.weights);
     let ab = u64::from(precision.activation_bytes);
-
     // Consumer kernel height per layer: rows of a layer's OFM the next
     // layer needs before producing one row (1 for the final layer).
     let next_k =
         |idx: usize| -> u64 { convs.get(idx + 1).map_or(1, |n| u64::from(n.spec.kernel.0)) };
+    let layers: Vec<&ConvInfo> = layers.iter().map(|&l| &convs[l]).collect();
 
-    // Per-CE needs.
-    let mut allocs: Vec<CeBufferAlloc> = ces
-        .iter()
-        .map(|ce| {
-            let layers: Vec<&ConvInfo> = ce.layers.iter().map(|&l| &convs[l]).collect();
-            let pf = u64::from(ce.parallelism.dims[0]);
-
-            let weight_stream = 2
-                * layers
-                    .iter()
-                    .map(|l| {
-                        pf.min(u64::from(l.dims[0]))
-                            * u64::from(l.dims[1])
-                            * (u64::from(l.dims[4]) * u64::from(l.dims[5]))
-                    })
-                    .max()
-                    .unwrap_or(0)
-                * u64::from(precision.weight_bytes);
-
-            let fm_tile = match ce.role {
-                // Streaming spill tiles: K input rows + 1 output row, double
-                // buffered.
-                CeRole::Single => {
-                    2 * layers
-                        .iter()
-                        .map(|l| {
-                            u64::from(l.spec.kernel.0) * l.ifm.row_elements() + l.ofm.row_elements()
-                        })
-                        .max()
-                        .unwrap_or(0)
-                        * ab
-                }
-                // Pipeline row tiles: enough producer rows for one output
-                // row on the input side, one row on the output side, double
-                // buffered.
-                CeRole::Pipelined => {
-                    2 * layers
-                        .iter()
-                        .map(|l| {
-                            u64::from(l.spec.kernel.0) * l.ifm.row_elements()
-                                + next_k(l.index) * l.ofm.row_elements()
-                        })
-                        .max()
-                        .unwrap_or(0)
-                        * ab
-                }
-            };
-
-            let weights_total: u64 = layers.iter().map(|l| wb(l)).sum();
-            let weights_max = layers.iter().map(|l| wb(l)).max().unwrap_or(0);
-            let fm_ws = layers
-                .iter()
-                .map(|l| l.fm_working_set * ab)
-                .max()
-                .unwrap_or(0);
-
-            let min_bytes = fm_tile + weight_stream;
-            let ideal_bytes = match ce.role {
-                CeRole::Single => weight_stream + fm_tile.max(fm_ws),
-                CeRole::Pipelined => fm_tile + weights_total,
-            };
-            CeBufferAlloc {
-                bytes: min_bytes,
-                min_bytes,
-                ideal_bytes,
-                fm_tile_bytes: fm_tile,
-                weight_stream_bytes: weight_stream,
-                weights_total_bytes: weights_total,
-                weights_max_layer_bytes: weights_max,
-                fm_working_set_bytes: fm_ws,
-            }
-        })
-        .collect();
-
-    // Depth-first CEs additionally want every fuse group's working set
-    // (group weights + line buffers) resident; raise their ideal so
-    // generous BRAM lets every group fuse. The layer-by-layer ideal stays
-    // the floor — infeasible groups fall back to per-layer execution with
-    // streaming tiles. Fuse depth 1 is layer-by-layer and changes nothing.
-    for seg in segments {
-        let Executor::SingleCe(ce) = &seg.executor else {
-            continue;
-        };
-        let ce = *ce;
-        if seg.schedule.fuse_depth() <= 1 {
-            continue;
-        }
-        let fused_need = fuse_groups(seg.first, seg.last, seg.schedule.fuse_depth())
-            .map(|(lo, hi)| fused_group_bytes(convs, lo, hi, precision))
+    let weight_stream = 2
+        * layers
+            .iter()
+            .map(|l| {
+                pf.min(u64::from(l.dims[0]))
+                    * u64::from(l.dims[1])
+                    * (u64::from(l.dims[4]) * u64::from(l.dims[5]))
+            })
             .max()
-            .unwrap_or(0);
-        allocs[ce].ideal_bytes = allocs[ce].ideal_bytes.max(fused_need);
+            .unwrap_or(0)
+        * u64::from(precision.weight_bytes);
+
+    let fm_tile = match role {
+        // Streaming spill tiles: K input rows + 1 output row, double
+        // buffered.
+        CeRole::Single => {
+            2 * layers
+                .iter()
+                .map(|l| u64::from(l.spec.kernel.0) * l.ifm.row_elements() + l.ofm.row_elements())
+                .max()
+                .unwrap_or(0)
+                * ab
+        }
+        // Pipeline row tiles: enough producer rows for one output
+        // row on the input side, one row on the output side, double
+        // buffered.
+        CeRole::Pipelined => {
+            2 * layers
+                .iter()
+                .map(|l| {
+                    u64::from(l.spec.kernel.0) * l.ifm.row_elements()
+                        + next_k(l.index) * l.ofm.row_elements()
+                })
+                .max()
+                .unwrap_or(0)
+                * ab
+        }
+    };
+
+    let weights_total: u64 = layers.iter().map(|l| wb(l)).sum();
+    let weights_max = layers.iter().map(|l| wb(l)).max().unwrap_or(0);
+    let fm_ws = layers
+        .iter()
+        .map(|l| l.fm_working_set * ab)
+        .max()
+        .unwrap_or(0);
+
+    let min_bytes = fm_tile + weight_stream;
+    let ideal_bytes = match role {
+        CeRole::Single => weight_stream + fm_tile.max(fm_ws),
+        CeRole::Pipelined => fm_tile + weights_total,
+    };
+    CeBufferAlloc {
+        bytes: min_bytes,
+        min_bytes,
+        ideal_bytes,
+        fm_tile_bytes: fm_tile,
+        weight_stream_bytes: weight_stream,
+        weights_total_bytes: weights_total,
+        weights_max_layer_bytes: weights_max,
+        fm_working_set_bytes: fm_ws,
     }
+}
 
-    // Inter-segment handoffs.
-    let mut inter: Vec<InterSegmentBuffer> = segments
-        .windows(2)
-        .map(|w| {
-            let producer_last = w[0].last;
-            let fm_bytes = convs[producer_last].ofm.elements() * ab;
-            let disjoint = {
-                let a = w[0].executor.ces();
-                let b = w[1].executor.ces();
-                !a.iter().any(|ce| b.contains(ce))
-            };
-            let pipelined_handoff = coarse_pipeline && disjoint;
-            InterSegmentBuffer {
-                bytes_needed: if pipelined_handoff {
-                    2 * fm_bytes
-                } else {
-                    fm_bytes
-                },
-                on_chip: false,
-                pipelined_handoff,
-                same_block: !disjoint,
-            }
-        })
-        .collect();
+/// The largest fuse-group working set of a depth-first segment
+/// `first..=last` at `fuse_depth` — the amount a depth-first CE's ideal
+/// is raised to so generous BRAM lets every group fuse (`0` for
+/// layer-by-layer depth 1).
+pub fn depth_first_ideal(
+    convs: &[ConvInfo],
+    first: usize,
+    last: usize,
+    fuse_depth: usize,
+    precision: Precision,
+) -> u64 {
+    if fuse_depth <= 1 {
+        return 0;
+    }
+    fuse_groups(first, last, fuse_depth)
+        .map(|(lo, hi)| fused_group_bytes(convs, lo, hi, precision))
+        .max()
+        .unwrap_or(0)
+}
 
+/// The inter-segment handoff buffer after the segment whose last layer is
+/// `producer_last`: the producer's full OFM, doubled when the handoff is
+/// pipelined (coarse pipelining between disjoint blocks). Starts
+/// off-chip; [`distribute_slack`] grants BRAM.
+pub fn handoff_need(
+    convs: &[ConvInfo],
+    producer_last: usize,
+    precision: Precision,
+    pipelined_handoff: bool,
+    same_block: bool,
+) -> InterSegmentBuffer {
+    let fm_bytes = convs[producer_last].ofm.elements() * u64::from(precision.activation_bytes);
+    InterSegmentBuffer {
+        bytes_needed: if pipelined_handoff {
+            2 * fm_bytes
+        } else {
+            fm_bytes
+        },
+        on_chip: false,
+        pipelined_handoff,
+        same_block,
+    }
+}
+
+/// Distributes the BRAM slack above the mandatory minimums across CE
+/// grants and handoff buffers in the fixed priority order (2–5 of the
+/// module docs). Returns whether even the minimums fit; when they do
+/// not, every grant stays at its minimum and every handoff off-chip —
+/// exactly the plan the cost model then degrades around.
+///
+/// `role_of(i)` is CE `i`'s role — a closure so callers without built
+/// [`ComputeEngine`]s (the per-segment delta path) can use it too.
+pub fn distribute_slack(
+    allocs: &mut [CeBufferAlloc],
+    role_of: impl Fn(usize) -> CeRole,
+    inter: &mut [InterSegmentBuffer],
+    bram_bytes: u64,
+) -> bool {
     let spent: u64 = allocs.iter().map(|a| a.bytes).sum();
     let fits_minimums = spent <= bram_bytes;
     if !fits_minimums {
-        return BufferPlan {
-            ce: allocs,
-            inter_segment: inter,
-            bram_bytes,
-            fits_minimums,
-        };
+        return fits_minimums;
     }
     let mut slack = bram_bytes - spent;
 
@@ -294,7 +300,7 @@ pub fn plan_buffers(
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            matches!(ces[*i].role, CeRole::Pipelined)
+            matches!(role_of(*i), CeRole::Pipelined)
                 && a.fm_tile_bytes + a.weights_max_layer_bytes > a.bytes
         })
         .map(|(i, a)| (i, a.fm_tile_bytes + a.weights_max_layer_bytes - a.bytes))
@@ -311,7 +317,7 @@ pub fn plan_buffers(
     let mut upgrades: Vec<(usize, u64)> = allocs
         .iter()
         .enumerate()
-        .filter(|(i, a)| matches!(ces[*i].role, CeRole::Pipelined) && a.ideal_bytes > a.bytes)
+        .filter(|(i, a)| matches!(role_of(*i), CeRole::Pipelined) && a.ideal_bytes > a.bytes)
         .map(|(i, a)| (i, a.ideal_bytes - a.bytes))
         .collect();
     upgrades.sort_by_key(|&(i, cost)| (cost, i));
@@ -338,7 +344,7 @@ pub fn plan_buffers(
         let residuals: Vec<(usize, u64)> = allocs
             .iter()
             .enumerate()
-            .filter(|(i, a)| matches!(ces[*i].role, CeRole::Single) && a.ideal_bytes > a.bytes)
+            .filter(|(i, a)| matches!(role_of(*i), CeRole::Single) && a.ideal_bytes > a.bytes)
             .map(|(i, a)| (i, a.ideal_bytes - a.bytes))
             .collect();
         let total_res: u64 = residuals.iter().map(|&(_, r)| r).sum();
@@ -360,7 +366,72 @@ pub fn plan_buffers(
             slack -= grant;
         }
     }
+    fits_minimums
+}
 
+/// Plans buffers for a set of engines and segments against a BRAM budget.
+pub fn plan_buffers(
+    convs: &[ConvInfo],
+    segments: &[Segment],
+    ces: &[ComputeEngine],
+    coarse_pipeline: bool,
+    precision: Precision,
+    bram_bytes: u64,
+) -> BufferPlan {
+    // Per-CE needs.
+    let mut allocs: Vec<CeBufferAlloc> = ces
+        .iter()
+        .map(|ce| {
+            ce_needs(
+                convs,
+                &ce.layers,
+                ce.role,
+                u64::from(ce.parallelism.dims[0]),
+                precision,
+            )
+        })
+        .collect();
+
+    // Depth-first CEs additionally want every fuse group's working set
+    // (group weights + line buffers) resident; raise their ideal so
+    // generous BRAM lets every group fuse. The layer-by-layer ideal stays
+    // the floor — infeasible groups fall back to per-layer execution with
+    // streaming tiles. Fuse depth 1 is layer-by-layer and changes nothing.
+    for seg in segments {
+        let Executor::SingleCe(ce) = &seg.executor else {
+            continue;
+        };
+        let ce = *ce;
+        let fused_need = depth_first_ideal(
+            convs,
+            seg.first,
+            seg.last,
+            seg.schedule.fuse_depth(),
+            precision,
+        );
+        allocs[ce].ideal_bytes = allocs[ce].ideal_bytes.max(fused_need);
+    }
+
+    // Inter-segment handoffs.
+    let mut inter: Vec<InterSegmentBuffer> = segments
+        .windows(2)
+        .map(|w| {
+            let disjoint = {
+                let a = w[0].executor.ces();
+                let b = w[1].executor.ces();
+                !a.iter().any(|ce| b.contains(ce))
+            };
+            handoff_need(
+                convs,
+                w[0].last,
+                precision,
+                coarse_pipeline && disjoint,
+                !disjoint,
+            )
+        })
+        .collect();
+
+    let fits_minimums = distribute_slack(&mut allocs, |i| ces[i].role, &mut inter, bram_bytes);
     BufferPlan {
         ce: allocs,
         inter_segment: inter,

@@ -7,7 +7,10 @@ mod buffers;
 mod parallelism;
 mod pe_alloc;
 
-pub use buffers::{fuse_groups, fused_group_bytes, BufferPlan, CeBufferAlloc, InterSegmentBuffer};
+pub use buffers::{
+    ce_needs, depth_first_ideal, distribute_slack, fuse_groups, fused_group_bytes, handoff_need,
+    BufferPlan, CeBufferAlloc, InterSegmentBuffer,
+};
 pub use parallelism::{select_parallelism, select_row_parallelism};
 pub use pe_alloc::distribute_pes;
 
@@ -55,6 +58,35 @@ pub struct BuilderOptions {
 /// cannot silently alias cache entries across schedules.)
 type ParKey = (u32, bool, Schedule, Vec<usize>);
 
+/// Memo key of one per-CE context: PE budget, contiguous layer range
+/// (`first`, `len`), role, schedule, whether OFM-row parallelism is
+/// allowed, and the data-type widths. Unlike [`ParKey`] this includes the
+/// precision because buffer needs scale with it, while the parallelism
+/// search does not — and cloned builders reconfigured via
+/// `with_precision` share one build context.
+type CtxKey = (u32, usize, usize, CeRole, Schedule, bool, Precision);
+
+/// One CE's implementation context, planned in isolation from the rest of
+/// the design: the parallelism the search selects for a contiguous layer
+/// range and the buffer *needs* that parallelism implies (grants start at
+/// the minimum; callers run [`distribute_slack`] across a whole design).
+///
+/// [`MultipleCeBuilder::ce_context`] memoizes these per
+/// (pes, range, role, schedule) — the delta-evaluation path in `mccm-dse`
+/// assembles whole designs from cached contexts without paying a full
+/// [`MultipleCeBuilder::build`], and the invariant is that a context
+/// planned alone is identical to the same CE inside a full build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CeContext {
+    /// Selected parallelism — identical to the full build's choice for a
+    /// CE with the same budget, range, role, and schedule.
+    pub parallelism: Parallelism,
+    /// Buffer needs at that parallelism, with the depth-first ideal raise
+    /// already applied for single-CE ranges (a single-CE range is its own
+    /// segment in the designs this hook serves).
+    pub needs: CeBufferAlloc,
+}
+
 /// Upper bound on memoized search results per build context. The PE
 /// budget in the key depends on the whole design's workload split, so a
 /// very long sweep can keep minting fresh `(pes, layers)` pairs; past
@@ -81,6 +113,8 @@ struct BuildContext {
     candidates: Vec<u32>,
     /// Memoized search results.
     memo: RwLock<HashMap<ParKey, Parallelism>>,
+    /// Memoized per-CE contexts (delta-evaluation hook).
+    ce_ctx: RwLock<HashMap<CtxKey, CeContext>>,
 }
 
 /// Builds accelerators for one (CNN, board) pair.
@@ -135,6 +169,7 @@ impl MultipleCeBuilder {
             ctx: Arc::new(BuildContext {
                 candidates,
                 memo: RwLock::new(HashMap::new()),
+                ce_ctx: RwLock::new(HashMap::new()),
             }),
         }
     }
@@ -177,6 +212,13 @@ impl MultipleCeBuilder {
         self.precision
     }
 
+    /// The builder heuristics in effect (PE allocation policy, row
+    /// parallelism) — read by the delta-evaluation path so its PE split
+    /// mirrors [`Self::build`]'s exactly.
+    pub fn options(&self) -> BuilderOptions {
+        self.options
+    }
+
     /// An opaque token identifying this builder's shared build context.
     /// Builders cloned from one another share one context (and thus one
     /// memo cache) and report the same token; independently constructed
@@ -192,6 +234,95 @@ impl MultipleCeBuilder {
     /// freshly constructed builder, growing as designs are built).
     pub fn memo_len(&self) -> usize {
         self.ctx.memo.read().expect("memo poisoned").len()
+    }
+
+    /// Number of memoized per-CE contexts held by the shared build
+    /// context (the [`Self::ce_context`] memo) — the delta-evaluation
+    /// analogue of [`Self::memo_len`].
+    pub fn ce_context_memo_len(&self) -> usize {
+        self.ctx.ce_ctx.read().expect("ce-ctx memo poisoned").len()
+    }
+
+    /// Plans one CE's context — parallelism plus buffer needs — for the
+    /// contiguous layer range `first..first + len` with `pes` PEs in
+    /// `role` under `schedule`, without building a whole accelerator.
+    /// Results are memoized in the shared build context alongside the
+    /// parallelism memo (and covered by [`Self::context_token`]).
+    ///
+    /// The context is bit-identical to the corresponding CE of a full
+    /// [`Self::build`] whose workload split grants the same `pes` to the
+    /// same range — the property the delta evaluation path in `mccm-dse`
+    /// relies on to recombine cached segment costs.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the range is non-empty and within the model.
+    pub fn ce_context(
+        &self,
+        pes: u32,
+        first: usize,
+        len: usize,
+        role: CeRole,
+        schedule: Schedule,
+    ) -> CeContext {
+        debug_assert!(len > 0 && first + len <= self.convs.len());
+        let allow_rows = match role {
+            CeRole::Single => true,
+            CeRole::Pipelined => self.options.pipelined_row_parallelism,
+        };
+        if !self.memoize {
+            return self.plan_ce_context(pes, first, len, role, schedule, allow_rows);
+        }
+        let key: CtxKey = (pes, first, len, role, schedule, allow_rows, self.precision);
+        if let Some(c) = self
+            .ctx
+            .ce_ctx
+            .read()
+            .expect("ce-ctx memo poisoned")
+            .get(&key)
+        {
+            return *c;
+        }
+        let c = self.plan_ce_context(pes, first, len, role, schedule, allow_rows);
+        let mut memo = self.ctx.ce_ctx.write().expect("ce-ctx memo poisoned");
+        if memo.len() < MEMO_CAP {
+            memo.insert(key, c);
+        }
+        c
+    }
+
+    fn plan_ce_context(
+        &self,
+        pes: u32,
+        first: usize,
+        len: usize,
+        role: CeRole,
+        schedule: Schedule,
+        allow_rows: bool,
+    ) -> CeContext {
+        let layers: Vec<usize> = (first..first + len).collect();
+        let parallelism = self.parallelism_for(pes, &layers, allow_rows, schedule);
+        let mut needs = buffers::ce_needs(
+            &self.convs,
+            &layers,
+            role,
+            u64::from(parallelism.dims[0]),
+            self.precision,
+        );
+        // Single-CE ranges are their own segment in the designs this hook
+        // serves: apply the depth-first ideal raise the full planner
+        // applies per single-CE segment.
+        if matches!(role, CeRole::Single) {
+            let fused = buffers::depth_first_ideal(
+                &self.convs,
+                first,
+                first + len - 1,
+                schedule.fuse_depth(),
+                self.precision,
+            );
+            needs.ideal_bytes = needs.ideal_bytes.max(fused);
+        }
+        CeContext { parallelism, needs }
     }
 
     /// Memoized per-CE parallelism selection: cache hit for layer sets
@@ -439,6 +570,59 @@ mod tests {
         assert_eq!(fresh.memo_len(), 0);
         assert_eq!(a.precision(), Precision::default());
         assert_eq!(a.board().name, board.name);
+    }
+
+    #[test]
+    fn ce_context_matches_full_build() {
+        // A context planned in isolation must be bit-identical to the
+        // same CE inside a full build: same parallelism, same buffer
+        // needs (grants aside — the full plan distributes slack).
+        let m = zoo::mobilenet_v2();
+        let board = FpgaBoard::zc706();
+        let b = MultipleCeBuilder::new(&m, &board);
+        for spec in [
+            templates::hybrid(&m, 5).unwrap(),
+            templates::segmented(&m, 4).unwrap(),
+        ] {
+            let acc = b.build(&spec).unwrap();
+            for (ce, alloc) in acc.ces.iter().zip(&acc.buffers.ce) {
+                let first = ce.layers[0];
+                let len = ce.layers.len();
+                if !ce.layers.iter().enumerate().all(|(i, &l)| l == first + i) {
+                    continue; // hook serves contiguous ranges only
+                }
+                let ctx = b.ce_context(ce.pes, first, len, ce.role, ce.schedule);
+                assert_eq!(ctx.parallelism, ce.parallelism);
+                assert_eq!(ctx.needs.min_bytes, alloc.min_bytes);
+                assert_eq!(ctx.needs.ideal_bytes, alloc.ideal_bytes);
+                assert_eq!(ctx.needs.fm_tile_bytes, alloc.fm_tile_bytes);
+                assert_eq!(ctx.needs.weight_stream_bytes, alloc.weight_stream_bytes);
+                assert_eq!(ctx.needs.weights_total_bytes, alloc.weights_total_bytes);
+            }
+        }
+        assert!(b.ce_context_memo_len() > 0);
+        assert_eq!(b.clone().ce_context_memo_len(), b.ce_context_memo_len());
+    }
+
+    #[test]
+    fn ce_context_memo_is_behaviorally_invisible() {
+        let m = zoo::xception();
+        let board = FpgaBoard::vcu108();
+        let warm = MultipleCeBuilder::new(&m, &board);
+        let cold = MultipleCeBuilder::new(&m, &board).with_memoization(false);
+        let n = m.conv_view().len();
+        for (first, len, role) in [
+            (0usize, 1usize, CeRole::Pipelined),
+            (0, 4, CeRole::Single),
+            (4, n - 4, CeRole::Single),
+        ] {
+            let a = warm.ce_context(256, first, len, role, Schedule::LayerByLayer);
+            let again = warm.ce_context(256, first, len, role, Schedule::LayerByLayer);
+            let reference = cold.ce_context(256, first, len, role, Schedule::LayerByLayer);
+            assert_eq!(a, reference);
+            assert_eq!(a, again);
+        }
+        assert_eq!(cold.ce_context_memo_len(), 0);
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub mod templates;
 
 pub use accelerator::BuiltAccelerator;
 pub use builder::{
-    fuse_groups, fused_group_bytes, BufferPlan, BuilderOptions, CeBufferAlloc, InterSegmentBuffer,
-    MultipleCeBuilder, PeAllocation,
+    ce_needs, depth_first_ideal, distribute_slack, fuse_groups, fused_group_bytes, handoff_need,
+    BufferPlan, BuilderOptions, CeBufferAlloc, CeContext, InterSegmentBuffer, MultipleCeBuilder,
+    PeAllocation,
 };
 pub use engine::{CeRole, ComputeEngine, Parallelism};
 pub use error::ArchError;

@@ -46,6 +46,6 @@ pub use accuracy::{accuracy_pct, AccuracyRecord, AccuracySummary};
 pub use config::{ConfigError, ModelConfig, PipelineLatencyMode};
 pub use energy::{EnergyEstimate, EnergyModel};
 pub use metrics::{Metric, MetricSource};
-pub use model::{CostModel, EvalScratch};
+pub use model::{CostModel, DesignCoupling, EvalScratch, SegmentCost};
 pub use quantity::{Bandwidth, Bytes, Cycles, Joules, Macs, Pes, Throughput};
 pub use report::{CeReport, EvalSummary, Evaluation, LayerReport, SegmentReport, SpillPolicy};

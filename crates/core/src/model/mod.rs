@@ -90,6 +90,9 @@ pub struct EvalScratch {
     blocks: Vec<BlockSlot>,
     /// Pipelined-block per-layer work arrays.
     pipe: PipeScratch,
+    /// Per-segment cost staging for [`CostModel::evaluate_summary_with`]
+    /// (taken out of the scratch while the slice is recombined).
+    costs: Vec<SegmentCost>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +102,7 @@ struct BlockSlot {
     occupancy: Cycles,
     segments: usize,
     max_busy: Cycles,
+    pipelined: bool,
 }
 
 impl EvalScratch {
@@ -106,6 +110,60 @@ impl EvalScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// The cost of **one segment** — a contiguous run of layers on one
+/// executor — as produced by the block-model cores, independent of every
+/// other segment of the design.
+///
+/// A design's [`EvalSummary`] is a pure composition of its segments'
+/// `SegmentCost`s plus the design-level [`DesignCoupling`] terms
+/// ([`CostModel::recombine`]). The value is `Copy` and depends only on
+/// the segment's layer range, executor shape (PEs, role, schedule), the
+/// granted buffer bytes, and the in/out boundary placement — which is
+/// what makes it cacheable across designs that share a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentCost {
+    /// First CE of the executing block (CE ids are contiguous).
+    pub first_ce: usize,
+    /// CEs in the executing block (`1` for a single-CE segment).
+    pub ce_len: usize,
+    /// Whether the block carries pipelined-role CEs (drives the
+    /// single-round initiation-interval rule, Eq. 3).
+    pub pipelined: bool,
+    /// The segment's wall time contribution to latency.
+    pub time_cycles: Cycles,
+    /// The compute-only portion of that time.
+    pub compute_cycles: Cycles,
+    /// Off-chip weight traffic the segment generates.
+    pub weight_traffic: Bytes,
+    /// Off-chip feature-map traffic the segment generates.
+    pub fm_traffic: Bytes,
+    /// The busiest CE's busy time within the segment's round.
+    pub max_busy_cycles: Cycles,
+}
+
+/// The design-level coupling terms [`CostModel::recombine`] applies to a
+/// slice of [`SegmentCost`]s: everything in an [`EvalSummary`] that is
+/// *not* a per-segment quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignCoupling {
+    /// The design's notation string.
+    pub notation: String,
+    /// Compute engines in the design.
+    pub ce_count: usize,
+    /// Total convolution MACs of the CNN.
+    pub total_macs: Macs,
+    /// Whether segments overlap across images (coarse pipelining).
+    pub coarse_pipeline: bool,
+    /// Board cycle time in seconds.
+    pub cycle_time_s: f64,
+    /// Derated off-chip bandwidth (shared-channel throughput bound).
+    pub bandwidth: Bandwidth,
+    /// Σ per-CE ideals + distinct-block handoffs (Eqs. 4/5/8).
+    pub buffer_req_bytes: Bytes,
+    /// Total granted on-chip buffer bytes.
+    pub buffer_alloc_bytes: Bytes,
 }
 
 impl CostModel {
@@ -314,102 +372,170 @@ impl CostModel {
 
     /// [`Self::evaluate_summary`] under a non-default configuration;
     /// bit-identical to `evaluate_with(acc, config).summary()`.
+    ///
+    /// The fast lane is an explicit decomposition: each segment's
+    /// [`SegmentCost`] is computed by the shared block-model cores, then
+    /// [`Self::recombine`] applies the design-level [`DesignCoupling`]
+    /// terms. Incremental evaluators reuse exactly this split, swapping
+    /// cached `SegmentCost`s in for the fresh ones.
     pub fn evaluate_summary_with(
         acc: &BuiltAccelerator,
         config: &ModelConfig,
         scratch: &mut EvalScratch,
     ) -> EvalSummary {
-        let cyc = acc.board.cycle_time_s();
+        let mut costs = std::mem::take(&mut scratch.costs);
+        costs.clear();
+        for index in 0..acc.segments.len() {
+            costs.push(Self::segment_cost(acc, index, config, scratch));
+        }
+        let summary = Self::recombine(Self::design_coupling(acc, config), &costs, scratch);
+        scratch.costs = costs;
+        summary
+    }
+
+    /// The [`SegmentCost`] of segment `index` of a built accelerator,
+    /// through the same block-model cores both evaluation lanes run.
+    pub fn segment_cost(
+        acc: &BuiltAccelerator,
+        index: usize,
+        config: &ModelConfig,
+        scratch: &mut EvalScratch,
+    ) -> SegmentCost {
         let bw = Bandwidth::new(acc.board.bytes_per_cycle() * config.bandwidth_derate);
         let n_segments = acc.segments.len();
+        let seg = &acc.segments[index];
+        let input_off = seg.index == 0 || !acc.buffers.inter_segment[seg.index - 1].on_chip;
+        let output_off =
+            seg.index + 1 == n_segments || !acc.buffers.inter_segment[seg.index].on_chip;
 
+        let (first_ce, ce_len, totals) = match &seg.executor {
+            Executor::SingleCe(ce) => (
+                *ce,
+                1usize,
+                eval_single_ce_core(
+                    acc,
+                    *ce,
+                    seg.schedule,
+                    seg.first,
+                    seg.last,
+                    input_off,
+                    output_off,
+                    bw,
+                    |_, _, _, _, _, _| {},
+                ),
+            ),
+            Executor::PipelinedCes(ces) => (
+                ces[0],
+                ces.len(),
+                eval_pipelined_round_core(
+                    acc,
+                    ces,
+                    seg.first,
+                    seg.last,
+                    input_off,
+                    output_off,
+                    bw,
+                    config.pipeline_latency,
+                    &mut scratch.pipe,
+                    |_, _, _, _, _, _, _| {},
+                ),
+            ),
+        };
+        let pipelined = acc.ces[first_ce..first_ce + ce_len]
+            .iter()
+            .any(|ce| ce.role == CeRole::Pipelined);
+        SegmentCost {
+            first_ce,
+            ce_len,
+            pipelined,
+            time_cycles: totals.time_cycles,
+            compute_cycles: totals.compute_cycles,
+            weight_traffic: totals.weight_traffic,
+            fm_traffic: totals.fm_traffic,
+            max_busy_cycles: totals.max_busy_cycles,
+        }
+    }
+
+    /// The design-level [`DesignCoupling`] terms of a built accelerator —
+    /// the non-segment half of the decomposition behind
+    /// [`Self::evaluate_summary_with`].
+    pub fn design_coupling(acc: &BuiltAccelerator, config: &ModelConfig) -> DesignCoupling {
+        DesignCoupling {
+            notation: acc.notation(),
+            ce_count: acc.ce_count(),
+            total_macs: total_macs(acc),
+            coarse_pipeline: acc.coarse_pipeline(),
+            cycle_time_s: acc.board.cycle_time_s(),
+            bandwidth: Bandwidth::new(acc.board.bytes_per_cycle() * config.bandwidth_derate),
+            buffer_req_bytes: buffer_requirement(acc),
+            buffer_alloc_bytes: Bytes::new(acc.buffers.total_bytes()),
+        }
+    }
+
+    /// Recombines per-segment costs under the design-level coupling terms
+    /// into the design's [`EvalSummary`].
+    ///
+    /// **Invariant (delta ≡ full ≡ rich):** for any built accelerator,
+    /// `recombine(design_coupling(acc, cfg), &costs, scratch)` over the
+    /// freshly computed `costs[i] = segment_cost(acc, i, cfg, scratch)`
+    /// is bit-identical to `evaluate_summary_with(acc, cfg, scratch)` —
+    /// which is itself bit-identical to the rich lane. Enforced by
+    /// `tests/fastlane_equivalence.rs`.
+    pub fn recombine(
+        coupling: DesignCoupling,
+        costs: &[SegmentCost],
+        scratch: &mut EvalScratch,
+    ) -> EvalSummary {
         let mut latency_cycles = Cycles::ZERO;
         let mut compute_cycles_total = Cycles::ZERO;
         let mut total_w = Bytes::ZERO;
         let mut total_fm = Bytes::ZERO;
         scratch.blocks.clear();
 
-        for seg in &acc.segments {
-            let input_off = seg.index == 0 || !acc.buffers.inter_segment[seg.index - 1].on_chip;
-            let output_off =
-                seg.index + 1 == n_segments || !acc.buffers.inter_segment[seg.index].on_chip;
-
-            let (first_ce, block_len, totals) = match &seg.executor {
-                Executor::SingleCe(ce) => (
-                    *ce,
-                    1usize,
-                    eval_single_ce_core(
-                        acc,
-                        *ce,
-                        seg.schedule,
-                        seg.first,
-                        seg.last,
-                        input_off,
-                        output_off,
-                        bw,
-                        |_, _, _, _, _, _| {},
-                    ),
-                ),
-                Executor::PipelinedCes(ces) => (
-                    ces[0],
-                    ces.len(),
-                    eval_pipelined_round_core(
-                        acc,
-                        ces,
-                        seg.first,
-                        seg.last,
-                        input_off,
-                        output_off,
-                        bw,
-                        config.pipeline_latency,
-                        &mut scratch.pipe,
-                        |_, _, _, _, _, _, _| {},
-                    ),
-                ),
-            };
-
+        for cost in costs {
             // Dense occupancy accumulation: executor CE sets are contiguous
             // ranges, so (first_ce, len) is the block identity the rich lane
             // keys its HashMap with (as the sorted CE vector).
             let slot = match scratch
                 .blocks
                 .iter_mut()
-                .find(|b| b.first_ce == first_ce && b.len == block_len)
+                .find(|b| b.first_ce == cost.first_ce && b.len == cost.ce_len)
             {
                 Some(slot) => slot,
                 None => {
                     scratch.blocks.push(BlockSlot {
-                        first_ce,
-                        len: block_len,
+                        first_ce: cost.first_ce,
+                        len: cost.ce_len,
                         occupancy: Cycles::ZERO,
                         segments: 0,
                         max_busy: Cycles::ZERO,
+                        pipelined: false,
                     });
                     scratch.blocks.last_mut().expect("just pushed")
                 }
             };
-            slot.occupancy += totals.time_cycles;
+            slot.occupancy += cost.time_cycles;
             slot.segments += 1;
-            slot.max_busy = slot.max_busy.max(totals.max_busy_cycles);
+            slot.max_busy = slot.max_busy.max(cost.max_busy_cycles);
+            slot.pipelined |= cost.pipelined;
 
-            latency_cycles += totals.time_cycles;
-            compute_cycles_total += totals.compute_cycles;
-            total_w += totals.weight_traffic;
-            total_fm += totals.fm_traffic;
+            latency_cycles += cost.time_cycles;
+            compute_cycles_total += cost.compute_cycles;
+            total_w += cost.weight_traffic;
+            total_fm += cost.fm_traffic;
         }
 
         // Throughput (§IV-B1), same composition as the rich lane — the
         // dense slots replace the HashMap, and `max` is order-independent.
-        let bottleneck_cycles = if acc.coarse_pipeline() {
+        let bottleneck_cycles = if coupling.coarse_pipeline {
             let block_bound = scratch
                 .blocks
                 .iter()
                 .map(|b| {
-                    let single_round = b.segments == 1
-                        && acc.ces[b.first_ce..b.first_ce + b.len]
-                            .iter()
-                            .any(|ce| ce.role == CeRole::Pipelined);
-                    if single_round {
+                    // A single-segment pipelined block overlaps consecutive
+                    // images: its initiation interval is its bottleneck CE
+                    // busy time (Eq. 3), not the stage sum.
+                    if b.segments == 1 && b.pipelined {
                         b.max_busy.max(Cycles::new(1))
                     } else {
                         b.occupancy
@@ -417,12 +543,13 @@ impl CostModel {
                 })
                 .max()
                 .unwrap_or(latency_cycles);
-            let mem_bound = bw.cycles_for(total_w + total_fm);
+            let mem_bound = coupling.bandwidth.cycles_for(total_w + total_fm);
             block_bound.max(mem_bound)
         } else {
             latency_cycles
         };
 
+        let cyc = coupling.cycle_time_s;
         let latency_s = latency_cycles.to_seconds(cyc);
         let throughput_fps = if bottleneck_cycles.is_zero() {
             0.0
@@ -438,13 +565,13 @@ impl CostModel {
         };
 
         EvalSummary {
-            notation: acc.notation(),
-            ce_count: acc.ce_count(),
-            total_macs: total_macs(acc),
+            notation: coupling.notation,
+            ce_count: coupling.ce_count,
+            total_macs: coupling.total_macs,
             latency_s,
             throughput_fps,
-            buffer_req_bytes: buffer_requirement(acc),
-            buffer_alloc_bytes: Bytes::new(acc.buffers.total_bytes()),
+            buffer_req_bytes: coupling.buffer_req_bytes,
+            buffer_alloc_bytes: coupling.buffer_alloc_bytes,
             offchip_bytes: total_w + total_fm,
             offchip_weight_bytes: total_w,
             offchip_fm_bytes: total_fm,

@@ -46,6 +46,7 @@ mod parallel;
 mod pareto;
 mod quality;
 mod sampler;
+mod segcache;
 mod selection;
 mod space;
 
@@ -60,5 +61,6 @@ pub use quality::{
     compare_fronts, coverage, hypervolume, union_bounds, FrontComparison, MetricBounds,
 };
 pub use sampler::{sample_attempt, CustomSampler};
+pub use segcache::{CacheStats, DeltaContext, SegCache};
 pub use selection::{select_all_metrics, select_best, SelectionCell, PAPER_TIE_FRAC};
 pub use space::{binomial, binomial_checked, CustomDesign, CustomSpace};

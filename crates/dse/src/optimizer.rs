@@ -31,7 +31,6 @@
 //! ([`ParetoFront`]); the final front is the deterministic merge of all
 //! island archives.
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use mccm_arch::ArchError;
@@ -44,6 +43,7 @@ use crate::error::ExploreError;
 use crate::explorer::{CustomPoint, Explorer};
 use crate::pareto::{dominates, ParetoFront};
 use crate::sampler::{sample_attempt, stream_seed};
+use crate::segcache::{CacheStats, DeltaContext, DesignKey, DesignMemo, SegCache};
 use crate::space::{CustomDesign, CustomSpace};
 
 /// Configuration of [`Explorer::optimize`].
@@ -74,6 +74,14 @@ pub struct OptimizerConfig {
     /// exactly; `d ≥ 2` lets the optimizer trade fuse depth against the
     /// other axes.
     pub max_fuse_depth: usize,
+    /// Evaluate offspring through the **segment-cost delta path**
+    /// ([`Explorer::custom_summary_delta`]): per-island caches of per-CE
+    /// segment costs let a design whose segments were all seen before be
+    /// recombined without an accelerator build or a block-model core run.
+    /// Bit-identical to full evaluation by the `delta ≡ full ≡ rich`
+    /// invariant, so this is purely a throughput knob (on by default);
+    /// `false` restores whole-design evaluation for A/B verification.
+    pub delta_eval: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -88,6 +96,7 @@ impl Default for OptimizerConfig {
             migrants: 4,
             crossover_prob: 0.9,
             max_fuse_depth: 1,
+            delta_eval: true,
         }
     }
 }
@@ -147,6 +156,12 @@ impl OptimizerConfig {
         self
     }
 
+    /// Enables or disables the segment-cost delta evaluation path.
+    pub fn with_delta_eval(mut self, delta_eval: bool) -> Self {
+        self.delta_eval = delta_eval;
+        self
+    }
+
     /// Checks the configuration is runnable — the typed pre-flight check
     /// machine-supplied configs (scenario files, request payloads) go
     /// through before [`Explorer::optimize`], whose own guards are
@@ -203,6 +218,10 @@ pub struct GuidedFront {
     /// far — it is "partial" only in the sense that the remaining budget
     /// went unspent.
     pub cancelled: bool,
+    /// Segment-cache and design-memo statistics summed across islands —
+    /// all zeros when [`OptimizerConfig::delta_eval`] is off (memo
+    /// counters still accumulate; the memo exists on both paths).
+    pub cache: CacheStats,
 }
 
 impl GuidedFront {
@@ -233,8 +252,15 @@ struct Island {
     next_attempt: u64,
     population: Vec<Individual>,
     archive: ParetoFront<CustomPoint>,
-    /// Designs this island has already built: `None` = infeasible.
-    memo: HashMap<CustomDesign, Option<Vec<f64>>>,
+    /// Designs this island has already built, keyed by compact interned
+    /// [`DesignKey`]s: `None` = infeasible. Bounded (insert-drop past the
+    /// cap) — a dropped design simply costs budget again on a re-visit.
+    memo: DesignMemo,
+    /// This island's segment-cost cache (the delta path's working set).
+    /// Cache state cannot change any evaluated value — cached and fresh
+    /// segment costs are bit-identical — so per-island caches preserve
+    /// worker invariance for free.
+    seg_cache: SegCache,
     budget: u64,
     evaluations: u64,
     feasible: u64,
@@ -249,7 +275,8 @@ impl Island {
             next_attempt: 0,
             population: Vec::new(),
             archive: ParetoFront::new(metrics),
-            memo: HashMap::new(),
+            memo: DesignMemo::default(),
+            seg_cache: SegCache::new(),
             budget,
             evaluations: 0,
             feasible: 0,
@@ -257,16 +284,20 @@ impl Island {
         }
     }
 
-    /// Builds and evaluates `design` through the fast lane, memoized.
-    /// `Ok(None)` = infeasible (or out of budget for a new design).
+    /// Evaluates `design` through the fast lane, memoized — via the
+    /// segment-cost delta path when `delta` carries a context, else the
+    /// whole-design path. `Ok(None)` = infeasible (or out of budget for a
+    /// new design).
     fn try_evaluate(
         &mut self,
         explorer: &Explorer,
         scratch: &mut EvalScratch,
         metrics: &[Metric],
+        delta: Option<&DeltaContext>,
         design: &CustomDesign,
     ) -> Result<Option<Vec<f64>>, ArchError> {
-        if let Some(known) = self.memo.get(design) {
+        let key = DesignKey::of(design);
+        if let Some(known) = self.memo.get(&key) {
             return Ok(known.clone());
         }
         if self.budget == 0 {
@@ -274,14 +305,19 @@ impl Island {
         }
         self.budget -= 1;
         self.evaluations += 1;
-        let outcome = explorer.custom_summary_cell(design, scratch)?;
+        let outcome = match delta {
+            Some(ctx) => {
+                explorer.custom_summary_delta(design, ctx, &mut self.seg_cache, scratch)?
+            }
+            None => explorer.custom_summary_cell(design, scratch)?,
+        };
         let values = outcome.map(|point| {
             let values: Vec<f64> = metrics.iter().map(|m| m.value(&point.summary)).collect();
             self.feasible += 1;
             self.archive.offer_with_values(point, values.clone());
             values
         });
-        self.memo.insert(design.clone(), values.clone());
+        self.memo.insert(key, values.clone());
         Ok(values)
     }
 
@@ -294,13 +330,14 @@ impl Island {
         scratch: &mut EvalScratch,
         space: &CustomSpace,
         metrics: &[Metric],
+        delta: Option<&DeltaContext>,
         target: usize,
     ) -> Result<(), ArchError> {
         let attempt_cap = (target as u64).saturating_mul(64).max(1024);
         while self.population.len() < target && self.budget > 0 && self.next_attempt < attempt_cap {
             let design = sample_attempt(space, self.sample_stream, self.next_attempt);
             self.next_attempt += 1;
-            if let Some(values) = self.try_evaluate(explorer, scratch, metrics, &design)? {
+            if let Some(values) = self.try_evaluate(explorer, scratch, metrics, delta, &design)? {
                 self.population.push(Individual { design, values });
             }
         }
@@ -310,12 +347,17 @@ impl Island {
 
     /// One NSGA-II generation: tournament selection → crossover + mutation
     /// → environmental selection over parents ∪ offspring.
+    // The per-epoch loop threads shared read-only search state plus the
+    // optional delta context; bundling them into a struct would outlive
+    // this one private call site.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &mut self,
         explorer: &Explorer,
         scratch: &mut EvalScratch,
         space: &CustomSpace,
         metrics: &[Metric],
+        delta: Option<&DeltaContext>,
         mu: usize,
         crossover_prob: f64,
     ) -> Result<(), ArchError> {
@@ -346,7 +388,17 @@ impl Island {
                 self.population[p1].design.clone()
             };
             let child = space.mutate(&child, &mut self.rng);
-            match self.try_evaluate(explorer, scratch, metrics, &child)? {
+            // Safety net: today's operators always emit members (asserted
+            // in the space tests), so repair is an exact pass-through — it
+            // exists so a future off-space operator costs one repaired
+            // evaluation instead of a wasted budget draw. No RNG involved,
+            // so the trajectory stays worker-invariant either way.
+            let child = if space.contains(&child) {
+                child
+            } else {
+                space.repair(&child)
+            };
+            match self.try_evaluate(explorer, scratch, metrics, delta, &child)? {
                 Some(values) => {
                     offspring.push(Individual {
                         design: child,
@@ -602,6 +654,10 @@ impl Explorer {
                 Island::new(config.seed, i as u64, budget, &metrics)
             })
             .collect();
+        // One delta context per run: sweep-invariant prefix sums and
+        // board terms, shared read-only across all islands and workers.
+        let delta_ctx = config.delta_eval.then(|| DeltaContext::new(self));
+        let delta = delta_ctx.as_ref();
 
         let epoch_generations = config.migration_interval.max(1);
         loop {
@@ -614,6 +670,7 @@ impl Explorer {
                 &space,
                 &metrics,
                 config,
+                delta,
                 epoch_generations,
                 workers,
                 cancel,
@@ -639,9 +696,12 @@ impl Explorer {
         let mut merged = ParetoFront::new(&metrics);
         let mut evaluations = 0u64;
         let mut feasible = 0u64;
+        let mut cache = CacheStats::default();
         for isl in islands {
             evaluations += isl.evaluations;
             feasible += isl.feasible;
+            cache.absorb(&isl.seg_cache.stats());
+            cache.absorb(&isl.memo.stats());
             merged.merge(isl.archive);
         }
         let mut points = merged.into_items();
@@ -667,6 +727,7 @@ impl Explorer {
             feasible,
             elapsed: start.elapsed(),
             cancelled: cancel.is_cancelled(),
+            cache,
         })
     }
 
@@ -682,6 +743,7 @@ impl Explorer {
         space: &CustomSpace,
         metrics: &[Metric],
         config: &OptimizerConfig,
+        delta: Option<&DeltaContext>,
         generations: usize,
         workers: usize,
         cancel: &CancelToken,
@@ -691,7 +753,7 @@ impl Explorer {
                 return Ok(isl);
             }
             if !isl.initialized {
-                isl.initialize(self, scratch, space, metrics, config.population)?;
+                isl.initialize(self, scratch, space, metrics, delta, config.population)?;
             }
             for _ in 0..generations {
                 if cancel.is_cancelled() {
@@ -702,6 +764,7 @@ impl Explorer {
                     scratch,
                     space,
                     metrics,
+                    delta,
                     config.population,
                     config.crossover_prob,
                 )?;
@@ -912,6 +975,49 @@ mod tests {
             }
             other => panic!("expected BadConfig, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn delta_evaluation_is_trajectory_neutral() {
+        // The delta path must be invisible to the search: same front, same
+        // budget accounting, for any worker count — only the cache
+        // counters may differ.
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::zc706());
+        for cfg in [small_config(), small_config().with_max_fuse_depth(3)] {
+            let full = e.optimize(&cfg.clone().with_delta_eval(false)).unwrap();
+            let delta = e.optimize(&cfg).unwrap();
+            assert_eq!(front_key(&full), front_key(&delta));
+            assert_eq!(full.evaluations, delta.evaluations);
+            assert_eq!(full.feasible, delta.feasible);
+            let par = e.optimize_par(&cfg, 3).unwrap();
+            assert_eq!(front_key(&par), front_key(&full));
+            // The delta run actually exercised the cache (the memo absorbs
+            // exact design revisits, so in-search hits come from *fresh*
+            // designs sharing segments with earlier ones); the full run
+            // never touched it.
+            assert!(delta.cache.seg_hits > 0, "{:?}", delta.cache);
+            assert!(delta.cache.seg_misses > 0);
+            assert_eq!(full.cache.seg_hits + full.cache.seg_misses, 0);
+            // Both paths use the design memo.
+            assert!(delta.cache.memo_hits > 0 && full.cache.memo_hits > 0);
+        }
+    }
+
+    #[test]
+    fn every_budget_unit_lands_on_a_feasible_design_on_a_roomy_board() {
+        // Budget-accounting regression for the repair hook: the operators
+        // only emit space members, every member materializes, and on a
+        // board with DSPs ≥ max_ces every materialized design builds — so
+        // no evaluation attempt may be wasted on an infeasible design.
+        let m = zoo::mobilenet_v2();
+        let e = Explorer::new(&m, &FpgaBoard::vcu110());
+        let f = e.optimize(&small_config()).unwrap();
+        assert!(f.evaluations > 0);
+        assert_eq!(
+            f.feasible, f.evaluations,
+            "budget leaked to infeasible offspring"
+        );
     }
 
     #[test]

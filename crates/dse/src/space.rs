@@ -273,6 +273,71 @@ impl CustomSpace {
         }
     }
 
+    /// Deterministic **repair-toward-feasibility**: clamps an arbitrary
+    /// design to a nearby well-formed member of this space. Members pass
+    /// through untouched (and operator outputs are always members, so on
+    /// today's operators this is a verified no-op — it exists as the
+    /// optimizer's safety net so a future operator emitting an off-space
+    /// child costs one repaired evaluation instead of a wasted budget
+    /// draw or a panic). No RNG: repair is a pure function of the input,
+    /// which keeps optimizer RNG streams and worker invariance intact.
+    ///
+    /// Repair steps, in order: head clamped to `[1, min(layers, max_ces)
+    /// - 1]`; off-axis schedules snapped to layer-by-layer; boundaries
+    /// deduplicated, sorted, confined to `(head, layers)`; the terminal
+    /// boundary pinned to the layer count; highest interior boundaries
+    /// dropped while over `max_ces`; smallest free positions inserted
+    /// while under `min_ces`. Falls back to a clone of the input only
+    /// when no member exists nearby (e.g. fewer layers than `min_ces`).
+    pub fn repair(&self, design: &CustomDesign) -> CustomDesign {
+        if self.contains(design) {
+            return design.clone();
+        }
+        let n = self.layers;
+        if n < 2 || self.max_ces < 2 {
+            return design.clone();
+        }
+        let head = design.head_layers.clamp(1, n.min(self.max_ces) - 1);
+        let schedule = if self.schedule_index(design.schedule).is_some() {
+            design.schedule
+        } else {
+            Schedule::LayerByLayer
+        };
+        let mut interior: Vec<usize> = design
+            .interior()
+            .iter()
+            .copied()
+            .filter(|&e| e > head && e < n)
+            .collect();
+        interior.sort_unstable();
+        interior.dedup();
+        let min_segs = self.min_ces.saturating_sub(head).max(1);
+        let max_segs = self.max_ces - head;
+        while interior.len() + 1 > max_segs {
+            interior.pop();
+        }
+        let mut candidate = head + 1;
+        while interior.len() + 1 < min_segs && candidate < n {
+            if !interior.contains(&candidate) {
+                let at = interior.partition_point(|&e| e < candidate);
+                interior.insert(at, candidate);
+            }
+            candidate += 1;
+        }
+        let mut tail_ends = interior;
+        tail_ends.push(n);
+        let repaired = CustomDesign {
+            head_layers: head,
+            tail_ends,
+            schedule,
+        };
+        if self.contains(&repaired) {
+            repaired
+        } else {
+            design.clone()
+        }
+    }
+
     /// Head-length shift: ±1 pipelined head layer. Boundaries at or below
     /// the new head are swallowed by it.
     fn shift_head<R: Rng>(&self, d: &mut CustomDesign, rng: &mut R) -> bool {
@@ -597,6 +662,117 @@ mod tests {
             head_layers: 0,
             tail_ends: vec![10, 74]
         }));
+    }
+
+    #[test]
+    fn repair_passes_members_through_and_fixes_malformed_designs() {
+        let space = CustomSpace::paper_range(74).with_max_fuse_depth(3);
+        let member = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
+            head_layers: 3,
+            tail_ends: vec![20, 52, 74],
+        };
+        assert_eq!(space.repair(&member), member);
+        // Every kind of damage, repaired into a member.
+        let broken = [
+            // Headless.
+            CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
+                head_layers: 0,
+                tail_ends: vec![20, 74],
+            },
+            // Head past the CE cap.
+            CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
+                head_layers: 40,
+                tail_ends: vec![74],
+            },
+            // Unsorted, duplicated, out-of-range boundaries; wrong
+            // terminal.
+            CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
+                head_layers: 3,
+                tail_ends: vec![52, 20, 20, 2, 90],
+            },
+            // Too many CEs.
+            CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
+                head_layers: 6,
+                tail_ends: (7..=11).chain(std::iter::once(74)).collect(),
+            },
+            // Off-axis schedules: fuse depth 1 (excluded duplicate) and
+            // a depth past the axis cap.
+            CustomDesign {
+                schedule: mccm_arch::Schedule::DepthFirst { fuse_depth: 1 },
+                head_layers: 3,
+                tail_ends: vec![20, 74],
+            },
+            CustomDesign {
+                schedule: mccm_arch::Schedule::DepthFirst { fuse_depth: 9 },
+                head_layers: 3,
+                tail_ends: vec![20, 74],
+            },
+            // No tail at all.
+            CustomDesign {
+                schedule: mccm_arch::Schedule::LayerByLayer,
+                head_layers: 3,
+                tail_ends: vec![],
+            },
+        ];
+        for d in &broken {
+            let r = space.repair(d);
+            assert!(space.contains(&r), "repair of {d:?} invalid: {r:?}");
+            // Repair is idempotent.
+            assert_eq!(space.repair(&r), r);
+        }
+        // min_ces pressure: a 1-CE-tail design in a min_ces=4 space gains
+        // the smallest free boundaries.
+        let narrow = CustomSpace {
+            max_fuse_depth: 1,
+            layers: 10,
+            min_ces: 4,
+            max_ces: 6,
+        };
+        let thin = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
+            head_layers: 1,
+            tail_ends: vec![10],
+        };
+        let r = narrow.repair(&thin);
+        assert!(narrow.contains(&r), "{r:?}");
+        assert_eq!(r.tail_ends, vec![2, 3, 10]);
+        // Hopeless inputs come back unchanged, honestly non-members.
+        let hopeless = CustomSpace {
+            max_fuse_depth: 1,
+            layers: 2,
+            min_ces: 5,
+            max_ces: 6,
+        };
+        let d = CustomDesign {
+            schedule: mccm_arch::Schedule::LayerByLayer,
+            head_layers: 1,
+            tail_ends: vec![2],
+        };
+        assert_eq!(hopeless.repair(&d), d);
+    }
+
+    #[test]
+    fn repair_never_fires_on_operator_outputs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let space = CustomSpace::paper_range(74).with_max_fuse_depth(3);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut sampler = CustomSampler::new(space, 17);
+        for _ in 0..300 {
+            let a = sampler.sample();
+            let b = sampler.sample();
+            let m = space.mutate(&a, &mut rng);
+            let c = space.crossover(&a, &b, &mut rng);
+            // Operator outputs are already members, so repair must be an
+            // exact pass-through — the property that keeps the optimizer's
+            // repair hook trajectory-neutral.
+            assert_eq!(space.repair(&m), m);
+            assert_eq!(space.repair(&c), c);
+        }
     }
 
     #[test]

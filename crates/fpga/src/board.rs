@@ -150,7 +150,7 @@ impl fmt::Display for FpgaBoard {
 ///
 /// The baseline accelerators use 8-bit quantized weights and activations;
 /// all byte quantities in the model scale through this record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Precision {
     /// Bytes per weight element.
     pub weight_bytes: u32,

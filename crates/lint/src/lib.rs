@@ -25,6 +25,13 @@
 //!   `BlockSpec::Pipelined` is re-deriving evaluation semantics the core
 //!   already owns. Legitimate sites (the defining crate, the notation
 //!   parser, the search space) are allowlisted one by one.
+//! - **segment-cache-key** — constructing a segment-cache or design-memo
+//!   key variant (`SegKey::…`, `DesignKey::Packed`/`Big`) outside
+//!   `crates/dse/src/segcache.rs`. A key encodes exactly which inputs a
+//!   cached cost depends on; a second construction site could omit a
+//!   dependency and silently alias cache entries, so the delta-evaluation
+//!   module is the sole sanctioned home (other code goes through
+//!   `DesignKey::of` and the cache API).
 //! - **no-panic-serve** — panicking constructs (`.unwrap()`, `.expect(`,
 //!   `panic!`, `unreachable!`, `todo!`, literal-index expressions) in
 //!   `src/serve/`. The daemon's availability contract is that a request
@@ -59,6 +66,9 @@ pub enum Rule {
     DebugPrint,
     /// `BlockSpec`/`Schedule` variant dispatch outside the core model.
     ScheduleMatch,
+    /// Segment-cache/design-memo key variants constructed outside the
+    /// delta-evaluation module.
+    SegmentCacheKey,
     /// Panicking constructs (`unwrap`, `expect`, panic-family macros,
     /// literal indexing) inside the serve layer.
     NoPanicServe,
@@ -73,6 +83,7 @@ impl Rule {
             Self::WallClock => "wall-clock",
             Self::DebugPrint => "debug-print",
             Self::ScheduleMatch => "schedule-match",
+            Self::SegmentCacheKey => "segment-cache-key",
             Self::NoPanicServe => "no-panic-serve",
         }
     }
@@ -85,6 +96,7 @@ impl Rule {
             "wall-clock" => Some(Self::WallClock),
             "debug-print" => Some(Self::DebugPrint),
             "schedule-match" => Some(Self::ScheduleMatch),
+            "segment-cache-key" => Some(Self::SegmentCacheKey),
             "no-panic-serve" => Some(Self::NoPanicServe),
             _ => None,
         }
@@ -147,6 +159,16 @@ const SCHEDULE_TOKENS: &[&str] = &[
     "BlockSpec::Pipelined",
 ];
 
+/// Cache-key variant constructors. `DesignKey::of` (the sanctioned
+/// constructor other modules call) is deliberately absent: the rule
+/// confines knowledge of what a key *contains*, not use of keys.
+const SEGMENT_KEY_TOKENS: &[&str] = &[
+    "SegKey::Single",
+    "SegKey::Pipe",
+    "DesignKey::Packed",
+    "DesignKey::Big",
+];
+
 /// Panicking constructs banned from the serve layer. `.unwrap()` is
 /// matched exactly so the panic-free alternatives
 /// (`.unwrap_or`, `.unwrap_or_else(PoisonError::into_inner)`, …) pass.
@@ -180,6 +202,9 @@ fn rule_applies(rule: Rule, path: &str) -> bool {
         // Schedule dispatch belongs to the core model; everywhere else
         // must justify a variant-level match in the allowlist.
         Rule::ScheduleMatch => !path.starts_with("crates/core/src/model/"),
+        // Key layout knowledge is confined to the delta-evaluation
+        // module; no allowlist entries expected, ever.
+        Rule::SegmentCacheKey => path != "crates/dse/src/segcache.rs",
         // The availability contract is the daemon's alone; library and
         // CLI code elsewhere may still use `unwrap` on invariants.
         Rule::NoPanicServe => path.starts_with("src/serve/"),
@@ -238,6 +263,11 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
             && SCHEDULE_TOKENS.iter().any(|t| line.contains(t))
         {
             push(&mut findings, Rule::ScheduleMatch);
+        }
+        if rule_applies(Rule::SegmentCacheKey, path)
+            && SEGMENT_KEY_TOKENS.iter().any(|t| line.contains(t))
+        {
+            push(&mut findings, Rule::SegmentCacheKey);
         }
         if rule_applies(Rule::NoPanicServe, path)
             && (PANIC_TOKENS.iter().any(|t| line.contains(t)) || has_literal_index(line))
@@ -465,6 +495,29 @@ mod tests {
             scan_source("src/session.rs", block)[0].rule,
             Rule::ScheduleMatch
         );
+    }
+
+    #[test]
+    fn segment_key_construction_flagged_outside_segcache() {
+        let cases = [
+            "    let key = SegKey::Single { first, len, pes, schedule, bytes, input_off, output_off };\n",
+            "    cache.keys.push(SegKey::Pipe { len: h, stages, output_off });\n",
+            "    let k = DesignKey::Packed(bits);\n",
+            "    return DesignKey::Big(Box::new(design.clone()));\n",
+        ];
+        for src in cases {
+            let hits = scan_source("crates/dse/src/optimizer.rs", src);
+            assert_eq!(hits.len(), 1, "{src:?}");
+            assert_eq!(hits[0].rule, Rule::SegmentCacheKey, "{src:?}");
+            // The defining module is the one sanctioned home.
+            assert!(
+                scan_source("crates/dse/src/segcache.rs", src).is_empty(),
+                "{src:?}"
+            );
+        }
+        // Going through the sanctioned constructor is fine anywhere.
+        let fine = "    let key = DesignKey::of(design);\n";
+        assert!(scan_source("crates/dse/src/optimizer.rs", fine).is_empty());
     }
 
     #[test]

@@ -37,11 +37,11 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::dse::CancelToken;
+use crate::dse::{CacheStats, CancelToken};
 use crate::error::Error;
 use crate::json::Json;
 use crate::scenario::Scenario;
-use crate::session::Session;
+use crate::session::{Outcome, Session};
 
 use super::fault::{FaultPlan, FaultSite, FaultyReader};
 use super::frame::{read_frame, write_frame};
@@ -99,6 +99,9 @@ pub struct ServeStats {
     /// Worker panics caught, converted to `internal` errors, and
     /// recovered from by rebuilding the worker's session.
     pub panics_recovered: u64,
+    /// Segment-cache and design-memo counters accumulated across every
+    /// optimize request this daemon served (zeros for other actions).
+    pub cache: CacheStats,
 }
 
 impl ServeStats {
@@ -113,6 +116,13 @@ impl ServeStats {
         o.push("degraded", self.degraded);
         o.push("failed", self.failed);
         o.push("panics_recovered", self.panics_recovered);
+        let mut cache = Json::object();
+        cache.push("seg_hits", self.cache.seg_hits);
+        cache.push("seg_misses", self.cache.seg_misses);
+        cache.push("delta_recombines", self.cache.delta_recombines);
+        cache.push("full_builds", self.cache.full_builds);
+        cache.push("memo_hits", self.cache.memo_hits);
+        o.push("cache", cache);
         o
     }
 }
@@ -352,13 +362,14 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, &mut session, &job)));
         let payload = match outcome {
-            Ok(Ok((json, degraded))) => {
+            Ok(Ok((json, degraded, cache))) => {
                 shared.bump(|s| {
                     if degraded {
                         s.degraded += 1;
                     } else {
                         s.completed += 1;
                     }
+                    s.cache.absorb(&cache);
                 });
                 Ok((json, degraded))
             }
@@ -383,8 +394,14 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Runs one admitted job (inside the worker's `catch_unwind`).
-fn execute(shared: &Arc<Shared>, session: &mut Session, job: &Job) -> Result<(Json, bool), Error> {
+/// Runs one admitted job (inside the worker's `catch_unwind`). The third
+/// element carries the optimize delta-cache counters (zeros for other
+/// actions) so the daemon's aggregate stats can absorb them.
+fn execute(
+    shared: &Arc<Shared>,
+    session: &mut Session,
+    job: &Job,
+) -> Result<(Json, bool, CacheStats), Error> {
     let faults = &shared.config.faults;
     faults.maybe_panic();
     if faults.fire(FaultSite::CacheEvict) {
@@ -393,7 +410,11 @@ fn execute(shared: &Arc<Shared>, session: &mut Session, job: &Job) -> Result<(Js
     let scenario = Scenario::from_json(&job.run)?;
     faults.maybe_stall(shared.config.stall_ms);
     let (outcome, degraded) = session.run_cancellable(&scenario, &job.cancel)?;
-    Ok((outcome.to_json(), degraded))
+    let cache = match &outcome {
+        Outcome::Optimized(o) => o.cache,
+        _ => CacheStats::default(),
+    };
+    Ok((outcome.to_json(), degraded, cache))
 }
 
 fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {

@@ -32,8 +32,8 @@
 
 use crate::core::{EnergyEstimate, EnergyModel, EvalSummary, Evaluation, Metric};
 use crate::dse::{
-    hypervolume, par_pareto_indices, select_all_metrics, union_bounds, BaselinePoint, CancelToken,
-    Explorer, GuidedFront, SelectionCell, PAPER_TIE_FRAC,
+    hypervolume, par_pareto_indices, select_all_metrics, union_bounds, BaselinePoint, CacheStats,
+    CancelToken, Explorer, GuidedFront, SelectionCell, PAPER_TIE_FRAC,
 };
 use crate::error::Error;
 use crate::json::Json;
@@ -268,6 +268,7 @@ impl Session {
                         budget: config.budget,
                         evaluations: guided.evaluations,
                         feasible: guided.feasible,
+                        cache: guided.cache,
                         metrics: guided.metrics.clone(),
                         front: guided.points.into_iter().map(|p| p.summary).collect(),
                     }),
@@ -445,6 +446,9 @@ pub struct OptimizeOutcome {
     pub evaluations: u64,
     /// Feasible designs among them.
     pub feasible: u64,
+    /// Segment-cache and design-memo counters of the delta-evaluation
+    /// path, summed across islands.
+    pub cache: CacheStats,
     /// Objectives.
     pub metrics: Vec<Metric>,
     /// The final merged front, in the optimizer's deterministic order.
@@ -653,6 +657,15 @@ fn optimize_json(o: &OptimizeOutcome) -> Json {
     root.push("budget", o.budget);
     root.push("evaluations", o.evaluations);
     root.push("feasible", o.feasible);
+    let mut cache = Json::object();
+    cache.push("seg_hits", o.cache.seg_hits);
+    cache.push("seg_misses", o.cache.seg_misses);
+    cache.push("seg_evictions", o.cache.seg_evictions);
+    cache.push("delta_recombines", o.cache.delta_recombines);
+    cache.push("full_builds", o.cache.full_builds);
+    cache.push("memo_hits", o.cache.memo_hits);
+    cache.push("memo_evictions", o.cache.memo_evictions);
+    root.push("cache", cache);
     root.push("metrics", metric_names(&o.metrics));
     let mut best = Json::object();
     for &m in &o.metrics {

@@ -9,11 +9,15 @@
 //! `CustomDesign`s drawn from the counter-based attempt stream.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use mccm::arch::{templates, AcceleratorSpec, BlockSpec, MultipleCeBuilder, Schedule};
 use mccm::cnn::{zoo, CnnModel};
-use mccm::core::{CostModel, EvalScratch, EvalSummary};
-use mccm::dse::{sample_attempt, CustomSampler, CustomSpace, Explorer};
+use mccm::core::{CostModel, EvalScratch, EvalSummary, ModelConfig, SegmentCost};
+use mccm::dse::{
+    sample_attempt, CustomDesign, CustomSampler, CustomSpace, DeltaContext, Explorer, SegCache,
+};
 use mccm::fpga::FpgaBoard;
 
 fn every_zoo_model() -> Vec<CnnModel> {
@@ -252,6 +256,110 @@ fn depth_first_designs_evaluate_identically_on_both_lanes() {
 }
 
 #[test]
+fn segment_recombination_matches_the_summary_lane_across_the_zoo() {
+    // The fast lane's explicit decomposition: computing every SegmentCost
+    // independently and recombining under the design coupling must equal
+    // `evaluate_summary` — which itself equals the rich lane — across the
+    // zoo × template × CE-count × schedule grid. This is the base of the
+    // `delta ≡ full ≡ rich` invariant the segment cache rests on.
+    let mut scratch = EvalScratch::new();
+    let config = ModelConfig::default();
+    for board in [FpgaBoard::zc706(), FpgaBoard::vcu110()] {
+        for model in every_zoo_model() {
+            let builder = MultipleCeBuilder::new(&model, &board);
+            for arch in templates::Architecture::ALL {
+                for ces in [2usize, 4, 7, 11] {
+                    for schedule in [
+                        Schedule::LayerByLayer,
+                        Schedule::DepthFirst { fuse_depth: 3 },
+                    ] {
+                        let ctx = format!(
+                            "{} / {} / {ces} CEs / {schedule:?} / {}",
+                            model.name(),
+                            arch.name(),
+                            board.name
+                        );
+                        let Ok(spec) = arch.instantiate(&model, ces) else {
+                            continue;
+                        };
+                        let spec = with_schedule(&spec, schedule);
+                        let Ok(acc) = builder.build(&spec) else {
+                            continue;
+                        };
+                        let costs: Vec<SegmentCost> = (0..acc.segments.len())
+                            .map(|i| CostModel::segment_cost(&acc, i, &config, &mut scratch))
+                            .collect();
+                        let recombined = CostModel::recombine(
+                            CostModel::design_coupling(&acc, &config),
+                            &costs,
+                            &mut scratch,
+                        );
+                        let fast = CostModel::evaluate_summary(&acc, &mut scratch);
+                        assert_eq!(recombined, fast, "{ctx}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The whole-design fast-lane outcome of a custom design (`None` =
+/// infeasible) — the reference the delta path must match bit-for-bit.
+fn full_summary(
+    explorer: &Explorer,
+    design: &CustomDesign,
+    scratch: &mut EvalScratch,
+) -> Option<EvalSummary> {
+    let spec = design.to_spec(explorer.model()).ok()?;
+    explorer.evaluate_summary(&spec, scratch).ok()
+}
+
+#[test]
+fn delta_evaluation_matches_full_over_seeded_mutation_chains() {
+    // Walk mutation chains — the optimizer's actual workload — evaluating
+    // every design twice through the delta path (the second visit is
+    // served entirely from cached segments) and once through the full
+    // path. All three must agree to the bit.
+    for (model, board) in [
+        (zoo::mobilenet_v2(), FpgaBoard::zc706()),
+        (zoo::xception(), FpgaBoard::vcu110()),
+    ] {
+        let explorer = Explorer::new(&model, &board);
+        let ctx = DeltaContext::new(&explorer);
+        let mut cache = SegCache::new();
+        let mut scratch = EvalScratch::new();
+        let mut scratch_full = EvalScratch::new();
+        let space = explorer.paper_space().with_max_fuse_depth(3);
+        let mut sampler = CustomSampler::new(space, 11);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..8 {
+            let mut design = sampler.sample();
+            for _ in 0..10 {
+                for pass in 0..2 {
+                    let delta = explorer
+                        .custom_summary_delta(&design, &ctx, &mut cache, &mut scratch)
+                        .unwrap();
+                    let full = full_summary(&explorer, &design, &mut scratch_full);
+                    assert_eq!(
+                        delta.map(|p| p.summary),
+                        full,
+                        "{} pass {pass} on {design:?}",
+                        model.name()
+                    );
+                }
+                design = space.mutate(&design, &mut rng);
+            }
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.delta_recombines > 0,
+            "repeat visits must recombine from cache: {stats:?}"
+        );
+        assert!(stats.seg_hits > 0 && stats.seg_misses > 0, "{stats:?}");
+    }
+}
+
+#[test]
 fn summary_sweep_equals_full_sweep_summaries() {
     // The sweep entry points themselves: the fast-lane summary sweep must
     // reproduce the full-lane sweep's summaries point for point.
@@ -296,6 +404,33 @@ proptest! {
                 let fast = CostModel::evaluate_summary(&acc, &mut scratch);
                 prop_assert_eq!(fast, rich);
             }
+        }
+    }
+
+    #[test]
+    fn delta_equals_full_along_random_mutation_chains(
+        seed in 0u64..1_000_000,
+        chain in 2usize..8,
+    ) {
+        // Property form of the chain test: arbitrary seed, arbitrary chain
+        // length, schedule axis on — the delta path must agree with the
+        // full path at every step, whatever the cache holds.
+        let model = zoo::mobilenet_v2();
+        let explorer = Explorer::new(&model, &FpgaBoard::zc706());
+        let ctx = DeltaContext::new(&explorer);
+        let mut cache = SegCache::new();
+        let mut scratch = EvalScratch::new();
+        let mut scratch_full = EvalScratch::new();
+        let space = explorer.paper_space().with_max_fuse_depth(4);
+        let mut design = CustomSampler::new(space, seed).sample();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        for _ in 0..chain {
+            let delta = explorer
+                .custom_summary_delta(&design, &ctx, &mut cache, &mut scratch)
+                .unwrap();
+            let full = full_summary(&explorer, &design, &mut scratch_full);
+            prop_assert_eq!(delta.map(|p| p.summary), full);
+            design = space.mutate(&design, &mut rng);
         }
     }
 }

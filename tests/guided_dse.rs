@@ -81,6 +81,53 @@ fn guided_front_designs_rebuild_to_their_reported_metrics() {
 }
 
 #[test]
+fn delta_fronts_are_bit_identical_to_full_fronts_for_any_worker_count() {
+    // The acceptance bar of the segment-cache refactor: switching the
+    // optimizer between delta evaluation (default) and whole-design
+    // evaluation must not move a single bit of the front, the budget
+    // accounting, or the worker-invariance guarantee — on both the
+    // layer-by-layer and the schedule-extended space.
+    let model = zoo::xception();
+    let explorer = Explorer::new(&model, &FpgaBoard::vcu110());
+    for max_fuse_depth in [1usize, 3] {
+        let config = OptimizerConfig::default()
+            .with_budget(500)
+            .with_population(12)
+            .with_islands(3)
+            .with_seed(21)
+            .with_max_fuse_depth(max_fuse_depth);
+        let full = explorer
+            .optimize(&config.clone().with_delta_eval(false))
+            .unwrap();
+        let delta = explorer.optimize(&config).unwrap();
+        assert!(!delta.points.is_empty());
+        assert_eq!(front_fingerprint(&delta), front_fingerprint(&full));
+        assert_eq!(delta.evaluations, full.evaluations);
+        assert_eq!(delta.feasible, full.feasible);
+        for workers in [2usize, 3, 8] {
+            let par = explorer.optimize_par(&config, workers).unwrap();
+            assert_eq!(
+                front_fingerprint(&par),
+                front_fingerprint(&full),
+                "delta front diverged at workers={workers}, depth={max_fuse_depth}"
+            );
+            assert_eq!(par.evaluations, full.evaluations);
+        }
+        // The cache counters are live on the delta run and silent on the
+        // full run — and they balance: every evaluated design either
+        // recombined from cache or paid a build.
+        assert!(delta.cache.seg_hits > 0, "{:?}", delta.cache);
+        assert_eq!(
+            delta.cache.delta_recombines + delta.cache.full_builds,
+            delta.feasible,
+            "{:?}",
+            delta.cache
+        );
+        assert_eq!(full.cache.seg_hits + full.cache.seg_misses, 0);
+    }
+}
+
+#[test]
 fn energy_fast_lane_matches_full_lane_on_the_zoo_templates_grid() {
     // Acceptance bar: EnergyModel::estimate_summary is bit-identical to
     // the full-Evaluation energy path on every zoo model × template × CE

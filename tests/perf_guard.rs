@@ -12,7 +12,8 @@
 use std::time::{Duration, Instant};
 
 use mccm::cnn::zoo;
-use mccm::dse::Explorer;
+use mccm::core::EvalScratch;
+use mccm::dse::{CustomSampler, DeltaContext, Explorer, SegCache};
 use mccm::fpga::FpgaBoard;
 
 const DESIGNS: usize = 2_000;
@@ -33,5 +34,71 @@ fn midsize_summary_sweep_stays_under_wall_clock_ceiling() {
         "summary sweep of {DESIGNS} designs took {elapsed:?} (ceiling {CEILING:?}): \
          the evaluation fast lane has regressed — check the parallelism memo \
          cache, the Arc-shared build context, and EvalScratch reuse"
+    );
+}
+
+#[test]
+fn warm_delta_evaluation_outruns_full_evaluation() {
+    // Relative guard for the segment cache: re-evaluating a fixed design
+    // set with every segment cached must beat re-evaluating it through
+    // the whole-design path by a comfortable factor. Measured warm ratios
+    // are ~5-8x even in debug builds (debug_asserts that re-run the cores
+    // on hits are compiled out of the all-hit recombine path); 2x leaves
+    // room for noisy CI machines while still catching a cache that has
+    // silently stopped hitting. Wall-clock is compared *relatively*, on
+    // the same machine, in the same process — no absolute ceiling.
+    let model = zoo::xception();
+    let explorer = Explorer::new(&model, &FpgaBoard::vcu110());
+    let ctx = DeltaContext::new(&explorer);
+    let mut cache = SegCache::new();
+    let mut scratch = EvalScratch::new();
+    let space = explorer.paper_space();
+    let mut designs = CustomSampler::new(space, 31).sample_many(400);
+    // Distinct designs only, so the warm-up pass alone builds and the
+    // timed delta pass is all-hit by construction.
+    designs.sort_by_key(|d| (d.head_layers, d.tail_ends.clone()));
+    designs.dedup();
+
+    // Warm every segment (and the builder's parallelism/context memos,
+    // which both paths share).
+    for d in &designs {
+        explorer
+            .custom_summary_delta(d, &ctx, &mut cache, &mut scratch)
+            .unwrap();
+    }
+    let full_start = Instant::now();
+    let mut full_acc = 0u64;
+    for d in &designs {
+        let spec = d.to_spec(explorer.model()).unwrap();
+        let s = explorer.evaluate_summary(&spec, &mut scratch).unwrap();
+        full_acc = full_acc.wrapping_add(s.total_macs.get());
+    }
+    let full_time = full_start.elapsed();
+    let warm_start = Instant::now();
+    let mut delta_acc = 0u64;
+    for d in &designs {
+        let p = explorer
+            .custom_summary_delta(d, &ctx, &mut cache, &mut scratch)
+            .unwrap()
+            .unwrap();
+        delta_acc = delta_acc.wrapping_add(p.summary.total_macs.get());
+    }
+    let warm_time = warm_start.elapsed();
+    assert_eq!(full_acc, delta_acc);
+    let stats = cache.stats();
+    assert!(
+        stats.full_builds as usize <= designs.len(),
+        "only the warm-up pass may build: {stats:?}"
+    );
+    assert!(
+        stats.delta_recombines as usize >= designs.len(),
+        "the timed pass must be all-hit: {stats:?}"
+    );
+    assert!(
+        warm_time.as_secs_f64() * 2.0 < full_time.as_secs_f64(),
+        "warm delta pass ({warm_time:?}) is not 2x faster than the full pass \
+         ({full_time:?}) over {} designs — the segment cache has stopped \
+         paying for itself: {stats:?}",
+        designs.len()
     );
 }
