@@ -26,16 +26,24 @@
 //! segment cache warm, re-evaluating a fixed design set by recombining
 //! cached per-CE costs against re-evaluating it through the whole-design
 //! path — the speedup the optimizer's memoized fast lane is built on.
+//!
+//! A fifth section measures **calibration quality**: on two zoo model ×
+//! board pairs, Pareto-front members are promoted to simulator runs,
+//! corrections are fitted on half of them, and the held-out half scores
+//! raw-analytical against calibrated predictions — the mean-absolute
+//! -error cut the `mccm calibrate` loop buys.
 
 use std::time::Instant;
 
 use mccm_arch::{ArchError, Schedule};
-use mccm_core::{EvalScratch, EvalSummary, Metric};
+use mccm_calib::{fit_corrections, metric_pairs, simulate, CalibStore, CALIBRATED_METRICS};
+use mccm_core::{CancelToken, CostModel, EvalScratch, EvalSummary, Metric};
 use mccm_dse::{
     compare_fronts, sample_attempt, CustomSampler, CustomSpace, DeltaContext, Explorer,
     FrontComparison, OptimizerConfig, ParetoFront, SegCache,
 };
 use mccm_fpga::{FpgaBoard, MiB};
+use mccm_sim::SimConfig;
 
 use crate::experiments::eval_speed::machine_name;
 use crate::output::{Report, Table};
@@ -112,6 +120,62 @@ impl ScheduleAxis {
     }
 }
 
+/// Per-metric calibration quality on one model × board pair: relative
+/// mean absolute error of raw and calibrated predictions against the
+/// simulator, over held-out designs the fit never saw.
+#[derive(Debug, Clone)]
+pub struct CalibrationMetricQuality {
+    /// The calibrated metric.
+    pub metric: Metric,
+    /// Mean |analytical − simulated| / |simulated| over the holdout.
+    pub raw_rel_mae: f64,
+    /// Mean |calibrated − simulated| / |simulated| over the holdout.
+    pub cal_rel_mae: f64,
+}
+
+impl CalibrationMetricQuality {
+    /// Whether the raw analytical prediction is already (numerically)
+    /// exact — nothing left for a correction to cut.
+    pub fn exact(&self) -> bool {
+        self.raw_rel_mae < 1e-12
+    }
+}
+
+/// Calibration quality on one zoo model × board pair.
+#[derive(Debug, Clone)]
+pub struct CalibrationQuality {
+    /// CNN name.
+    pub model: String,
+    /// Board name.
+    pub board: String,
+    /// Promoted designs the corrections were fitted on.
+    pub train_designs: usize,
+    /// Held-out promoted designs the errors were scored on.
+    pub holdout_designs: usize,
+    /// Per-metric raw-vs-calibrated errors.
+    pub metrics: Vec<CalibrationMetricQuality>,
+}
+
+impl CalibrationQuality {
+    /// Raw-over-calibrated MAE ratio across the non-exact metrics (the
+    /// headline: how many times tighter calibrated predictions are).
+    pub fn improvement(&self) -> f64 {
+        let (mut raw, mut cal, mut n) = (0.0, 0.0, 0u32);
+        for m in &self.metrics {
+            if m.exact() {
+                continue;
+            }
+            raw += m.raw_rel_mae;
+            cal += m.cal_rel_mae;
+            n += 1;
+        }
+        if n == 0 || cal <= 0.0 {
+            return 1.0;
+        }
+        raw / cal
+    }
+}
+
 /// The measured experiment: both lanes plus their quality comparison
 /// (`a` = guided, `b` = random throughout).
 #[derive(Debug, Clone)]
@@ -132,6 +196,9 @@ pub struct GuidedQuality {
     pub schedule_axis: ScheduleAxis,
     /// Warm segment-cache throughput vs whole-design re-evaluation.
     pub delta: DeltaThroughput,
+    /// Simulator-in-the-loop calibration quality, one entry per zoo
+    /// model × board pair.
+    pub calibration: Vec<CalibrationQuality>,
 }
 
 /// Runs both lanes on the paper's Use Case 3 setup (Xception / VCU110)
@@ -289,6 +356,23 @@ pub fn measure(budget: u64, seed: u64, workers: usize) -> GuidedQuality {
         cached_segments: cache.len(),
     };
 
+    let calibration = vec![
+        measure_calibration(
+            &mccm_cnn::zoo::mobilenet_v2(),
+            &FpgaBoard::zc706(),
+            budget,
+            seed,
+            workers,
+        ),
+        measure_calibration(
+            &mccm_cnn::zoo::resnet50(),
+            &FpgaBoard::vcu108(),
+            budget,
+            seed,
+            workers,
+        ),
+    ];
+
     GuidedQuality {
         machine: machine_name(),
         budget,
@@ -298,6 +382,102 @@ pub fn measure(budget: u64, seed: u64, workers: usize) -> GuidedQuality {
         comparison,
         schedule_axis,
         delta,
+        calibration,
+    }
+}
+
+/// One promoted design's (metric, analytical, simulated) measurements.
+type MeasuredPairs = Vec<(Metric, f64, f64)>;
+
+/// Scores the calibration loop on one model × board pair: optimize,
+/// promote a deterministic top-10 slice of the front to simulator runs,
+/// fit corrections on the even-indexed promoted designs, and score raw
+/// vs calibrated relative MAE on the odd-indexed holdout. The split
+/// alternates along the promotion order (extremes first, then crowding
+/// fill), so train and holdout both mix extreme and interior designs.
+///
+/// # Panics
+///
+/// On real builder faults, like the lanes above.
+fn measure_calibration(
+    model: &mccm_cnn::CnnModel,
+    board: &FpgaBoard,
+    budget: u64,
+    seed: u64,
+    workers: usize,
+) -> CalibrationQuality {
+    let explorer = Explorer::new(model, board);
+    let metrics = Metric::WITH_ENERGY.to_vec();
+    let population = (budget / 40).clamp(8, 48) as usize;
+    let config = OptimizerConfig::default()
+        .with_metrics(&metrics)
+        .with_budget(budget)
+        .with_population(population)
+        .with_islands(2)
+        .with_seed(seed);
+    let outcome = explorer
+        .optimize_par(&config, workers)
+        .expect("calibration search must not hit real builder faults");
+    let front: Vec<EvalSummary> = outcome.points.iter().map(|p| p.summary.clone()).collect();
+    let promoted = mccm_calib::promote_top_k(&front, &metrics, 10);
+
+    let cancel = CancelToken::new();
+    let measured: Vec<(String, MeasuredPairs)> = promoted
+        .iter()
+        .map(|&idx| {
+            let spec = outcome.points[idx]
+                .design
+                .to_spec(model)
+                .expect("front members are feasible by construction");
+            let acc = explorer
+                .builder()
+                .build(&spec)
+                .expect("front members are feasible by construction");
+            let eval = CostModel::evaluate(&acc);
+            let sim = simulate(&acc, &eval, SimConfig::default(), &cancel)
+                .expect("a fresh token never cancels");
+            (eval.notation.clone(), metric_pairs(&eval, &sim))
+        })
+        .collect();
+
+    let mut store = CalibStore::new();
+    let mut train = 0usize;
+    for (notation, pairs) in measured.iter().step_by(2) {
+        store.record(&board.name, "int8", model.name(), 1, notation, pairs);
+        train += 1;
+    }
+    let corrections = fit_corrections(&store, &board.name, "int8", &CALIBRATED_METRICS);
+    let holdout: Vec<&MeasuredPairs> = measured.iter().skip(1).step_by(2).map(|(_, p)| p).collect();
+
+    let metrics = corrections
+        .iter()
+        .map(|(metric, correction)| {
+            let (mut raw, mut cal, mut n) = (0.0, 0.0, 0u32);
+            for pairs in &holdout {
+                for &(m, analytical, simulated) in pairs.iter() {
+                    if m != *metric || simulated == 0.0 {
+                        continue;
+                    }
+                    raw += (analytical - simulated).abs() / simulated.abs();
+                    cal += (correction.apply(analytical) - simulated).abs() / simulated.abs();
+                    n += 1;
+                }
+            }
+            let n = f64::from(n.max(1));
+            CalibrationMetricQuality {
+                metric: *metric,
+                raw_rel_mae: raw / n,
+                cal_rel_mae: cal / n,
+            }
+        })
+        .collect();
+
+    CalibrationQuality {
+        model: model.name().to_string(),
+        board: board.name.clone(),
+        train_designs: train,
+        holdout_designs: holdout.len(),
+        metrics,
     }
 }
 
@@ -412,12 +592,50 @@ impl GuidedQuality {
         ]);
         report.tables.push(delta);
 
+        let mut cal = Table::new(
+            "calibration",
+            &[
+                "pair",
+                "train",
+                "holdout",
+                "metric",
+                "raw rel MAE",
+                "calibrated rel MAE",
+            ],
+        );
+        for c in &self.calibration {
+            for m in &c.metrics {
+                cal.row(vec![
+                    format!("{} on {}", c.model, c.board),
+                    c.train_designs.to_string(),
+                    c.holdout_designs.to_string(),
+                    m.metric.name().to_string(),
+                    format!("{:.4e}", m.raw_rel_mae),
+                    if m.exact() {
+                        "exact".to_string()
+                    } else {
+                        format!("{:.4e}", m.cal_rel_mae)
+                    },
+                ]);
+            }
+        }
+        report.tables.push(cal);
+
         report.note(format!(
             "Warm segment-cache re-evaluation runs {:.1}x faster than \
              whole-design evaluation over {} distinct designs.",
             d.speedup(),
             d.designs
         ));
+        for c in &self.calibration {
+            report.note(format!(
+                "Calibrated predictions are {:.1}x tighter than raw analytical \
+                 output against the simulator on {} / {} (held-out designs).",
+                c.improvement(),
+                c.model,
+                c.board
+            ));
+        }
         report.note(format!(
             "Guided matches or beats random on {}/{} metrics at {} attempts each \
              (hypervolume {:.4} vs {:.4}) on {}.",
@@ -435,6 +653,38 @@ impl GuidedQuality {
     /// carries no JSON dependency) — lives alongside `BENCH_eval.json` in
     /// the repo's perf/quality trajectory.
     pub fn to_json(&self) -> String {
+        let calibration = self
+            .calibration
+            .iter()
+            .map(|c| {
+                let metrics = c
+                    .metrics
+                    .iter()
+                    .map(|m| {
+                        format!(
+                            "{{\"metric\": \"{}\", \"raw_rel_mae\": {:.6e}, \
+                             \"cal_rel_mae\": {:.6e}}}",
+                            m.metric.name(),
+                            m.raw_rel_mae,
+                            m.cal_rel_mae
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\n    \"model\": \"{}\",\n    \"board\": \"{}\",\n    \
+                     \"train_designs\": {},\n    \"holdout_designs\": {},\n    \
+                     \"improvement\": {:.2},\n    \"metrics\": [{}]\n  }}",
+                    c.model.replace('"', "'"),
+                    c.board.replace('"', "'"),
+                    c.train_designs,
+                    c.holdout_designs,
+                    c.improvement(),
+                    metrics
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         // Non-finite bests (an empty front) must stay valid JSON.
         let best = |v: &[f64]| -> String {
             v.iter()
@@ -467,7 +717,8 @@ impl GuidedQuality {
              \"delta_eval\": {{\n    \"designs\": {},\n    \
              \"full_evals_per_s\": {:.0},\n    \"warm_evals_per_s\": {:.0},\n    \
              \"speedup\": {:.2},\n    \"seg_hits\": {},\n    \
-             \"delta_recombines\": {},\n    \"cached_segments\": {}\n  }}\n}}\n",
+             \"delta_recombines\": {},\n    \"cached_segments\": {}\n  }},\n  \
+             \"calibration\": [{}]\n}}\n",
             self.machine.replace('"', "'"),
             self.budget,
             self.metrics
@@ -504,6 +755,7 @@ impl GuidedQuality {
             self.delta.seg_hits,
             self.delta.delta_recombines,
             self.delta.cached_segments,
+            calibration,
         )
     }
 }
@@ -537,7 +789,31 @@ mod tests {
         assert!(json.contains("\"budget\": 600"));
         assert!(json.contains("\"schedule_axis\""));
         assert!(json.contains("\"delta_eval\""));
-        assert_eq!(q.report().tables.len(), 4);
+        assert!(json.contains("\"calibration\""));
+        assert_eq!(q.report().tables.len(), 5);
+        // The calibration acceptance bar: on both zoo model × board
+        // pairs, calibrated predictions must cut held-out MAE against the
+        // simulator by at least 2x versus raw analytical output.
+        assert_eq!(q.calibration.len(), 2);
+        for c in &q.calibration {
+            assert!(c.train_designs >= 3 && c.holdout_designs >= 3, "{c:?}");
+            assert!(
+                c.improvement() >= 2.0,
+                "{} on {} only improved {:.2}x: {:?}",
+                c.model,
+                c.board,
+                c.improvement(),
+                c.metrics
+            );
+            // Off-chip traffic is architecturally deterministic: the
+            // simulator agrees exactly, and calibration leaves it alone.
+            let access = c
+                .metrics
+                .iter()
+                .find(|m| m.metric == Metric::OffChipAccesses)
+                .unwrap();
+            assert!(access.exact(), "{access:?}");
+        }
         // Warm all-hit recombination must beat whole-design evaluation
         // even at smoke-test scale (release runs record ~5x or better).
         assert!(

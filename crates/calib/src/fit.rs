@@ -1,0 +1,209 @@
+//! Least-squares linear corrections fitted from calibration pairs.
+//!
+//! Each `(board, precision, metric)` key gets its own [`Correction`]
+//! `simulated ≈ slope · analytical + intercept`, fitted by ordinary
+//! least squares over the key's pairs. A linear map is the right shape
+//! here because the simulator's divergence from the analytical model is
+//! dominated by *systematic* implementation overheads — per-transfer DMA
+//! latency, per-tile control cycles, BRAM bank quantization — that scale
+//! near-linearly with the analytical quantity; what remains after the
+//! fit (the residuals) is the honest ± error bar the fronts surface.
+//!
+//! Determinism: the fit is plain `f64` arithmetic accumulated in pair
+//! insertion order — no randomness, no iteration-order hazards — so the
+//! same store always yields the same correction, bit for bit. Refitting
+//! is O(pairs) and is simply re-run whenever pairs accumulate (the store
+//! bounds pairs per key, so refits stay cheap).
+
+use mccm_core::Metric;
+
+use crate::store::{CalibStore, Pair};
+
+/// A fitted linear correction for one `(board, precision, metric)` key,
+/// with residual statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correction {
+    /// Multiplicative term of `calibrated = slope · analytical +
+    /// intercept`.
+    pub slope: f64,
+    /// Additive term.
+    pub intercept: f64,
+    /// Pairs the fit was computed from.
+    pub pairs: usize,
+    /// Mean |simulated − calibrated| over the fit pairs — the ± error
+    /// bar attached to calibrated predictions.
+    pub mean_abs_residual: f64,
+    /// Worst |simulated − calibrated| over the fit pairs.
+    pub max_abs_residual: f64,
+    /// Mean |simulated − analytical| over the fit pairs: the error of
+    /// the *raw* analytical prediction, for improvement reporting.
+    pub raw_mean_abs_error: f64,
+}
+
+impl Correction {
+    /// The do-nothing correction (slope 1, intercept 0, no pairs) used
+    /// when a key has no evidence yet.
+    pub fn identity() -> Self {
+        Self {
+            slope: 1.0,
+            intercept: 0.0,
+            pairs: 0,
+            mean_abs_residual: 0.0,
+            max_abs_residual: 0.0,
+            raw_mean_abs_error: 0.0,
+        }
+    }
+
+    /// Fits `simulated ≈ slope · analytical + intercept` by ordinary
+    /// least squares over `pairs`, in slice order.
+    ///
+    /// Degenerate populations fall back conservatively: no pairs gives
+    /// [`Self::identity`]; pairs with (near-)zero analytical variance
+    /// keep slope 1 and fit only the mean offset, so a correction never
+    /// extrapolates from a direction the evidence does not constrain.
+    pub fn fit(pairs: &[Pair]) -> Self {
+        if pairs.is_empty() {
+            return Self::identity();
+        }
+        let n = pairs.len();
+        let n_f = usize_f64(n);
+        let mean_x = pairs.iter().map(|p| p.analytical).sum::<f64>() / n_f;
+        let mean_y = pairs.iter().map(|p| p.simulated).sum::<f64>() / n_f;
+        let sxx = pairs
+            .iter()
+            .map(|p| (p.analytical - mean_x) * (p.analytical - mean_x))
+            .sum::<f64>();
+        let sxy = pairs
+            .iter()
+            .map(|p| (p.analytical - mean_x) * (p.simulated - mean_y))
+            .sum::<f64>();
+        // Variance threshold relative to the magnitude of the data: a
+        // population of identical (or numerically indistinguishable)
+        // analytical values cannot support a slope.
+        let scale = mean_x.abs().max(1.0);
+        let (slope, intercept) = if sxx <= scale * scale * 1e-18 {
+            (1.0, mean_y - mean_x)
+        } else {
+            let slope = sxy / sxx;
+            (slope, mean_y - slope * mean_x)
+        };
+        let mut sum_res = 0.0;
+        let mut max_res = 0.0_f64;
+        let mut sum_raw = 0.0;
+        for p in pairs {
+            let res = (p.simulated - (slope * p.analytical + intercept)).abs();
+            sum_res += res;
+            max_res = max_res.max(res);
+            sum_raw += (p.simulated - p.analytical).abs();
+        }
+        Self {
+            slope,
+            intercept,
+            pairs: n,
+            mean_abs_residual: sum_res / n_f,
+            max_abs_residual: max_res,
+            raw_mean_abs_error: sum_raw / n_f,
+        }
+    }
+
+    /// Applies the correction to an analytical prediction.
+    pub fn apply(&self, analytical: f64) -> f64 {
+        self.slope * analytical + self.intercept
+    }
+
+    /// The ± error bar attached to calibrated predictions (mean absolute
+    /// residual of the fit).
+    pub fn error_bar(&self) -> f64 {
+        self.mean_abs_residual
+    }
+
+    /// Raw-over-calibrated MAE ratio (> 1 means the correction helps).
+    /// Residual-free fits report the raw error against a tiny floor so
+    /// the ratio stays finite.
+    pub fn improvement(&self) -> f64 {
+        if self.pairs == 0 || self.raw_mean_abs_error == 0.0 {
+            1.0
+        } else {
+            self.raw_mean_abs_error / self.mean_abs_residual.max(1e-300)
+        }
+    }
+}
+
+/// Fits one correction per metric from the store's pairs for `(board,
+/// precision)`, in the order of `metrics`. Keys with no pairs fit to
+/// [`Correction::identity`].
+pub fn fit_corrections(
+    store: &CalibStore,
+    board: &str,
+    precision: &str,
+    metrics: &[Metric],
+) -> Vec<(Metric, Correction)> {
+    metrics
+        .iter()
+        .map(|&m| (m, Correction::fit(store.pairs_for(board, precision, m))))
+        .collect()
+}
+
+/// Exact `usize → f64` for pair counts (store bounds keep populations
+/// far below 2^52, so the conversion is lossless in practice).
+#[allow(clippy::cast_precision_loss)]
+fn usize_f64(n: usize) -> f64 {
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(analytical: f64, simulated: f64) -> Pair {
+        Pair {
+            model: "m".into(),
+            batch: 1,
+            design: format!("d{analytical}"),
+            analytical,
+            simulated,
+        }
+    }
+
+    #[test]
+    fn exact_linear_data_fits_exactly() {
+        let pairs: Vec<Pair> = [1.0, 2.0, 5.0, 9.0]
+            .iter()
+            .map(|&x| pair(x, 1.5 * x + 0.25))
+            .collect();
+        let c = Correction::fit(&pairs);
+        assert!((c.slope - 1.5).abs() < 1e-12);
+        assert!((c.intercept - 0.25).abs() < 1e-12);
+        assert!(c.mean_abs_residual < 1e-12);
+        assert!(c.raw_mean_abs_error > 0.1);
+        assert!(c.improvement() > 2.0);
+    }
+
+    #[test]
+    fn degenerate_variance_fits_offset_only() {
+        let pairs = vec![pair(4.0, 5.0), pair(4.0, 5.2)];
+        let c = Correction::fit(&pairs);
+        assert_eq!(c.slope, 1.0);
+        assert!((c.intercept - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_is_identity() {
+        let c = Correction::fit(&[]);
+        assert_eq!(c, Correction::identity());
+        assert_eq!(c.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let pairs: Vec<Pair> = (0..20)
+            .map(|i| {
+                let x = f64::from(i) * 0.37 + 1.0;
+                pair(x, 1.2 * x + 0.05 + if i % 2 == 0 { 0.01 } else { -0.01 })
+            })
+            .collect();
+        let a = Correction::fit(&pairs);
+        let b = Correction::fit(&pairs);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,120 @@
+//! Running promoted designs through the simulator and extracting
+//! calibration pairs.
+
+use mccm_arch::BuiltAccelerator;
+use mccm_core::{CancelToken, Evaluation, Metric};
+use mccm_json::Json;
+use mccm_sim::{SimConfig, SimResult, Simulator};
+
+/// The metrics the simulator can referee, in the paper's Table IV order.
+/// Energy is analytical-only and never calibrated.
+pub const CALIBRATED_METRICS: [Metric; 4] = [
+    Metric::Latency,
+    Metric::Throughput,
+    Metric::OnChipBuffers,
+    Metric::OffChipAccesses,
+];
+
+/// Simulates one built accelerator under `config`, honoring `cancel`.
+/// Returns `None` if the token fired mid-run (the caller reports a
+/// degraded partial with the pairs it already has).
+pub fn simulate(
+    acc: &BuiltAccelerator,
+    eval: &Evaluation,
+    config: SimConfig,
+    cancel: &CancelToken,
+) -> Option<SimResult> {
+    Simulator::new(config).run_with_eval_cancellable(acc, eval, cancel)
+}
+
+/// (metric, analytical, simulated) triples of one design's measurement,
+/// in [`CALIBRATED_METRICS`] order.
+pub fn metric_pairs(eval: &Evaluation, sim: &SimResult) -> Vec<(Metric, f64, f64)> {
+    sim.accuracy_records(eval)
+        .into_iter()
+        .map(|r| (r.metric, r.estimated, r.reference))
+        .collect()
+}
+
+/// Deterministic JSON form of a [`SimResult`] — the byte-level identity
+/// the simulator-determinism regression test and pair provenance rest
+/// on. Field order is fixed; no wall-clock data appears.
+pub fn sim_result_json(sim: &SimResult) -> Json {
+    let mut j = Json::object();
+    j.push("latency_s", sim.latency_s);
+    j.push("throughput_fps", sim.throughput_fps);
+    j.push("offchip_bytes", sim.offchip_bytes);
+    j.push("offchip_weight_bytes", sim.offchip_weight_bytes);
+    j.push("offchip_fm_bytes", sim.offchip_fm_bytes);
+    j.push("implemented_buffer_bytes", sim.implemented_buffer_bytes);
+    let windows: Vec<Json> = sim
+        .segment_windows
+        .iter()
+        .map(|&(a, b)| Json::Array(vec![Json::Num(a), Json::Num(b)]))
+        .collect();
+    j.push("segment_windows", windows);
+    j.push("dma_utilization", sim.dma_utilization);
+    j.push("events", sim.events);
+    j.push("images", sim.images);
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_arch::{templates, MultipleCeBuilder};
+    use mccm_cnn::zoo;
+    use mccm_core::CostModel;
+    use mccm_fpga::FpgaBoard;
+
+    #[test]
+    fn pairs_cover_the_calibrated_metrics() {
+        let model = zoo::mobilenet_v2();
+        let builder = MultipleCeBuilder::new(&model, &FpgaBoard::zc706());
+        let acc = builder
+            .build(&templates::hybrid(&model, 3).unwrap())
+            .unwrap();
+        let eval = CostModel::evaluate(&acc);
+        let sim = simulate(&acc, &eval, SimConfig::default(), &CancelToken::new()).unwrap();
+        let pairs = metric_pairs(&eval, &sim);
+        let metrics: Vec<Metric> = pairs.iter().map(|p| p.0).collect();
+        assert_eq!(metrics, CALIBRATED_METRICS.to_vec());
+        // Off-chip traffic is architecturally deterministic: the pair is
+        // exact, anchoring the fit.
+        let access = pairs
+            .iter()
+            .find(|p| p.0 == Metric::OffChipAccesses)
+            .unwrap();
+        assert_eq!(access.1, access.2);
+    }
+
+    #[test]
+    fn cancelled_simulation_returns_none() {
+        let model = zoo::mobilenet_v2();
+        let builder = MultipleCeBuilder::new(&model, &FpgaBoard::zc706());
+        let acc = builder
+            .build(&templates::hybrid(&model, 3).unwrap())
+            .unwrap();
+        let eval = CostModel::evaluate(&acc);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(simulate(&acc, &eval, SimConfig::default(), &cancel).is_none());
+    }
+
+    #[test]
+    fn sim_result_json_is_byte_stable() {
+        let model = zoo::mobilenet_v2();
+        let builder = MultipleCeBuilder::new(&model, &FpgaBoard::zc706());
+        let acc = builder
+            .build(&templates::hybrid(&model, 3).unwrap())
+            .unwrap();
+        let eval = CostModel::evaluate(&acc);
+        let cancel = CancelToken::new();
+        let a = simulate(&acc, &eval, SimConfig::default(), &cancel).unwrap();
+        let b = simulate(&acc, &eval, SimConfig::default(), &cancel).unwrap();
+        assert_eq!(
+            sim_result_json(&a).to_string_compact(),
+            sim_result_json(&b).to_string_compact()
+        );
+    }
+}

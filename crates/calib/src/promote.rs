@@ -1,0 +1,171 @@
+//! Deterministic promotion: which Pareto-front members earn a simulator
+//! run.
+//!
+//! Simulation is ~10³× slower than the analytical fast lane, so only a
+//! bounded top-K slice of an optimized front is promoted. The policy is
+//! a deterministic function of the front:
+//!
+//! 1. **Per-metric extremes first** — the best member of each objective
+//!    (in the configured metric order) anchors each axis of the fit, so
+//!    corrections are constrained at the edges of the front where
+//!    decisions actually happen.
+//! 2. **Crowding-spread fill** — remaining slots go to the member
+//!    farthest (max–min normalized Euclidean distance over the metric
+//!    space) from everything already selected: farthest-point sampling,
+//!    which spreads the evidence instead of clustering it.
+//!
+//! Ties break on the lower index, and the front itself is already
+//! deterministically ordered, so promotion is reproducible across runs
+//! and worker counts — a precondition for the calibration store's
+//! byte-level idempotence.
+
+use mccm_core::{Metric, MetricSource};
+
+/// Selects up to `k` member indices of `points` to promote (see the
+/// module docs for the policy). The returned indices are in selection
+/// order: extremes in metric order, then spread fill.
+pub fn promote_top_k<S: MetricSource>(points: &[S], metrics: &[Metric], k: usize) -> Vec<usize> {
+    let n = points.len();
+    let k = k.min(n);
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+
+    // 1. Per-metric extremes.
+    for &metric in metrics {
+        if selected.len() >= k {
+            break;
+        }
+        let mut best = 0usize;
+        for i in 1..n {
+            if metric.better(metric.value(&points[i]), metric.value(&points[best])) {
+                best = i;
+            }
+        }
+        if n > 0 && !selected.contains(&best) {
+            selected.push(best);
+        }
+    }
+
+    if selected.len() >= k || n == 0 {
+        selected.truncate(k);
+        return selected;
+    }
+
+    // 2. Crowding-spread fill in normalized metric space.
+    let norms: Vec<Vec<f64>> = normalized_coords(points, metrics);
+    while selected.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if selected.contains(&i) {
+                continue;
+            }
+            let d = selected
+                .iter()
+                .map(|&s| dist2(&norms[i], &norms[s]))
+                .fold(f64::INFINITY, f64::min);
+            match best {
+                Some((_, bd)) if d <= bd => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        match best {
+            Some((i, _)) => selected.push(i),
+            None => break,
+        }
+    }
+    selected
+}
+
+/// Metric values rescaled to `[0, 1]` per metric (constant metrics map
+/// to 0), so no single objective's units dominate the spread distance.
+fn normalized_coords<S: MetricSource>(points: &[S], metrics: &[Metric]) -> Vec<Vec<f64>> {
+    let mut coords: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| metrics.iter().map(|m| m.value(p)).collect())
+        .collect();
+    for (mi, _) in metrics.iter().enumerate() {
+        let lo = coords.iter().map(|c| c[mi]).fold(f64::INFINITY, f64::min);
+        let hi = coords
+            .iter()
+            .map(|c| c[mi])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = hi - lo;
+        for c in &mut coords {
+            c[mi] = if span > 0.0 { (c[mi] - lo) / span } else { 0.0 };
+        }
+    }
+    coords
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccm_core::Metric;
+
+    /// Minimal metric source for tests: fixed values per metric.
+    struct P {
+        latency: f64,
+        throughput: f64,
+    }
+
+    impl MetricSource for P {
+        fn metric_value(&self, metric: Metric) -> f64 {
+            match metric {
+                Metric::Latency => self.latency,
+                Metric::Throughput => self.throughput,
+                _ => 0.0,
+            }
+        }
+    }
+
+    const METRICS: [Metric; 2] = [Metric::Latency, Metric::Throughput];
+
+    fn p(latency: f64, throughput: f64) -> P {
+        P {
+            latency,
+            throughput,
+        }
+    }
+
+    #[test]
+    fn extremes_come_first() {
+        // Index 2 has the best (lowest) latency, index 0 the best
+        // (highest) throughput.
+        let points = vec![p(5.0, 100.0), p(3.0, 60.0), p(1.0, 20.0), p(4.0, 80.0)];
+        let sel = promote_top_k(&points, &METRICS, 3);
+        assert_eq!(sel[0], 2);
+        assert_eq!(sel[1], 0);
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn fill_prefers_spread() {
+        // After the extremes (2 and 0), the farthest remaining point in
+        // normalized space is 3 (mid-front), not 1 (close to 2).
+        let points = vec![p(5.0, 100.0), p(1.2, 22.0), p(1.0, 20.0), p(3.0, 60.0)];
+        let sel = promote_top_k(&points, &METRICS, 3);
+        assert_eq!(sel, vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn k_clamps_and_dedups() {
+        let points = vec![p(1.0, 99.0)];
+        // One point is both extremes; selection holds one index.
+        assert_eq!(promote_top_k(&points, &METRICS, 4), vec![0]);
+        assert!(promote_top_k::<P>(&[], &METRICS, 4).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_repeats() {
+        let points: Vec<P> = (0..12)
+            .map(|i| p(f64::from(i) + 1.0, 100.0 - f64::from(i) * 3.0))
+            .collect();
+        let a = promote_top_k(&points, &METRICS, 6);
+        let b = promote_top_k(&points, &METRICS, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+    }
+}

@@ -1,18 +1,20 @@
 //! Cooperative cancellation for long-running searches.
 //!
 //! A [`CancelToken`] is a shared flag a *controller* (a serving layer's
-//! deadline watchdog, a Ctrl-C handler, a test) sets once and a *search*
+//! deadline watchdog, a Ctrl-C handler, a test) sets once and a *worker*
 //! polls at its natural checkpoints — generation boundaries in the
-//! optimizer, attempt boundaries in the samplers, cell boundaries in the
-//! baseline sweeps. Cancellation is advisory and monotonic: once set it
-//! never resets, and a search that observes it stops early and returns
-//! the (honestly labelled) partial result it has instead of an error.
+//! `mccm-dse` optimizer, attempt boundaries in the samplers, cell
+//! boundaries in the baseline sweeps, event-loop slices in the
+//! `mccm-sim` simulator. Cancellation is advisory and monotonic: once
+//! set it never resets, and a worker that observes it stops early and
+//! returns the (honestly labelled) partial result it has instead of an
+//! error.
 //!
 //! The token deliberately knows nothing about *time*: it is a plain
-//! atomic flag with no deadline arithmetic, so this crate's outputs stay
-//! a pure function of their inputs (the workspace wall-clock lint bans
-//! `Instant` here). Whoever owns a wall clock — the serve layer — arms a
-//! timer and calls [`CancelToken::cancel`] when it expires.
+//! atomic flag with no deadline arithmetic, so the model crates' outputs
+//! stay a pure function of their inputs (the workspace wall-clock lint
+//! bans `Instant` here). Whoever owns a wall clock — the serve layer —
+//! arms a timer and calls [`CancelToken::cancel`] when it expires.
 //!
 //! An un-fired token is free apart from one relaxed atomic load per
 //! checkpoint, and a never-cancelled run takes exactly the code path a

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod cancel;
 mod config;
 pub mod energy;
 mod metrics;
@@ -43,6 +44,7 @@ pub mod quantity {
 mod report;
 
 pub use accuracy::{accuracy_pct, AccuracyRecord, AccuracySummary};
+pub use cancel::CancelToken;
 pub use config::{ConfigError, ModelConfig, PipelineLatencyMode};
 pub use energy::{EnergyEstimate, EnergyModel};
 pub use metrics::{Metric, MetricSource};

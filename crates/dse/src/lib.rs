@@ -37,7 +37,6 @@
 
 #![warn(missing_docs)]
 
-mod cancel;
 mod enumerate;
 mod error;
 mod explorer;
@@ -50,10 +49,12 @@ mod segcache;
 mod selection;
 mod space;
 
-pub use cancel::CancelToken;
 pub use enumerate::DesignIter;
 pub use error::ExploreError;
 pub use explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint, Explorer};
+/// Re-exported from `mccm-core` so existing `mccm_dse::CancelToken`
+/// call sites keep working (the simulator shares the same token type).
+pub use mccm_core::CancelToken;
 pub use optimizer::{GuidedFront, OptimizerConfig};
 pub use parallel::{par_pareto_indices, SampleRun, EXHAUSTIVE_LIMIT};
 pub use pareto::{pareto_front, ParetoFront};

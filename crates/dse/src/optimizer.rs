@@ -38,13 +38,13 @@ use mccm_core::{EvalScratch, Metric};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::cancel::CancelToken;
 use crate::error::ExploreError;
 use crate::explorer::{CustomPoint, Explorer};
 use crate::pareto::{dominates, ParetoFront};
 use crate::sampler::{sample_attempt, stream_seed};
 use crate::segcache::{CacheStats, DeltaContext, DesignKey, DesignMemo, SegCache};
 use crate::space::{CustomDesign, CustomSpace};
+use mccm_core::CancelToken;
 
 /// Configuration of [`Explorer::optimize`].
 #[derive(Debug, Clone)]

@@ -24,12 +24,12 @@ use std::time::{Duration, Instant};
 use mccm_arch::{templates, ArchError};
 use mccm_core::{EvalScratch, Metric, MetricSource};
 
-use crate::cancel::CancelToken;
 use crate::error::ExploreError;
 use crate::explorer::{default_max_attempts, BaselinePoint, CustomPoint, DesignPoint, Explorer};
 use crate::pareto::ParetoFront;
 use crate::sampler::{sample_attempt, CustomSampler};
 use crate::space::{CustomDesign, CustomSpace};
+use mccm_core::CancelToken;
 
 /// Largest space [`Explorer::par_evaluate_space`] will walk exhaustively.
 pub const EXHAUSTIVE_LIMIT: u128 = 1 << 20;

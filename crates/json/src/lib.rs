@@ -1,9 +1,10 @@
 //! A minimal, dependency-free JSON value with a strict parser and a
-//! deterministic writer — the wire format of the [scenario
-//! API](crate::scenario).
+//! deterministic writer — the wire format of the MCCM scenario API
+//! (re-exported by the facade as `mccm::json`) and of the `mccm-calib`
+//! calibration store.
 //!
 //! The workspace already emits hand-rolled JSON (`mccm-bench`'s
-//! `BENCH_*.json` trajectories); this module completes the round trip
+//! `BENCH_*.json` trajectories); this crate completes the round trip
 //! with a parser so scenario files can be *read* without pulling in a
 //! serialization dependency. Design points:
 //!
@@ -21,13 +22,15 @@
 //! # Examples
 //!
 //! ```
-//! use mccm::json::Json;
+//! use mccm_json::Json;
 //!
 //! let v = Json::parse(r#"{"model": {"zoo": "xception"}, "batch": 4}"#).unwrap();
 //! assert_eq!(v.get("model").and_then(|m| m.get("zoo")).and_then(Json::as_str),
 //!            Some("xception"));
 //! assert_eq!(v.get("batch").and_then(Json::as_u64), Some(4));
 //! ```
+
+#![warn(missing_docs)]
 
 use std::fmt;
 

@@ -40,6 +40,13 @@
 //!   isolation layer stays a last resort instead of a control-flow
 //!   mechanism. The fault-injection module's deliberate panic site is
 //!   the sole allowlisted exception.
+//! - **calib-store** — calibration-store I/O (`CalibStore::load*`,
+//!   `.save(`) or correction fitting (`Correction::fit`,
+//!   `fit_corrections`) outside `crates/calib/src/`. The store's byte
+//!   format and the fit's float arithmetic are the calibration crate's
+//!   determinism contract; a second site reading the file or refitting
+//!   corrections could diverge from it silently. The facade's calibrate
+//!   action is the one allowlisted consumer.
 //!
 //! The scan is line-based and intentionally simple (in the offline,
 //! no-dependency style of `mccm::json`): comments are skipped, the
@@ -72,6 +79,9 @@ pub enum Rule {
     /// Panicking constructs (`unwrap`, `expect`, panic-family macros,
     /// literal indexing) inside the serve layer.
     NoPanicServe,
+    /// Calibration-store I/O or correction fitting outside the
+    /// calibration crate.
+    CalibStore,
 }
 
 impl Rule {
@@ -85,6 +95,7 @@ impl Rule {
             Self::ScheduleMatch => "schedule-match",
             Self::SegmentCacheKey => "segment-cache-key",
             Self::NoPanicServe => "no-panic-serve",
+            Self::CalibStore => "calib-store",
         }
     }
 
@@ -98,6 +109,7 @@ impl Rule {
             "schedule-match" => Some(Self::ScheduleMatch),
             "segment-cache-key" => Some(Self::SegmentCacheKey),
             "no-panic-serve" => Some(Self::NoPanicServe),
+            "calib-store" => Some(Self::CalibStore),
             _ => None,
         }
     }
@@ -181,6 +193,19 @@ const PANIC_TOKENS: &[&str] = &[
     "unimplemented!(",
 ];
 
+/// Calibration-store I/O and correction-fit entry points.
+/// `CalibStore::load` also matches `load_or_empty`; `.save(` is the
+/// method-call form of store persistence (no other workspace type has a
+/// `save` method, and an overmatch would land in the reviewable
+/// allowlist anyway).
+const CALIB_STORE_TOKENS: &[&str] = &[
+    "CalibStore::load",
+    "CalibStore::save",
+    ".save(",
+    "Correction::fit",
+    "fit_corrections(",
+];
+
 /// Whether `rule` applies to the file at `path` (workspace-relative).
 fn rule_applies(rule: Rule, path: &str) -> bool {
     match rule {
@@ -208,6 +233,9 @@ fn rule_applies(rule: Rule, path: &str) -> bool {
         // The availability contract is the daemon's alone; library and
         // CLI code elsewhere may still use `unwrap` on invariants.
         Rule::NoPanicServe => path.starts_with("src/serve/"),
+        // Store bytes and fit arithmetic are the calibration crate's
+        // contract; consumers elsewhere must be allowlisted one by one.
+        Rule::CalibStore => !path.starts_with("crates/calib/src/"),
     }
 }
 
@@ -273,6 +301,11 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
             && (PANIC_TOKENS.iter().any(|t| line.contains(t)) || has_literal_index(line))
         {
             push(&mut findings, Rule::NoPanicServe);
+        }
+        if rule_applies(Rule::CalibStore, path)
+            && CALIB_STORE_TOKENS.iter().any(|t| line.contains(t))
+        {
+            push(&mut findings, Rule::CalibStore);
         }
     }
     findings
@@ -564,6 +597,30 @@ mod tests {
         // Test modules panic freely.
         let test_only = "#[cfg(test)]\nmod tests {\n    x.unwrap();\n}\n";
         assert!(scan_source("src/serve/frame.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn calib_store_access_flagged_outside_the_calibration_crate() {
+        let cases = [
+            "    let store = CalibStore::load(path)?;\n",
+            "    let mut persistent = crate::calib::CalibStore::load_or_empty(path)?;\n",
+            "    persistent.save(path)?;\n",
+            "    let c = Correction::fit(&pairs);\n",
+            "    let fits = fit_corrections(&store, board, precision, &metrics);\n",
+        ];
+        for src in cases {
+            let hits = scan_source("src/session.rs", src);
+            assert_eq!(hits.len(), 1, "{src:?}");
+            assert_eq!(hits[0].rule, Rule::CalibStore, "{src:?}");
+            // The defining crate is the one sanctioned home.
+            assert!(
+                scan_source("crates/calib/src/store.rs", src).is_empty(),
+                "{src:?}"
+            );
+        }
+        // In-memory store use (no I/O, no fitting) is fine anywhere.
+        let fine = "    let mut fresh = crate::calib::CalibStore::new();\n";
+        assert!(scan_source("src/session.rs", fine).is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! in-order compute engines.
 
 use mccm_arch::BuiltAccelerator;
-use mccm_core::Evaluation;
+use mccm_core::{CancelToken, Evaluation};
 
 use crate::config::SimConfig;
 use crate::engine::{Cycles, DmaChannel, Event, Events};
@@ -73,11 +73,46 @@ impl Simulator {
     /// Simulates using an already-computed model evaluation (avoids
     /// re-running the analytical model when the caller has it).
     pub fn run_with_eval(&self, acc: &BuiltAccelerator, eval: &Evaluation) -> crate::SimResult {
-        let graph = build_tile_graph(acc, eval);
-        self.execute(acc, &graph)
+        // A fresh token never fires, so the full run always completes —
+        // and takes exactly the code path a cancellable run takes, which
+        // keeps the two entry points bit-identical by construction.
+        self.run_with_eval_cancellable(acc, eval, &CancelToken::new())
+            .expect("fresh token never cancels")
     }
 
-    fn execute(&self, acc: &BuiltAccelerator, graph: &TileGraph) -> crate::SimResult {
+    /// Cancellable twin of [`Self::run`]: polls `cancel` cooperatively
+    /// between event-loop slices and returns `None` if it fired, so a
+    /// serve deadline interrupting a calibration promotion degrades
+    /// honestly instead of blocking until the simulation drains.
+    pub fn run_cancellable(
+        &self,
+        acc: &BuiltAccelerator,
+        cancel: &CancelToken,
+    ) -> Option<crate::SimResult> {
+        let eval = mccm_core::CostModel::evaluate(acc);
+        self.run_with_eval_cancellable(acc, &eval, cancel)
+    }
+
+    /// Cancellable twin of [`Self::run_with_eval`] (see
+    /// [`Self::run_cancellable`]). A completed run is bit-identical to
+    /// the uncancellable one; a cancelled run returns `None` — partial
+    /// timings would not be honest measurements.
+    pub fn run_with_eval_cancellable(
+        &self,
+        acc: &BuiltAccelerator,
+        eval: &Evaluation,
+        cancel: &CancelToken,
+    ) -> Option<crate::SimResult> {
+        let graph = build_tile_graph(acc, eval);
+        self.execute(acc, &graph, cancel)
+    }
+
+    fn execute(
+        &self,
+        acc: &BuiltAccelerator,
+        graph: &TileGraph,
+        cancel: &CancelToken,
+    ) -> Option<crate::SimResult> {
         let cfg = &self.config;
         let images = cfg.images.max(3);
         let per_image = graph.tiles.len();
@@ -260,8 +295,16 @@ impl Simulator {
             }
         }
 
+        // Cooperative cancellation checkpoint: one relaxed flag load per
+        // slice of events, cheap enough to leave the hot loop's timing
+        // behavior (and thus every completed result byte) untouched.
+        const CANCEL_SLICE: u64 = 1024;
+
         let mut last_time = 0;
         while let Some((now, event)) = events.pop() {
+            if event_count.is_multiple_of(CANCEL_SLICE) && cancel.is_cancelled() {
+                return None;
+            }
             event_count += 1;
             last_time = now;
             let mut wake: Vec<usize> = Vec::new();
@@ -402,7 +445,7 @@ impl Simulator {
             .map(|(a, b)| (a.min(b) as f64 * cyc, b as f64 * cyc))
             .collect();
 
-        crate::SimResult {
+        Some(crate::SimResult {
             latency_s,
             throughput_fps,
             offchip_bytes: w + fl + fs,
@@ -417,7 +460,7 @@ impl Simulator {
             },
             events: event_count,
             images,
-        }
+        })
     }
 
     /// Bank-quantized implementation of the builder's buffer plan: each

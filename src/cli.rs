@@ -49,6 +49,12 @@ USAGE:
   mccm optimize --model M --board B [--budget N] [--population N] [--islands N]
                 [--max-fuse-depth N] [--seed N] [--workers N]
                 [--metrics latency,throughput,...] [--json]
+  mccm calibrate --model M --board B [--budget N] [--population N] [--islands N]
+                [--top-k N] [--store FILE] [--seed N] [--workers N]
+                [--metrics latency,throughput,...] [--json]
+                                      optimize, then referee the top-K front
+                                      members with the simulator and fit
+                                      error-bar corrections
 
 ARCHITECTURES: segmented | segmentedrr | hybrid
 METRICS:       latency | throughput | access | buffers | energy (default: all five)
@@ -79,6 +85,7 @@ pub fn main_with_args(args: &[String], out: &mut dyn Write) -> Result<(), Error>
         "sweep" => cmd_sweep(rest, out),
         "explore" => cmd_explore(rest, out),
         "optimize" => cmd_optimize(rest, out),
+        "calibrate" => cmd_calibrate(rest, out),
         "help" | "--help" | "-h" => {
             emit(out, format_args!("{USAGE}\n"))?;
             Ok(())
@@ -450,6 +457,58 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
     }
     let mut action = Json::object();
     action.push("optimize", body);
+    root.push("action", action);
+    run_document(&root, flags.switch("--json"), false, out)
+}
+
+fn cmd_calibrate(args: &[String], out: &mut dyn Write) -> Result<(), Error> {
+    let spec: Vec<(&str, FlagKind)> = CONTEXT_FLAGS
+        .into_iter()
+        .chain([
+            ("--budget", FlagKind::Value),
+            ("--population", FlagKind::Value),
+            ("--islands", FlagKind::Value),
+            ("--top-k", FlagKind::Value),
+            ("--store", FlagKind::Value),
+            ("--seed", FlagKind::Value),
+            ("--workers", FlagKind::Value),
+            ("--metrics", FlagKind::Value),
+        ])
+        .collect();
+    let flags = Flags::parse("calibrate", args, &spec)?;
+    flags.no_positionals()?;
+    let mut root = context_json(&flags)?;
+    if let Some(seed) = flags.parsed::<u64>("--seed")? {
+        root.push("seed", seed);
+    }
+    if let Some(w) = flags.parsed::<usize>("--workers")? {
+        root.push("workers", w);
+    }
+    let mut body = Json::object();
+    if let Some(list) = flags.value("--metrics") {
+        let names: Vec<Json> = list
+            .split(',')
+            .map(|m| Json::from(m.trim().to_ascii_lowercase()))
+            .collect();
+        body.push("metrics", names);
+    }
+    if let Some(n) = flags.parsed::<u64>("--budget")? {
+        body.push("budget", n);
+    }
+    if let Some(n) = flags.parsed::<usize>("--population")? {
+        body.push("population", n);
+    }
+    if let Some(n) = flags.parsed::<usize>("--islands")? {
+        body.push("islands", n);
+    }
+    if let Some(n) = flags.parsed::<usize>("--top-k")? {
+        body.push("top_k", n);
+    }
+    if let Some(path) = flags.value("--store") {
+        body.push("store", path);
+    }
+    let mut action = Json::object();
+    action.push("calibrate", body);
     root.push("action", action);
     run_document(&root, flags.switch("--json"), false, out)
 }
@@ -1027,6 +1086,63 @@ fn render_human(outcome: &Outcome, verbose: bool, out: &mut dyn Write) -> Result
             }
             if o.front.len() > 12 {
                 emit(out, format_args!("  ... and {} more\n", o.front.len() - 12))?;
+            }
+            Ok(())
+        }
+        Outcome::Calibrated(o) => {
+            emit(
+                out,
+                format_args!(
+                    "calibration: {} evaluations ({} feasible) of budget {} — front of {} \
+                     designs, {} promoted to the simulator\n",
+                    o.evaluations,
+                    o.feasible,
+                    o.budget,
+                    o.front.len(),
+                    o.promoted.len()
+                ),
+            )?;
+            emit(
+                out,
+                format_args!(
+                    "store: {} pairs ({} new) for ({}, {})\n",
+                    o.store_pairs, o.new_pairs, o.board, o.precision
+                ),
+            )?;
+            emit(
+                out,
+                format_args!(
+                    "\ncorrections (calibrated = slope·analytical + intercept ± error bar):\n"
+                ),
+            )?;
+            for (m, c) in &o.corrections {
+                if c.pairs == 0 {
+                    emit(
+                        out,
+                        format_args!("  {:<11} no evidence yet (identity)\n", m.name()),
+                    )?;
+                } else {
+                    emit(
+                        out,
+                        format_args!(
+                            "  {:<11} slope {:.4}  intercept {:+.4e}  ± {:.4e}  ({} pairs, \
+                             {:.1}x tighter than raw)\n",
+                            m.name(),
+                            c.slope,
+                            c.intercept,
+                            c.error_bar(),
+                            c.pairs,
+                            c.improvement()
+                        ),
+                    )?;
+                }
+            }
+            emit(out, format_args!("\npromoted designs:\n"))?;
+            for p in &o.promoted {
+                emit(
+                    out,
+                    format_args!("  front[{}] {}\n", p.front_index, p.notation),
+                )?;
             }
             Ok(())
         }

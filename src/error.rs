@@ -6,6 +6,7 @@
 use std::fmt;
 
 use crate::arch::ArchError;
+use crate::calib::CalibError;
 use crate::cnn::CnnError;
 use crate::core::ConfigError;
 use crate::dse::ExploreError;
@@ -21,6 +22,9 @@ use crate::sim::SimConfigError;
 pub enum Error {
     /// Architecture specification / builder fault ([`ArchError`]).
     Arch(ArchError),
+    /// Calibration-store fault ([`CalibError`]): unreadable, corrupt,
+    /// or unwritable store file.
+    Calib(CalibError),
     /// CNN construction or validation fault ([`CnnError`]).
     Cnn(CnnError),
     /// Design-space exploration fault ([`ExploreError`]).
@@ -111,6 +115,7 @@ impl Error {
     pub fn kind(&self) -> &'static str {
         match self {
             Self::Arch(_) => "arch",
+            Self::Calib(_) => "calib",
             Self::Cnn(_) => "cnn",
             Self::Explore(_) => "explore",
             Self::ModelConfig(_) => "model_config",
@@ -134,7 +139,7 @@ impl Error {
     /// | 2    | `Usage` |
     /// | 3    | `Scenario`, `Json` (malformed input) |
     /// | 4    | `Arch`, `Cnn`, `Explore`, `ModelConfig`, `SimConfig` (domain) |
-    /// | 5    | `Io` |
+    /// | 5    | `Io`, `Calib` (calibration-store file faults) |
     /// | 6    | `BatchPartial` |
     /// | 7    | `Busy`, `Draining` (retryable; the server is fine) |
     /// | 8    | `Protocol` |
@@ -153,7 +158,7 @@ impl Error {
             | Self::Explore(_)
             | Self::ModelConfig(_)
             | Self::SimConfig(_) => 4,
-            Self::Io { .. } => 5,
+            Self::Io { .. } | Self::Calib(_) => 5,
             Self::BatchPartial { .. } => 6,
             Self::Busy { .. } | Self::Draining => 7,
             Self::Protocol(_) => 8,
@@ -172,6 +177,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Arch(e) => write!(f, "{e}"),
+            Self::Calib(e) => write!(f, "{e}"),
             Self::Cnn(e) => write!(f, "{e}"),
             Self::Explore(e) => write!(f, "{e}"),
             Self::ModelConfig(e) => write!(f, "{e}"),
@@ -199,6 +205,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Arch(e) => Some(e),
+            Self::Calib(e) => Some(e),
             Self::Cnn(e) => Some(e),
             Self::Explore(e) => Some(e),
             Self::ModelConfig(e) => Some(e),
@@ -219,6 +226,12 @@ impl std::error::Error for Error {
 impl From<ArchError> for Error {
     fn from(e: ArchError) -> Self {
         Self::Arch(e)
+    }
+}
+
+impl From<CalibError> for Error {
+    fn from(e: CalibError) -> Self {
+        Self::Calib(e)
     }
 }
 
@@ -312,6 +325,15 @@ mod tests {
                 "explore",
             ),
             (Error::io("x", std::io::Error::other("y")), 5, "io"),
+            (
+                CalibError::Format {
+                    path: "store.json".into(),
+                    detail: "missing `version`".into(),
+                }
+                .into(),
+                5,
+                "calib",
+            ),
             (
                 Error::BatchPartial {
                     failed: 1,

@@ -18,6 +18,11 @@
 //! * [`core`] — the analytical cost model (§IV).
 //! * [`sim`] — the event-driven reference simulator (synthesis surrogate).
 //! * [`dse`] — design-space exploration (Use Cases 1 & 3).
+//! * [`calib`] — simulator-in-the-loop calibration: front promotion, the
+//!   persistent (analytical, simulated) pair store, and per-metric
+//!   corrections with error bars.
+//! * [`json`] — the dependency-free deterministic JSON layer every
+//!   outcome serializes through.
 //!
 //! Every crate error converges into [`enum@Error`].
 //!
@@ -52,15 +57,16 @@
 #![warn(missing_docs)]
 
 pub use mccm_arch as arch;
+pub use mccm_calib as calib;
 pub use mccm_cnn as cnn;
 pub use mccm_core as core;
 pub use mccm_dse as dse;
 pub use mccm_fpga as fpga;
+pub use mccm_json as json;
 pub use mccm_sim as sim;
 
 pub mod cli;
 mod error;
-pub mod json;
 pub mod scenario;
 pub mod serve;
 pub mod session;

@@ -195,6 +195,27 @@ pub enum Action {
         /// layer-by-layer only, the pre-schedule search space).
         max_fuse_depth: usize,
     },
+    /// Guided optimization followed by simulator-in-the-loop calibration:
+    /// the top-K front members are promoted to the reference simulator,
+    /// the (analytical, simulated) pairs accumulate in a persistent
+    /// store, and the front is annotated with calibrated predictions and
+    /// ± residual error bars (see `docs/calibration.md`).
+    Calibrate {
+        /// Objectives of the underlying optimization.
+        metrics: Vec<Metric>,
+        /// Total evaluation-attempt budget of the optimization.
+        budget: u64,
+        /// Population per island.
+        population: usize,
+        /// Island count.
+        islands: usize,
+        /// Front members promoted to the simulator (per-metric extremes
+        /// plus crowding-spread fill).
+        top_k: usize,
+        /// Calibration-store file accumulating pairs across runs; `None`
+        /// calibrates from this run's pairs only, persisting nothing.
+        store: Option<String>,
+    },
 }
 
 /// Per-CE overrides of an evaluate scenario (`ces[i]` addresses the
@@ -207,13 +228,14 @@ pub struct CeOverride {
 
 impl Action {
     /// The action's JSON key (`evaluate` / `sweep` / `sample` /
-    /// `optimize`).
+    /// `optimize` / `calibrate`).
     pub fn name(&self) -> &'static str {
         match self {
             Self::Evaluate { .. } => "evaluate",
             Self::Sweep { .. } => "sweep",
             Self::Sample { .. } => "sample",
             Self::Optimize { .. } => "optimize",
+            Self::Calibrate { .. } => "calibrate",
         }
     }
 }
@@ -221,6 +243,11 @@ impl Action {
 /// Default front objectives of the sample action (the paper's Use Case 3
 /// plot: throughput vs on-chip buffers).
 pub const SAMPLE_DEFAULT_METRICS: [Metric; 2] = [Metric::Throughput, Metric::OnChipBuffers];
+
+/// Default number of front members a calibrate action promotes to the
+/// simulator: one extreme per objective plus a few spread samples, small
+/// enough that promotion stays a fraction of the search budget's cost.
+pub const CALIBRATE_DEFAULT_TOP_K: usize = 8;
 
 /// A complete, self-contained request: model + board context, execution
 /// knobs, and one action. See the module docs for the JSON form.
@@ -465,6 +492,25 @@ impl Scenario {
                 body.push("max_fuse_depth", *max_fuse_depth);
                 action.push("optimize", body);
             }
+            Action::Calibrate {
+                metrics,
+                budget,
+                population,
+                islands,
+                top_k,
+                store,
+            } => {
+                let mut body = Json::object();
+                body.push("metrics", metric_list(metrics));
+                body.push("budget", *budget);
+                body.push("population", *population);
+                body.push("islands", *islands);
+                body.push("top_k", *top_k);
+                if let Some(store) = store {
+                    body.push("store", store.as_str());
+                }
+                action.push("calibrate", body);
+            }
         }
         root.push("action", action);
         root
@@ -475,10 +521,24 @@ impl Scenario {
         self.to_json().to_string_pretty()
     }
 
-    /// The optimizer configuration an optimize-action scenario denotes.
-    /// `None` for other actions.
+    /// The optimizer configuration an optimize- or calibrate-action
+    /// scenario denotes. `None` for other actions.
     pub fn optimizer_config(&self) -> Option<OptimizerConfig> {
         match &self.action {
+            Action::Calibrate {
+                metrics,
+                budget,
+                population,
+                islands,
+                ..
+            } => Some(
+                OptimizerConfig::default()
+                    .with_metrics(metrics)
+                    .with_budget(*budget)
+                    .with_population(*population)
+                    .with_islands(*islands)
+                    .with_seed(self.seed),
+            ),
             Action::Optimize {
                 metrics,
                 budget,
@@ -917,12 +977,12 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
     check_keys(
         pairs,
         "action",
-        &["evaluate", "sweep", "sample", "optimize"],
+        &["evaluate", "sweep", "sample", "optimize", "calibrate"],
     )?;
     if pairs.len() != 1 {
         return Err(Error::scenario(
             "action",
-            "expected exactly one of `evaluate`, `sweep`, `sample`, `optimize`",
+            "expected exactly one of `evaluate`, `sweep`, `sample`, `optimize`, `calibrate`",
         ));
     }
     let (kind, body) = &pairs[0];
@@ -1057,6 +1117,66 @@ fn parse_action(v: &Json) -> Result<Action, Error> {
                 max_fuse_depth,
             })
         }
+        "calibrate" => {
+            let path = "action.calibrate";
+            let obj = expect_object(body, path)?;
+            check_keys(
+                obj,
+                path,
+                &[
+                    "metrics",
+                    "budget",
+                    "population",
+                    "islands",
+                    "top_k",
+                    "store",
+                ],
+            )?;
+            let defaults = OptimizerConfig::default();
+            let metrics = parse_metrics(
+                body.get("metrics"),
+                "action.calibrate.metrics",
+                &defaults.metrics,
+            )?;
+            let budget = opt_u64(body, "budget", defaults.budget)?;
+            let population = opt_usize(body, "population", defaults.population)?;
+            let islands = opt_usize(body, "islands", defaults.islands)?;
+            let top_k = opt_usize(body, "top_k", CALIBRATE_DEFAULT_TOP_K)?;
+            if top_k == 0 {
+                return Err(Error::scenario(
+                    "action.calibrate.top_k",
+                    "must be positive",
+                ));
+            }
+            let store = match body.get("store") {
+                None => None,
+                Some(v) => {
+                    let text = expect_str(v, "action.calibrate.store")?;
+                    if text.is_empty() {
+                        return Err(Error::scenario(
+                            "action.calibrate.store",
+                            "store path must not be empty",
+                        ));
+                    }
+                    Some(text.to_string())
+                }
+            };
+            // The embedded search validates like an optimize action.
+            OptimizerConfig::default()
+                .with_metrics(&metrics)
+                .with_population(population)
+                .with_islands(islands)
+                .validate()
+                .map_err(|e| Error::scenario(path, e.to_string()))?;
+            Ok(Action::Calibrate {
+                metrics,
+                budget,
+                population,
+                islands,
+                top_k,
+                store,
+            })
+        }
         _ => unreachable!("check_keys limits the key set"),
     }
 }
@@ -1119,6 +1239,22 @@ mod tests {
                 migrants: 4,
                 crossover_prob: 0.9,
                 max_fuse_depth: 3,
+            },
+            Action::Calibrate {
+                metrics: vec![Metric::Latency, Metric::Throughput],
+                budget: 2000,
+                population: 24,
+                islands: 2,
+                top_k: 5,
+                store: Some("stores/zc706.json".into()),
+            },
+            Action::Calibrate {
+                metrics: Metric::WITH_ENERGY.to_vec(),
+                budget: 1000,
+                population: 16,
+                islands: 1,
+                top_k: CALIBRATE_DEFAULT_TOP_K,
+                store: None,
             },
         ];
         for action in actions {
@@ -1247,6 +1383,62 @@ mod tests {
         // Descending into a scalar is an error.
         let err = apply_override(&mut minimal, "batch.size", "1").unwrap_err();
         assert!(err.to_string().contains("not an object"), "{err}");
+    }
+
+    #[test]
+    fn overrides_reach_calibrate_fields() {
+        let mut root = Json::parse(
+            r#"{"model": {"zoo": "mobilenetv2"}, "board": {"builtin": "zc706"},
+                "action": {"calibrate": {}}}"#,
+        )
+        .unwrap();
+        apply_override(&mut root, "action.calibrate.top_k", "3").unwrap();
+        apply_override(&mut root, "action.calibrate.budget", "500").unwrap();
+        apply_override(&mut root, "action.calibrate.store", "run/store.json").unwrap();
+        let s = Scenario::from_json(&root).unwrap();
+        let Action::Calibrate {
+            top_k,
+            budget,
+            store,
+            ..
+        } = &s.action
+        else {
+            panic!("expected calibrate, got {:?}", s.action)
+        };
+        assert_eq!(*top_k, 3);
+        assert_eq!(*budget, 500);
+        assert_eq!(store.as_deref(), Some("run/store.json"));
+    }
+
+    #[test]
+    fn calibrate_field_errors_name_the_full_path() {
+        // Out-of-range: a zero promotion width can calibrate nothing.
+        let mut root = Json::parse(
+            r#"{"model": {"zoo": "mobilenetv2"}, "board": {"builtin": "zc706"},
+                "action": {"calibrate": {}}}"#,
+        )
+        .unwrap();
+        apply_override(&mut root, "action.calibrate.top_k", "0").unwrap();
+        let err = Scenario::from_json(&root).unwrap_err();
+        assert!(err.to_string().contains("action.calibrate.top_k"), "{err}");
+
+        // Empty store path.
+        let err = Scenario::from_json_str(
+            r#"{"model": {"zoo": "mobilenetv2"}, "board": {"builtin": "zc706"},
+                "action": {"calibrate": {"store": ""}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("action.calibrate.store"), "{err}");
+
+        // Unknown field, created by an override, rejected with its path.
+        let mut root = Json::parse(
+            r#"{"model": {"zoo": "mobilenetv2"}, "board": {"builtin": "zc706"},
+                "action": {"calibrate": {}}}"#,
+        )
+        .unwrap();
+        apply_override(&mut root, "action.calibrate.topk", "4").unwrap();
+        let err = Scenario::from_json(&root).unwrap_err();
+        assert!(err.to_string().contains("action.calibrate.topk"), "{err}");
     }
 
     #[test]

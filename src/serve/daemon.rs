@@ -102,10 +102,17 @@ pub struct ServeStats {
     /// Segment-cache and design-memo counters accumulated across every
     /// optimize request this daemon served (zeros for other actions).
     pub cache: CacheStats,
+    /// Calibrate requests served (complete or degraded).
+    pub calibrations: u64,
+    /// New (analytical, simulated) pairs those requests banked.
+    pub calibration_pairs: u64,
 }
 
 impl ServeStats {
-    /// Deterministic JSON rendering (fixed key order).
+    /// Deterministic JSON rendering (fixed key order). The
+    /// `calibration` object appears only once a calibrate request has
+    /// been served, so daemons that never calibrate report the exact
+    /// bytes they always did.
     pub fn to_json(&self) -> Json {
         let mut o = Json::object();
         o.push("received", self.received);
@@ -123,6 +130,12 @@ impl ServeStats {
         cache.push("full_builds", self.cache.full_builds);
         cache.push("memo_hits", self.cache.memo_hits);
         o.push("cache", cache);
+        if self.calibrations > 0 {
+            let mut cal = Json::object();
+            cal.push("requests", self.calibrations);
+            cal.push("new_pairs", self.calibration_pairs);
+            o.push("calibration", cal);
+        }
         o
     }
 }
@@ -362,14 +375,16 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, &mut session, &job)));
         let payload = match outcome {
-            Ok(Ok((json, degraded, cache))) => {
+            Ok(Ok((json, degraded, counters))) => {
                 shared.bump(|s| {
                     if degraded {
                         s.degraded += 1;
                     } else {
                         s.completed += 1;
                     }
-                    s.cache.absorb(&cache);
+                    s.cache.absorb(&counters.cache);
+                    s.calibrations += counters.calibrations;
+                    s.calibration_pairs += counters.calibration_pairs;
                 });
                 Ok((json, degraded))
             }
@@ -394,14 +409,24 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Per-job counters the daemon's aggregate stats absorb: optimize
+/// delta-cache counters and calibrate pair accounting (zeros for other
+/// actions).
+#[derive(Default)]
+struct JobCounters {
+    cache: CacheStats,
+    calibrations: u64,
+    calibration_pairs: u64,
+}
+
 /// Runs one admitted job (inside the worker's `catch_unwind`). The third
-/// element carries the optimize delta-cache counters (zeros for other
-/// actions) so the daemon's aggregate stats can absorb them.
+/// element carries the per-action counters so the daemon's aggregate
+/// stats can absorb them.
 fn execute(
     shared: &Arc<Shared>,
     session: &mut Session,
     job: &Job,
-) -> Result<(Json, bool, CacheStats), Error> {
+) -> Result<(Json, bool, JobCounters), Error> {
     let faults = &shared.config.faults;
     faults.maybe_panic();
     if faults.fire(FaultSite::CacheEvict) {
@@ -410,11 +435,19 @@ fn execute(
     let scenario = Scenario::from_json(&job.run)?;
     faults.maybe_stall(shared.config.stall_ms);
     let (outcome, degraded) = session.run_cancellable(&scenario, &job.cancel)?;
-    let cache = match &outcome {
-        Outcome::Optimized(o) => o.cache,
-        _ => CacheStats::default(),
+    let counters = match &outcome {
+        Outcome::Optimized(o) => JobCounters {
+            cache: o.cache,
+            ..JobCounters::default()
+        },
+        Outcome::Calibrated(o) => JobCounters {
+            calibrations: 1,
+            calibration_pairs: o.new_pairs as u64,
+            ..JobCounters::default()
+        },
+        _ => JobCounters::default(),
     };
-    Ok((outcome.to_json(), degraded, cache))
+    Ok((outcome.to_json(), degraded, counters))
 }
 
 fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {

@@ -30,6 +30,7 @@
 //! assert_eq!(first.to_json_string(), second.to_json_string());
 //! ```
 
+use crate::calib::{Correction, CALIBRATED_METRICS};
 use crate::core::{EnergyEstimate, EnergyModel, EvalSummary, Evaluation, Metric};
 use crate::dse::{
     hypervolume, par_pareto_indices, select_all_metrics, union_bounds, BaselinePoint, CacheStats,
@@ -275,6 +276,109 @@ impl Session {
                     cancelled,
                 ))
             }
+            Action::Calibrate {
+                metrics: action_metrics,
+                top_k,
+                store,
+                ..
+            } => {
+                let config = scenario.optimizer_config().expect("calibrate action");
+                config.validate()?;
+                let guided: GuidedFront =
+                    explorer.optimize_par_cancellable(&config, workers, cancel)?;
+                let mut degraded = guided.cancelled;
+                let front: Vec<EvalSummary> =
+                    guided.points.iter().map(|p| p.summary.clone()).collect();
+                // Promotion is a pure function of the front, so the
+                // promoted set — and with it the store's eventual bytes —
+                // is identical across runs and worker counts.
+                let promoted_indices = crate::calib::promote_top_k(&front, &guided.metrics, *top_k);
+                let model_name = explorer.model().name().to_string();
+                let board_name = explorer.builder().board().name.clone();
+                let precision = scenario
+                    .precision
+                    .name()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{:?}", scenario.precision));
+                let sim_config = crate::sim::SimConfig::default();
+                let mut fresh = crate::calib::CalibStore::new();
+                let mut promoted = Vec::new();
+                for &front_index in &promoted_indices {
+                    if cancel.is_cancelled() {
+                        degraded = true;
+                        break;
+                    }
+                    let spec = guided.points[front_index]
+                        .design
+                        .to_spec(explorer.model())?;
+                    let acc = explorer.builder().build(&spec)?;
+                    let eval = crate::core::CostModel::evaluate(&acc);
+                    let Some(sim) = crate::calib::simulate(&acc, &eval, sim_config, cancel) else {
+                        // Deadline fired mid-simulation: keep the pairs
+                        // already banked, drop the half-measured design.
+                        degraded = true;
+                        break;
+                    };
+                    let pairs = crate::calib::metric_pairs(&eval, &sim);
+                    fresh.record(
+                        &board_name,
+                        &precision,
+                        &model_name,
+                        scenario.batch,
+                        &eval.notation,
+                        &pairs,
+                    );
+                    promoted.push(PromotedMember {
+                        front_index,
+                        notation: eval.notation.clone(),
+                        pairs,
+                    });
+                }
+                // Corrections fit against the *merged* evidence: this
+                // run's pairs plus whatever the persistent store already
+                // held for this (board, precision).
+                let new_pairs;
+                let merged = match store {
+                    Some(path) => {
+                        let path = std::path::Path::new(path);
+                        let mut persistent = crate::calib::CalibStore::load_or_empty(path)?;
+                        new_pairs = persistent.merge(&fresh);
+                        persistent.save(path)?;
+                        persistent
+                    }
+                    None => {
+                        new_pairs = fresh.pair_count();
+                        fresh
+                    }
+                };
+                let cal_metrics: Vec<Metric> = action_metrics
+                    .iter()
+                    .copied()
+                    .filter(|m| CALIBRATED_METRICS.contains(m))
+                    .collect();
+                let corrections =
+                    crate::calib::fit_corrections(&merged, &board_name, &precision, &cal_metrics);
+                Ok((
+                    Outcome::Calibrated(Box::new(CalibrateOutcome {
+                        model: model_name,
+                        board: board_name,
+                        precision,
+                        seed: scenario.seed,
+                        budget: config.budget,
+                        evaluations: guided.evaluations,
+                        feasible: guided.feasible,
+                        metrics: guided.metrics.clone(),
+                        top_k: *top_k,
+                        front,
+                        promoted,
+                        corrections,
+                        store_path: store.clone(),
+                        store_pairs: merged.pair_count(),
+                        new_pairs,
+                    })),
+                    degraded,
+                ))
+            }
         }
     }
 
@@ -455,6 +559,55 @@ pub struct OptimizeOutcome {
     pub front: Vec<EvalSummary>,
 }
 
+/// One Pareto-front member promoted to a simulator run during a
+/// calibrate action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotedMember {
+    /// Index into the calibrate outcome's `front`.
+    pub front_index: usize,
+    /// The design's accelerator notation.
+    pub notation: String,
+    /// `(metric, analytical, simulated)` measurement triples.
+    pub pairs: Vec<(Metric, f64, f64)>,
+}
+
+/// Result of a calibrate action: an optimized front plus the simulator
+/// evidence and fitted corrections layered on top of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrateOutcome {
+    /// CNN name.
+    pub model: String,
+    /// Board name.
+    pub board: String,
+    /// Precision token (store key component).
+    pub precision: String,
+    /// Search seed.
+    pub seed: u64,
+    /// Configured evaluation-attempt budget.
+    pub budget: u64,
+    /// Attempts actually spent.
+    pub evaluations: u64,
+    /// Feasible designs among them.
+    pub feasible: u64,
+    /// Objectives.
+    pub metrics: Vec<Metric>,
+    /// Requested promotion width.
+    pub top_k: usize,
+    /// The final merged front, in the optimizer's deterministic order.
+    pub front: Vec<EvalSummary>,
+    /// Front members that earned simulator runs, in promotion order.
+    pub promoted: Vec<PromotedMember>,
+    /// Fitted corrections for the calibratable objectives, in the
+    /// action's metric order.
+    pub corrections: Vec<(Metric, Correction)>,
+    /// Persistent store path, if one was configured.
+    pub store_path: Option<String>,
+    /// Pairs in the store the corrections were fitted against.
+    pub store_pairs: usize,
+    /// Pairs this run added to that store.
+    pub new_pairs: usize,
+}
+
 /// The typed result of [`Session::run`]: one variant per action, each
 /// serializing to deterministic JSON ([`Outcome::to_json`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -467,6 +620,8 @@ pub enum Outcome {
     Front(SampleOutcome),
     /// From [`Action::Optimize`].
     Optimized(OptimizeOutcome),
+    /// From [`Action::Calibrate`].
+    Calibrated(Box<CalibrateOutcome>),
 }
 
 impl Outcome {
@@ -478,6 +633,7 @@ impl Outcome {
             Self::Sweep(_) => "sweep",
             Self::Front(_) => "sample",
             Self::Optimized(_) => "optimize",
+            Self::Calibrated(_) => "calibrate",
         }
     }
 
@@ -490,6 +646,7 @@ impl Outcome {
             Self::Sweep(o) => sweep_json(o),
             Self::Front(o) => sample_json(o),
             Self::Optimized(o) => optimize_json(o),
+            Self::Calibrated(o) => calibrate_json(o),
         }
     }
 
@@ -684,6 +841,124 @@ fn optimize_json(o: &OptimizeOutcome) -> Json {
         "front",
         o.front.iter().map(summary_json).collect::<Vec<_>>(),
     );
+    root
+}
+
+/// The analytical quantity a fitted correction applies to, per front
+/// member. Must match the `estimated` side of the calibration pairs:
+/// for buffers that is the builder's granted allocation
+/// (`buffer_alloc_bytes`), not the unclamped requirement the plain
+/// `Metric::value` accessor returns.
+fn calibration_input(s: &EvalSummary, metric: Metric) -> f64 {
+    match metric {
+        Metric::OnChipBuffers => s.buffer_alloc_bytes.as_f64(),
+        m => m.value(s),
+    }
+}
+
+/// Display key and unit scale of each calibrated metric's envelope
+/// entry, chosen to sit next to the raw `summary_json` fields.
+fn calibration_display(metric: Metric) -> (&'static str, f64) {
+    match metric {
+        Metric::Latency => ("latency_ms", 1e3),
+        Metric::Throughput => ("throughput_fps", 1.0),
+        Metric::OnChipBuffers => ("buffer_impl_mib", 1.0 / 1_048_576.0),
+        Metric::OffChipAccesses => ("offchip_mib", 1.0 / 1_048_576.0),
+        Metric::Energy => ("energy_mj", 1e3),
+    }
+}
+
+fn correction_json(metric: Metric, c: &Correction) -> Json {
+    let mut j = Json::object();
+    j.push("metric", crate::calib::metric_token(metric));
+    j.push("pairs", c.pairs);
+    j.push("slope", c.slope);
+    j.push("intercept", c.intercept);
+    j.push("mean_abs_residual", c.mean_abs_residual);
+    j.push("max_abs_residual", c.max_abs_residual);
+    j.push("raw_mean_abs_error", c.raw_mean_abs_error);
+    j.push("improvement", c.improvement());
+    j
+}
+
+fn calibrate_json(o: &CalibrateOutcome) -> Json {
+    let mut root = Json::object();
+    root.push("action", "calibrate");
+    root.push("model", o.model.as_str());
+    root.push("board", o.board.as_str());
+    root.push("precision", o.precision.as_str());
+    root.push("seed", o.seed);
+    root.push("budget", o.budget);
+    root.push("evaluations", o.evaluations);
+    root.push("feasible", o.feasible);
+    root.push("metrics", metric_names(&o.metrics));
+    root.push("top_k", o.top_k);
+    root.push("front_size", o.front.len());
+    let fitted: Vec<(Metric, &Correction)> = o
+        .corrections
+        .iter()
+        .filter(|(_, c)| c.pairs > 0)
+        .map(|(m, c)| (*m, c))
+        .collect();
+    let front: Vec<Json> = o
+        .front
+        .iter()
+        .map(|s| {
+            let mut row = summary_json(s);
+            if !fitted.is_empty() {
+                let mut envelope = Json::object();
+                for &(metric, c) in &fitted {
+                    let (key, scale) = calibration_display(metric);
+                    let mut entry = Json::object();
+                    entry.push("value", c.apply(calibration_input(s, metric)) * scale);
+                    entry.push("error_bar", c.error_bar() * scale);
+                    envelope.push(key, entry);
+                }
+                row.push("calibration", envelope);
+            }
+            row
+        })
+        .collect();
+    root.push("front", front);
+    let mut calibration = Json::object();
+    let mut store = Json::object();
+    if let Some(path) = &o.store_path {
+        store.push("path", path.as_str());
+    }
+    store.push("pairs", o.store_pairs);
+    store.push("new_pairs", o.new_pairs);
+    calibration.push("store", store);
+    calibration.push(
+        "corrections",
+        o.corrections
+            .iter()
+            .map(|(m, c)| correction_json(*m, c))
+            .collect::<Vec<_>>(),
+    );
+    let promoted: Vec<Json> = o
+        .promoted
+        .iter()
+        .map(|p| {
+            let mut j = Json::object();
+            j.push("front_index", p.front_index);
+            j.push("notation", p.notation.as_str());
+            let measurements: Vec<Json> = p
+                .pairs
+                .iter()
+                .map(|&(metric, analytical, simulated)| {
+                    let mut m = Json::object();
+                    m.push("metric", crate::calib::metric_token(metric));
+                    m.push("analytical", analytical);
+                    m.push("simulated", simulated);
+                    m
+                })
+                .collect();
+            j.push("measurements", measurements);
+            j
+        })
+        .collect();
+    calibration.push("promoted", promoted);
+    root.push("calibration", calibration);
     root
 }
 

@@ -102,6 +102,24 @@ pub fn any_action() -> impl Strategy<Value = Action> {
                     }
                 }
             ),
+        (
+            (1u64..100_000, 4usize..64, 1usize..8),
+            (1usize..12, 1u32..32, 0usize..3)
+        )
+            .prop_map(|((budget, population, islands), (top_k, mask, store))| {
+                Action::Calibrate {
+                    metrics: metric_subset(mask),
+                    budget,
+                    population,
+                    islands,
+                    top_k,
+                    store: match store {
+                        0 => None,
+                        1 => Some("stores/zc706.json".into()),
+                        _ => Some("cal store/with spaces.json".into()),
+                    },
+                }
+            }),
     ]
 }
 

@@ -27,7 +27,7 @@ fn example_scenario(name: &str) -> String {
 /// scenario file.
 #[test]
 fn run_matches_legacy_subcommands_byte_for_byte() {
-    let cases: [(&str, Vec<&str>); 4] = [
+    let cases: [(&str, Vec<&str>); 5] = [
         (
             "evaluate.json",
             vec![
@@ -84,6 +84,23 @@ fn run_matches_legacy_subcommands_byte_for_byte() {
                 "--json",
             ],
         ),
+        (
+            "calibrate.json",
+            vec![
+                "calibrate",
+                "--model",
+                "mobilenetv2",
+                "--board",
+                "zc706",
+                "--budget",
+                "300",
+                "--top-k",
+                "3",
+                "--seed",
+                "1",
+                "--json",
+            ],
+        ),
     ];
     for (file, legacy) in cases {
         let path = example_scenario(file);
@@ -130,7 +147,7 @@ fn batch_mode_runs_a_directory_with_any_worker_count() {
     let serial = run_cli(&["run", "--batch", &dir, "--workers", "1"]).unwrap();
     let parsed = Json::parse(&serial).unwrap();
     assert_eq!(parsed.get("failures").and_then(Json::as_u64), Some(0));
-    assert_eq!(parsed.get("scenarios").and_then(Json::as_u64), Some(5));
+    assert_eq!(parsed.get("scenarios").and_then(Json::as_u64), Some(6));
     let entries = parsed.get("batch").and_then(Json::as_array).unwrap();
     // Sorted by file name, each entry carrying its outcome.
     let names: Vec<&str> = entries
@@ -140,6 +157,7 @@ fn batch_mode_runs_a_directory_with_any_worker_count() {
     assert_eq!(
         names,
         [
+            "calibrate.json",
             "depth_first.json",
             "evaluate.json",
             "optimize.json",
